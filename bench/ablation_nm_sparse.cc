@@ -1,0 +1,34 @@
+// Ablation (paper §6 future work): augmenting NVIDIA's Sparse Tensor Core
+// with PIT. The hardware's strict 2-in-4 pattern cannot skip all-zero 1x4
+// tiles and rejects tensors containing denser tiles; PIT's micro-tile routing
+// feeds each tile kind to its best engine. Sweep the all-zero fraction at a
+// fixed conforming fraction and compare the three strategies.
+#include "bench_util.h"
+#include "pit/core/nm_sparse.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Ablation — PIT-augmented Sparse Tensor Core (fp16, 4096^3)",
+                     "mixed 1x4 tiles: all-zero / 2:4-conforming / dense");
+  CostModel model(V100(), Precision::kFp16);
+  Rng rng(99);
+  bench::Table table({"all-zero", "conforming", "dense", "denseTC(ms)", "strict2:4(ms)",
+                      "PIT(ms)", "PIT-vs-best"});
+  for (double all_zero : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const double conforming = std::min(0.9, 1.0 - all_zero) - 0.1;  // keep 10% dense tiles
+    Tensor sample = MakeNmMixedTensor(512, 512, all_zero, conforming, rng);
+    NmTileStats stats = AnalyzeNmPattern(sample);
+    NmCostComparison cmp = CompareNmStrategies(model, stats, 4096, 4096, 4096);
+    const double best_baseline = std::min(cmp.dense_tc_us, cmp.strict_24_us);
+    table.Row({bench::FmtPct(stats.AllZeroFraction()), bench::FmtPct(stats.ConformingFraction()),
+               bench::FmtPct(stats.DenseFraction()), bench::FmtMs(cmp.dense_tc_us),
+               bench::FmtMs(cmp.strict_24_us) + (cmp.strict_24_feasible ? "" : " (infeasible)"),
+               bench::FmtMs(cmp.pit_augmented_us),
+               bench::Fmt(best_baseline / cmp.pit_augmented_us, "%.2fx")});
+  }
+  std::printf("\nExpected shape: with 10%% dense tiles the strict 2:4 path is infeasible\n"
+              "(falls back to dense TC); PIT's advantage grows linearly with the all-zero\n"
+              "fraction it can skip, while still exploiting mma.sp on conforming tiles.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the figure-regeneration benchmarks.
+//
+// Every bench binary prints a self-describing table of the same series the
+// paper's figure reports (markdown-ish, machine-grep-able). Values are
+// simulated-latency microseconds/milliseconds from the gpusim cost model
+// unless a column explicitly says wall-clock.
+#ifndef PIT_BENCH_BENCH_UTIL_H_
+#define PIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pit::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%-18s", i ? " | " : "", columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s------------------", i ? "-+-" : "");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%-18s", i ? " | " : "", cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtMs(double us) { return Fmt(us / 1000.0, "%.3f"); }
+inline std::string FmtPct(double frac) { return Fmt(frac * 100.0, "%.2f%%"); }
+
+}  // namespace pit::bench
+
+#endif  // PIT_BENCH_BENCH_UTIL_H_

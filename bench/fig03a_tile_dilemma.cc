@@ -1,0 +1,57 @@
+// Figure 3a: latency and wasted computation of different tile sizes on a
+// sparse matmul with OPT-style element-wise activation sparsity.
+//
+// Series: 8x8 / 16x16 / 32x32 fixed tiles and PIT, over sparsity
+// 90 / 95 / 99 / 99.9 %. Expected shape: 32x32 fastest until ~99.6%, 8x8
+// overtakes only at extreme sparsity, PIT below all of them throughout;
+// wasted computation grows with tile size.
+#include <cmath>
+
+#include "bench_util.h"
+#include "pit/core/kernel_selection.h"
+#include "pit/sparse/coverage.h"
+
+using namespace pit;
+
+namespace {
+
+double FixedTileLatencyUs(const CostModel& model, int64_t t, const AnalyticPattern& pattern,
+                          int64_t dim) {
+  // A t x t output tile executes iff its A block has any nonzero.
+  const double p = pattern.NonZeroProb(MicroTileShape{t, t});
+  const int64_t grid = (dim / t) * (dim / t);
+  const int64_t exec = static_cast<int64_t>(std::llround(p * static_cast<double>(grid)));
+  return model.SparseMatmul(exec, dim, TileShape{t, 32, t}).Total();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 3a — tile-size dilemma under dynamic sparsity",
+                     "4096x4096x4096 matmul, element-wise sparse A (OPT activations), V100 fp32");
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  const int64_t kDim = 4096;
+
+  bench::Table table({"sparsity", "tile", "latency(ms)", "wasted-compute"});
+  for (double sparsity : {0.90, 0.95, 0.99, 0.999}) {
+    AnalyticPattern pattern(kDim, kDim, 1, 1, sparsity);
+    for (int64_t t : {8, 16, 32}) {
+      const double us = FixedTileLatencyUs(model, t, pattern, kDim);
+      const double waste = WastedComputationFraction(pattern, MicroTileShape{t, t});
+      table.Row({bench::FmtPct(sparsity), std::to_string(t) + "x" + std::to_string(t),
+                 bench::FmtMs(us), bench::FmtPct(waste)});
+    }
+    SelectionResult pit = SelectKernel(model, db, {&pattern}, kDim, kDim, kDim);
+    const double pit_waste = pit.best.fallback_dense
+                                 ? sparsity
+                                 : WastedComputationFraction(pattern, pit.best.rule.micro_tile);
+    table.Row({bench::FmtPct(sparsity),
+               std::string("PIT") + (pit.best.fallback_dense ? "(dense)" : ""),
+               bench::FmtMs(pit.best.cost.Total()), bench::FmtPct(pit_waste)});
+  }
+  std::printf("\nExpected shape: 32x32 wins among fixed tiles below ~99.6%% sparsity despite the\n"
+              "highest waste; 8x8 only wins at 99.9%%; PIT is fastest everywhere (micro-tile\n"
+              "coverage with dense-tile execution).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: Switch Transformer end-to-end inference latency and GPU memory,
+// fp32 and fp16, batch sizes 8/32, experts 64/128/256, A100.
+//
+// Engines: PyTorch, PyTorch-S, Tutel, DeepSpeed, MegaBlocks (fp16 only),
+// PIT w/o Sparse MoE, PIT.
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+#include "pit/workloads/moe_routing.h"
+#include "pit/workloads/seq_len.h"
+
+using namespace pit;
+
+namespace {
+
+MoeRunConfig MakeMoe(int experts, int64_t tokens, int64_t moe_layers, Rng& rng) {
+  MoeRunConfig config;
+  config.num_experts = experts;
+  MoeRoutingConfig routing{experts, 0.8};
+  for (int64_t l = 0; l < moe_layers; ++l) {
+    config.layer_loads.push_back(ExpertLoads(RouteTokens(tokens, routing, rng), experts));
+  }
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 8 — Switch Transformer end-to-end (A100)",
+                     "MNLI-like lengths, top-1 routing, 6 MoE layers; latency per batch + memory");
+  const TransformerDims dims = SwitchDims();
+
+  for (Precision precision : {Precision::kFp32, Precision::kFp16}) {
+    CostModel model(A100(), precision);
+    for (int64_t batch : {32, 8}) {
+      std::printf("\n--- precision=%s batch=%lld ---\n", PrecisionName(precision),
+                  static_cast<long long>(batch));
+      bench::Table table({"experts", "engine", "latency(ms)", "memory(GB)", "oom"});
+      for (int experts : {64, 128, 256}) {
+        Rng rng(42 + experts);
+        auto lens = SampleBatchLens(DatasetSeqLens("mnli"), batch, rng);
+        MoeRunConfig moe = MakeMoe(experts, SumLens(lens), 6, rng);
+        std::vector<Engine> engines = {Engine::kPyTorch,   Engine::kPyTorchS,
+                                       Engine::kTutel,     Engine::kDeepSpeed,
+                                       Engine::kMegaBlocks, Engine::kPitNoSparseMoe,
+                                       Engine::kPit};
+        for (Engine e : engines) {
+          if (e == Engine::kMegaBlocks && precision == Precision::kFp32) {
+            continue;  // MegaBlocks ships fp16 kernels only (§5.1)
+          }
+          ModelRunCost run = SwitchTransformerRun(model, e, dims, lens, moe);
+          table.Row({std::to_string(experts), EngineName(e), bench::FmtMs(run.cost.Total()),
+                     bench::Fmt(run.MemoryGb(), "%.2f"), run.oom ? "OOM" : ""});
+        }
+      }
+    }
+  }
+  std::printf("\nExpected shape: PIT fastest at every point with the lowest memory; the gap to\n"
+              "PyTorch/Tutel widens with expert count; Tutel/DeepSpeed balloon in memory (OOM\n"
+              "at high expert counts on constrained devices); PIT w/o Sparse MoE shows the MoE\n"
+              "path is where PIT's Switch-Transformer gain comes from.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: Swin-MoE end-to-end latency and memory on A100 (fp16),
+// batch 8/32, experts 8/16/32.
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+#include "pit/workloads/moe_routing.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 9 — Swin-MoE end-to-end (A100, fp16)",
+                     "fixed 196 tokens/image (vision), 6 MoE layers; latency + memory");
+  const TransformerDims dims = SwinMoeDims();
+  CostModel model(A100(), Precision::kFp16);
+  const int64_t kTokensPerImage = 196;
+
+  for (int64_t batch : {32, 8}) {
+    std::printf("\n--- batch=%lld ---\n", static_cast<long long>(batch));
+    bench::Table table({"experts", "engine", "latency(ms)", "memory(GB)"});
+    for (int experts : {8, 16, 32}) {
+      Rng rng(7 + experts);
+      MoeRunConfig moe;
+      moe.num_experts = experts;
+      MoeRoutingConfig routing{experts, 0.8};
+      for (int l = 0; l < 6; ++l) {
+        moe.layer_loads.push_back(
+            ExpertLoads(RouteTokens(batch * kTokensPerImage, routing, rng), experts));
+      }
+      for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kTutel, Engine::kDeepSpeed,
+                       Engine::kMegaBlocks, Engine::kPit}) {
+        ModelRunCost run = SwinMoeRun(model, e, dims, batch, kTokensPerImage, moe);
+        table.Row({std::to_string(experts), EngineName(e), bench::FmtMs(run.cost.Total()),
+                   bench::Fmt(run.MemoryGb(), "%.2f")});
+      }
+    }
+  }
+  std::printf("\nExpected shape: MegaBlocks is the best baseline; PIT improves on it by a\n"
+              "modest factor (the MoE layers are only ~24-61%% of e2e latency at 8-32\n"
+              "experts), and the overall PIT gain is smaller than on Switch Transformer.\n");
+  return 0;
+}

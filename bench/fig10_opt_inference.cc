@@ -1,0 +1,37 @@
+// Figure 10: OPT-13B / OPT-30B end-to-end inference latency and memory,
+// Alpaca-like lengths, batch 32, on the paper's 8x V100-32GB configuration
+// (tensor-parallel sharding with per-layer ring all-reduces).
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+#include "pit/runtime/multi_gpu.h"
+#include "pit/workloads/seq_len.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 10 — OPT inference (8x V100, fp32, tensor parallel)",
+                     "Alpaca-like lengths, batch 32; padding + 99% ReLU activation sparsity");
+  CostModel model(V100());
+  bench::Table table({"model", "engine", "latency(ms)", "memory(GB)"});
+  for (const char* size : {"13B", "30B"}) {
+    TransformerDims dims = OptDims(size);
+    Rng rng(11);
+    auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 32, rng);
+    OptRunConfig config;
+    config.activation_sparsity = 0.99;
+    TensorParallelConfig tp;
+    tp.num_gpus = 8;
+    for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kDeepSpeed,
+                     Engine::kPitNoActivation, Engine::kPit}) {
+      ModelRunCost single = OptRun(model, e, dims, lens, config);
+      ModelRunCost run = TensorParallel(single, dims, SumLens(lens), tp, model.precision());
+      table.Row({dims.name, EngineName(e), bench::FmtMs(run.cost.Total()),
+                 bench::Fmt(run.MemoryGb(), "%.2f") + "/gpu"});
+    }
+  }
+  std::printf("\nExpected shape: PIT ~2x over PyTorch/DeepSpeed; PyTorch-S slowest (Triton\n"
+              "kernels + conversion, no gain from 99%% element sparsity at 32x32 blocks);\n"
+              "PIT w/o activation isolates the padding gain; the ReLU-sparsity path adds\n"
+              "the rest (paper: extra 1.3-1.4x).\n");
+  return 0;
+}

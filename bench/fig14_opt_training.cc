@@ -1,0 +1,32 @@
+// Figure 14: OPT-125M/350M/1.3B fine-tuning (fwd+bwd) latency and memory on
+// A100-80GB, Alpaca-like lengths, batch 8.
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+#include "pit/runtime/multi_gpu.h"
+#include "pit/workloads/seq_len.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 14 — OPT training (A100, fp32, batch 8)",
+                     "forward+backward per batch; dynamic sparsity = varying sentence lengths");
+  CostModel model(A100());
+  bench::Table table({"model", "engine", "latency(ms)", "memory(GB)"});
+  for (const char* size : {"125M", "350M", "1.3B"}) {
+    TransformerDims dims = OptDims(size);
+    Rng rng(23);
+    auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 8, rng);
+    OptRunConfig config;
+    config.training = true;
+    config.device_memory_bytes = 80ll << 30;
+    for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kDeepSpeed, Engine::kPit}) {
+      ModelRunCost run = OptRun(model, e, dims, lens, config);
+      table.Row({dims.name, EngineName(e), bench::FmtMs(run.cost.Total()),
+                 bench::Fmt(run.MemoryGb(), "%.2f")});
+    }
+  }
+  std::printf("\nExpected shape: PIT 1.9-2.4x over PyTorch, 1.6-1.8x over PyTorch-S, 1.8-2.2x\n"
+              "over DeepSpeed (padding savings carry to fwd+bwd; DeepSpeed cannot fuse away\n"
+              "activation memory in training).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 15: magnitude iterative pruning of BERT — latency per batch
+// (fwd+bwd) and memory, at block granularities 32x64 and 32x1, weight
+// sparsity 50-98%, V100 fp32 batch 32.
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 15 — sparse training by iterative pruning (V100, fp32)",
+                     "BERT-base, batch 32, mask recomputed every step (dynamic pattern)");
+  CostModel model(V100());
+  const TransformerDims dims = BertBase();
+  for (int64_t bc : {64, 1}) {
+    std::printf("\n--- block granularity 32x%lld ---\n", static_cast<long long>(bc));
+    bench::Table table({"sparsity", "engine", "latency(ms)", "convert(ms)", "memory(GB)"});
+    for (double sparsity : {0.50, 0.80, 0.90, 0.94, 0.96, 0.98}) {
+      SparseTrainingRunConfig config;
+      config.block_rows = 32;
+      config.block_cols = bc;
+      config.sparsity = sparsity;
+      for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kPit}) {
+        ModelRunCost run = SparseTrainingRun(model, e, dims, config);
+        table.Row({bench::FmtPct(sparsity), EngineName(e), bench::FmtMs(run.cost.Total()),
+                   bench::FmtMs(run.cost.convert_us + run.cost.index_us),
+                   bench::Fmt(run.MemoryGb(), "%.2f")});
+      }
+    }
+  }
+  std::printf("\nExpected shape: at 32x64 PIT wins mainly via fast index rebuild (PyTorch-S\n"
+              "re-converts every step); at 32x1 PyTorch-S degrades badly (32x32 block\n"
+              "coverage) while PIT keeps nearly the 32x64 speed (paper: 2.4x over PyTorch,\n"
+              "4.8x over PyTorch-S). PIT memory alone falls as sparsity rises.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 16: sparse matmul (4096^3) across sparsity granularities 32x1, 1x64,
+// 32x64 and ratios 50-99%, comparing cuSPARSE, Sputnik, OpenAI Block Sparse,
+// SparTA and PIT. Static patterns: conversion/compile time excluded.
+//
+// Also doubles as the SRead/SWrite-overhead ablation: the PIT row is printed
+// with and without the gather overhead to show the transformation is cheap.
+#include "bench_util.h"
+#include "pit/baselines/engines.h"
+#include "pit/core/kernel_selection.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 16 — effectiveness of PIT transformation (V100, fp32)",
+                     "4096^3 matmul, static sparsity, conversion excluded");
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  const int64_t kDim = 4096;
+  auto engines = MakeAllEngines();
+
+  struct Gran {
+    const char* name;
+    int64_t gm, gn;
+  };
+  for (const Gran& g : {Gran{"32x1", 32, 1}, Gran{"1x64", 1, 64}, Gran{"32x64", 32, 64}}) {
+    std::printf("\n--- sparsity granularity %s ---\n", g.name);
+    bench::Table table({"sparsity", "engine", "latency(ms)", "waste"});
+    for (double sparsity : {0.50, 0.90, 0.95, 0.99}) {
+      AnalyticPattern pattern(kDim, kDim, g.gm, g.gn, sparsity);
+      for (const auto& engine : engines) {
+        const EnginePrice p = engine->Price(model, pattern, kDim, kDim, kDim, false);
+        table.Row({bench::FmtPct(sparsity), engine->name(), bench::FmtMs(p.cost.Total()),
+                   bench::FmtPct(p.wasted_fraction)});
+      }
+      // Ablation: PIT without SRead/SWrite overhead = the raw dense tile.
+      SelectionOptions opts;
+      opts.plan.include_index_build = false;
+      opts.plan.sread_overhead = 0.0;
+      SelectionResult no_overhead = SelectKernel(model, db, {&pattern}, kDim, kDim, kDim, opts);
+      table.Row({bench::FmtPct(sparsity), "PIT(no-SRead-ovh)",
+                 bench::FmtMs(no_overhead.best.cost.Total()), "-"});
+    }
+  }
+  std::printf("\nExpected shape: at 32x1 PIT is several-fold faster than Sputnik/SparTA and\n"
+              "an order of magnitude over OpenAI Block Sparse (32x32 waste); at 32x64 PIT,\n"
+              "SparTA and OpenAI-BS converge (same dense tile); the no-overhead ablation\n"
+              "shows SRead/SWrite costs only a few percent.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 17: PIT with Tensor Cores (wmma) — fp16 4096^3 sparse matmul with
+// micro-tiles 32x1 and 32x64 over sparsity 0-99%. wmma supports only three
+// fragment shapes; PIT's transformation feeds gathered micro-tiles to them.
+#include "bench_util.h"
+#include "pit/core/kernel_selection.h"
+#include "pit/sparse/coverage.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 17 — PIT + Tensor Core wmma (V100, fp16)",
+                     "4096^3, sparse A (column-major), micro-tiles 32x1 and 32x64");
+  CostModel model(V100(), Precision::kFp16);
+  const int64_t kDim = 4096;
+
+  // The two PIT-generated wmma sparse kernels of §5.3: micro-tile [32,1]
+  // (k-axis) and [32,64]-style coverage, both feeding a wmma-compatible
+  // 32x64x32 dense tile.
+  const TileShape tile{32, 64, 32};
+  PIT_CHECK(WmmaCompatible(tile));
+  const PitRule rule_fine = MakeRuleForSparseA(tile, MatmulAxis::kK, Layout::kColMajor, true);
+
+  bench::Table table({"sparsity", "granularity", "micro-tile", "latency(ms)"});
+  for (double sparsity : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    {
+      AnalyticPattern p(kDim, kDim, 32, 1, sparsity);
+      PlanOptions opts;
+      opts.tensor_core = true;
+      PitMatmulPlan plan = PlanSparseMatmul(model, rule_fine, kDim, kDim, kDim, p, opts);
+      table.Row({bench::FmtPct(sparsity), "32x1", plan.rule.micro_tile.ToString(),
+                 bench::FmtMs(plan.cost.Total())});
+    }
+    {
+      AnalyticPattern p(kDim, kDim, 32, 64, sparsity);
+      PitMatmulPlan plan =
+          PlanSparseMatmul(model, rule_fine, kDim, kDim, kDim, p, PlanOptions{0.05, true, true});
+      table.Row({bench::FmtPct(sparsity), "32x64", plan.rule.micro_tile.ToString(),
+                 bench::FmtMs(plan.cost.Total())});
+    }
+  }
+  std::printf("\nExpected shape: both kernels track each other closely at every sparsity\n"
+              "ratio (PIT transformation adds little overhead), latency decreasing with\n"
+              "sparsity; wmma shape constraints (16x16x16 etc.) would otherwise forbid a\n"
+              "32x1 granularity outright.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 18: online sparse-index construction latency for a 4096x4096 tensor
+// at tile sizes 1x1 / 16x16 / 32x32 and sparsity 50-99%: PIT's unordered
+// micro-tile index vs PyTorch-S (cuSPARSE for 1x1, Triton for blocks).
+// Includes the ordered-vs-unordered ablation (what ordering alone costs PIT).
+#include <cmath>
+
+#include "bench_util.h"
+#include "pit/core/sparsity_detector.h"
+#include "pit/sparse/coverage.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 18 — index construction latency (V100)",
+                     "4096x4096 tensor; PIT unordered vs PyTorch-S ordered construction");
+  CostModel model(V100());
+  const int64_t kDim = 4096;
+  struct Tile {
+    const char* name;
+    int64_t r, c;
+  };
+  for (const Tile& t : {Tile{"1x1", 1, 1}, Tile{"16x16", 16, 16}, Tile{"32x32", 32, 32}}) {
+    std::printf("\n--- tile size %s ---\n", t.name);
+    bench::Table table({"sparsity", "PyTorch-S(ms)", "PIT(ms)", "PIT-ordered(ms)", "speedup"});
+    for (double sparsity : {0.50, 0.90, 0.95, 0.99}) {
+      AnalyticPattern pattern(kDim, kDim, 1, 1, sparsity);
+      const double p = pattern.NonZeroProb(MicroTileShape{t.r, t.c});
+      const int64_t grid = (kDim / t.r) * (kDim / t.c);
+      const int64_t nnz = static_cast<int64_t>(std::llround(p * static_cast<double>(grid)));
+      const double pit = SparsityDetector::DetectCostUs(model, kDim * kDim, nnz);
+      const double baseline = SparsityDetector::OrderedDetectCostUs(model, kDim * kDim, nnz);
+      table.Row({bench::FmtPct(sparsity), bench::FmtMs(baseline), bench::FmtMs(pit),
+                 bench::FmtMs(baseline),  // ordering forces the baseline path
+                 bench::Fmt(baseline / pit, "%.1fx")});
+    }
+  }
+  std::printf("\nExpected shape: PIT 3.6-4.7x faster at 1x1 (per-element atomics dominate\n"
+              "PIT's cost there) and 11-26x at block tiles (one streaming pass vs multi-pass\n"
+              "ordered construction). The unordered index is PIT-legal because any PIT-axis\n"
+              "permutation is valid.\n");
+  return 0;
+}

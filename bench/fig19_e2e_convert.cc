@@ -1,0 +1,32 @@
+// Figure 19: end-to-end conversion overhead of PIT vs PyTorch-S on BERT over
+// the GLUE tasks, with PyTorch and TVM (Ansor-tuned dense) for reference.
+// The paper's claim: PIT's index construction is 0.7-1.1% of e2e latency.
+#include "bench_util.h"
+#include "pit/runtime/models.h"
+#include "pit/workloads/seq_len.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Figure 19 — e2e conversion overhead on BERT/GLUE (V100, fp32, batch 32)",
+                     "PIT Convert = unordered index build; PyTorch-S Convert = format conversion");
+  CostModel model(V100());
+  const TransformerDims dims = BertBase();
+  bench::Table table(
+      {"dataset", "engine", "latency(ms)", "convert(ms)", "convert-share"});
+  for (const char* dataset : {"mnli", "mrpc", "cola", "rte", "qqp", "sst2", "wnli", "qnli",
+                              "stsb"}) {
+    Rng rng(5);
+    auto lens = SampleBatchLens(DatasetSeqLens(dataset), 32, rng);
+    for (Engine e : {Engine::kPyTorch, Engine::kTvm, Engine::kPyTorchS, Engine::kPit}) {
+      ModelRunCost run = TransformerRun(model, e, dims, lens);
+      const double convert = run.cost.convert_us + run.cost.index_us;
+      table.Row({dataset, EngineName(e), bench::FmtMs(run.cost.Total()), bench::FmtMs(convert),
+                 bench::FmtPct(convert / run.cost.Total())});
+    }
+  }
+  std::printf("\nExpected shape: PIT's convert share stays ~1%% of e2e latency on every GLUE\n"
+              "task while PyTorch-S pays an order of magnitude more; TVM's tuned dense\n"
+              "kernels sit slightly below PyTorch but above PIT.\n");
+  return 0;
+}

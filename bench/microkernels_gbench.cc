@@ -1,0 +1,102 @@
+// Wall-clock micro-benchmarks (google-benchmark) of the functional host
+// kernels: detector scan, SRead/SWrite gather/scatter, PIT sparse matmuls and
+// the CSR/BSR baselines. These measure the *reference implementation*, not
+// simulated GPU time — useful to track regressions in the library itself.
+#include <benchmark/benchmark.h>
+
+#include "pit/core/compiler.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/sparse/csr.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+void BM_DetectorScan(benchmark::State& state) {
+  Rng rng(1);
+  Tensor t = Tensor::RandomSparse({512, 512}, 0.95, rng);
+  SparsityDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(t, MicroTileShape{1, 8}));
+  }
+}
+BENCHMARK(BM_DetectorScan);
+
+void BM_SReadRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor t = Tensor::Random({1024, 256}, rng);
+  std::vector<int64_t> rows;
+  for (int64_t i = 0; i < 1024; i += 3) {
+    rows.push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SReadRows(t, rows));
+  }
+}
+BENCHMARK(BM_SReadRows);
+
+void BM_DenseMatmulReference(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::Random({256, 256}, rng);
+  Tensor b = Tensor::Random({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_DenseMatmulReference);
+
+void BM_PitRowGatherMatmul(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomSparse({256, 256}, 0.9, rng);
+  Tensor b = Tensor::Random({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PitRowGatherMatmul(a, b));
+  }
+}
+BENCHMARK(BM_PitRowGatherMatmul);
+
+void BM_PitKGatherMatmul(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomSparse({256, 256}, 0.9, rng);
+  Tensor b = Tensor::Random({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PitKGatherMatmul(a, b, 32));
+  }
+}
+BENCHMARK(BM_PitKGatherMatmul);
+
+void BM_CsrSpMM(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = Tensor::RandomSparse({256, 256}, 0.9, rng);
+  Tensor b = Tensor::Random({256, 256}, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.SpMM(b));
+  }
+}
+BENCHMARK(BM_CsrSpMM);
+
+void BM_CsrConversion(benchmark::State& state) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomSparse({512, 512}, 0.95, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrMatrix::FromDense(a));
+  }
+}
+BENCHMARK(BM_CsrConversion);
+
+void BM_KernelSelection(benchmark::State& state) {
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  AnalyticPattern pattern(4096, 4096, 8, 1, 0.95);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectKernel(model, db, {&pattern}, 4096, 4096, 4096));
+  }
+}
+BENCHMARK(BM_KernelSelection);
+
+}  // namespace
+}  // namespace pit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Extension experiment: serving BERT under a Poisson request stream.
+// Sweeps arrival rate and reports p50/p99 latency and throughput per engine —
+// how the paper's per-batch speedups compound through queueing delay.
+#include "bench_util.h"
+#include "pit/runtime/serving.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Extension — serving tail latency under load (BERT-base, V100)",
+                     "Poisson arrivals, MNLI-like lengths, batch<=32, 20ms batching window");
+  CostModel model(V100());
+  bench::Table table({"rate(rps)", "engine", "p50(ms)", "p99(ms)", "tput(rps)", "util"});
+  for (double rate : {50.0, 150.0, 400.0}) {
+    for (Engine e : {Engine::kPyTorch, Engine::kTurboTransformer, Engine::kPit}) {
+      ServingConfig config;
+      config.arrival_rate_rps = rate;
+      config.num_requests = 500;
+      Rng rng(1234);
+      ServingStats stats =
+          SimulateServing(model, e, BertBase(), DatasetSeqLens("mnli"), config, rng);
+      table.Row({bench::Fmt(rate, "%.0f"), EngineName(e), bench::FmtMs(stats.p50_latency_us),
+                 bench::FmtMs(stats.p99_latency_us), bench::Fmt(stats.ThroughputRps(), "%.1f"),
+                 bench::FmtPct(stats.Utilization())});
+    }
+  }
+  std::printf("\nExpected shape: at low load the engines differ by the per-batch factor; as\n"
+              "load approaches the dense engine's capacity its queue (and p99) blows up\n"
+              "while PIT still has headroom — the per-batch win compounds in the tail.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 3: micro-tile online search results — for each sparsity granularity
+// and ratio of a 4096^3 matmul, the micro-tile and dense kernel Algorithm 1
+// selects, the effective sparsity after coverage, and the estimated latency.
+// Also reports the measured search wall time (§5.5: 30-100 us on device).
+#include "bench_util.h"
+#include "pit/core/kernel_selection.h"
+
+using namespace pit;
+
+int main() {
+  bench::PrintHeader("Table 3 — micro-tile online search (V100, fp32, 4096^3)",
+                     "Algorithm 1 over the tile database x PIT-axes");
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  const int64_t kDim = 4096;
+
+  bench::Table table({"granularity", "sparsity", "micro-tile", "after-cover", "dense-kernel",
+                      "latency(ms)", "search(us)"});
+  struct Row {
+    int64_t gm, gn;
+    double sparsity;
+  };
+  const Row rows[] = {{2, 1, 0.95},  {2, 1, 0.99},  {4, 1, 0.95},  {4, 1, 0.99},
+                      {8, 1, 0.95},  {8, 1, 0.99},  {32, 1, 0.95}, {32, 1, 0.99}};
+  for (const Row& r : rows) {
+    AnalyticPattern pattern(kDim, kDim, r.gm, r.gn, r.sparsity);
+    SelectionResult sel = SelectKernel(model, db, {&pattern}, kDim, kDim, kDim);
+    const auto& best = sel.best;
+    table.Row({"(" + std::to_string(r.gm) + "," + std::to_string(r.gn) + ")",
+               bench::FmtPct(r.sparsity),
+               best.fallback_dense ? "dense" : best.rule.micro_tile.ToString(),
+               bench::FmtPct(best.sparsity_after_cover), best.rule.dense_tile.ToString(),
+               bench::FmtMs(best.cost.Total()), bench::Fmt(sel.search_wall_us, "%.1f")});
+  }
+  std::printf("\nExpected shape (paper Table 3): fine granularities select (m,1) micro-tiles\n"
+              "whose m grows with sparsity; (32,1) data is covered exactly (after-cover =\n"
+              "input sparsity); latency decreases with sparsity; search completes in\n"
+              "microseconds, fast enough for online use.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Sparse training by magnitude iterative pruning (§5.2, Fig. 15).
+//
+// Every step recomputes the pruning mask from the drifting weights, so the
+// sparsity pattern churns continuously. The example runs a few "training
+// steps": prune, execute the masked matmul through PIT and through the
+// baselines (all must agree), and report the mask churn and per-step cost —
+// the dynamic-pattern property that breaks compile-and-memoize systems.
+#include <cstdio>
+
+#include "pit/baselines/engines.h"
+#include "pit/runtime/models.h"
+#include "pit/tensor/ops.h"
+#include "pit/workloads/pruning.h"
+
+int main() {
+  using namespace pit;
+  std::printf("PIT example: dynamic sparse training (magnitude pruning)\n\n");
+
+  Rng rng(13);
+  Tensor w = Tensor::Random({128, 256}, rng);
+  Tensor x = Tensor::Random({256, 32}, rng);  // activations (transposed form)
+  PruningConfig prune{32, 1, 0.9};            // fine 32x1 granularity
+
+  PitEngine pit_engine;
+  TritonBlockEngine triton;
+  Tensor prev_mask;
+  for (int step = 0; step < 4; ++step) {
+    Tensor mask = MagnitudePruneMask(w, prune);
+    Tensor sparse_w = ApplyMask(w, mask);
+
+    Tensor ref = MatMul(sparse_w, x);
+    const bool pit_ok = AllClose(pit_engine.Execute(sparse_w, x), ref, 1e-3f, 1e-4f);
+    const bool triton_ok = AllClose(triton.Execute(sparse_w, x), ref, 1e-3f, 1e-4f);
+    const double churn = step == 0 ? 0.0 : MaskChurn(prev_mask, mask);
+    std::printf("step %d: sparsity %.1f%%, mask churn vs prev %.1f%%, PIT ok=%s, Triton ok=%s\n",
+                step, mask.SparsityRatio() * 100.0, churn * 100.0, pit_ok ? "y" : "N",
+                triton_ok ? "y" : "N");
+    prev_mask = mask;
+    PerturbWeights(&w, 0.15f, rng);  // optimizer step drifts the magnitudes
+  }
+
+  // Per-step cost at BERT scale, both pruning granularities (Fig. 15).
+  CostModel model(V100());
+  std::printf("\nBERT iterative pruning, simulated per-batch latency (fwd+bwd):\n");
+  for (int64_t bc : {64, 1}) {
+    for (double sparsity : {0.9, 0.98}) {
+      SparseTrainingRunConfig config;
+      config.block_cols = bc;
+      config.sparsity = sparsity;
+      std::printf("  granularity 32x%-3lld sparsity %.0f%%:", static_cast<long long>(bc),
+                  sparsity * 100.0);
+      for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kPit}) {
+        ModelRunCost run = SparseTrainingRun(model, e, BertBase(), config);
+        std::printf("  %s %.1fms", EngineName(e), run.LatencyMs());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nNote how PIT's 32x1 latency matches its 32x64 latency (micro-tile coverage)\n"
+              "while PyTorch-S degrades on the fine granularity.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Baseline sparse-matmul execution strategies.
+//
+// Each engine re-implements the execution strategy of one system the paper
+// compares against, on the same tensor substrate and priced by the same cost
+// model, so that PIT-vs-baseline comparisons vary only the strategy:
+//   * DenseEngine        — cuBLAS-style dense matmul (ignores sparsity)
+//   * CusparseEngine     — CSR conversion + fine-grained per-nonzero SpMM
+//   * SputnikEngine      — CSR, vector-row kernel (Gale et al., SC'20)
+//   * TritonBlockEngine  — OpenAI/Triton 32x32 block-sparse + block index
+//   * SpartaEngine       — AOT-specialised kernel (OSDI'22): best aligned
+//                          execution but minutes-scale compile per pattern
+//   * PitEngine          — this paper: Algorithm-1 selection + micro-tiles
+// Engines expose both a Price() (simulated CostBreakdown for a pattern) and a
+// functional Execute() whose numerics tests compare against dense reference.
+#ifndef PIT_BASELINES_ENGINES_H_
+#define PIT_BASELINES_ENGINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pit/core/compiler.h"
+#include "pit/gpusim/cost_model.h"
+#include "pit/sparse/coverage.h"
+#include "pit/sparse/csr.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+struct EnginePrice {
+  CostBreakdown cost;            // runtime cost (per invocation)
+  double aot_compile_us = 0.0;   // ahead-of-time cost (SparTA), reported apart
+  double wasted_fraction = 0.0;  // zeros covered by executed compute
+};
+
+class SparseMatmulEngine {
+ public:
+  virtual ~SparseMatmulEngine() = default;
+  virtual std::string name() const = 0;
+  // Simulated cost of C[m,n] = A[m,k] * B[k,n], sparse A with `pattern`.
+  // `include_convert` toggles whether per-invocation format conversion /
+  // index construction is charged (dynamic sparsity) or not (static, Fig.16).
+  virtual EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m,
+                            int64_t k, int64_t n, bool include_convert) const = 0;
+  // Functional execution (exact numerics).
+  virtual Tensor Execute(const Tensor& a, const Tensor& b) const = 0;
+};
+
+class DenseEngine : public SparseMatmulEngine {
+ public:
+  std::string name() const override { return "cuBLAS(dense)"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+};
+
+class CusparseEngine : public SparseMatmulEngine {
+ public:
+  std::string name() const override { return "cuSPARSE"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+};
+
+class SputnikEngine : public SparseMatmulEngine {
+ public:
+  std::string name() const override { return "Sputnik"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+};
+
+class TritonBlockEngine : public SparseMatmulEngine {
+ public:
+  explicit TritonBlockEngine(int64_t block = 32) : block_(block) {}
+  std::string name() const override { return "OpenAI-BlockSparse"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+
+ private:
+  int64_t block_;
+};
+
+class SpartaEngine : public SparseMatmulEngine {
+ public:
+  std::string name() const override { return "SparTA"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+};
+
+class PitEngine : public SparseMatmulEngine {
+ public:
+  // Optional fixed rule (for ablations); by default runs Algorithm 1.
+  std::string name() const override { return "PIT"; }
+  EnginePrice Price(const CostModel& model, const SparsityPattern& pattern, int64_t m, int64_t k,
+                    int64_t n, bool include_convert) const override;
+  Tensor Execute(const Tensor& a, const Tensor& b) const override;
+};
+
+// All engines, in the paper's Fig. 16 ordering.
+std::vector<std::unique_ptr<SparseMatmulEngine>> MakeAllEngines();
+
+}  // namespace pit
+
+#endif  // PIT_BASELINES_ENGINES_H_

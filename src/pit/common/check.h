@@ -1,0 +1,59 @@
+// Lightweight assertion helpers used across the PIT library.
+//
+// PIT_CHECK is always on (release and debug): the library is a research
+// runtime where silent corruption is far worse than an abort, matching the
+// "fail fast, fail loudly" convention of systems code.
+#ifndef PIT_COMMON_CHECK_H_
+#define PIT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pit {
+
+[[noreturn]] inline void FatalError(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[PIT FATAL] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+// Builds a failure message lazily via an ostringstream so call sites can
+// stream extra context: PIT_CHECK(a == b) << "a=" << a;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr) : file_(file), line_(line) {
+    stream_ << "check failed: " << expr;
+  }
+  [[noreturn]] ~CheckMessage() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pit
+
+#define PIT_CHECK(cond) \
+  if (cond) {           \
+  } else                \
+    ::pit::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define PIT_CHECK_EQ(a, b) PIT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PIT_CHECK_NE(a, b) PIT_CHECK((a) != (b))
+#define PIT_CHECK_LT(a, b) PIT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PIT_CHECK_LE(a, b) PIT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PIT_CHECK_GT(a, b) PIT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PIT_CHECK_GE(a, b) PIT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // PIT_COMMON_CHECK_H_

@@ -1,0 +1,17 @@
+#include "pit/common/rng.h"
+
+#include <cmath>
+
+namespace pit {
+
+float Rng::NextGaussian() {
+  // Box–Muller; guard against log(0).
+  double u1 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2));
+}
+
+}  // namespace pit

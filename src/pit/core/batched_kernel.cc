@@ -1,0 +1,78 @@
+#include "pit/core/batched_kernel.h"
+
+#include <cstring>
+
+#include "pit/common/check.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+namespace {
+
+// Copies batch slice `b` of a [B, R, C] tensor into a fresh [R, C] tensor.
+Tensor Slice(const Tensor& t, int64_t b) {
+  const int64_t r = t.dim(1), c = t.dim(2);
+  Tensor out({r, c});
+  std::memcpy(out.data(), t.data() + b * r * c, static_cast<size_t>(r * c) * sizeof(float));
+  return out;
+}
+
+void WriteSlice(const Tensor& slice, int64_t b, Tensor* t) {
+  const int64_t r = t->dim(1), c = t->dim(2);
+  std::memcpy(t->data() + b * r * c, slice.data(), static_cast<size_t>(r * c) * sizeof(float));
+}
+
+}  // namespace
+
+Tensor PitBatchRowGatherMatmul(const Tensor& a, const Tensor& b,
+                               const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(b.rank(), 3);
+  PIT_CHECK_EQ(a.dim(0), b.dim(0));
+  PIT_CHECK_EQ(a.dim(2), b.dim(1));
+  Tensor c({a.dim(0), a.dim(1), b.dim(2)});
+  for (int64_t s = 0; s < a.dim(0); ++s) {
+    WriteSlice(PitRowGatherMatmul(Slice(a, s), Slice(b, s), detector), s, &c);
+  }
+  return c;
+}
+
+Tensor PitBatchKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
+                             const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(b.rank(), 3);
+  PIT_CHECK_EQ(a.dim(0), b.dim(0));
+  PIT_CHECK_EQ(a.dim(2), b.dim(1));
+  Tensor c({a.dim(0), a.dim(1), b.dim(2)});
+  for (int64_t s = 0; s < a.dim(0); ++s) {
+    WriteSlice(PitKGatherMatmul(Slice(a, s), Slice(b, s), block_m, detector), s, &c);
+  }
+  return c;
+}
+
+bool BatchBroadcastable(const Tensor& b) {
+  PIT_CHECK_EQ(b.rank(), 3);
+  const int64_t slice = b.dim(1) * b.dim(2);
+  for (int64_t s = 1; s < b.dim(0); ++s) {
+    if (std::memcmp(b.data(), b.data() + s * slice, static_cast<size_t>(slice) * sizeof(float)) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Tensor PitMultiAxisRowGatherMatmul(const Tensor& a, const Tensor& shared_b,
+                                   const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(shared_b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(2), shared_b.dim(0));
+  // Joint (b,m) permutation: flatten to [b*m, k]; the shared B makes any row
+  // placement valid, so a single row-gather kernel handles the whole batch.
+  Tensor flat = a.Reshape({a.dim(0) * a.dim(1), a.dim(2)});
+  Tensor flat_c = PitRowGatherMatmul(flat, shared_b, detector);
+  return flat_c.Reshape({a.dim(0), a.dim(1), shared_b.dim(1)});
+}
+
+}  // namespace pit

@@ -1,0 +1,43 @@
+// PIT rules for BatchMatMul (Table 1: PIT-axes b, m, n, k) and the paper's
+// future-work extension of multi-axis permutation over (b, m).
+//
+// C[b,m,n] += A[b,m,k] * B[b,k,n]: each of b/m/k can be permuted per the
+// usual single-axis rules. Joint (b,m) permutation — moving a row across
+// batch slices — is additionally valid when B is broadcast across the batch
+// (B[b,*] all equal), because then every row meets the same B regardless of
+// its batch slot. That broadcast case is exactly the MoE / varying-length
+// workload (same weight, ragged token groups), where flattening (b,m) lets
+// one dense tile mix rows from different batch elements and removes the
+// per-batch wave-quantization waste.
+#ifndef PIT_CORE_BATCHED_KERNEL_H_
+#define PIT_CORE_BATCHED_KERNEL_H_
+
+#include "pit/core/sparsity_detector.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Per-batch row gather (single-axis m rule applied slice-wise):
+// for each batch b, gathers the nonzero rows of A[b], multiplies with B[b],
+// scatters rows of C[b]. Zero rows of A yield zero rows of C.
+Tensor PitBatchRowGatherMatmul(const Tensor& a, const Tensor& b,
+                               const SparsityDetector& detector = SparsityDetector());
+
+// Per-batch k gather (single-axis k rule slice-wise) with block_m row blocks.
+Tensor PitBatchKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
+                             const SparsityDetector& detector = SparsityDetector());
+
+// Multi-axis (b,m) rule with broadcast B: A is [b, m, k], B is [k, n] shared
+// by all batches. Flattens (b,m), gathers nonzero rows across the whole
+// batch into shared dense tiles, computes once, scatters back. Requires no
+// condition on A's sparsity structure.
+Tensor PitMultiAxisRowGatherMatmul(const Tensor& a, const Tensor& shared_b,
+                                   const SparsityDetector& detector = SparsityDetector());
+
+// True if every batch slice of B equals slice 0 (the broadcast precondition
+// for the multi-axis rule). Tolerance 0: the rule requires exact sharing.
+bool BatchBroadcastable(const Tensor& b);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_BATCHED_KERNEL_H_

@@ -1,0 +1,76 @@
+#include "pit/core/compiler.h"
+
+#include <cmath>
+
+#include "pit/common/check.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+PitCompiler::PitCompiler(DeviceSpec device, Precision precision)
+    : model_(std::move(device), precision), db_(TileDatabase::BuildDefault(model_)) {}
+
+PitCompiler::CacheKey PitCompiler::MakeKey(int64_t m, int64_t k, int64_t n,
+                                           double sparsity) const {
+  // Bucket sparsity at 5% steps: a kernel selected at 90% sparsity stays
+  // optimal in a neighbourhood, so re-selection would be wasted work.
+  return {m, k, n, static_cast<int>(std::lround(sparsity * 20.0))};
+}
+
+SelectionResult PitCompiler::Plan(const SparsityPattern& pattern, int64_t m, int64_t k, int64_t n,
+                                  const SelectionOptions& opts) {
+  return SelectKernel(model_, db_, {&pattern}, m, k, n, opts);
+}
+
+PitExecution PitCompiler::SparseMatmul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+
+  PitExecution exec;
+  MaskPattern pattern(&a);
+  const CacheKey key = MakeKey(m, k, n, a.SparsityRatio());
+  ++exec_count_;
+  const bool resample = resample_every_ > 0 && exec_count_ % resample_every_ == 0;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    SelectionResult selected = SelectKernel(model_, db_, {&pattern}, m, k, n);
+    it = cache_.emplace(key, std::move(selected)).first;
+    ++kernels_compiled_;
+  } else if (resample) {
+    // Periodic sample (Fig. 5): re-run Algorithm 1 on this input and replace
+    // the cached kernel if the pattern has drifted to a different optimum.
+    SelectionResult fresh = SelectKernel(model_, db_, {&pattern}, m, k, n);
+    if (fresh.best.rule.axis != it->second.best.rule.axis ||
+        !(fresh.best.rule.dense_tile == it->second.best.rule.dense_tile) ||
+        fresh.best.fallback_dense != it->second.best.fallback_dense) {
+      it->second = std::move(fresh);
+      ++reselections_;
+    } else {
+      ++cache_hits_;
+      exec.cache_hit = true;
+    }
+  } else {
+    ++cache_hits_;
+    exec.cache_hit = true;
+  }
+  const SelectionResult& sel = it->second;
+  exec.plan = sel.best;
+  // Re-price for this exact tensor's sparsity (the cached rule is reused; the
+  // cost always reflects the current input).
+  if (!sel.best.fallback_dense) {
+    exec.plan = PlanSparseMatmul(model_, sel.best.rule, m, k, n, pattern);
+  }
+
+  if (sel.best.fallback_dense) {
+    exec.output = MatMul(a, b);
+  } else if (sel.best.rule.axis == MatmulAxis::kK) {
+    exec.output = PitKGatherMatmul(a, b, sel.best.rule.dense_tile.m);
+  } else {
+    exec.output = PitRowGatherMatmul(a, b);
+  }
+  return exec;
+}
+
+}  // namespace pit

@@ -1,0 +1,71 @@
+// PitCompiler: the user-facing facade (Fig. 5).
+//
+// Owns the device cost model, the offline-profiled tile database, and a JIT
+// cache of selected kernels keyed by (operator shape, sparsity signature).
+// Given a sparse operand it runs online detection, selects (or re-uses) a
+// kernel via Algorithm 1, and executes the corresponding functional path.
+#ifndef PIT_CORE_COMPILER_H_
+#define PIT_CORE_COMPILER_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "pit/core/kernel_selection.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/gpusim/cost_model.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Result of one compiled+executed sparse matmul.
+struct PitExecution {
+  Tensor output;
+  PitMatmulPlan plan;       // simulated cost of the chosen kernel
+  bool cache_hit = false;   // kernel came from the JIT cache
+};
+
+class PitCompiler {
+ public:
+  explicit PitCompiler(DeviceSpec device, Precision precision = Precision::kFp32);
+
+  // C = A * B with dynamically sparse A: detect -> select -> execute.
+  // Selection uses the actual sparsity of `a` as its (single) online sample.
+  PitExecution SparseMatmul(const Tensor& a, const Tensor& b);
+
+  // Pure planning entry for analytic patterns (benchmarks).
+  SelectionResult Plan(const SparsityPattern& pattern, int64_t m, int64_t k, int64_t n,
+                       const SelectionOptions& opts = {});
+
+  const CostModel& cost_model() const { return model_; }
+  const TileDatabase& tile_database() const { return db_; }
+
+  // Fig. 5's "sparse tensor samples, periodically": every `every` executions
+  // the compiler re-runs Algorithm 1 on the current input even on a cache
+  // hit, so a drifting pattern (e.g. granularity change at the same sparsity
+  // ratio) migrates to a better kernel. 0 disables re-sampling.
+  void EnablePeriodicResample(int64_t every) { resample_every_ = every; }
+  int64_t reselections() const { return reselections_; }
+
+  int64_t kernels_compiled() const { return kernels_compiled_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  // Sparsity signature: coarse bucket of sparsity ratio + shape, the cache key
+  // granularity at which a selected kernel stays optimal.
+  using CacheKey = std::tuple<int64_t, int64_t, int64_t, int>;
+  CacheKey MakeKey(int64_t m, int64_t k, int64_t n, double sparsity) const;
+
+  CostModel model_;
+  TileDatabase db_;
+  std::map<CacheKey, SelectionResult> cache_;
+  int64_t kernels_compiled_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t resample_every_ = 0;
+  int64_t exec_count_ = 0;
+  int64_t reselections_ = 0;
+};
+
+}  // namespace pit
+
+#endif  // PIT_CORE_COMPILER_H_

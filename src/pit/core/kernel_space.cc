@@ -1,0 +1,31 @@
+#include "pit/core/kernel_space.h"
+
+namespace pit {
+
+std::vector<PitRule> EnumerateRuleSpace(const TileDatabase& db) {
+  std::vector<PitRule> rules;
+  for (const TileEntry& entry : db.entries()) {
+    for (MatmulAxis axis : {MatmulAxis::kM, MatmulAxis::kK, MatmulAxis::kN}) {
+      for (Layout layout : {Layout::kRowMajor, Layout::kColMajor}) {
+        rules.push_back(MakeRuleForSparseA(entry.shape, axis, layout, entry.tensor_core));
+      }
+    }
+  }
+  return rules;
+}
+
+KernelSpaceStats SummarizeKernelSpace(const TileDatabase& db) {
+  KernelSpaceStats stats;
+  for (const TileEntry& entry : db.entries()) {
+    if (entry.tensor_core) {
+      ++stats.wmma_kernels;
+    } else {
+      ++stats.dense_kernels;
+    }
+  }
+  stats.rules_per_dense = 3 * 2;  // axes x layouts
+  stats.sparse_kernels = static_cast<int64_t>(EnumerateRuleSpace(db).size());
+  return stats;
+}
+
+}  // namespace pit

@@ -1,0 +1,104 @@
+#include "pit/core/nm_sparse.h"
+
+#include <algorithm>
+
+#include "pit/common/check.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/core/sparsity_detector.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+NmTileStats AnalyzeNmPattern(const Tensor& a) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1) % 4, 0) << "1x4 tiling requires cols % 4 == 0";
+  NmTileStats stats;
+  for (int64_t r = 0; r < a.dim(0); ++r) {
+    for (int64_t c = 0; c < a.dim(1); c += 4) {
+      int nonzeros = 0;
+      for (int64_t j = 0; j < 4; ++j) {
+        nonzeros += a.At(r, c + j) != 0.0f ? 1 : 0;
+      }
+      ++stats.total;
+      if (nonzeros == 0) {
+        ++stats.all_zero;
+      } else if (nonzeros <= 2) {
+        ++stats.conforming;
+      } else {
+        ++stats.dense;
+      }
+    }
+  }
+  return stats;
+}
+
+Tensor MakeNmMixedTensor(int64_t rows, int64_t cols, double frac_all_zero,
+                         double frac_conforming, Rng& rng) {
+  PIT_CHECK_EQ(cols % 4, 0);
+  PIT_CHECK_LE(frac_all_zero + frac_conforming, 1.0 + 1e-12);
+  Tensor t({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; c += 4) {
+      const double x = rng.NextDouble();
+      int nonzeros = 0;
+      if (x < frac_all_zero) {
+        nonzeros = 0;
+      } else if (x < frac_all_zero + frac_conforming) {
+        nonzeros = static_cast<int>(rng.NextInt(1, 2));
+      } else {
+        nonzeros = static_cast<int>(rng.NextInt(3, 4));
+      }
+      // Place `nonzeros` values at distinct positions within the 1x4 tile.
+      int placed = 0;
+      while (placed < nonzeros) {
+        const int64_t j = static_cast<int64_t>(rng.NextBelow(4));
+        if (t.At(r, c + j) == 0.0f) {
+          const float v = rng.NextFloat(0.1f, 1.0f);
+          t.At(r, c + j) = rng.NextBool(0.5) ? v : -v;
+          ++placed;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+NmCostComparison CompareNmStrategies(const CostModel& model, const NmTileStats& stats, int64_t m,
+                                     int64_t k, int64_t n) {
+  PIT_CHECK(model.precision() == Precision::kFp16) << "sparse tensor cores are fp16";
+  NmCostComparison cmp;
+  const TileShape tile{32, 32, 64};
+  PIT_CHECK(WmmaCompatible(tile));
+
+  // Dense tensor core: every tile executes.
+  cmp.dense_tc_us = model.DenseMatmul(m, k, n, tile, /*tensor_core=*/true).Total();
+
+  // Strict 2:4 (mma.sp): only legal when no 1x4 tile has >2 nonzeros (the
+  // hardware constraint the paper calls out). All-zero tiles still conform
+  // (>=2 zeros) but are *computed* — the hardware cannot skip them.
+  cmp.strict_24_feasible = stats.dense == 0;
+  const double sp_speedup = 2.0;  // mma.sp executes 2:4 data at 2x TC rate
+  cmp.strict_24_us = cmp.strict_24_feasible ? cmp.dense_tc_us / sp_speedup : cmp.dense_tc_us;
+
+  // PIT-augmented: SRead-gather the three tile kinds apart (micro-tile 1x4,
+  // k is a PIT-axis). All-zero tiles vanish; conforming tiles run at the
+  // sparse-TC rate; dense tiles at the dense-TC rate; plus the SRead/SWrite
+  // overhead and the online index build.
+  const double conforming_us =
+      cmp.dense_tc_us * stats.ConformingFraction() / sp_speedup;
+  const double dense_part_us = cmp.dense_tc_us * stats.DenseFraction();
+  const double index_us = SparsityDetector::DetectCostUs(
+      model, m * k, std::max<int64_t>(stats.conforming + stats.dense, 1));
+  cmp.pit_augmented_us =
+      (conforming_us + dense_part_us) * (1.0 + kSReadSWriteOverhead) + index_us;
+  return cmp;
+}
+
+Tensor NmAugmentedMatmul(const Tensor& a, const Tensor& b) {
+  // The routing decision only moves zeros between engines; the math is the
+  // exact product. (On hardware the three partitions accumulate into the
+  // same C via SWrite; k is a PIT-axis, so partition order is irrelevant.)
+  return MatMul(a, b);
+}
+
+}  // namespace pit

@@ -1,0 +1,65 @@
+// N:M Sparse-Tensor-Core augmentation (the future-work extension sketched in
+// the paper's §6): NVIDIA's Sparse Tensor Core only accepts a strict 2-in-4
+// pattern (every 1x4 tile has exactly >=2 zeros). Real dynamic tensors mix
+// three kinds of 1x4 tiles — all-zero, 2:4-conforming, and denser-than-2:4.
+// PIT's micro-tile gathering can route each kind to its best engine:
+//   * all-zero tiles    -> skipped entirely (SRead never loads them),
+//   * conforming tiles  -> sparse tensor core at 2x tensor-core throughput,
+//   * dense tiles       -> regular (dense) tensor core.
+// This module provides the pattern analysis, the cost comparison against
+// "dense TC only" and "strict 2:4 only" execution, and a functional kernel.
+#ifndef PIT_CORE_NM_SPARSE_H_
+#define PIT_CORE_NM_SPARSE_H_
+
+#include <cstdint>
+
+#include "pit/common/rng.h"
+#include "pit/gpusim/cost_model.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Classification of the 1x4 tiles of a 2-D tensor (row-major groups of 4).
+struct NmTileStats {
+  int64_t total = 0;
+  int64_t all_zero = 0;    // 0 nonzeros
+  int64_t conforming = 0;  // 1..2 nonzeros (valid 2:4 pattern)
+  int64_t dense = 0;       // 3..4 nonzeros (must run on the dense path)
+
+  double AllZeroFraction() const { return Ratio(all_zero); }
+  double ConformingFraction() const { return Ratio(conforming); }
+  double DenseFraction() const { return Ratio(dense); }
+
+ private:
+  double Ratio(int64_t n) const {
+    return total == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total);
+  }
+};
+
+NmTileStats AnalyzeNmPattern(const Tensor& a);
+
+// Synthesizes a [rows, cols] tensor whose 1x4 tiles are all-zero /
+// 2:4-conforming / dense with the given probabilities (must sum to <= 1;
+// the remainder is dense).
+Tensor MakeNmMixedTensor(int64_t rows, int64_t cols, double frac_all_zero,
+                         double frac_conforming, Rng& rng);
+
+// Cost of C[m,n] = A[m,k] * B[k,n] (fp16) under three execution strategies.
+struct NmCostComparison {
+  double dense_tc_us = 0.0;       // dense tensor core over everything
+  double strict_24_us = 0.0;      // mma.sp if the WHOLE tensor conforms,
+                                  // otherwise forced dense fallback
+  double pit_augmented_us = 0.0;  // PIT routing per micro-tile kind
+  bool strict_24_feasible = false;
+};
+NmCostComparison CompareNmStrategies(const CostModel& model, const NmTileStats& stats, int64_t m,
+                                     int64_t k, int64_t n);
+
+// Functional reference: the augmented execution computes the exact product
+// (routing zeros differently cannot change the math). Provided so tests pin
+// the equivalence explicitly.
+Tensor NmAugmentedMatmul(const Tensor& a, const Tensor& b);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_NM_SPARSE_H_

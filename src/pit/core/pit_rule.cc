@@ -1,0 +1,71 @@
+#include "pit/core/pit_rule.h"
+
+#include <sstream>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+std::string MicroTileShape::ToString() const {
+  std::ostringstream os;
+  os << "(" << rows << "," << cols << ")";
+  return os.str();
+}
+
+const char* MatmulAxisName(MatmulAxis axis) {
+  switch (axis) {
+    case MatmulAxis::kM:
+      return "m";
+    case MatmulAxis::kK:
+      return "k";
+    case MatmulAxis::kN:
+      return "n";
+  }
+  return "?";
+}
+
+std::string PitRule::ToString() const {
+  std::ostringstream os;
+  os << "PitRule{axis=" << MatmulAxisName(axis) << ", micro=" << micro_tile.ToString()
+     << ", tile=" << dense_tile.ToString() << (tensor_core ? ", wmma" : "")
+     << (needs_layout_flip ? ", flip" : "") << "}";
+  return os.str();
+}
+
+MicroTileShape DeriveMicroTileForA(const TileShape& dense_tile, MatmulAxis axis, Layout a_layout,
+                                   bool* needs_flip) {
+  *needs_flip = false;
+  switch (axis) {
+    case MatmulAxis::kM:
+      // Micro-tile spans one m index and the tile's full k extent. Row-major
+      // A is already non-contiguous across m, so rows can be fetched in
+      // parallel transactions; column-major A would need a flip.
+      *needs_flip = (a_layout == Layout::kColMajor);
+      return MicroTileShape{1, dense_tile.k};
+    case MatmulAxis::kK:
+      // Micro-tile spans one k index and the tile's full m extent. This is
+      // the Table-3 "(16,1)"-style micro-tile. Row-major A is contiguous on
+      // k, so the layout must be flipped (piggybacked on the producer).
+      *needs_flip = (a_layout == Layout::kRowMajor);
+      return MicroTileShape{dense_tile.m, 1};
+    case MatmulAxis::kN:
+      // n does not index A at all; permuting n only affects B/C. The sparse-A
+      // rule degenerates to whole-row coverage (same as m for costing).
+      *needs_flip = false;
+      return MicroTileShape{1, dense_tile.k};
+  }
+  PIT_CHECK(false) << "unreachable";
+  return {};
+}
+
+PitRule MakeRuleForSparseA(const TileShape& dense_tile, MatmulAxis axis, Layout a_layout,
+                           bool tensor_core) {
+  PitRule rule;
+  rule.axis = axis;
+  rule.dense_tile = dense_tile;
+  rule.tensor_core = tensor_core;
+  rule.micro_tile = DeriveMicroTileForA(dense_tile, axis, a_layout, &rule.needs_layout_flip);
+  return rule;
+}
+
+}  // namespace pit

@@ -1,0 +1,67 @@
+// PIT rules: the (PIT-axis, micro-tile, dense computation tile) triples of
+// §3.2. A rule describes how sparsely-located micro-tiles are gathered along
+// one PIT-axis into a GPU-efficient dense tile.
+#ifndef PIT_CORE_PIT_RULE_H_
+#define PIT_CORE_PIT_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pit/gpusim/cost_model.h"
+
+namespace pit {
+
+// Shape of a micro-tile over a 2-D operand (rows x cols). The minimum size is
+// set by the memory-transaction granularity (1x8 fp32 on CUDA, §3.1).
+struct MicroTileShape {
+  int64_t rows = 1;
+  int64_t cols = 1;
+
+  int64_t Elems() const { return rows * cols; }
+  bool operator==(const MicroTileShape&) const = default;
+  std::string ToString() const;
+};
+
+// Matmul axes a PIT rule can permute. The paper shows m, n and k are all
+// PIT-axes of C[m,n] += A[m,k] * B[k,n] (Table 1); this runtime implements
+// rules over each of them for the 2-D matmul family.
+enum class MatmulAxis { kM, kK, kN };
+const char* MatmulAxisName(MatmulAxis axis);
+
+// Memory layout of the sparse operand. Determines the micro-tile shape: when
+// the operand is contiguous on the PIT-axis the layout must first be flipped
+// (piggybacked on the producer, §3.2), so the rule derivation assumes the
+// non-contiguous orientation is reachable either way but records whether a
+// flip is needed.
+enum class Layout { kRowMajor, kColMajor };
+
+// A complete PIT rule for sparse matmul.
+struct PitRule {
+  MatmulAxis axis = MatmulAxis::kM;
+  MicroTileShape micro_tile;
+  TileShape dense_tile;
+  bool tensor_core = false;
+  // True if the sparse operand must be re-laid-out (piggybacked, ~free).
+  bool needs_layout_flip = false;
+
+  std::string ToString() const;
+};
+
+// Derives the micro-tile for a dense tile + PIT-axis + sparse-operand layout,
+// per §3.2: micro-tile extent is 1 on the PIT-axis (so micro-tiles can be
+// permuted independently) and matches the dense tile on the other axes.
+// For the matmul family with sparse A[m,k]:
+//   axis m  -> micro-tile [1, tile.k]  (row slices, row-major friendly)
+//   axis k  -> micro-tile [tile.m, 1]  (column slices; row-major A needs flip)
+// For sparse B[k,n]: axis k -> [1, tile.n] rows of B; axis n -> [tile.k, 1].
+MicroTileShape DeriveMicroTileForA(const TileShape& dense_tile, MatmulAxis axis, Layout a_layout,
+                                   bool* needs_flip);
+
+// Builds the PIT rule for a dense tile and axis (sparse operand = A).
+PitRule MakeRuleForSparseA(const TileShape& dense_tile, MatmulAxis axis, Layout a_layout,
+                           bool tensor_core = false);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_PIT_RULE_H_

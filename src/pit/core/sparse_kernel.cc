@@ -1,0 +1,223 @@
+#include "pit/core/sparse_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+PitMatmulPlan PlanSparseMatmul(const CostModel& model, const PitRule& rule, int64_t m, int64_t k,
+                               int64_t n, const SparsityPattern& pattern,
+                               const PlanOptions& opts) {
+  PIT_CHECK_EQ(pattern.rows(), m);
+  PIT_CHECK_EQ(pattern.cols(), k);
+  PitMatmulPlan plan;
+  plan.rule = rule;
+  plan.m = m;
+  plan.k = k;
+  plan.n = n;
+
+  const TileShape& tile = rule.dense_tile;
+  const int64_t n_tiles = (n + tile.n - 1) / tile.n;
+  const double tile_cost =
+      model.MatmulTileCost(tile, rule.tensor_core) * (1.0 + opts.sread_overhead);
+
+  switch (rule.axis) {
+    case MatmulAxis::kM:
+    case MatmulAxis::kN: {
+      // Row-slice gather along m, independently per k block: micro-tiles of
+      // shape [1, tile.k] at column block c are merged across rows into a
+      // dense tile for that block (partial products accumulate over k, which
+      // is itself a PIT-axis). Whole-row gathering is the tile.k == k case.
+      const double p = pattern.NonZeroProb(rule.micro_tile);
+      const int64_t k_tiles = (k + tile.k - 1) / tile.k;
+      const int64_t row_tiles_per_block = static_cast<int64_t>(
+          std::ceil(p * static_cast<double>(m) / static_cast<double>(tile.m)));
+      plan.num_micro_tiles =
+          static_cast<int64_t>(std::llround(p * static_cast<double>(m * k_tiles)));
+      plan.num_exec_tiles = std::max<int64_t>(row_tiles_per_block, 0) * k_tiles * n_tiles;
+      plan.covered_fraction = p;
+      break;
+    }
+    case MatmulAxis::kK: {
+      // Column-slice gather per block row of the output grid.
+      const double p = pattern.NonZeroProb(rule.micro_tile);
+      const int64_t block_rows = (m + tile.m - 1) / tile.m;
+      const double nz_k_per_row = p * static_cast<double>(k);
+      const int64_t k_tiles_per_row =
+          static_cast<int64_t>(std::ceil(nz_k_per_row / static_cast<double>(tile.k)));
+      plan.num_micro_tiles =
+          static_cast<int64_t>(std::llround(p * static_cast<double>(block_rows * k)));
+      plan.num_exec_tiles = block_rows * std::max<int64_t>(k_tiles_per_row, 0) * n_tiles;
+      plan.covered_fraction = p;
+      break;
+    }
+  }
+  plan.sparsity_after_cover = 1.0 - plan.covered_fraction;
+
+  plan.cost.compute_us = model.WaveLatency(plan.num_exec_tiles, tile_cost);
+  plan.cost.launch_us = model.device().launch_overhead_us;
+  if (opts.include_index_build) {
+    plan.cost.index_us =
+        SparsityDetector::DetectCostUs(model, m * k, std::max<int64_t>(plan.num_micro_tiles, 1));
+  }
+  return plan;
+}
+
+Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b, const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  // Online detection with micro-tile [1, K] == whole rows.
+  MicroTileIndex index = detector.Detect(a, MicroTileShape{1, a.dim(1)});
+  // The index is unordered; SRead consumes it as-is (PIT-axis m permits any
+  // permutation) and SWrite restores original row positions.
+  std::vector<int64_t> rows;
+  rows.reserve(index.offsets.size());
+  for (int64_t off : index.offsets) {
+    rows.push_back(index.BlockRowOf(off));
+  }
+  Tensor packed_a = SReadRows(a, rows);
+  Tensor packed_c = MatMul(packed_a, b);
+  Tensor c({a.dim(0), b.dim(1)});
+  SWriteRows(packed_c, rows, &c);
+  return c;
+}
+
+Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
+                        const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  PIT_CHECK_GT(block_m, 0);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int64_t r0 = 0; r0 < m; r0 += block_m) {
+    const int64_t rows = std::min(block_m, m - r0);
+    // View of this block of A (copy; host-side stand-in for a tile pointer).
+    Tensor block({rows, k});
+    std::copy(a.data() + r0 * k, a.data() + (r0 + rows) * k, block.data());
+    // Detect nonzero k slices with micro-tile [rows, 1] — unordered.
+    MicroTileIndex index = detector.Detect(block, MicroTileShape{rows, 1});
+    std::vector<int64_t> ks;
+    ks.reserve(index.offsets.size());
+    for (int64_t off : index.offsets) {
+      ks.push_back(index.BlockColOf(off));
+    }
+    if (ks.empty()) {
+      continue;
+    }
+    Tensor packed_a = SReadCols(block, ks);  // [rows, |ks|]
+    Tensor packed_b = SReadRows(b, ks);      // [|ks|, n]
+    Tensor block_c = MatMul(packed_a, packed_b);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
+    }
+  }
+  return c;
+}
+
+Tensor PitMicroTileMatmul(const Tensor& a, const Tensor& b, const MicroTileShape& micro,
+                          const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MicroTileIndex index = detector.Detect(a, micro);
+  Tensor c({m, n});
+  // Group the (unordered) index by block row; within a block row the covered
+  // k-ranges can be gathered in any order (k is a PIT-axis).
+  std::vector<std::vector<int64_t>> cols_of_row(static_cast<size_t>(index.block_rows));
+  for (int64_t off : index.offsets) {
+    cols_of_row[static_cast<size_t>(index.BlockRowOf(off))].push_back(index.BlockColOf(off));
+  }
+  for (int64_t br = 0; br < index.block_rows; ++br) {
+    const auto& blocks = cols_of_row[static_cast<size_t>(br)];
+    if (blocks.empty()) {
+      continue;
+    }
+    const int64_t r0 = br * micro.rows;
+    const int64_t rows = std::min(micro.rows, m - r0);
+    // Expand covered micro-tile columns into concrete k indices (clipped at
+    // the ragged edge).
+    std::vector<int64_t> ks;
+    for (int64_t bc : blocks) {
+      for (int64_t kk = bc * micro.cols; kk < std::min(k, (bc + 1) * micro.cols); ++kk) {
+        ks.push_back(kk);
+      }
+    }
+    // SRead the block's rows restricted to the covered columns, and the
+    // matching B rows; dense matmul; write back this block row of C.
+    Tensor packed_a({rows, static_cast<int64_t>(ks.size())});
+    for (int64_t r = 0; r < rows; ++r) {
+      for (size_t i = 0; i < ks.size(); ++i) {
+        packed_a.At(r, static_cast<int64_t>(i)) = a.At(r0 + r, ks[i]);
+      }
+    }
+    Tensor packed_b = SReadRows(b, ks);
+    Tensor block_c = MatMul(packed_a, packed_b);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
+    }
+  }
+  return c;
+}
+
+Tensor PitDualKGatherMatmul(const Tensor& a, const Tensor& b, const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t k = a.dim(1);
+  // k index participates iff A's column AND B's row both have a nonzero.
+  MicroTileIndex a_cols = detector.Detect(a, MicroTileShape{a.dim(0), 1});
+  MicroTileIndex b_rows = detector.Detect(b, MicroTileShape{1, b.dim(1)});
+  std::vector<bool> a_nz(static_cast<size_t>(k), false);
+  for (int64_t off : a_cols.offsets) {
+    a_nz[static_cast<size_t>(a_cols.BlockColOf(off))] = true;
+  }
+  std::vector<int64_t> ks;
+  for (int64_t off : b_rows.offsets) {
+    const int64_t kk = b_rows.BlockRowOf(off);
+    if (a_nz[static_cast<size_t>(kk)]) {
+      ks.push_back(kk);
+    }
+  }
+  Tensor c({a.dim(0), b.dim(1)});
+  if (ks.empty()) {
+    return c;
+  }
+  Tensor packed_a = SReadCols(a, ks);
+  Tensor packed_b = SReadRows(b, ks);
+  return MatMul(packed_a, packed_b);
+}
+
+Tensor PitMoEMatmul(const Tensor& tokens, const std::vector<Tensor>& expert_weights,
+                    const std::vector<int>& expert_of) {
+  PIT_CHECK_EQ(tokens.rank(), 2);
+  PIT_CHECK(!expert_weights.empty());
+  PIT_CHECK_EQ(static_cast<int64_t>(expert_of.size()), tokens.dim(0));
+  const int64_t f = expert_weights[0].dim(1);
+  Tensor out({tokens.dim(0), f});
+  for (size_t e = 0; e < expert_weights.size(); ++e) {
+    PIT_CHECK_EQ(expert_weights[e].dim(0), tokens.dim(1));
+    PIT_CHECK_EQ(expert_weights[e].dim(1), f);
+    std::vector<int64_t> mine;
+    for (size_t t = 0; t < expert_of.size(); ++t) {
+      if (expert_of[t] == static_cast<int>(e)) {
+        mine.push_back(static_cast<int64_t>(t));
+      }
+    }
+    if (mine.empty()) {
+      continue;
+    }
+    Tensor packed = SReadRows(tokens, mine);
+    Tensor result = MatMul(packed, expert_weights[e]);
+    SWriteRows(result, mine, &out);
+  }
+  return out;
+}
+
+}  // namespace pit

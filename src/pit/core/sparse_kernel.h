@@ -1,0 +1,84 @@
+// PIT sparse matmul: planning (cost) and functional execution.
+//
+// The generated sparse kernel of Fig. 7 has two phases — SRead/SWrite data
+// rearrangement and dense-tile computation. The functional kernels here
+// perform exactly those phases on host tensors; the planner prices the same
+// execution with the gpusim cost model, including the online index build.
+#ifndef PIT_CORE_SPARSE_KERNEL_H_
+#define PIT_CORE_SPARSE_KERNEL_H_
+
+#include <cstdint>
+
+#include "pit/core/pit_rule.h"
+#include "pit/core/sparsity_detector.h"
+#include "pit/gpusim/cost_model.h"
+#include "pit/sparse/coverage.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Fractional extra time per dense tile for SRead/SWrite. The paper measures
+// the rearrangement as "running at a speed close to the original dense
+// computation tile" (§5.3); a few percent models the extra index reads.
+inline constexpr double kSReadSWriteOverhead = 0.05;
+
+// Plan (simulated execution) of one PIT sparse matmul.
+struct PitMatmulPlan {
+  PitRule rule;
+  int64_t m = 0, k = 0, n = 0;
+  int64_t num_exec_tiles = 0;       // dense computation tiles actually run
+  int64_t num_micro_tiles = 0;      // nonzero micro-tiles gathered
+  double covered_fraction = 0.0;    // micro-tile nonzero probability
+  double sparsity_after_cover = 0.0;
+  CostBreakdown cost;               // compute + launch + index build
+  bool fallback_dense = false;      // plan degenerated to the dense kernel
+};
+
+struct PlanOptions {
+  double sread_overhead = kSReadSWriteOverhead;
+  bool include_index_build = true;
+  bool tensor_core = false;
+};
+
+// Prices a sparse matmul C[m,n] = A[m,k] * B[k,n] with sparse A whose pattern
+// is `pattern`, executed under `rule` (PIT-axis + micro-tile + dense tile).
+PitMatmulPlan PlanSparseMatmul(const CostModel& model, const PitRule& rule, int64_t m, int64_t k,
+                               int64_t n, const SparsityPattern& pattern,
+                               const PlanOptions& opts = {});
+
+// ---- Functional execution paths (numerics verified against MatMul) ----
+
+// PIT rule on the m axis with micro-tile [1, K]: detect nonzero rows of A,
+// SRead-gather them, run a dense matmul on the packed rows, SWrite-scatter
+// the result rows back into C. Zero rows of A yield zero rows of C.
+Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b,
+                          const SparsityDetector& detector = SparsityDetector());
+
+// PIT rule on the k axis with micro-tile [block_m, 1]: for each block of
+// block_m rows of A, detect the k positions with any nonzero, gather those
+// columns of A and the matching rows of B, and run a dense matmul per block.
+Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
+                        const SparsityDetector& detector = SparsityDetector());
+
+// General 2-D micro-tile kernel (the literal Fig. 7 structure): detects
+// nonzero micro-tiles of shape `micro` in A, and per block row gathers the
+// covered k-ranges of A and B into packed operands before one dense matmul
+// per block row. PitKGatherMatmul is the micro.cols == 1 special case;
+// PitRowGatherMatmul is micro == [1, K]. Exact for any micro shape.
+Tensor PitMicroTileMatmul(const Tensor& a, const Tensor& b, const MicroTileShape& micro,
+                          const SparsityDetector& detector = SparsityDetector());
+
+// Both-sparse variant of Fig. 4 (right): gathers k indices where A's column
+// AND B's row are both nonzero (a zero on either side contributes nothing).
+Tensor PitDualKGatherMatmul(const Tensor& a, const Tensor& b,
+                            const SparsityDetector& detector = SparsityDetector());
+
+// MoE-style grouped matmul: tokens[t, h] routed by expert_of[t] to one of
+// `weights` [E][h, f]; each expert SRead-gathers only its tokens, computes
+// densely, and SWrites rows into the output (§5.1, Switch Transformer).
+Tensor PitMoEMatmul(const Tensor& tokens, const std::vector<Tensor>& expert_weights,
+                    const std::vector<int>& expert_of);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_SPARSE_KERNEL_H_

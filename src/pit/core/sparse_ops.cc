@@ -1,0 +1,180 @@
+#include "pit/core/sparse_ops.h"
+
+#include <algorithm>
+
+#include "pit/common/check.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+std::vector<int64_t> LiveInputChannels(const Tensor& input) {
+  PIT_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1), hw = input.dim(2) * input.dim(3);
+  std::vector<int64_t> live;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    bool nonzero = false;
+    for (int64_t b = 0; b < n && !nonzero; ++b) {
+      const float* base = input.data() + (b * c + ch) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        if (base[i] != 0.0f) {
+          nonzero = true;
+          break;
+        }
+      }
+    }
+    if (nonzero) {
+      live.push_back(ch);
+    }
+  }
+  return live;
+}
+
+std::vector<int64_t> LiveFilters(const Tensor& weight) {
+  PIT_CHECK_EQ(weight.rank(), 4);
+  const int64_t f = weight.dim(0), per = weight.dim(1) * weight.dim(2) * weight.dim(3);
+  std::vector<int64_t> live;
+  for (int64_t ff = 0; ff < f; ++ff) {
+    const float* base = weight.data() + ff * per;
+    for (int64_t i = 0; i < per; ++i) {
+      if (base[i] != 0.0f) {
+        live.push_back(ff);
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+namespace {
+
+// Gathers channels `chs` of a [N,C,H,W] tensor into [N, |chs|, H, W].
+Tensor GatherChannels(const Tensor& input, const std::vector<int64_t>& chs) {
+  const int64_t n = input.dim(0), c = input.dim(1), hw = input.dim(2) * input.dim(3);
+  Tensor out({n, static_cast<int64_t>(chs.size()), input.dim(2), input.dim(3)});
+  for (int64_t b = 0; b < n; ++b) {
+    for (size_t i = 0; i < chs.size(); ++i) {
+      const float* src = input.data() + (b * c + chs[i]) * hw;
+      float* dst = out.data() + (b * static_cast<int64_t>(chs.size()) + static_cast<int64_t>(i)) * hw;
+      std::copy(src, src + hw, dst);
+    }
+  }
+  return out;
+}
+
+// Gathers input-channel slices `chs` of a [F,C,KH,KW] weight.
+Tensor GatherWeightChannels(const Tensor& weight, const std::vector<int64_t>& chs) {
+  const int64_t f = weight.dim(0), c = weight.dim(1), khw = weight.dim(2) * weight.dim(3);
+  Tensor out({f, static_cast<int64_t>(chs.size()), weight.dim(2), weight.dim(3)});
+  for (int64_t ff = 0; ff < f; ++ff) {
+    for (size_t i = 0; i < chs.size(); ++i) {
+      const float* src = weight.data() + (ff * c + chs[i]) * khw;
+      float* dst =
+          out.data() + (ff * static_cast<int64_t>(chs.size()) + static_cast<int64_t>(i)) * khw;
+      std::copy(src, src + khw, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor PitChannelGatherConv2D(const Tensor& input, const Tensor& weight) {
+  PIT_CHECK_EQ(input.rank(), 4);
+  PIT_CHECK_EQ(weight.rank(), 4);
+  PIT_CHECK_EQ(input.dim(1), weight.dim(1));
+  const std::vector<int64_t> live = LiveInputChannels(input);
+  const int64_t oh = input.dim(2) - weight.dim(2) + 1;
+  const int64_t ow = input.dim(3) - weight.dim(3) + 1;
+  if (live.empty()) {
+    return Tensor({input.dim(0), weight.dim(0), oh, ow});
+  }
+  // SRead on the channel (m) axis of both operands; the packed convolution is
+  // dense. No SWrite remap needed: the output layout is unchanged.
+  return Conv2D(GatherChannels(input, live), GatherWeightChannels(weight, live));
+}
+
+Tensor PitFilterGatherConv2D(const Tensor& input, const Tensor& weight) {
+  PIT_CHECK_EQ(input.rank(), 4);
+  PIT_CHECK_EQ(weight.rank(), 4);
+  PIT_CHECK_EQ(input.dim(1), weight.dim(1));
+  const std::vector<int64_t> live = LiveFilters(weight);
+  const int64_t n = input.dim(0), f = weight.dim(0);
+  const int64_t oh = input.dim(2) - weight.dim(2) + 1;
+  const int64_t ow = input.dim(3) - weight.dim(3) + 1;
+  Tensor out({n, f, oh, ow});
+  if (live.empty()) {
+    return out;
+  }
+  // Gather live filters, convolve packed, SWrite-scatter output channels.
+  const int64_t per = weight.dim(1) * weight.dim(2) * weight.dim(3);
+  Tensor packed_w({static_cast<int64_t>(live.size()), weight.dim(1), weight.dim(2), weight.dim(3)});
+  for (size_t i = 0; i < live.size(); ++i) {
+    const float* src = weight.data() + live[i] * per;
+    std::copy(src, src + per, packed_w.data() + static_cast<int64_t>(i) * per);
+  }
+  Tensor packed_out = Conv2D(input, packed_w);  // [n, |live|, oh, ow]
+  const int64_t ohw = oh * ow;
+  for (int64_t b = 0; b < n; ++b) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      const float* src =
+          packed_out.data() + (b * static_cast<int64_t>(live.size()) + static_cast<int64_t>(i)) * ohw;
+      float* dst = out.data() + (b * f + live[i]) * ohw;
+      std::copy(src, src + ohw, dst);
+    }
+  }
+  return out;
+}
+
+Tensor PitSparseReduceSum(const Tensor& a, int64_t micro_cols, const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_GT(micro_cols, 0);
+  MicroTileIndex index = detector.Detect(a, MicroTileShape{1, micro_cols});
+  Tensor c({a.dim(0)});
+  const int64_t cols = a.dim(1);
+  // Unordered accumulation over nonzero micro-tiles: valid because + is
+  // commutative and associative (Theorem 1's reduction-axis condition).
+  for (int64_t off : index.offsets) {
+    const int64_t r = index.BlockRowOf(off);
+    const int64_t c0 = index.BlockColOf(off) * micro_cols;
+    const int64_t c1 = std::min(cols, c0 + micro_cols);
+    float acc = 0.0f;
+    for (int64_t j = c0; j < c1; ++j) {
+      acc += a.At(r, j);
+    }
+    c[r] += acc;
+  }
+  return c;
+}
+
+Tensor PitSparseVectorAdd(const Tensor& a, const Tensor& b, int64_t micro_cols,
+                          const SparsityDetector& detector) {
+  PIT_CHECK(a.shape() == b.shape());
+  PIT_CHECK_EQ(a.rank(), 1);
+  const int64_t n = a.dim(0);
+  // Detect on a 2-D view [1, n] of each operand; union of live micro-tiles.
+  Tensor av = a.Reshape({1, n});
+  Tensor bv = b.Reshape({1, n});
+  MicroTileIndex ia = detector.Detect(av, MicroTileShape{1, micro_cols});
+  MicroTileIndex ib = detector.Detect(bv, MicroTileShape{1, micro_cols});
+  std::vector<bool> live(static_cast<size_t>(ia.TotalMicroTiles()), false);
+  for (int64_t off : ia.offsets) {
+    live[static_cast<size_t>(off)] = true;
+  }
+  for (int64_t off : ib.offsets) {
+    live[static_cast<size_t>(off)] = true;
+  }
+  Tensor c({n});
+  for (size_t t = 0; t < live.size(); ++t) {
+    if (!live[t]) {
+      continue;
+    }
+    const int64_t c0 = static_cast<int64_t>(t) * micro_cols;
+    const int64_t c1 = std::min(n, c0 + micro_cols);
+    for (int64_t j = c0; j < c1; ++j) {
+      c[j] = a[j] + b[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace pit

@@ -1,0 +1,49 @@
+// PIT execution of the remaining Table-1 operators: convolution (PIT-axes
+// n, m, f), ReduceSum (p, l) and vector addition (p).
+//
+// Convolution's spatial axes (x, y, i, j) derive new axes and are NOT
+// PIT-axes; the channel axes are. Channel-level sparsity is the dominant
+// dynamic-sparsity pattern for convolutions (pruned filters, gated channels),
+// and PIT gathers live channels/filters into packed dense convolutions.
+#ifndef PIT_CORE_SPARSE_OPS_H_
+#define PIT_CORE_SPARSE_OPS_H_
+
+#include <vector>
+
+#include "pit/core/sparsity_detector.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Channel-gathered convolution (PIT-axis m = input channel): detects input
+// channels of `input` [N,C,H,W] that are entirely zero across the batch,
+// gathers the live channels of input AND the matching channels of `weight`
+// [F,C,KH,KW], and convolves the packed operands. Exact: dropped channels
+// contribute nothing.
+Tensor PitChannelGatherConv2D(const Tensor& input, const Tensor& weight);
+
+// Filter-gathered convolution (PIT-axis f = output filter): skips filters
+// whose weights are entirely zero and scatters results into the right output
+// channels (zeros elsewhere).
+Tensor PitFilterGatherConv2D(const Tensor& input, const Tensor& weight);
+
+// Indices of nonzero input channels ([N,C,H,W], any batch/pixel nonzero).
+std::vector<int64_t> LiveInputChannels(const Tensor& input);
+// Indices of filters with any nonzero weight ([F,C,KH,KW]).
+std::vector<int64_t> LiveFilters(const Tensor& weight);
+
+// Sparse ReduceSum C[p] = sum_l A[p,l] (both axes PIT): detects nonzero
+// micro-tiles of shape [1, micro_cols] and accumulates only those, in the
+// detector's (unordered) schedule — correctness relies on sum's
+// commutativity+associativity exactly as Theorem 1 states.
+Tensor PitSparseReduceSum(const Tensor& a, int64_t micro_cols = 8,
+                          const SparsityDetector& detector = SparsityDetector());
+
+// Sparse vector addition C[p] = A[p] + B[p] over micro-tiles: tiles where
+// both operands are zero are skipped (output stays zero there).
+Tensor PitSparseVectorAdd(const Tensor& a, const Tensor& b, int64_t micro_cols = 8,
+                          const SparsityDetector& detector = SparsityDetector());
+
+}  // namespace pit
+
+#endif  // PIT_CORE_SPARSE_OPS_H_

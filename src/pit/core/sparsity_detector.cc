@@ -1,0 +1,91 @@
+#include "pit/core/sparsity_detector.h"
+
+#include <algorithm>
+
+#include "pit/common/check.h"
+#include "pit/common/rng.h"
+
+namespace pit {
+
+MicroTileIndex SparsityDetector::Detect(const Tensor& tensor,
+                                        const MicroTileShape& micro_tile) const {
+  PIT_CHECK_EQ(tensor.rank(), 2);
+  PIT_CHECK_GT(micro_tile.rows, 0);
+  PIT_CHECK_GT(micro_tile.cols, 0);
+  const int64_t rows = tensor.dim(0), cols = tensor.dim(1);
+  MicroTileIndex index;
+  index.micro_tile = micro_tile;
+  index.block_rows = (rows + micro_tile.rows - 1) / micro_tile.rows;
+  index.block_cols = (cols + micro_tile.cols - 1) / micro_tile.cols;
+
+  for (int64_t br = 0; br < index.block_rows; ++br) {
+    const int64_t r0 = br * micro_tile.rows;
+    const int64_t r1 = std::min(rows, r0 + micro_tile.rows);
+    for (int64_t bc = 0; bc < index.block_cols; ++bc) {
+      const int64_t c0 = bc * micro_tile.cols;
+      const int64_t c1 = std::min(cols, c0 + micro_tile.cols);
+      bool nonzero = false;
+      for (int64_t r = r0; r < r1 && !nonzero; ++r) {
+        const float* row = tensor.data() + r * cols;
+        for (int64_t c = c0; c < c1; ++c) {
+          if (row[c] != 0.0f) {
+            nonzero = true;
+            break;
+          }
+        }
+      }
+      if (nonzero) {
+        index.offsets.push_back(br * index.block_cols + bc);
+      }
+    }
+  }
+
+  // Emulate the unordered atomic-append: permute deterministically by seed.
+  Rng rng(shuffle_seed_);
+  for (size_t i = index.offsets.size(); i > 1; --i) {
+    std::swap(index.offsets[i - 1], index.offsets[rng.NextBelow(i)]);
+  }
+  return index;
+}
+
+MicroTileIndex SparsityDetector::DetectOrdered(const Tensor& tensor,
+                                               const MicroTileShape& micro_tile) const {
+  MicroTileIndex index = Detect(tensor, micro_tile);
+  std::sort(index.offsets.begin(), index.offsets.end());
+  return index;
+}
+
+double SparsityDetector::DetectCostUs(const CostModel& model, int64_t tensor_elems,
+                                      int64_t nonzero_micro_tiles) {
+  // One coalesced streaming pass over the tensor; each detected micro-tile
+  // costs one warp-aggregated atomicAdd + one 8-byte index write. Aggregated
+  // atomics amortize to ~0.05 ns per append.
+  const double scan_us = model.MemoryTime(tensor_elems * model.ElemBytes());
+  const double append_us = static_cast<double>(nonzero_micro_tiles) * 0.00005;
+  const double write_us = model.MemoryTime(nonzero_micro_tiles * 8);
+  return scan_us + append_us + write_us + model.device().launch_overhead_us;
+}
+
+double SparsityDetector::OrderedDetectCostUs(const CostModel& model, int64_t tensor_elems,
+                                             int64_t nonzero_micro_tiles) {
+  // Ordered (CSR/Triton-style) construction: count pass + exclusive prefix
+  // sum + compaction pass, each a separate kernel, per-element predicate and
+  // position bookkeeping (~10 G elem/s, matching measured dense2csr rates),
+  // plus scattered ordered writes.
+  const double pass_us = model.MemoryTime(tensor_elems * model.ElemBytes());
+  const double per_elem_us = static_cast<double>(tensor_elems) * 0.0001;
+  const double prefix_us = model.MemoryTime(tensor_elems / 8 * 4) * 2.0;  // up + down sweep
+  const double scatter_us = model.ScatteredMemoryTime(nonzero_micro_tiles * 8, 8);
+  return 3.0 * pass_us + per_elem_us + prefix_us + scatter_us +
+         4.0 * model.device().launch_overhead_us;
+}
+
+std::vector<int64_t> NonZeroMicroTilesPerBlockRow(const MicroTileIndex& index) {
+  std::vector<int64_t> counts(static_cast<size_t>(index.block_rows), 0);
+  for (int64_t off : index.offsets) {
+    counts[static_cast<size_t>(index.BlockRowOf(off))]++;
+  }
+  return counts;
+}
+
+}  // namespace pit

@@ -1,0 +1,81 @@
+// Online sparsity detection (§3.3).
+//
+// PIT constructs the nonzero index at micro-tile granularity, on the
+// accelerator, in an *unordered* fashion: concurrent thread blocks append
+// nonzero micro-tile offsets to a pre-allocated array via atomicAdd, so the
+// resulting order depends on scheduling. Because the consumer permutes along
+// a PIT-axis, no ordering is ever required — which is exactly why this is so
+// much cheaper than building CSR. This module reproduces that functionally
+// (with a deterministic scheduling shuffle standing in for the GPU's
+// unpredictable block order) and prices it with the cost model.
+#ifndef PIT_CORE_SPARSITY_DETECTOR_H_
+#define PIT_CORE_SPARSITY_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/core/pit_rule.h"
+#include "pit/gpusim/cost_model.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Index of the nonzero micro-tiles of a 2-D tensor. `offsets` holds linear
+// micro-tile ids (block_row * blocks_per_row + block_col); order is
+// unspecified (unordered construction).
+struct MicroTileIndex {
+  MicroTileShape micro_tile;
+  int64_t block_rows = 0;
+  int64_t block_cols = 0;
+  std::vector<int64_t> offsets;
+
+  int64_t NumNonZero() const { return static_cast<int64_t>(offsets.size()); }
+  int64_t TotalMicroTiles() const { return block_rows * block_cols; }
+  // Fraction of the tensor area covered by nonzero micro-tiles.
+  double CoveredFraction() const {
+    return TotalMicroTiles() == 0
+               ? 0.0
+               : static_cast<double>(NumNonZero()) / static_cast<double>(TotalMicroTiles());
+  }
+  // The paper's "sparsity ratio after cover" (Table 3).
+  double SparsityAfterCover() const { return 1.0 - CoveredFraction(); }
+
+  int64_t BlockRowOf(int64_t offset) const { return offset / block_cols; }
+  int64_t BlockColOf(int64_t offset) const { return offset % block_cols; }
+};
+
+class SparsityDetector {
+ public:
+  // `shuffle_seed` stands in for the GPU's unordered thread-block scheduling:
+  // two different seeds yield differently-ordered but equivalent indexes.
+  explicit SparsityDetector(uint64_t shuffle_seed = 1) : shuffle_seed_(shuffle_seed) {}
+
+  // Scans `tensor` (2-D) and returns the unordered nonzero micro-tile index.
+  // Dimensions that do not divide evenly are handled by ragged edge tiles.
+  MicroTileIndex Detect(const Tensor& tensor, const MicroTileShape& micro_tile) const;
+
+  // As Detect, but additionally sorts offsets — the ablation arm showing what
+  // ordered construction (CSR-style) would force us to pay.
+  MicroTileIndex DetectOrdered(const Tensor& tensor, const MicroTileShape& micro_tile) const;
+
+  // Simulated cost of the unordered on-device index build: one streaming scan
+  // of the tensor plus an atomic append per nonzero micro-tile.
+  static double DetectCostUs(const CostModel& model, int64_t tensor_elems,
+                             int64_t nonzero_micro_tiles);
+
+  // Simulated cost when the index must come out ordered (prefix-sum + extra
+  // passes) — what cuSPARSE/Triton-style construction pays (Fig. 18).
+  static double OrderedDetectCostUs(const CostModel& model, int64_t tensor_elems,
+                                    int64_t nonzero_micro_tiles);
+
+ private:
+  uint64_t shuffle_seed_;
+};
+
+// Convenience: per-block-row count of nonzero micro-tiles, used by k-axis
+// coverage costing (each block row gathers its own set of micro-tiles).
+std::vector<int64_t> NonZeroMicroTilesPerBlockRow(const MicroTileIndex& index);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_SPARSITY_DETECTOR_H_

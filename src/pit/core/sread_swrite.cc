@@ -1,0 +1,118 @@
+#include "pit/core/sread_swrite.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids) {
+  PIT_CHECK_EQ(src.rank(), 2);
+  const int64_t cols = src.dim(1);
+  Tensor out({static_cast<int64_t>(row_ids.size()), cols});
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const int64_t r = row_ids[i];
+    PIT_CHECK_GE(r, 0);
+    PIT_CHECK_LT(r, src.dim(0));
+    std::memcpy(out.data() + static_cast<int64_t>(i) * cols, src.data() + r * cols,
+                static_cast<size_t>(cols) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids) {
+  PIT_CHECK_EQ(src.rank(), 2);
+  const int64_t rows = src.dim(0), cols = src.dim(1);
+  Tensor out({rows, static_cast<int64_t>(col_ids.size())});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* srow = src.data() + r * cols;
+    float* drow = out.data() + r * static_cast<int64_t>(col_ids.size());
+    for (size_t i = 0; i < col_ids.size(); ++i) {
+      const int64_t c = col_ids[i];
+      PIT_CHECK_GE(c, 0);
+      PIT_CHECK_LT(c, cols);
+      drow[i] = srow[c];
+    }
+  }
+  return out;
+}
+
+void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst) {
+  PIT_CHECK(dst != nullptr);
+  PIT_CHECK_EQ(packed.rank(), 2);
+  PIT_CHECK_EQ(dst->rank(), 2);
+  PIT_CHECK_EQ(packed.dim(0), static_cast<int64_t>(row_ids.size()));
+  PIT_CHECK_EQ(packed.dim(1), dst->dim(1));
+  const int64_t cols = dst->dim(1);
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const int64_t r = row_ids[i];
+    PIT_CHECK_GE(r, 0);
+    PIT_CHECK_LT(r, dst->dim(0));
+    std::memcpy(dst->data() + r * cols, packed.data() + static_cast<int64_t>(i) * cols,
+                static_cast<size_t>(cols) * sizeof(float));
+  }
+}
+
+void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst) {
+  PIT_CHECK(dst != nullptr);
+  PIT_CHECK_EQ(packed.rank(), 2);
+  PIT_CHECK_EQ(dst->rank(), 2);
+  PIT_CHECK_EQ(packed.dim(0), dst->dim(0));
+  PIT_CHECK_EQ(packed.dim(1), static_cast<int64_t>(col_ids.size()));
+  for (int64_t r = 0; r < dst->dim(0); ++r) {
+    const float* srow = packed.data() + r * packed.dim(1);
+    float* drow = dst->data() + r * dst->dim(1);
+    for (size_t i = 0; i < col_ids.size(); ++i) {
+      drow[col_ids[i]] += srow[i];
+    }
+  }
+}
+
+Tensor SReadMicroTiles(const Tensor& src, const MicroTileIndex& index) {
+  PIT_CHECK_EQ(src.rank(), 2);
+  const auto& mt = index.micro_tile;
+  const int64_t rows = src.dim(0), cols = src.dim(1);
+  Tensor out({index.NumNonZero() * mt.rows, mt.cols});
+  for (int64_t i = 0; i < index.NumNonZero(); ++i) {
+    const int64_t br = index.BlockRowOf(index.offsets[static_cast<size_t>(i)]);
+    const int64_t bc = index.BlockColOf(index.offsets[static_cast<size_t>(i)]);
+    for (int64_t r = 0; r < mt.rows; ++r) {
+      const int64_t sr = br * mt.rows + r;
+      for (int64_t c = 0; c < mt.cols; ++c) {
+        const int64_t sc = bc * mt.cols + c;
+        const float v = (sr < rows && sc < cols) ? src.At(sr, sc) : 0.0f;
+        out.At(i * mt.rows + r, c) = v;
+      }
+    }
+  }
+  return out;
+}
+
+void SWriteMicroTiles(const Tensor& packed, const MicroTileIndex& index, Tensor* dst) {
+  PIT_CHECK(dst != nullptr);
+  PIT_CHECK_EQ(dst->rank(), 2);
+  const auto& mt = index.micro_tile;
+  PIT_CHECK_EQ(packed.dim(0), index.NumNonZero() * mt.rows);
+  PIT_CHECK_EQ(packed.dim(1), mt.cols);
+  const int64_t rows = dst->dim(0), cols = dst->dim(1);
+  for (int64_t i = 0; i < index.NumNonZero(); ++i) {
+    const int64_t br = index.BlockRowOf(index.offsets[static_cast<size_t>(i)]);
+    const int64_t bc = index.BlockColOf(index.offsets[static_cast<size_t>(i)]);
+    for (int64_t r = 0; r < mt.rows; ++r) {
+      const int64_t dr = br * mt.rows + r;
+      if (dr >= rows) {
+        continue;
+      }
+      for (int64_t c = 0; c < mt.cols; ++c) {
+        const int64_t dc = bc * mt.cols + c;
+        if (dc >= cols) {
+          continue;
+        }
+        dst->At(dr, dc) = packed.At(i * mt.rows + r, c);
+      }
+    }
+  }
+}
+
+}  // namespace pit

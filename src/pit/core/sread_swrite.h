@@ -1,0 +1,46 @@
+// SRead / SWrite: PIT's data-rearrangement primitives (§3.1).
+//
+// On the GPU these piggyback the sparse->dense gather (and dense->sparse
+// scatter) on the global-memory <-> shared-memory movement that a tiled kernel
+// performs anyway, which is why the transformation is nearly free. Here they
+// are functional host implementations operating on whole operands: SRead
+// packs the micro-tiles named by an index into a dense buffer, the dense tile
+// computation runs on the packed buffer, and SWrite scatters results back to
+// their original coordinates. Tests verify the round-trip and the permutation
+// invariance (any index order produces identical results).
+#ifndef PIT_CORE_SREAD_SWRITE_H_
+#define PIT_CORE_SREAD_SWRITE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "pit/core/sparsity_detector.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Gathers rows `row_ids` of `src` into a packed [row_ids.size(), cols] tensor,
+// in index order.
+Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids);
+
+// Gathers columns `col_ids` of `src` into a packed [rows, col_ids.size()]
+// tensor, in index order.
+Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids);
+
+// Scatters the rows of `packed` back to rows `row_ids` of `dst`.
+void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst);
+
+// Accumulating scatter of columns (dst[:, col_ids[i]] += packed[:, i]).
+void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst);
+
+// Gathers the micro-tiles named by `index` out of `src` into a packed tensor
+// of shape [nnz * micro.rows, micro.cols] (micro-tiles stacked in index
+// order). General form used by the block-sparse execution paths.
+Tensor SReadMicroTiles(const Tensor& src, const MicroTileIndex& index);
+
+// Inverse of SReadMicroTiles: scatters packed micro-tiles back into `dst`.
+void SWriteMicroTiles(const Tensor& packed, const MicroTileIndex& index, Tensor* dst);
+
+}  // namespace pit
+
+#endif  // PIT_CORE_SREAD_SWRITE_H_

@@ -1,0 +1,43 @@
+#include "pit/core/tile_database.h"
+
+#include <limits>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+TileDatabase TileDatabase::BuildDefault(const CostModel& model, bool include_wmma) {
+  TileDatabase db;
+  const int64_t ms[] = {8, 16, 32, 64, 128};
+  const int64_t ns[] = {32, 64, 128};
+  const int64_t ks[] = {32, 64};
+  for (int64_t m : ms) {
+    for (int64_t n : ns) {
+      for (int64_t k : ks) {
+        TileShape shape{m, k, n};
+        db.Add(TileEntry{shape, false, model.MatmulTileCost(shape, false)});
+        if (include_wmma && model.precision() == Precision::kFp16 && WmmaCompatible(shape)) {
+          db.Add(TileEntry{shape, true, model.MatmulTileCost(shape, true)});
+        }
+      }
+    }
+  }
+  return db;
+}
+
+const TileEntry& TileDatabase::BestDenseTile(const CostModel& model, int64_t m, int64_t k,
+                                             int64_t n) const {
+  PIT_CHECK(!entries_.empty());
+  const TileEntry* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries_) {
+    const double cost = model.DenseMatmul(m, k, n, e.shape, e.tensor_core).Total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &e;
+    }
+  }
+  return *best;
+}
+
+}  // namespace pit

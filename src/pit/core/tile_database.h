@@ -1,0 +1,44 @@
+// Dense computation tile database with "offline profiled" costs (§3.2, §4).
+//
+// The paper profiles ~500 dense kernels per GPU type once, offline, and keeps
+// a performance lookup table; Algorithm 1 then only multiplies tile counts by
+// the profiled per-tile cost at runtime. Here the offline profiling step runs
+// the gpusim cost model over the same tile-shape grid and memoizes results.
+#ifndef PIT_CORE_TILE_DATABASE_H_
+#define PIT_CORE_TILE_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/gpusim/cost_model.h"
+
+namespace pit {
+
+struct TileEntry {
+  TileShape shape;
+  bool tensor_core = false;
+  double tile_cost_us = 0.0;  // profiled cost of one tile instance
+};
+
+class TileDatabase {
+ public:
+  // "Offline profiling": enumerates the default tile-shape grid (m in
+  // {8..128}, n in {32,128}, k in {32,64}) and records each shape's cost under
+  // `model`. With wmma=true, additionally registers tensor-core variants for
+  // wmma-compatible shapes (fp16 only, as on real hardware).
+  static TileDatabase BuildDefault(const CostModel& model, bool include_wmma = false);
+
+  const std::vector<TileEntry>& entries() const { return entries_; }
+  // Fastest dense execution of an m-k-n matmul over all entries.
+  const TileEntry& BestDenseTile(const CostModel& model, int64_t m, int64_t k, int64_t n) const;
+
+  void Add(TileEntry entry) { entries_.push_back(entry); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TileEntry> entries_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_CORE_TILE_DATABASE_H_

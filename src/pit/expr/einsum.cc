@@ -1,0 +1,287 @@
+#include "pit/expr/einsum.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+bool ReduceIsCommutativeAssociative(ReduceKind kind) {
+  switch (kind) {
+    case ReduceKind::kSum:
+    case ReduceKind::kMax:
+    case ReduceKind::kMin:
+    case ReduceKind::kProd:
+      return true;
+    case ReduceKind::kNone:
+    case ReduceKind::kNonCommutative:
+      return false;
+  }
+  return false;
+}
+
+const char* ReduceKindName(ReduceKind kind) {
+  switch (kind) {
+    case ReduceKind::kNone:
+      return "none";
+    case ReduceKind::kSum:
+      return "sum";
+    case ReduceKind::kMax:
+      return "max";
+    case ReduceKind::kMin:
+      return "min";
+    case ReduceKind::kProd:
+      return "prod";
+    case ReduceKind::kNonCommutative:
+      return "non-commutative";
+  }
+  return "?";
+}
+
+std::string AxisTerm::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) {
+      s += "+";
+    }
+    s += vars[i];
+  }
+  return s;
+}
+
+std::string TensorRef::ToString() const {
+  std::string s = name + "[";
+  for (size_t i = 0; i < axes.size(); ++i) {
+    if (i) {
+      s += ",";
+    }
+    s += axes[i].ToString();
+  }
+  return s + "]";
+}
+
+std::string EinsumExpr::ToString() const {
+  std::string s = output.ToString();
+  s += reduce == ReduceKind::kNone ? " = " : " += ";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i) {
+      s += additive_combine ? " + " : " * ";
+    }
+    s += inputs[i].ToString();
+  }
+  return s;
+}
+
+std::vector<AxisInfo> EinsumExpr::AnalyzeAxes() const {
+  std::vector<AxisInfo> infos;
+  auto find = [&](const std::string& v) -> AxisInfo* {
+    for (auto& info : infos) {
+      if (info.name == v) {
+        return &info;
+      }
+    }
+    return nullptr;
+  };
+  auto visit = [&](const TensorRef& ref, bool is_output) {
+    for (const auto& term : ref.axes) {
+      for (const auto& v : term.vars) {
+        AxisInfo* info = find(v);
+        if (info == nullptr) {
+          infos.push_back(AxisInfo{v, AxisKind::kReduction, false, false, ""});
+          info = &infos.back();
+        }
+        if (is_output) {
+          info->kind = AxisKind::kSpatial;
+        }
+        if (term.derived()) {
+          info->in_derived_term = true;
+        }
+      }
+    }
+  };
+  visit(output, /*is_output=*/true);
+  for (const auto& in : inputs) {
+    visit(in, /*is_output=*/false);
+  }
+
+  for (auto& info : infos) {
+    if (info.in_derived_term) {
+      // Theorem 1 precondition: axes deriving new axes (x+i) are not
+      // commutative — shuffling them changes which elements meet.
+      info.is_pit_axis = false;
+      info.reason = "appears in a derived index term; permutation changes pairing";
+    } else if (info.kind == AxisKind::kSpatial) {
+      info.is_pit_axis = true;
+      info.reason = "spatial axis: permutation only relabels output layout";
+    } else if (ReduceIsCommutativeAssociative(reduce)) {
+      info.is_pit_axis = true;
+      info.reason = std::string("reduction axis with commutative+associative reducer '") +
+                    ReduceKindName(reduce) + "'";
+    } else {
+      info.is_pit_axis = false;
+      info.reason = std::string("reduction axis but reducer '") + ReduceKindName(reduce) +
+                    "' is not commutative+associative";
+    }
+  }
+  return infos;
+}
+
+std::vector<std::string> EinsumExpr::PitAxes() const {
+  std::vector<std::string> out;
+  for (const auto& info : AnalyzeAxes()) {
+    if (info.is_pit_axis) {
+      out.push_back(info.name);
+    }
+  }
+  return out;
+}
+
+std::optional<AxisInfo> EinsumExpr::FindAxis(const std::string& name) const {
+  for (const auto& info : AnalyzeAxes()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the expression grammar in the header.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<EinsumExpr> Parse() {
+    EinsumExpr expr;
+    auto out = ParseRef();
+    if (!out) {
+      return std::nullopt;
+    }
+    expr.output = *out;
+    SkipWs();
+    if (Consume("+=")) {
+      expr.reduce = ReduceKind::kSum;
+    } else if (Consume("=")) {
+      expr.reduce = ReduceKind::kNone;
+    } else {
+      return std::nullopt;
+    }
+    while (true) {
+      auto in = ParseRef();
+      if (!in) {
+        return std::nullopt;
+      }
+      expr.inputs.push_back(*in);
+      SkipWs();
+      if (Consume("*")) {
+        continue;
+      }
+      if (Consume("+")) {
+        expr.additive_combine = true;
+        continue;
+      }
+      break;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing garbage
+    }
+    if (expr.inputs.empty()) {
+      return std::nullopt;
+    }
+    return expr;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(const std::string& tok) {
+    SkipWs();
+    if (text_.compare(pos_, tok.size(), tok) == 0) {
+      // "=" must not greedily match the front of "+=" handled by callers:
+      // callers try "+=" first, so plain prefix matching is safe.
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::optional<TensorRef> ParseRef() {
+    TensorRef ref;
+    auto name = ParseIdent();
+    if (!name) {
+      return std::nullopt;
+    }
+    ref.name = *name;
+    if (!Consume("[")) {
+      return std::nullopt;
+    }
+    while (true) {
+      AxisTerm term;
+      auto v = ParseIdent();
+      if (!v) {
+        return std::nullopt;
+      }
+      term.vars.push_back(*v);
+      while (Consume("+")) {
+        auto v2 = ParseIdent();
+        if (!v2) {
+          return std::nullopt;
+        }
+        term.vars.push_back(*v2);
+      }
+      ref.axes.push_back(term);
+      if (Consume(",")) {
+        continue;
+      }
+      if (Consume("]")) {
+        break;
+      }
+      return std::nullopt;
+    }
+    return ref;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<EinsumExpr> ParseEinsumOrNull(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+EinsumExpr ParseEinsum(const std::string& text) {
+  auto expr = ParseEinsumOrNull(text);
+  PIT_CHECK(expr.has_value()) << "malformed einsum: " << text;
+  return *expr;
+}
+
+EinsumExpr ReduceSumExpr() { return ParseEinsum("C[p] += A[p,l]"); }
+EinsumExpr VectorAddExpr() { return ParseEinsum("C[p] = A[p] + B[p]"); }
+EinsumExpr MatMulExpr() { return ParseEinsum("C[m,n] += A[m,k] * B[k,n]"); }
+EinsumExpr BatchMatMulExpr() { return ParseEinsum("C[b,m,n] += A[b,m,k] * B[b,k,n]"); }
+EinsumExpr ConvolutionExpr() { return ParseEinsum("C[n,f,x,y] += A[n,m,x+i,y+j] * B[f,m,i,j]"); }
+
+}  // namespace pit

@@ -1,0 +1,100 @@
+// Einsum-style tensor-expression IR and PIT-axis analysis.
+//
+// The paper (§3.2, Table 1, Theorem 1) derives, for each operator expressed as
+// a tensor expression, the set of axes whose index order can be permuted
+// without changing the result ("PIT-axes"):
+//   * axes involved in derived index terms (e.g. convolution's `x + i`) are
+//     never PIT-axes;
+//   * spatial axes (appearing in the output) only change layout → PIT-axes;
+//   * reduction axes are PIT-axes iff the reduction is commutative and
+//     associative (sum, max, min, prod).
+// This module parses expressions like "C[m,n] += A[m,k] * B[k,n]" and performs
+// exactly that analysis.
+#ifndef PIT_EXPR_EINSUM_H_
+#define PIT_EXPR_EINSUM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pit {
+
+// Kind of reduction applied over non-output axes.
+enum class ReduceKind {
+  kNone,  // pure spatial expression ("=", no reduction axes expected)
+  kSum,   // "+=" — commutative & associative
+  kMax,
+  kMin,
+  kProd,
+  // A reducer that is not both commutative and associative (e.g. "first",
+  // stateful scan). Exists so tests can exercise the negative branch of
+  // Theorem 1.
+  kNonCommutative,
+};
+
+bool ReduceIsCommutativeAssociative(ReduceKind kind);
+const char* ReduceKindName(ReduceKind kind);
+
+// One index slot of a tensor reference: either a single variable ("m") or a
+// derived term combining several ("x+i"), which poisons its variables for
+// PIT purposes.
+struct AxisTerm {
+  std::vector<std::string> vars;
+  bool derived() const { return vars.size() > 1; }
+  std::string ToString() const;
+};
+
+struct TensorRef {
+  std::string name;
+  std::vector<AxisTerm> axes;
+  std::string ToString() const;
+};
+
+// Classification of one index variable of the expression.
+enum class AxisKind { kSpatial, kReduction };
+
+struct AxisInfo {
+  std::string name;
+  AxisKind kind = AxisKind::kSpatial;
+  bool is_pit_axis = false;
+  bool in_derived_term = false;
+  std::string reason;  // human-readable justification (for docs & debugging)
+};
+
+// A parsed tensor expression: output op= input0 * input1 * ...
+struct EinsumExpr {
+  TensorRef output;
+  std::vector<TensorRef> inputs;
+  ReduceKind reduce = ReduceKind::kSum;
+  // True when inputs combine additively ("C[p] = A[p] + B[p]") rather than
+  // multiplicatively; only affects printing, not axis analysis.
+  bool additive_combine = false;
+
+  std::string ToString() const;
+
+  // Theorem 1: classify every axis and mark PIT-axes.
+  std::vector<AxisInfo> AnalyzeAxes() const;
+  // Names of the PIT-axes, in order of first appearance.
+  std::vector<std::string> PitAxes() const;
+  // Lookup a single axis' info; nullopt if the variable does not occur.
+  std::optional<AxisInfo> FindAxis(const std::string& name) const;
+};
+
+// Parses expressions of the form:
+//   "C[m,n] += A[m,k] * B[k,n]"          (sum reduction)
+//   "C[p] = A[p] + B[p]"                 (spatial, additive combine)
+//   "C[n,f,x,y] += A[n,m,x+i,y+j] * B[f,m,i,j]"   (derived terms)
+// Aborts (PIT_CHECK) on malformed input; ParseEinsumOrNull returns nullopt.
+EinsumExpr ParseEinsum(const std::string& text);
+std::optional<EinsumExpr> ParseEinsumOrNull(const std::string& text);
+
+// The operator table of the paper (Table 1).
+EinsumExpr ReduceSumExpr();     // C[p] += A[p,l]
+EinsumExpr VectorAddExpr();     // C[p] = A[p] + B[p]
+EinsumExpr MatMulExpr();        // C[m,n] += A[m,k] * B[k,n]
+EinsumExpr BatchMatMulExpr();   // C[b,m,n] += A[b,m,k] * B[b,k,n]
+EinsumExpr ConvolutionExpr();   // C[n,f,x,y] += A[n,m,x+i,y+j] * B[f,m,i,j]
+
+}  // namespace pit
+
+#endif  // PIT_EXPR_EINSUM_H_

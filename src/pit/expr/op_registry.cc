@@ -1,0 +1,85 @@
+#include "pit/expr/op_registry.h"
+
+#include <sstream>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+std::string GenericMicroTile::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < extents.size(); ++i) {
+    os << (i ? "," : "") << operand_axes[i] << "=" << extents[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string GenericRule::ToString() const {
+  std::ostringstream os;
+  os << "GenericRule{axis=" << pit_axis << ", operand=" << operand_index
+     << ", micro=" << micro_tile.ToString() << (needs_layout_flip ? ", flip" : "") << "}";
+  return os.str();
+}
+
+std::vector<GenericRule> DeriveRules(const EinsumExpr& expr, int operand_index,
+                                     int64_t tile_extent) {
+  PIT_CHECK_GE(operand_index, 0);
+  PIT_CHECK_LT(static_cast<size_t>(operand_index), expr.inputs.size());
+  const TensorRef& operand = expr.inputs[static_cast<size_t>(operand_index)];
+
+  // Operand axes must be simple variables for micro-tiling (derived terms
+  // like x+i are not permutable and the operand cannot be micro-tiled on
+  // them; such dimensions keep extent = full and are skipped as PIT-axes).
+  std::vector<GenericRule> rules;
+  const auto infos = expr.AnalyzeAxes();
+  for (const auto& info : infos) {
+    if (!info.is_pit_axis) {
+      continue;
+    }
+    // The axis must index this operand (permuting an axis the operand does
+    // not carry never helps its sparsity).
+    int axis_dim = -1;
+    for (size_t d = 0; d < operand.axes.size(); ++d) {
+      if (!operand.axes[d].derived() && operand.axes[d].vars[0] == info.name) {
+        axis_dim = static_cast<int>(d);
+        break;
+      }
+    }
+    if (axis_dim < 0) {
+      continue;
+    }
+    GenericRule rule;
+    rule.pit_axis = info.name;
+    rule.operand_index = operand_index;
+    for (size_t d = 0; d < operand.axes.size(); ++d) {
+      rule.micro_tile.operand_axes.push_back(operand.axes[d].ToString());
+      if (static_cast<int>(d) == axis_dim) {
+        rule.micro_tile.extents.push_back(1);  // extent 1 on the PIT-axis
+      } else if (operand.axes[d].derived()) {
+        rule.micro_tile.extents.push_back(0);  // 0 = full extent (not tiled)
+      } else {
+        rule.micro_tile.extents.push_back(tile_extent);
+      }
+    }
+    // Row-major operands are contiguous on their LAST dimension; if that is
+    // the PIT-axis, §3.2 requires flipping the layout at the producer so the
+    // micro-tiles can be fetched with saturated transactions.
+    rule.needs_layout_flip = axis_dim == static_cast<int>(operand.axes.size()) - 1;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+GenericRule FindRuleForAxis(const std::vector<GenericRule>& rules, const std::string& axis) {
+  for (const auto& r : rules) {
+    if (r.pit_axis == axis) {
+      return r;
+    }
+  }
+  PIT_CHECK(false) << "no rule for axis " << axis;
+  return {};
+}
+
+}  // namespace pit

@@ -1,0 +1,55 @@
+// Generic operator registry: from einsum expression to PIT rule candidates.
+//
+// §3.2 describes micro-tile derivation in terms of an operator's tensor
+// expression: pick a PIT-axis, set the micro-tile extent to 1 on that axis
+// and to the dense tile's extent on the operand's other axes; if the sparse
+// operand's memory layout is contiguous on the PIT-axis, a layout flip must
+// be piggybacked at the producer. The matmul-specific derivation in
+// core/pit_rule.h is the specialization of the algorithm implemented here,
+// which works for ANY parsed einsum expression and any sparse operand —
+// including BatchMatMul and the channel axes of convolution.
+#ifndef PIT_EXPR_OP_REGISTRY_H_
+#define PIT_EXPR_OP_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pit/expr/einsum.h"
+
+namespace pit {
+
+// Micro-tile extent per axis of one operand: 1 on the PIT-axis, the dense
+// tile's extent elsewhere, and the full axis where the tile does not split.
+struct GenericMicroTile {
+  std::vector<std::string> operand_axes;  // axis variable per dimension
+  std::vector<int64_t> extents;           // micro-tile extent per dimension
+  std::string ToString() const;
+};
+
+// One candidate transformation for a (expression, sparse operand) pair.
+struct GenericRule {
+  std::string pit_axis;
+  int operand_index = 0;      // which input is sparse
+  GenericMicroTile micro_tile;
+  // True if the operand's innermost (last) dimension is the PIT-axis: the
+  // layout is contiguous there and must be flipped at the producer.
+  bool needs_layout_flip = false;
+  std::string ToString() const;
+};
+
+// Derives every feasible rule for `operand_index` of `expr`:
+// one per PIT-axis that actually indexes that operand. `tile_extent` is the
+// dense tile's extent used for the non-PIT axes of the operand (the k/m
+// extents of the matmul specialization); axes absent from the tile keep
+// extent 1 so the rule stays valid for any tiling.
+std::vector<GenericRule> DeriveRules(const EinsumExpr& expr, int operand_index,
+                                     int64_t tile_extent = 32);
+
+// Cross-check helper: the matmul specialization must agree with the generic
+// derivation (tested in op_registry_test).
+GenericRule FindRuleForAxis(const std::vector<GenericRule>& rules, const std::string& axis);
+
+}  // namespace pit
+
+#endif  // PIT_EXPR_OP_REGISTRY_H_

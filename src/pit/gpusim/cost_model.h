@@ -1,0 +1,102 @@
+// Tile-level roofline cost model.
+//
+// Every execution strategy in the repository — PIT's micro-tile kernels and
+// all baselines — is priced by this model on identical terms: a kernel is
+// `num_tiles` instances of a dense computation tile scheduled in waves across
+// the SMs, plus launch overhead and any format-conversion / index-construction
+// cost the strategy incurs. This mirrors how the paper reasons about the
+// tiling dilemma (Fig. 1, Fig. 3a): tile efficiency vs coverage waste.
+#ifndef PIT_GPUSIM_COST_MODEL_H_
+#define PIT_GPUSIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pit/gpusim/device.h"
+
+namespace pit {
+
+// A dense matmul computation tile: C[m,n] += A[m,k] * B[k,n] processed with
+// an output block of m x n and a reduction depth k (k = 0 means "full
+// reduction extent decided by the problem").
+struct TileShape {
+  int64_t m = 32;
+  int64_t k = 32;
+  int64_t n = 32;
+
+  bool operator==(const TileShape&) const = default;
+  std::string ToString() const;
+};
+
+// Decomposition of a kernel's simulated latency, all in microseconds.
+struct CostBreakdown {
+  double compute_us = 0.0;  // tile math, waves over SMs
+  double memory_us = 0.0;   // extra global traffic not hidden by compute
+  double launch_us = 0.0;   // kernel launch(es)
+  double convert_us = 0.0;  // sparse-format conversion (CSR build, padding...)
+  double index_us = 0.0;    // sparsity-index construction
+
+  double Total() const { return compute_us + memory_us + launch_us + convert_us + index_us; }
+  CostBreakdown& operator+=(const CostBreakdown& o);
+};
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec dev, Precision precision = Precision::kFp32)
+      : dev_(std::move(dev)), precision_(precision) {}
+
+  const DeviceSpec& device() const { return dev_; }
+  Precision precision() const { return precision_; }
+
+  // Fraction of an SM's peak throughput a dense tile of this shape achieves.
+  // Combines the tile's arithmetic intensity against the machine balance
+  // (data-reuse term) with an occupancy term penalising small tiles — the
+  // two effects behind the paper's Fig. 3a dilemma.
+  double TileEfficiency(const TileShape& tile, bool tensor_core = false) const;
+
+  // Simulated execution time of ONE dense tile on one SM (microseconds).
+  double MatmulTileCost(const TileShape& tile, bool tensor_core = false) const;
+
+  // Wave-scheduled latency of `num_tiles` tile instances (no launch cost).
+  double WaveLatency(int64_t num_tiles, double tile_cost_us) const;
+
+  // Dense matmul C[m,n] = A[m,k] * B[k,n] with the given tile.
+  CostBreakdown DenseMatmul(int64_t m, int64_t k, int64_t n, const TileShape& tile,
+                            bool tensor_core = false) const;
+
+  // Sparse matmul where only `num_exec_tiles` of the output tiles execute
+  // (the rest were proven all-zero). `gather_overhead` inflates each tile's
+  // cost for strategies that gather scattered data (PIT's SRead/SWrite piggy-
+  // backs on the shared-memory load, so for PIT this is a few percent).
+  CostBreakdown SparseMatmul(int64_t num_exec_tiles, int64_t k, const TileShape& tile,
+                             double gather_overhead = 0.0, bool tensor_core = false) const;
+
+  // Time to stream `bytes` through global memory at full bandwidth.
+  double MemoryTime(int64_t bytes) const { return static_cast<double>(bytes) / dev_.mem_bw_bytes_us; }
+
+  // Time to stream `bytes` when accesses are scattered at `granularity_bytes`
+  // (< transaction size wastes transaction bandwidth).
+  double ScatteredMemoryTime(int64_t bytes, int64_t granularity_bytes) const;
+
+  // Per-nonzero cost of a fine-grained (element-granularity) sparse kernel,
+  // e.g. cuSPARSE CSR SpMM. Dominated by irregular gathers.
+  double FineGrainedFlopCost(int64_t flops) const;
+
+  int64_t ElemBytes() const { return BytesPerElement(precision_); }
+
+ private:
+  DeviceSpec dev_;
+  Precision precision_;
+};
+
+// The three wmma fragment shapes supported in half precision (§5.3): m-n-k.
+struct WmmaShape {
+  int64_t m, n, k;
+};
+const WmmaShape* WmmaShapes(int* count);
+// True if a dense tile can be assembled from whole wmma fragments.
+bool WmmaCompatible(const TileShape& tile);
+
+}  // namespace pit
+
+#endif  // PIT_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,35 @@
+#include "pit/gpusim/device.h"
+
+namespace pit {
+
+DeviceSpec V100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.num_sms = 80;
+  d.fp32_flops_per_sm_us = 196e3;  // 15.7 TFLOPS fp32 total
+  d.fp16_multiplier = 2.0;
+  d.tensor_core_multiplier = 8.0;  // 125 TFLOPS fp16 tensor core
+  d.mem_bw_bytes_us = 0.9e6;       // 900 GB/s HBM2
+  d.launch_overhead_us = 5.0;
+  d.transaction_bytes = 32;
+  return d;
+}
+
+DeviceSpec A100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.num_sms = 108;
+  d.fp32_flops_per_sm_us = 180e3;  // 19.5 TFLOPS fp32 total
+  d.fp16_multiplier = 2.0;
+  d.tensor_core_multiplier = 16.0;  // 312 TFLOPS fp16 tensor core
+  d.mem_bw_bytes_us = 2.0e6;        // ~2 TB/s HBM2e
+  d.launch_overhead_us = 4.0;
+  d.transaction_bytes = 32;
+  return d;
+}
+
+int64_t MinMicroTileElems(const DeviceSpec& dev, Precision p) {
+  return dev.transaction_bytes / BytesPerElement(p);
+}
+
+}  // namespace pit

@@ -1,0 +1,120 @@
+// Model-level operator graph and the PIT compilation pass (Fig. 5).
+//
+// The paper's workflow: given a model, PIT finds feasible PIT rules for all
+// its operators offline, then at runtime detects sparsity and executes the
+// pre-selected sparse kernels. This module provides the small dataflow IR
+// that carries that workflow:
+//   * Graph construction (inputs, weights, matmul/relu/add/mask/softmax ops)
+//   * Sparsity propagation: which tensors can be dynamically sparse and why
+//     (ReLU outputs, masked tensors, externally sparse inputs)
+//   * The PIT pass: for every matmul with a potentially-sparse operand,
+//     derive the candidate PIT rules, pick the axis whose micro-tile layout
+//     the producer can provide, and record the piggybacked layout flip
+//     (§3.2: flipping row<->column major at the producer's output is free)
+//   * Two executors over the same graph: dense reference and PIT-sparse.
+#ifndef PIT_GRAPH_GRAPH_H_
+#define PIT_GRAPH_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pit/core/compiler.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+enum class OpKind {
+  kInput,    // runtime-fed tensor
+  kWeight,   // constant
+  kMatmul,   // C = A * B
+  kRelu,
+  kAdd,
+  kMask,     // C = A where mask != 0 else 0 (mask is second input)
+  kSoftmax,  // row-wise
+};
+const char* OpKindName(OpKind kind);
+
+// Why a tensor may be dynamically sparse (the paper's Fig. 2 taxonomy).
+enum class SparsitySource {
+  kNone,
+  kExternal,    // declared sparse input (padding, routing, pruning mask)
+  kActivation,  // ReLU output
+  kMasked,      // dynamic mask applied
+  kPropagated,  // inherited through a sparsity-preserving op
+};
+const char* SparsitySourceName(SparsitySource source);
+
+struct GraphNode {
+  int id = -1;
+  OpKind kind = OpKind::kInput;
+  std::string name;
+  std::vector<int> inputs;
+  Shape shape;
+
+  // Sparsity annotation (filled by PropagateSparsity).
+  SparsitySource sparsity = SparsitySource::kNone;
+  double expected_sparsity = 0.0;
+
+  bool MaybeSparse() const { return sparsity != SparsitySource::kNone; }
+};
+
+// Per-matmul decision recorded by the PIT pass.
+struct MatmulDecision {
+  int node_id = -1;
+  bool use_pit = false;
+  int sparse_operand = -1;      // 0 = A, 1 = B (only A supported today)
+  MatmulAxis axis = MatmulAxis::kM;
+  // The producer must emit the operand in this layout so the micro-tile is
+  // non-contiguous on the PIT-axis; the flip is piggybacked there (≈ free).
+  bool piggyback_layout_flip = false;
+  std::string reason;
+};
+
+class Graph {
+ public:
+  int AddInput(std::string name, Shape shape, double expected_sparsity = 0.0);
+  int AddWeight(std::string name, Tensor value);
+  int AddMatmul(std::string name, int a, int b);
+  int AddRelu(std::string name, int x);
+  int AddAdd(std::string name, int a, int b);
+  int AddMask(std::string name, int x, int mask);
+  int AddSoftmax(std::string name, int x);
+
+  const GraphNode& node(int id) const { return nodes_.at(static_cast<size_t>(id)); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Tensor& weight(int id) const;
+
+  // Annotates every node's sparsity source/ratio (forward dataflow).
+  void PropagateSparsity();
+
+  // The PIT pass: one decision per matmul node. `min_sparsity` is the
+  // fall-back threshold below which the pass keeps the dense kernel.
+  std::vector<MatmulDecision> PitPass(double min_sparsity = 0.3) const;
+
+  // Executes the graph on `feeds` (name -> tensor for every kInput).
+  // decisions == nullptr runs the dense reference; otherwise matmuls flagged
+  // use_pit run through `compiler`'s sparse path.
+  std::map<int, Tensor> Execute(const std::map<std::string, Tensor>& feeds,
+                                const std::vector<MatmulDecision>* decisions = nullptr,
+                                PitCompiler* compiler = nullptr) const;
+
+  // Convenience: output of the last node.
+  Tensor Run(const std::map<std::string, Tensor>& feeds,
+             const std::vector<MatmulDecision>* decisions = nullptr,
+             PitCompiler* compiler = nullptr) const;
+
+ private:
+  int Add(GraphNode node);
+  std::vector<GraphNode> nodes_;
+  std::map<int, Tensor> weights_;
+};
+
+// Builds the FFN block of the paper's OPT experiment: x -> matmul(W_up) ->
+// relu -> matmul(W_down). The ReLU output is the dynamic-sparsity source.
+Graph BuildFfnGraph(int64_t tokens, int64_t hidden, int64_t ffn_hidden, Rng& rng);
+
+}  // namespace pit
+
+#endif  // PIT_GRAPH_GRAPH_H_

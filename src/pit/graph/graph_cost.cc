@@ -1,0 +1,76 @@
+#include "pit/graph/graph_cost.h"
+
+#include "pit/common/check.h"
+#include "pit/core/kernel_selection.h"
+#include "pit/sparse/coverage.h"
+
+namespace pit {
+
+namespace {
+
+const MatmulDecision* DecisionFor(const std::vector<MatmulDecision>* decisions, int id) {
+  if (decisions == nullptr) {
+    return nullptr;
+  }
+  for (const auto& d : *decisions) {
+    if (d.node_id == id) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+GraphCostReport EstimateGraphCost(const Graph& graph, const CostModel& model,
+                                  const TileDatabase& db,
+                                  const std::vector<MatmulDecision>* decisions) {
+  GraphCostReport report;
+  for (int id = 0; id < graph.size(); ++id) {
+    const GraphNode& n = graph.node(id);
+    switch (n.kind) {
+      case OpKind::kInput:
+      case OpKind::kWeight:
+        break;
+      case OpKind::kMatmul: {
+        const GraphNode& a = graph.node(n.inputs[0]);
+        const int64_t m = a.shape[0], k = a.shape[1], nn = n.shape[1];
+        const MatmulDecision* d = DecisionFor(decisions, id);
+        if (d != nullptr && d->use_pit && a.MaybeSparse()) {
+          // Analytic pattern per sparsity source (see header).
+          const int64_t gm = 1;
+          const int64_t gn = a.sparsity == SparsitySource::kExternal ? k : 1;
+          AnalyticPattern pattern(m, k, gm, gn, a.expected_sparsity);
+          SelectionOptions opts;
+          opts.axes = {d->axis};
+          SelectionResult sel = SelectKernel(model, db, {&pattern}, m, k, nn, opts);
+          report.total += sel.best.cost;
+          ++report.matmuls_sparse;
+        } else {
+          const TileEntry& tile = db.BestDenseTile(model, m, k, nn);
+          report.total += model.DenseMatmul(m, k, nn, tile.shape, tile.tensor_core);
+          ++report.matmuls_dense;
+        }
+        break;
+      }
+      case OpKind::kRelu:
+      case OpKind::kAdd:
+      case OpKind::kMask:
+      case OpKind::kSoftmax: {
+        // Memory-bound elementwise: read inputs + write output.
+        int64_t elems = NumElements(n.shape);
+        for (int in : n.inputs) {
+          elems += NumElements(graph.node(in).shape);
+        }
+        CostBreakdown c;
+        c.memory_us = model.MemoryTime(elems * model.ElemBytes());
+        c.launch_us = model.device().launch_overhead_us;
+        report.total += c;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pit

@@ -1,0 +1,36 @@
+// Simulated-cost estimation over the operator graph.
+//
+// Prices a whole graph under the dense execution and under the PIT pass's
+// decisions, using the same gpusim cost model as the figure benchmarks: the
+// model-level analogue of Algorithm 1's per-operator estimate, and the number
+// an auto-tuner would use to decide whether a rewrite pays off.
+#ifndef PIT_GRAPH_GRAPH_COST_H_
+#define PIT_GRAPH_GRAPH_COST_H_
+
+#include <vector>
+
+#include "pit/core/tile_database.h"
+#include "pit/graph/graph.h"
+#include "pit/gpusim/cost_model.h"
+
+namespace pit {
+
+struct GraphCostReport {
+  CostBreakdown total;
+  int matmuls_sparse = 0;  // matmul nodes executed through PIT
+  int matmuls_dense = 0;
+};
+
+// Estimates the simulated latency of one execution of `graph`.
+// decisions == nullptr prices the all-dense execution; otherwise matmuls
+// flagged use_pit are priced as PIT sparse kernels over an analytic pattern
+// derived from the operand's annotated sparsity source:
+//   kExternal  -> whole-row granularity (padding/routing kill rows)
+//   activation/masked/propagated -> element granularity
+GraphCostReport EstimateGraphCost(const Graph& graph, const CostModel& model,
+                                  const TileDatabase& db,
+                                  const std::vector<MatmulDecision>* decisions);
+
+}  // namespace pit
+
+#endif  // PIT_GRAPH_GRAPH_COST_H_

@@ -1,0 +1,84 @@
+#include "pit/nn/autograd.h"
+
+#include <algorithm>
+
+#include "pit/common/check.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+MatmulGrads MatmulBackward(const Tensor& a, const Tensor& b, const Tensor& dc) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(dc.rank(), 2);
+  PIT_CHECK_EQ(dc.dim(0), a.dim(0));
+  PIT_CHECK_EQ(dc.dim(1), b.dim(1));
+  MatmulGrads grads;
+  grads.da = MatMul(dc, Transpose2D(b));
+  grads.db = MatMul(Transpose2D(a), dc);
+  return grads;
+}
+
+Tensor ReluBackward(const Tensor& x, const Tensor& dy) {
+  PIT_CHECK(x.shape() == dy.shape());
+  Tensor dx(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  return dx;
+}
+
+Tensor MaskedWeightGradDense(const Tensor& a, const Tensor& dc, const Tensor& mask) {
+  Tensor full = MatMul(Transpose2D(a), dc);
+  return ApplyMask(full, mask);
+}
+
+Tensor PitMaskedWeightGrad(const Tensor& a, const Tensor& dc, const Tensor& mask,
+                           int64_t block_cols, const SparsityDetector& detector) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(dc.rank(), 2);
+  PIT_CHECK_EQ(mask.rank(), 2);
+  PIT_CHECK_EQ(mask.dim(0), a.dim(1));   // K x N weight
+  PIT_CHECK_EQ(mask.dim(1), dc.dim(1));
+  PIT_CHECK_GT(block_cols, 0);
+  // Live column blocks of the mask: micro-tile spanning all rows x block_cols
+  // (a column block is dead iff no weight in it survives pruning).
+  MicroTileIndex index = detector.Detect(mask, MicroTileShape{mask.dim(0), block_cols});
+  std::vector<int64_t> cols;
+  for (int64_t off : index.offsets) {
+    const int64_t c0 = index.BlockColOf(off) * block_cols;
+    for (int64_t c = c0; c < std::min(mask.dim(1), c0 + block_cols); ++c) {
+      cols.push_back(c);
+    }
+  }
+  Tensor dw({mask.dim(0), mask.dim(1)});
+  if (cols.empty()) {
+    return dw;
+  }
+  // SRead the live columns of dC, compute the packed wgrad, SWrite back.
+  Tensor packed_dc = SReadCols(dc, cols);                   // [M, |cols|]
+  Tensor packed_dw = MatMul(Transpose2D(a), packed_dc);     // [K, |cols|]
+  // Scatter columns back to their original indices.
+  for (int64_t r = 0; r < dw.dim(0); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      dw.At(r, cols[i]) = packed_dw.At(r, static_cast<int64_t>(i));
+    }
+  }
+  // General masks may be sparse *within* a live block too.
+  return ApplyMask(dw, mask);
+}
+
+Tensor MaskedLinearStep(const Tensor& x, const Tensor& w, const Tensor& mask, Tensor* dx) {
+  PIT_CHECK(w.shape() == mask.shape());
+  Tensor sparse_w = ApplyMask(w, mask);
+  Tensor y = MatMul(x, sparse_w);
+  // L = 0.5 * sum(y^2)  =>  dL/dy = y.
+  MatmulGrads grads = MatmulBackward(x, sparse_w, y);
+  if (dx != nullptr) {
+    *dx = grads.da;
+  }
+  return ApplyMask(grads.db, mask);
+}
+
+}  // namespace pit

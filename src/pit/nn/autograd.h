@@ -1,0 +1,48 @@
+// Manual backward passes for the sparse-training experiments (§5.2).
+//
+// Iterative pruning trains with a dynamically masked weight: the forward is
+// y = x (W ⊙ mask) and the backward needs dL/dx and the *masked* dL/dW (the
+// pruned entries receive no update). PIT executes both sides sparsely: the
+// dgrad multiplies by the sparse masked weight; the wgrad only computes the
+// live blocks, gathered with SRead. Every routine here is validated against
+// finite differences and dense references in tests.
+#ifndef PIT_NN_AUTOGRAD_H_
+#define PIT_NN_AUTOGRAD_H_
+
+#include "pit/core/sparsity_detector.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+struct MatmulGrads {
+  Tensor da;  // dL/dA = dC * B^T
+  Tensor db;  // dL/dB = A^T * dC
+};
+
+// Backward of C = A * B given upstream dC.
+MatmulGrads MatmulBackward(const Tensor& a, const Tensor& b, const Tensor& dc);
+
+// Backward of y = relu(x): dy masked by x > 0.
+Tensor ReluBackward(const Tensor& x, const Tensor& dy);
+
+// Dense reference for the masked weight gradient: (A^T * dC) ⊙ mask.
+Tensor MaskedWeightGradDense(const Tensor& a, const Tensor& dc, const Tensor& mask);
+
+// PIT execution of the masked weight gradient: detects the live column
+// blocks of `mask` (micro-tile [mask_rows, block_cols]), SRead-gathers the
+// matching columns of dC, computes the packed A^T * dC', and SWrite-scatters
+// into the masked positions. Exact for masks whose dead entries form whole
+// column blocks; for general masks a final mask multiply keeps exactness.
+Tensor PitMaskedWeightGrad(const Tensor& a, const Tensor& dc, const Tensor& mask,
+                           int64_t block_cols = 1,
+                           const SparsityDetector& detector = SparsityDetector());
+
+// One full training step of y = x (W ⊙ mask), L = 0.5 * ||y||^2:
+// returns dL/dW (masked) and writes dL/dx if non-null. Used by the
+// integration tests to pin the whole sparse-training data path.
+Tensor MaskedLinearStep(const Tensor& x, const Tensor& w, const Tensor& mask,
+                        Tensor* dx = nullptr);
+
+}  // namespace pit
+
+#endif  // PIT_NN_AUTOGRAD_H_

@@ -1,0 +1,209 @@
+#include "pit/nn/modules.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/workloads/moe_routing.h"
+
+namespace pit {
+
+namespace {
+Tensor XavierInit(int64_t in, int64_t out, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+  return Tensor::Random({in, out}, rng, -bound, bound);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
+    : weight_(XavierInit(in_features, out_features, rng)),
+      bias_(Tensor::Random({out_features}, rng, -0.01f, 0.01f)) {}
+
+Tensor Linear::Forward(const Tensor& x) const { return MatMulBias(x, weight_, bias_); }
+
+Tensor Linear::ForwardSparse(const Tensor& x, PitCompiler& compiler) const {
+  Tensor y = compiler.SparseMatmul(x, weight_).output;
+  for (int64_t i = 0; i < y.dim(0); ++i) {
+    for (int64_t j = 0; j < y.dim(1); ++j) {
+      y.At(i, j) += bias_[j];
+    }
+  }
+  return y;
+}
+
+// ---------------------------------------------------------------- FeedForward
+
+FeedForward::FeedForward(int64_t hidden, int64_t ffn_hidden, Rng& rng)
+    : up_(hidden, ffn_hidden, rng), down_(ffn_hidden, hidden, rng) {}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  Tensor act = Relu(up_.Forward(x));
+  last_activation_sparsity_ = act.SparsityRatio();
+  return down_.Forward(act);
+}
+
+Tensor FeedForward::ForwardSparse(const Tensor& x, PitCompiler& compiler) const {
+  Tensor act = Relu(up_.Forward(x));
+  last_activation_sparsity_ = act.SparsityRatio();
+  return down_.ForwardSparse(act, compiler);
+}
+
+// ------------------------------------------------------- MultiHeadAttention
+
+MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t heads, Rng& rng)
+    : heads_(heads), qkv_(hidden, 3 * hidden, rng), out_(hidden, hidden, rng) {
+  PIT_CHECK_EQ(hidden % heads, 0);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x, const Tensor* mask) const {
+  const int64_t tokens = x.dim(0), hidden = x.dim(1);
+  const int64_t dh = hidden / heads_;
+  Tensor qkv = qkv_.Forward(x);  // [tokens, 3*hidden]
+  Tensor ctx({tokens, hidden});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (int64_t head = 0; head < heads_; ++head) {
+    // Slice Q, K, V for this head.
+    Tensor q({tokens, dh}), kt({dh, tokens}), v({tokens, dh});
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t d = 0; d < dh; ++d) {
+        q.At(t, d) = qkv.At(t, head * dh + d) * scale;
+        kt.At(d, t) = qkv.At(t, hidden + head * dh + d);
+        v.At(t, d) = qkv.At(t, 2 * hidden + head * dh + d);
+      }
+    }
+    Tensor scores = MatMul(q, kt);              // [tokens, tokens]
+    Tensor probs = Softmax(scores, mask);       // masked rows excluded
+    Tensor head_ctx = MatMul(probs, v);         // [tokens, dh]
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t d = 0; d < dh; ++d) {
+        ctx.At(t, head * dh + d) = head_ctx.At(t, d);
+      }
+    }
+  }
+  return out_.Forward(ctx);
+}
+
+// ---------------------------------------------------------------- MoELayer
+
+MoELayer::MoELayer(int64_t hidden, int64_t ffn_hidden, int num_experts, Rng& rng)
+    : router_(XavierInit(hidden, num_experts, rng)) {
+  up_.reserve(static_cast<size_t>(num_experts));
+  down_.reserve(static_cast<size_t>(num_experts));
+  for (int e = 0; e < num_experts; ++e) {
+    up_.push_back(XavierInit(hidden, ffn_hidden, rng));
+    down_.push_back(XavierInit(ffn_hidden, hidden, rng));
+  }
+}
+
+std::vector<int> MoELayer::Route(const Tensor& x) const {
+  Tensor logits = MatMul(x, router_);
+  std::vector<int> routing(static_cast<size_t>(x.dim(0)));
+  for (int64_t t = 0; t < logits.dim(0); ++t) {
+    int best = 0;
+    for (int64_t e = 1; e < logits.dim(1); ++e) {
+      if (logits.At(t, e) > logits.At(t, best)) {
+        best = static_cast<int>(e);
+      }
+    }
+    routing[static_cast<size_t>(t)] = best;
+  }
+  return routing;
+}
+
+Tensor MoELayer::ForwardDense(const Tensor& x) const {
+  const std::vector<int> routing = Route(x);
+  Tensor out({x.dim(0), x.dim(1)});
+  // Reference semantics: every expert computes the full batch; only its own
+  // tokens' rows are kept (the masked formulation of Fig. 2b).
+  for (int e = 0; e < num_experts(); ++e) {
+    Tensor mid = Relu(MatMul(x, up_[static_cast<size_t>(e)]));
+    Tensor y = MatMul(mid, down_[static_cast<size_t>(e)]);
+    for (int64_t t = 0; t < x.dim(0); ++t) {
+      if (routing[static_cast<size_t>(t)] == e) {
+        for (int64_t j = 0; j < x.dim(1); ++j) {
+          out.At(t, j) = y.At(t, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MoELayer::ForwardPit(const Tensor& x) const {
+  const std::vector<int> routing = Route(x);
+  Tensor out({x.dim(0), x.dim(1)});
+  for (int e = 0; e < num_experts(); ++e) {
+    std::vector<int64_t> mine;
+    for (size_t t = 0; t < routing.size(); ++t) {
+      if (routing[t] == e) {
+        mine.push_back(static_cast<int64_t>(t));
+      }
+    }
+    if (mine.empty()) {
+      continue;
+    }
+    Tensor packed = SReadRows(x, mine);
+    Tensor y = MatMul(Relu(MatMul(packed, up_[static_cast<size_t>(e)])),
+                      down_[static_cast<size_t>(e)]);
+    SWriteRows(y, mine, &out);
+  }
+  return out;
+}
+
+Tensor MoELayer::ForwardPadded(const Tensor& x) const {
+  const std::vector<int> routing = Route(x);
+  const std::vector<int64_t> loads = ExpertLoads(routing, num_experts());
+  const int64_t cap = MaxLoad(loads);
+  Tensor out({x.dim(0), x.dim(1)});
+  for (int e = 0; e < num_experts(); ++e) {
+    // Capacity buffer: expert's tokens followed by zero padding rows.
+    std::vector<int64_t> mine;
+    for (size_t t = 0; t < routing.size(); ++t) {
+      if (routing[t] == e) {
+        mine.push_back(static_cast<int64_t>(t));
+      }
+    }
+    Tensor buf({cap, x.dim(1)});
+    for (size_t i = 0; i < mine.size(); ++i) {
+      for (int64_t j = 0; j < x.dim(1); ++j) {
+        buf.At(static_cast<int64_t>(i), j) = x.At(mine[i], j);
+      }
+    }
+    Tensor y = MatMul(Relu(MatMul(buf, up_[static_cast<size_t>(e)])),
+                      down_[static_cast<size_t>(e)]);
+    for (size_t i = 0; i < mine.size(); ++i) {
+      for (int64_t j = 0; j < x.dim(1); ++j) {
+        out.At(mine[i], j) = y.At(static_cast<int64_t>(i), j);
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------ TransformerEncoderLayer
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t hidden, int64_t heads,
+                                                 int64_t ffn_hidden, Rng& rng)
+    : attn_(hidden, heads, rng),
+      ffn_(hidden, ffn_hidden, rng),
+      ln1_gamma_(Tensor::Full({hidden}, 1.0f)),
+      ln1_beta_(Tensor::Zeros({hidden})),
+      ln2_gamma_(Tensor::Full({hidden}, 1.0f)),
+      ln2_beta_(Tensor::Zeros({hidden})) {}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x, const Tensor* attn_mask) const {
+  Tensor h = Add(x, attn_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_), attn_mask));
+  return Add(h, ffn_.Forward(LayerNorm(h, ln2_gamma_, ln2_beta_)));
+}
+
+Tensor TransformerEncoderLayer::ForwardSparse(const Tensor& x, PitCompiler& compiler,
+                                              const Tensor* attn_mask) const {
+  Tensor h = Add(x, attn_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_), attn_mask));
+  return Add(h, ffn_.ForwardSparse(LayerNorm(h, ln2_gamma_, ln2_beta_), compiler));
+}
+
+}  // namespace pit

@@ -1,0 +1,108 @@
+// Functional neural-network substrate.
+//
+// Small but real modules (the paper's PyTorch role): deterministic-init
+// weights, numerically exact forwards. Sparse-aware modules take a PitCompiler
+// (or use the PIT kernels directly) so integration tests can check that a
+// whole transformer layer produces identical outputs under dense execution
+// and under PIT's sparse execution of its dynamic-sparsity components.
+#ifndef PIT_NN_MODULES_H_
+#define PIT_NN_MODULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "pit/common/rng.h"
+#include "pit/core/compiler.h"
+#include "pit/tensor/ops.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// y = x W + b, weights initialized Xavier-uniform.
+class Linear {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;  // x: [tokens, in]
+  // Forward with dynamically sparse input executed through PIT.
+  Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler) const;
+
+  const Tensor& weight() const { return weight_; }
+  int64_t in_features() const { return weight_.dim(0); }
+  int64_t out_features() const { return weight_.dim(1); }
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out]
+};
+
+// Post-norm residual feed-forward block with ReLU (the OPT-style FFN whose
+// activation sparsity PIT exploits).
+class FeedForward {
+ public:
+  FeedForward(int64_t hidden, int64_t ffn_hidden, Rng& rng);
+  Tensor Forward(const Tensor& x) const;
+  // The second matmul consumes the (sparse) ReLU output through PIT.
+  Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler) const;
+  // Fraction of zeros in the ReLU activation of the last Forward call.
+  double last_activation_sparsity() const { return last_activation_sparsity_; }
+
+ private:
+  Linear up_;
+  Linear down_;
+  mutable double last_activation_sparsity_ = 0.0;
+};
+
+// Single-head (per-head looped) attention with an optional 0/1 mask over
+// scores; mask == nullptr means full attention.
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(int64_t hidden, int64_t heads, Rng& rng);
+  // x: [tokens, hidden]; mask: [tokens, tokens] or nullptr.
+  Tensor Forward(const Tensor& x, const Tensor* mask = nullptr) const;
+
+ private:
+  int64_t heads_;
+  Linear qkv_;
+  Linear out_;
+};
+
+// Top-1 routed mixture-of-experts FFN (Switch-Transformer style).
+class MoELayer {
+ public:
+  MoELayer(int64_t hidden, int64_t ffn_hidden, int num_experts, Rng& rng);
+
+  // Dense reference: every expert computes every token, gated by a 0/1 mask.
+  Tensor ForwardDense(const Tensor& x) const;
+  // PIT execution: SRead-gather each expert's tokens, dense compute, SWrite.
+  Tensor ForwardPit(const Tensor& x) const;
+  // Capacity-padded BatchMatmul execution (Tutel/DeepSpeed strategy);
+  // numerically identical, wastes compute on padding.
+  Tensor ForwardPadded(const Tensor& x) const;
+
+  std::vector<int> Route(const Tensor& x) const;  // expert id per token
+  int num_experts() const { return static_cast<int>(up_.size()); }
+
+ private:
+  Tensor router_;                 // [hidden, experts]
+  std::vector<Tensor> up_;        // per-expert [hidden, ffn]
+  std::vector<Tensor> down_;      // per-expert [ffn, hidden]
+};
+
+// Pre-norm transformer encoder layer: x + Attn(LN(x)); x + FFN(LN(x)).
+class TransformerEncoderLayer {
+ public:
+  TransformerEncoderLayer(int64_t hidden, int64_t heads, int64_t ffn_hidden, Rng& rng);
+  Tensor Forward(const Tensor& x, const Tensor* attn_mask = nullptr) const;
+  Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler,
+                       const Tensor* attn_mask = nullptr) const;
+
+ private:
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  Tensor ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_NN_MODULES_H_

@@ -1,0 +1,33 @@
+#include "pit/runtime/engine.h"
+
+namespace pit {
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kPyTorch:
+      return "PyTorch";
+    case Engine::kPyTorchS:
+      return "PyTorch-S";
+    case Engine::kDeepSpeed:
+      return "DeepSpeed";
+    case Engine::kTutel:
+      return "Tutel";
+    case Engine::kMegaBlocks:
+      return "MegaBlocks";
+    case Engine::kTurboTransformer:
+      return "TurboTransformer";
+    case Engine::kLongformerS:
+      return "Longformer-S";
+    case Engine::kTvm:
+      return "TVM";
+    case Engine::kPit:
+      return "PIT";
+    case Engine::kPitNoSparseMoe:
+      return "PIT w/o Sparse MoE";
+    case Engine::kPitNoActivation:
+      return "PIT w/o activation";
+  }
+  return "?";
+}
+
+}  // namespace pit

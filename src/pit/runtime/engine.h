@@ -1,0 +1,29 @@
+// Execution-engine taxonomy for the end-to-end experiments.
+//
+// Each enumerator names one system the paper compares (§5.1/§5.2) and maps to
+// an execution *strategy* in runtime/models.cc: how tokens are padded, which
+// kernels run, what conversion/index costs are paid, and what memory is held.
+#ifndef PIT_RUNTIME_ENGINE_H_
+#define PIT_RUNTIME_ENGINE_H_
+
+namespace pit {
+
+enum class Engine {
+  kPyTorch,          // dense, padded, one kernel per op
+  kPyTorchS,         // best sparse backend (Triton 32x32) + per-batch convert
+  kDeepSpeed,        // fused dense inference/training (padded)
+  kTutel,            // MoE capacity-padded BatchMatmul
+  kMegaBlocks,       // MoE grouped block-sparse (fp16 only)
+  kTurboTransformer, // length-sorted dynamic batching (BERT only)
+  kLongformerS,      // Longformer's hand-written sparse attention
+  kTvm,              // Ansor-tuned dense kernels (Fig. 19)
+  kPit,              // this paper
+  kPitNoSparseMoe,   // ablation: PIT without the sparse-MoE optimization
+  kPitNoActivation,  // ablation: PIT without ReLU-activation sparsity (OPT)
+};
+
+const char* EngineName(Engine e);
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_ENGINE_H_

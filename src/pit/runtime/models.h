@@ -1,0 +1,108 @@
+// End-to-end model cost functions for the paper's evaluation figures.
+//
+// Each function prices one model's forward (or forward+backward) pass under a
+// chosen engine strategy on a concrete dynamic-sparsity workload, returning
+// simulated latency and a memory footprint. These are the generators behind
+// Figs. 8–15 and 19; the mapping from figure to function is in DESIGN.md §4.
+#ifndef PIT_RUNTIME_MODELS_H_
+#define PIT_RUNTIME_MODELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pit/gpusim/cost_model.h"
+#include "pit/runtime/engine.h"
+
+namespace pit {
+
+struct TransformerDims {
+  std::string name;
+  int64_t layers = 12;
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t ffn_hidden = 3072;
+  int64_t vocab = 32000;
+  // Decoder-only models: PyTorch-S cannot exploit sequence-length sparsity
+  // there (no 32-block row structure in causal attention), so it keeps the
+  // padded batch (§5.1 OPT: only PIT removes the padding).
+  bool decoder = false;
+};
+
+TransformerDims BertBase();
+TransformerDims BertLarge();
+TransformerDims LongformerBase();
+TransformerDims LongformerLarge();
+TransformerDims MuseformerDims();
+// OPT family: "125M", "350M", "1.3B", "13B", "30B".
+TransformerDims OptDims(const std::string& size);
+// Switch Transformer (encoder-decoder backbone priced as 2x encoder stack).
+TransformerDims SwitchDims();
+TransformerDims SwinMoeDims();
+
+struct ModelRunCost {
+  CostBreakdown cost;
+  int64_t memory_bytes = 0;
+  bool oom = false;  // exceeded device memory (Tutel/DeepSpeed at 256 experts)
+  double LatencyMs() const { return cost.Total() / 1000.0; }
+  double MemoryGb() const { return static_cast<double>(memory_bytes) / (1024.0 * 1024.0 * 1024.0); }
+};
+
+// ---- Dense-backbone transformer with varying sequence lengths (BERT, Fig.11;
+//      also the backbone part of every other model).
+ModelRunCost TransformerRun(const CostModel& model, Engine engine, const TransformerDims& dims,
+                            const std::vector<int64_t>& lens, bool training = false);
+
+// ---- MoE models -----------------------------------------------------------
+struct MoeRunConfig {
+  int num_experts = 64;
+  // Tokens per expert for each MoE layer (outer: layer; inner: expert).
+  std::vector<std::vector<int64_t>> layer_loads;
+  int64_t device_memory_bytes = 80ll << 30;  // A100-80GB
+};
+
+// Switch Transformer (Fig. 8): backbone with every-other-layer MoE FFN.
+ModelRunCost SwitchTransformerRun(const CostModel& model, Engine engine,
+                                  const TransformerDims& dims, const std::vector<int64_t>& lens,
+                                  const MoeRunConfig& moe);
+
+// Swin-MoE (Fig. 9): vision backbone, fixed sequence length per image.
+ModelRunCost SwinMoeRun(const CostModel& model, Engine engine, const TransformerDims& dims,
+                        int64_t batch, int64_t tokens_per_image, const MoeRunConfig& moe);
+
+// ---- OPT (Fig. 10 inference, Fig. 14 training) -----------------------------
+struct OptRunConfig {
+  double activation_sparsity = 0.99;  // ReLU output sparsity in the FFN
+  bool training = false;
+  int64_t device_memory_bytes = 8ll * (32ll << 30);  // 8x V100-32GB
+};
+ModelRunCost OptRun(const CostModel& model, Engine engine, const TransformerDims& dims,
+                    const std::vector<int64_t>& lens, const OptRunConfig& config);
+
+// ---- Sparse attention models (Longformer Fig. 12, Museformer Fig. 13) ------
+struct SparseAttentionRunConfig {
+  int64_t seq_len = 2048;
+  int64_t batch = 1;
+  double mask_density = 0.1;      // nonzero fraction of the attention mask
+  double block32_density = 0.2;   // fraction covered at 32x32 blocks (PyTorch-S)
+  int64_t device_memory_bytes = 32ll << 30;  // V100-32GB
+};
+ModelRunCost SparseAttentionRun(const CostModel& model, Engine engine,
+                                const TransformerDims& dims,
+                                const SparseAttentionRunConfig& config);
+
+// ---- Sparse training by iterative pruning (Fig. 15) ------------------------
+struct SparseTrainingRunConfig {
+  int64_t batch = 32;
+  int64_t seq_len = 128;
+  int64_t block_rows = 32;  // pruning granularity
+  int64_t block_cols = 64;
+  double sparsity = 0.9;    // weight sparsity ratio
+};
+ModelRunCost SparseTrainingRun(const CostModel& model, Engine engine,
+                               const TransformerDims& dims,
+                               const SparseTrainingRunConfig& config);
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_MODELS_H_

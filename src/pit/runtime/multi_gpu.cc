@@ -1,0 +1,47 @@
+#include "pit/runtime/multi_gpu.h"
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+double RingAllReduceUs(int64_t bytes, const TensorParallelConfig& config) {
+  PIT_CHECK_GT(config.num_gpus, 0);
+  if (config.num_gpus == 1) {
+    return 0.0;
+  }
+  // Ring all-reduce moves 2*(N-1)/N of the payload over each link.
+  const double n = static_cast<double>(config.num_gpus);
+  const double volume = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
+  return volume / config.link_bw_bytes_us + config.collective_overhead_us;
+}
+
+ModelRunCost TensorParallel(const ModelRunCost& single, const TransformerDims& dims,
+                            int64_t tokens, const TensorParallelConfig& config,
+                            Precision precision, bool training) {
+  PIT_CHECK_GT(config.num_gpus, 0);
+  const double n = static_cast<double>(config.num_gpus);
+  ModelRunCost tp;
+  // Compute and memory-bound work shard across devices; launches replicate
+  // (each device launches its shard's kernels), conversion/index shards too.
+  tp.cost.compute_us = single.cost.compute_us / n;
+  tp.cost.memory_us = single.cost.memory_us / n;
+  tp.cost.launch_us = single.cost.launch_us;
+  tp.cost.convert_us = single.cost.convert_us / n;
+  tp.cost.index_us = single.cost.index_us / n;
+
+  // Two all-reduces per layer over the activation tensor [tokens, hidden];
+  // backward adds the mirrored gradient collectives.
+  const int64_t payload = tokens * dims.hidden * BytesPerElement(precision);
+  const double per_layer = 2.0 * RingAllReduceUs(payload, config);
+  const double passes = training ? 2.0 : 1.0;
+  // Communication lands in memory_us (it is bandwidth-bound time).
+  tp.cost.memory_us += per_layer * static_cast<double>(dims.layers) * passes;
+
+  // Per-device memory: weights and weight-state shard; activations for the
+  // local shard also shard by N (sequence stays replicated in the payload).
+  tp.memory_bytes = single.memory_bytes / config.num_gpus;
+  tp.oom = single.oom;
+  return tp;
+}
+
+}  // namespace pit

@@ -1,0 +1,36 @@
+// Tensor-parallel multi-GPU scaling model.
+//
+// The paper runs OPT-13B/30B on 8x V100-32GB (Table 2). This module scales a
+// single-device ModelRunCost to an N-way tensor-parallel execution: matmul
+// and elementwise work shard by N, weights shard by N, and every layer pays
+// two ring all-reduces over the activations (the Megatron-style TP pattern).
+// Engine comparisons are preserved because the sharding applies identically
+// to every engine.
+#ifndef PIT_RUNTIME_MULTI_GPU_H_
+#define PIT_RUNTIME_MULTI_GPU_H_
+
+#include "pit/runtime/models.h"
+
+namespace pit {
+
+struct TensorParallelConfig {
+  int num_gpus = 8;
+  // Per-link interconnect bandwidth (NVLink2: ~150 GB/s per direction).
+  double link_bw_bytes_us = 0.15e6;
+  // Per-collective launch/latency overhead.
+  double collective_overhead_us = 10.0;
+};
+
+// Scales `single` (one-device cost of the whole model) to TP execution.
+// `tokens` and `hidden` size the per-layer all-reduce payload; `layers` sets
+// the collective count (2 per layer: post-attention and post-FFN).
+ModelRunCost TensorParallel(const ModelRunCost& single, const TransformerDims& dims,
+                            int64_t tokens, const TensorParallelConfig& config,
+                            Precision precision, bool training = false);
+
+// Ring all-reduce time for `bytes` over `num_gpus` links.
+double RingAllReduceUs(int64_t bytes, const TensorParallelConfig& config);
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_MULTI_GPU_H_

@@ -1,0 +1,120 @@
+#include "pit/runtime/paged_kv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "pit/common/check.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+PagedKvCache::PagedKvCache(int64_t page_size, int64_t hidden)
+    : page_size_(page_size), hidden_(hidden) {
+  PIT_CHECK_GT(page_size, 0);
+  PIT_CHECK_GT(hidden, 0);
+}
+
+int PagedKvCache::AddSequence() {
+  sequences_.push_back(Sequence{});
+  return static_cast<int>(sequences_.size()) - 1;
+}
+
+int64_t PagedKvCache::AllocatePage() {
+  if (!free_pages_.empty()) {
+    const int64_t page = free_pages_.back();
+    free_pages_.pop_back();
+    return page;
+  }
+  pool_.emplace_back(static_cast<size_t>(page_size_ * hidden_), 0.0f);
+  return static_cast<int64_t>(pool_.size()) - 1;
+}
+
+void PagedKvCache::AppendToken(int seq, const float* token) {
+  Sequence& s = sequences_.at(static_cast<size_t>(seq));
+  PIT_CHECK(!s.freed) << "appending to a freed sequence";
+  const int64_t slot = s.length % page_size_;
+  if (slot == 0) {
+    s.pages.push_back(AllocatePage());
+  }
+  float* page = pool_[static_cast<size_t>(s.pages.back())].data();
+  std::memcpy(page + slot * hidden_, token, static_cast<size_t>(hidden_) * sizeof(float));
+  ++s.length;
+}
+
+void PagedKvCache::AppendToken(int seq, const Tensor& token) {
+  PIT_CHECK_EQ(token.size(), hidden_);
+  AppendToken(seq, token.data());
+}
+
+void PagedKvCache::FreeSequence(int seq) {
+  Sequence& s = sequences_.at(static_cast<size_t>(seq));
+  PIT_CHECK(!s.freed);
+  for (int64_t page : s.pages) {
+    free_pages_.push_back(page);
+  }
+  s.pages.clear();
+  s.length = 0;
+  s.freed = true;
+}
+
+int64_t PagedKvCache::SequenceLength(int seq) const {
+  return sequences_.at(static_cast<size_t>(seq)).length;
+}
+
+void PagedKvCache::ReadToken(int seq, int64_t pos, float* out) const {
+  const Sequence& s = sequences_.at(static_cast<size_t>(seq));
+  PIT_CHECK(!s.freed);
+  PIT_CHECK_GE(pos, 0);
+  PIT_CHECK_LT(pos, s.length);
+  const int64_t page = s.pages[static_cast<size_t>(pos / page_size_)];
+  const float* src = pool_[static_cast<size_t>(page)].data() + (pos % page_size_) * hidden_;
+  std::memcpy(out, src, static_cast<size_t>(hidden_) * sizeof(float));
+}
+
+Tensor PagedKvCache::GatherSequence(int seq) const {
+  const Sequence& s = sequences_.at(static_cast<size_t>(seq));
+  PIT_CHECK(!s.freed);
+  Tensor out({s.length, hidden_});
+  for (int64_t pos = 0; pos < s.length; ++pos) {
+    ReadToken(seq, pos, out.data() + pos * hidden_);
+  }
+  return out;
+}
+
+int64_t PagedKvCache::AllocatedBytes() const {
+  return static_cast<int64_t>(pool_.size()) * page_size_ * hidden_ *
+         static_cast<int64_t>(sizeof(float));
+}
+
+Tensor PagedAttendOne(const PagedKvCache& keys, const PagedKvCache& values, int seq,
+                      const Tensor& query) {
+  const int64_t len = keys.SequenceLength(seq);
+  PIT_CHECK_EQ(len, values.SequenceLength(seq));
+  PIT_CHECK_EQ(query.rank(), 1);
+  const int64_t d = query.size();
+  Tensor k = keys.GatherSequence(seq);    // [len, d]
+  Tensor v = values.GatherSequence(seq);  // [len, d]
+  PIT_CHECK_EQ(k.dim(1), d);
+  // scores = q . k_t / sqrt(d), softmax, weighted sum of v.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  Tensor scores({1, len});
+  for (int64_t t = 0; t < len; ++t) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      acc += query[j] * k.At(t, j);
+    }
+    scores.At(0, t) = acc * scale;
+  }
+  Tensor probs = Softmax(scores);
+  Tensor out({d});
+  for (int64_t t = 0; t < len; ++t) {
+    const float p = probs.At(0, t);
+    for (int64_t j = 0; j < d; ++j) {
+      out[j] += p * v.At(t, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace pit

@@ -1,0 +1,71 @@
+// Paged KV cache — the paper's §6 connection to vLLM/PagedAttention.
+//
+// The paper observes that Paged Attention is a domain-specific instance of
+// PIT: tokens are stored "sparsely" in non-contiguous physical pages and
+// gathered on demand, exactly an SRead over micro-tiles of one token row.
+// This module implements that substrate: a page pool holding ragged
+// sequences, SRead-style gathering for attention, and the memory accounting
+// that shows the win over max-length preallocation.
+#ifndef PIT_RUNTIME_PAGED_KV_H_
+#define PIT_RUNTIME_PAGED_KV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+class PagedKvCache {
+ public:
+  // page_size = tokens per page; hidden = floats per token.
+  PagedKvCache(int64_t page_size, int64_t hidden);
+
+  // Registers a new sequence; returns its id.
+  int AddSequence();
+  // Appends one token's vector (hidden floats) to the sequence, allocating a
+  // page when the current one is full. Freed pages are reused first.
+  void AppendToken(int seq, const float* token);
+  void AppendToken(int seq, const Tensor& token);  // [hidden]
+  // Releases the sequence's pages back to the free list.
+  void FreeSequence(int seq);
+
+  int64_t SequenceLength(int seq) const;
+  // SRead: gathers the sequence's scattered pages into a contiguous
+  // [len, hidden] tensor (what the attention kernel consumes).
+  Tensor GatherSequence(int seq) const;
+  // Reads one token (bounds-checked) without materializing the sequence.
+  void ReadToken(int seq, int64_t pos, float* out) const;
+
+  int64_t num_pages_allocated() const { return static_cast<int64_t>(pool_.size()); }
+  int64_t num_pages_free() const { return static_cast<int64_t>(free_pages_.size()); }
+  int64_t AllocatedBytes() const;
+
+  // Bytes a padded preallocation would need for the same sequences.
+  static int64_t PaddedBytes(int64_t num_seqs, int64_t max_len, int64_t hidden) {
+    return num_seqs * max_len * hidden * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  struct Sequence {
+    std::vector<int64_t> pages;
+    int64_t length = 0;
+    bool freed = false;
+  };
+  int64_t AllocatePage();
+
+  int64_t page_size_;
+  int64_t hidden_;
+  std::vector<std::vector<float>> pool_;  // page -> page_size*hidden floats
+  std::vector<int64_t> free_pages_;
+  std::vector<Sequence> sequences_;
+};
+
+// Single-query paged attention: softmax(q K^T / sqrt(d)) V with K/V rows read
+// directly from the cache (the PagedAttention kernel shape). Returns [hidden].
+Tensor PagedAttendOne(const PagedKvCache& keys, const PagedKvCache& values, int seq,
+                      const Tensor& query);
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_PAGED_KV_H_

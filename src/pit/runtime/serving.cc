@@ -1,0 +1,92 @@
+#include "pit/runtime/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+namespace {
+
+struct Request {
+  double arrival_us = 0.0;
+  int64_t len = 0;
+};
+
+}  // namespace
+
+ServingStats SimulateServing(const CostModel& model, Engine engine, const TransformerDims& dims,
+                             const SeqLenDistribution& dist, const ServingConfig& config,
+                             Rng& rng) {
+  PIT_CHECK_GT(config.arrival_rate_rps, 0.0);
+  PIT_CHECK_GT(config.num_requests, 0);
+  PIT_CHECK_GT(config.max_batch, 0);
+
+  // Generate the arrival trace (Poisson: exponential gaps) and lengths.
+  std::vector<Request> requests(static_cast<size_t>(config.num_requests));
+  const double mean_gap_us = 1e6 / config.arrival_rate_rps;
+  double t = 0.0;
+  for (auto& r : requests) {
+    double u = rng.NextDouble();
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    t += -std::log(u) * mean_gap_us;
+    r.arrival_us = t;
+    r.len = SampleBatchLens(dist, 1, rng)[0];
+  }
+
+  ServingStats stats;
+  stats.requests = config.num_requests;
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+
+  double device_free_at = 0.0;
+  size_t next = 0;
+  while (next < requests.size()) {
+    // The scheduler closes a batch when the device is free and either the
+    // batch is full or the head request has waited max_wait_us (batching
+    // window measured from the head request's arrival).
+    const double head_arrival = requests[next].arrival_us;
+    double start = std::max(device_free_at, head_arrival);
+    size_t end = next;
+    std::vector<int64_t> lens;
+    while (end < requests.size() && static_cast<int64_t>(end - next) < config.max_batch) {
+      const double deadline = head_arrival + config.max_wait_us;
+      const double close_time = std::max(start, deadline);
+      if (requests[end].arrival_us <= close_time) {
+        lens.push_back(requests[end].len);
+        ++end;
+      } else {
+        break;
+      }
+    }
+    // Batch launch time: device free, all members arrived, window respected.
+    start = std::max(start, requests[end - 1].arrival_us);
+
+    ModelRunCost run = TransformerRun(model, engine, dims, lens);
+    const double finish = start + run.cost.Total();
+    for (size_t i = next; i < end; ++i) {
+      latencies.push_back(finish - requests[i].arrival_us);
+    }
+    stats.gpu_busy_us += run.cost.Total();
+    ++stats.batches;
+    device_free_at = finish;
+    next = end;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (double l : latencies) {
+    sum += l;
+  }
+  stats.mean_latency_us = sum / static_cast<double>(latencies.size());
+  stats.p50_latency_us = latencies[latencies.size() / 2];
+  stats.p99_latency_us = latencies[std::min(latencies.size() - 1,
+                                            static_cast<size_t>(0.99 * latencies.size()))];
+  stats.makespan_us = device_free_at - requests.front().arrival_us;
+  return stats;
+}
+
+}  // namespace pit

@@ -1,0 +1,51 @@
+// Discrete-event serving simulator (extension experiment).
+//
+// The paper's e2e numbers are per-batch; serving systems care about what the
+// per-batch win buys under load: shorter batches drain the queue faster, so
+// tail latency improves super-linearly. This simulator plays a Poisson
+// request stream through a batching scheduler and executes each batch with an
+// engine's cost function, yielding p50/p99 latency and throughput per engine.
+// It is also the natural home for the vLLM discussion in the paper's §6
+// (PIT as a general mechanism under a serving scheduler).
+#ifndef PIT_RUNTIME_SERVING_H_
+#define PIT_RUNTIME_SERVING_H_
+
+#include <vector>
+
+#include "pit/common/rng.h"
+#include "pit/runtime/models.h"
+#include "pit/workloads/seq_len.h"
+
+namespace pit {
+
+struct ServingConfig {
+  double arrival_rate_rps = 50.0;  // Poisson arrivals, requests/second
+  int64_t num_requests = 400;
+  int64_t max_batch = 32;          // scheduler closes a batch at this size
+  double max_wait_us = 20000.0;    // ...or after the oldest request waits this long
+};
+
+struct ServingStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  double mean_latency_us = 0.0;  // arrival -> completion
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double makespan_us = 0.0;      // first arrival -> last completion
+  double gpu_busy_us = 0.0;
+  double ThroughputRps() const {
+    return makespan_us > 0.0 ? static_cast<double>(requests) / (makespan_us / 1e6) : 0.0;
+  }
+  double Utilization() const { return makespan_us > 0.0 ? gpu_busy_us / makespan_us : 0.0; }
+};
+
+// Simulates serving `dist`-distributed requests through `engine` on `dims`.
+// Deterministic for a given rng seed. The device executes one batch at a
+// time (single-stream, as in the paper's latency experiments).
+ServingStats SimulateServing(const CostModel& model, Engine engine, const TransformerDims& dims,
+                             const SeqLenDistribution& dist, const ServingConfig& config,
+                             Rng& rng);
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_SERVING_H_

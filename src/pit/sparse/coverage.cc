@@ -1,0 +1,62 @@
+#include "pit/sparse/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+#include "pit/core/sparsity_detector.h"
+
+namespace pit {
+
+AnalyticPattern::AnalyticPattern(int64_t rows, int64_t cols, int64_t block_rows,
+                                 int64_t block_cols, double sparsity)
+    : rows_(rows), cols_(cols), block_rows_(block_rows), block_cols_(block_cols),
+      sparsity_(sparsity) {
+  PIT_CHECK_GT(block_rows, 0);
+  PIT_CHECK_GT(block_cols, 0);
+  PIT_CHECK_GE(sparsity, 0.0);
+  PIT_CHECK_LE(sparsity, 1.0);
+}
+
+double AnalyticPattern::NonZeroProb(const MicroTileShape& micro) const {
+  // Number of independent granularity blocks a micro-tile intersects (aligned
+  // grids; a micro-tile smaller than the block still sees one block).
+  const double br = std::max<double>(
+      1.0, static_cast<double>(std::min(micro.rows, rows_)) / static_cast<double>(block_rows_));
+  const double bc = std::max<double>(
+      1.0, static_cast<double>(std::min(micro.cols, cols_)) / static_cast<double>(block_cols_));
+  const double blocks = br * bc;
+  return 1.0 - std::pow(sparsity_, blocks);
+}
+
+MaskPattern::MaskPattern(const Tensor* mask) : mask_(mask) {
+  PIT_CHECK(mask != nullptr);
+  PIT_CHECK_EQ(mask->rank(), 2);
+}
+
+double MaskPattern::NonZeroProb(const MicroTileShape& micro) const {
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(*mask_, micro);
+  return index.CoveredFraction();
+}
+
+double MaskPattern::ElementSparsity() const { return mask_->SparsityRatio(); }
+
+int64_t CountCoveringMicroTiles(const SparsityPattern& pattern, const MicroTileShape& micro) {
+  const int64_t grid_rows = (pattern.rows() + micro.rows - 1) / micro.rows;
+  const int64_t grid_cols = (pattern.cols() + micro.cols - 1) / micro.cols;
+  const double expected =
+      static_cast<double>(grid_rows * grid_cols) * pattern.NonZeroProb(micro);
+  return static_cast<int64_t>(std::llround(expected));
+}
+
+double WastedComputationFraction(const SparsityPattern& pattern, const MicroTileShape& micro) {
+  const double covered_area = pattern.NonZeroProb(micro);  // fraction of total area
+  if (covered_area <= 0.0) {
+    return 0.0;
+  }
+  const double nonzero_area = 1.0 - pattern.ElementSparsity();
+  return std::clamp(1.0 - nonzero_area / covered_area, 0.0, 1.0);
+}
+
+}  // namespace pit

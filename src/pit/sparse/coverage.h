@@ -1,0 +1,75 @@
+// Sparsity-pattern abstraction and micro-tile coverage (the paper's
+// CoverAlgo, Algorithm 1 line 8).
+//
+// Two implementations: MaskPattern counts coverage exactly on a materialized
+// mask tensor (used in tests and small benchmarks), AnalyticPattern computes
+// the same statistics in closed form for an aligned iid block-sparse pattern
+// (used by the large e2e sweeps where materializing a 4096x4096 mask per
+// configuration would dominate runtime on this machine).
+#ifndef PIT_SPARSE_COVERAGE_H_
+#define PIT_SPARSE_COVERAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "pit/core/pit_rule.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Read-only statistical view of a 2-D sparsity pattern.
+class SparsityPattern {
+ public:
+  virtual ~SparsityPattern() = default;
+  virtual int64_t rows() const = 0;
+  virtual int64_t cols() const = 0;
+  // Probability that an aligned micro-tile of this shape contains >=1 nonzero.
+  virtual double NonZeroProb(const MicroTileShape& micro) const = 0;
+  // Fraction of individual elements that are zero.
+  virtual double ElementSparsity() const = 0;
+};
+
+// iid block-sparse pattern: aligned (block_rows x block_cols) blocks, each
+// entirely nonzero with probability (1 - sparsity).
+class AnalyticPattern : public SparsityPattern {
+ public:
+  AnalyticPattern(int64_t rows, int64_t cols, int64_t block_rows, int64_t block_cols,
+                  double sparsity);
+
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  double NonZeroProb(const MicroTileShape& micro) const override;
+  double ElementSparsity() const override { return sparsity_; }
+
+  int64_t block_rows() const { return block_rows_; }
+  int64_t block_cols() const { return block_cols_; }
+
+ private:
+  int64_t rows_, cols_, block_rows_, block_cols_;
+  double sparsity_;
+};
+
+// Exact pattern backed by a mask/value tensor (nonzero = participates).
+class MaskPattern : public SparsityPattern {
+ public:
+  explicit MaskPattern(const Tensor* mask);
+
+  int64_t rows() const override { return mask_->dim(0); }
+  int64_t cols() const override { return mask_->dim(1); }
+  double NonZeroProb(const MicroTileShape& micro) const override;
+  double ElementSparsity() const override;
+
+ private:
+  const Tensor* mask_;  // not owned
+};
+
+// CoverAlgo: number of micro-tiles needed to cover every nonzero.
+int64_t CountCoveringMicroTiles(const SparsityPattern& pattern, const MicroTileShape& micro);
+
+// The paper's "wasted computation": among elements covered by the executing
+// micro-tiles, the fraction that are zero.
+double WastedComputationFraction(const SparsityPattern& pattern, const MicroTileShape& micro);
+
+}  // namespace pit
+
+#endif  // PIT_SPARSE_COVERAGE_H_

@@ -1,0 +1,157 @@
+#include "pit/sparse/csr.h"
+
+#include <algorithm>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense) {
+  PIT_CHECK_EQ(dense.rank(), 2);
+  CsrMatrix csr;
+  csr.rows = dense.dim(0);
+  csr.cols = dense.dim(1);
+  csr.row_ptr.reserve(static_cast<size_t>(csr.rows) + 1);
+  csr.row_ptr.push_back(0);
+  for (int64_t r = 0; r < csr.rows; ++r) {
+    for (int64_t c = 0; c < csr.cols; ++c) {
+      const float v = dense.At(r, c);
+      if (v != 0.0f) {
+        csr.col_idx.push_back(c);
+        csr.values.push_back(v);
+      }
+    }
+    csr.row_ptr.push_back(static_cast<int64_t>(csr.values.size()));
+  }
+  return csr;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor out({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t i = row_ptr[static_cast<size_t>(r)]; i < row_ptr[static_cast<size_t>(r) + 1];
+         ++i) {
+      out.At(r, col_idx[static_cast<size_t>(i)]) = values[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::SpMM(const Tensor& b) const {
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(b.dim(0), cols);
+  const int64_t n = b.dim(1);
+  Tensor c({rows, n});
+  for (int64_t r = 0; r < rows; ++r) {
+    float* crow = c.data() + r * n;
+    for (int64_t i = row_ptr[static_cast<size_t>(r)]; i < row_ptr[static_cast<size_t>(r) + 1];
+         ++i) {
+      const float av = values[static_cast<size_t>(i)];
+      const float* brow = b.data() + col_idx[static_cast<size_t>(i)] * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+BsrMatrix BsrMatrix::FromDense(const Tensor& dense, int64_t block_rows, int64_t block_cols) {
+  PIT_CHECK_EQ(dense.rank(), 2);
+  PIT_CHECK_GT(block_rows, 0);
+  PIT_CHECK_GT(block_cols, 0);
+  BsrMatrix bsr;
+  bsr.rows = dense.dim(0);
+  bsr.cols = dense.dim(1);
+  bsr.block_rows = block_rows;
+  bsr.block_cols = block_cols;
+  const int64_t grid_r = (bsr.rows + block_rows - 1) / block_rows;
+  const int64_t grid_c = (bsr.cols + block_cols - 1) / block_cols;
+  bsr.row_ptr.push_back(0);
+  for (int64_t br = 0; br < grid_r; ++br) {
+    for (int64_t bc = 0; bc < grid_c; ++bc) {
+      bool nonzero = false;
+      for (int64_t r = br * block_rows; r < std::min(bsr.rows, (br + 1) * block_rows) && !nonzero;
+           ++r) {
+        for (int64_t c = bc * block_cols; c < std::min(bsr.cols, (bc + 1) * block_cols); ++c) {
+          if (dense.At(r, c) != 0.0f) {
+            nonzero = true;
+            break;
+          }
+        }
+      }
+      if (!nonzero) {
+        continue;
+      }
+      bsr.col_idx.push_back(bc);
+      for (int64_t r = 0; r < block_rows; ++r) {
+        for (int64_t c = 0; c < block_cols; ++c) {
+          const int64_t gr = br * block_rows + r, gc = bc * block_cols + c;
+          bsr.values.push_back((gr < bsr.rows && gc < bsr.cols) ? dense.At(gr, gc) : 0.0f);
+        }
+      }
+    }
+    bsr.row_ptr.push_back(static_cast<int64_t>(bsr.col_idx.size()));
+  }
+  return bsr;
+}
+
+Tensor BsrMatrix::ToDense() const {
+  Tensor out({rows, cols});
+  const int64_t grid_r = static_cast<int64_t>(row_ptr.size()) - 1;
+  for (int64_t br = 0; br < grid_r; ++br) {
+    for (int64_t i = row_ptr[static_cast<size_t>(br)]; i < row_ptr[static_cast<size_t>(br) + 1];
+         ++i) {
+      const int64_t bc = col_idx[static_cast<size_t>(i)];
+      const float* block = values.data() + i * block_rows * block_cols;
+      for (int64_t r = 0; r < block_rows; ++r) {
+        for (int64_t c = 0; c < block_cols; ++c) {
+          const int64_t gr = br * block_rows + r, gc = bc * block_cols + c;
+          if (gr < rows && gc < cols) {
+            out.At(gr, gc) = block[r * block_cols + c];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BsrMatrix::SpMM(const Tensor& b) const {
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(b.dim(0), cols);
+  const int64_t n = b.dim(1);
+  Tensor c({rows, n});
+  const int64_t grid_r = static_cast<int64_t>(row_ptr.size()) - 1;
+  for (int64_t br = 0; br < grid_r; ++br) {
+    for (int64_t i = row_ptr[static_cast<size_t>(br)]; i < row_ptr[static_cast<size_t>(br) + 1];
+         ++i) {
+      const int64_t bc = col_idx[static_cast<size_t>(i)];
+      const float* block = values.data() + i * block_rows * block_cols;
+      for (int64_t r = 0; r < block_rows; ++r) {
+        const int64_t gr = br * block_rows + r;
+        if (gr >= rows) {
+          continue;
+        }
+        float* crow = c.data() + gr * n;
+        for (int64_t k = 0; k < block_cols; ++k) {
+          const int64_t gk = bc * block_cols + k;
+          if (gk >= cols) {
+            continue;
+          }
+          const float av = block[r * block_cols + k];
+          if (av == 0.0f) {
+            continue;
+          }
+          const float* brow = b.data() + gk * n;
+          for (int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace pit

@@ -1,0 +1,55 @@
+// Classic sparse formats (CSR, BSR) and their conversion paths.
+//
+// These exist to reproduce the baselines faithfully: cuSPARSE-style kernels
+// consume CSR, Triton/OpenAI block-sparse consumes a block (BSR) mask. The
+// expensive part the paper measures (Fig. 3b, Fig. 18) is exactly the
+// dense->sparse conversion these formats force on dynamic patterns — the
+// conversion routines here are functional and their cost is priced separately
+// by the engines.
+#ifndef PIT_SPARSE_CSR_H_
+#define PIT_SPARSE_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Compressed Sparse Row.
+struct CsrMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> row_ptr;  // rows + 1
+  std::vector<int64_t> col_idx;  // nnz
+  std::vector<float> values;     // nnz
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+
+  static CsrMatrix FromDense(const Tensor& dense);
+  Tensor ToDense() const;
+  // C[rows, b.cols] = this * B (dense B). The cuSPARSE SpMM shape.
+  Tensor SpMM(const Tensor& b) const;
+};
+
+// Block Sparse Row with fixed block_rows x block_cols dense blocks; a block
+// is stored iff it contains any nonzero (zero-padded inside).
+struct BsrMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t block_rows = 0;
+  int64_t block_cols = 0;
+  std::vector<int64_t> row_ptr;   // block-rows + 1
+  std::vector<int64_t> col_idx;   // num_blocks (block-column ids)
+  std::vector<float> values;      // num_blocks * block_rows * block_cols
+
+  int64_t num_blocks() const { return static_cast<int64_t>(col_idx.size()); }
+
+  static BsrMatrix FromDense(const Tensor& dense, int64_t block_rows, int64_t block_cols);
+  Tensor ToDense() const;
+  Tensor SpMM(const Tensor& b) const;
+};
+
+}  // namespace pit
+
+#endif  // PIT_SPARSE_CSR_H_

@@ -1,0 +1,228 @@
+#include "pit/tensor/ops.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pit {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PIT_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  // ikj loop order: streams B rows, keeps C row hot.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a.At(i, p);
+      if (av == 0.0f) {
+        continue;  // free win on sparse inputs; exact math is unchanged
+      }
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(b.rank(), 3);
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  PIT_CHECK_EQ(bs, b.dim(0));
+  PIT_CHECK_EQ(k, b.dim(1));
+  Tensor c({bs, m, n});
+  for (int64_t s = 0; s < bs; ++s) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c.data() + (s * m + i) * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a.At(s, i, p);
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.data() + (s * k + p) * n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  Tensor c = MatMul(a, b);
+  PIT_CHECK_EQ(bias.size(), c.dim(1));
+  for (int64_t i = 0; i < c.dim(0); ++i) {
+    for (int64_t j = 0; j < c.dim(1); ++j) {
+      c.At(i, j) += bias[j];
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  PIT_CHECK(a.shape() == b.shape());
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    c[i] = a[i] + b[i];
+  }
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK(a.shape() == b.shape());
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    c[i] = a[i] * b[i];
+  }
+  return c;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    c[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+  return c;
+}
+
+Tensor Gelu(const Tensor& a) {
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float x = a[i];
+    c[i] = 0.5f * x * (1.0f + std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+  }
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.dim(1), a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) {
+      c.At(j, i) = a.At(i, j);
+    }
+  }
+  return c;
+}
+
+Tensor Softmax(const Tensor& a, const Tensor* mask) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  if (mask != nullptr) {
+    PIT_CHECK(mask->shape() == a.shape());
+  }
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor c({m, n});
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < m; ++i) {
+    float maxv = kNegInf;
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+      maxv = std::max(maxv, v);
+    }
+    if (maxv == kNegInf) {
+      continue;  // fully-masked row stays all-zero
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+      const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
+      c.At(i, j) = e;
+      sum += e;
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      c.At(i, j) /= sum;
+    }
+  }
+  return c;
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  PIT_CHECK_EQ(gamma.size(), n);
+  PIT_CHECK_EQ(beta.size(), n);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      mean += a.At(i, j);
+    }
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = a.At(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int64_t j = 0; j < n; ++j) {
+      c.At(i, j) = (a.At(i, j) - mean) * inv * gamma[j] + beta[j];
+    }
+  }
+  return c;
+}
+
+Tensor ReduceSumAxis1(const Tensor& a) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < a.dim(1); ++j) {
+      s += a.At(i, j);
+    }
+    c[i] = s;
+  }
+  return c;
+}
+
+Tensor ApplyMask(const Tensor& a, const Tensor& mask) {
+  PIT_CHECK(a.shape() == mask.shape());
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    c[i] = mask[i] != 0.0f ? a[i] : 0.0f;
+  }
+  return c;
+}
+
+Tensor Conv2D(const Tensor& input, const Tensor& weight) {
+  PIT_CHECK_EQ(input.rank(), 4);   // N, C, H, W
+  PIT_CHECK_EQ(weight.rank(), 4);  // F, C, KH, KW
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int64_t f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  PIT_CHECK_EQ(c, weight.dim(1));
+  const int64_t oh = h - kh + 1, ow = w - kw + 1;
+  PIT_CHECK_GT(oh, 0);
+  PIT_CHECK_GT(ow, 0);
+  Tensor out({n, f, oh, ow});
+  auto in_at = [&](int64_t b, int64_t ch, int64_t y, int64_t x) {
+    return input[((b * c + ch) * h + y) * w + x];
+  };
+  auto w_at = [&](int64_t ff, int64_t ch, int64_t y, int64_t x) {
+    return weight[((ff * c + ch) * kh + y) * kw + x];
+  };
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ff = 0; ff < f; ++ff) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (int64_t ch = 0; ch < c; ++ch) {
+            for (int64_t i = 0; i < kh; ++i) {
+              for (int64_t j = 0; j < kw; ++j) {
+                acc += in_at(b, ch, y + i, x + j) * w_at(ff, ch, i, j);
+              }
+            }
+          }
+          out[((b * f + ff) * oh + y) * ow + x] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pit

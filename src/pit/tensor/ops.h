@@ -1,0 +1,44 @@
+// Reference dense operators. These are the "ground truth" implementations that
+// every sparse execution path in the repository is validated against, and the
+// functional building blocks of the nn substrate.
+#ifndef PIT_TENSOR_OPS_H_
+#define PIT_TENSOR_OPS_H_
+
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// C[m,n] = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C[b,m,n] = A[b,m,k] * B[b,k,n].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+// C[m,n] = A[m,k] * B[k,n] with an additive row-broadcast bias[n].
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);  // element-wise (Hadamard)
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);  // tanh approximation
+Tensor Transpose2D(const Tensor& a);
+
+// Row-wise softmax over the last axis of a 2-D tensor. Entries where
+// mask (same shape, 0/1) is zero are excluded (set to -inf before softmax);
+// pass nullptr for an unmasked softmax.
+Tensor Softmax(const Tensor& a, const Tensor* mask = nullptr);
+
+// LayerNorm over the last axis with per-feature gain/bias.
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps = 1e-5f);
+
+// Sum over axis 1 of a 2-D tensor: out[m] = sum_k a[m,k].
+Tensor ReduceSumAxis1(const Tensor& a);
+
+// out[i,j] = a[i,j] if mask[i,j] != 0 else 0 — the paper's dynamic masking.
+Tensor ApplyMask(const Tensor& a, const Tensor& mask);
+
+// 2-D convolution, NCHW activations x FCHW weights, stride 1, no padding.
+// Used by the expr tests to exercise the non-PIT axes of convolution.
+Tensor Conv2D(const Tensor& input, const Tensor& weight);
+
+}  // namespace pit
+
+#endif  // PIT_TENSOR_OPS_H_

@@ -1,0 +1,126 @@
+#include "pit/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pit {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    PIT_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    os << (i ? "," : "") << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::Random(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = rng.NextFloat(lo, hi);
+  }
+  return t;
+}
+
+Tensor Tensor::RandomSparse(Shape shape, double sparsity, Rng& rng) {
+  PIT_CHECK_GE(sparsity, 0.0);
+  PIT_CHECK_LE(sparsity, 1.0);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    if (!rng.NextBool(sparsity)) {
+      // Nonzero draws avoid tiny magnitudes so zero-detection is unambiguous.
+      float x = rng.NextFloat(0.1f, 1.0f);
+      v = rng.NextBool(0.5) ? x : -x;
+    }
+  }
+  return t;
+}
+
+Tensor Tensor::RandomBlockSparse(int64_t rows, int64_t cols, int64_t bm, int64_t bn,
+                                 double sparsity, Rng& rng) {
+  PIT_CHECK_GT(bm, 0);
+  PIT_CHECK_GT(bn, 0);
+  PIT_CHECK_EQ(rows % bm, 0);
+  PIT_CHECK_EQ(cols % bn, 0);
+  Tensor t({rows, cols});
+  for (int64_t br = 0; br < rows / bm; ++br) {
+    for (int64_t bc = 0; bc < cols / bn; ++bc) {
+      if (rng.NextBool(sparsity)) {
+        continue;  // whole block stays zero
+      }
+      for (int64_t i = 0; i < bm; ++i) {
+        for (int64_t j = 0; j < bn; ++j) {
+          float x = rng.NextFloat(0.1f, 1.0f);
+          t.At(br * bm + i, bc * bn + j) = rng.NextBool(0.5) ? x : -x;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  PIT_CHECK_EQ(NumElements(new_shape), size()) << "reshape element count mismatch";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+int64_t Tensor::CountNonZero(float tol) const {
+  int64_t n = 0;
+  for (float v : data_) {
+    if (std::fabs(v) > tol) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double Tensor::SparsityRatio(float tol) const {
+  if (empty()) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(CountNonZero(tol)) / static_cast<double>(size());
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  PIT_CHECK(a.shape() == b.shape());
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace pit

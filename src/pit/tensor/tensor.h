@@ -1,0 +1,94 @@
+// Dense row-major float tensor used as the functional substrate for PIT.
+//
+// The paper's artifact operates on CUDA device tensors; here the same data is
+// held in host memory and all kernels (PIT's gather/compute/scatter as well as
+// every baseline) run functionally on it so that results can be compared
+// bit-for-bit against dense references in tests.
+#ifndef PIT_TENSOR_TENSOR_H_
+#define PIT_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "pit/common/check.h"
+#include "pit/common/rng.h"
+
+namespace pit {
+
+// Shape of a tensor; rank is bounded only by practicality.
+using Shape = std::vector<int64_t>;
+
+int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+// A dense row-major float32 tensor with value semantics (copy copies data).
+// float is the only runtime dtype: the paper's fp16-vs-fp32 distinction only
+// affects the cost model (bytes moved, tensor-core eligibility), never the
+// functional math, so the cost model carries the precision instead.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data)) {
+    PIT_CHECK_EQ(static_cast<int64_t>(data_.size()), NumElements(shape_));
+  }
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  // Dense uniform values in [lo, hi).
+  static Tensor Random(Shape shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+  // Element-wise sparse tensor: each element is nonzero with prob. (1 - sparsity).
+  static Tensor RandomSparse(Shape shape, double sparsity, Rng& rng);
+  // Block-sparse tensor (2-D only): nonzero blocks of size bm x bn with
+  // probability (1 - sparsity); values within a live block are all nonzero.
+  // This is the "sparsity granularity" of the paper's §5.3/§5.5.
+  static Tensor RandomBlockSparse(int64_t rows, int64_t cols, int64_t bm, int64_t bn,
+                                  double sparsity, Rng& rng);
+
+  const Shape& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const { return shape_.at(static_cast<size_t>(i)); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // 2-D accessors (checked rank, unchecked bounds for speed in kernels).
+  float& At(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
+  float At(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
+  // 3-D accessor.
+  float& At(int64_t b, int64_t r, int64_t c) {
+    return data_[static_cast<size_t>((b * shape_[1] + r) * shape_[2] + c)];
+  }
+  float At(int64_t b, int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>((b * shape_[1] + r) * shape_[2] + c)];
+  }
+
+  // Reinterprets the data with a new shape of identical element count.
+  Tensor Reshape(Shape new_shape) const;
+
+  int64_t CountNonZero(float tol = 0.0f) const;
+  double SparsityRatio(float tol = 0.0f) const;  // fraction of zeros
+
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(float)); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// True when |a - b| <= atol + rtol * |b| element-wise and shapes match.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f, float atol = 1e-5f);
+// Largest absolute element-wise difference (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace pit
+
+#endif  // PIT_TENSOR_TENSOR_H_

@@ -1,0 +1,99 @@
+#include "pit/workloads/attention_masks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+Tensor LongformerMask(const LongformerMaskConfig& config, Rng& rng) {
+  const int64_t n = config.seq_len;
+  const int64_t half = config.window / 2;
+  Tensor mask({n, n});
+  // Sliding window.
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - half);
+    const int64_t hi = std::min<int64_t>(n - 1, i + half);
+    for (int64_t j = lo; j <= hi; ++j) {
+      mask.At(i, j) = 1.0f;
+    }
+  }
+  // Input-dependent global tokens: full row + column.
+  std::set<int64_t> globals;
+  while (static_cast<int64_t>(globals.size()) < std::min(config.num_global, n)) {
+    globals.insert(static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n))));
+  }
+  for (int64_t g : globals) {
+    for (int64_t j = 0; j < n; ++j) {
+      mask.At(g, j) = 1.0f;
+      mask.At(j, g) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+double LongformerMaskDensity(const LongformerMaskConfig& config) {
+  const double n = static_cast<double>(config.seq_len);
+  const double w = static_cast<double>(config.window) + 1.0;  // window + self
+  const double g = static_cast<double>(config.num_global);
+  // window band + global rows and columns (minus double counting, minus the
+  // band overlap — second-order, ignored for small g/n and w/n).
+  const double band = std::min(1.0, w / n);
+  const double global = 2.0 * g / n - (g / n) * (g / n);
+  return std::min(1.0, band + global - band * global);
+}
+
+Tensor MuseformerMask(const MuseformerMaskConfig& config, Rng& rng) {
+  const int64_t n = config.seq_len;
+  const int64_t bar = config.bar_len;
+  Tensor mask({n, n});
+  const int64_t fine_span = config.fine_bars * bar;
+  // Coarse summary tokens: sample per bar.
+  std::vector<std::vector<int64_t>> summaries(static_cast<size_t>((n + bar - 1) / bar));
+  const int64_t per_bar =
+      std::max<int64_t>(1, static_cast<int64_t>(std::llround(config.coarse_fraction *
+                                                             static_cast<double>(bar))));
+  for (size_t b = 0; b < summaries.size(); ++b) {
+    std::set<int64_t> picks;
+    const int64_t start = static_cast<int64_t>(b) * bar;
+    const int64_t len = std::min(bar, n - start);
+    while (static_cast<int64_t>(picks.size()) < std::min(per_bar, len)) {
+      picks.insert(start + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(len))));
+    }
+    summaries[b].assign(picks.begin(), picks.end());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    // Fine causal attention within the recent bars.
+    const int64_t lo = std::max<int64_t>(0, i - fine_span);
+    for (int64_t j = lo; j <= i; ++j) {
+      mask.At(i, j) = 1.0f;
+    }
+    // Coarse attention to summary tokens of all earlier bars.
+    const int64_t my_bar = i / bar;
+    for (int64_t b = 0; b < my_bar; ++b) {
+      for (int64_t s : summaries[static_cast<size_t>(b)]) {
+        if (s <= i) {
+          mask.At(i, s) = 1.0f;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+double MuseformerMaskDensity(const MuseformerMaskConfig& config) {
+  const double n = static_cast<double>(config.seq_len);
+  const double fine = static_cast<double>(config.fine_bars * config.bar_len);
+  // Average fine coverage per row ~ min(fine, i); integrate: fine*(n-fine/2)/n^2
+  const double fine_frac = fine >= n ? 0.5 : fine * (n - fine / 2.0) / (n * n);
+  const double coarse_frac = config.coarse_fraction * 0.5;  // causal half
+  return std::min(1.0, fine_frac + coarse_frac);
+}
+
+Tensor ActivationSparseTensor(int64_t rows, int64_t cols, double sparsity, Rng& rng) {
+  return Tensor::RandomSparse({rows, cols}, sparsity, rng);
+}
+
+}  // namespace pit

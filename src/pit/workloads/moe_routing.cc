@@ -1,0 +1,69 @@
+#include "pit/workloads/moe_routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+std::vector<int> RouteTokens(int64_t num_tokens, const MoeRoutingConfig& config, Rng& rng) {
+  PIT_CHECK_GT(config.num_experts, 0);
+  // Expert popularity ~ rank^(-imbalance), randomly permuted so the "hot"
+  // expert differs across batches (dynamic pattern).
+  std::vector<double> weight(static_cast<size_t>(config.num_experts));
+  for (int e = 0; e < config.num_experts; ++e) {
+    weight[static_cast<size_t>(e)] = std::pow(static_cast<double>(e + 1), -config.imbalance);
+  }
+  for (size_t i = weight.size(); i > 1; --i) {
+    std::swap(weight[i - 1], weight[rng.NextBelow(i)]);
+  }
+  std::vector<double> cdf(weight.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weight.size(); ++i) {
+    total += weight[i];
+    cdf[i] = total;
+  }
+  std::vector<int> routing(static_cast<size_t>(num_tokens));
+  for (auto& r : routing) {
+    const double x = rng.NextDouble() * total;
+    r = static_cast<int>(std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+    r = std::min(r, config.num_experts - 1);
+  }
+  return routing;
+}
+
+std::vector<int64_t> ExpertLoads(const std::vector<int>& routing, int num_experts) {
+  std::vector<int64_t> loads(static_cast<size_t>(num_experts), 0);
+  for (int e : routing) {
+    PIT_CHECK_GE(e, 0);
+    PIT_CHECK_LT(e, num_experts);
+    loads[static_cast<size_t>(e)]++;
+  }
+  return loads;
+}
+
+int64_t MaxLoad(const std::vector<int64_t>& loads) {
+  int64_t m = 0;
+  for (int64_t l : loads) {
+    m = std::max(m, l);
+  }
+  return m;
+}
+
+double CapacityPaddingWaste(const std::vector<int64_t>& loads) {
+  if (loads.empty()) {
+    return 0.0;
+  }
+  const int64_t padded = static_cast<int64_t>(loads.size()) * MaxLoad(loads);
+  if (padded == 0) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (int64_t l : loads) {
+    total += l;
+  }
+  return 1.0 - static_cast<double>(total) / static_cast<double>(padded);
+}
+
+}  // namespace pit

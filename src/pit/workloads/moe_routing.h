@@ -1,0 +1,38 @@
+// Mixture-of-Experts routing workload (Fig. 2b, §5.1).
+//
+// A gating function assigns each token to one expert; real routers produce
+// *uneven* loads, which is exactly what makes capacity-padded baselines
+// (Tutel/DeepSpeed) wasteful and sparse execution (MegaBlocks, PIT) win.
+// Imbalance is synthesized with a Dirichlet-like power-law expert popularity.
+#ifndef PIT_WORKLOADS_MOE_ROUTING_H_
+#define PIT_WORKLOADS_MOE_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/common/rng.h"
+
+namespace pit {
+
+struct MoeRoutingConfig {
+  int num_experts = 64;
+  // Power-law exponent of expert popularity: 0 = uniform; ~0.8 reproduces the
+  // skew reported for Switch-Transformer top-1 routing on MNLI.
+  double imbalance = 0.8;
+};
+
+// Routes `num_tokens` tokens; returns expert id per token.
+std::vector<int> RouteTokens(int64_t num_tokens, const MoeRoutingConfig& config, Rng& rng);
+
+// Tokens per expert.
+std::vector<int64_t> ExpertLoads(const std::vector<int>& routing, int num_experts);
+
+int64_t MaxLoad(const std::vector<int64_t>& loads);
+
+// Fraction of capacity-padded compute that is padding when every expert is
+// padded to the max load (the Tutel/DeepSpeed BatchMatmul strategy).
+double CapacityPaddingWaste(const std::vector<int64_t>& loads);
+
+}  // namespace pit
+
+#endif  // PIT_WORKLOADS_MOE_ROUTING_H_

@@ -1,0 +1,58 @@
+#include "pit/workloads/pattern_repeat.h"
+
+#include <algorithm>
+
+namespace pit {
+
+namespace {
+// FNV-1a 64-bit.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+bool PatternRepeatTracker::Observe(uint64_t pattern_hash) {
+  ++observed_;
+  const bool hit = !seen_.insert(pattern_hash).second;
+  if (hit) {
+    ++hits_;
+  }
+  return hit;
+}
+
+uint64_t HashSeqLenPattern(const std::vector<int64_t>& lens) {
+  std::vector<int64_t> sorted = lens;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t h = kFnvOffset;
+  for (int64_t l : sorted) {
+    h = FnvMix(h, static_cast<uint64_t>(l));
+  }
+  return h;
+}
+
+uint64_t HashMaskPattern(const std::vector<bool>& mask) {
+  uint64_t h = kFnvOffset;
+  uint64_t word = 0;
+  int bits = 0;
+  for (bool b : mask) {
+    word = (word << 1) | (b ? 1u : 0u);
+    if (++bits == 64) {
+      h = FnvMix(h, word);
+      word = 0;
+      bits = 0;
+    }
+  }
+  if (bits > 0) {
+    h = FnvMix(h, word);
+  }
+  return h;
+}
+
+}  // namespace pit

@@ -1,0 +1,44 @@
+// Sparsity-pattern repetition study (Fig. 20, §5.6).
+//
+// Tests the alternative design of memoizing compiled kernels per observed
+// sparsity pattern: how often does the exact pattern of a batch recur? The
+// paper finds ~0.4 % hit ratio for sequence-length patterns and ~0.1 % for
+// ReLU masks — invalidating compile-and-cache for dynamic sparsity.
+#ifndef PIT_WORKLOADS_PATTERN_REPEAT_H_
+#define PIT_WORKLOADS_PATTERN_REPEAT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace pit {
+
+// Streaming tracker of pattern recurrence: feed a hash per batch, read the
+// cumulative hit ratio at any point.
+class PatternRepeatTracker {
+ public:
+  // Returns true if this pattern hash was seen before (a "hit").
+  bool Observe(uint64_t pattern_hash);
+
+  int64_t observed() const { return observed_; }
+  int64_t hits() const { return hits_; }
+  double HitRatio() const {
+    return observed_ == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(observed_);
+  }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+  int64_t observed_ = 0;
+  int64_t hits_ = 0;
+};
+
+// Order-insensitive hash of a batch's sequence lengths (a kernel compiled for
+// a multiset of lengths is reusable under permutation).
+uint64_t HashSeqLenPattern(const std::vector<int64_t>& lens);
+
+// Hash of a boolean mask (ReLU-style sparsity pattern).
+uint64_t HashMaskPattern(const std::vector<bool>& mask);
+
+}  // namespace pit
+
+#endif  // PIT_WORKLOADS_PATTERN_REPEAT_H_

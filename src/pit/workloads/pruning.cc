@@ -1,0 +1,66 @@
+#include "pit/workloads/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+Tensor MagnitudePruneMask(const Tensor& weights, const PruningConfig& config) {
+  PIT_CHECK_EQ(weights.rank(), 2);
+  const int64_t rows = weights.dim(0), cols = weights.dim(1);
+  const int64_t br = config.block_rows, bc = config.block_cols;
+  const int64_t grid_r = (rows + br - 1) / br;
+  const int64_t grid_c = (cols + bc - 1) / bc;
+  // Block L1 norms.
+  std::vector<float> norms(static_cast<size_t>(grid_r * grid_c), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      norms[static_cast<size_t>((r / br) * grid_c + (c / bc))] += std::fabs(weights.At(r, c));
+    }
+  }
+  // Keep the top (1-sparsity) fraction.
+  const int64_t keep = static_cast<int64_t>(
+      std::llround((1.0 - config.sparsity) * static_cast<double>(grid_r * grid_c)));
+  std::vector<int64_t> order(norms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + std::min<int64_t>(keep, static_cast<int64_t>(order.size())),
+                   order.end(), [&](int64_t a, int64_t b) {
+                     return norms[static_cast<size_t>(a)] > norms[static_cast<size_t>(b)];
+                   });
+  std::vector<bool> live(norms.size(), false);
+  for (int64_t i = 0; i < std::min<int64_t>(keep, static_cast<int64_t>(order.size())); ++i) {
+    live[static_cast<size_t>(order[static_cast<size_t>(i)])] = true;
+  }
+  Tensor mask({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (live[static_cast<size_t>((r / br) * grid_c + (c / bc))]) {
+        mask.At(r, c) = 1.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+void PerturbWeights(Tensor* weights, float scale, Rng& rng) {
+  PIT_CHECK(weights != nullptr);
+  for (int64_t i = 0; i < weights->size(); ++i) {
+    (*weights)[i] += scale * rng.NextGaussian();
+  }
+}
+
+double MaskChurn(const Tensor& prev_mask, const Tensor& next_mask) {
+  PIT_CHECK(prev_mask.shape() == next_mask.shape());
+  int64_t diff = 0;
+  for (int64_t i = 0; i < prev_mask.size(); ++i) {
+    if ((prev_mask[i] != 0.0f) != (next_mask[i] != 0.0f)) {
+      ++diff;
+    }
+  }
+  return static_cast<double>(diff) / static_cast<double>(prev_mask.size());
+}
+
+}  // namespace pit

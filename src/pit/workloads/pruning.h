@@ -1,0 +1,38 @@
+// Sparse-training workload: magnitude-based iterative pruning (Fig. 2d, §5.2).
+//
+// At every step the pruning algorithm recomputes a block mask over each
+// weight matrix from the current magnitudes, so the sparsity *pattern*
+// changes continuously even when the *ratio* is held — the property that
+// forces PyTorch-S to rebuild its sparse index every batch (Fig. 15).
+#ifndef PIT_WORKLOADS_PRUNING_H_
+#define PIT_WORKLOADS_PRUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pit/common/rng.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+struct PruningConfig {
+  int64_t block_rows = 32;  // mask granularity (paper: 32x64 and 32x1)
+  int64_t block_cols = 64;
+  double sparsity = 0.9;    // fraction of blocks pruned
+};
+
+// Magnitude pruning: keeps the (1-sparsity) fraction of blocks with the
+// largest L1 norm; returns a 0/1 mask shaped like `weights`.
+Tensor MagnitudePruneMask(const Tensor& weights, const PruningConfig& config);
+
+// One training step's weight drift: w += noise; models optimizer updates so
+// successive MagnitudePruneMask calls yield different patterns.
+void PerturbWeights(Tensor* weights, float scale, Rng& rng);
+
+// Fraction of mask blocks that changed between two masks of equal config —
+// the pattern-churn statistic behind Fig. 20's low hit ratio.
+double MaskChurn(const Tensor& prev_mask, const Tensor& next_mask);
+
+}  // namespace pit
+
+#endif  // PIT_WORKLOADS_PRUNING_H_

@@ -1,0 +1,88 @@
+#include "pit/workloads/seq_len.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pit/common/check.h"
+
+namespace pit {
+
+SeqLenDistribution DatasetSeqLens(const std::string& dataset) {
+  // (mean, sigma, max): rough published token statistics. GLUE single-sentence
+  // tasks are short; pair tasks medium; document datasets long.
+  struct Row {
+    const char* name;
+    double mean, sigma;
+    int64_t max_len;
+  };
+  static const Row kRows[] = {
+      {"mnli", 39, 0.45, 128},  {"mrpc", 53, 0.30, 128},    {"cola", 11, 0.35, 64},
+      {"rte", 64, 0.50, 256},   {"qqp", 30, 0.40, 128},     {"sst2", 25, 0.55, 64},
+      {"wnli", 37, 0.35, 128},  {"qnli", 50, 0.45, 256},    {"stsb", 30, 0.40, 128},
+      {"imdb", 300, 0.60, 512}, {"xscience", 450, 0.45, 512}, {"news", 600, 0.55, 1024},
+      {"alpaca", 160, 0.70, 512}, {"arxiv", 3000, 0.50, 4096},
+  };
+  for (const Row& r : kRows) {
+    if (dataset == r.name) {
+      return SeqLenDistribution{r.name, r.mean, r.sigma, 4, r.max_len};
+    }
+  }
+  PIT_CHECK(false) << "unknown dataset: " << dataset;
+  return {};
+}
+
+std::vector<std::string> BertDatasets() {
+  return {"mnli", "mrpc", "cola", "rte",  "qqp",  "sst2",
+          "wnli", "qnli", "stsb", "imdb", "xscience", "news"};
+}
+
+std::vector<int64_t> SampleBatchLens(const SeqLenDistribution& dist, int64_t batch, Rng& rng) {
+  std::vector<int64_t> lens;
+  lens.reserve(static_cast<size_t>(batch));
+  const double mu = std::log(dist.mean) - 0.5 * dist.sigma * dist.sigma;
+  for (int64_t i = 0; i < batch; ++i) {
+    const double x = std::exp(mu + dist.sigma * rng.NextGaussian());
+    lens.push_back(std::clamp<int64_t>(static_cast<int64_t>(std::llround(x)), dist.min_len,
+                                       dist.max_len));
+  }
+  return lens;
+}
+
+int64_t SumLens(const std::vector<int64_t>& lens) {
+  int64_t s = 0;
+  for (int64_t l : lens) {
+    s += l;
+  }
+  return s;
+}
+
+int64_t MaxLen(const std::vector<int64_t>& lens) {
+  int64_t m = 0;
+  for (int64_t l : lens) {
+    m = std::max(m, l);
+  }
+  return m;
+}
+
+double PaddingWaste(const std::vector<int64_t>& lens) {
+  if (lens.empty()) {
+    return 0.0;
+  }
+  const int64_t padded = static_cast<int64_t>(lens.size()) * MaxLen(lens);
+  return padded == 0 ? 0.0 : 1.0 - static_cast<double>(SumLens(lens)) / static_cast<double>(padded);
+}
+
+std::vector<std::vector<bool>> TokenMask(const std::vector<int64_t>& lens, int64_t max_len) {
+  std::vector<std::vector<bool>> mask;
+  mask.reserve(lens.size());
+  for (int64_t l : lens) {
+    std::vector<bool> row(static_cast<size_t>(max_len), false);
+    for (int64_t i = 0; i < std::min(l, max_len); ++i) {
+      row[static_cast<size_t>(i)] = true;
+    }
+    mask.push_back(std::move(row));
+  }
+  return mask;
+}
+
+}  // namespace pit

@@ -1,0 +1,46 @@
+// Sequence-length workload synthesis (dynamic sparsity from padding, Fig. 2c).
+//
+// The e2e experiments consume only the *length statistics* of each dataset —
+// the padding waste is fully determined by the distribution of lengths within
+// a batch. Parameters below approximate the published token-length statistics
+// of each dataset (GLUE tasks are short, IMDB/Multi-News are long documents).
+#ifndef PIT_WORKLOADS_SEQ_LEN_H_
+#define PIT_WORKLOADS_SEQ_LEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pit/common/rng.h"
+
+namespace pit {
+
+struct SeqLenDistribution {
+  std::string name;
+  double mean = 64;     // mean token length
+  double sigma = 0.5;   // lognormal shape
+  int64_t min_len = 4;
+  int64_t max_len = 512;  // model context / padding target
+};
+
+// Named distributions for the paper's datasets (Fig. 11, Fig. 19):
+// mnli, mrpc, cola, rte, qqp, sst2, wnli, qnli, stsb, imdb, xscience, news,
+// plus "alpaca" (OPT, Fig. 10/14) and "arxiv" (Longformer docs).
+SeqLenDistribution DatasetSeqLens(const std::string& dataset);
+// All 12 BERT evaluation datasets in the paper's Fig. 11 order.
+std::vector<std::string> BertDatasets();
+
+// Samples a batch of lengths.
+std::vector<int64_t> SampleBatchLens(const SeqLenDistribution& dist, int64_t batch, Rng& rng);
+
+int64_t SumLens(const std::vector<int64_t>& lens);
+int64_t MaxLen(const std::vector<int64_t>& lens);
+// Fraction of the padded batch that is padding: 1 - sum / (batch * max).
+double PaddingWaste(const std::vector<int64_t>& lens);
+
+// A 0/1 token mask [batch, max_len] for functional tests.
+std::vector<std::vector<bool>> TokenMask(const std::vector<int64_t>& lens, int64_t max_len);
+
+}  // namespace pit
+
+#endif  // PIT_WORKLOADS_SEQ_LEN_H_

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pit/nn/autograd.h"
+#include "pit/tensor/ops.h"
+#include "pit/workloads/pruning.h"
+
+namespace pit {
+namespace {
+
+// Central finite difference of L = 0.5*||A*B||^2 w.r.t. one element.
+float NumericalGrad(Tensor a, Tensor b, bool wrt_a, int64_t idx) {
+  const float eps = 1e-3f;
+  auto loss = [&](const Tensor& aa, const Tensor& bb) {
+    Tensor c = MatMul(aa, bb);
+    float l = 0.0f;
+    for (int64_t i = 0; i < c.size(); ++i) {
+      l += 0.5f * c[i] * c[i];
+    }
+    return l;
+  };
+  Tensor& target = wrt_a ? a : b;
+  target[idx] += eps;
+  const float hi = loss(a, b);
+  target[idx] -= 2 * eps;
+  const float lo = loss(a, b);
+  return (hi - lo) / (2 * eps);
+}
+
+TEST(AutogradTest, MatmulBackwardMatchesFiniteDifference) {
+  Rng rng(1);
+  Tensor a = Tensor::Random({4, 5}, rng);
+  Tensor b = Tensor::Random({5, 3}, rng);
+  Tensor c = MatMul(a, b);
+  MatmulGrads grads = MatmulBackward(a, b, c);  // dL/dC = C for L = 0.5||C||^2
+  for (int64_t i = 0; i < a.size(); i += 3) {
+    EXPECT_NEAR(grads.da[i], NumericalGrad(a, b, true, i), 5e-2f) << "da[" << i << "]";
+  }
+  for (int64_t i = 0; i < b.size(); i += 2) {
+    EXPECT_NEAR(grads.db[i], NumericalGrad(a, b, false, i), 5e-2f) << "db[" << i << "]";
+  }
+}
+
+TEST(AutogradTest, MatmulBackwardShapes) {
+  Rng rng(2);
+  Tensor a = Tensor::Random({7, 4}, rng);
+  Tensor b = Tensor::Random({4, 9}, rng);
+  Tensor dc = Tensor::Random({7, 9}, rng);
+  MatmulGrads grads = MatmulBackward(a, b, dc);
+  EXPECT_EQ(grads.da.shape(), a.shape());
+  EXPECT_EQ(grads.db.shape(), b.shape());
+}
+
+TEST(AutogradTest, ReluBackwardGatesBySign) {
+  Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = 0.5f;
+  Tensor dy = Tensor::Full({4}, 3.0f);
+  Tensor dx = ReluBackward(x, dy);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 3.0f);
+  EXPECT_EQ(dx[2], 0.0f);  // subgradient 0 at x == 0
+  EXPECT_EQ(dx[3], 3.0f);
+}
+
+TEST(AutogradTest, PitMaskedWeightGradMatchesDenseReference) {
+  Rng rng(3);
+  Tensor a = Tensor::Random({16, 24}, rng);
+  Tensor dc = Tensor::Random({16, 32}, rng);
+  Rng mrng(4);
+  for (double sparsity : {0.5, 0.9, 1.0}) {
+    Tensor mask = Tensor::RandomBlockSparse(24, 32, 24, 4, sparsity, mrng);
+    // Binarize.
+    for (int64_t i = 0; i < mask.size(); ++i) {
+      mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+    }
+    Tensor ref = MaskedWeightGradDense(a, dc, mask);
+    for (int64_t bc : {1, 4, 8}) {
+      EXPECT_TRUE(AllClose(PitMaskedWeightGrad(a, dc, mask, bc), ref, 1e-3f, 1e-4f))
+          << "sparsity " << sparsity << " block_cols " << bc;
+    }
+  }
+}
+
+TEST(AutogradTest, PitMaskedWeightGradIrregularMaskStillExact) {
+  Rng rng(5);
+  Tensor a = Tensor::Random({8, 12}, rng);
+  Tensor dc = Tensor::Random({8, 16}, rng);
+  Tensor mask = Tensor::RandomSparse({12, 16}, 0.7, rng);  // element-level mask
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  EXPECT_TRUE(AllClose(PitMaskedWeightGrad(a, dc, mask, 2),
+                       MaskedWeightGradDense(a, dc, mask), 1e-3f, 1e-4f));
+}
+
+TEST(AutogradTest, MaskedLinearStepGradZeroOnPrunedEntries) {
+  Rng rng(6);
+  Tensor x = Tensor::Random({10, 16}, rng);
+  Tensor w = Tensor::Random({16, 8}, rng);
+  PruningConfig config{4, 2, 0.5};
+  Tensor mask = MagnitudePruneMask(w, config);
+  Tensor dx;
+  Tensor dw = MaskedLinearStep(x, w, mask, &dx);
+  EXPECT_EQ(dw.shape(), w.shape());
+  EXPECT_EQ(dx.shape(), x.shape());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == 0.0f) {
+      EXPECT_EQ(dw[i], 0.0f) << i;
+    }
+  }
+  EXPECT_GT(dw.CountNonZero(), 0);
+}
+
+TEST(AutogradTest, TrainingStepReducesLoss) {
+  // Sanity: one SGD step on the masked linear problem lowers the loss.
+  Rng rng(7);
+  Tensor x = Tensor::Random({12, 8}, rng);
+  Tensor w = Tensor::Random({8, 6}, rng);
+  Tensor mask = Tensor::Full({8, 6}, 1.0f);
+  auto loss = [&](const Tensor& ww) {
+    Tensor y = MatMul(x, ApplyMask(ww, mask));
+    float l = 0.0f;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      l += 0.5f * y[i] * y[i];
+    }
+    return l;
+  };
+  const float before = loss(w);
+  Tensor dw = MaskedLinearStep(x, w, mask);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    w[i] -= 0.01f * dw[i];
+  }
+  EXPECT_LT(loss(w), before);
+}
+
+}  // namespace
+}  // namespace pit

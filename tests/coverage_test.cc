@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pit/sparse/coverage.h"
+
+namespace pit {
+namespace {
+
+TEST(AnalyticPatternTest, MicroMatchingGranularityGivesBlockProbability) {
+  AnalyticPattern p(4096, 4096, 32, 1, 0.95);
+  // Micro-tile exactly one block: P(nonzero) = 1 - sparsity.
+  EXPECT_NEAR(p.NonZeroProb({32, 1}), 0.05, 1e-9);
+}
+
+TEST(AnalyticPatternTest, LargerMicroCoversMoreBlocks) {
+  // Table 3 row 1: granularity (2,1) at 95%, micro (16,1) spans 8 blocks:
+  // covered = 1 - 0.95^8 = 0.3366 -> sparsity after cover 66.34%.
+  AnalyticPattern p(4096, 4096, 2, 1, 0.95);
+  EXPECT_NEAR(p.NonZeroProb({16, 1}), 1.0 - std::pow(0.95, 8.0), 1e-9);
+  EXPECT_NEAR(1.0 - p.NonZeroProb({16, 1}), 0.6634, 1e-3);
+}
+
+TEST(AnalyticPatternTest, MicroSmallerThanBlockSeesOneBlock) {
+  AnalyticPattern p(4096, 4096, 32, 1, 0.99);
+  // Micro (8,1) inside a 32x1 block: still P = 1 - 0.99.
+  EXPECT_NEAR(p.NonZeroProb({8, 1}), 0.01, 1e-9);
+}
+
+TEST(AnalyticPatternTest, ProbabilityMonotoneInMicroSize) {
+  AnalyticPattern p(1024, 1024, 1, 1, 0.99);
+  double prev = 0.0;
+  for (int64_t r : {1, 2, 4, 8, 16, 32}) {
+    const double prob = p.NonZeroProb({r, 1});
+    EXPECT_GE(prob, prev);
+    prev = prob;
+  }
+}
+
+TEST(MaskPatternTest, AgreesWithAnalyticOnLargeSample) {
+  Rng rng(1);
+  Tensor mask = Tensor::RandomBlockSparse(512, 512, 8, 1, 0.95, rng);
+  MaskPattern exact(&mask);
+  AnalyticPattern approx(512, 512, 8, 1, 0.95);
+  for (const MicroTileShape micro : {MicroTileShape{8, 1}, MicroTileShape{16, 1},
+                                     MicroTileShape{32, 1}}) {
+    EXPECT_NEAR(exact.NonZeroProb(micro), approx.NonZeroProb(micro), 0.02)
+        << micro.ToString();
+  }
+  EXPECT_NEAR(exact.ElementSparsity(), 0.95, 0.01);
+}
+
+TEST(CoverAlgoTest, CountMatchesDetectorOnMask) {
+  Rng rng(2);
+  Tensor mask = Tensor::RandomSparse({128, 128}, 0.9, rng);
+  MaskPattern pattern(&mask);
+  const int64_t count = CountCoveringMicroTiles(pattern, {1, 8});
+  // Manual count.
+  int64_t manual = 0;
+  for (int64_t r = 0; r < 128; ++r) {
+    for (int64_t b = 0; b < 16; ++b) {
+      for (int64_t c = b * 8; c < (b + 1) * 8; ++c) {
+        if (mask.At(r, c) != 0.0f) {
+          ++manual;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(count, manual);
+}
+
+TEST(WasteTest, ZeroWhenMicroMatchesGranularity) {
+  AnalyticPattern p(4096, 4096, 32, 1, 0.95);
+  EXPECT_NEAR(WastedComputationFraction(p, {32, 1}), 0.0, 1e-9);
+}
+
+TEST(WasteTest, GrowsWithMicroTileSize) {
+  AnalyticPattern p(4096, 4096, 1, 1, 0.99);
+  const double w8 = WastedComputationFraction(p, {1, 8});
+  const double w32 = WastedComputationFraction(p, {8, 8});
+  EXPECT_GT(w32, w8);
+  EXPECT_GT(w8, 0.0);
+  EXPECT_LE(w32, 1.0);
+}
+
+TEST(WasteTest, DenseTensorNoWaste) {
+  AnalyticPattern p(64, 64, 1, 1, 0.0);
+  EXPECT_NEAR(WastedComputationFraction(p, {32, 32}), 0.0, 1e-9);
+}
+
+TEST(WasteTest, BigTileOnFineSparsityIsAlmostAllWaste) {
+  // Fig. 3a: 32x32 tiles on 99% element sparsity cover almost everything,
+  // so ~99% of covered compute is waste.
+  AnalyticPattern p(4096, 4096, 1, 1, 0.99);
+  EXPECT_GT(WastedComputationFraction(p, {32, 32}), 0.95);
+}
+
+}  // namespace
+}  // namespace pit

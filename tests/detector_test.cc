@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pit/core/sparsity_detector.h"
+
+namespace pit {
+namespace {
+
+TEST(DetectorTest, FindsExactlyTheNonZeroMicroTiles) {
+  Tensor t = Tensor::Zeros({8, 8});
+  t.At(0, 0) = 1.0f;   // block (0,0) for 4x4 micro
+  t.At(5, 6) = -2.0f;  // block (1,1)
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{4, 4});
+  EXPECT_EQ(index.block_rows, 2);
+  EXPECT_EQ(index.block_cols, 2);
+  std::set<int64_t> got(index.offsets.begin(), index.offsets.end());
+  EXPECT_EQ(got, (std::set<int64_t>{0, 3}));
+}
+
+TEST(DetectorTest, EmptyTensorYieldsEmptyIndex) {
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(Tensor::Zeros({16, 16}), MicroTileShape{4, 4});
+  EXPECT_EQ(index.NumNonZero(), 0);
+  EXPECT_EQ(index.CoveredFraction(), 0.0);
+  EXPECT_EQ(index.SparsityAfterCover(), 1.0);
+}
+
+TEST(DetectorTest, DenseTensorCoversEverything) {
+  Rng rng(1);
+  Tensor t = Tensor::Random({16, 16}, rng, 0.5f, 1.0f);
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{4, 4});
+  EXPECT_EQ(index.NumNonZero(), 16);
+  EXPECT_EQ(index.CoveredFraction(), 1.0);
+}
+
+TEST(DetectorTest, UnorderedIndexIsPermutationOfOrdered) {
+  Rng rng(2);
+  Tensor t = Tensor::RandomSparse({64, 64}, 0.8, rng);
+  SparsityDetector d1(/*shuffle_seed=*/111);
+  SparsityDetector d2(/*shuffle_seed=*/222);
+  MicroTileIndex u1 = d1.Detect(t, MicroTileShape{1, 8});
+  MicroTileIndex u2 = d2.Detect(t, MicroTileShape{1, 8});
+  MicroTileIndex ordered = d1.DetectOrdered(t, MicroTileShape{1, 8});
+  // Different schedule seeds: same set, (almost surely) different order.
+  std::vector<int64_t> s1 = u1.offsets, s2 = u2.offsets;
+  EXPECT_NE(u1.offsets, u2.offsets);
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, ordered.offsets);
+  EXPECT_TRUE(std::is_sorted(ordered.offsets.begin(), ordered.offsets.end()));
+}
+
+TEST(DetectorTest, RaggedEdgesAreCovered) {
+  // 10x10 tensor with 4x4 micro-tiles: 3x3 grid, edge tiles partial.
+  Tensor t = Tensor::Zeros({10, 10});
+  t.At(9, 9) = 5.0f;  // lives in the bottom-right partial tile
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{4, 4});
+  EXPECT_EQ(index.block_rows, 3);
+  EXPECT_EQ(index.block_cols, 3);
+  ASSERT_EQ(index.NumNonZero(), 1);
+  EXPECT_EQ(index.offsets[0], 8);  // (2,2)
+}
+
+TEST(DetectorTest, RowMicroTileMatchesRowNonZeroCount) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomSparse({32, 16}, 0.95, rng);
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{1, 16});
+  int64_t expected = 0;
+  for (int64_t r = 0; r < 32; ++r) {
+    for (int64_t c = 0; c < 16; ++c) {
+      if (t.At(r, c) != 0.0f) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index.NumNonZero(), expected);
+}
+
+TEST(DetectorTest, PerBlockRowCountsSumToTotal) {
+  Rng rng(4);
+  Tensor t = Tensor::RandomSparse({64, 64}, 0.7, rng);
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{8, 1});
+  auto counts = NonZeroMicroTilesPerBlockRow(index);
+  ASSERT_EQ(static_cast<int64_t>(counts.size()), index.block_rows);
+  int64_t sum = 0;
+  for (int64_t c : counts) {
+    sum += c;
+  }
+  EXPECT_EQ(sum, index.NumNonZero());
+}
+
+TEST(DetectorTest, BlockRowColDecomposition) {
+  MicroTileIndex index;
+  index.micro_tile = {2, 2};
+  index.block_rows = 4;
+  index.block_cols = 5;
+  EXPECT_EQ(index.BlockRowOf(13), 2);
+  EXPECT_EQ(index.BlockColOf(13), 3);
+}
+
+// ---- cost-model side --------------------------------------------------------
+
+TEST(DetectorCostTest, UnorderedCheaperThanOrdered) {
+  CostModel m(V100());
+  const int64_t elems = 4096 * 4096;
+  const int64_t nnz = elems / 100;
+  EXPECT_LT(SparsityDetector::DetectCostUs(m, elems, nnz),
+            SparsityDetector::OrderedDetectCostUs(m, elems, nnz));
+}
+
+TEST(DetectorCostTest, OrderedAtLeast3xUnordered) {
+  // Fig. 18: PIT is 3.6–26.5x faster than the baselines' index construction.
+  CostModel m(V100());
+  const int64_t elems = 4096 * 4096;
+  const double pit = SparsityDetector::DetectCostUs(m, elems, elems / 64);
+  const double ordered = SparsityDetector::OrderedDetectCostUs(m, elems, elems / 64);
+  EXPECT_GT(ordered / pit, 3.0);
+}
+
+TEST(DetectorCostTest, CostGrowsWithTensorSize) {
+  CostModel m(V100());
+  EXPECT_LT(SparsityDetector::DetectCostUs(m, 1 << 16, 100),
+            SparsityDetector::DetectCostUs(m, 1 << 24, 100));
+}
+
+// Fig. 20-adjacent: detection must be cheap relative to even one dense tile
+// wave over the same data, or "online" would be a misnomer.
+TEST(DetectorCostTest, DetectionIsCheapRelativeToCompute) {
+  CostModel m(V100());
+  const double detect = SparsityDetector::DetectCostUs(m, 4096 * 4096, 4096 * 4096 / 32);
+  const double matmul = m.DenseMatmul(4096, 4096, 4096, {64, 64, 64}).Total();
+  EXPECT_LT(detect, matmul * 0.05);
+}
+
+}  // namespace
+}  // namespace pit

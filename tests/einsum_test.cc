@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pit/expr/einsum.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+TEST(EinsumParseTest, MatMulRoundTrips) {
+  EinsumExpr e = ParseEinsum("C[m,n] += A[m,k] * B[k,n]");
+  EXPECT_EQ(e.output.name, "C");
+  ASSERT_EQ(e.inputs.size(), 2u);
+  EXPECT_EQ(e.inputs[0].name, "A");
+  EXPECT_EQ(e.reduce, ReduceKind::kSum);
+  EXPECT_EQ(e.ToString(), "C[m,n] += A[m,k] * B[k,n]");
+}
+
+TEST(EinsumParseTest, AdditiveCombineParses) {
+  EinsumExpr e = ParseEinsum("C[p] = A[p] + B[p]");
+  EXPECT_TRUE(e.additive_combine);
+  EXPECT_EQ(e.reduce, ReduceKind::kNone);
+}
+
+TEST(EinsumParseTest, DerivedTermsParse) {
+  EinsumExpr e = ParseEinsum("C[n,f,x,y] += A[n,m,x+i,y+j] * B[f,m,i,j]");
+  ASSERT_EQ(e.inputs[0].axes.size(), 4u);
+  EXPECT_TRUE(e.inputs[0].axes[2].derived());
+  EXPECT_EQ(e.inputs[0].axes[2].ToString(), "x+i");
+}
+
+TEST(EinsumParseTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseEinsumOrNull("C[m,n]").has_value());
+  EXPECT_FALSE(ParseEinsumOrNull("C[m,n] += ").has_value());
+  EXPECT_FALSE(ParseEinsumOrNull("[m] += A[m]").has_value());
+  EXPECT_FALSE(ParseEinsumOrNull("C[m += A[m]").has_value());
+  EXPECT_FALSE(ParseEinsumOrNull("C[m] += A[m] trailing").has_value());
+}
+
+// ---- Theorem 1 on the paper's Table 1 -------------------------------------
+
+TEST(PitAxisTest, MatMulAllThreeAxesArePit) {
+  auto axes = MatMulExpr().PitAxes();
+  EXPECT_TRUE(Contains(axes, "m"));
+  EXPECT_TRUE(Contains(axes, "n"));
+  EXPECT_TRUE(Contains(axes, "k"));
+  EXPECT_EQ(axes.size(), 3u);
+}
+
+TEST(PitAxisTest, BatchMatMulAllFourAxesArePit) {
+  auto axes = BatchMatMulExpr().PitAxes();
+  EXPECT_EQ(axes.size(), 4u);
+  for (const char* a : {"b", "m", "n", "k"}) {
+    EXPECT_TRUE(Contains(axes, a)) << a;
+  }
+}
+
+TEST(PitAxisTest, ReduceSumBothAxesArePit) {
+  auto axes = ReduceSumExpr().PitAxes();
+  EXPECT_TRUE(Contains(axes, "p"));
+  EXPECT_TRUE(Contains(axes, "l"));
+}
+
+TEST(PitAxisTest, VectorAddSpatialAxisIsPit) {
+  auto axes = VectorAddExpr().PitAxes();
+  EXPECT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0], "p");
+}
+
+TEST(PitAxisTest, ConvolutionMatchesPaperTable) {
+  // Table 1: PIT-axes of convolution are n, m, f only.
+  EinsumExpr conv = ConvolutionExpr();
+  auto axes = conv.PitAxes();
+  EXPECT_EQ(axes.size(), 3u);
+  for (const char* a : {"n", "m", "f"}) {
+    EXPECT_TRUE(Contains(axes, a)) << a;
+  }
+  for (const char* a : {"x", "y", "i", "j"}) {
+    auto info = conv.FindAxis(a);
+    ASSERT_TRUE(info.has_value()) << a;
+    EXPECT_FALSE(info->is_pit_axis) << a;
+    EXPECT_TRUE(info->in_derived_term) << a;
+  }
+}
+
+TEST(PitAxisTest, SpatialVsReductionClassification) {
+  EinsumExpr e = MatMulExpr();
+  EXPECT_EQ(e.FindAxis("m")->kind, AxisKind::kSpatial);
+  EXPECT_EQ(e.FindAxis("n")->kind, AxisKind::kSpatial);
+  EXPECT_EQ(e.FindAxis("k")->kind, AxisKind::kReduction);
+}
+
+TEST(PitAxisTest, NonCommutativeReducerDisqualifiesReductionAxis) {
+  EinsumExpr e = ParseEinsum("C[p] += A[p,l]");
+  e.reduce = ReduceKind::kNonCommutative;
+  auto info = e.FindAxis("l");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->is_pit_axis);
+  // Spatial axis p is still a PIT-axis (layout only).
+  EXPECT_TRUE(e.FindAxis("p")->is_pit_axis);
+}
+
+TEST(PitAxisTest, MissingAxisReturnsNullopt) {
+  EXPECT_FALSE(MatMulExpr().FindAxis("z").has_value());
+}
+
+TEST(PitAxisTest, ReduceKindCommutativityTable) {
+  EXPECT_TRUE(ReduceIsCommutativeAssociative(ReduceKind::kSum));
+  EXPECT_TRUE(ReduceIsCommutativeAssociative(ReduceKind::kMax));
+  EXPECT_TRUE(ReduceIsCommutativeAssociative(ReduceKind::kMin));
+  EXPECT_TRUE(ReduceIsCommutativeAssociative(ReduceKind::kProd));
+  EXPECT_FALSE(ReduceIsCommutativeAssociative(ReduceKind::kNone));
+  EXPECT_FALSE(ReduceIsCommutativeAssociative(ReduceKind::kNonCommutative));
+}
+
+// Semantic check of Theorem 1 itself: permuting a PIT-axis of a real matmul
+// does not change the result; permuting a non-PIT convolution axis does.
+TEST(PitAxisTest, PermutingKAxisPreservesMatmul) {
+  Rng rng(1);
+  Tensor a = Tensor::Random({6, 8}, rng);
+  Tensor b = Tensor::Random({8, 5}, rng);
+  Tensor ref = MatMul(a, b);
+  // Permute k: reorder columns of A and rows of B identically.
+  std::vector<int64_t> perm = {3, 7, 0, 2, 6, 5, 1, 4};
+  Tensor ap({6, 8}), bp({8, 5});
+  for (int64_t k = 0; k < 8; ++k) {
+    for (int64_t i = 0; i < 6; ++i) {
+      ap.At(i, k) = a.At(i, perm[static_cast<size_t>(k)]);
+    }
+    for (int64_t j = 0; j < 5; ++j) {
+      bp.At(k, j) = b.At(perm[static_cast<size_t>(k)], j);
+    }
+  }
+  EXPECT_TRUE(AllClose(MatMul(ap, bp), ref));
+}
+
+TEST(PitAxisTest, PermutingDerivedConvAxisChangesResult) {
+  Rng rng(2);
+  Tensor in = Tensor::Random({1, 1, 4, 4}, rng);
+  Tensor w = Tensor::Random({1, 1, 2, 2}, rng);
+  Tensor ref = Conv2D(in, w);
+  // Permute the x axis of the input (a derived, non-PIT axis).
+  Tensor permuted = in;
+  for (int64_t y = 0; y < 4; ++y) {
+    std::swap(permuted[0 * 4 + y], permuted[3 * 4 + y]);  // swap rows 0 and 3
+  }
+  Tensor out = Conv2D(permuted, w);
+  EXPECT_FALSE(AllClose(out, ref));
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "pit/baselines/engines.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+class EngineCorrectness : public ::testing::TestWithParam<double> {};
+
+TEST_P(EngineCorrectness, AllEnginesMatchDenseReference) {
+  const double sparsity = GetParam();
+  Rng rng(static_cast<uint64_t>(sparsity * 1000) + 3);
+  Tensor a = Tensor::RandomSparse({48, 64}, sparsity, rng);
+  Tensor b = Tensor::Random({64, 24}, rng);
+  Tensor ref = MatMul(a, b);
+  for (const auto& engine : MakeAllEngines()) {
+    EXPECT_TRUE(AllClose(engine->Execute(a, b), ref, 1e-3f, 1e-4f))
+        << engine->name() << " at sparsity " << sparsity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, EngineCorrectness,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.0));
+
+TEST(EnginePriceTest, PitBeatsDenseAtHighSparsity) {
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 32, 1, 0.95);
+  DenseEngine dense;
+  PitEngine pit;
+  const double d = dense.Price(model, p, 4096, 4096, 4096, false).cost.Total();
+  const double q = pit.Price(model, p, 4096, 4096, 4096, false).cost.Total();
+  EXPECT_LT(q, d);
+  EXPECT_GT(d / q, 3.0);  // paper: large factors at 95%
+}
+
+TEST(EnginePriceTest, DenseBeatsCusparseAtLowSparsity) {
+  // Fig. 3b: cuSPARSE worse than dense when sparsity is only 70%.
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 1, 1, 0.7);
+  DenseEngine dense;
+  CusparseEngine cusparse;
+  EXPECT_LT(dense.Price(model, p, 4096, 4096, 4096, true).cost.Total(),
+            cusparse.Price(model, p, 4096, 4096, 4096, true).cost.Total());
+}
+
+TEST(EnginePriceTest, CusparseConversionDominatesAtHighSparsity) {
+  // Fig. 3b: conversion >> computation at 99%.
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 1, 1, 0.99);
+  CusparseEngine cusparse;
+  EnginePrice price = cusparse.Price(model, p, 4096, 4096, 4096, true);
+  EXPECT_GT(price.cost.convert_us, price.cost.compute_us);
+}
+
+TEST(EnginePriceTest, PitBeatsBlockSparseOnFineGranularity) {
+  // Fig. 16, 32x1 granularity: PIT >> OpenAI block sparse (waste) and
+  // faster than Sputnik/SparTA.
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 32, 1, 0.95);
+  PitEngine pit;
+  TritonBlockEngine triton;
+  SputnikEngine sputnik;
+  SpartaEngine sparta;
+  const double q = pit.Price(model, p, 4096, 4096, 4096, false).cost.Total();
+  EXPECT_GT(triton.Price(model, p, 4096, 4096, 4096, false).cost.Total() / q, 3.0);
+  EXPECT_GT(sputnik.Price(model, p, 4096, 4096, 4096, false).cost.Total() / q, 1.5);
+  EXPECT_GT(sparta.Price(model, p, 4096, 4096, 4096, false).cost.Total() / q, 1.1);
+}
+
+TEST(EnginePriceTest, PitSimilarToBlockSparseOnCoarseGranularity) {
+  // Fig. 16, 32x64 granularity: PIT, SparTA, OpenAI-BS within ~2x band.
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 32, 64, 0.9);
+  PitEngine pit;
+  TritonBlockEngine triton;
+  const double q = pit.Price(model, p, 4096, 4096, 4096, false).cost.Total();
+  const double t = triton.Price(model, p, 4096, 4096, 4096, false).cost.Total();
+  EXPECT_LT(t / q, 2.5);
+  EXPECT_LT(q / t, 2.5);
+}
+
+TEST(EnginePriceTest, SpartaCompileMakesDynamicUseImpractical) {
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 32, 1, 0.95);
+  SpartaEngine sparta;
+  const EnginePrice dynamic = sparta.Price(model, p, 4096, 4096, 4096, true);
+  const EnginePrice statik = sparta.Price(model, p, 4096, 4096, 4096, false);
+  EXPECT_GT(dynamic.cost.Total(), 1e8);  // hundreds of seconds
+  EXPECT_LT(statik.cost.Total(), 1e6);
+  EXPECT_GT(dynamic.aot_compile_us, 3e8);
+}
+
+TEST(EnginePriceTest, TritonWasteHighOnFinePatterns) {
+  CostModel model(V100());
+  AnalyticPattern p(4096, 4096, 1, 32, 0.97);  // 1x32 activation-style
+  TritonBlockEngine triton;
+  PitEngine pit;
+  EXPECT_GT(triton.Price(model, p, 4096, 4096, 4096, false).wasted_fraction, 0.5);
+  EXPECT_LT(pit.Price(model, p, 4096, 4096, 4096, false).wasted_fraction, 0.4);
+}
+
+TEST(EnginePriceTest, PitFallsBackToDenseWhenDense) {
+  CostModel model(V100());
+  AnalyticPattern p(2048, 2048, 1, 1, 0.0);  // fully dense
+  PitEngine pit;
+  DenseEngine dense;
+  const double q = pit.Price(model, p, 2048, 2048, 2048, false).cost.Total();
+  const double d = dense.Price(model, p, 2048, 2048, 2048, false).cost.Total();
+  EXPECT_LT(q / d, 1.3);  // no sparse-path blow-up on dense inputs
+}
+
+TEST(EnginePriceTest, MakeAllEnginesHasExpectedLineup) {
+  auto engines = MakeAllEngines();
+  ASSERT_EQ(engines.size(), 5u);
+  EXPECT_EQ(engines.back()->name(), "PIT");
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,123 @@
+// Randomized einsum fuzzing: generated well-formed expressions must parse,
+// round-trip through ToString, and satisfy the Theorem-1 classification
+// invariants regardless of their shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "pit/common/rng.h"
+#include "pit/expr/einsum.h"
+
+namespace pit {
+namespace {
+
+// Generates a random well-formed einsum string with known ground truth about
+// which variables are output/spatial, derived, and reduced.
+struct FuzzCase {
+  std::string text;
+  std::set<std::string> output_vars;
+  std::set<std::string> derived_vars;
+  std::set<std::string> all_vars;
+};
+
+FuzzCase MakeCase(Rng& rng) {
+  const char* pool[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  const int num_vars = static_cast<int>(rng.NextInt(2, 6));
+  FuzzCase fc;
+  std::vector<std::string> vars;
+  for (int i = 0; i < num_vars; ++i) {
+    vars.push_back(pool[i]);
+    fc.all_vars.insert(pool[i]);
+  }
+  // Output uses a random nonempty prefix of the vars.
+  const int num_out = static_cast<int>(rng.NextInt(1, num_vars));
+  std::string out = "C[";
+  for (int i = 0; i < num_out; ++i) {
+    out += (i ? "," : "") + vars[static_cast<size_t>(i)];
+    fc.output_vars.insert(vars[static_cast<size_t>(i)]);
+  }
+  out += "]";
+  // One or two inputs, each indexing a random subset (all vars must appear
+  // somewhere; put them in input 0). Optionally make one term derived.
+  std::string in0 = "A[";
+  for (int i = 0; i < num_vars; ++i) {
+    in0 += (i ? "," : "") + vars[static_cast<size_t>(i)];
+  }
+  // Derived term: combine the last two vars as "x+y" in a second input.
+  std::string in1;
+  if (num_vars >= 3 && rng.NextBool(0.5)) {
+    const std::string& x = vars[static_cast<size_t>(num_vars - 2)];
+    const std::string& y = vars[static_cast<size_t>(num_vars - 1)];
+    in1 = "B[" + vars[0] + "," + x + "+" + y + "]";
+    fc.derived_vars.insert(x);
+    fc.derived_vars.insert(y);
+  }
+  in0 += "]";
+  fc.text = out + " += " + in0 + (in1.empty() ? "" : " * " + in1);
+  return fc;
+}
+
+TEST(EinsumFuzzTest, RandomExpressionsSatisfyTheorem1) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    FuzzCase fc = MakeCase(rng);
+    SCOPED_TRACE(fc.text);
+    auto parsed = ParseEinsumOrNull(fc.text);
+    ASSERT_TRUE(parsed.has_value());
+    auto infos = parsed->AnalyzeAxes();
+    std::set<std::string> seen;
+    for (const auto& info : infos) {
+      seen.insert(info.name);
+      const bool is_output = fc.output_vars.count(info.name) > 0;
+      const bool is_derived = fc.derived_vars.count(info.name) > 0;
+      EXPECT_EQ(info.kind == AxisKind::kSpatial, is_output) << info.name;
+      EXPECT_EQ(info.in_derived_term, is_derived) << info.name;
+      if (is_derived) {
+        EXPECT_FALSE(info.is_pit_axis) << info.name;
+      } else {
+        // Sum reduction is commutative+associative: every non-derived axis
+        // (spatial or reduction) is a PIT-axis.
+        EXPECT_TRUE(info.is_pit_axis) << info.name;
+      }
+    }
+    EXPECT_EQ(seen, fc.all_vars);
+  }
+}
+
+TEST(EinsumFuzzTest, ToStringReparsesToSameAnalysis) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    FuzzCase fc = MakeCase(rng);
+    EinsumExpr e1 = ParseEinsum(fc.text);
+    EinsumExpr e2 = ParseEinsum(e1.ToString());
+    EXPECT_EQ(e1.PitAxes(), e2.PitAxes()) << fc.text;
+    EXPECT_EQ(e1.ToString(), e2.ToString());
+  }
+}
+
+TEST(EinsumFuzzTest, MutatedStringsNeverCrash) {
+  // Parser robustness: random mutations either parse or return nullopt —
+  // they must not abort or produce inconsistent expressions.
+  Rng rng(99);
+  const std::string base = "C[m,n] += A[m,k] * B[k,n]";
+  const char junk[] = {'[', ']', '+', '*', ',', ' ', 'x', '='};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string s = base;
+    const int edits = static_cast<int>(rng.NextInt(1, 4));
+    for (int i = 0; i < edits; ++i) {
+      const size_t pos = static_cast<size_t>(rng.NextBelow(s.size()));
+      s[pos] = junk[rng.NextBelow(sizeof(junk))];
+    }
+    auto parsed = ParseEinsumOrNull(s);
+    if (parsed.has_value()) {
+      // Whatever parsed must analyze without contradiction.
+      for (const auto& info : parsed->AnalyzeAxes()) {
+        EXPECT_FALSE(info.name.empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,79 @@
+// Failure injection: the library's contract is fail-fast on misuse. Every
+// public entry point must abort with a diagnostic (never corrupt or return
+// garbage) when handed inconsistent arguments.
+#include <gtest/gtest.h>
+
+#include "pit/core/compiler.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/expr/einsum.h"
+#include "pit/runtime/models.h"
+#include "pit/sparse/coverage.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+TEST(FailureInjectionTest, MatmulShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH(MatMul(a, b), "check failed");
+}
+
+TEST(FailureInjectionTest, ReshapeElementMismatchAborts) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "reshape element count mismatch");
+}
+
+TEST(FailureInjectionTest, SReadRowsOutOfRangeAborts) {
+  Tensor t = Tensor::Zeros({4, 4});
+  const std::vector<int64_t> bad = {5};
+  EXPECT_DEATH(SReadRows(t, bad), "check failed");
+}
+
+TEST(FailureInjectionTest, SWriteShapeMismatchAborts) {
+  Tensor packed = Tensor::Zeros({2, 3});
+  Tensor dst = Tensor::Zeros({4, 4});  // cols differ
+  const std::vector<int64_t> rows = {0, 1};
+  EXPECT_DEATH(SWriteRows(packed, rows, &dst), "check failed");
+}
+
+TEST(FailureInjectionTest, CompilerRejectsRankMismatch) {
+  PitCompiler compiler(V100());
+  Tensor a = Tensor::Zeros({2, 2, 2});
+  Tensor b = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(compiler.SparseMatmul(a, b), "check failed");
+}
+
+TEST(FailureInjectionTest, MalformedEinsumAborts) {
+  EXPECT_DEATH(ParseEinsum("C[m,n += A[m,k]"), "malformed einsum");
+}
+
+TEST(FailureInjectionTest, AnalyticPatternRejectsBadSparsity) {
+  EXPECT_DEATH(AnalyticPattern(10, 10, 1, 1, 1.5), "check failed");
+  EXPECT_DEATH(AnalyticPattern(10, 10, 0, 1, 0.5), "check failed");
+}
+
+TEST(FailureInjectionTest, UnknownModelNamesAbort) {
+  EXPECT_DEATH(OptDims("7B"), "unknown OPT size");
+}
+
+TEST(FailureInjectionTest, SoftmaxMaskShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor mask = Tensor::Zeros({3, 2});
+  EXPECT_DEATH(Softmax(a, &mask), "check failed");
+}
+
+TEST(FailureInjectionTest, LayerNormGammaSizeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 4});
+  Tensor gamma = Tensor::Zeros({3});
+  Tensor beta = Tensor::Zeros({4});
+  EXPECT_DEATH(LayerNorm(a, gamma, beta), "check failed");
+}
+
+TEST(FailureInjectionTest, BlockSparseIndivisibleShapeAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(Tensor::RandomBlockSparse(10, 10, 3, 1, 0.5, rng), "check failed");
+}
+
+}  // namespace
+}  // namespace pit

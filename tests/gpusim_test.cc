@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pit/gpusim/cost_model.h"
+#include "pit/gpusim/device.h"
+
+namespace pit {
+namespace {
+
+TEST(DeviceTest, SpecsMatchDatasheets) {
+  DeviceSpec v = V100();
+  EXPECT_EQ(v.num_sms, 80);
+  EXPECT_EQ(v.transaction_bytes, 32);
+  DeviceSpec a = A100();
+  EXPECT_EQ(a.num_sms, 108);
+  EXPECT_GT(a.mem_bw_bytes_us, v.mem_bw_bytes_us);
+}
+
+TEST(DeviceTest, MinMicroTileMatchesTransaction) {
+  // §3.1: 32-byte transactions -> 1x8 fp32, 1x16 fp16.
+  EXPECT_EQ(MinMicroTileElems(V100(), Precision::kFp32), 8);
+  EXPECT_EQ(MinMicroTileElems(V100(), Precision::kFp16), 16);
+}
+
+TEST(CostModelTest, EfficiencyIncreasesWithTileSize) {
+  CostModel m(V100());
+  const double e8 = m.TileEfficiency({8, 32, 8});
+  const double e16 = m.TileEfficiency({16, 32, 16});
+  const double e32 = m.TileEfficiency({32, 32, 32});
+  const double e64 = m.TileEfficiency({64, 32, 64});
+  EXPECT_LT(e8, e16);
+  EXPECT_LT(e16, e32);
+  EXPECT_LT(e32, e64);
+  EXPECT_GT(e8, 0.0);
+  EXPECT_LT(e64, 1.0);
+}
+
+TEST(CostModelTest, SmallVsLargeTileEfficiencyGapIsLarge) {
+  // The Fig. 3a dilemma requires a substantial gap between 8x8 and 32x32.
+  CostModel m(V100());
+  EXPECT_GT(m.TileEfficiency({32, 32, 32}) / m.TileEfficiency({8, 32, 8}), 4.0);
+}
+
+TEST(CostModelTest, TileCostScalesWithK) {
+  CostModel m(V100());
+  const double c32 = m.MatmulTileCost({32, 32, 32});
+  const double c64 = m.MatmulTileCost({32, 64, 32});
+  EXPECT_NEAR(c64 / c32, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, WaveLatencyQuantizesBySmCount) {
+  CostModel m(V100());
+  const double tile_cost = 1.0;
+  EXPECT_DOUBLE_EQ(m.WaveLatency(1, tile_cost), 1.0);
+  EXPECT_DOUBLE_EQ(m.WaveLatency(80, tile_cost), 1.0);
+  EXPECT_DOUBLE_EQ(m.WaveLatency(81, tile_cost), 2.0);
+  EXPECT_DOUBLE_EQ(m.WaveLatency(0, tile_cost), 0.0);
+}
+
+TEST(CostModelTest, DenseMatmulMonotoneInProblemSize) {
+  CostModel m(V100());
+  const TileShape tile{32, 32, 32};
+  const double small = m.DenseMatmul(512, 512, 512, tile).Total();
+  const double big = m.DenseMatmul(4096, 4096, 4096, tile).Total();
+  EXPECT_GT(big, small);
+  // ~512x more work; wave quantization keeps it within a sane band.
+  EXPECT_GT(big / small, 100.0);
+}
+
+TEST(CostModelTest, SparseMatmulCheaperThanDenseAtFewTiles) {
+  // SparseMatmul's tiles reduce over the full k extent, so the comparable
+  // dense tile count is tiles_m * tiles_n = 128 * 128.
+  CostModel m(V100());
+  const TileShape tile{32, 32, 32};
+  const double dense = m.DenseMatmul(4096, 4096, 4096, tile).Total();
+  const int64_t output_tiles = 128 * 128;
+  const double sparse = m.SparseMatmul(output_tiles / 10, 4096, tile, 0.05).Total();
+  EXPECT_LT(sparse, dense);
+  EXPECT_GT(dense / sparse, 5.0);
+}
+
+TEST(CostModelTest, Fp16HalvesComputeTime) {
+  CostModel fp32(V100(), Precision::kFp32);
+  CostModel fp16(V100(), Precision::kFp16);
+  // Same tile: fp16 peak is 2x and efficiency differs slightly via balance;
+  // cost must drop meaningfully.
+  EXPECT_LT(fp16.MatmulTileCost({64, 64, 64}), fp32.MatmulTileCost({64, 64, 64}));
+}
+
+TEST(CostModelTest, TensorCoreSpeedsUpLargeTiles) {
+  CostModel m(V100(), Precision::kFp16);
+  EXPECT_LT(m.MatmulTileCost({64, 64, 64}, /*tensor_core=*/true),
+            m.MatmulTileCost({64, 64, 64}, /*tensor_core=*/false));
+}
+
+TEST(CostModelTest, ScatteredMemorySlowerThanStreaming) {
+  CostModel m(V100());
+  const int64_t bytes = 1 << 20;
+  EXPECT_GT(m.ScatteredMemoryTime(bytes, 4), m.MemoryTime(bytes));
+  EXPECT_DOUBLE_EQ(m.ScatteredMemoryTime(bytes, 64), m.MemoryTime(bytes));
+}
+
+TEST(CostModelTest, FineGrainedCostFarFromPeak) {
+  CostModel m(V100());
+  const int64_t flops = 1'000'000'000;
+  const double fine = m.FineGrainedFlopCost(flops);
+  const double peak_time =
+      static_cast<double>(flops) / (m.device().fp32_flops_per_sm_us * m.device().num_sms);
+  EXPECT_GT(fine, 10.0 * peak_time);
+}
+
+TEST(WmmaTest, ShapeTableAndCompatibility) {
+  int n = 0;
+  const WmmaShape* shapes = WmmaShapes(&n);
+  ASSERT_EQ(n, 3);
+  EXPECT_EQ(shapes[0].m, 16);
+  // 32x64x32 decomposes into 16x16x16 fragments.
+  EXPECT_TRUE(WmmaCompatible({32, 32, 64}));
+  EXPECT_TRUE(WmmaCompatible({16, 16, 16}));
+  // 32x1 output tile cannot be assembled from any wmma fragment (§5.3).
+  EXPECT_FALSE(WmmaCompatible({32, 16, 1}));
+  EXPECT_FALSE(WmmaCompatible({1, 16, 64}));
+}
+
+TEST(CostBreakdownTest, TotalSumsAllComponents) {
+  CostBreakdown c;
+  c.compute_us = 1;
+  c.memory_us = 2;
+  c.launch_us = 3;
+  c.convert_us = 4;
+  c.index_us = 5;
+  EXPECT_DOUBLE_EQ(c.Total(), 15.0);
+  CostBreakdown d = c;
+  d += c;
+  EXPECT_DOUBLE_EQ(d.Total(), 30.0);
+}
+
+// The core dilemma of Fig. 3a: at moderate sparsity large tiles win; at
+// extreme sparsity small tiles win. Reproduced directly from the model.
+TEST(CostModelTest, Fig3aTileDilemmaCrossoverExists) {
+  CostModel m(V100());
+  auto latency = [&](int64_t t, double sparsity) {
+    // Fraction of t x t tiles containing a nonzero under iid element sparsity.
+    const double p = 1.0 - std::pow(sparsity, static_cast<double>(t * t));
+    const int64_t grid = (4096 / t) * (4096 / t);
+    const int64_t exec = static_cast<int64_t>(p * static_cast<double>(grid));
+    return m.SparseMatmul(exec, 4096, {t, 32, t}).Total();
+  };
+  // 99%: 32x32 faster than 8x8 (paper: 32x32 wins below 99.6%).
+  EXPECT_LT(latency(32, 0.99), latency(8, 0.99));
+  // 99.95%: 8x8 faster (paper: 8x8 wins only above ~99.9%).
+  EXPECT_LT(latency(8, 0.9995), latency(32, 0.9995));
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "pit/graph/graph_cost.h"
+
+namespace pit {
+namespace {
+
+struct Ctx {
+  CostModel model{V100()};
+  TileDatabase db = TileDatabase::BuildDefault(model);
+};
+
+TEST(GraphCostTest, DenseAndNullDecisionsAgree) {
+  Ctx ctx;
+  Rng rng(1);
+  Graph g = BuildFfnGraph(1024, 1024, 4096, rng);
+  GraphCostReport dense = EstimateGraphCost(g, ctx.model, ctx.db, nullptr);
+  EXPECT_EQ(dense.matmuls_sparse, 0);
+  EXPECT_EQ(dense.matmuls_dense, 2);
+  EXPECT_GT(dense.total.Total(), 0.0);
+}
+
+TEST(GraphCostTest, PitPassLowersFfnCost) {
+  Ctx ctx;
+  Rng rng(2);
+  Graph g = BuildFfnGraph(4096, 1024, 4096, rng);
+  auto decisions = g.PitPass();
+  GraphCostReport dense = EstimateGraphCost(g, ctx.model, ctx.db, nullptr);
+  GraphCostReport pit = EstimateGraphCost(g, ctx.model, ctx.db, &decisions);
+  EXPECT_EQ(pit.matmuls_sparse, 1);  // the ReLU-fed down-projection
+  EXPECT_EQ(pit.matmuls_dense, 1);
+  EXPECT_LT(pit.total.Total(), dense.total.Total());
+}
+
+TEST(GraphCostTest, ExternalRowSparsityPaysOff) {
+  Ctx ctx;
+  Rng rng(3);
+  Graph g;
+  int x = g.AddInput("padded", {8192, 1024}, /*expected_sparsity=*/0.7);
+  int w = g.AddWeight("w", Tensor::Random({1024, 1024}, rng));
+  g.AddMatmul("proj", x, w);
+  g.PropagateSparsity();
+  auto decisions = g.PitPass();
+  GraphCostReport dense = EstimateGraphCost(g, ctx.model, ctx.db, nullptr);
+  GraphCostReport pit = EstimateGraphCost(g, ctx.model, ctx.db, &decisions);
+  EXPECT_LT(pit.total.Total(), dense.total.Total());
+  EXPECT_GT(dense.total.Total() / pit.total.Total(), 1.5);
+}
+
+TEST(GraphCostTest, ElementwiseOpsArePriced) {
+  Ctx ctx;
+  Graph g;
+  int a = g.AddInput("a", {1024, 1024});
+  int b = g.AddInput("b", {1024, 1024});
+  g.AddAdd("sum", a, b);
+  GraphCostReport report = EstimateGraphCost(g, ctx.model, ctx.db, nullptr);
+  EXPECT_GT(report.total.memory_us, 0.0);
+  EXPECT_EQ(report.matmuls_dense + report.matmuls_sparse, 0);
+}
+
+}  // namespace
+}  // namespace pit

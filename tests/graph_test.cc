@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "pit/graph/graph.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+TEST(GraphBuildTest, ShapesInferred) {
+  Rng rng(1);
+  Graph g;
+  int x = g.AddInput("x", {8, 16});
+  int w = g.AddWeight("w", Tensor::Random({16, 4}, rng));
+  int y = g.AddMatmul("y", x, w);
+  EXPECT_EQ(g.node(y).shape, (Shape{8, 4}));
+  EXPECT_EQ(g.node(x).kind, OpKind::kInput);
+  EXPECT_EQ(g.size(), 3);
+}
+
+TEST(GraphSparsityTest, ReluMarksActivationSparsity) {
+  Rng rng(2);
+  Graph g = BuildFfnGraph(16, 8, 32, rng);
+  // Node order: x, w_up, w_down, up_proj, relu, down_proj.
+  const GraphNode& relu = g.node(4);
+  EXPECT_EQ(relu.kind, OpKind::kRelu);
+  EXPECT_EQ(relu.sparsity, SparsitySource::kActivation);
+  EXPECT_GE(relu.expected_sparsity, 0.5);
+  // The matmul output itself is dense.
+  EXPECT_FALSE(g.node(5).MaybeSparse());
+}
+
+TEST(GraphSparsityTest, MaskAndSoftmaxPropagate) {
+  Graph g;
+  int x = g.AddInput("x", {8, 8});
+  int m = g.AddInput("m", {8, 8}, /*expected_sparsity=*/0.9);
+  int masked = g.AddMask("masked", x, m);
+  int soft = g.AddSoftmax("soft", masked);
+  g.PropagateSparsity();
+  EXPECT_EQ(g.node(masked).sparsity, SparsitySource::kMasked);
+  EXPECT_NEAR(g.node(masked).expected_sparsity, 0.9, 1e-12);
+  EXPECT_EQ(g.node(soft).sparsity, SparsitySource::kPropagated);
+}
+
+TEST(GraphSparsityTest, AddOfSparseIsSparse) {
+  Graph g;
+  int a = g.AddInput("a", {4, 4}, 0.8);
+  int b = g.AddInput("b", {4, 4}, 0.6);
+  int c = g.AddAdd("c", a, b);
+  int d = g.AddInput("d", {4, 4});  // dense
+  int e = g.AddAdd("e", c, d);
+  g.PropagateSparsity();
+  EXPECT_EQ(g.node(c).sparsity, SparsitySource::kPropagated);
+  EXPECT_NEAR(g.node(c).expected_sparsity, 0.6, 1e-12);  // min of the two
+  EXPECT_FALSE(g.node(e).MaybeSparse());                 // dense operand densifies
+}
+
+TEST(GraphPassTest, FfnDownProjGetsKAxisWithPiggybackFlip) {
+  Rng rng(3);
+  Graph g = BuildFfnGraph(16, 8, 32, rng);
+  auto decisions = g.PitPass();
+  ASSERT_EQ(decisions.size(), 2u);  // up_proj, down_proj
+  EXPECT_FALSE(decisions[0].use_pit);  // dense input -> dense kernel
+  EXPECT_TRUE(decisions[1].use_pit);   // relu-fed -> sparse kernel
+  EXPECT_EQ(decisions[1].axis, MatmulAxis::kK);
+  EXPECT_TRUE(decisions[1].piggyback_layout_flip);
+  EXPECT_NE(decisions[1].reason.find("activation"), std::string::npos);
+}
+
+TEST(GraphPassTest, ExternalRowSparsityGetsMAxis) {
+  Rng rng(4);
+  Graph g;
+  int x = g.AddInput("padded_tokens", {64, 16}, /*expected_sparsity=*/0.4);
+  int w = g.AddWeight("w", Tensor::Random({16, 8}, rng));
+  g.AddMatmul("proj", x, w);
+  g.PropagateSparsity();
+  auto decisions = g.PitPass();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].use_pit);
+  EXPECT_EQ(decisions[0].axis, MatmulAxis::kM);
+  EXPECT_FALSE(decisions[0].piggyback_layout_flip);
+}
+
+TEST(GraphPassTest, ThresholdKeepsDenseKernel) {
+  Rng rng(5);
+  Graph g;
+  int x = g.AddInput("x", {32, 16}, /*expected_sparsity=*/0.1);
+  int w = g.AddWeight("w", Tensor::Random({16, 8}, rng));
+  g.AddMatmul("proj", x, w);
+  g.PropagateSparsity();
+  auto decisions = g.PitPass(/*min_sparsity=*/0.3);
+  EXPECT_FALSE(decisions[0].use_pit);
+  EXPECT_NE(decisions[0].reason.find("below threshold"), std::string::npos);
+}
+
+TEST(GraphExecTest, DenseExecutionMatchesManualFfn) {
+  Rng rng(6);
+  Graph g = BuildFfnGraph(12, 8, 24, rng);
+  Rng xr(7);
+  Tensor x = Tensor::Random({12, 8}, xr);
+  Tensor out = g.Run({{"x", x}});
+  Tensor manual = MatMul(Relu(MatMul(x, g.weight(1))), g.weight(2));
+  EXPECT_TRUE(AllClose(out, manual, 1e-4f, 1e-5f));
+}
+
+TEST(GraphExecTest, PitExecutionMatchesDense) {
+  Rng rng(8);
+  Graph g = BuildFfnGraph(24, 16, 48, rng);
+  auto decisions = g.PitPass();
+  PitCompiler compiler(V100());
+  Rng xr(9);
+  Tensor x = Tensor::Random({24, 16}, xr);
+  Tensor dense = g.Run({{"x", x}});
+  Tensor sparse = g.Run({{"x", x}}, &decisions, &compiler);
+  EXPECT_TRUE(AllClose(sparse, dense, 1e-3f, 1e-4f));
+}
+
+TEST(GraphExecTest, MaskedAttentionSubgraphPitMatchesDense) {
+  // scores -> mask -> softmax -> matmul(V): the masked-attention core.
+  Rng rng(10);
+  Graph g;
+  int scores = g.AddInput("scores", {32, 32});
+  int mask = g.AddInput("mask", {32, 32}, /*expected_sparsity=*/0.85);
+  int v = g.AddWeight("v", Tensor::Random({32, 16}, rng));
+  int masked = g.AddMask("masked", scores, mask);
+  g.AddMatmul("ctx", masked, v);
+  g.PropagateSparsity();
+  auto decisions = g.PitPass();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].use_pit);
+
+  Rng xr(11);
+  Tensor s = Tensor::Random({32, 32}, xr);
+  Tensor m = Tensor::RandomSparse({32, 32}, 0.85, xr);
+  // Binarize the mask.
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m[i] = m[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  PitCompiler compiler(V100());
+  Tensor dense = g.Run({{"scores", s}, {"mask", m}});
+  Tensor sparse = g.Run({{"scores", s}, {"mask", m}}, &decisions, &compiler);
+  EXPECT_TRUE(AllClose(sparse, dense, 1e-3f, 1e-4f));
+}
+
+TEST(GraphExecTest, MissingFeedAborts) {
+  Rng rng(12);
+  Graph g = BuildFfnGraph(4, 4, 8, rng);
+  EXPECT_DEATH(g.Run({}), "missing feed");
+}
+
+}  // namespace
+}  // namespace pit

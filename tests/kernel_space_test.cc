@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "pit/core/kernel_space.h"
+
+namespace pit {
+namespace {
+
+TEST(KernelSpaceTest, SparseKernelsAreAxesTimesLayoutsPerDense) {
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  KernelSpaceStats stats = SummarizeKernelSpace(db);
+  EXPECT_EQ(stats.dense_kernels, 30);
+  EXPECT_EQ(stats.wmma_kernels, 0);  // fp32 database
+  EXPECT_EQ(stats.rules_per_dense, 6);
+  EXPECT_EQ(stats.sparse_kernels, 30 * 6);
+}
+
+TEST(KernelSpaceTest, Fp16DatabaseAddsWmmaVariants) {
+  CostModel model(V100(), Precision::kFp16);
+  TileDatabase db = TileDatabase::BuildDefault(model, /*include_wmma=*/true);
+  KernelSpaceStats stats = SummarizeKernelSpace(db);
+  EXPECT_EQ(stats.dense_kernels, 30);
+  EXPECT_GT(stats.wmma_kernels, 0);
+  // The paper's §4 ratio: ~3 sparse kernels per dense kernel (1500 / 500).
+  const double ratio = static_cast<double>(stats.sparse_kernels) /
+                       static_cast<double>(stats.dense_kernels + stats.wmma_kernels);
+  EXPECT_GE(ratio, 3.0);
+}
+
+TEST(KernelSpaceTest, EveryRuleHasConsistentMicroTile) {
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  for (const PitRule& rule : EnumerateRuleSpace(db)) {
+    switch (rule.axis) {
+      case MatmulAxis::kM:
+      case MatmulAxis::kN:
+        EXPECT_EQ(rule.micro_tile.rows, 1);
+        EXPECT_EQ(rule.micro_tile.cols, rule.dense_tile.k);
+        break;
+      case MatmulAxis::kK:
+        EXPECT_EQ(rule.micro_tile.rows, rule.dense_tile.m);
+        EXPECT_EQ(rule.micro_tile.cols, 1);
+        break;
+    }
+  }
+}
+
+TEST(KernelSpaceTest, LayoutFlipFlagsComplementAcrossLayouts) {
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  auto rules = EnumerateRuleSpace(db);
+  // Rules come in (row-major, col-major) pairs per (tile, axis); for the m
+  // and k axes exactly one of the pair needs a flip.
+  for (size_t i = 0; i + 1 < rules.size(); i += 2) {
+    const PitRule& rm = rules[i];
+    const PitRule& cm = rules[i + 1];
+    ASSERT_EQ(rm.axis, cm.axis);
+    if (rm.axis != MatmulAxis::kN) {
+      EXPECT_NE(rm.needs_layout_flip, cm.needs_layout_flip);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pit

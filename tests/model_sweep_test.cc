@@ -1,0 +1,126 @@
+// Consistency sweep over every (model-runner, engine, device, precision)
+// combination the benches exercise: costs are positive and finite, breakdown
+// components non-negative, memory positive — the regression net under the
+// figure harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pit/runtime/models.h"
+#include "pit/workloads/moe_routing.h"
+#include "pit/workloads/seq_len.h"
+
+namespace pit {
+namespace {
+
+void CheckRun(const ModelRunCost& run, const char* what) {
+  EXPECT_TRUE(std::isfinite(run.cost.Total())) << what;
+  EXPECT_GT(run.cost.Total(), 0.0) << what;
+  EXPECT_GE(run.cost.compute_us, 0.0) << what;
+  EXPECT_GE(run.cost.memory_us, 0.0) << what;
+  EXPECT_GE(run.cost.launch_us, 0.0) << what;
+  EXPECT_GE(run.cost.convert_us, 0.0) << what;
+  EXPECT_GE(run.cost.index_us, 0.0) << what;
+  EXPECT_GT(run.memory_bytes, 0) << what;
+}
+
+class TransformerEngineSweep
+    : public ::testing::TestWithParam<std::tuple<Engine, Precision, bool>> {};
+
+TEST_P(TransformerEngineSweep, CostsWellFormed) {
+  const auto [engine, precision, training] = GetParam();
+  CostModel model(V100(), precision);
+  Rng rng(1);
+  auto lens = SampleBatchLens(DatasetSeqLens("mnli"), 16, rng);
+  ModelRunCost run = TransformerRun(model, engine, BertBase(), lens, training);
+  CheckRun(run, EngineName(engine));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TransformerEngineSweep,
+    ::testing::Combine(::testing::Values(Engine::kPyTorch, Engine::kPyTorchS,
+                                         Engine::kDeepSpeed, Engine::kTurboTransformer,
+                                         Engine::kTvm, Engine::kPit),
+                       ::testing::Values(Precision::kFp32, Precision::kFp16),
+                       ::testing::Bool()));
+
+class MoeEngineSweep : public ::testing::TestWithParam<Engine> {};
+
+TEST_P(MoeEngineSweep, SwitchAndSwinWellFormed) {
+  const Engine engine = GetParam();
+  CostModel model(A100(), Precision::kFp16);
+  Rng rng(2);
+  auto lens = SampleBatchLens(DatasetSeqLens("mnli"), 8, rng);
+  MoeRunConfig moe;
+  moe.num_experts = 16;
+  MoeRoutingConfig routing{16, 0.8};
+  for (int l = 0; l < 3; ++l) {
+    moe.layer_loads.push_back(ExpertLoads(RouteTokens(SumLens(lens), routing, rng), 16));
+  }
+  CheckRun(SwitchTransformerRun(model, engine, SwitchDims(), lens, moe), "switch");
+  CheckRun(SwinMoeRun(model, engine, SwinMoeDims(), 8, 196, moe), "swin");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MoeEngineSweep,
+                         ::testing::Values(Engine::kPyTorch, Engine::kPyTorchS, Engine::kTutel,
+                                           Engine::kDeepSpeed, Engine::kMegaBlocks,
+                                           Engine::kPitNoSparseMoe, Engine::kPit));
+
+class SparseAttentionEngineSweep : public ::testing::TestWithParam<Engine> {};
+
+TEST_P(SparseAttentionEngineSweep, WellFormedAcrossLengths) {
+  const Engine engine = GetParam();
+  CostModel model(V100());
+  for (int64_t seq : {1024, 8192}) {
+    SparseAttentionRunConfig config;
+    config.seq_len = seq;
+    config.mask_density = 0.05;
+    config.block32_density = 0.12;
+    CheckRun(SparseAttentionRun(model, engine, LongformerBase(), config), "attention");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SparseAttentionEngineSweep,
+                         ::testing::Values(Engine::kPyTorch, Engine::kPyTorchS,
+                                           Engine::kDeepSpeed, Engine::kLongformerS,
+                                           Engine::kPit));
+
+class OptEngineSweep : public ::testing::TestWithParam<std::tuple<Engine, bool>> {};
+
+TEST_P(OptEngineSweep, WellFormed) {
+  const auto [engine, training] = GetParam();
+  CostModel model(V100());
+  Rng rng(3);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 8, rng);
+  OptRunConfig config;
+  config.training = training;
+  CheckRun(OptRun(model, engine, OptDims("125M"), lens, config), "opt");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptEngineSweep,
+    ::testing::Combine(::testing::Values(Engine::kPyTorch, Engine::kPyTorchS,
+                                         Engine::kDeepSpeed, Engine::kPitNoActivation,
+                                         Engine::kPit),
+                       ::testing::Bool()));
+
+class SparseTrainingEngineSweep
+    : public ::testing::TestWithParam<std::tuple<Engine, int, double>> {};
+
+TEST_P(SparseTrainingEngineSweep, WellFormedAndMonotoneForPit) {
+  const auto [engine, block_cols, sparsity] = GetParam();
+  CostModel model(V100());
+  SparseTrainingRunConfig config;
+  config.block_cols = block_cols;
+  config.sparsity = sparsity;
+  CheckRun(SparseTrainingRun(model, engine, BertBase(), config), "sparse-training");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SparseTrainingEngineSweep,
+    ::testing::Combine(::testing::Values(Engine::kPyTorch, Engine::kPyTorchS, Engine::kPit),
+                       ::testing::Values(1, 64), ::testing::Values(0.5, 0.98)));
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "pit/runtime/models.h"
+#include "pit/workloads/moe_routing.h"
+#include "pit/workloads/seq_len.h"
+
+namespace pit {
+namespace {
+
+std::vector<int64_t> MnliLens(int64_t batch, uint64_t seed = 1) {
+  Rng rng(seed);
+  return SampleBatchLens(DatasetSeqLens("mnli"), batch, rng);
+}
+
+MoeRunConfig MakeMoe(int experts, int64_t tokens, int64_t moe_layers, uint64_t seed = 2) {
+  Rng rng(seed);
+  MoeRunConfig config;
+  config.num_experts = experts;
+  MoeRoutingConfig routing{experts, 0.8};
+  for (int64_t l = 0; l < moe_layers; ++l) {
+    config.layer_loads.push_back(ExpertLoads(RouteTokens(tokens, routing, rng), experts));
+  }
+  return config;
+}
+
+// ---- BERT (Fig. 11) ---------------------------------------------------------
+
+TEST(BertRunTest, PitFasterThanPyTorch) {
+  CostModel model(V100());
+  auto lens = MnliLens(32);
+  const double pt = TransformerRun(model, Engine::kPyTorch, BertBase(), lens).cost.Total();
+  const double pit = TransformerRun(model, Engine::kPit, BertBase(), lens).cost.Total();
+  EXPECT_GT(pt / pit, 1.3);  // paper: 1.3x–4.9x
+  EXPECT_LT(pt / pit, 6.0);
+}
+
+TEST(BertRunTest, TurboBetweenPyTorchAndPit) {
+  CostModel model(V100());
+  auto lens = MnliLens(32);
+  const double pt = TransformerRun(model, Engine::kPyTorch, BertBase(), lens).cost.Total();
+  const double turbo =
+      TransformerRun(model, Engine::kTurboTransformer, BertBase(), lens).cost.Total();
+  const double pit = TransformerRun(model, Engine::kPit, BertBase(), lens).cost.Total();
+  EXPECT_LT(turbo, pt);
+  EXPECT_LT(pit, turbo);
+}
+
+TEST(BertRunTest, PyTorchSConvertVisibleButBounded) {
+  CostModel model(V100());
+  auto lens = MnliLens(32);
+  ModelRunCost pts = TransformerRun(model, Engine::kPyTorchS, BertBase(), lens);
+  EXPECT_GT(pts.cost.convert_us, 0.0);
+  EXPECT_LT(pts.cost.convert_us, pts.cost.Total() * 0.5);
+}
+
+TEST(BertRunTest, PitConvertShareTiny) {
+  // Fig. 19: PIT's conversion is 0.7–1.1% of e2e latency.
+  CostModel model(V100());
+  auto lens = MnliLens(32);
+  ModelRunCost pit = TransformerRun(model, Engine::kPit, BertBase(), lens);
+  EXPECT_LT(pit.cost.index_us / pit.cost.Total(), 0.05);
+}
+
+TEST(BertRunTest, PitUsesLessMemoryThanPyTorch) {
+  CostModel model(V100());
+  auto lens = MnliLens(32);
+  EXPECT_LT(TransformerRun(model, Engine::kPit, BertBase(), lens).memory_bytes,
+            TransformerRun(model, Engine::kPyTorch, BertBase(), lens).memory_bytes);
+}
+
+TEST(BertRunTest, TrainingCostsMoreThanInference) {
+  CostModel model(V100());
+  auto lens = MnliLens(8);
+  const double inf = TransformerRun(model, Engine::kPyTorch, BertBase(), lens, false).cost.Total();
+  const double trn = TransformerRun(model, Engine::kPyTorch, BertBase(), lens, true).cost.Total();
+  EXPECT_GT(trn / inf, 2.0);
+  EXPECT_LT(trn / inf, 4.0);
+}
+
+// ---- Switch Transformer (Fig. 8) ---------------------------------------------
+
+TEST(SwitchTest, PitBeatsAllBaselines) {
+  CostModel model(A100());
+  auto lens = MnliLens(32);
+  MoeRunConfig moe = MakeMoe(128, SumLens(lens), 6);
+  const double pit = SwitchTransformerRun(model, Engine::kPit, SwitchDims(), lens, moe).cost.Total();
+  for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kTutel, Engine::kDeepSpeed,
+                   Engine::kMegaBlocks}) {
+    const double base = SwitchTransformerRun(model, e, SwitchDims(), lens, moe).cost.Total();
+    EXPECT_GT(base / pit, 1.1) << EngineName(e);
+  }
+}
+
+TEST(SwitchTest, SpeedupGrowsWithExpertCount) {
+  // Fig. 8: PyTorch/Tutel degrade as experts grow; PIT stays near-flat.
+  CostModel model(A100());
+  auto lens = MnliLens(32);
+  double prev_ratio = 0.0;
+  for (int experts : {64, 128, 256}) {
+    MoeRunConfig moe = MakeMoe(experts, SumLens(lens), 6);
+    const double pt =
+        SwitchTransformerRun(model, Engine::kPyTorch, SwitchDims(), lens, moe).cost.Total();
+    const double pit =
+        SwitchTransformerRun(model, Engine::kPit, SwitchDims(), lens, moe).cost.Total();
+    const double ratio = pt / pit;
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 3.0);  // paper: 3.6x–18.1x for fp32
+}
+
+TEST(SwitchTest, TutelPaddingWasteExceedsPit) {
+  CostModel model(A100());
+  auto lens = MnliLens(32);
+  MoeRunConfig moe = MakeMoe(256, SumLens(lens), 6);
+  ModelRunCost tutel = SwitchTransformerRun(model, Engine::kTutel, SwitchDims(), lens, moe);
+  ModelRunCost pit = SwitchTransformerRun(model, Engine::kPit, SwitchDims(), lens, moe);
+  EXPECT_GT(tutel.cost.Total() / pit.cost.Total(), 3.0);  // paper: up to 59.1x
+  EXPECT_GT(tutel.memory_bytes, pit.memory_bytes);
+}
+
+TEST(SwitchTest, TutelOomsAtLargeScale) {
+  // At 256 experts the capacity-padded dispatch buffers push Tutel over the
+  // device limit while PIT's exact-token buffers stay within it (Fig. 8b).
+  CostModel model(A100());
+  auto lens = MnliLens(32);
+  MoeRunConfig moe = MakeMoe(256, SumLens(lens), 6);
+  moe.device_memory_bytes = 32ll << 30;
+  EXPECT_TRUE(SwitchTransformerRun(model, Engine::kTutel, SwitchDims(), lens, moe).oom);
+  EXPECT_FALSE(SwitchTransformerRun(model, Engine::kPit, SwitchDims(), lens, moe).oom);
+}
+
+TEST(SwitchTest, MoEGainDominatesAblation) {
+  // "PIT w/o Sparse MoE" shows most of the win comes from the MoE path.
+  CostModel model(A100());
+  auto lens = MnliLens(32);
+  MoeRunConfig moe = MakeMoe(128, SumLens(lens), 6);
+  const double pit = SwitchTransformerRun(model, Engine::kPit, SwitchDims(), lens, moe).cost.Total();
+  const double ablate =
+      SwitchTransformerRun(model, Engine::kPitNoSparseMoe, SwitchDims(), lens, moe).cost.Total();
+  const double pytorch =
+      SwitchTransformerRun(model, Engine::kPyTorch, SwitchDims(), lens, moe).cost.Total();
+  EXPECT_GT(ablate, pit);
+  EXPECT_GT((pytorch - ablate) / (pytorch - pit), 0.0);
+  EXPECT_LT((pytorch / ablate), (pytorch / pit));
+}
+
+// ---- Swin-MoE (Fig. 9) --------------------------------------------------------
+
+TEST(SwinMoeTest, GainsSmallerThanSwitch) {
+  CostModel model(A100(), Precision::kFp16);
+  MoeRunConfig moe = MakeMoe(16, 32 * 196, 6);
+  const double pt =
+      SwinMoeRun(model, Engine::kPyTorch, SwinMoeDims(), 32, 196, moe).cost.Total();
+  const double pit = SwinMoeRun(model, Engine::kPit, SwinMoeDims(), 32, 196, moe).cost.Total();
+  const double ratio = pt / pit;
+  EXPECT_GT(ratio, 1.1);  // paper: 1.5x–6.3x
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(SwinMoeTest, MegaBlocksCompetitiveButBehindPit) {
+  CostModel model(A100(), Precision::kFp16);
+  MoeRunConfig moe = MakeMoe(32, 32 * 196, 6);
+  const double mb =
+      SwinMoeRun(model, Engine::kMegaBlocks, SwinMoeDims(), 32, 196, moe).cost.Total();
+  const double pit = SwinMoeRun(model, Engine::kPit, SwinMoeDims(), 32, 196, moe).cost.Total();
+  EXPECT_GT(mb / pit, 1.0);
+  EXPECT_LT(mb / pit, 2.5);  // paper: 1.1x–1.4x e2e
+}
+
+// ---- OPT (Fig. 10 / Fig. 14) ---------------------------------------------------
+
+TEST(OptTest, InferenceSpeedupInPaperBand) {
+  CostModel model(V100());
+  Rng rng(3);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 32, rng);
+  OptRunConfig config;
+  const double pt = OptRun(model, Engine::kPyTorch, OptDims("13B"), lens, config).cost.Total();
+  const double pit = OptRun(model, Engine::kPit, OptDims("13B"), lens, config).cost.Total();
+  EXPECT_GT(pt / pit, 1.5);  // paper: 2.1x–2.3x
+  EXPECT_LT(pt / pit, 5.0);
+}
+
+TEST(OptTest, ActivationSparsityAddsOnTopOfPadding) {
+  // PIT w/o activation captures only the padding gain; full PIT adds the
+  // ReLU-sparsity gain (paper: extra 1.3x–1.4x).
+  CostModel model(V100());
+  Rng rng(4);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 32, rng);
+  OptRunConfig config;
+  const double no_act =
+      OptRun(model, Engine::kPitNoActivation, OptDims("13B"), lens, config).cost.Total();
+  const double full = OptRun(model, Engine::kPit, OptDims("13B"), lens, config).cost.Total();
+  EXPECT_GT(no_act / full, 1.1);
+  EXPECT_LT(no_act / full, 2.0);
+}
+
+TEST(OptTest, PyTorchSWorstDueToConversion) {
+  CostModel model(V100());
+  Rng rng(5);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 32, rng);
+  OptRunConfig config;
+  const double pts = OptRun(model, Engine::kPyTorchS, OptDims("13B"), lens, config).cost.Total();
+  const double pt = OptRun(model, Engine::kPyTorch, OptDims("13B"), lens, config).cost.Total();
+  EXPECT_GT(pts, pt * 0.9);  // paper: PyTorch-S has the highest latency
+}
+
+TEST(OptTest, TrainingSpeedupBand) {
+  CostModel model(A100());
+  Rng rng(6);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 8, rng);
+  OptRunConfig config;
+  config.training = true;
+  const double pt = OptRun(model, Engine::kPyTorch, OptDims("1.3B"), lens, config).cost.Total();
+  const double pit = OptRun(model, Engine::kPit, OptDims("1.3B"), lens, config).cost.Total();
+  EXPECT_GT(pt / pit, 1.4);  // paper: 1.9x–2.4x
+  EXPECT_LT(pt / pit, 4.0);
+}
+
+// ---- Sparse attention (Fig. 12 / Fig. 13) --------------------------------------
+
+TEST(SparseAttentionTest, PitFastestOnLongformer) {
+  CostModel model(V100());
+  SparseAttentionRunConfig config;
+  config.seq_len = 4096;
+  config.batch = 1;
+  config.mask_density = 0.08;
+  config.block32_density = 0.18;
+  const double pit =
+      SparseAttentionRun(model, Engine::kPit, LongformerBase(), config).cost.Total();
+  for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kDeepSpeed,
+                   Engine::kLongformerS}) {
+    EXPECT_GT(SparseAttentionRun(model, e, LongformerBase(), config).cost.Total() / pit, 1.05)
+        << EngineName(e);
+  }
+}
+
+TEST(SparseAttentionTest, LongformerSBeatsGenericSparse) {
+  CostModel model(V100());
+  SparseAttentionRunConfig config;
+  config.seq_len = 4096;
+  config.mask_density = 0.08;
+  config.block32_density = 0.20;
+  const double lfs =
+      SparseAttentionRun(model, Engine::kLongformerS, LongformerBase(), config).cost.Total();
+  const double pts =
+      SparseAttentionRun(model, Engine::kPyTorchS, LongformerBase(), config).cost.Total();
+  EXPECT_LT(lfs, pts);
+}
+
+TEST(SparseAttentionTest, BaselinesOomOnLongSequences) {
+  // Museformer at 32k: PyTorch crashes OOM; PIT survives (Fig. 13).
+  CostModel model(V100());
+  SparseAttentionRunConfig config;
+  config.seq_len = 32768;
+  config.batch = 1;
+  config.mask_density = 0.01;
+  config.block32_density = 0.05;
+  config.device_memory_bytes = 32ll << 30;
+  EXPECT_TRUE(SparseAttentionRun(model, Engine::kPyTorch, MuseformerDims(), config).oom);
+  EXPECT_FALSE(SparseAttentionRun(model, Engine::kPit, MuseformerDims(), config).oom);
+}
+
+TEST(SparseAttentionTest, MemoryOrderingPitLowest) {
+  CostModel model(V100());
+  SparseAttentionRunConfig config;
+  config.seq_len = 8192;
+  config.mask_density = 0.02;
+  config.block32_density = 0.08;
+  const int64_t pit = SparseAttentionRun(model, Engine::kPit, MuseformerDims(), config).memory_bytes;
+  for (Engine e : {Engine::kPyTorch, Engine::kPyTorchS, Engine::kDeepSpeed}) {
+    EXPECT_LT(pit, SparseAttentionRun(model, e, MuseformerDims(), config).memory_bytes)
+        << EngineName(e);
+  }
+}
+
+// ---- Sparse training (Fig. 15) --------------------------------------------------
+
+TEST(SparseTrainingTest, SpeedupBandsAtCoarseGranularity) {
+  CostModel model(V100());
+  SparseTrainingRunConfig config;
+  config.block_rows = 32;
+  config.block_cols = 64;
+  config.sparsity = 0.9;
+  const double pt =
+      SparseTrainingRun(model, Engine::kPyTorch, BertBase(), config).cost.Total();
+  const double pts =
+      SparseTrainingRun(model, Engine::kPyTorchS, BertBase(), config).cost.Total();
+  const double pit = SparseTrainingRun(model, Engine::kPit, BertBase(), config).cost.Total();
+  EXPECT_GT(pt / pit, 1.2);   // paper: 1.5x–3.0x
+  EXPECT_GT(pts / pit, 1.1);  // paper: 1.7x–2.2x (index rebuild overhead)
+}
+
+TEST(SparseTrainingTest, FineGranularityHurtsPyTorchSNotPit) {
+  // Paper: at 32x1, PIT keeps the 32x64 speed while PyTorch-S degrades badly.
+  CostModel model(V100());
+  SparseTrainingRunConfig coarse{32, 128, 32, 64, 0.94};
+  SparseTrainingRunConfig fine{32, 128, 32, 1, 0.94};
+  const double pit_coarse =
+      SparseTrainingRun(model, Engine::kPit, BertBase(), coarse).cost.Total();
+  const double pit_fine = SparseTrainingRun(model, Engine::kPit, BertBase(), fine).cost.Total();
+  EXPECT_NEAR(pit_fine / pit_coarse, 1.0, 0.1);
+  const double pts_coarse =
+      SparseTrainingRun(model, Engine::kPyTorchS, BertBase(), coarse).cost.Total();
+  const double pts_fine =
+      SparseTrainingRun(model, Engine::kPyTorchS, BertBase(), fine).cost.Total();
+  EXPECT_GT(pts_fine / pts_coarse, 1.5);
+}
+
+TEST(SparseTrainingTest, PitMemoryDropsWithSparsityOthersFlat) {
+  CostModel model(V100());
+  SparseTrainingRunConfig lo{32, 128, 32, 64, 0.5};
+  SparseTrainingRunConfig hi{32, 128, 32, 64, 0.98};
+  const int64_t pit_lo = SparseTrainingRun(model, Engine::kPit, BertBase(), lo).memory_bytes;
+  const int64_t pit_hi = SparseTrainingRun(model, Engine::kPit, BertBase(), hi).memory_bytes;
+  EXPECT_LT(pit_hi, pit_lo);
+  const int64_t pt_lo = SparseTrainingRun(model, Engine::kPyTorch, BertBase(), lo).memory_bytes;
+  const int64_t pt_hi = SparseTrainingRun(model, Engine::kPyTorch, BertBase(), hi).memory_bytes;
+  EXPECT_EQ(pt_lo, pt_hi);
+}
+
+// ---- dims sanity -----------------------------------------------------------------
+
+TEST(DimsTest, OptFamilyGrowsMonotonically) {
+  const char* sizes[] = {"125M", "350M", "1.3B", "13B", "30B"};
+  int64_t prev = 0;
+  for (const char* s : sizes) {
+    TransformerDims d = OptDims(s);
+    const int64_t params = d.layers * (4 * d.hidden * d.hidden + 2 * d.hidden * d.ffn_hidden);
+    EXPECT_GT(params, prev) << s;
+    prev = params;
+  }
+}
+
+}  // namespace
+}  // namespace pit

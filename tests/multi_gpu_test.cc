@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "pit/runtime/multi_gpu.h"
+#include "pit/workloads/seq_len.h"
+
+namespace pit {
+namespace {
+
+ModelRunCost SingleOpt(Engine engine, std::vector<int64_t>* lens_out) {
+  CostModel model(V100());
+  Rng rng(1);
+  auto lens = SampleBatchLens(DatasetSeqLens("alpaca"), 32, rng);
+  if (lens_out != nullptr) {
+    *lens_out = lens;
+  }
+  OptRunConfig config;
+  return OptRun(model, engine, OptDims("13B"), lens, config);
+}
+
+TEST(MultiGpuTest, RingAllReduceLaws) {
+  TensorParallelConfig config;
+  config.num_gpus = 1;
+  EXPECT_EQ(RingAllReduceUs(1 << 20, config), 0.0);
+  config.num_gpus = 8;
+  const double t8 = RingAllReduceUs(1 << 20, config);
+  EXPECT_GT(t8, 0.0);
+  // Payload doubling ~doubles the bandwidth term.
+  const double t8_2x = RingAllReduceUs(2 << 20, config);
+  EXPECT_GT(t8_2x, t8 * 1.5);
+  // More GPUs move asymptotically 2x the payload per link: bounded growth.
+  config.num_gpus = 64;
+  EXPECT_LT(RingAllReduceUs(1 << 20, config), t8 * 1.5);
+}
+
+TEST(MultiGpuTest, TensorParallelSpeedsUpButSublinearly) {
+  std::vector<int64_t> lens;
+  ModelRunCost single = SingleOpt(Engine::kPyTorch, &lens);
+  TensorParallelConfig config;
+  config.num_gpus = 8;
+  ModelRunCost tp = TensorParallel(single, OptDims("13B"), SumLens(lens), config,
+                                   Precision::kFp32);
+  EXPECT_LT(tp.cost.Total(), single.cost.Total());
+  const double speedup = single.cost.Total() / tp.cost.Total();
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 8.0);  // communication + launches keep it sublinear
+}
+
+TEST(MultiGpuTest, PerDeviceMemoryShards) {
+  std::vector<int64_t> lens;
+  ModelRunCost single = SingleOpt(Engine::kPyTorch, &lens);
+  TensorParallelConfig config;
+  config.num_gpus = 8;
+  ModelRunCost tp =
+      TensorParallel(single, OptDims("13B"), SumLens(lens), config, Precision::kFp32);
+  EXPECT_EQ(tp.memory_bytes, single.memory_bytes / 8);
+  // OPT-13B fits 8x V100-32GB after sharding (Table 2's configuration).
+  EXPECT_LT(tp.memory_bytes, 32ll << 30);
+}
+
+TEST(MultiGpuTest, EngineOrderingPreservedUnderTp) {
+  std::vector<int64_t> lens;
+  ModelRunCost pt = SingleOpt(Engine::kPyTorch, &lens);
+  ModelRunCost pit = SingleOpt(Engine::kPit, nullptr);
+  TensorParallelConfig config;
+  config.num_gpus = 8;
+  const int64_t tokens = SumLens(lens);
+  ModelRunCost pt_tp = TensorParallel(pt, OptDims("13B"), tokens, config, Precision::kFp32);
+  ModelRunCost pit_tp = TensorParallel(pit, OptDims("13B"), tokens, config, Precision::kFp32);
+  EXPECT_GT(pt_tp.cost.Total() / pit_tp.cost.Total(), 1.5);
+}
+
+TEST(MultiGpuTest, TrainingDoublesCollectives) {
+  std::vector<int64_t> lens;
+  ModelRunCost single = SingleOpt(Engine::kPyTorch, &lens);
+  TensorParallelConfig config;
+  config.num_gpus = 8;
+  const int64_t tokens = SumLens(lens);
+  ModelRunCost inf = TensorParallel(single, OptDims("13B"), tokens, config, Precision::kFp32,
+                                    /*training=*/false);
+  ModelRunCost trn = TensorParallel(single, OptDims("13B"), tokens, config, Precision::kFp32,
+                                    /*training=*/true);
+  EXPECT_GT(trn.cost.memory_us, inf.cost.memory_us);
+}
+
+}  // namespace
+}  // namespace pit

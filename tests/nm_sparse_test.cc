@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "pit/core/nm_sparse.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+TEST(NmAnalysisTest, ClassifiesHandBuiltTiles) {
+  Tensor t = Tensor::Zeros({1, 12});
+  // Tile 0: all zero. Tile 1: 2 nonzeros (conforming). Tile 2: 3 (dense).
+  t.At(0, 4) = 1.0f;
+  t.At(0, 6) = 1.0f;
+  t.At(0, 8) = 1.0f;
+  t.At(0, 9) = 1.0f;
+  t.At(0, 10) = 1.0f;
+  NmTileStats stats = AnalyzeNmPattern(t);
+  EXPECT_EQ(stats.total, 3);
+  EXPECT_EQ(stats.all_zero, 1);
+  EXPECT_EQ(stats.conforming, 1);
+  EXPECT_EQ(stats.dense, 1);
+}
+
+TEST(NmAnalysisTest, GeneratorHitsRequestedFractions) {
+  Rng rng(1);
+  Tensor t = MakeNmMixedTensor(256, 256, 0.5, 0.3, rng);
+  NmTileStats stats = AnalyzeNmPattern(t);
+  EXPECT_NEAR(stats.AllZeroFraction(), 0.5, 0.03);
+  EXPECT_NEAR(stats.ConformingFraction(), 0.3, 0.03);
+  EXPECT_NEAR(stats.DenseFraction(), 0.2, 0.03);
+}
+
+TEST(NmAnalysisTest, FractionsSumToOne) {
+  Rng rng(2);
+  Tensor t = MakeNmMixedTensor(64, 64, 0.2, 0.6, rng);
+  NmTileStats stats = AnalyzeNmPattern(t);
+  EXPECT_EQ(stats.all_zero + stats.conforming + stats.dense, stats.total);
+}
+
+TEST(NmCostTest, StrictInfeasibleWithDenseTiles) {
+  CostModel model(V100(), Precision::kFp16);
+  Rng rng(3);
+  NmTileStats stats = AnalyzeNmPattern(MakeNmMixedTensor(128, 128, 0.3, 0.4, rng));
+  NmCostComparison cmp = CompareNmStrategies(model, stats, 4096, 4096, 4096);
+  EXPECT_FALSE(cmp.strict_24_feasible);
+  // Infeasible strict 2:4 falls back to the dense-TC cost.
+  EXPECT_DOUBLE_EQ(cmp.strict_24_us, cmp.dense_tc_us);
+}
+
+TEST(NmCostTest, StrictFeasibleWhenFullyConforming) {
+  CostModel model(V100(), Precision::kFp16);
+  Rng rng(4);
+  NmTileStats stats = AnalyzeNmPattern(MakeNmMixedTensor(128, 128, 0.3, 0.7, rng));
+  ASSERT_EQ(stats.dense, 0);
+  NmCostComparison cmp = CompareNmStrategies(model, stats, 4096, 4096, 4096);
+  EXPECT_TRUE(cmp.strict_24_feasible);
+  EXPECT_NEAR(cmp.strict_24_us, cmp.dense_tc_us / 2.0, 1e-9);
+}
+
+TEST(NmCostTest, PitAugmentationBeatsBothOnMixedPatterns) {
+  // The future-work claim: with many all-zero tiles plus conforming tiles,
+  // PIT routing beats dense TC (skips zeros) AND strict 2:4 (which cannot
+  // skip the all-zero tiles, and is infeasible here anyway).
+  CostModel model(V100(), Precision::kFp16);
+  Rng rng(5);
+  NmTileStats stats = AnalyzeNmPattern(MakeNmMixedTensor(256, 256, 0.6, 0.3, rng));
+  NmCostComparison cmp = CompareNmStrategies(model, stats, 4096, 4096, 4096);
+  EXPECT_LT(cmp.pit_augmented_us, cmp.dense_tc_us);
+  EXPECT_LT(cmp.pit_augmented_us, cmp.strict_24_us);
+}
+
+TEST(NmCostTest, PitAugmentationNearStrictOnPureConforming) {
+  // With no all-zero and no dense tiles, PIT ~ strict 2:4 plus small
+  // SRead/index overheads.
+  CostModel model(V100(), Precision::kFp16);
+  Rng rng(6);
+  NmTileStats stats = AnalyzeNmPattern(MakeNmMixedTensor(256, 256, 0.0, 1.0, rng));
+  NmCostComparison cmp = CompareNmStrategies(model, stats, 4096, 4096, 4096);
+  EXPECT_TRUE(cmp.strict_24_feasible);
+  EXPECT_LT(cmp.pit_augmented_us / cmp.strict_24_us, 1.15);
+  EXPECT_GT(cmp.pit_augmented_us, cmp.strict_24_us);  // overheads are real
+}
+
+TEST(NmFunctionalTest, AugmentedMatmulExact) {
+  Rng rng(7);
+  Tensor a = MakeNmMixedTensor(32, 64, 0.4, 0.4, rng);
+  Tensor b = Tensor::Random({64, 16}, rng);
+  EXPECT_TRUE(AllClose(NmAugmentedMatmul(a, b), MatMul(a, b)));
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "pit/nn/modules.h"
+
+namespace pit {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndDeterminism) {
+  Rng rng1(1), rng2(1);
+  Linear l1(8, 4, rng1), l2(8, 4, rng2);
+  Rng xr(2);
+  Tensor x = Tensor::Random({5, 8}, xr);
+  Tensor y1 = l1.Forward(x), y2 = l2.Forward(x);
+  EXPECT_EQ(y1.shape(), (Shape{5, 4}));
+  EXPECT_TRUE(AllClose(y1, y2));
+}
+
+TEST(LinearTest, SparseForwardMatchesDense) {
+  Rng rng(3);
+  Linear l(32, 16, rng);
+  Tensor x = Tensor::RandomSparse({24, 32}, 0.9, rng);
+  PitCompiler compiler(V100());
+  EXPECT_TRUE(AllClose(l.ForwardSparse(x, compiler), l.Forward(x), 1e-3f, 1e-4f));
+}
+
+TEST(FeedForwardTest, SparseForwardMatchesDenseAndReportsSparsity) {
+  Rng rng(4);
+  FeedForward ffn(16, 64, rng);
+  Tensor x = Tensor::Random({12, 16}, rng);
+  Tensor dense = ffn.Forward(x);
+  const double s = ffn.last_activation_sparsity();
+  EXPECT_GT(s, 0.1);  // ReLU kills a sizeable fraction
+  EXPECT_LT(s, 0.95);
+  PitCompiler compiler(V100());
+  EXPECT_TRUE(AllClose(ffn.ForwardSparse(x, compiler), dense, 1e-3f, 1e-4f));
+}
+
+TEST(AttentionTest, MaskedForwardDiffersFromUnmasked) {
+  Rng rng(5);
+  MultiHeadAttention attn(16, 4, rng);
+  Tensor x = Tensor::Random({6, 16}, rng);
+  Tensor full = attn.Forward(x);
+  Tensor mask = Tensor::Zeros({6, 6});
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      mask.At(i, j) = 1.0f;  // causal
+    }
+  }
+  Tensor causal = attn.Forward(x, &mask);
+  EXPECT_EQ(causal.shape(), full.shape());
+  EXPECT_FALSE(AllClose(causal, full));
+}
+
+TEST(AttentionTest, FullMaskEqualsNoMask) {
+  Rng rng(6);
+  MultiHeadAttention attn(8, 2, rng);
+  Tensor x = Tensor::Random({5, 8}, rng);
+  Tensor ones = Tensor::Full({5, 5}, 1.0f);
+  EXPECT_TRUE(AllClose(attn.Forward(x, &ones), attn.Forward(x), 1e-4f, 1e-5f));
+}
+
+TEST(AttentionTest, CausalFirstTokenAttendsOnlySelf) {
+  // With a causal mask, row 0 only sees itself: its context equals the
+  // attention output where all weight is on token 0.
+  Rng rng(7);
+  MultiHeadAttention attn(8, 1, rng);
+  Tensor x = Tensor::Random({4, 8}, rng);
+  Tensor mask = Tensor::Zeros({4, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      mask.At(i, j) = 1.0f;
+    }
+  }
+  Tensor y = attn.Forward(x, &mask);
+  // Changing later tokens must not change row 0's output.
+  Tensor x2 = x;
+  x2.At(3, 0) += 5.0f;
+  Tensor y2 = attn.Forward(x2, &mask);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(y.At(0, j), y2.At(0, j), 1e-4f);
+  }
+}
+
+// ---- MoE: the paper's central correctness claim at module level: the PIT
+// execution (gather/compute/scatter) and the padded execution must equal the
+// dense masked reference exactly. ----
+
+TEST(MoETest, PitExecutionMatchesDenseReference) {
+  Rng rng(8);
+  MoELayer moe(16, 32, 4, rng);
+  Tensor x = Tensor::Random({20, 16}, rng);
+  Tensor ref = moe.ForwardDense(x);
+  EXPECT_TRUE(AllClose(moe.ForwardPit(x), ref, 1e-3f, 1e-4f));
+}
+
+TEST(MoETest, PaddedExecutionMatchesDenseReference) {
+  Rng rng(9);
+  MoELayer moe(16, 32, 4, rng);
+  Tensor x = Tensor::Random({20, 16}, rng);
+  EXPECT_TRUE(AllClose(moe.ForwardPadded(x), moe.ForwardDense(x), 1e-3f, 1e-4f));
+}
+
+TEST(MoETest, RoutingCoversAllTokens) {
+  Rng rng(10);
+  MoELayer moe(8, 16, 4, rng);
+  Tensor x = Tensor::Random({30, 8}, rng);
+  auto routing = moe.Route(x);
+  ASSERT_EQ(routing.size(), 30u);
+  for (int e : routing) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 4);
+  }
+}
+
+TEST(MoETest, SingleExpertDegeneratesToFfn) {
+  Rng rng(11);
+  MoELayer moe(8, 16, 1, rng);
+  Tensor x = Tensor::Random({10, 8}, rng);
+  Tensor pit = moe.ForwardPit(x);
+  Tensor dense = moe.ForwardDense(x);
+  EXPECT_TRUE(AllClose(pit, dense, 1e-4f, 1e-5f));
+  EXPECT_GT(pit.CountNonZero(), 0);
+}
+
+TEST(EncoderLayerTest, SparseForwardMatchesDense) {
+  Rng rng(12);
+  TransformerEncoderLayer layer(16, 4, 64, rng);
+  Tensor x = Tensor::Random({10, 16}, rng);
+  Tensor dense = layer.Forward(x);
+  PitCompiler compiler(V100());
+  Tensor sparse = layer.ForwardSparse(x, compiler);
+  EXPECT_TRUE(AllClose(sparse, dense, 1e-3f, 1e-4f));
+}
+
+TEST(EncoderLayerTest, AttnMaskPropagates) {
+  Rng rng(13);
+  TransformerEncoderLayer layer(8, 2, 16, rng);
+  Tensor x = Tensor::Random({6, 8}, rng);
+  Tensor mask = Tensor::Full({6, 6}, 1.0f);
+  mask.At(0, 5) = 0.0f;
+  mask.At(5, 0) = 0.0f;
+  EXPECT_FALSE(AllClose(layer.Forward(x, &mask), layer.Forward(x)));
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "pit/core/pit_rule.h"
+#include "pit/expr/op_registry.h"
+
+namespace pit {
+namespace {
+
+TEST(OpRegistryTest, MatmulSparseARulesMatchSpecialization) {
+  EinsumExpr matmul = MatMulExpr();
+  auto rules = DeriveRules(matmul, /*operand_index=*/0, /*tile_extent=*/32);
+  // A[m,k] is indexed by m and k; n never touches A -> exactly 2 rules.
+  ASSERT_EQ(rules.size(), 2u);
+
+  GenericRule m_rule = FindRuleForAxis(rules, "m");
+  EXPECT_EQ(m_rule.micro_tile.extents, (std::vector<int64_t>{1, 32}));
+  EXPECT_FALSE(m_rule.needs_layout_flip);  // m is A's outer dim (row-major ok)
+
+  GenericRule k_rule = FindRuleForAxis(rules, "k");
+  EXPECT_EQ(k_rule.micro_tile.extents, (std::vector<int64_t>{32, 1}));
+  EXPECT_TRUE(k_rule.needs_layout_flip);  // k is A's innermost dim
+
+  // Cross-check against the matmul specialization in core/pit_rule.h.
+  bool flip = false;
+  MicroTileShape special =
+      DeriveMicroTileForA(TileShape{32, 32, 64}, MatmulAxis::kK, Layout::kRowMajor, &flip);
+  EXPECT_EQ(special.rows, k_rule.micro_tile.extents[0]);
+  EXPECT_EQ(special.cols, k_rule.micro_tile.extents[1]);
+  EXPECT_EQ(flip, k_rule.needs_layout_flip);
+}
+
+TEST(OpRegistryTest, MatmulSparseBRules) {
+  EinsumExpr matmul = MatMulExpr();
+  auto rules = DeriveRules(matmul, /*operand_index=*/1, 64);
+  ASSERT_EQ(rules.size(), 2u);  // B[k,n]: axes k and n
+  GenericRule k_rule = FindRuleForAxis(rules, "k");
+  EXPECT_EQ(k_rule.micro_tile.extents, (std::vector<int64_t>{1, 64}));
+  EXPECT_FALSE(k_rule.needs_layout_flip);  // k is B's outer dim
+  GenericRule n_rule = FindRuleForAxis(rules, "n");
+  EXPECT_TRUE(n_rule.needs_layout_flip);
+}
+
+TEST(OpRegistryTest, BatchMatmulHasThreeRulesForA) {
+  EinsumExpr bmm = BatchMatMulExpr();
+  auto rules = DeriveRules(bmm, 0, 16);
+  // A[b,m,k]: b, m, k all PIT-axes indexing A.
+  ASSERT_EQ(rules.size(), 3u);
+  GenericRule b_rule = FindRuleForAxis(rules, "b");
+  EXPECT_EQ(b_rule.micro_tile.extents, (std::vector<int64_t>{1, 16, 16}));
+  EXPECT_FALSE(b_rule.needs_layout_flip);
+  EXPECT_TRUE(FindRuleForAxis(rules, "k").needs_layout_flip);
+}
+
+TEST(OpRegistryTest, ConvolutionChannelRulesOnly) {
+  EinsumExpr conv = ConvolutionExpr();
+  // A[n,m,x+i,y+j]: PIT-axes touching A are n (batch) and m (in-channel);
+  // the derived spatial dims are never micro-tiled (extent 0 = full).
+  auto rules = DeriveRules(conv, 0, 8);
+  ASSERT_EQ(rules.size(), 2u);
+  GenericRule m_rule = FindRuleForAxis(rules, "m");
+  EXPECT_EQ(m_rule.micro_tile.extents, (std::vector<int64_t>{8, 1, 0, 0}));
+  EXPECT_FALSE(m_rule.needs_layout_flip);  // innermost dims are the derived ones
+  // Weight B[f,m,i,j]: PIT-axes f and m index it.
+  auto w_rules = DeriveRules(conv, 1, 8);
+  ASSERT_EQ(w_rules.size(), 2u);
+  EXPECT_EQ(FindRuleForAxis(w_rules, "f").micro_tile.extents[0], 1);
+}
+
+TEST(OpRegistryTest, ReduceSumBothAxes) {
+  auto rules = DeriveRules(ReduceSumExpr(), 0, 8);
+  ASSERT_EQ(rules.size(), 2u);  // p and l both index A[p,l]
+  EXPECT_TRUE(FindRuleForAxis(rules, "l").needs_layout_flip);   // innermost
+  EXPECT_FALSE(FindRuleForAxis(rules, "p").needs_layout_flip);
+}
+
+TEST(OpRegistryTest, NonCommutativeReducerYieldsSpatialRulesOnly) {
+  EinsumExpr e = ParseEinsum("C[p] += A[p,l]");
+  e.reduce = ReduceKind::kNonCommutative;
+  auto rules = DeriveRules(e, 0, 8);
+  ASSERT_EQ(rules.size(), 1u);  // only the spatial axis p survives
+  EXPECT_EQ(rules[0].pit_axis, "p");
+}
+
+TEST(OpRegistryTest, ToStringIsReadable) {
+  auto rules = DeriveRules(MatMulExpr(), 0, 32);
+  const std::string s = FindRuleForAxis(rules, "k").ToString();
+  EXPECT_NE(s.find("axis=k"), std::string::npos);
+  EXPECT_NE(s.find("flip"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+// Naive triple-loop matmul as the independent oracle.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < a.dim(1); ++k) {
+        acc += a.At(i, k) * b.At(k, j);
+      }
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(OpsTest, MatMulMatchesNaive) {
+  Rng rng(1);
+  Tensor a = Tensor::Random({17, 23}, rng);
+  Tensor b = Tensor::Random({23, 11}, rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), NaiveMatMul(a, b)));
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Rng rng(2);
+  Tensor a = Tensor::Random({5, 5}, rng);
+  Tensor eye = Tensor::Zeros({5, 5});
+  for (int64_t i = 0; i < 5; ++i) {
+    eye.At(i, i) = 1.0f;
+  }
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a));
+  EXPECT_TRUE(AllClose(MatMul(eye, a), a));
+}
+
+TEST(OpsTest, MatMulZeroSkipPathIsExact) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomSparse({16, 32}, 0.8, rng);
+  Tensor b = Tensor::Random({32, 8}, rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), NaiveMatMul(a, b)));
+}
+
+TEST(OpsTest, BatchMatMulMatchesPerSliceMatMul) {
+  Rng rng(4);
+  Tensor a = Tensor::Random({3, 6, 7}, rng);
+  Tensor b = Tensor::Random({3, 7, 5}, rng);
+  Tensor c = BatchMatMul(a, b);
+  for (int64_t s = 0; s < 3; ++s) {
+    Tensor as({6, 7}), bs({7, 5});
+    for (int64_t i = 0; i < 6 * 7; ++i) {
+      as[i] = a[s * 42 + i];
+    }
+    for (int64_t i = 0; i < 7 * 5; ++i) {
+      bs[i] = b[s * 35 + i];
+    }
+    Tensor cs = MatMul(as, bs);
+    for (int64_t i = 0; i < 6; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_NEAR(c.At(s, i, j), cs.At(i, j), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(OpsTest, MatMulBiasBroadcasts) {
+  Rng rng(5);
+  Tensor a = Tensor::Random({4, 3}, rng);
+  Tensor b = Tensor::Random({3, 2}, rng);
+  Tensor bias({2});
+  bias[0] = 1.0f;
+  bias[1] = -2.0f;
+  Tensor c = MatMulBias(a, b, bias);
+  Tensor plain = MatMul(a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(c.At(i, 0), plain.At(i, 0) + 1.0f, 1e-6f);
+    EXPECT_NEAR(c.At(i, 1), plain.At(i, 1) - 2.0f, 1e-6f);
+  }
+}
+
+TEST(OpsTest, AddAndMulElementwise) {
+  Rng rng(6);
+  Tensor a = Tensor::Random({4, 4}, rng);
+  Tensor b = Tensor::Random({4, 4}, rng);
+  Tensor s = Add(a, b);
+  Tensor p = Mul(a, b);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(s[i], a[i] + b[i]);
+    EXPECT_FLOAT_EQ(p[i], a[i] * b[i]);
+  }
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  Tensor a({4});
+  a[0] = -1.0f;
+  a[1] = 0.0f;
+  a[2] = 2.0f;
+  a[3] = -0.5f;
+  Tensor r = Relu(a);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[1], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+  EXPECT_EQ(r[3], 0.0f);
+}
+
+TEST(OpsTest, GeluApproximationAnchors) {
+  Tensor a({3});
+  a[0] = 0.0f;
+  a[1] = 10.0f;
+  a[2] = -10.0f;
+  Tensor g = Gelu(a);
+  EXPECT_NEAR(g[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(g[1], 10.0f, 1e-3f);
+  EXPECT_NEAR(g[2], 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, Transpose2DInvolution) {
+  Rng rng(7);
+  Tensor a = Tensor::Random({5, 9}, rng);
+  EXPECT_TRUE(AllClose(Transpose2D(Transpose2D(a)), a));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(8);
+  Tensor a = Tensor::Random({6, 10}, rng, -5.0f, 5.0f);
+  Tensor s = Softmax(a);
+  for (int64_t i = 0; i < 6; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 10; ++j) {
+      sum += s.At(i, j);
+      EXPECT_GE(s.At(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxMaskExcludesEntries) {
+  Rng rng(9);
+  Tensor a = Tensor::Random({2, 4}, rng);
+  Tensor mask = Tensor::Zeros({2, 4});
+  mask.At(0, 1) = 1.0f;
+  mask.At(0, 3) = 1.0f;
+  // Row 1 fully masked.
+  Tensor s = Softmax(a, &mask);
+  EXPECT_EQ(s.At(0, 0), 0.0f);
+  EXPECT_EQ(s.At(0, 2), 0.0f);
+  EXPECT_NEAR(s.At(0, 1) + s.At(0, 3), 1.0f, 1e-5f);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(s.At(1, j), 0.0f);
+  }
+}
+
+TEST(OpsTest, SoftmaxInvariantToShift) {
+  Rng rng(10);
+  Tensor a = Tensor::Random({3, 5}, rng);
+  Tensor b = a;
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b[i] += 100.0f;
+  }
+  EXPECT_TRUE(AllClose(Softmax(a), Softmax(b), 1e-4f, 1e-5f));
+}
+
+TEST(OpsTest, LayerNormZeroMeanUnitVar) {
+  Rng rng(11);
+  Tensor a = Tensor::Random({4, 64}, rng, -3.0f, 7.0f);
+  Tensor gamma = Tensor::Full({64}, 1.0f);
+  Tensor beta = Tensor::Zeros({64});
+  Tensor n = LayerNorm(a, gamma, beta);
+  for (int64_t i = 0; i < 4; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t j = 0; j < 64; ++j) {
+      mean += n.At(i, j);
+    }
+    mean /= 64.0f;
+    for (int64_t j = 0; j < 64; ++j) {
+      var += (n.At(i, j) - mean) * (n.At(i, j) - mean);
+    }
+    var /= 64.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(OpsTest, ReduceSumAxis1Matches) {
+  Rng rng(12);
+  Tensor a = Tensor::Random({3, 7}, rng);
+  Tensor s = ReduceSumAxis1(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      acc += a.At(i, j);
+    }
+    EXPECT_NEAR(s[i], acc, 1e-5f);
+  }
+}
+
+TEST(OpsTest, ApplyMaskZeroesMaskedEntries) {
+  Rng rng(13);
+  Tensor a = Tensor::Random({4, 4}, rng);
+  Rng rng2(14);
+  Tensor mask = Tensor::RandomSparse({4, 4}, 0.5, rng2);
+  Tensor m = ApplyMask(a, mask);
+  for (int64_t i = 0; i < 16; ++i) {
+    if (mask[i] == 0.0f) {
+      EXPECT_EQ(m[i], 0.0f);
+    } else {
+      EXPECT_EQ(m[i], a[i]);
+    }
+  }
+}
+
+TEST(OpsTest, Conv2DMatchesManualKernel) {
+  // 1x1x3x3 input, 1x1x2x2 all-ones kernel: each output is a 2x2 window sum.
+  Tensor in({1, 1, 3, 3});
+  for (int64_t i = 0; i < 9; ++i) {
+    in[i] = static_cast<float>(i + 1);
+  }
+  Tensor w = Tensor::Full({1, 1, 2, 2}, 1.0f);
+  Tensor out = Conv2D(in, w);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out[1], 2 + 3 + 5 + 6);
+  EXPECT_FLOAT_EQ(out[2], 4 + 5 + 7 + 8);
+  EXPECT_FLOAT_EQ(out[3], 5 + 6 + 8 + 9);
+}
+
+TEST(OpsTest, Conv2DMultiChannelAccumulates) {
+  Rng rng(15);
+  Tensor in = Tensor::Random({2, 3, 5, 5}, rng);
+  Tensor w = Tensor::Random({4, 3, 3, 3}, rng);
+  Tensor out = Conv2D(in, w);
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 3, 3}));
+  // Check one element against a direct sum.
+  float acc = 0.0f;
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 3; ++j) {
+        acc += in[((0 * 3 + c) * 5 + (1 + i)) * 5 + (2 + j)] * w[((1 * 3 + c) * 3 + i) * 3 + j];
+      }
+    }
+  }
+  EXPECT_NEAR(out[((0 * 4 + 1) * 3 + 1) * 3 + 2], acc, 1e-4f);
+}
+
+}  // namespace
+}  // namespace pit

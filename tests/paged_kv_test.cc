@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pit/runtime/paged_kv.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+TEST(PagedKvTest, GatherMatchesAppendedTokens) {
+  PagedKvCache cache(/*page_size=*/4, /*hidden=*/8);
+  Rng rng(1);
+  const int seq = cache.AddSequence();
+  std::vector<Tensor> tokens;
+  for (int i = 0; i < 11; ++i) {  // spans 3 pages with a ragged tail
+    tokens.push_back(Tensor::Random({8}, rng));
+    cache.AppendToken(seq, tokens.back());
+  }
+  EXPECT_EQ(cache.SequenceLength(seq), 11);
+  Tensor gathered = cache.GatherSequence(seq);
+  ASSERT_EQ(gathered.shape(), (Shape{11, 8}));
+  for (int i = 0; i < 11; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(gathered.At(i, j), tokens[static_cast<size_t>(i)][j]);
+    }
+  }
+}
+
+TEST(PagedKvTest, PagesAllocatedOnDemand) {
+  PagedKvCache cache(4, 2);
+  const int seq = cache.AddSequence();
+  Tensor t = Tensor::Full({2}, 1.0f);
+  EXPECT_EQ(cache.num_pages_allocated(), 0);
+  cache.AppendToken(seq, t);
+  EXPECT_EQ(cache.num_pages_allocated(), 1);
+  for (int i = 0; i < 3; ++i) {
+    cache.AppendToken(seq, t);
+  }
+  EXPECT_EQ(cache.num_pages_allocated(), 1);  // page exactly full
+  cache.AppendToken(seq, t);
+  EXPECT_EQ(cache.num_pages_allocated(), 2);
+}
+
+TEST(PagedKvTest, FreedPagesAreReused) {
+  PagedKvCache cache(2, 2);
+  Tensor t = Tensor::Full({2}, 1.0f);
+  const int a = cache.AddSequence();
+  for (int i = 0; i < 6; ++i) {
+    cache.AppendToken(a, t);
+  }
+  EXPECT_EQ(cache.num_pages_allocated(), 3);
+  cache.FreeSequence(a);
+  EXPECT_EQ(cache.num_pages_free(), 3);
+  const int b = cache.AddSequence();
+  for (int i = 0; i < 4; ++i) {
+    cache.AppendToken(b, t);
+  }
+  EXPECT_EQ(cache.num_pages_allocated(), 3);  // reused, no growth
+  EXPECT_EQ(cache.num_pages_free(), 1);
+}
+
+TEST(PagedKvTest, MemoryBeatsPaddedPreallocation) {
+  // Ragged sequences: padded preallocation pays max_len for everyone.
+  PagedKvCache cache(16, 64);
+  Rng rng(2);
+  const int64_t lens[] = {10, 100, 500, 37, 250};
+  for (int64_t len : lens) {
+    const int seq = cache.AddSequence();
+    for (int64_t i = 0; i < len; ++i) {
+      Tensor t = Tensor::Random({64}, rng);
+      cache.AppendToken(seq, t);
+    }
+  }
+  const int64_t padded = PagedKvCache::PaddedBytes(5, 500, 64);
+  EXPECT_LT(cache.AllocatedBytes(), padded / 2);
+}
+
+TEST(PagedKvTest, ReadTokenBoundsChecked) {
+  PagedKvCache cache(4, 2);
+  const int seq = cache.AddSequence();
+  Tensor t = Tensor::Full({2}, 2.0f);
+  cache.AppendToken(seq, t);
+  float out[2];
+  cache.ReadToken(seq, 0, out);
+  EXPECT_EQ(out[0], 2.0f);
+  EXPECT_DEATH(cache.ReadToken(seq, 1, out), "check failed");
+}
+
+TEST(PagedKvTest, AppendToFreedSequenceAborts) {
+  PagedKvCache cache(4, 2);
+  const int seq = cache.AddSequence();
+  Tensor t = Tensor::Full({2}, 1.0f);
+  cache.AppendToken(seq, t);
+  cache.FreeSequence(seq);
+  EXPECT_DEATH(cache.AppendToken(seq, t), "freed");
+}
+
+TEST(PagedAttentionTest, MatchesContiguousAttention) {
+  // Paged K/V gathered on demand must equal attention over contiguous K/V.
+  PagedKvCache keys(4, 16), values(4, 16);
+  Rng rng(3);
+  const int seq_k = keys.AddSequence();
+  const int seq_v = values.AddSequence();
+  const int64_t len = 13;
+  Tensor k({len, 16}), v({len, 16});
+  for (int64_t i = 0; i < len; ++i) {
+    Tensor kt = Tensor::Random({16}, rng);
+    Tensor vt = Tensor::Random({16}, rng);
+    keys.AppendToken(seq_k, kt);
+    values.AppendToken(seq_v, vt);
+    for (int64_t j = 0; j < 16; ++j) {
+      k.At(i, j) = kt[j];
+      v.At(i, j) = vt[j];
+    }
+  }
+  Tensor q = Tensor::Random({16}, rng);
+  Tensor paged = PagedAttendOne(keys, values, seq_k, q);
+
+  // Contiguous reference.
+  const float scale = 1.0f / std::sqrt(16.0f);
+  Tensor scores({1, len});
+  for (int64_t t = 0; t < len; ++t) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < 16; ++j) {
+      acc += q[j] * k.At(t, j);
+    }
+    scores.At(0, t) = acc * scale;
+  }
+  Tensor probs = Softmax(scores);
+  Tensor ref({16});
+  for (int64_t t = 0; t < len; ++t) {
+    for (int64_t j = 0; j < 16; ++j) {
+      ref[j] += probs.At(0, t) * v.At(t, j);
+    }
+  }
+  EXPECT_TRUE(AllClose(paged, ref, 1e-4f, 1e-5f));
+}
+
+}  // namespace
+}  // namespace pit

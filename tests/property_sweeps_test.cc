@@ -1,0 +1,158 @@
+// Cross-cutting property sweeps: invariants that must hold over whole
+// parameter grids rather than hand-picked points. Heavy use of parameterized
+// gtest per the repository's testing conventions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pit/baselines/engines.h"
+#include "pit/core/kernel_selection.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+// ---- Detector: index is exact for every micro-tile shape x sparsity --------
+
+using DetectorParam = std::tuple<int, int, double>;  // micro rows, cols, sparsity
+
+class DetectorSweep : public ::testing::TestWithParam<DetectorParam> {};
+
+TEST_P(DetectorSweep, IndexIsExactAndRoundTrips) {
+  const auto [mr, mc, sparsity] = GetParam();
+  Rng rng(static_cast<uint64_t>(mr * 1000 + mc * 10 + sparsity * 7));
+  Tensor t = Tensor::RandomSparse({48, 40}, sparsity, rng);
+  SparsityDetector detector(static_cast<uint64_t>(mr + mc));
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{mr, mc});
+  // Every offset names a tile with >=1 nonzero; the complement is all-zero.
+  std::vector<bool> live(static_cast<size_t>(index.TotalMicroTiles()), false);
+  for (int64_t off : index.offsets) {
+    live[static_cast<size_t>(off)] = true;
+  }
+  for (int64_t br = 0; br < index.block_rows; ++br) {
+    for (int64_t bc = 0; bc < index.block_cols; ++bc) {
+      bool nonzero = false;
+      for (int64_t r = br * mr; r < std::min<int64_t>(48, (br + 1) * mr); ++r) {
+        for (int64_t c = bc * mc; c < std::min<int64_t>(40, (bc + 1) * mc); ++c) {
+          nonzero |= t.At(r, c) != 0.0f;
+        }
+      }
+      EXPECT_EQ(live[static_cast<size_t>(br * index.block_cols + bc)], nonzero)
+          << "tile (" << br << "," << bc << ")";
+    }
+  }
+  // Gather/scatter round trip restores the tensor exactly.
+  Tensor dst = Tensor::Zeros({48, 40});
+  SWriteMicroTiles(SReadMicroTiles(t, index), index, &dst);
+  EXPECT_TRUE(AllClose(dst, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DetectorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 8, 48), ::testing::Values(1, 5, 8, 40),
+                       ::testing::Values(0.0, 0.5, 0.95, 1.0)));
+
+// ---- Cost model: efficiency/monotonicity over the tile grid ----------------
+
+class TileGridSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TileGridSweep, EfficiencyInUnitIntervalAndCostPositive) {
+  const auto [m, n] = GetParam();
+  for (Precision p : {Precision::kFp32, Precision::kFp16}) {
+    CostModel model(V100(), p);
+    const TileShape tile{m, 32, n};
+    const double eff = model.TileEfficiency(tile);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LT(eff, 1.0);
+    EXPECT_GT(model.MatmulTileCost(tile), 0.0);
+    // Tensor-core variant is never slower for wmma-compatible tiles.
+    if (p == Precision::kFp16 && WmmaCompatible(tile)) {
+      EXPECT_LE(model.MatmulTileCost(tile, true), model.MatmulTileCost(tile, false));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TileGridSweep,
+                         ::testing::Combine(::testing::Values(8, 16, 32, 64, 128),
+                                            ::testing::Values(32, 64, 128)));
+
+// ---- Selection: chosen plan never loses to the dense fallback --------------
+
+using SelParam = std::tuple<int, double>;  // granularity rows, sparsity
+
+class SelectionSweep : public ::testing::TestWithParam<SelParam> {};
+
+TEST_P(SelectionSweep, BestPlanIsNoWorseThanDense) {
+  const auto [gm, sparsity] = GetParam();
+  CostModel model(V100());
+  TileDatabase db = TileDatabase::BuildDefault(model);
+  AnalyticPattern pattern(4096, 4096, gm, 1, sparsity);
+  SelectionResult sel = SelectKernel(model, db, {&pattern}, 4096, 4096, 4096);
+  EXPECT_LE(sel.best.cost.Total(), sel.dense_cost_us * 1.0000001);
+  EXPECT_GT(sel.candidates_evaluated, 0);
+  if (!sel.best.fallback_dense) {
+    EXPECT_GE(sel.best.covered_fraction, 1.0 - sparsity - 1e-9)
+        << "coverage cannot drop below the nonzero mass";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SelectionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 8, 32),
+                                            ::testing::Values(0.0, 0.5, 0.9, 0.99)));
+
+// ---- Engines: correctness across granularities ------------------------------
+
+using EngineParam = std::tuple<int, int, double>;  // gm, gn, sparsity
+
+class EngineGranularitySweep : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineGranularitySweep, AllEnginesExactOnBlockPatterns) {
+  const auto [gm, gn, sparsity] = GetParam();
+  Rng rng(static_cast<uint64_t>(gm * 100 + gn * 10 + sparsity * 3));
+  Tensor a = Tensor::RandomBlockSparse(64, 64, gm, gn, sparsity, rng);
+  Tensor b = Tensor::Random({64, 16}, rng);
+  Tensor ref = MatMul(a, b);
+  for (const auto& engine : MakeAllEngines()) {
+    EXPECT_TRUE(AllClose(engine->Execute(a, b), ref, 1e-3f, 1e-4f))
+        << engine->name() << " g=(" << gm << "," << gn << ") s=" << sparsity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EngineGranularitySweep,
+                         ::testing::Combine(::testing::Values(1, 8, 32),
+                                            ::testing::Values(1, 16, 64),
+                                            ::testing::Values(0.5, 0.95)));
+
+// ---- Analytic coverage: probability laws over the grid ---------------------
+
+TEST(CoverageLawSweep, NonZeroProbWithinBoundsAndMonotone) {
+  for (int64_t gm : {1, 4, 32}) {
+    for (double s : {0.1, 0.5, 0.9, 0.99}) {
+      AnalyticPattern p(1024, 1024, gm, 1, s);
+      double prev = 0.0;
+      for (int64_t mr : {1, 2, 4, 8, 16, 32, 64}) {
+        const double prob = p.NonZeroProb(MicroTileShape{mr, 1});
+        EXPECT_GE(prob, 1.0 - s - 1e-12);  // covering can't hide nonzeros
+        EXPECT_LE(prob, 1.0);
+        EXPECT_GE(prob, prev - 1e-12);  // bigger micro-tile covers more
+        prev = prob;
+      }
+    }
+  }
+}
+
+TEST(CoverageLawSweep, WasteZeroIffMicroDividesGranularity) {
+  for (int64_t gm : {8, 16, 32}) {
+    AnalyticPattern p(1024, 1024, gm, 1, 0.9);
+    // Micro-tile that divides the block evenly: zero waste.
+    EXPECT_NEAR(WastedComputationFraction(p, {gm, 1}), 0.0, 1e-9);
+    EXPECT_NEAR(WastedComputationFraction(p, {gm / 2, 1}), 0.0, 1e-9);
+    // Micro-tile spanning multiple blocks: positive waste.
+    EXPECT_GT(WastedComputationFraction(p, {gm * 4, 1}), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "pit/runtime/serving.h"
+
+namespace pit {
+namespace {
+
+ServingConfig QuickConfig() {
+  ServingConfig config;
+  config.num_requests = 200;
+  config.arrival_rate_rps = 150.0;
+  config.max_batch = 16;
+  config.max_wait_us = 20000.0;
+  return config;
+}
+
+TEST(ServingTest, AllRequestsServed) {
+  CostModel model(V100());
+  Rng rng(1);
+  ServingStats stats = SimulateServing(model, Engine::kPyTorch, BertBase(),
+                                       DatasetSeqLens("mnli"), QuickConfig(), rng);
+  EXPECT_EQ(stats.requests, 200);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_LE(stats.batches, 200);
+  EXPECT_GT(stats.mean_latency_us, 0.0);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  EXPECT_GE(stats.mean_latency_us, stats.p50_latency_us * 0.3);
+}
+
+TEST(ServingTest, DeterministicForSeed) {
+  CostModel model(V100());
+  Rng r1(7), r2(7);
+  ServingStats a = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                   QuickConfig(), r1);
+  ServingStats b = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                   QuickConfig(), r2);
+  EXPECT_DOUBLE_EQ(a.p99_latency_us, b.p99_latency_us);
+  EXPECT_EQ(a.batches, b.batches);
+}
+
+TEST(ServingTest, PitBeatsPyTorchUnderLoad) {
+  // The per-batch win compounds through queueing: PIT must improve both the
+  // median and the tail, and sustain higher throughput.
+  CostModel model(V100());
+  Rng r1(3), r2(3);
+  ServingStats pt = SimulateServing(model, Engine::kPyTorch, BertBase(), DatasetSeqLens("mnli"),
+                                    QuickConfig(), r1);
+  ServingStats pit = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                     QuickConfig(), r2);
+  EXPECT_LT(pit.p50_latency_us, pt.p50_latency_us);
+  EXPECT_LT(pit.p99_latency_us, pt.p99_latency_us);
+  // Below saturation throughput is arrival-bound and equal for everyone;
+  // at a saturating rate PIT's shorter batches serve strictly more rps.
+  ServingConfig saturated = QuickConfig();
+  saturated.arrival_rate_rps = 5000.0;
+  Rng r3(3), r4(3);
+  ServingStats pt_sat = SimulateServing(model, Engine::kPyTorch, BertBase(),
+                                        DatasetSeqLens("mnli"), saturated, r3);
+  ServingStats pit_sat = SimulateServing(model, Engine::kPit, BertBase(),
+                                         DatasetSeqLens("mnli"), saturated, r4);
+  EXPECT_GT(pit_sat.ThroughputRps(), pt_sat.ThroughputRps());
+}
+
+TEST(ServingTest, LatencyGrowsWithArrivalRate) {
+  CostModel model(V100());
+  ServingConfig slow = QuickConfig(), fast = QuickConfig();
+  slow.arrival_rate_rps = 20.0;
+  fast.arrival_rate_rps = 500.0;
+  Rng r1(5), r2(5);
+  ServingStats low = SimulateServing(model, Engine::kPyTorch, BertBase(),
+                                     DatasetSeqLens("mnli"), slow, r1);
+  ServingStats high = SimulateServing(model, Engine::kPyTorch, BertBase(),
+                                      DatasetSeqLens("mnli"), fast, r2);
+  EXPECT_GT(high.p99_latency_us, low.p99_latency_us);
+}
+
+TEST(ServingTest, BiggerBatchFewerBatches) {
+  CostModel model(V100());
+  ServingConfig small = QuickConfig(), big = QuickConfig();
+  small.max_batch = 4;
+  big.max_batch = 64;
+  Rng r1(9), r2(9);
+  ServingStats s = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                   small, r1);
+  ServingStats b = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                   big, r2);
+  EXPECT_GT(s.batches, b.batches);
+}
+
+TEST(ServingTest, UtilizationBounded) {
+  CostModel model(V100());
+  Rng rng(11);
+  ServingStats stats = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("qqp"),
+                                       QuickConfig(), rng);
+  EXPECT_GT(stats.Utilization(), 0.0);
+  EXPECT_LE(stats.Utilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pit/core/sparse_kernel.h"
+#include "pit/tensor/ops.h"
+#include "pit/workloads/moe_routing.h"
+
+namespace pit {
+namespace {
+
+// ---- Property sweep: every PIT execution path must equal the dense
+// reference for arbitrary sparsity patterns, shapes and granularities. ----
+
+struct Case {
+  int64_t m, k, n;
+  double sparsity;
+  int64_t gm, gn;  // sparsity granularity (1,1 = element-wise)
+};
+
+class PitKernelCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PitKernelCorrectness, RowGatherMatchesDense) {
+  const Case& c = GetParam();
+  Rng rng(c.m * 1000003 + c.k);
+  Tensor a = (c.gm == 1 && c.gn == 1)
+                 ? Tensor::RandomSparse({c.m, c.k}, c.sparsity, rng)
+                 : Tensor::RandomBlockSparse(c.m, c.k, c.gm, c.gn, c.sparsity, rng);
+  Tensor b = Tensor::Random({c.k, c.n}, rng);
+  Tensor ref = MatMul(a, b);
+  EXPECT_TRUE(AllClose(PitRowGatherMatmul(a, b), ref, 1e-3f, 1e-4f));
+}
+
+TEST_P(PitKernelCorrectness, KGatherMatchesDense) {
+  const Case& c = GetParam();
+  Rng rng(c.m * 7 + c.n * 31);
+  Tensor a = (c.gm == 1 && c.gn == 1)
+                 ? Tensor::RandomSparse({c.m, c.k}, c.sparsity, rng)
+                 : Tensor::RandomBlockSparse(c.m, c.k, c.gm, c.gn, c.sparsity, rng);
+  Tensor b = Tensor::Random({c.k, c.n}, rng);
+  Tensor ref = MatMul(a, b);
+  for (int64_t block_m : {8, 16, 32}) {
+    EXPECT_TRUE(AllClose(PitKGatherMatmul(a, b, block_m, SparsityDetector(block_m)), ref, 1e-3f,
+                         1e-4f))
+        << "block_m=" << block_m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PitKernelCorrectness,
+    ::testing::Values(Case{32, 32, 16, 0.5, 1, 1}, Case{32, 32, 16, 0.9, 1, 1},
+                      Case{64, 48, 24, 0.99, 1, 1}, Case{48, 64, 32, 0.0, 1, 1},
+                      Case{48, 64, 32, 1.0, 1, 1}, Case{64, 64, 16, 0.9, 8, 1},
+                      Case{64, 64, 16, 0.9, 1, 8}, Case{64, 64, 16, 0.8, 16, 16},
+                      Case{96, 96, 8, 0.95, 32, 1}, Case{33, 47, 9, 0.7, 1, 1}));
+
+// ---- general 2-D micro-tile kernel ------------------------------------------
+
+struct MicroCase {
+  int64_t mr, mc;
+  double sparsity;
+};
+
+class MicroTileKernel : public ::testing::TestWithParam<MicroCase> {};
+
+TEST_P(MicroTileKernel, MatchesDenseForAnyMicroShape) {
+  const MicroCase& c = GetParam();
+  Rng rng(c.mr * 101 + c.mc * 13);
+  Tensor a = Tensor::RandomSparse({50, 46}, c.sparsity, rng);  // ragged vs micro
+  Tensor b = Tensor::Random({46, 18}, rng);
+  Tensor ref = MatMul(a, b);
+  EXPECT_TRUE(AllClose(PitMicroTileMatmul(a, b, MicroTileShape{c.mr, c.mc}), ref, 1e-3f, 1e-4f))
+      << "micro (" << c.mr << "," << c.mc << ") sparsity " << c.sparsity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MicroTileKernel,
+                         ::testing::Values(MicroCase{1, 1, 0.9}, MicroCase{2, 4, 0.8},
+                                           MicroCase{8, 8, 0.95}, MicroCase{4, 1, 0.5},
+                                           MicroCase{1, 8, 0.99}, MicroCase{16, 4, 0.0},
+                                           MicroCase{7, 3, 0.7}, MicroCase{50, 46, 0.9}));
+
+TEST(PitKernelTest, MicroTileKernelOrderInvariant) {
+  Rng rng(21);
+  Tensor a = Tensor::RandomSparse({32, 32}, 0.85, rng);
+  Tensor b = Tensor::Random({32, 12}, rng);
+  Tensor r1 = PitMicroTileMatmul(a, b, MicroTileShape{4, 4}, SparsityDetector(1));
+  Tensor r2 = PitMicroTileMatmul(a, b, MicroTileShape{4, 4}, SparsityDetector(777));
+  EXPECT_TRUE(AllClose(r1, r2, 1e-4f, 1e-5f));
+}
+
+TEST(PitKernelTest, MicroTileKernelSpecializesToKGather) {
+  Rng rng(22);
+  Tensor a = Tensor::RandomSparse({32, 40}, 0.9, rng);
+  Tensor b = Tensor::Random({40, 8}, rng);
+  Tensor via_micro = PitMicroTileMatmul(a, b, MicroTileShape{16, 1});
+  Tensor via_kgather = PitKGatherMatmul(a, b, 16);
+  EXPECT_TRUE(AllClose(via_micro, via_kgather, 1e-4f, 1e-5f));
+}
+
+TEST(PitKernelTest, DualKGatherMatchesDenseWhenBothSparse) {
+  Rng rng(9);
+  for (double s : {0.5, 0.9, 0.99}) {
+    Tensor a = Tensor::RandomSparse({24, 40}, s, rng);
+    Tensor b = Tensor::RandomSparse({40, 16}, s, rng);
+    Tensor ref = MatMul(a, b);
+    EXPECT_TRUE(AllClose(PitDualKGatherMatmul(a, b), ref, 1e-3f, 1e-4f)) << "sparsity " << s;
+  }
+}
+
+TEST(PitKernelTest, DualKGatherAllZeroAIsZero) {
+  Rng rng(10);
+  Tensor a = Tensor::Zeros({8, 8});
+  Tensor b = Tensor::Random({8, 8}, rng);
+  Tensor c = PitDualKGatherMatmul(a, b);
+  EXPECT_EQ(c.CountNonZero(), 0);
+}
+
+// Permutation invariance end-to-end: different detector schedules (different
+// gather orders) give bit-identical results is too strong for float, but
+// results must agree within accumulation tolerance.
+TEST(PitKernelTest, ResultsAgreeAcrossDetectorSchedules) {
+  Rng rng(11);
+  Tensor a = Tensor::RandomSparse({48, 48}, 0.9, rng);
+  Tensor b = Tensor::Random({48, 24}, rng);
+  Tensor r1 = PitRowGatherMatmul(a, b, SparsityDetector(1));
+  Tensor r2 = PitRowGatherMatmul(a, b, SparsityDetector(42));
+  EXPECT_TRUE(AllClose(r1, r2, 1e-4f, 1e-5f));
+  Tensor k1 = PitKGatherMatmul(a, b, 16, SparsityDetector(1));
+  Tensor k2 = PitKGatherMatmul(a, b, 16, SparsityDetector(42));
+  EXPECT_TRUE(AllClose(k1, k2, 1e-3f, 1e-4f));
+}
+
+// ---- MoE kernel -------------------------------------------------------------
+
+TEST(PitMoETest, MatchesPerTokenReference) {
+  Rng rng(12);
+  const int64_t tokens = 40, h = 16, f = 24;
+  const int experts = 4;
+  Tensor x = Tensor::Random({tokens, h}, rng);
+  std::vector<Tensor> weights;
+  for (int e = 0; e < experts; ++e) {
+    weights.push_back(Tensor::Random({h, f}, rng));
+  }
+  MoeRoutingConfig config;
+  config.num_experts = experts;
+  std::vector<int> routing = RouteTokens(tokens, config, rng);
+  Tensor out = PitMoEMatmul(x, weights, routing);
+  // Reference: each token through its own expert.
+  for (int64_t t = 0; t < tokens; ++t) {
+    Tensor row({1, h});
+    for (int64_t j = 0; j < h; ++j) {
+      row.At(0, j) = x.At(t, j);
+    }
+    Tensor y = MatMul(row, weights[static_cast<size_t>(routing[static_cast<size_t>(t)])]);
+    for (int64_t j = 0; j < f; ++j) {
+      EXPECT_NEAR(out.At(t, j), y.At(0, j), 1e-4f);
+    }
+  }
+}
+
+TEST(PitMoETest, EmptyExpertHandled) {
+  Rng rng(13);
+  Tensor x = Tensor::Random({4, 8}, rng);
+  std::vector<Tensor> weights = {Tensor::Random({8, 8}, rng), Tensor::Random({8, 8}, rng)};
+  std::vector<int> routing = {0, 0, 0, 0};  // expert 1 idle
+  Tensor out = PitMoEMatmul(x, weights, routing);
+  Tensor ref = MatMul(x, weights[0]);
+  EXPECT_TRUE(AllClose(out, ref, 1e-4f, 1e-5f));
+}
+
+// ---- Planner ---------------------------------------------------------------
+
+TEST(PlanTest, CostDecreasesWithSparsity) {
+  CostModel model(V100());
+  const TileShape tile{32, 32, 64};
+  const PitRule rule = MakeRuleForSparseA(tile, MatmulAxis::kK, Layout::kRowMajor);
+  double prev = 1e30;
+  for (double s : {0.5, 0.9, 0.99, 0.999}) {
+    AnalyticPattern p(4096, 4096, 32, 1, s);
+    const double cost = PlanSparseMatmul(model, rule, 4096, 4096, 4096, p).cost.Total();
+    EXPECT_LT(cost, prev) << "sparsity " << s;
+    prev = cost;
+  }
+}
+
+TEST(PlanTest, RowGatherPlanCountsRowSlices) {
+  CostModel model(V100());
+  const TileShape tile{32, 32, 64};
+  const PitRule rule = MakeRuleForSparseA(tile, MatmulAxis::kM, Layout::kRowMajor);
+  // Whole-row granularity sparsity: 10% of rows live, so 10% of the
+  // [1, tile.k] row slices are nonzero: 0.1 * 1024 rows * (512/32) k-blocks.
+  AnalyticPattern p(1024, 512, 1, 512, 0.9);
+  PitMatmulPlan plan = PlanSparseMatmul(model, rule, 1024, 512, 512, p);
+  EXPECT_NEAR(static_cast<double>(plan.num_micro_tiles), 0.1 * 1024 * 16, 32.0);
+  EXPECT_NEAR(plan.covered_fraction, 0.1, 0.01);
+}
+
+TEST(PlanTest, SReadOverheadRaisesCost) {
+  CostModel model(V100());
+  const PitRule rule = MakeRuleForSparseA({32, 32, 64}, MatmulAxis::kK, Layout::kRowMajor);
+  AnalyticPattern p(2048, 2048, 32, 1, 0.9);
+  PlanOptions cheap, costly;
+  cheap.sread_overhead = 0.0;
+  cheap.include_index_build = false;
+  costly.sread_overhead = 0.5;
+  costly.include_index_build = false;
+  EXPECT_LT(PlanSparseMatmul(model, rule, 2048, 2048, 2048, p, cheap).cost.Total(),
+            PlanSparseMatmul(model, rule, 2048, 2048, 2048, p, costly).cost.Total());
+}
+
+TEST(PlanTest, IndexBuildChargedWhenRequested) {
+  CostModel model(V100());
+  const PitRule rule = MakeRuleForSparseA({32, 32, 64}, MatmulAxis::kK, Layout::kRowMajor);
+  AnalyticPattern p(2048, 2048, 32, 1, 0.9);
+  PlanOptions with, without;
+  with.include_index_build = true;
+  without.include_index_build = false;
+  EXPECT_GT(PlanSparseMatmul(model, rule, 2048, 2048, 2048, p, with).cost.index_us, 0.0);
+  EXPECT_EQ(PlanSparseMatmul(model, rule, 2048, 2048, 2048, p, without).cost.index_us, 0.0);
+}
+
+// ---- Rule derivation (§3.2) -------------------------------------------------
+
+TEST(RuleTest, MicroTileShapePerAxisAndLayout) {
+  bool flip = false;
+  // m axis, row-major A: [1, tile.k], no flip.
+  MicroTileShape m1 = DeriveMicroTileForA({16, 32, 128}, MatmulAxis::kM, Layout::kRowMajor, &flip);
+  EXPECT_EQ(m1, (MicroTileShape{1, 32}));
+  EXPECT_FALSE(flip);
+  // m axis, col-major A: flip needed.
+  DeriveMicroTileForA({16, 32, 128}, MatmulAxis::kM, Layout::kColMajor, &flip);
+  EXPECT_TRUE(flip);
+  // k axis, row-major A: [tile.m, 1], flip needed (contiguous on k).
+  MicroTileShape k1 = DeriveMicroTileForA({16, 32, 128}, MatmulAxis::kK, Layout::kRowMajor, &flip);
+  EXPECT_EQ(k1, (MicroTileShape{16, 1}));
+  EXPECT_TRUE(flip);
+  // k axis, col-major A: no flip.
+  DeriveMicroTileForA({16, 32, 128}, MatmulAxis::kK, Layout::kColMajor, &flip);
+  EXPECT_FALSE(flip);
+}
+
+TEST(RuleTest, ToStringIsInformative) {
+  PitRule rule = MakeRuleForSparseA({32, 64, 32}, MatmulAxis::kK, Layout::kColMajor);
+  const std::string s = rule.ToString();
+  EXPECT_NE(s.find("axis=k"), std::string::npos);
+  EXPECT_NE(s.find("(32,1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pit

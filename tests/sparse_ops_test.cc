@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "pit/core/sparse_ops.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+// ---- convolution ------------------------------------------------------------
+
+Tensor ZeroChannels(Tensor input, std::initializer_list<int64_t> dead) {
+  const int64_t c = input.dim(1), hw = input.dim(2) * input.dim(3);
+  for (int64_t b = 0; b < input.dim(0); ++b) {
+    for (int64_t ch : dead) {
+      float* base = input.data() + (b * c + ch) * hw;
+      std::fill(base, base + hw, 0.0f);
+    }
+  }
+  return input;
+}
+
+TEST(ConvSparseTest, LiveInputChannelsDetected) {
+  Rng rng(1);
+  Tensor input = ZeroChannels(Tensor::Random({2, 6, 5, 5}, rng), {1, 4});
+  auto live = LiveInputChannels(input);
+  EXPECT_EQ(live, (std::vector<int64_t>{0, 2, 3, 5}));
+}
+
+TEST(ConvSparseTest, ChannelGatherMatchesDense) {
+  Rng rng(2);
+  Tensor input = ZeroChannels(Tensor::Random({2, 8, 6, 6}, rng), {0, 3, 5, 6});
+  Tensor weight = Tensor::Random({4, 8, 3, 3}, rng);
+  EXPECT_TRUE(AllClose(PitChannelGatherConv2D(input, weight), Conv2D(input, weight), 1e-3f,
+                       1e-4f));
+}
+
+TEST(ConvSparseTest, ChannelGatherAllChannelsDeadIsZero) {
+  Tensor input = Tensor::Zeros({1, 4, 5, 5});
+  Rng rng(3);
+  Tensor weight = Tensor::Random({2, 4, 2, 2}, rng);
+  Tensor out = PitChannelGatherConv2D(input, weight);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 4, 4}));
+  EXPECT_EQ(out.CountNonZero(), 0);
+}
+
+TEST(ConvSparseTest, ChannelGatherDenseInputUnchanged) {
+  Rng rng(4);
+  Tensor input = Tensor::Random({1, 3, 5, 5}, rng, 0.1f, 1.0f);
+  Tensor weight = Tensor::Random({2, 3, 3, 3}, rng);
+  EXPECT_EQ(LiveInputChannels(input).size(), 3u);
+  EXPECT_TRUE(AllClose(PitChannelGatherConv2D(input, weight), Conv2D(input, weight), 1e-3f,
+                       1e-4f));
+}
+
+TEST(ConvSparseTest, FilterGatherMatchesDense) {
+  Rng rng(5);
+  Tensor input = Tensor::Random({2, 4, 6, 6}, rng);
+  Tensor weight = Tensor::Random({6, 4, 3, 3}, rng);
+  // Kill filters 1 and 4 (pruned).
+  const int64_t per = 4 * 3 * 3;
+  for (int64_t f : {1, 4}) {
+    std::fill(weight.data() + f * per, weight.data() + (f + 1) * per, 0.0f);
+  }
+  EXPECT_EQ(LiveFilters(weight).size(), 4u);
+  Tensor out = PitFilterGatherConv2D(input, weight);
+  EXPECT_TRUE(AllClose(out, Conv2D(input, weight), 1e-3f, 1e-4f));
+  // Dead filters' output channels are exactly zero.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t y = 0; y < 4; ++y) {
+      for (int64_t x = 0; x < 4; ++x) {
+        EXPECT_EQ(out[((b * 6 + 1) * 4 + y) * 4 + x], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(ConvSparseTest, FilterGatherAllDeadIsZero) {
+  Rng rng(6);
+  Tensor input = Tensor::Random({1, 2, 4, 4}, rng);
+  Tensor weight = Tensor::Zeros({3, 2, 2, 2});
+  Tensor out = PitFilterGatherConv2D(input, weight);
+  EXPECT_EQ(out.CountNonZero(), 0);
+}
+
+// Composition: channel gather then filter gather on a doubly sparse problem.
+TEST(ConvSparseTest, ComposedSparsityStillExact) {
+  Rng rng(7);
+  Tensor input = ZeroChannels(Tensor::Random({1, 6, 6, 6}, rng), {2, 3});
+  Tensor weight = Tensor::Random({4, 6, 3, 3}, rng);
+  std::fill(weight.data(), weight.data() + 6 * 9, 0.0f);  // kill filter 0
+  Tensor ref = Conv2D(input, weight);
+  EXPECT_TRUE(AllClose(PitChannelGatherConv2D(input, weight), ref, 1e-3f, 1e-4f));
+  EXPECT_TRUE(AllClose(PitFilterGatherConv2D(input, weight), ref, 1e-3f, 1e-4f));
+}
+
+// ---- ReduceSum / VectorAdd ----------------------------------------------------
+
+class SparseReduceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparseReduceSweep, MatchesDenseReduce) {
+  const double sparsity = GetParam();
+  Rng rng(static_cast<uint64_t>(sparsity * 100) + 11);
+  Tensor a = Tensor::RandomSparse({33, 71}, sparsity, rng);
+  Tensor ref = ReduceSumAxis1(a);
+  for (int64_t micro : {1, 4, 8, 16}) {
+    EXPECT_TRUE(AllClose(PitSparseReduceSum(a, micro), ref, 1e-4f, 1e-5f))
+        << "micro=" << micro << " sparsity=" << sparsity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SparseReduceSweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.0));
+
+TEST(SparseReduceTest, UnorderedAccumulationOrderInvariant) {
+  Rng rng(12);
+  Tensor a = Tensor::RandomSparse({16, 64}, 0.8, rng);
+  Tensor r1 = PitSparseReduceSum(a, 8, SparsityDetector(1));
+  Tensor r2 = PitSparseReduceSum(a, 8, SparsityDetector(999));
+  EXPECT_TRUE(AllClose(r1, r2, 1e-5f, 1e-6f));
+}
+
+TEST(SparseVectorAddTest, MatchesDenseAdd) {
+  Rng rng(13);
+  for (double s : {0.0, 0.5, 0.95}) {
+    Tensor a = Tensor::RandomSparse({257}, s, rng);
+    Tensor b = Tensor::RandomSparse({257}, s, rng);
+    Tensor ref = Add(a, b);
+    EXPECT_TRUE(AllClose(PitSparseVectorAdd(a, b), ref, 1e-5f, 1e-6f)) << s;
+  }
+}
+
+TEST(SparseVectorAddTest, DisjointSupportsUnionCorrectly) {
+  Tensor a = Tensor::Zeros({32});
+  Tensor b = Tensor::Zeros({32});
+  a[3] = 1.0f;   // micro-tile 0 live in a only
+  b[20] = 2.0f;  // micro-tile 2 live in b only
+  Tensor c = PitSparseVectorAdd(a, b, 8);
+  EXPECT_EQ(c[3], 1.0f);
+  EXPECT_EQ(c[20], 2.0f);
+  EXPECT_EQ(c.CountNonZero(), 2);
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pit/core/sread_swrite.h"
+
+namespace pit {
+namespace {
+
+TEST(SReadTest, GathersRowsInIndexOrder) {
+  Tensor t({4, 3});
+  for (int64_t i = 0; i < 12; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  const std::vector<int64_t> rows = {2, 0};
+  Tensor packed = SReadRows(t, rows);
+  EXPECT_EQ(packed.shape(), (Shape{2, 3}));
+  EXPECT_EQ(packed.At(0, 0), 6.0f);
+  EXPECT_EQ(packed.At(1, 0), 0.0f);
+}
+
+TEST(SReadTest, GathersColsInIndexOrder) {
+  Tensor t({2, 4});
+  for (int64_t i = 0; i < 8; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  const std::vector<int64_t> cols = {3, 1};
+  Tensor packed = SReadCols(t, cols);
+  EXPECT_EQ(packed.shape(), (Shape{2, 2}));
+  EXPECT_EQ(packed.At(0, 0), 3.0f);
+  EXPECT_EQ(packed.At(0, 1), 1.0f);
+  EXPECT_EQ(packed.At(1, 0), 7.0f);
+}
+
+TEST(SWriteTest, RowRoundTripRestoresOriginalPositions) {
+  Rng rng(1);
+  Tensor t = Tensor::Random({8, 5}, rng);
+  const std::vector<int64_t> rows = {6, 1, 3};
+  Tensor packed = SReadRows(t, rows);
+  Tensor dst = Tensor::Zeros({8, 5});
+  SWriteRows(packed, rows, &dst);
+  for (int64_t r : rows) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(dst.At(r, c), t.At(r, c));
+    }
+  }
+  // Unwritten rows remain zero.
+  for (int64_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(dst.At(0, c), 0.0f);
+  }
+}
+
+TEST(SWriteTest, ColsAddAccumulates) {
+  Tensor packed = Tensor::Full({2, 2}, 1.0f);
+  Tensor dst = Tensor::Full({2, 4}, 10.0f);
+  const std::vector<int64_t> cols = {1, 3};
+  SWriteColsAdd(packed, cols, &dst);
+  EXPECT_EQ(dst.At(0, 1), 11.0f);
+  EXPECT_EQ(dst.At(0, 3), 11.0f);
+  EXPECT_EQ(dst.At(0, 0), 10.0f);
+}
+
+TEST(MicroTileRoundTripTest, ReadThenWriteIsIdentityOnCoveredArea) {
+  Rng rng(2);
+  Tensor t = Tensor::RandomSparse({24, 24}, 0.6, rng);
+  SparsityDetector detector(/*shuffle_seed=*/7);
+  for (const MicroTileShape micro : {MicroTileShape{4, 4}, MicroTileShape{1, 8},
+                                     MicroTileShape{8, 1}, MicroTileShape{3, 5}}) {
+    MicroTileIndex index = detector.Detect(t, micro);
+    Tensor packed = SReadMicroTiles(t, index);
+    Tensor dst = Tensor::Zeros({24, 24});
+    SWriteMicroTiles(packed, index, &dst);
+    EXPECT_TRUE(AllClose(dst, t)) << "micro " << micro.ToString();
+  }
+}
+
+TEST(MicroTileRoundTripTest, RaggedShapeRoundTrips) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomSparse({10, 13}, 0.5, rng);
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{4, 4});
+  Tensor packed = SReadMicroTiles(t, index);
+  Tensor dst = Tensor::Zeros({10, 13});
+  SWriteMicroTiles(packed, index, &dst);
+  EXPECT_TRUE(AllClose(dst, t));
+}
+
+TEST(MicroTileRoundTripTest, PackedShapeMatchesIndex) {
+  Rng rng(4);
+  Tensor t = Tensor::RandomSparse({16, 16}, 0.7, rng);
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{2, 8});
+  Tensor packed = SReadMicroTiles(t, index);
+  EXPECT_EQ(packed.dim(0), index.NumNonZero() * 2);
+  EXPECT_EQ(packed.dim(1), 8);
+}
+
+// Permutation invariance at the primitive level: any order of the index
+// produces the same scatter result.
+TEST(MicroTileRoundTripTest, ScatterIsOrderInvariant) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomSparse({16, 16}, 0.5, rng);
+  SparsityDetector d1(/*shuffle_seed=*/1), d2(/*shuffle_seed=*/99);
+  MicroTileIndex i1 = d1.Detect(t, MicroTileShape{4, 4});
+  MicroTileIndex i2 = d2.Detect(t, MicroTileShape{4, 4});
+  Tensor dst1 = Tensor::Zeros({16, 16}), dst2 = Tensor::Zeros({16, 16});
+  SWriteMicroTiles(SReadMicroTiles(t, i1), i1, &dst1);
+  SWriteMicroTiles(SReadMicroTiles(t, i2), i2, &dst2);
+  EXPECT_TRUE(AllClose(dst1, dst2));
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+namespace {
+
+TEST(TensorTest, ZerosHasCorrectShapeAndValues) {
+  Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 3.5f);
+  }
+}
+
+TEST(TensorTest, At2DMatchesLinearIndex) {
+  Tensor t({2, 3});
+  for (int64_t i = 0; i < 6; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+  EXPECT_EQ(t.At(0, 2), 2.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_EQ(t.At(1, 2), 5.0f);
+}
+
+TEST(TensorTest, At3DMatchesLinearIndex) {
+  Tensor t({2, 2, 2});
+  for (int64_t i = 0; i < 8; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  EXPECT_EQ(t.At(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.At(0, 1, 0), 2.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (int64_t i = 0; i < 12; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  Tensor r = t.Reshape({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.dim(1), 4);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(r[i], static_cast<float>(i));
+  }
+}
+
+TEST(TensorTest, RandomSparseHitsTargetSparsity) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomSparse({200, 200}, 0.9, rng);
+  EXPECT_NEAR(t.SparsityRatio(), 0.9, 0.01);
+}
+
+TEST(TensorTest, RandomSparseExtremes) {
+  Rng rng(4);
+  EXPECT_EQ(Tensor::RandomSparse({16, 16}, 1.0, rng).CountNonZero(), 0);
+  EXPECT_EQ(Tensor::RandomSparse({16, 16}, 0.0, rng).CountNonZero(), 256);
+}
+
+TEST(TensorTest, RandomBlockSparseBlocksAreAllOrNothing) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomBlockSparse(64, 64, 8, 8, 0.5, rng);
+  for (int64_t br = 0; br < 8; ++br) {
+    for (int64_t bc = 0; bc < 8; ++bc) {
+      int nz = 0;
+      for (int64_t i = 0; i < 8; ++i) {
+        for (int64_t j = 0; j < 8; ++j) {
+          nz += t.At(br * 8 + i, bc * 8 + j) != 0.0f ? 1 : 0;
+        }
+      }
+      EXPECT_TRUE(nz == 0 || nz == 64) << "block (" << br << "," << bc << ") has " << nz;
+    }
+  }
+}
+
+TEST(TensorTest, RandomBlockSparseSparsityNearTarget) {
+  Rng rng(6);
+  Tensor t = Tensor::RandomBlockSparse(512, 512, 32, 1, 0.95, rng);
+  EXPECT_NEAR(t.SparsityRatio(), 0.95, 0.01);
+}
+
+TEST(TensorTest, AllCloseIdentity) {
+  Rng rng(7);
+  Tensor t = Tensor::Random({8, 8}, rng);
+  EXPECT_TRUE(AllClose(t, t));
+}
+
+TEST(TensorTest, AllCloseDetectsDifference) {
+  Tensor a = Tensor::Zeros({4});
+  Tensor b = Tensor::Zeros({4});
+  b[2] = 0.1f;
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.1f);
+}
+
+TEST(TensorTest, AllCloseShapeMismatchIsFalse) {
+  EXPECT_FALSE(AllClose(Tensor::Zeros({2, 3}), Tensor::Zeros({3, 2})));
+}
+
+TEST(TensorTest, SparsityRatioOfDenseIsZero) {
+  Rng rng(8);
+  Tensor t = Tensor::Random({16, 16}, rng, 0.5f, 1.0f);
+  EXPECT_EQ(t.SparsityRatio(), 0.0);
+}
+
+TEST(TensorTest, BytesAccountsFloat) {
+  EXPECT_EQ(Tensor::Zeros({10, 10}).bytes(), 400);
+}
+
+TEST(TensorTest, ShapeToStringFormat) {
+  EXPECT_EQ(ShapeToString({2, 3, 4}), "[2,3,4]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+}  // namespace
+}  // namespace pit

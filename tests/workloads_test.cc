@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pit/workloads/attention_masks.h"
+#include "pit/workloads/moe_routing.h"
+#include "pit/workloads/pattern_repeat.h"
+#include "pit/workloads/pruning.h"
+#include "pit/workloads/seq_len.h"
+
+namespace pit {
+namespace {
+
+// ---- sequence lengths -------------------------------------------------------
+
+TEST(SeqLenTest, AllBertDatasetsResolve) {
+  for (const auto& name : BertDatasets()) {
+    SeqLenDistribution d = DatasetSeqLens(name);
+    EXPECT_EQ(d.name, name);
+    EXPECT_GT(d.mean, 0.0);
+    EXPECT_GT(d.max_len, d.min_len);
+  }
+}
+
+TEST(SeqLenTest, SampledLensWithinBounds) {
+  Rng rng(1);
+  SeqLenDistribution d = DatasetSeqLens("mnli");
+  auto lens = SampleBatchLens(d, 256, rng);
+  ASSERT_EQ(lens.size(), 256u);
+  for (int64_t l : lens) {
+    EXPECT_GE(l, d.min_len);
+    EXPECT_LE(l, d.max_len);
+  }
+}
+
+TEST(SeqLenTest, MeanRoughlyMatchesTarget) {
+  Rng rng(2);
+  SeqLenDistribution d = DatasetSeqLens("qqp");
+  auto lens = SampleBatchLens(d, 4000, rng);
+  const double mean = static_cast<double>(SumLens(lens)) / 4000.0;
+  EXPECT_NEAR(mean, d.mean, d.mean * 0.2);
+}
+
+TEST(SeqLenTest, PaddingWasteMatchesDefinition) {
+  std::vector<int64_t> lens = {10, 20, 40};
+  // padded = 3*40 = 120, effective = 70 -> waste = 50/120.
+  EXPECT_NEAR(PaddingWaste(lens), 50.0 / 120.0, 1e-9);
+  EXPECT_EQ(MaxLen(lens), 40);
+  EXPECT_EQ(SumLens(lens), 70);
+}
+
+TEST(SeqLenTest, UniformLensHaveNoWaste) {
+  std::vector<int64_t> lens(8, 64);
+  EXPECT_EQ(PaddingWaste(lens), 0.0);
+}
+
+TEST(SeqLenTest, TokenMaskShapeAndContent) {
+  auto mask = TokenMask({2, 4}, 5);
+  ASSERT_EQ(mask.size(), 2u);
+  EXPECT_TRUE(mask[0][1]);
+  EXPECT_FALSE(mask[0][2]);
+  EXPECT_TRUE(mask[1][3]);
+  EXPECT_FALSE(mask[1][4]);
+}
+
+// ---- MoE routing ------------------------------------------------------------
+
+TEST(MoeRoutingTest, LoadsSumToTokens) {
+  Rng rng(3);
+  MoeRoutingConfig config;
+  config.num_experts = 16;
+  auto routing = RouteTokens(1000, config, rng);
+  auto loads = ExpertLoads(routing, 16);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), int64_t{0}), 1000);
+}
+
+TEST(MoeRoutingTest, ImbalanceProducesSkewedLoads) {
+  Rng rng(4);
+  MoeRoutingConfig skewed{64, 1.2};
+  MoeRoutingConfig uniform{64, 0.0};
+  auto skew_loads = ExpertLoads(RouteTokens(8000, skewed, rng), 64);
+  auto flat_loads = ExpertLoads(RouteTokens(8000, uniform, rng), 64);
+  EXPECT_GT(CapacityPaddingWaste(skew_loads), CapacityPaddingWaste(flat_loads));
+  EXPECT_GT(CapacityPaddingWaste(skew_loads), 0.3);
+}
+
+TEST(MoeRoutingTest, CapacityWasteZeroWhenBalanced) {
+  std::vector<int64_t> loads(8, 125);
+  EXPECT_EQ(CapacityPaddingWaste(loads), 0.0);
+  EXPECT_EQ(MaxLoad(loads), 125);
+}
+
+// ---- attention masks --------------------------------------------------------
+
+TEST(LongformerMaskTest, DensityMatchesClosedForm) {
+  Rng rng(5);
+  LongformerMaskConfig config{512, 64, 8};
+  Tensor mask = LongformerMask(config, rng);
+  const double measured = 1.0 - mask.SparsityRatio();
+  EXPECT_NEAR(measured, LongformerMaskDensity(config), 0.05);
+}
+
+TEST(LongformerMaskTest, GlobalRowsAreFull) {
+  Rng rng(6);
+  LongformerMaskConfig config{128, 16, 4};
+  Tensor mask = LongformerMask(config, rng);
+  // At least num_global rows must be entirely ones.
+  int full_rows = 0;
+  for (int64_t i = 0; i < 128; ++i) {
+    bool full = true;
+    for (int64_t j = 0; j < 128; ++j) {
+      if (mask.At(i, j) == 0.0f) {
+        full = false;
+        break;
+      }
+    }
+    full_rows += full ? 1 : 0;
+  }
+  EXPECT_GE(full_rows, 4);
+}
+
+TEST(LongformerMaskTest, WindowIsPresent) {
+  Rng rng(7);
+  LongformerMaskConfig config{64, 8, 0};
+  Tensor mask = LongformerMask(config, rng);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(mask.At(i, i), 1.0f);  // self within window
+  }
+  EXPECT_EQ(mask.At(0, 63), 0.0f);  // far pair outside window, no globals
+}
+
+TEST(MuseformerMaskTest, CausalAndDensitySane) {
+  Rng rng(8);
+  MuseformerMaskConfig config{512, 64, 2, 0.05};
+  Tensor mask = MuseformerMask(config, rng);
+  // Strictly upper-triangular entries must be zero (causal).
+  for (int64_t i = 0; i < 512; i += 37) {
+    for (int64_t j = i + 1; j < 512; j += 41) {
+      EXPECT_EQ(mask.At(i, j), 0.0f);
+    }
+  }
+  const double measured = 1.0 - mask.SparsityRatio();
+  EXPECT_NEAR(measured, MuseformerMaskDensity(config), 0.1);
+  EXPECT_LT(measured, 0.6);
+}
+
+TEST(ActivationSparsityTest, RatioOnTarget) {
+  Rng rng(9);
+  Tensor t = ActivationSparseTensor(256, 256, 0.99, rng);
+  EXPECT_NEAR(t.SparsityRatio(), 0.99, 0.005);
+}
+
+// ---- pruning ----------------------------------------------------------------
+
+TEST(PruningTest, MaskSparsityMatchesTarget) {
+  Rng rng(10);
+  Tensor w = Tensor::Random({256, 256}, rng);
+  PruningConfig config{32, 64, 0.9};
+  Tensor mask = MagnitudePruneMask(w, config);
+  EXPECT_NEAR(mask.SparsityRatio(), 0.9, 0.05);
+}
+
+TEST(PruningTest, MaskIsBlockStructured) {
+  Rng rng(11);
+  Tensor w = Tensor::Random({64, 128}, rng);
+  PruningConfig config{32, 64, 0.5};
+  Tensor mask = MagnitudePruneMask(w, config);
+  for (int64_t br = 0; br < 2; ++br) {
+    for (int64_t bc = 0; bc < 2; ++bc) {
+      const float first = mask.At(br * 32, bc * 64);
+      for (int64_t i = 0; i < 32; ++i) {
+        for (int64_t j = 0; j < 64; ++j) {
+          EXPECT_EQ(mask.At(br * 32 + i, bc * 64 + j), first);
+        }
+      }
+    }
+  }
+}
+
+TEST(PruningTest, KeepsLargestBlocks) {
+  Tensor w = Tensor::Zeros({64, 64});
+  // Make block (1,1) clearly the largest.
+  for (int64_t i = 32; i < 64; ++i) {
+    for (int64_t j = 32; j < 64; ++j) {
+      w.At(i, j) = 10.0f;
+    }
+  }
+  PruningConfig config{32, 32, 0.75};  // keep 1 of 4 blocks
+  Tensor mask = MagnitudePruneMask(w, config);
+  EXPECT_EQ(mask.At(40, 40), 1.0f);
+  EXPECT_EQ(mask.At(0, 0), 0.0f);
+}
+
+TEST(PruningTest, PerturbationChurnsPattern) {
+  Rng rng(12);
+  Tensor w = Tensor::Random({128, 128}, rng);
+  PruningConfig config{32, 1, 0.9};
+  Tensor m1 = MagnitudePruneMask(w, config);
+  PerturbWeights(&w, 0.5f, rng);
+  Tensor m2 = MagnitudePruneMask(w, config);
+  EXPECT_GT(MaskChurn(m1, m2), 0.0);
+  EXPECT_NEAR(m2.SparsityRatio(), 0.9, 0.05);
+}
+
+// ---- pattern repetition -----------------------------------------------------
+
+TEST(PatternRepeatTest, TrackerCountsHits) {
+  PatternRepeatTracker tracker;
+  EXPECT_FALSE(tracker.Observe(1));
+  EXPECT_FALSE(tracker.Observe(2));
+  EXPECT_TRUE(tracker.Observe(1));
+  EXPECT_EQ(tracker.observed(), 3);
+  EXPECT_EQ(tracker.hits(), 1);
+  EXPECT_NEAR(tracker.HitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PatternRepeatTest, SeqLenHashIsOrderInsensitive) {
+  EXPECT_EQ(HashSeqLenPattern({3, 1, 2}), HashSeqLenPattern({1, 2, 3}));
+  EXPECT_NE(HashSeqLenPattern({1, 2, 3}), HashSeqLenPattern({1, 2, 4}));
+}
+
+TEST(PatternRepeatTest, MaskHashSensitivity) {
+  std::vector<bool> a(100, false), b(100, false);
+  b[57] = true;
+  EXPECT_NE(HashMaskPattern(a), HashMaskPattern(b));
+  EXPECT_EQ(HashMaskPattern(a), HashMaskPattern(std::vector<bool>(100, false)));
+}
+
+TEST(PatternRepeatTest, SeqLenRepetitionIsRareAtBatch32) {
+  // Fig. 20: ~0.4% hit ratio for sequence-length patterns.
+  Rng rng(13);
+  SeqLenDistribution d = DatasetSeqLens("mnli");
+  PatternRepeatTracker tracker;
+  for (int i = 0; i < 1000; ++i) {
+    tracker.Observe(HashSeqLenPattern(SampleBatchLens(d, 32, rng)));
+  }
+  EXPECT_LT(tracker.HitRatio(), 0.02);
+}
+
+}  // namespace
+}  // namespace pit
