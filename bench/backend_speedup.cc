@@ -1,0 +1,115 @@
+// Wall-clock speedup of the blocked + multi-threaded backend over the scalar
+// ReferenceBackend on the PIT hot paths, with results emitted as a
+// BENCH_*.json trajectory file (default BENCH_pr1.json, override with
+// --out <path>).
+//
+// Acceptance targets (4-core runner): >= 4x on dense 512x512x512 MatMul and
+// >= 2x on PitRowGatherMatmul at 25% row density.
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/tensor/ops.h"
+
+using namespace pit;
+
+namespace {
+
+struct Case {
+  std::string name;
+  double reference_us = 0.0;
+  double blocked_us = 0.0;
+  double Speedup() const { return blocked_us > 0.0 ? reference_us / blocked_us : 0.0; }
+};
+
+template <typename Fn>
+Case Measure(const std::string& name, Fn&& fn, int reps) {
+  Case c;
+  c.name = name;
+  {
+    ScopedBackend guard(ComputeBackend::kReference);
+    c.reference_us = bench::TimeUs(fn, reps);
+  }
+  {
+    ScopedBackend guard(ComputeBackend::kBlocked);
+    c.blocked_us = bench::TimeUs(fn, reps);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr1.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  bench::PrintHeader("Backend speedup — blocked+parallel vs. scalar reference",
+                     "wall-clock microseconds, best of N reps; threads = " +
+                         std::to_string(NumThreads()));
+
+  Rng rng(1);
+  std::vector<Case> cases;
+
+  {  // Dense GEMM, the acceptance anchor.
+    Tensor a = Tensor::Random({512, 512}, rng);
+    Tensor b = Tensor::Random({512, 512}, rng);
+    cases.push_back(Measure("matmul_512x512x512", [&] { MatMul(a, b); }, 3));
+  }
+  {  // Fused bias epilogue.
+    Tensor a = Tensor::Random({512, 512}, rng);
+    Tensor b = Tensor::Random({512, 512}, rng);
+    Tensor bias = Tensor::Random({512}, rng);
+    cases.push_back(Measure("matmul_bias_512x512x512", [&] { MatMulBias(a, b, bias); }, 3));
+  }
+  {  // Batched GEMM.
+    Tensor a = Tensor::Random({8, 128, 256}, rng);
+    Tensor b = Tensor::Random({8, 256, 128}, rng);
+    cases.push_back(Measure("batch_matmul_8x128x256x128", [&] { BatchMatMul(a, b); }, 3));
+  }
+  {  // Row-gather PIT matmul at 25% row density, the second acceptance anchor.
+    Tensor a = Tensor::RandomBlockSparse(512, 512, 1, 512, 0.75, rng);
+    Tensor b = Tensor::Random({512, 512}, rng);
+    SparsityDetector detector;
+    cases.push_back(
+        Measure("pit_row_gather_matmul_512_25pct", [&] { PitRowGatherMatmul(a, b, detector); }, 3));
+  }
+  {  // Detector scan.
+    Tensor t = Tensor::RandomSparse({2048, 2048}, 0.95, rng);
+    SparsityDetector detector;
+    cases.push_back(
+        Measure("detector_scan_2048_mt1x8", [&] { detector.Detect(t, MicroTileShape{1, 8}); }, 3));
+  }
+  {  // Micro-tile gather/scatter round trip.
+    Tensor t = Tensor::RandomBlockSparse(1024, 1024, 32, 32, 0.5, rng);
+    SparsityDetector detector;
+    MicroTileIndex index = detector.Detect(t, MicroTileShape{32, 32});
+    Tensor dst = Tensor::Zeros({1024, 1024});
+    cases.push_back(Measure("sread_swrite_microtiles_1024_b32",
+                            [&] { SWriteMicroTiles(SReadMicroTiles(t, index), index, &dst); }, 3));
+  }
+
+  bench::Table table({"case", "reference(ms)", "blocked(ms)", "speedup"});
+  bench::JsonReport report("backend_speedup");
+  for (const Case& c : cases) {
+    table.Row({c.name, bench::FmtMs(c.reference_us), bench::FmtMs(c.blocked_us),
+               bench::Fmt(c.Speedup(), "%.2fx")});
+    report.Add(c.name, {{"reference_us", c.reference_us},
+                        {"blocked_us", c.blocked_us},
+                        {"speedup", c.Speedup()},
+                        {"threads", static_cast<double>(NumThreads())}});
+  }
+  if (!report.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

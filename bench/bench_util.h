@@ -7,8 +7,10 @@
 #ifndef PIT_BENCH_BENCH_UTIL_H_
 #define PIT_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pit::bench {
@@ -52,6 +54,57 @@ inline std::string Fmt(double v, const char* fmt = "%.3f") {
 
 inline std::string FmtMs(double us) { return Fmt(us / 1000.0, "%.3f"); }
 inline std::string FmtPct(double frac) { return Fmt(frac * 100.0, "%.2f%%"); }
+
+// Wall-clock time of `fn`, best of `reps` runs, in microseconds.
+template <typename Fn>
+double TimeUs(Fn&& fn, int reps = 3) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (i == 0 || us < best) {
+      best = us;
+    }
+  }
+  return best;
+}
+
+// Accumulates named records of numeric fields and writes them as a BENCH_*.json
+// trajectory file:
+//   {"bench": "...", "results": [{"name": "...", "f1": v1, ...}, ...]}
+// Values are emitted with %.6g — wall-clock numbers, not simulated time.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& name, std::vector<std::pair<std::string, double>> fields) {
+    records_.emplace_back(name, std::move(fields));
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\"", records_[i].first.c_str());
+      for (const auto& [key, value] : records_[i].second) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> records_;
+};
 
 }  // namespace pit::bench
 

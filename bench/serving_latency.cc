@@ -1,6 +1,8 @@
 // Extension experiment: serving BERT under a Poisson request stream.
 // Sweeps arrival rate and reports p50/p99 latency and throughput per engine —
-// how the paper's per-batch speedups compound through queueing delay.
+// how the paper's per-batch speedups compound through queueing delay. The
+// whole (rate x engine) grid is simulated in parallel on the worker pool
+// (PIT_NUM_THREADS-sized); results are deterministic per-seed either way.
 #include "bench_util.h"
 #include "pit/runtime/serving.h"
 
@@ -10,19 +12,29 @@ int main() {
   bench::PrintHeader("Extension — serving tail latency under load (BERT-base, V100)",
                      "Poisson arrivals, MNLI-like lengths, batch<=32, 20ms batching window");
   CostModel model(V100());
-  bench::Table table({"rate(rps)", "engine", "p50(ms)", "p99(ms)", "tput(rps)", "util"});
-  for (double rate : {50.0, 150.0, 400.0}) {
-    for (Engine e : {Engine::kPyTorch, Engine::kTurboTransformer, Engine::kPit}) {
-      ServingConfig config;
-      config.arrival_rate_rps = rate;
-      config.num_requests = 500;
-      Rng rng(1234);
-      ServingStats stats =
-          SimulateServing(model, e, BertBase(), DatasetSeqLens("mnli"), config, rng);
-      table.Row({bench::Fmt(rate, "%.0f"), EngineName(e), bench::FmtMs(stats.p50_latency_us),
-                 bench::FmtMs(stats.p99_latency_us), bench::Fmt(stats.ThroughputRps(), "%.1f"),
-                 bench::FmtPct(stats.Utilization())});
+  const std::vector<double> rates = {50.0, 150.0, 400.0};
+  const std::vector<Engine> engines = {Engine::kPyTorch, Engine::kTurboTransformer,
+                                       Engine::kPit};
+  std::vector<ServingScenario> grid;
+  for (double rate : rates) {
+    for (Engine e : engines) {
+      ServingScenario sc;
+      sc.engine = e;
+      sc.config.arrival_rate_rps = rate;
+      sc.config.num_requests = 500;
+      sc.seed = 1234;
+      grid.push_back(sc);
     }
+  }
+  const std::vector<ServingStats> stats =
+      SimulateServingGrid(model, BertBase(), DatasetSeqLens("mnli"), grid);
+
+  bench::Table table({"rate(rps)", "engine", "p50(ms)", "p99(ms)", "tput(rps)", "util"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ServingStats& s = stats[i];
+    table.Row({bench::Fmt(grid[i].config.arrival_rate_rps, "%.0f"), EngineName(grid[i].engine),
+               bench::FmtMs(s.p50_latency_us), bench::FmtMs(s.p99_latency_us),
+               bench::Fmt(s.ThroughputRps(), "%.1f"), bench::FmtPct(s.Utilization())});
   }
   std::printf("\nExpected shape: at low load the engines differ by the per-batch factor; as\n"
               "load approaches the dense engine's capacity its queue (and p99) blows up\n"

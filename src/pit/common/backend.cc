@@ -1,0 +1,45 @@
+#include "pit/common/backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pit {
+namespace {
+
+constexpr int kUnresolved = -1;
+
+ComputeBackend DefaultBackend() {
+  if (const char* env = std::getenv("PIT_BACKEND")) {
+    if (std::strcmp(env, "reference") == 0) {
+      return ComputeBackend::kReference;
+    }
+    if (std::strcmp(env, "blocked") != 0) {
+      std::fprintf(stderr,
+                   "[PIT] unrecognized PIT_BACKEND=\"%s\" (expected \"blocked\" or "
+                   "\"reference\"); using blocked\n",
+                   env);
+    }
+  }
+  return ComputeBackend::kBlocked;
+}
+
+std::atomic<int> g_backend{kUnresolved};
+
+}  // namespace
+
+ComputeBackend ActiveBackend() {
+  int v = g_backend.load(std::memory_order_relaxed);
+  if (v == kUnresolved) {
+    v = static_cast<int>(DefaultBackend());
+    g_backend.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<ComputeBackend>(v);
+}
+
+void SetBackend(ComputeBackend backend) {
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+}  // namespace pit

@@ -1,0 +1,57 @@
+// Runtime selection between the two compute backends.
+//
+//  - kReference: the original single-threaded scalar loops, kept verbatim as
+//    the ground-truth oracle every optimised kernel is differential-tested
+//    against.
+//  - kBlocked: the register-blocked, cache-tiled, multi-threaded backend
+//    (gemm_microkernel + parallel_for). Default.
+//
+// The active backend is process-global. Select it with SetBackend(), the
+// ScopedBackend RAII guard (tests), or the PIT_BACKEND environment variable
+// ("reference" or "blocked").
+#ifndef PIT_COMMON_BACKEND_H_
+#define PIT_COMMON_BACKEND_H_
+
+#include <cstdint>
+
+namespace pit {
+
+enum class ComputeBackend {
+  kReference,  // scalar single-threaded oracle
+  kBlocked,    // cache-blocked + multi-threaded
+};
+
+// The backend hot paths dispatch on. First call resolves PIT_BACKEND; defaults
+// to kBlocked.
+ComputeBackend ActiveBackend();
+
+void SetBackend(ComputeBackend backend);
+
+// True when the blocked backend is active — the common dispatch predicate.
+inline bool UseBlockedBackend() { return ActiveBackend() == ComputeBackend::kBlocked; }
+
+// ParallelFor grain under the active backend: the given grain when blocked,
+// the whole range (one sequential chunk) under the reference oracle. Every
+// kernel that parallelises via grain uses this so the reference backend never
+// spawns pool work.
+inline int64_t GrainOrSerial(int64_t n, int64_t grain) {
+  return UseBlockedBackend() ? grain : (n > 1 ? n : 1);
+}
+
+// RAII backend override for differential tests.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(ComputeBackend backend) : saved_(ActiveBackend()) {
+    SetBackend(backend);
+  }
+  ~ScopedBackend() { SetBackend(saved_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  ComputeBackend saved_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_COMMON_BACKEND_H_

@@ -1,0 +1,121 @@
+#include "pit/common/gemm_microkernel.h"
+
+#include <algorithm>
+
+#include "pit/common/parallel_for.h"
+
+namespace pit {
+namespace {
+
+constexpr int64_t kMr = 4;    // register-tile rows
+constexpr int64_t kNr = 16;   // register-tile cols (2 cache lines)
+constexpr int64_t kKc = 256;  // k-panel depth: panel of B stays hot in L2
+
+// Full 4x16 register tile: C[0:4, 0:16] += A[0:4, p0:p1] * B[p0:p1, 0:16].
+// `a` is the tile's first A row, `b`/`c` are offset to the tile's first
+// column. The accumulator array is small enough that -O3 keeps it entirely in
+// vector registers; the inner loop is a broadcast-axpy that auto-vectorises.
+inline void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                       int64_t ldc, int64_t p0, int64_t p1, const float* bias) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    const float a0 = a[p];
+    const float a1 = a[lda + p];
+    const float a2 = a[2 * lda + p];
+    const float a3 = a[3 * lda + p];
+    for (int64_t j = 0; j < kNr; ++j) {
+      const float bv = brow[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      c[r * ldc + j] = bias ? acc[r][j] + bias[j] : acc[r][j];
+    }
+  }
+}
+
+// Ragged-edge tile (mr < 4 and/or nr < 16). Accumulates in the same p-ascending
+// per-element order as Kernel4x16, so which kernel covers a row never changes
+// the numeric result.
+inline void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                       int64_t ldc, int64_t mr, int64_t nr, int64_t p0, int64_t p1,
+                       const float* bias) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * lda + p];
+      for (int64_t j = 0; j < nr; ++j) {
+        acc[r][j] += av * brow[j];
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      c[r * ldc + j] = bias ? acc[r][j] + bias[j] : acc[r][j];
+    }
+  }
+}
+
+}  // namespace
+
+void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const float* b,
+             int64_t ldb, float* c, int64_t ldc, const float* bias) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (k <= 0) {
+    if (bias != nullptr) {
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          c[i * ldc + j] += bias[j];
+        }
+      }
+    }
+    return;
+  }
+  // Parallel over 4-row blocks of C (disjoint outputs, tile-aligned chunk
+  // boundaries => bitwise-identical results for any thread count). Grain keeps
+  // at least ~1 MFLOP per dispatched chunk.
+  const int64_t row_blocks = (m + kMr - 1) / kMr;
+  const int64_t flops_per_block = 2 * kMr * n * k;
+  const int64_t grain = (1 << 20) / std::max<int64_t>(1, flops_per_block) + 1;
+  ParallelFor(row_blocks, grain, [&](int64_t blk0, int64_t blk1) {
+    for (int64_t pc = 0; pc < k; pc += kKc) {  // k-panels: B panel reused across row blocks
+      const int64_t p1 = std::min(k, pc + kKc);
+      const float* panel_bias = (p1 == k) ? bias : nullptr;  // epilogue on final panel only
+      for (int64_t blk = blk0; blk < blk1; ++blk) {
+        const int64_t i0 = blk * kMr;
+        const int64_t mr = std::min(kMr, m - i0);
+        const float* atile = a + i0 * lda;
+        float* ctile = c + i0 * ldc;
+        for (int64_t j = 0; j < n; j += kNr) {
+          const int64_t nr = std::min(kNr, n - j);
+          const float* bias_j = panel_bias ? panel_bias + j : nullptr;
+          if (mr == kMr && nr == kNr) {
+            Kernel4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j);
+          } else {
+            KernelEdge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j);
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace pit

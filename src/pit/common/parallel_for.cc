@@ -1,0 +1,191 @@
+#include "pit/common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pit {
+namespace {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("PIT_NUM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
+
+// Set while a thread is executing chunks; nested ParallelFor calls from a
+// worker (or from the caller while it participates) run inline.
+thread_local bool tls_in_parallel = false;
+
+// One loop's shared state. Heap-held via shared_ptr so a worker that wakes
+// late for an already-finished job reads only this job's (exhausted) chunk
+// counter and never touches a newer job's state.
+struct Job {
+  const ChunkFn* fn = nullptr;
+  int64_t n = 0;
+  int64_t per_chunk = 0;
+  int num_chunks = 0;
+  std::atomic<int> next_chunk{0};
+  std::atomic<int> remaining{0};
+};
+
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();  // leaked: workers live for the process
+    return *pool;
+  }
+
+  void Run(const ChunkFn& fn, int64_t n, int num_chunks, int helper_threads) {
+    std::lock_guard<std::mutex> job_lock(job_mu_);  // one loop at a time
+    EnsureWorkers(helper_threads);
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->num_chunks = num_chunks;
+    job->per_chunk = (n + num_chunks - 1) / num_chunks;
+    job->remaining.store(num_chunks, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = job;
+      ++job_version_;
+    }
+    work_cv_.notify_all();
+    Work(*job);  // the caller is a full participant
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
+      job_.reset();
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  void EnsureWorkers(int count) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (static_cast<int>(workers_.size()) < count) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_version = 0;
+    tls_in_parallel = true;  // workers never spawn nested parallel loops
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return job_version_ != seen_version && job_ != nullptr; });
+        seen_version = job_version_;
+        job = job_;
+      }
+      Work(*job);
+    }
+  }
+
+  static void Work(Job& job) {
+    const bool was_in_parallel = tls_in_parallel;
+    tls_in_parallel = true;
+    for (;;) {
+      const int c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.num_chunks) {
+        break;
+      }
+      const int64_t begin = static_cast<int64_t>(c) * job.per_chunk;
+      const int64_t end = std::min<int64_t>(job.n, begin + job.per_chunk);
+      if (begin < end) {
+        (*job.fn)(c, begin, end);
+      }
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Pool& pool = Pool::Get();
+        { std::lock_guard<std::mutex> lk(pool.mu_); }  // fence vs. the waiter's predicate check
+        pool.done_cv_.notify_all();
+      }
+    }
+    tls_in_parallel = was_in_parallel;
+  }
+
+  std::mutex job_mu_;  // serialises whole loops
+  std::mutex mu_;      // guards job_/job_version_/workers_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  uint64_t job_version_ = 0;
+};
+
+}  // namespace
+
+int NumThreads() {
+  int v = g_num_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = DefaultNumThreads();
+    g_num_threads.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetNumThreads(int n) { g_num_threads.store(std::max(1, n), std::memory_order_relaxed); }
+
+int ParallelChunkCount(int64_t n, int64_t grain) {
+  if (n <= 0) {
+    return 1;
+  }
+  grain = std::max<int64_t>(1, grain);
+  const int64_t by_grain = (n + grain - 1) / grain;
+  return static_cast<int>(std::clamp<int64_t>(std::min<int64_t>(by_grain, NumThreads()), 1,
+                                              1 << 10));
+}
+
+void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn) {
+  if (n <= 0) {
+    return;
+  }
+  num_chunks = static_cast<int>(std::clamp<int64_t>(num_chunks, 1, n));
+  if (num_chunks <= 1 || tls_in_parallel) {
+    fn(0, 0, n);
+    return;
+  }
+  Pool::Get().Run(fn, n, num_chunks, num_chunks - 1);
+}
+
+void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
+  ParallelForChunks(n, ParallelChunkCount(n, grain),
+                    [&fn](int /*chunk*/, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+std::vector<int64_t> ParallelOrderedGather(int64_t n, int num_chunks, const GatherFn& fn) {
+  if (n <= 0) {
+    return {};
+  }
+  num_chunks = static_cast<int>(std::clamp<int64_t>(num_chunks, 1, n));
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_chunks));
+  ParallelForChunks(n, num_chunks, [&](int chunk, int64_t begin, int64_t end) {
+    fn(begin, end, &parts[static_cast<size_t>(chunk)]);
+  });
+  size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+  }
+  std::vector<int64_t> out;
+  out.reserve(total);
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace pit

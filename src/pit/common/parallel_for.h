@@ -1,0 +1,80 @@
+// Shared-memory parallel loop primitive backing the blocked compute backend.
+//
+// A lazily-created persistent thread pool executes loops split into contiguous
+// static chunks. Determinism contract: chunks are contiguous, ordered ranges
+// of the iteration space, so any per-chunk partial results merged in chunk
+// order reproduce the sequential order exactly — results are independent of
+// the thread count. Nested ParallelFor calls from inside a worker run inline
+// (sequentially) instead of deadlocking, so kernels may freely compose.
+//
+// The worker count defaults to the hardware concurrency and can be overridden
+// by the PIT_NUM_THREADS environment variable or SetNumThreads().
+#ifndef PIT_COMMON_PARALLEL_FOR_H_
+#define PIT_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pit {
+
+// Worker-thread count used by ParallelFor. Resolution order: SetNumThreads()
+// override, then PIT_NUM_THREADS, then std::thread::hardware_concurrency().
+int NumThreads();
+
+// Overrides the worker count at runtime (clamped to >= 1). Intended for tests
+// and benchmarks; takes effect for subsequent ParallelFor calls.
+void SetNumThreads(int n);
+
+// RAII thread-count override.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(NumThreads()) { SetNumThreads(n); }
+  ~ScopedNumThreads() { SetNumThreads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+// fn(begin, end): process the contiguous range [begin, end).
+using RangeFn = std::function<void(int64_t begin, int64_t end)>;
+// fn(chunk, begin, end): as RangeFn plus the 0-based chunk index, for loops
+// that accumulate into per-chunk buffers merged in chunk order afterwards.
+using ChunkFn = std::function<void(int chunk, int64_t begin, int64_t end)>;
+
+// Chunk count for an n-iteration loop with the given grain:
+// min(NumThreads(), ceil(n / grain)), at least 1. Size per-chunk buffers with
+// this and pass the value to ParallelForChunks — passing it (rather than
+// having ParallelForChunks recompute it) guarantees the loop never uses more
+// chunks than the caller allocated, even if the thread count changes
+// concurrently.
+int ParallelChunkCount(int64_t n, int64_t grain);
+
+// Splits [0, n) into contiguous chunks and runs them on the pool (the calling
+// thread participates). `grain` is the minimum number of iterations worth
+// dispatching to a thread; loops smaller than one grain run inline on the
+// caller. Blocks until every chunk finished.
+void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn);
+
+// As ParallelFor but with explicit chunking: runs exactly `num_chunks`
+// contiguous chunks (or a single inline chunk 0 when nested/degenerate) and
+// hands the chunk index — always < num_chunks — to the callback. Get
+// `num_chunks` from ParallelChunkCount.
+void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn);
+
+// fn(begin, end, out): append the hits found in [begin, end) to `out`, in
+// ascending order.
+using GatherFn = std::function<void(int64_t begin, int64_t end, std::vector<int64_t>* out)>;
+
+// Parallel ordered gather: scans [0, n) in `num_chunks` contiguous chunks,
+// each appending to a private vector, and returns the vectors concatenated in
+// chunk order — which reproduces the sequential ascending scan exactly, for
+// any chunk count. The shared primitive behind the sparsity detector's
+// block-row scan and the live-channel/filter scans.
+std::vector<int64_t> ParallelOrderedGather(int64_t n, int num_chunks, const GatherFn& fn);
+
+}  // namespace pit
+
+#endif  // PIT_COMMON_PARALLEL_FOR_H_

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 #include "pit/core/sparse_kernel.h"
 #include "pit/tensor/ops.h"
 
@@ -32,9 +34,15 @@ Tensor PitBatchRowGatherMatmul(const Tensor& a, const Tensor& b,
   PIT_CHECK_EQ(a.dim(0), b.dim(0));
   PIT_CHECK_EQ(a.dim(2), b.dim(1));
   Tensor c({a.dim(0), a.dim(1), b.dim(2)});
-  for (int64_t s = 0; s < a.dim(0); ++s) {
-    WriteSlice(PitRowGatherMatmul(Slice(a, s), Slice(b, s), detector), s, &c);
-  }
+  // Batch slices are independent: fan the per-slice pipelines out across the
+  // pool (inner kernels run inline inside a worker).
+  const int64_t bs = a.dim(0);
+  // Serial when the batch can't fill the pool: inner kernels then parallelize.
+  ParallelFor(bs, GrainOrSerial(bs, bs >= NumThreads() ? 1 : bs), [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      WriteSlice(PitRowGatherMatmul(Slice(a, s), Slice(b, s), detector), s, &c);
+    }
+  });
   return c;
 }
 
@@ -45,9 +53,12 @@ Tensor PitBatchKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
   PIT_CHECK_EQ(a.dim(0), b.dim(0));
   PIT_CHECK_EQ(a.dim(2), b.dim(1));
   Tensor c({a.dim(0), a.dim(1), b.dim(2)});
-  for (int64_t s = 0; s < a.dim(0); ++s) {
-    WriteSlice(PitKGatherMatmul(Slice(a, s), Slice(b, s), block_m, detector), s, &c);
-  }
+  const int64_t bs = a.dim(0);
+  ParallelFor(bs, GrainOrSerial(bs, bs >= NumThreads() ? 1 : bs), [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      WriteSlice(PitKGatherMatmul(Slice(a, s), Slice(b, s), block_m, detector), s, &c);
+    }
+  });
   return c;
 }
 

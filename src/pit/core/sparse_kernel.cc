@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 #include "pit/core/sread_swrite.h"
 #include "pit/tensor/ops.h"
 
@@ -95,28 +97,36 @@ Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
   PIT_CHECK_GT(block_m, 0);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  for (int64_t r0 = 0; r0 < m; r0 += block_m) {
-    const int64_t rows = std::min(block_m, m - r0);
-    // View of this block of A (copy; host-side stand-in for a tile pointer).
-    Tensor block({rows, k});
-    std::copy(a.data() + r0 * k, a.data() + (r0 + rows) * k, block.data());
-    // Detect nonzero k slices with micro-tile [rows, 1] — unordered.
-    MicroTileIndex index = detector.Detect(block, MicroTileShape{rows, 1});
-    std::vector<int64_t> ks;
-    ks.reserve(index.offsets.size());
-    for (int64_t off : index.offsets) {
-      ks.push_back(index.BlockColOf(off));
+  // Row blocks are independent (disjoint slices of C): run them on the pool.
+  // Inner kernels detect they are already inside a parallel region and run
+  // inline, so the parallelism does not nest runaway.
+  const int64_t num_blocks = (m + block_m - 1) / block_m;
+  // Under the reference backend a single chunk keeps the path sequential.
+  ParallelFor(num_blocks, GrainOrSerial(num_blocks, 1), [&](int64_t blk0, int64_t blk1) {
+    for (int64_t blk = blk0; blk < blk1; ++blk) {
+      const int64_t r0 = blk * block_m;
+      const int64_t rows = std::min(block_m, m - r0);
+      // View of this block of A (copy; host-side stand-in for a tile pointer).
+      Tensor block({rows, k});
+      std::copy(a.data() + r0 * k, a.data() + (r0 + rows) * k, block.data());
+      // Detect nonzero k slices with micro-tile [rows, 1] — unordered.
+      MicroTileIndex index = detector.Detect(block, MicroTileShape{rows, 1});
+      std::vector<int64_t> ks;
+      ks.reserve(index.offsets.size());
+      for (int64_t off : index.offsets) {
+        ks.push_back(index.BlockColOf(off));
+      }
+      if (ks.empty()) {
+        continue;
+      }
+      Tensor packed_a = SReadCols(block, ks);  // [rows, |ks|]
+      Tensor packed_b = SReadRows(b, ks);      // [|ks|, n]
+      Tensor block_c = MatMul(packed_a, packed_b);
+      for (int64_t r = 0; r < rows; ++r) {
+        std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
+      }
     }
-    if (ks.empty()) {
-      continue;
-    }
-    Tensor packed_a = SReadCols(block, ks);  // [rows, |ks|]
-    Tensor packed_b = SReadRows(b, ks);      // [|ks|, n]
-    Tensor block_c = MatMul(packed_a, packed_b);
-    for (int64_t r = 0; r < rows; ++r) {
-      std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
-    }
-  }
+  });
   return c;
 }
 
@@ -134,35 +144,41 @@ Tensor PitMicroTileMatmul(const Tensor& a, const Tensor& b, const MicroTileShape
   for (int64_t off : index.offsets) {
     cols_of_row[static_cast<size_t>(index.BlockRowOf(off))].push_back(index.BlockColOf(off));
   }
-  for (int64_t br = 0; br < index.block_rows; ++br) {
-    const auto& blocks = cols_of_row[static_cast<size_t>(br)];
-    if (blocks.empty()) {
-      continue;
-    }
-    const int64_t r0 = br * micro.rows;
-    const int64_t rows = std::min(micro.rows, m - r0);
-    // Expand covered micro-tile columns into concrete k indices (clipped at
-    // the ragged edge).
-    std::vector<int64_t> ks;
-    for (int64_t bc : blocks) {
-      for (int64_t kk = bc * micro.cols; kk < std::min(k, (bc + 1) * micro.cols); ++kk) {
-        ks.push_back(kk);
+  // Block rows own disjoint slices of C — parallel across the pool.
+  ParallelFor(index.block_rows, GrainOrSerial(index.block_rows, 1),
+              [&](int64_t br0, int64_t br1) {
+    for (int64_t br = br0; br < br1; ++br) {
+      const auto& blocks = cols_of_row[static_cast<size_t>(br)];
+      if (blocks.empty()) {
+        continue;
+      }
+      const int64_t r0 = br * micro.rows;
+      const int64_t rows = std::min(micro.rows, m - r0);
+      // Expand covered micro-tile columns into concrete k indices (clipped at
+      // the ragged edge).
+      std::vector<int64_t> ks;
+      for (int64_t bc : blocks) {
+        for (int64_t kk = bc * micro.cols; kk < std::min(k, (bc + 1) * micro.cols); ++kk) {
+          ks.push_back(kk);
+        }
+      }
+      // SRead the block's rows restricted to the covered columns, and the
+      // matching B rows; dense matmul; write back this block row of C.
+      Tensor packed_a({rows, static_cast<int64_t>(ks.size())});
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* srow = a.data() + (r0 + r) * k;
+        float* drow = packed_a.data() + r * static_cast<int64_t>(ks.size());
+        for (size_t i = 0; i < ks.size(); ++i) {
+          drow[i] = srow[ks[i]];
+        }
+      }
+      Tensor packed_b = SReadRows(b, ks);
+      Tensor block_c = MatMul(packed_a, packed_b);
+      for (int64_t r = 0; r < rows; ++r) {
+        std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
       }
     }
-    // SRead the block's rows restricted to the covered columns, and the
-    // matching B rows; dense matmul; write back this block row of C.
-    Tensor packed_a({rows, static_cast<int64_t>(ks.size())});
-    for (int64_t r = 0; r < rows; ++r) {
-      for (size_t i = 0; i < ks.size(); ++i) {
-        packed_a.At(r, static_cast<int64_t>(i)) = a.At(r0 + r, ks[i]);
-      }
-    }
-    Tensor packed_b = SReadRows(b, ks);
-    Tensor block_c = MatMul(packed_a, packed_b);
-    for (int64_t r = 0; r < rows; ++r) {
-      std::copy(block_c.data() + r * n, block_c.data() + (r + 1) * n, c.data() + (r0 + r) * n);
-    }
-  }
+  });
   return c;
 }
 
@@ -201,22 +217,29 @@ Tensor PitMoEMatmul(const Tensor& tokens, const std::vector<Tensor>& expert_weig
   PIT_CHECK_EQ(static_cast<int64_t>(expert_of.size()), tokens.dim(0));
   const int64_t f = expert_weights[0].dim(1);
   Tensor out({tokens.dim(0), f});
-  for (size_t e = 0; e < expert_weights.size(); ++e) {
-    PIT_CHECK_EQ(expert_weights[e].dim(0), tokens.dim(1));
-    PIT_CHECK_EQ(expert_weights[e].dim(1), f);
-    std::vector<int64_t> mine;
-    for (size_t t = 0; t < expert_of.size(); ++t) {
-      if (expert_of[t] == static_cast<int>(e)) {
-        mine.push_back(static_cast<int64_t>(t));
-      }
-    }
-    if (mine.empty()) {
-      continue;
-    }
-    Tensor packed = SReadRows(tokens, mine);
-    Tensor result = MatMul(packed, expert_weights[e]);
-    SWriteRows(result, mine, &out);
+  for (const Tensor& w : expert_weights) {
+    PIT_CHECK_EQ(w.dim(0), tokens.dim(1));
+    PIT_CHECK_EQ(w.dim(1), f);
   }
+  // Experts touch disjoint token rows (each token routes to one expert), so
+  // the per-expert gather/matmul/scatter pipelines run concurrently.
+  const int64_t num_experts = static_cast<int64_t>(expert_weights.size());
+  ParallelFor(num_experts, GrainOrSerial(num_experts, 1), [&](int64_t e0, int64_t e1) {
+    for (int64_t e = e0; e < e1; ++e) {
+      std::vector<int64_t> mine;
+      for (size_t t = 0; t < expert_of.size(); ++t) {
+        if (expert_of[t] == static_cast<int>(e)) {
+          mine.push_back(static_cast<int64_t>(t));
+        }
+      }
+      if (mine.empty()) {
+        continue;
+      }
+      Tensor packed = SReadRows(tokens, mine);
+      Tensor result = MatMul(packed, expert_weights[static_cast<size_t>(e)]);
+      SWriteRows(result, mine, &out);
+    }
+  });
   return out;
 }
 

@@ -2,47 +2,60 @@
 
 #include <algorithm>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 #include "pit/tensor/ops.h"
 
 namespace pit {
 
+namespace {
+
+// Parallel "which of n candidates is live" scan on the shared ordered-gather
+// primitive; the result matches the sequential ascending scan exactly.
+std::vector<int64_t> ParallelLiveScan(int64_t n, int64_t work_per_item,
+                                      const std::function<bool(int64_t)>& is_live) {
+  const int64_t grain = std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, work_per_item));
+  const int chunks = UseBlockedBackend() ? ParallelChunkCount(n, grain) : 1;
+  return ParallelOrderedGather(n, chunks, [&](int64_t i0, int64_t i1, std::vector<int64_t>* out) {
+    for (int64_t i = i0; i < i1; ++i) {
+      if (is_live(i)) {
+        out->push_back(i);
+      }
+    }
+  });
+}
+
+}  // namespace
+
 std::vector<int64_t> LiveInputChannels(const Tensor& input) {
   PIT_CHECK_EQ(input.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1), hw = input.dim(2) * input.dim(3);
-  std::vector<int64_t> live;
-  for (int64_t ch = 0; ch < c; ++ch) {
-    bool nonzero = false;
-    for (int64_t b = 0; b < n && !nonzero; ++b) {
+  return ParallelLiveScan(c, n * hw, [&](int64_t ch) {
+    for (int64_t b = 0; b < n; ++b) {
       const float* base = input.data() + (b * c + ch) * hw;
       for (int64_t i = 0; i < hw; ++i) {
         if (base[i] != 0.0f) {
-          nonzero = true;
-          break;
+          return true;
         }
       }
     }
-    if (nonzero) {
-      live.push_back(ch);
-    }
-  }
-  return live;
+    return false;
+  });
 }
 
 std::vector<int64_t> LiveFilters(const Tensor& weight) {
   PIT_CHECK_EQ(weight.rank(), 4);
   const int64_t f = weight.dim(0), per = weight.dim(1) * weight.dim(2) * weight.dim(3);
-  std::vector<int64_t> live;
-  for (int64_t ff = 0; ff < f; ++ff) {
+  return ParallelLiveScan(f, per, [&](int64_t ff) {
     const float* base = weight.data() + ff * per;
     for (int64_t i = 0; i < per; ++i) {
       if (base[i] != 0.0f) {
-        live.push_back(ff);
-        break;
+        return true;
       }
     }
-  }
-  return live;
+    return false;
+  });
 }
 
 namespace {
@@ -50,14 +63,18 @@ namespace {
 // Gathers channels `chs` of a [N,C,H,W] tensor into [N, |chs|, H, W].
 Tensor GatherChannels(const Tensor& input, const std::vector<int64_t>& chs) {
   const int64_t n = input.dim(0), c = input.dim(1), hw = input.dim(2) * input.dim(3);
-  Tensor out({n, static_cast<int64_t>(chs.size()), input.dim(2), input.dim(3)});
-  for (int64_t b = 0; b < n; ++b) {
-    for (size_t i = 0; i < chs.size(); ++i) {
-      const float* src = input.data() + (b * c + chs[i]) * hw;
-      float* dst = out.data() + (b * static_cast<int64_t>(chs.size()) + static_cast<int64_t>(i)) * hw;
-      std::copy(src, src + hw, dst);
-    }
-  }
+  const int64_t nc = static_cast<int64_t>(chs.size());
+  Tensor out({n, nc, input.dim(2), input.dim(3)});
+  // Plane copies are independent: parallel over (batch, channel) pairs.
+  ParallelFor(n * nc,
+              GrainOrSerial(n * nc, std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, hw))),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t p = lo; p < hi; ++p) {
+                  const int64_t b = p / nc, i = p % nc;
+                  const float* src = input.data() + (b * c + chs[static_cast<size_t>(i)]) * hw;
+                  std::copy(src, src + hw, out.data() + p * hw);
+                }
+              });
   return out;
 }
 

@@ -2,10 +2,43 @@
 
 #include <algorithm>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 #include "pit/common/rng.h"
 
 namespace pit {
+
+namespace {
+
+// Appends the nonzero micro-tile offsets of block row `br` to `out`, in
+// ascending block-column order.
+void ScanBlockRow(const Tensor& tensor, const MicroTileIndex& index, int64_t br,
+                  std::vector<int64_t>* out) {
+  const int64_t rows = tensor.dim(0), cols = tensor.dim(1);
+  const auto& micro_tile = index.micro_tile;
+  const int64_t r0 = br * micro_tile.rows;
+  const int64_t r1 = std::min(rows, r0 + micro_tile.rows);
+  for (int64_t bc = 0; bc < index.block_cols; ++bc) {
+    const int64_t c0 = bc * micro_tile.cols;
+    const int64_t c1 = std::min(cols, c0 + micro_tile.cols);
+    bool nonzero = false;
+    for (int64_t r = r0; r < r1 && !nonzero; ++r) {
+      const float* row = tensor.data() + r * cols;
+      for (int64_t c = c0; c < c1; ++c) {
+        if (row[c] != 0.0f) {
+          nonzero = true;
+          break;
+        }
+      }
+    }
+    if (nonzero) {
+      out->push_back(br * index.block_cols + bc);
+    }
+  }
+}
+
+}  // namespace
 
 MicroTileIndex SparsityDetector::Detect(const Tensor& tensor,
                                         const MicroTileShape& micro_tile) const {
@@ -18,27 +51,21 @@ MicroTileIndex SparsityDetector::Detect(const Tensor& tensor,
   index.block_rows = (rows + micro_tile.rows - 1) / micro_tile.rows;
   index.block_cols = (cols + micro_tile.cols - 1) / micro_tile.cols;
 
-  for (int64_t br = 0; br < index.block_rows; ++br) {
-    const int64_t r0 = br * micro_tile.rows;
-    const int64_t r1 = std::min(rows, r0 + micro_tile.rows);
-    for (int64_t bc = 0; bc < index.block_cols; ++bc) {
-      const int64_t c0 = bc * micro_tile.cols;
-      const int64_t c1 = std::min(cols, c0 + micro_tile.cols);
-      bool nonzero = false;
-      for (int64_t r = r0; r < r1 && !nonzero; ++r) {
-        const float* row = tensor.data() + r * cols;
-        for (int64_t c = c0; c < c1; ++c) {
-          if (row[c] != 0.0f) {
-            nonzero = true;
-            break;
-          }
+  // Parallel block-row scan; the ordered gather's chunk-order concatenation
+  // reproduces the sequential row-major scan for any thread count, so the
+  // shuffle below stays deterministic. A single chunk keeps the reference
+  // backend sequential (the scalar oracle).
+  const int64_t elems_per_block_row = micro_tile.rows * cols;
+  const int64_t grain =
+      std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, elems_per_block_row));
+  const int chunks =
+      UseBlockedBackend() ? ParallelChunkCount(index.block_rows, grain) : 1;
+  index.offsets = ParallelOrderedGather(
+      index.block_rows, chunks, [&](int64_t b0, int64_t b1, std::vector<int64_t>* out) {
+        for (int64_t br = b0; br < b1; ++br) {
+          ScanBlockRow(tensor, index, br, out);
         }
-      }
-      if (nonzero) {
-        index.offsets.push_back(br * index.block_cols + bc);
-      }
-    }
-  }
+      });
 
   // Emulate the unordered atomic-append: permute deterministically by seed.
   Rng rng(shuffle_seed_);

@@ -3,38 +3,59 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 
 namespace pit {
+
+namespace {
+
+// Bytes worth moving per dispatched chunk; below this the loops run inline.
+constexpr int64_t kCopyGrainBytes = 1 << 16;
+
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kCopyGrainBytes / std::max<int64_t>(1, cols * 4));
+}
+
+}  // namespace
 
 Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids) {
   PIT_CHECK_EQ(src.rank(), 2);
   const int64_t cols = src.dim(1);
-  Tensor out({static_cast<int64_t>(row_ids.size()), cols});
-  for (size_t i = 0; i < row_ids.size(); ++i) {
-    const int64_t r = row_ids[i];
-    PIT_CHECK_GE(r, 0);
-    PIT_CHECK_LT(r, src.dim(0));
-    std::memcpy(out.data() + static_cast<int64_t>(i) * cols, src.data() + r * cols,
-                static_cast<size_t>(cols) * sizeof(float));
-  }
+  const int64_t n = static_cast<int64_t>(row_ids.size());
+  Tensor out({n, cols});
+  // Row-chunk memcpy gather; each output row is owned by exactly one chunk.
+  ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t r = row_ids[static_cast<size_t>(i)];
+      PIT_CHECK_GE(r, 0);
+      PIT_CHECK_LT(r, src.dim(0));
+      std::memcpy(out.data() + i * cols, src.data() + r * cols,
+                  static_cast<size_t>(cols) * sizeof(float));
+    }
+  });
   return out;
 }
 
 Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids) {
   PIT_CHECK_EQ(src.rank(), 2);
   const int64_t rows = src.dim(0), cols = src.dim(1);
-  Tensor out({rows, static_cast<int64_t>(col_ids.size())});
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* srow = src.data() + r * cols;
-    float* drow = out.data() + r * static_cast<int64_t>(col_ids.size());
-    for (size_t i = 0; i < col_ids.size(); ++i) {
-      const int64_t c = col_ids[i];
-      PIT_CHECK_GE(c, 0);
-      PIT_CHECK_LT(c, cols);
-      drow[i] = srow[c];
-    }
+  const int64_t n = static_cast<int64_t>(col_ids.size());
+  for (int64_t c : col_ids) {
+    PIT_CHECK_GE(c, 0);
+    PIT_CHECK_LT(c, cols);
   }
+  Tensor out({rows, n});
+  ParallelFor(rows, GrainOrSerial(rows, RowGrain(n)), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* srow = src.data() + r * cols;
+      float* drow = out.data() + r * n;
+      for (int64_t i = 0; i < n; ++i) {
+        drow[i] = srow[col_ids[static_cast<size_t>(i)]];
+      }
+    }
+  });
   return out;
 }
 
@@ -45,13 +66,18 @@ void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* 
   PIT_CHECK_EQ(packed.dim(0), static_cast<int64_t>(row_ids.size()));
   PIT_CHECK_EQ(packed.dim(1), dst->dim(1));
   const int64_t cols = dst->dim(1);
-  for (size_t i = 0; i < row_ids.size(); ++i) {
-    const int64_t r = row_ids[i];
-    PIT_CHECK_GE(r, 0);
-    PIT_CHECK_LT(r, dst->dim(0));
-    std::memcpy(dst->data() + r * cols, packed.data() + static_cast<int64_t>(i) * cols,
-                static_cast<size_t>(cols) * sizeof(float));
-  }
+  // row_ids are distinct (they come from a micro-tile index), so the scatter
+  // targets are disjoint and the chunks race-free.
+  const int64_t n_ids = static_cast<int64_t>(row_ids.size());
+  ParallelFor(n_ids, GrainOrSerial(n_ids, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t r = row_ids[static_cast<size_t>(i)];
+      PIT_CHECK_GE(r, 0);
+      PIT_CHECK_LT(r, dst->dim(0));
+      std::memcpy(dst->data() + r * cols, packed.data() + i * cols,
+                  static_cast<size_t>(cols) * sizeof(float));
+    }
+  });
 }
 
 void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst) {
@@ -60,13 +86,17 @@ void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tenso
   PIT_CHECK_EQ(dst->rank(), 2);
   PIT_CHECK_EQ(packed.dim(0), dst->dim(0));
   PIT_CHECK_EQ(packed.dim(1), static_cast<int64_t>(col_ids.size()));
-  for (int64_t r = 0; r < dst->dim(0); ++r) {
-    const float* srow = packed.data() + r * packed.dim(1);
-    float* drow = dst->data() + r * dst->dim(1);
-    for (size_t i = 0; i < col_ids.size(); ++i) {
-      drow[col_ids[i]] += srow[i];
+  const int64_t n = packed.dim(1);
+  // Parallel over destination rows: each row accumulates independently.
+  ParallelFor(dst->dim(0), GrainOrSerial(dst->dim(0), RowGrain(n)), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* srow = packed.data() + r * n;
+      float* drow = dst->data() + r * dst->dim(1);
+      for (int64_t i = 0; i < n; ++i) {
+        drow[col_ids[static_cast<size_t>(i)]] += srow[i];
+      }
     }
-  }
+  });
 }
 
 Tensor SReadMicroTiles(const Tensor& src, const MicroTileIndex& index) {
@@ -74,18 +104,38 @@ Tensor SReadMicroTiles(const Tensor& src, const MicroTileIndex& index) {
   const auto& mt = index.micro_tile;
   const int64_t rows = src.dim(0), cols = src.dim(1);
   Tensor out({index.NumNonZero() * mt.rows, mt.cols});
-  for (int64_t i = 0; i < index.NumNonZero(); ++i) {
-    const int64_t br = index.BlockRowOf(index.offsets[static_cast<size_t>(i)]);
-    const int64_t bc = index.BlockColOf(index.offsets[static_cast<size_t>(i)]);
-    for (int64_t r = 0; r < mt.rows; ++r) {
-      const int64_t sr = br * mt.rows + r;
-      for (int64_t c = 0; c < mt.cols; ++c) {
-        const int64_t sc = bc * mt.cols + c;
-        const float v = (sr < rows && sc < cols) ? src.At(sr, sc) : 0.0f;
-        out.At(i * mt.rows + r, c) = v;
-      }
-    }
-  }
+  const int64_t tile_elems = mt.rows * mt.cols;
+  // Each index entry owns a disjoint band of `out` rows. Interior tiles take
+  // the contiguous row-chunk memcpy fast path; ragged edge tiles fall back to
+  // the scalar zero-padded loop.
+  ParallelFor(index.NumNonZero(),
+              GrainOrSerial(index.NumNonZero(),
+                            std::max<int64_t>(1, kCopyGrainBytes / std::max<int64_t>(4, tile_elems * 4))),
+              [&](int64_t t0, int64_t t1) {
+                for (int64_t i = t0; i < t1; ++i) {
+                  const int64_t off = index.offsets[static_cast<size_t>(i)];
+                  const int64_t br = index.BlockRowOf(off);
+                  const int64_t bc = index.BlockColOf(off);
+                  const int64_t r0 = br * mt.rows, c0 = bc * mt.cols;
+                  float* tile = out.data() + i * tile_elems;
+                  if (r0 + mt.rows <= rows && c0 + mt.cols <= cols) {
+                    const float* s = src.data() + r0 * cols + c0;
+                    for (int64_t r = 0; r < mt.rows; ++r) {
+                      std::memcpy(tile + r * mt.cols, s + r * cols,
+                                  static_cast<size_t>(mt.cols) * sizeof(float));
+                    }
+                  } else {
+                    for (int64_t r = 0; r < mt.rows; ++r) {
+                      const int64_t sr = r0 + r;
+                      for (int64_t c = 0; c < mt.cols; ++c) {
+                        const int64_t sc = c0 + c;
+                        tile[r * mt.cols + c] =
+                            (sr < rows && sc < cols) ? src.At(sr, sc) : 0.0f;
+                      }
+                    }
+                  }
+                }
+              });
   return out;
 }
 
@@ -96,23 +146,42 @@ void SWriteMicroTiles(const Tensor& packed, const MicroTileIndex& index, Tensor*
   PIT_CHECK_EQ(packed.dim(0), index.NumNonZero() * mt.rows);
   PIT_CHECK_EQ(packed.dim(1), mt.cols);
   const int64_t rows = dst->dim(0), cols = dst->dim(1);
-  for (int64_t i = 0; i < index.NumNonZero(); ++i) {
-    const int64_t br = index.BlockRowOf(index.offsets[static_cast<size_t>(i)]);
-    const int64_t bc = index.BlockColOf(index.offsets[static_cast<size_t>(i)]);
-    for (int64_t r = 0; r < mt.rows; ++r) {
-      const int64_t dr = br * mt.rows + r;
-      if (dr >= rows) {
-        continue;
-      }
-      for (int64_t c = 0; c < mt.cols; ++c) {
-        const int64_t dc = bc * mt.cols + c;
-        if (dc >= cols) {
-          continue;
-        }
-        dst->At(dr, dc) = packed.At(i * mt.rows + r, c);
-      }
-    }
-  }
+  const int64_t tile_elems = mt.rows * mt.cols;
+  // Offsets are distinct micro-tiles, so destination regions are disjoint and
+  // the parallel scatter is race-free and order-independent.
+  ParallelFor(index.NumNonZero(),
+              GrainOrSerial(index.NumNonZero(),
+                            std::max<int64_t>(1, kCopyGrainBytes / std::max<int64_t>(4, tile_elems * 4))),
+              [&](int64_t t0, int64_t t1) {
+                for (int64_t i = t0; i < t1; ++i) {
+                  const int64_t off = index.offsets[static_cast<size_t>(i)];
+                  const int64_t br = index.BlockRowOf(off);
+                  const int64_t bc = index.BlockColOf(off);
+                  const int64_t r0 = br * mt.rows, c0 = bc * mt.cols;
+                  const float* tile = packed.data() + i * tile_elems;
+                  if (r0 + mt.rows <= rows && c0 + mt.cols <= cols) {
+                    float* d = dst->data() + r0 * cols + c0;
+                    for (int64_t r = 0; r < mt.rows; ++r) {
+                      std::memcpy(d + r * cols, tile + r * mt.cols,
+                                  static_cast<size_t>(mt.cols) * sizeof(float));
+                    }
+                  } else {
+                    for (int64_t r = 0; r < mt.rows; ++r) {
+                      const int64_t dr = r0 + r;
+                      if (dr >= rows) {
+                        continue;
+                      }
+                      for (int64_t c = 0; c < mt.cols; ++c) {
+                        const int64_t dc = c0 + c;
+                        if (dc >= cols) {
+                          continue;
+                        }
+                        dst->At(dr, dc) = tile[r * mt.cols + c];
+                      }
+                    }
+                  }
+                }
+              });
 }
 
 }  // namespace pit

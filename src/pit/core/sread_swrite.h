@@ -8,6 +8,10 @@
 // computation runs on the packed buffer, and SWrite scatters results back to
 // their original coordinates. Tests verify the round-trip and the permutation
 // invariance (any index order produces identical results).
+//
+// All primitives run on the shared ParallelFor pool with row-chunk memcpy
+// fast paths. The scatters assume distinct ids (guaranteed for ids derived
+// from a MicroTileIndex), which makes the parallel writes race-free.
 #ifndef PIT_CORE_SREAD_SWRITE_H_
 #define PIT_CORE_SREAD_SWRITE_H_
 

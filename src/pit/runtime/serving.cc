@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 
 namespace pit {
 
@@ -87,6 +88,21 @@ ServingStats SimulateServing(const CostModel& model, Engine engine, const Transf
                                             static_cast<size_t>(0.99 * latencies.size()))];
   stats.makespan_us = device_free_at - requests.front().arrival_us;
   return stats;
+}
+
+std::vector<ServingStats> SimulateServingGrid(const CostModel& model, const TransformerDims& dims,
+                                              const SeqLenDistribution& dist,
+                                              const std::vector<ServingScenario>& scenarios) {
+  std::vector<ServingStats> results(scenarios.size());
+  ParallelFor(static_cast<int64_t>(scenarios.size()), 1, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      const ServingScenario& sc = scenarios[static_cast<size_t>(s)];
+      Rng rng(sc.seed);
+      results[static_cast<size_t>(s)] =
+          SimulateServing(model, sc.engine, dims, dist, sc.config, rng);
+    }
+  });
+  return results;
 }
 
 }  // namespace pit

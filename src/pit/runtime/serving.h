@@ -46,6 +46,22 @@ ServingStats SimulateServing(const CostModel& model, Engine engine, const Transf
                              const SeqLenDistribution& dist, const ServingConfig& config,
                              Rng& rng);
 
+// One cell of a serving sweep: an engine under a load configuration, with its
+// own deterministic seed.
+struct ServingScenario {
+  Engine engine = Engine::kPit;
+  ServingConfig config;
+  uint64_t seed = 1;
+};
+
+// Runs every scenario independently on the ParallelFor worker pool (each with
+// its own Rng) — batch-level parallelism across the sweep grid, honoring the
+// PIT_NUM_THREADS override. Results come back in input order and are bitwise
+// identical to running each scenario sequentially, for any thread count.
+std::vector<ServingStats> SimulateServingGrid(const CostModel& model, const TransformerDims& dims,
+                                              const SeqLenDistribution& dist,
+                                              const std::vector<ServingScenario>& scenarios);
+
 }  // namespace pit
 
 #endif  // PIT_RUNTIME_SERVING_H_

@@ -1,9 +1,42 @@
 #include "pit/tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "pit/common/backend.h"
+#include "pit/common/gemm_microkernel.h"
+#include "pit/common/parallel_for.h"
+
 namespace pit {
+
+namespace {
+
+// Iterations per dispatched chunk for cheap element-wise loops; keeps the pool
+// out of the picture for small tensors.
+constexpr int64_t kElemGrain = 1 << 14;
+
+// Reference scalar matmul, ikj order. Kept verbatim as the oracle the blocked
+// backend is differential-tested against.
+void ReferenceMatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                         int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) {
+        continue;  // free win on sparse inputs; exact math is unchanged
+      }
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   PIT_CHECK_EQ(a.rank(), 2);
@@ -11,19 +44,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PIT_CHECK_EQ(k, b.dim(0));
   Tensor c({m, n});
-  // ikj loop order: streams B rows, keeps C row hot.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a.At(i, p);
-      if (av == 0.0f) {
-        continue;  // free win on sparse inputs; exact math is unchanged
-      }
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
+  if (UseBlockedBackend()) {
+    GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  } else {
+    ReferenceMatMulInto(a.data(), b.data(), c.data(), m, k, n);
   }
   return c;
 }
@@ -35,30 +59,42 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   PIT_CHECK_EQ(bs, b.dim(0));
   PIT_CHECK_EQ(k, b.dim(1));
   Tensor c({bs, m, n});
-  for (int64_t s = 0; s < bs; ++s) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c.data() + (s * m + i) * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a.At(s, i, p);
-        if (av == 0.0f) {
-          continue;
-        }
-        const float* brow = b.data() + (s * k + p) * n;
-        for (int64_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
+  if (UseBlockedBackend()) {
+    // Parallel over batch slices when there are enough of them to fill the
+    // pool; otherwise keep the batch loop serial so each slice's GEMM can use
+    // every worker (a per-slice GEMM called from a pool worker runs inline).
+    const int64_t batch_grain = bs >= NumThreads() ? 1 : bs;
+    ParallelFor(bs, batch_grain, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s) {
+        GemmF32(m, n, k, a.data() + s * m * k, k, b.data() + s * k * n, n,
+                c.data() + s * m * n, n);
       }
+    });
+  } else {
+    for (int64_t s = 0; s < bs; ++s) {
+      ReferenceMatMulInto(a.data() + s * m * k, b.data() + s * k * n, c.data() + s * m * n, m, k,
+                          n);
     }
   }
   return c;
 }
 
 Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
-  Tensor c = MatMul(a, b);
-  PIT_CHECK_EQ(bias.size(), c.dim(1));
-  for (int64_t i = 0; i < c.dim(0); ++i) {
-    for (int64_t j = 0; j < c.dim(1); ++j) {
-      c.At(i, j) += bias[j];
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PIT_CHECK_EQ(k, b.dim(0));
+  PIT_CHECK_EQ(bias.size(), n);
+  Tensor c({m, n});
+  if (UseBlockedBackend()) {
+    // Bias is fused into the GEMM epilogue: C is written exactly once.
+    GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n, bias.data());
+  } else {
+    ReferenceMatMulInto(a.data(), b.data(), c.data(), m, k, n);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        c.At(i, j) += bias[j];
+      }
     }
   }
   return c;
@@ -67,46 +103,82 @@ Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   PIT_CHECK(a.shape() == b.shape());
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    c[i] = a[i] + b[i];
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pc[i] = pa[i] + pb[i];
+    }
+  });
   return c;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   PIT_CHECK(a.shape() == b.shape());
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    c[i] = a[i] * b[i];
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pc[i] = pa[i] * pb[i];
+    }
+  });
   return c;
 }
 
 Tensor Relu(const Tensor& a) {
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    c[i] = a[i] > 0.0f ? a[i] : 0.0f;
-  }
+  const float* pa = a.data();
+  float* pc = c.data();
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pc[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+    }
+  });
   return c;
 }
 
 Tensor Gelu(const Tensor& a) {
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    const float x = a[i];
-    c[i] = 0.5f * x * (1.0f + std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
-  }
+  const float* pa = a.data();
+  float* pc = c.data();
+  // tanh is ~20x an add; use a finer grain so mid-sized tensors still fan out.
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain / 16), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float x = pa[i];
+      pc[i] = 0.5f * x * (1.0f + std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+    }
+  });
   return c;
 }
 
 Tensor Transpose2D(const Tensor& a) {
   PIT_CHECK_EQ(a.rank(), 2);
-  Tensor c({a.dim(1), a.dim(0)});
-  for (int64_t i = 0; i < a.dim(0); ++i) {
-    for (int64_t j = 0; j < a.dim(1); ++j) {
-      c.At(j, i) = a.At(i, j);
-    }
-  }
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  Tensor c({cols, rows});
+  const float* pa = a.data();
+  float* pc = c.data();
+  // 32x32 blocks: both the read and write streams stay within a few cache
+  // lines per block. Parallel over row blocks (disjoint output columns).
+  constexpr int64_t kBlk = 32;
+  const int64_t row_blocks = (rows + kBlk - 1) / kBlk;
+  ParallelFor(row_blocks,
+              GrainOrSerial(row_blocks, std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, kBlk * cols))),
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t rb = b0; rb < b1; ++rb) {
+                  const int64_t r0 = rb * kBlk, r1 = std::min(rows, r0 + kBlk);
+                  for (int64_t c0 = 0; c0 < cols; c0 += kBlk) {
+                    const int64_t c1 = std::min(cols, c0 + kBlk);
+                    for (int64_t r = r0; r < r1; ++r) {
+                      for (int64_t cc = c0; cc < c1; ++cc) {
+                        pc[cc * rows + r] = pa[r * cols + cc];
+                      }
+                    }
+                  }
+                }
+              });
   return c;
 }
 
@@ -118,26 +190,30 @@ Tensor Softmax(const Tensor& a, const Tensor* mask) {
   const int64_t m = a.dim(0), n = a.dim(1);
   Tensor c({m, n});
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  for (int64_t i = 0; i < m; ++i) {
-    float maxv = kNegInf;
-    for (int64_t j = 0; j < n; ++j) {
-      const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
-      maxv = std::max(maxv, v);
-    }
-    if (maxv == kNegInf) {
-      continue;  // fully-masked row stays all-zero
-    }
-    float sum = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
-      const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
-      c.At(i, j) = e;
-      sum += e;
-    }
-    for (int64_t j = 0; j < n; ++j) {
-      c.At(i, j) /= sum;
-    }
-  }
+  // Rows are independent; per-row math is identical to the reference loop.
+  ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  float maxv = kNegInf;
+                  for (int64_t j = 0; j < n; ++j) {
+                    const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+                    maxv = std::max(maxv, v);
+                  }
+                  if (maxv == kNegInf) {
+                    continue;  // fully-masked row stays all-zero
+                  }
+                  float sum = 0.0f;
+                  for (int64_t j = 0; j < n; ++j) {
+                    const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+                    const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
+                    c.At(i, j) = e;
+                    sum += e;
+                  }
+                  for (int64_t j = 0; j < n; ++j) {
+                    c.At(i, j) /= sum;
+                  }
+                }
+              });
   return c;
 }
 
@@ -147,45 +223,60 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
   PIT_CHECK_EQ(gamma.size(), n);
   PIT_CHECK_EQ(beta.size(), n);
   Tensor c({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    float mean = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      mean += a.At(i, j);
-    }
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float d = a.At(i, j) - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    for (int64_t j = 0; j < n; ++j) {
-      c.At(i, j) = (a.At(i, j) - mean) * inv * gamma[j] + beta[j];
-    }
-  }
+  ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  const float* arow = a.data() + i * n;
+                  float* crow = c.data() + i * n;
+                  float mean = 0.0f;
+                  for (int64_t j = 0; j < n; ++j) {
+                    mean += arow[j];
+                  }
+                  mean /= static_cast<float>(n);
+                  float var = 0.0f;
+                  for (int64_t j = 0; j < n; ++j) {
+                    const float d = arow[j] - mean;
+                    var += d * d;
+                  }
+                  var /= static_cast<float>(n);
+                  const float inv = 1.0f / std::sqrt(var + eps);
+                  for (int64_t j = 0; j < n; ++j) {
+                    crow[j] = (arow[j] - mean) * inv * gamma[j] + beta[j];
+                  }
+                }
+              });
   return c;
 }
 
 Tensor ReduceSumAxis1(const Tensor& a) {
   PIT_CHECK_EQ(a.rank(), 2);
-  Tensor c({a.dim(0)});
-  for (int64_t i = 0; i < a.dim(0); ++i) {
-    float s = 0.0f;
-    for (int64_t j = 0; j < a.dim(1); ++j) {
-      s += a.At(i, j);
-    }
-    c[i] = s;
-  }
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor c({m});
+  ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, n))),
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  const float* arow = a.data() + i * n;
+                  float s = 0.0f;
+                  for (int64_t j = 0; j < n; ++j) {
+                    s += arow[j];
+                  }
+                  c[i] = s;
+                }
+              });
   return c;
 }
 
 Tensor ApplyMask(const Tensor& a, const Tensor& mask) {
   PIT_CHECK(a.shape() == mask.shape());
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    c[i] = mask[i] != 0.0f ? a[i] : 0.0f;
-  }
+  const float* pa = a.data();
+  const float* pm = mask.data();
+  float* pc = c.data();
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pc[i] = pm[i] != 0.0f ? pa[i] : 0.0f;
+    }
+  });
   return c;
 }
 
@@ -205,23 +296,28 @@ Tensor Conv2D(const Tensor& input, const Tensor& weight) {
   auto w_at = [&](int64_t ff, int64_t ch, int64_t y, int64_t x) {
     return weight[((ff * c + ch) * kh + y) * kw + x];
   };
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t ff = 0; ff < f; ++ff) {
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          float acc = 0.0f;
-          for (int64_t ch = 0; ch < c; ++ch) {
-            for (int64_t i = 0; i < kh; ++i) {
-              for (int64_t j = 0; j < kw; ++j) {
-                acc += in_at(b, ch, y + i, x + j) * w_at(ff, ch, i, j);
-              }
-            }
-          }
-          out[((b * f + ff) * oh + y) * ow + x] = acc;
-        }
-      }
-    }
-  }
+  // Parallel over (batch, filter) pairs — disjoint output planes.
+  const int64_t work_per_plane = oh * ow * c * kh * kw;
+  ParallelFor(n * f,
+              GrainOrSerial(n * f, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, work_per_plane))),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t bf = lo; bf < hi; ++bf) {
+                  const int64_t b = bf / f, ff = bf % f;
+                  for (int64_t y = 0; y < oh; ++y) {
+                    for (int64_t x = 0; x < ow; ++x) {
+                      float acc = 0.0f;
+                      for (int64_t ch = 0; ch < c; ++ch) {
+                        for (int64_t i = 0; i < kh; ++i) {
+                          for (int64_t j = 0; j < kw; ++j) {
+                            acc += in_at(b, ch, y + i, x + j) * w_at(ff, ch, i, j);
+                          }
+                        }
+                      }
+                      out[((b * f + ff) * oh + y) * ow + x] = acc;
+                    }
+                  }
+                }
+              });
   return out;
 }
 

@@ -1,0 +1,270 @@
+// Backend equivalence tests: every blocked/parallel kernel is differential-
+// tested against the scalar ReferenceBackend, across the shapes that stress
+// the tiling (1xN, Nx1, non-multiples of the register tile, empty and
+// full-dense micro-tile indexes), plus bitwise determinism across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
+#include "pit/core/batched_kernel.h"
+#include "pit/core/sparse_kernel.h"
+#include "pit/core/sread_swrite.h"
+#include "pit/runtime/serving.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.bytes())) == 0;
+}
+
+struct MatmulShape {
+  int64_t m, k, n;
+};
+
+const std::vector<MatmulShape>& OddShapes() {
+  // 1xN, Nx1, scalar-ish, non-multiples of the 4x16 register tile, exact
+  // multiples, and a k=0 degenerate.
+  static const std::vector<MatmulShape> shapes = {
+      {1, 37, 53},  {41, 29, 1}, {1, 1, 1},   {17, 33, 29}, {64, 64, 64},
+      {5, 300, 2},  {3, 1, 19},  {128, 7, 31}, {65, 128, 47}, {4, 0, 9},
+  };
+  return shapes;
+}
+
+TEST(BackendTest, MatMulMatchesReferenceOnOddShapes) {
+  for (const auto& s : OddShapes()) {
+    Rng rng(100 + s.m + s.k + s.n);
+    Tensor a = Tensor::Random({s.m, s.k}, rng);
+    Tensor b = Tensor::Random({s.k, s.n}, rng);
+    Tensor blocked, reference;
+    {
+      ScopedBackend guard(ComputeBackend::kBlocked);
+      blocked = MatMul(a, b);
+    }
+    {
+      ScopedBackend guard(ComputeBackend::kReference);
+      reference = MatMul(a, b);
+    }
+    EXPECT_TRUE(AllClose(blocked, reference))
+        << "shape " << s.m << "x" << s.k << "x" << s.n
+        << " maxdiff " << MaxAbsDiff(blocked, reference);
+  }
+}
+
+TEST(BackendTest, MatMulBiasFusedEpilogueMatchesReference) {
+  for (const auto& s : OddShapes()) {
+    Rng rng(200 + s.m + s.k + s.n);
+    Tensor a = Tensor::Random({s.m, s.k}, rng);
+    Tensor b = Tensor::Random({s.k, s.n}, rng);
+    Tensor bias = Tensor::Random({s.n}, rng);
+    Tensor blocked, reference;
+    {
+      ScopedBackend guard(ComputeBackend::kBlocked);
+      blocked = MatMulBias(a, b, bias);
+    }
+    {
+      ScopedBackend guard(ComputeBackend::kReference);
+      reference = MatMulBias(a, b, bias);
+    }
+    EXPECT_TRUE(AllClose(blocked, reference))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BackendTest, BatchMatMulMatchesReference) {
+  Rng rng(7);
+  Tensor a = Tensor::Random({5, 33, 29}, rng);
+  Tensor b = Tensor::Random({5, 29, 17}, rng);
+  Tensor blocked, reference;
+  {
+    ScopedBackend guard(ComputeBackend::kBlocked);
+    blocked = BatchMatMul(a, b);
+  }
+  {
+    ScopedBackend guard(ComputeBackend::kReference);
+    reference = BatchMatMul(a, b);
+  }
+  EXPECT_TRUE(AllClose(blocked, reference));
+}
+
+TEST(BackendTest, MatMulBitwiseIdenticalAcrossThreadCounts) {
+  ScopedBackend guard(ComputeBackend::kBlocked);
+  Rng rng(11);
+  Tensor a = Tensor::Random({130, 70}, rng);
+  Tensor b = Tensor::Random({70, 90}, rng);
+  Tensor baseline;
+  {
+    ScopedNumThreads one(1);
+    baseline = MatMul(a, b);
+  }
+  for (int threads : {2, 3, 5, 8}) {
+    ScopedNumThreads t(threads);
+    Tensor got = MatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(got, baseline)) << "threads=" << threads;
+    Tensor repeat = MatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(repeat, baseline)) << "repeat, threads=" << threads;
+  }
+}
+
+TEST(BackendTest, DetectorBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  Tensor t = Tensor::RandomSparse({97, 61}, 0.85, rng);
+  SparsityDetector detector(/*shuffle_seed=*/5);
+  std::vector<int64_t> baseline;
+  {
+    ScopedNumThreads one(1);
+    baseline = detector.Detect(t, MicroTileShape{4, 4}).offsets;
+  }
+  for (int threads : {2, 4, 9}) {
+    ScopedNumThreads tc(threads);
+    EXPECT_EQ(detector.Detect(t, MicroTileShape{4, 4}).offsets, baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(BackendTest, SReadSWriteMicroTilesEmptyIndex) {
+  Tensor zeros = Tensor::Zeros({24, 18});
+  SparsityDetector detector;
+  MicroTileIndex index = detector.Detect(zeros, MicroTileShape{4, 6});
+  EXPECT_EQ(index.NumNonZero(), 0);
+  Tensor packed = SReadMicroTiles(zeros, index);
+  EXPECT_EQ(packed.dim(0), 0);
+  Tensor dst = Tensor::Zeros({24, 18});
+  SWriteMicroTiles(packed, index, &dst);  // no-op, must not crash
+  EXPECT_EQ(dst.CountNonZero(), 0);
+}
+
+TEST(BackendTest, SReadSWriteMicroTilesFullDenseIndex) {
+  Rng rng(17);
+  Tensor t = Tensor::Random({20, 30}, rng, 0.5f, 1.5f);  // strictly nonzero
+  SparsityDetector detector;
+  for (const MicroTileShape micro :
+       {MicroTileShape{4, 6}, MicroTileShape{3, 7}, MicroTileShape{1, 30}, MicroTileShape{20, 1}}) {
+    MicroTileIndex index = detector.Detect(t, micro);
+    EXPECT_EQ(index.NumNonZero(), index.TotalMicroTiles()) << micro.ToString();
+    Tensor dst = Tensor::Zeros({20, 30});
+    SWriteMicroTiles(SReadMicroTiles(t, index), index, &dst);
+    EXPECT_TRUE(BitwiseEqual(dst, t)) << micro.ToString();
+  }
+}
+
+TEST(BackendTest, SReadMicroTilesBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(19);
+  Tensor t = Tensor::RandomSparse({50, 46}, 0.5, rng);
+  SparsityDetector detector(/*shuffle_seed=*/3);
+  MicroTileIndex index = detector.Detect(t, MicroTileShape{4, 4});
+  Tensor baseline;
+  {
+    ScopedNumThreads one(1);
+    baseline = SReadMicroTiles(t, index);
+  }
+  for (int threads : {2, 6}) {
+    ScopedNumThreads tc(threads);
+    EXPECT_TRUE(BitwiseEqual(SReadMicroTiles(t, index), baseline)) << "threads=" << threads;
+  }
+}
+
+TEST(BackendTest, PitMatmulsMatchReferenceBackend) {
+  Rng rng(23);
+  // 25% row density: rows are nonzero with probability 0.25.
+  Tensor a = Tensor::RandomBlockSparse(96, 64, 1, 64, 0.75, rng);
+  Tensor b = Tensor::Random({64, 48}, rng);
+  SparsityDetector detector;
+  Tensor blocked_row, blocked_k, blocked_micro, ref_row, ref_k, ref_micro;
+  {
+    ScopedBackend guard(ComputeBackend::kBlocked);
+    blocked_row = PitRowGatherMatmul(a, b, detector);
+    blocked_k = PitKGatherMatmul(a, b, 32, detector);
+    blocked_micro = PitMicroTileMatmul(a, b, MicroTileShape{8, 8}, detector);
+  }
+  {
+    ScopedBackend guard(ComputeBackend::kReference);
+    ref_row = PitRowGatherMatmul(a, b, detector);
+    ref_k = PitKGatherMatmul(a, b, 32, detector);
+    ref_micro = PitMicroTileMatmul(a, b, MicroTileShape{8, 8}, detector);
+  }
+  EXPECT_TRUE(AllClose(blocked_row, ref_row));
+  EXPECT_TRUE(AllClose(blocked_k, ref_k));
+  EXPECT_TRUE(AllClose(blocked_micro, ref_micro));
+}
+
+TEST(BackendTest, BatchRowGatherMatchesReferenceAndIsDeterministic) {
+  Rng rng(29);
+  Tensor a = Tensor::Random({4, 22, 18}, rng);
+  // Zero out some rows to create gather opportunities.
+  for (int64_t s = 0; s < 4; ++s) {
+    for (int64_t i = 0; i < 22; i += 3) {
+      for (int64_t p = 0; p < 18; ++p) {
+        a.At(s, i, p) = 0.0f;
+      }
+    }
+  }
+  Tensor b = Tensor::Random({4, 18, 26}, rng);
+  SparsityDetector detector;
+  Tensor blocked, reference;
+  {
+    ScopedBackend guard(ComputeBackend::kBlocked);
+    blocked = PitBatchRowGatherMatmul(a, b, detector);
+    ScopedNumThreads one(1);
+    Tensor single = PitBatchRowGatherMatmul(a, b, detector);
+    EXPECT_TRUE(BitwiseEqual(blocked, single));
+  }
+  {
+    ScopedBackend guard(ComputeBackend::kReference);
+    reference = PitBatchRowGatherMatmul(a, b, detector);
+  }
+  EXPECT_TRUE(AllClose(blocked, reference));
+}
+
+TEST(BackendTest, ElementwiseOpsBitwiseStableAcrossThreadCounts) {
+  Rng rng(31);
+  Tensor a = Tensor::Random({333, 77}, rng);
+  Tensor b = Tensor::Random({333, 77}, rng);
+  Tensor add1, mul1, gelu1;
+  {
+    ScopedNumThreads one(1);
+    add1 = Add(a, b);
+    mul1 = Mul(a, b);
+    gelu1 = Gelu(a);
+  }
+  {
+    ScopedNumThreads many(7);
+    EXPECT_TRUE(BitwiseEqual(Add(a, b), add1));
+    EXPECT_TRUE(BitwiseEqual(Mul(a, b), mul1));
+    EXPECT_TRUE(BitwiseEqual(Gelu(a), gelu1));
+  }
+}
+
+TEST(BackendTest, ServingGridMatchesIndividualRuns) {
+  CostModel model(V100());
+  std::vector<ServingScenario> grid;
+  for (Engine e : {Engine::kPyTorch, Engine::kPit}) {
+    ServingScenario sc;
+    sc.engine = e;
+    sc.config.num_requests = 120;
+    sc.config.arrival_rate_rps = 200.0;
+    sc.seed = 42;
+    grid.push_back(sc);
+  }
+  const auto dist = DatasetSeqLens("mnli");
+  std::vector<ServingStats> parallel = SimulateServingGrid(model, BertBase(), dist, grid);
+  ASSERT_EQ(parallel.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    Rng rng(grid[i].seed);
+    ServingStats expected =
+        SimulateServing(model, grid[i].engine, BertBase(), dist, grid[i].config, rng);
+    EXPECT_DOUBLE_EQ(parallel[i].p99_latency_us, expected.p99_latency_us);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_latency_us, expected.mean_latency_us);
+    EXPECT_EQ(parallel[i].batches, expected.batches);
+  }
+}
+
+}  // namespace
+}  // namespace pit
