@@ -5,8 +5,10 @@
 //
 // Acceptance targets (4-core runner): >= 4x on dense 512x512x512 MatMul and
 // >= 2x on PitRowGatherMatmul at 25% row density.
+#include <cmath>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "pit/common/backend.h"
@@ -39,6 +41,32 @@ Case Measure(const std::string& name, Fn&& fn, int reps) {
     c.blocked_us = bench::TimeUs(fn, reps);
   }
   return c;
+}
+
+// Measured parallel speedup of a trivially parallel compute loop. Containers
+// routinely report more hardware threads than the cgroup quota actually
+// provides; memory-parallel assertions are only meaningful when the pool
+// delivers real concurrency, so the detector check below is gated on this.
+double ParallelProbeSpeedup() {
+  if (NumThreads() <= 1) {
+    return 1.0;
+  }
+  std::vector<float> buf(1 << 21);
+  auto work = [&] {
+    float* p = buf.data();
+    ParallelFor(static_cast<int64_t>(buf.size()), 1 << 14, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        p[i] = std::sqrt(static_cast<float>(i) + p[i]);
+      }
+    });
+  };
+  const double multi = bench::TimeUs(work, 3);
+  double single;
+  {
+    ScopedNumThreads one(1);
+    single = bench::TimeUs(work, 3);
+  }
+  return multi > 0.0 ? single / multi : 1.0;
 }
 
 }  // namespace
@@ -111,5 +139,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  // The detector scan must genuinely win under the blocked backend wherever
+  // the pool has real cores to run on (the PR 1 result was flat because the
+  // scan was a branchy scalar loop and the grain starved the workers).
+  const double probe = ParallelProbeSpeedup();
+  for (const Case& c : cases) {
+    if (c.name.rfind("detector_scan", 0) != 0) {
+      continue;
+    }
+    if (NumThreads() > 1 && probe > 1.3) {
+      if (c.Speedup() <= 1.2) {
+        std::fprintf(stderr,
+                     "FAIL %s: blocked speedup %.2fx <= 1.2x with %d effective workers "
+                     "(parallel probe %.2fx)\n",
+                     c.name.c_str(), c.Speedup(), NumThreads(), probe);
+        return 1;
+      }
+      std::printf("%s speedup %.2fx > 1.2x (probe %.2fx) — OK\n", c.name.c_str(), c.Speedup(),
+                  probe);
+    } else {
+      std::printf("%s: parallel assertion skipped (threads=%d, probe %.2fx — no effective "
+                  "concurrency in this environment)\n",
+                  c.name.c_str(), NumThreads(), probe);
+    }
+  }
   return 0;
 }

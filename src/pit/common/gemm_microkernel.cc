@@ -1,6 +1,9 @@
 #include "pit/common/gemm_microkernel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
 
 #include "pit/common/parallel_for.h"
 
@@ -10,6 +13,43 @@ namespace {
 constexpr int64_t kMr = 4;    // register-tile rows
 constexpr int64_t kNr = 16;   // register-tile cols (2 cache lines)
 constexpr int64_t kKc = 256;  // k-panel depth: panel of B stays hot in L2
+
+std::atomic<bool> g_pack_b{true};
+
+// A chunk must reuse the packed panel across at least this many 4-row blocks
+// before the pack pass (one read + one write of the panel) pays for itself.
+constexpr int64_t kMinRowBlocksToPack = 4;
+
+// Pack only when B no longer fits in a typical L2: below this the strided
+// rows stay resident anyway and the pack pass is pure overhead.
+constexpr int64_t kMinBBytesToPack = 2ll << 20;
+
+// Cap on the per-worker thread_local pack scratch (one k-panel across the
+// full width of B): extremely wide GEMMs fall back to strided access instead
+// of pinning tens of MiB per pool thread for the process lifetime.
+constexpr int64_t kMaxPackScratchBytes = 8ll << 20;
+
+// Packs B[p0:p1, 0:n] into `out` as consecutive 16-wide tiles, each tile laid
+// out p-major with dense kNr rows (ragged last tile zero-padded). Tile jt
+// starts at out + jt * (p1 - p0) * kNr.
+void PackBPanel(const float* b, int64_t ldb, int64_t n, int64_t p0, int64_t p1, float* out) {
+  const int64_t rows = p1 - p0;
+  for (int64_t j = 0, jt = 0; j < n; j += kNr, ++jt) {
+    const int64_t nr = std::min(kNr, n - j);
+    float* dst = out + jt * rows * kNr;
+    const float* src = b + p0 * ldb + j;
+    if (nr == kNr) {
+      for (int64_t p = 0; p < rows; ++p) {
+        std::memcpy(dst + p * kNr, src + p * ldb, static_cast<size_t>(kNr) * sizeof(float));
+      }
+    } else {
+      for (int64_t p = 0; p < rows; ++p) {
+        std::memcpy(dst + p * kNr, src + p * ldb, static_cast<size_t>(nr) * sizeof(float));
+        std::memset(dst + p * kNr + nr, 0, static_cast<size_t>(kNr - nr) * sizeof(float));
+      }
+    }
+  }
+}
 
 // Full 4x16 register tile: C[0:4, 0:16] += A[0:4, p0:p1] * B[p0:p1, 0:16].
 // `a` is the tile's first A row, `b`/`c` are offset to the tile's first
@@ -96,18 +136,45 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
   const int64_t flops_per_block = 2 * kMr * n * k;
   const int64_t grain = (1 << 20) / std::max<int64_t>(1, flops_per_block) + 1;
   ParallelFor(row_blocks, grain, [&](int64_t blk0, int64_t blk1) {
+    // Pack the k-panel of B once per chunk when enough row blocks reuse it.
+    // The packed tiles are read in the exact same (p, j) order as the strided
+    // original, so packing never changes the floating-point result.
+    const int64_t n_tiles = (n + kNr - 1) / kNr;
+    const int64_t scratch_elems = kKc * n_tiles * kNr;
+    const bool pack = g_pack_b.load(std::memory_order_relaxed) &&
+                      blk1 - blk0 >= kMinRowBlocksToPack &&
+                      k * n * static_cast<int64_t>(sizeof(float)) >= kMinBBytesToPack &&
+                      scratch_elems * static_cast<int64_t>(sizeof(float)) <= kMaxPackScratchBytes;
+    thread_local std::vector<float> bpack;
+    if (pack && static_cast<int64_t>(bpack.size()) < scratch_elems) {
+      bpack.resize(static_cast<size_t>(scratch_elems));
+    }
     for (int64_t pc = 0; pc < k; pc += kKc) {  // k-panels: B panel reused across row blocks
       const int64_t p1 = std::min(k, pc + kKc);
       const float* panel_bias = (p1 == k) ? bias : nullptr;  // epilogue on final panel only
+      if (pack) {
+        PackBPanel(b, ldb, n, pc, p1, bpack.data());
+      }
+      const int64_t panel_rows = p1 - pc;
       for (int64_t blk = blk0; blk < blk1; ++blk) {
         const int64_t i0 = blk * kMr;
         const int64_t mr = std::min(kMr, m - i0);
         const float* atile = a + i0 * lda;
         float* ctile = c + i0 * ldc;
-        for (int64_t j = 0; j < n; j += kNr) {
+        for (int64_t j = 0, jt = 0; j < n; j += kNr, ++jt) {
           const int64_t nr = std::min(kNr, n - j);
           const float* bias_j = panel_bias ? panel_bias + j : nullptr;
-          if (mr == kMr && nr == kNr) {
+          if (pack) {
+            // Packed tile rows are [0, panel_rows); rebase the A pointer by pc
+            // so the kernels' shared p index walks both operands in lockstep.
+            const float* btile = bpack.data() + jt * panel_rows * kNr;
+            if (mr == kMr && nr == kNr) {
+              Kernel4x16(atile + pc, lda, btile, kNr, ctile + j, ldc, 0, panel_rows, bias_j);
+            } else {
+              KernelEdge(atile + pc, lda, btile, kNr, ctile + j, ldc, mr, nr, 0, panel_rows,
+                         bias_j);
+            }
+          } else if (mr == kMr && nr == kNr) {
             Kernel4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j);
           } else {
             KernelEdge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j);
@@ -117,5 +184,9 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
     }
   });
 }
+
+bool GemmPackBEnabled() { return g_pack_b.load(std::memory_order_relaxed); }
+
+void SetGemmPackB(bool enabled) { g_pack_b.store(enabled, std::memory_order_relaxed); }
 
 }  // namespace pit

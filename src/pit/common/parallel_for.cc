@@ -162,8 +162,10 @@ void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn) {
   Pool::Get().Run(fn, n, num_chunks, num_chunks - 1);
 }
 
-void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
-  ParallelForChunks(n, ParallelChunkCount(n, grain),
+bool ParallelRegionActive() { return tls_in_parallel; }
+
+void ParallelForRange(int64_t n, int num_chunks, const RangeFn& fn) {
+  ParallelForChunks(n, num_chunks,
                     [&fn](int /*chunk*/, int64_t begin, int64_t end) { fn(begin, end); });
 }
 

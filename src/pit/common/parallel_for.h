@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace pit {
@@ -44,6 +45,11 @@ using RangeFn = std::function<void(int64_t begin, int64_t end)>;
 // that accumulate into per-chunk buffers merged in chunk order afterwards.
 using ChunkFn = std::function<void(int chunk, int64_t begin, int64_t end)>;
 
+// True while the calling thread is already executing inside a ParallelFor
+// chunk (nested loops run inline). Exposed so the header-level ParallelFor
+// shim can take the serial path without constructing a std::function.
+bool ParallelRegionActive();
+
 // Chunk count for an n-iteration loop with the given grain:
 // min(NumThreads(), ceil(n / grain)), at least 1. Size per-chunk buffers with
 // this and pass the value to ParallelForChunks — passing it (rather than
@@ -52,11 +58,29 @@ using ChunkFn = std::function<void(int chunk, int64_t begin, int64_t end)>;
 // concurrently.
 int ParallelChunkCount(int64_t n, int64_t grain);
 
+// Out-of-line pool dispatch behind ParallelFor; call ParallelFor instead.
+void ParallelForRange(int64_t n, int num_chunks, const RangeFn& fn);
+
 // Splits [0, n) into contiguous chunks and runs them on the pool (the calling
 // thread participates). `grain` is the minimum number of iterations worth
 // dispatching to a thread; loops smaller than one grain run inline on the
 // caller. Blocks until every chunk finished.
-void ParallelFor(int64_t n, int64_t grain, const RangeFn& fn);
+//
+// Template shim: the serial cases (single chunk, nested call, one worker) run
+// the callable directly, so small planned-executor steps dispatch with zero
+// heap allocations — only a genuine fan-out pays the std::function wrap.
+template <typename Fn>
+void ParallelFor(int64_t n, int64_t grain, Fn&& fn) {
+  if (n <= 0) {
+    return;
+  }
+  const int num_chunks = ParallelChunkCount(n, grain);
+  if (num_chunks <= 1 || ParallelRegionActive()) {
+    fn(static_cast<int64_t>(0), n);
+    return;
+  }
+  ParallelForRange(n, num_chunks, RangeFn(std::forward<Fn>(fn)));
+}
 
 // As ParallelFor but with explicit chunking: runs exactly `num_chunks`
 // contiguous chunks (or a single inline chunk 0 when nested/degenerate) and

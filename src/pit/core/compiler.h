@@ -25,6 +25,27 @@ struct PitExecution {
   bool cache_hit = false;   // kernel came from the JIT cache
 };
 
+// As PitExecution but for the view form, which writes into caller storage
+// instead of materializing an output tensor.
+struct PitDispatch {
+  PitMatmulPlan plan;
+  bool cache_hit = false;
+};
+
+// Per-call-site kernel slot for planned execution. An ExecutionPlan owns one
+// handle per PIT dispatch step; when the step's shape and sparsity bucket
+// match the handle (and no periodic resample is due) the dispatch reuses the
+// kernel selected at the same site without touching the JIT cache map — the
+// compiler is hooked into the plan rather than consulted per call.
+struct PitKernelHandle {
+  bool valid = false;
+  const void* compiler = nullptr;  // the PitCompiler that filled the handle
+  int64_t m = 0, k = 0, n = 0;
+  int sparsity_bucket = -1;  // 5%-step bucket, same granularity as the cache key
+  int64_t generation = -1;   // compiler's reselection generation at fill time
+  SelectionResult selection;
+};
+
 class PitCompiler {
  public:
   explicit PitCompiler(DeviceSpec device, Precision precision = Precision::kFp32);
@@ -32,6 +53,15 @@ class PitCompiler {
   // C = A * B with dynamically sparse A: detect -> select -> execute.
   // Selection uses the actual sparsity of `a` as its (single) online sample.
   PitExecution SparseMatmul(const Tensor& a, const Tensor& b);
+
+  // View form behind SparseMatmul and the planned executor's PIT steps:
+  // writes C into `out` (typically an arena slice). `handle`, when given, is
+  // the call site's cached kernel: a matching handle skips the cache map, a
+  // stale or empty one falls through to the exact SparseMatmul selection path
+  // (shared map, shared counters, periodic resampling included) and is
+  // refreshed. Outputs are bitwise identical with or without a handle.
+  PitDispatch SparseMatmulInto(ConstTensorView a, ConstTensorView b, TensorView out,
+                               PitKernelHandle* handle = nullptr);
 
   // Pure planning entry for analytic patterns (benchmarks).
   SelectionResult Plan(const SparsityPattern& pattern, int64_t m, int64_t k, int64_t n,
@@ -59,6 +89,10 @@ class PitCompiler {
   CostModel model_;
   TileDatabase db_;
   std::map<CacheKey, SelectionResult> cache_;
+  // Bumped whenever a resample replaces a cached selection; handles filled
+  // under an older generation fall back to the map, so a plan site always
+  // dispatches exactly what the eager (map-only) path would.
+  int64_t selection_generation_ = 0;
   int64_t kernels_compiled_ = 0;
   int64_t cache_hits_ = 0;
   int64_t resample_every_ = 0;

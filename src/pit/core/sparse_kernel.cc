@@ -69,10 +69,13 @@ PitMatmulPlan PlanSparseMatmul(const CostModel& model, const PitRule& rule, int6
   return plan;
 }
 
-Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b, const SparsityDetector& detector) {
+void PitRowGatherMatmulInto(ConstTensorView a, ConstTensorView b, TensorView c,
+                            const SparsityDetector& detector) {
   PIT_CHECK_EQ(a.rank(), 2);
   PIT_CHECK_EQ(b.rank(), 2);
   PIT_CHECK_EQ(a.dim(1), b.dim(0));
+  PIT_CHECK_EQ(c.dim(0), a.dim(0));
+  PIT_CHECK_EQ(c.dim(1), b.dim(1));
   // Online detection with micro-tile [1, K] == whole rows.
   MicroTileIndex index = detector.Detect(a, MicroTileShape{1, a.dim(1)});
   // The index is unordered; SRead consumes it as-is (PIT-axis m permits any
@@ -83,20 +86,28 @@ Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b, const SparsityDetect
     rows.push_back(index.BlockRowOf(off));
   }
   Tensor packed_a = SReadRows(a, rows);
-  Tensor packed_c = MatMul(packed_a, b);
+  Tensor packed_c({static_cast<int64_t>(rows.size()), b.dim(1)});
+  MatMulInto(packed_a, b, packed_c);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);  // zero rows of A stay zero in C
+  SWriteRows(packed_c, rows, c);
+}
+
+Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b, const SparsityDetector& detector) {
   Tensor c({a.dim(0), b.dim(1)});
-  SWriteRows(packed_c, rows, &c);
+  PitRowGatherMatmulInto(a, b, c, detector);
   return c;
 }
 
-Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
-                        const SparsityDetector& detector) {
+void PitKGatherMatmulInto(ConstTensorView a, ConstTensorView b, int64_t block_m, TensorView c,
+                          const SparsityDetector& detector) {
   PIT_CHECK_EQ(a.rank(), 2);
   PIT_CHECK_EQ(b.rank(), 2);
   PIT_CHECK_EQ(a.dim(1), b.dim(0));
   PIT_CHECK_GT(block_m, 0);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);  // all-zero blocks stay zero
   // Row blocks are independent (disjoint slices of C): run them on the pool.
   // Inner kernels detect they are already inside a parallel region and run
   // inline, so the parallelism does not nest runaway.
@@ -127,6 +138,12 @@ Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
       }
     }
   });
+}
+
+Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
+                        const SparsityDetector& detector) {
+  Tensor c({a.dim(0), b.dim(1)});
+  PitKGatherMatmulInto(a, b, block_m, c, detector);
   return c;
 }
 

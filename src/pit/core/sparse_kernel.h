@@ -60,6 +60,14 @@ Tensor PitRowGatherMatmul(const Tensor& a, const Tensor& b,
 Tensor PitKGatherMatmul(const Tensor& a, const Tensor& b, int64_t block_m,
                         const SparsityDetector& detector = SparsityDetector());
 
+// View forms of the two planned-dispatch kernels: identical math, but the
+// caller owns the output storage (typically an execution-arena slice). The
+// output is fully defined — uncovered rows/blocks are written as zeros.
+void PitRowGatherMatmulInto(ConstTensorView a, ConstTensorView b, TensorView c,
+                            const SparsityDetector& detector = SparsityDetector());
+void PitKGatherMatmulInto(ConstTensorView a, ConstTensorView b, int64_t block_m, TensorView c,
+                          const SparsityDetector& detector = SparsityDetector());
+
 // General 2-D micro-tile kernel (the literal Fig. 7 structure): detects
 // nonzero micro-tiles of shape `micro` in A, and per block row gathers the
 // covered k-ranges of A and B into packed operands before one dense matmul

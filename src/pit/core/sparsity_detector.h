@@ -53,6 +53,8 @@ class SparsityDetector {
   // Scans `tensor` (2-D) and returns the unordered nonzero micro-tile index.
   // Dimensions that do not divide evenly are handled by ragged edge tiles.
   MicroTileIndex Detect(const Tensor& tensor, const MicroTileShape& micro_tile) const;
+  // View form: lets the planned executor detect directly on an arena slice.
+  MicroTileIndex Detect(ConstTensorView tensor, const MicroTileShape& micro_tile) const;
 
   // As Detect, but additionally sorts offsets — the ablation arm showing what
   // ordered construction (CSR-style) would force us to pay.

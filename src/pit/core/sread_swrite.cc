@@ -20,7 +20,7 @@ int64_t RowGrain(int64_t cols) {
 
 }  // namespace
 
-Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids) {
+Tensor SReadRows(ConstTensorView src, std::span<const int64_t> row_ids) {
   PIT_CHECK_EQ(src.rank(), 2);
   const int64_t cols = src.dim(1);
   const int64_t n = static_cast<int64_t>(row_ids.size());
@@ -38,7 +38,11 @@ Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids) {
   return out;
 }
 
-Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids) {
+Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids) {
+  return SReadRows(ConstTensorView(src), row_ids);
+}
+
+Tensor SReadCols(ConstTensorView src, std::span<const int64_t> col_ids) {
   PIT_CHECK_EQ(src.rank(), 2);
   const int64_t rows = src.dim(0), cols = src.dim(1);
   const int64_t n = static_cast<int64_t>(col_ids.size());
@@ -59,13 +63,16 @@ Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids) {
   return out;
 }
 
-void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst) {
-  PIT_CHECK(dst != nullptr);
+Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids) {
+  return SReadCols(ConstTensorView(src), col_ids);
+}
+
+void SWriteRows(ConstTensorView packed, std::span<const int64_t> row_ids, TensorView dst) {
   PIT_CHECK_EQ(packed.rank(), 2);
-  PIT_CHECK_EQ(dst->rank(), 2);
+  PIT_CHECK_EQ(dst.rank(), 2);
   PIT_CHECK_EQ(packed.dim(0), static_cast<int64_t>(row_ids.size()));
-  PIT_CHECK_EQ(packed.dim(1), dst->dim(1));
-  const int64_t cols = dst->dim(1);
+  PIT_CHECK_EQ(packed.dim(1), dst.dim(1));
+  const int64_t cols = dst.dim(1);
   // row_ids are distinct (they come from a micro-tile index), so the scatter
   // targets are disjoint and the chunks race-free.
   const int64_t n_ids = static_cast<int64_t>(row_ids.size());
@@ -73,11 +80,16 @@ void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* 
     for (int64_t i = i0; i < i1; ++i) {
       const int64_t r = row_ids[static_cast<size_t>(i)];
       PIT_CHECK_GE(r, 0);
-      PIT_CHECK_LT(r, dst->dim(0));
-      std::memcpy(dst->data() + r * cols, packed.data() + i * cols,
+      PIT_CHECK_LT(r, dst.dim(0));
+      std::memcpy(dst.data() + r * cols, packed.data() + i * cols,
                   static_cast<size_t>(cols) * sizeof(float));
     }
   });
+}
+
+void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst) {
+  PIT_CHECK(dst != nullptr);
+  SWriteRows(ConstTensorView(packed), row_ids, TensorView(*dst));
 }
 
 void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst) {

@@ -24,14 +24,18 @@
 namespace pit {
 
 // Gathers rows `row_ids` of `src` into a packed [row_ids.size(), cols] tensor,
-// in index order.
+// in index order. The view form reads straight out of an arena slice.
+Tensor SReadRows(ConstTensorView src, std::span<const int64_t> row_ids);
 Tensor SReadRows(const Tensor& src, std::span<const int64_t> row_ids);
 
 // Gathers columns `col_ids` of `src` into a packed [rows, col_ids.size()]
 // tensor, in index order.
+Tensor SReadCols(ConstTensorView src, std::span<const int64_t> col_ids);
 Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids);
 
-// Scatters the rows of `packed` back to rows `row_ids` of `dst`.
+// Scatters the rows of `packed` back to rows `row_ids` of `dst`. The view
+// form scatters into an arena slice without materializing a Tensor.
+void SWriteRows(ConstTensorView packed, std::span<const int64_t> row_ids, TensorView dst);
 void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst);
 
 // Accumulating scatter of columns (dst[:, col_ids[i]] += packed[:, i]).

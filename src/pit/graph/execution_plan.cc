@@ -1,0 +1,343 @@
+#include "pit/graph/execution_plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "pit/common/check.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+
+namespace {
+
+// Arena offsets are aligned to 16 floats (one cache line) so reused slots
+// never split a vector register's load across two lines.
+constexpr int64_t kAlignElems = 16;
+
+int64_t AlignUp(int64_t elems) {
+  return (elems + kAlignElems - 1) / kAlignElems * kAlignElems;
+}
+
+// Best-fit free-list planner with coalescing. Works entirely at compile
+// time: the plan's arena is sized to the high-water extent once, and
+// execution never allocates.
+class ArenaPlanner {
+ public:
+  int64_t Allocate(int64_t elems) {
+    const int64_t need = AlignUp(std::max<int64_t>(elems, 1));
+    // Best-fit: smallest free block that holds `need`.
+    auto best = free_.end();
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second >= need && (best == free_.end() || it->second < best->second)) {
+        best = it;
+      }
+    }
+    int64_t offset;
+    if (best != free_.end()) {
+      offset = best->first;
+      const int64_t leftover = best->second - need;
+      free_.erase(best);
+      if (leftover > 0) {
+        free_.emplace(offset + need, leftover);
+      }
+    } else {
+      offset = extent_;
+      extent_ += need;
+    }
+    live_.emplace(offset, need);
+    return offset;
+  }
+
+  void Free(int64_t offset) {
+    auto it = live_.find(offset);
+    PIT_CHECK(it != live_.end()) << "double free at arena offset " << offset;
+    int64_t size = it->second;
+    live_.erase(it);
+    // Coalesce with the next and previous free blocks.
+    auto next = free_.lower_bound(offset);
+    if (next != free_.end() && offset + size == next->first) {
+      size += next->second;
+      next = free_.erase(next);
+    }
+    if (next != free_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second == offset) {
+        prev->second += size;
+        return;
+      }
+    }
+    free_.emplace(offset, size);
+  }
+
+  int64_t extent() const { return extent_; }
+
+ private:
+  std::map<int64_t, int64_t> free_;  // offset -> size
+  std::map<int64_t, int64_t> live_;  // offset -> size
+  int64_t extent_ = 0;
+};
+
+Shape InferShape(const Graph& g, const GraphNode& n) {
+  switch (n.kind) {
+    case OpKind::kInput:
+    case OpKind::kWeight:
+      return n.shape;
+    case OpKind::kMatmul:
+    case OpKind::kMatmulBias: {
+      const Shape& a = g.node(n.inputs[0]).shape;
+      const Shape& b = g.node(n.inputs[1]).shape;
+      PIT_CHECK_EQ(a.size(), 2u);
+      PIT_CHECK_EQ(b.size(), 2u);
+      PIT_CHECK_EQ(a[1], b[0]);
+      if (n.kind == OpKind::kMatmulBias) {
+        const Shape& bias = g.node(n.inputs[2]).shape;
+        PIT_CHECK_EQ(bias.size(), 1u);
+        PIT_CHECK_EQ(bias[0], b[1]);
+      }
+      return {a[0], b[1]};
+    }
+    case OpKind::kRelu:
+    case OpKind::kSoftmax:
+      return g.node(n.inputs[0]).shape;
+    case OpKind::kAdd:
+    case OpKind::kMask:
+      PIT_CHECK(g.node(n.inputs[0]).shape == g.node(n.inputs[1]).shape);
+      return g.node(n.inputs[0]).shape;
+  }
+  PIT_CHECK(false) << "unreachable op kind";
+  return {};
+}
+
+const MatmulDecision* DecisionFor(const std::vector<MatmulDecision>* decisions, int id) {
+  if (decisions == nullptr) {
+    return nullptr;
+  }
+  for (const auto& d : *decisions) {
+    if (d.node_id == id) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+bool ElementwiseInPlaceOk(OpKind kind) {
+  // Relu/Add/Mask read each element before writing it, so the output may
+  // alias a dying input. Matmuls read operands while writing C (never safe);
+  // softmax is kept out-of-place conservatively (multi-pass rows).
+  return kind == OpKind::kRelu || kind == OpKind::kAdd || kind == OpKind::kMask;
+}
+
+}  // namespace
+
+ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions)
+    : graph_(&graph) {
+  const int n = graph.size();
+  PIT_CHECK_GT(n, 0) << "cannot plan an empty graph";
+  bound_.assign(static_cast<size_t>(n), nullptr);
+
+  // Liveness: last step consuming each node. The final node's block is never
+  // recycled simply because no allocation happens after the last step, so the
+  // result view stays valid until the next Run rewrites the arena.
+  std::vector<int> last_use(static_cast<size_t>(n), -1);
+  for (int id = 0; id < n; ++id) {
+    for (int in : graph.node(id).inputs) {
+      last_use[static_cast<size_t>(in)] = id;
+    }
+  }
+  const int final_id = n - 1;
+
+  ArenaPlanner planner;
+  std::vector<ValueRef> loc(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = graph.node(id);
+    // Shape inference over the IR; AddX checked at construction, the plan
+    // re-derives so a hand-mutated graph fails here rather than in a kernel.
+    const Shape inferred = InferShape(graph, node);
+    PIT_CHECK(inferred == node.shape)
+        << "shape inference mismatch at node " << id << " (" << node.name << ")";
+
+    if (node.kind == OpKind::kInput) {
+      loc[static_cast<size_t>(id)] = {ValueLoc::kFeed, id, 0};
+      feed_bindings_.push_back({id, node.name});
+      continue;
+    }
+    if (node.kind == OpKind::kWeight) {
+      loc[static_cast<size_t>(id)] = {ValueLoc::kWeight, id, 0};
+      bound_[static_cast<size_t>(id)] = graph.weight(id).data();
+      continue;
+    }
+
+    OpCall call;
+    call.kind = node.kind;
+    call.node_id = id;
+    call.num_in = static_cast<int>(node.inputs.size());
+    PIT_CHECK_LE(call.num_in, 3);
+    for (int i = 0; i < call.num_in; ++i) {
+      call.in[i] = loc[static_cast<size_t>(node.inputs[static_cast<size_t>(i)])];
+    }
+    if (node.kind == OpKind::kMatmul || node.kind == OpKind::kMatmulBias) {
+      const MatmulDecision* d = DecisionFor(decisions, id);
+      call.use_pit = d != nullptr && d->use_pit;
+      if (call.use_pit) {
+        ++stats_.num_pit_steps;
+      }
+    }
+
+    const int64_t elems = NumElements(node.shape);
+    // In-place reuse: an elementwise op whose input's lifetime ends here (and
+    // whose value is arena-resident, same element count) writes into that
+    // input's block instead of claiming a new one. Safe for the final node
+    // too — aliasing transfers the block to the result, it never recycles it.
+    int alias_input = -1;
+    if (ElementwiseInPlaceOk(node.kind)) {
+      for (int in : node.inputs) {
+        const ValueRef& r = loc[static_cast<size_t>(in)];
+        if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(in)] == id &&
+            NumElements(graph.node(in).shape) == elems) {
+          alias_input = in;
+          break;
+        }
+      }
+    }
+    if (alias_input >= 0) {
+      call.out = {ValueLoc::kArena, id, loc[static_cast<size_t>(alias_input)].offset};
+      call.inplace = true;
+      ++stats_.num_inplace;
+    } else {
+      call.out = {ValueLoc::kArena, id, planner.Allocate(elems)};
+    }
+    loc[static_cast<size_t>(id)] = call.out;
+
+    // Release dying inputs (except the one whose block the output inherited).
+    for (size_t i = 0; i < node.inputs.size(); ++i) {
+      const int in = node.inputs[i];
+      if (std::find(node.inputs.begin(), node.inputs.begin() + static_cast<long>(i), in) !=
+          node.inputs.begin() + static_cast<long>(i)) {
+        continue;  // duplicate operand (e.g. Add(x, x)); free once
+      }
+      const ValueRef& r = loc[static_cast<size_t>(in)];
+      if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(in)] == id &&
+          in != alias_input) {
+        planner.Free(r.offset);
+      }
+    }
+
+    stats_.sum_temporary_bytes += elems * static_cast<int64_t>(sizeof(float));
+    steps_.push_back(std::move(call));
+  }
+
+  result_ = loc[static_cast<size_t>(final_id)];
+  arena_.resize(static_cast<size_t>(planner.extent()), 0.0f);
+  stats_.arena_bytes = planner.extent() * static_cast<int64_t>(sizeof(float));
+  stats_.num_steps = static_cast<int>(steps_.size());
+}
+
+const float* ExecutionPlan::ResolveConst(const ValueRef& ref) const {
+  switch (ref.loc) {
+    case ValueLoc::kArena:
+      return arena_.data() + ref.offset;
+    case ValueLoc::kFeed:
+    case ValueLoc::kWeight:
+      return bound_[static_cast<size_t>(ref.node_id)];
+  }
+  return nullptr;
+}
+
+float* ExecutionPlan::ResolveArena(const ValueRef& ref) {
+  PIT_CHECK(ref.loc == ValueLoc::kArena);
+  return arena_.data() + ref.offset;
+}
+
+void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
+  const Shape& out_shape = graph_->node(call.node_id).shape;
+  TensorView out(ResolveArena(call.out), out_shape);
+  auto in = [&](int i) {
+    return ConstTensorView(ResolveConst(call.in[i]),
+                           graph_->node(call.in[i].node_id).shape);
+  };
+  switch (call.kind) {
+    case OpKind::kInput:
+    case OpKind::kWeight:
+      PIT_CHECK(false) << "inputs/weights are bindings, not steps";
+      break;
+    case OpKind::kMatmul:
+      if (call.use_pit) {
+        PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
+        compiler->SparseMatmulInto(in(0), in(1), out, &call.pit);
+      } else {
+        MatMulInto(in(0), in(1), out);
+      }
+      break;
+    case OpKind::kMatmulBias:
+      if (call.use_pit) {
+        PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
+        compiler->SparseMatmulInto(in(0), in(1), out, &call.pit);
+        // Bias applied after the sparse kernel, in the same element order as
+        // the eager sparse Linear path.
+        const ConstTensorView bias = in(2);
+        for (int64_t i = 0; i < out.dim(0); ++i) {
+          for (int64_t j = 0; j < out.dim(1); ++j) {
+            out.At(i, j) += bias[j];
+          }
+        }
+      } else {
+        MatMulBiasInto(in(0), in(1), in(2), out);
+      }
+      break;
+    case OpKind::kRelu:
+      ReluInto(in(0), out);
+      break;
+    case OpKind::kAdd:
+      AddInto(in(0), in(1), out);
+      break;
+    case OpKind::kMask:
+      ApplyMaskInto(in(0), in(1), out);
+      break;
+    case OpKind::kSoftmax:
+      SoftmaxInto(in(0), nullptr, out);
+      break;
+  }
+}
+
+namespace {
+
+const Tensor& DerefFeed(const Tensor& t) { return t; }
+const Tensor& DerefFeed(const Tensor* t) {
+  PIT_CHECK(t != nullptr) << "null feed tensor";
+  return *t;
+}
+
+}  // namespace
+
+template <typename FeedMap>
+ConstTensorView ExecutionPlan::RunImpl(const FeedMap& feeds, PitCompiler* compiler,
+                                       const StepObserver* observer) {
+  for (const FeedBinding& binding : feed_bindings_) {
+    auto it = feeds.find(binding.name);
+    PIT_CHECK(it != feeds.end()) << "missing feed: " << binding.name;
+    const Tensor& feed = DerefFeed(it->second);
+    PIT_CHECK(feed.shape() == graph_->node(binding.node_id).shape)
+        << "feed shape mismatch for " << binding.name;
+    bound_[static_cast<size_t>(binding.node_id)] = feed.data();
+  }
+  for (OpCall& step : steps_) {
+    Dispatch(step, compiler);
+    if (observer != nullptr && *observer) {
+      (*observer)(step.node_id,
+                  ConstTensorView(ResolveConst(step.out), graph_->node(step.node_id).shape));
+    }
+  }
+  return ConstTensorView(ResolveConst(result_), graph_->node(result_.node_id).shape);
+}
+
+ConstTensorView ExecutionPlan::Run(const std::map<std::string, Tensor>& feeds,
+                                   PitCompiler* compiler, const StepObserver* observer) {
+  return RunImpl(feeds, compiler, observer);
+}
+
+ConstTensorView ExecutionPlan::Run(const std::map<std::string, const Tensor*>& feeds,
+                                   PitCompiler* compiler, const StepObserver* observer) {
+  return RunImpl(feeds, compiler, observer);
+}
+
+}  // namespace pit

@@ -1,0 +1,127 @@
+// ExecutionPlan: the compile-once / execute-many layer under the graph IR.
+//
+// The paper's Fig. 5 workflow selects PIT rules and kernels offline and has
+// the runtime merely replay them per batch. The previous executor re-walked
+// the IR on every call and materialized every intermediate as a fresh
+// value-semantics Tensor; this layer does the walking once:
+//
+//   * shape inference re-derives and validates every node's shape,
+//   * liveness analysis finds each intermediate's last consumer,
+//   * an arena planner assigns every intermediate an offset in one reusable
+//     buffer (best-fit free-list reuse for non-overlapping lifetimes, plus
+//     in-place aliasing for elementwise ops consuming a dying input),
+//   * the result is a flat list of OpCall dispatch steps over which the
+//     dense-reference kernels and the PIT sparse path are interchangeable.
+//
+// Executing a compiled plan performs ~zero heap allocations on the dense path
+// (the arena and bindings are sized at compile time) and is bitwise identical
+// to the old eager executor for any thread count: the steps call the exact
+// kernels the eager ops wrap.
+#ifndef PIT_GRAPH_EXECUTION_PLAN_H_
+#define PIT_GRAPH_EXECUTION_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pit/core/compiler.h"
+#include "pit/graph/graph.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// Where a node's value lives during plan execution.
+enum class ValueLoc : uint8_t {
+  kFeed,    // caller-provided input tensor, bound per Run
+  kWeight,  // graph-owned (or referenced) constant, bound at compile
+  kArena,   // slice of the plan's arena at `offset`
+};
+
+struct ValueRef {
+  ValueLoc loc = ValueLoc::kArena;
+  int node_id = -1;
+  int64_t offset = 0;  // element offset; meaningful for kArena only
+};
+
+// One kernel-dispatch step. This is the unified seam between the two
+// execution paths: `use_pit` false runs the dense reference kernel for
+// `kind`; true routes the matmul through the PitCompiler using this call
+// site's cached kernel handle (the JIT cache is hooked into the step instead
+// of being consulted from scratch every call).
+struct OpCall {
+  OpKind kind = OpKind::kInput;
+  int node_id = -1;
+  bool use_pit = false;
+  bool inplace = false;  // output aliases a dying input's arena block
+  ValueRef out;
+  ValueRef in[3];
+  int num_in = 0;
+  PitKernelHandle pit;  // per-site kernel slot (PIT steps only)
+};
+
+// Memory-planning summary, the data behind BENCH_pr2's arena metrics.
+struct PlanStats {
+  int64_t arena_bytes = 0;           // peak bytes of the shared arena
+  int64_t sum_temporary_bytes = 0;   // what eager execution would allocate
+  int num_steps = 0;
+  int num_inplace = 0;
+  int num_pit_steps = 0;
+};
+
+// Called after each compute step with the node id and a view of its value
+// (valid until the arena slot is reused by a later Run or step).
+using StepObserver = std::function<void(int node_id, ConstTensorView value)>;
+
+class ExecutionPlan {
+ public:
+  // Compiles the plan. `decisions` (nullable) marks which matmul steps run
+  // through PIT. The graph must outlive the plan and not move; Graph drops
+  // its cached plans on move for exactly this reason.
+  ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions);
+
+  ExecutionPlan(const ExecutionPlan&) = delete;
+  ExecutionPlan& operator=(const ExecutionPlan&) = delete;
+
+  // Executes every step over `feeds` and returns a view of the final node's
+  // value (valid until the next Run or plan destruction). `compiler` is
+  // required iff the plan contains PIT steps. `observer`, when set, sees each
+  // compute step's output right after the step runs. Not thread-safe: a plan
+  // owns one arena, so concurrent Runs must use distinct plans.
+  ConstTensorView Run(const std::map<std::string, Tensor>& feeds,
+                      PitCompiler* compiler = nullptr, const StepObserver* observer = nullptr);
+  // Pointer-feed form for callers that rebind the same feeds every call (the
+  // nn/runtime layers): no tensor copies, no per-call map construction.
+  ConstTensorView Run(const std::map<std::string, const Tensor*>& feeds,
+                      PitCompiler* compiler = nullptr, const StepObserver* observer = nullptr);
+
+  const PlanStats& stats() const { return stats_; }
+  const std::vector<OpCall>& steps() const { return steps_; }
+
+ private:
+  template <typename FeedMap>
+  ConstTensorView RunImpl(const FeedMap& feeds, PitCompiler* compiler,
+                          const StepObserver* observer);
+  const float* ResolveConst(const ValueRef& ref) const;
+  float* ResolveArena(const ValueRef& ref);
+  void Dispatch(OpCall& call, PitCompiler* compiler);
+
+  const Graph* graph_;
+  std::vector<OpCall> steps_;
+  std::vector<float> arena_;
+  // Per-node data pointer for kFeed/kWeight nodes (weights bound at compile,
+  // feeds re-bound each Run); indexed by node id.
+  std::vector<const float*> bound_;
+  struct FeedBinding {
+    int node_id;
+    std::string name;
+  };
+  std::vector<FeedBinding> feed_bindings_;
+  ValueRef result_;
+  PlanStats stats_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_GRAPH_EXECUTION_PLAN_H_

@@ -1,8 +1,11 @@
 #include "pit/graph/graph.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 
 #include "pit/common/check.h"
+#include "pit/graph/execution_plan.h"
 #include "pit/tensor/ops.h"
 
 namespace pit {
@@ -15,6 +18,8 @@ const char* OpKindName(OpKind kind) {
       return "weight";
     case OpKind::kMatmul:
       return "matmul";
+    case OpKind::kMatmulBias:
+      return "matmul_bias";
     case OpKind::kRelu:
       return "relu";
     case OpKind::kAdd:
@@ -25,6 +30,65 @@ const char* OpKindName(OpKind kind) {
       return "softmax";
   }
   return "?";
+}
+
+// Cached plans: one per distinct decision set (nullptr = dense). Decision
+// vectors are compared by content (sans the human-readable reason) so a
+// recomputed-but-identical PitPass result reuses the compiled plan. Entries
+// are shared_ptr-held so an eviction (or another thread's compile) never
+// destroys a plan mid-run: executors keep their reference until Run returns,
+// and each entry carries its own run mutex (one arena per plan), so distinct
+// decision sets execute concurrently.
+struct Graph::PlanCacheEntry {
+  bool dense = true;
+  std::vector<MatmulDecision> decisions;
+  std::unique_ptr<ExecutionPlan> plan;
+  std::mutex run_mu;
+};
+
+struct Graph::PlanCache {
+  std::mutex mu;
+  std::vector<std::shared_ptr<PlanCacheEntry>> entries;
+};
+
+namespace {
+
+bool SameDecisions(const std::vector<MatmulDecision>& a, const std::vector<MatmulDecision>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node_id != b[i].node_id || a[i].use_pit != b[i].use_pit ||
+        a[i].sparse_operand != b[i].sparse_operand || a[i].axis != b[i].axis ||
+        a[i].piggyback_layout_flip != b[i].piggyback_layout_flip) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph::Graph() : plans_(std::make_unique<PlanCache>()) {}
+Graph::~Graph() = default;
+
+Graph::Graph(Graph&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      weights_(std::move(other.weights_)),
+      weight_refs_(std::move(other.weight_refs_)),
+      plans_(std::make_unique<PlanCache>()) {
+  other.plans_ = std::make_unique<PlanCache>();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    weights_ = std::move(other.weights_);
+    weight_refs_ = std::move(other.weight_refs_);
+    plans_ = std::make_unique<PlanCache>();  // old plans point into the old nodes
+    other.plans_ = std::make_unique<PlanCache>();
+  }
+  return *this;
 }
 
 const char* SparsitySourceName(SparsitySource source) {
@@ -44,6 +108,12 @@ const char* SparsitySourceName(SparsitySource source) {
 }
 
 int Graph::Add(GraphNode node) {
+  {
+    // Mutating the graph invalidates compiled plans (their liveness, arena
+    // offsets, and result node all assume the old node list).
+    std::lock_guard<std::mutex> lock(plans_->mu);
+    plans_->entries.clear();
+  }
   node.id = static_cast<int>(nodes_.size());
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
@@ -71,10 +141,25 @@ int Graph::AddWeight(std::string name, Tensor value) {
   return id;
 }
 
+int Graph::AddWeightRef(std::string name, const Tensor* value) {
+  PIT_CHECK(value != nullptr);
+  GraphNode n;
+  n.kind = OpKind::kWeight;
+  n.name = std::move(name);
+  n.shape = value->shape();
+  const int id = Add(std::move(n));
+  weight_refs_.emplace(id, value);
+  return id;
+}
+
 const Tensor& Graph::weight(int id) const {
   auto it = weights_.find(id);
-  PIT_CHECK(it != weights_.end()) << "node " << id << " is not a weight";
-  return it->second;
+  if (it != weights_.end()) {
+    return it->second;
+  }
+  auto ref = weight_refs_.find(id);
+  PIT_CHECK(ref != weight_refs_.end()) << "node " << id << " is not a weight";
+  return *ref->second;
 }
 
 int Graph::AddMatmul(std::string name, int a, int b) {
@@ -87,6 +172,23 @@ int Graph::AddMatmul(std::string name, int a, int b) {
   n.kind = OpKind::kMatmul;
   n.name = std::move(name);
   n.inputs = {a, b};
+  n.shape = {na.shape[0], nb.shape[1]};
+  return Add(std::move(n));
+}
+
+int Graph::AddMatmulBias(std::string name, int a, int b, int bias) {
+  const GraphNode& na = node(a);
+  const GraphNode& nb = node(b);
+  const GraphNode& nbias = node(bias);
+  PIT_CHECK_EQ(na.shape.size(), 2u);
+  PIT_CHECK_EQ(nb.shape.size(), 2u);
+  PIT_CHECK_EQ(na.shape[1], nb.shape[0]);
+  PIT_CHECK_EQ(nbias.shape.size(), 1u);
+  PIT_CHECK_EQ(nbias.shape[0], nb.shape[1]);
+  GraphNode n;
+  n.kind = OpKind::kMatmulBias;
+  n.name = std::move(name);
+  n.inputs = {a, b, bias};
   n.shape = {na.shape[0], nb.shape[1]};
   return Add(std::move(n));
 }
@@ -177,6 +279,7 @@ void Graph::PropagateSparsity() {
         break;
       }
       case OpKind::kMatmul:
+      case OpKind::kMatmulBias:
         // Dense output: a contraction densifies (unless both operands are
         // extremely sparse, which the runtime detector would catch anyway).
         break;
@@ -187,7 +290,7 @@ void Graph::PropagateSparsity() {
 std::vector<MatmulDecision> Graph::PitPass(double min_sparsity) const {
   std::vector<MatmulDecision> decisions;
   for (const auto& n : nodes_) {
-    if (n.kind != OpKind::kMatmul) {
+    if (n.kind != OpKind::kMatmul && n.kind != OpKind::kMatmulBias) {
       continue;
     }
     MatmulDecision d;
@@ -221,67 +324,72 @@ std::vector<MatmulDecision> Graph::PitPass(double min_sparsity) const {
   return decisions;
 }
 
+std::shared_ptr<Graph::PlanCacheEntry> Graph::EntryFor(
+    const std::vector<MatmulDecision>* decisions) const {
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  for (auto& entry : plans_->entries) {
+    if (decisions == nullptr ? entry->dense
+                             : (!entry->dense && SameDecisions(entry->decisions, *decisions))) {
+      return entry;
+    }
+  }
+  // Bound the cache: distinct decision sets per graph are few in practice; a
+  // runaway caller cycling through many just recompiles. Evicted entries are
+  // only dropped from the cache — executors mid-Run keep theirs alive.
+  constexpr size_t kMaxPlans = 8;
+  if (plans_->entries.size() >= kMaxPlans) {
+    plans_->entries.erase(plans_->entries.begin());
+  }
+  auto entry = std::make_shared<PlanCacheEntry>();
+  entry->dense = decisions == nullptr;
+  if (decisions != nullptr) {
+    entry->decisions = *decisions;
+  }
+  entry->plan = std::make_unique<ExecutionPlan>(*this, decisions);
+  plans_->entries.push_back(entry);
+  return entry;
+}
+
+ExecutionPlan& Graph::Plan(const std::vector<MatmulDecision>* decisions) const {
+  return *EntryFor(decisions)->plan;
+}
+
 std::map<int, Tensor> Graph::Execute(const std::map<std::string, Tensor>& feeds,
                                      const std::vector<MatmulDecision>* decisions,
                                      PitCompiler* compiler) const {
-  auto decision_for = [&](int id) -> const MatmulDecision* {
-    if (decisions == nullptr) {
-      return nullptr;
-    }
-    for (const auto& d : *decisions) {
-      if (d.node_id == id) {
-        return &d;
-      }
-    }
-    return nullptr;
-  };
-
+  std::shared_ptr<PlanCacheEntry> entry = EntryFor(decisions);
   std::map<int, Tensor> values;
+  // Inputs and weights are pass-throughs; compute values are copied out of
+  // the arena step by step (a slot may be reused by a later step).
   for (const auto& n : nodes_) {
-    switch (n.kind) {
-      case OpKind::kInput: {
-        auto it = feeds.find(n.name);
-        PIT_CHECK(it != feeds.end()) << "missing feed: " << n.name;
-        PIT_CHECK(it->second.shape() == n.shape) << "feed shape mismatch for " << n.name;
-        values.emplace(n.id, it->second);
-        break;
-      }
-      case OpKind::kWeight:
-        values.emplace(n.id, weight(n.id));
-        break;
-      case OpKind::kMatmul: {
-        const Tensor& a = values.at(n.inputs[0]);
-        const Tensor& b = values.at(n.inputs[1]);
-        const MatmulDecision* d = decision_for(n.id);
-        if (d != nullptr && d->use_pit) {
-          PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
-          values.emplace(n.id, compiler->SparseMatmul(a, b).output);
-        } else {
-          values.emplace(n.id, MatMul(a, b));
-        }
-        break;
-      }
-      case OpKind::kRelu:
-        values.emplace(n.id, Relu(values.at(n.inputs[0])));
-        break;
-      case OpKind::kAdd:
-        values.emplace(n.id, ::pit::Add(values.at(n.inputs[0]), values.at(n.inputs[1])));
-        break;
-      case OpKind::kMask:
-        values.emplace(n.id, ApplyMask(values.at(n.inputs[0]), values.at(n.inputs[1])));
-        break;
-      case OpKind::kSoftmax:
-        values.emplace(n.id, Softmax(values.at(n.inputs[0])));
-        break;
+    if (n.kind == OpKind::kInput) {
+      auto it = feeds.find(n.name);
+      PIT_CHECK(it != feeds.end()) << "missing feed: " << n.name;
+      values.emplace(n.id, it->second);
+    } else if (n.kind == OpKind::kWeight) {
+      values.emplace(n.id, weight(n.id));
     }
   }
+  const StepObserver copy_out = [&](int node_id, ConstTensorView value) {
+    Tensor copy(node(node_id).shape);
+    std::copy(value.data(), value.data() + value.size(), copy.data());
+    values.emplace(node_id, std::move(copy));
+  };
+  // One arena per plan: executions of the SAME decision set serialize on the
+  // entry; different decision sets (and other graphs) run concurrently.
+  std::lock_guard<std::mutex> run_lock(entry->run_mu);
+  entry->plan->Run(feeds, compiler, &copy_out);
   return values;
 }
 
 Tensor Graph::Run(const std::map<std::string, Tensor>& feeds,
                   const std::vector<MatmulDecision>* decisions, PitCompiler* compiler) const {
-  auto values = Execute(feeds, decisions, compiler);
-  return values.at(size() - 1);
+  std::shared_ptr<PlanCacheEntry> entry = EntryFor(decisions);
+  std::lock_guard<std::mutex> run_lock(entry->run_mu);
+  ConstTensorView out = entry->plan->Run(feeds, compiler);
+  Tensor result(node(size() - 1).shape);
+  std::copy(out.data(), out.data() + out.size(), result.data());
+  return result;
 }
 
 Graph BuildFfnGraph(int64_t tokens, int64_t hidden, int64_t ffn_hidden, Rng& rng) {

@@ -16,6 +16,7 @@
 #define PIT_GRAPH_GRAPH_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,10 +26,13 @@
 
 namespace pit {
 
+class ExecutionPlan;
+
 enum class OpKind {
-  kInput,    // runtime-fed tensor
-  kWeight,   // constant
-  kMatmul,   // C = A * B
+  kInput,       // runtime-fed tensor
+  kWeight,      // constant
+  kMatmul,      // C = A * B
+  kMatmulBias,  // C = A * B + bias (row-broadcast; bias is third input)
   kRelu,
   kAdd,
   kMask,     // C = A where mask != 0 else 0 (mask is second input)
@@ -74,9 +78,23 @@ struct MatmulDecision {
 
 class Graph {
  public:
+  Graph();
+  ~Graph();
+  // Moving a graph drops its cached plans (they hold pointers into the old
+  // object); they recompile lazily on the next Execute/Run. Copying is
+  // disabled — graphs are built once and shared by const reference.
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
   int AddInput(std::string name, Shape shape, double expected_sparsity = 0.0);
   int AddWeight(std::string name, Tensor value);
+  // Non-owning weight: the caller guarantees `value` outlives the graph.
+  // Lets modules plan over their existing parameters without copying them.
+  int AddWeightRef(std::string name, const Tensor* value);
   int AddMatmul(std::string name, int a, int b);
+  int AddMatmulBias(std::string name, int a, int b, int bias);
   int AddRelu(std::string name, int x);
   int AddAdd(std::string name, int a, int b);
   int AddMask(std::string name, int x, int mask);
@@ -93,22 +111,40 @@ class Graph {
   // fall-back threshold below which the pass keeps the dense kernel.
   std::vector<MatmulDecision> PitPass(double min_sparsity = 0.3) const;
 
-  // Executes the graph on `feeds` (name -> tensor for every kInput).
-  // decisions == nullptr runs the dense reference; otherwise matmuls flagged
-  // use_pit run through `compiler`'s sparse path.
+  // Compiles — or returns the cached — execution plan for `decisions`
+  // (nullptr = dense). The plan and its arena persist on the graph, so
+  // repeated Execute/Run calls replay kernel dispatches with no per-call IR
+  // walk and ~zero allocations. Callers driving the plan directly must
+  // serialize Runs themselves (one arena per plan), and the reference is
+  // invalidated by mutating the graph or by compiling many further decision
+  // sets (the cache keeps the most recent 8); re-fetch it when in doubt.
+  ExecutionPlan& Plan(const std::vector<MatmulDecision>* decisions = nullptr) const;
+
+  // Executes the graph on `feeds` (name -> tensor for every kInput) through
+  // the cached plan. decisions == nullptr runs the dense reference; otherwise
+  // matmuls flagged use_pit run through `compiler`'s sparse path. Returns
+  // every node's value (inputs and weights included), like the old eager
+  // executor — intermediates are copied out of the arena as the plan runs.
   std::map<int, Tensor> Execute(const std::map<std::string, Tensor>& feeds,
                                 const std::vector<MatmulDecision>* decisions = nullptr,
                                 PitCompiler* compiler = nullptr) const;
 
-  // Convenience: output of the last node.
+  // Convenience: output of the last node (no per-node copies).
   Tensor Run(const std::map<std::string, Tensor>& feeds,
              const std::vector<MatmulDecision>* decisions = nullptr,
              PitCompiler* compiler = nullptr) const;
 
  private:
+  struct PlanCache;
+  struct PlanCacheEntry;
+
   int Add(GraphNode node);
+  std::shared_ptr<PlanCacheEntry> EntryFor(const std::vector<MatmulDecision>* decisions) const;
+
   std::vector<GraphNode> nodes_;
   std::map<int, Tensor> weights_;
+  std::map<int, const Tensor*> weight_refs_;
+  std::unique_ptr<PlanCache> plans_;  // lazily compiled, guarded internally
 };
 
 // Builds the FFN block of the paper's OPT experiment: x -> matmul(W_up) ->

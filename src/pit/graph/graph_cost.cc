@@ -32,7 +32,8 @@ GraphCostReport EstimateGraphCost(const Graph& graph, const CostModel& model,
       case OpKind::kInput:
       case OpKind::kWeight:
         break;
-      case OpKind::kMatmul: {
+      case OpKind::kMatmul:
+      case OpKind::kMatmulBias: {  // fused bias epilogue prices like the matmul
         const GraphNode& a = graph.node(n.inputs[0]);
         const int64_t m = a.shape[0], k = a.shape[1], nn = n.shape[1];
         const MatmulDecision* d = DecisionFor(decisions, id);

@@ -6,6 +6,7 @@
 #include "pit/common/check.h"
 #include "pit/core/sparse_kernel.h"
 #include "pit/core/sread_swrite.h"
+#include "pit/graph/execution_plan.h"
 #include "pit/workloads/moe_routing.h"
 
 namespace pit {
@@ -40,16 +41,64 @@ Tensor Linear::ForwardSparse(const Tensor& x, PitCompiler& compiler) const {
 FeedForward::FeedForward(int64_t hidden, int64_t ffn_hidden, Rng& rng)
     : up_(hidden, ffn_hidden, rng), down_(ffn_hidden, hidden, rng) {}
 
-Tensor FeedForward::Forward(const Tensor& x) const {
-  Tensor act = Relu(up_.Forward(x));
-  last_activation_sparsity_ = act.SparsityRatio();
-  return down_.Forward(act);
+FeedForward::PlanEntry& FeedForward::EntryFor(int64_t tokens) const {
+  auto it = plans_.find(tokens);
+  if (it != plans_.end()) {
+    return it->second;
+  }
+  // Bound the per-token-count cache: a serving stream with highly variable
+  // batch shapes should not pin an arena per distinct length forever.
+  constexpr size_t kMaxEntries = 16;
+  if (plans_.size() >= kMaxEntries) {
+    plans_.clear();
+  }
+  // First call at this token count: build the block's graph over the module's
+  // weights (referenced, not copied) and record the PIT pass decisions. The
+  // plan itself compiles lazily inside Graph on first Run.
+  PlanEntry entry;
+  entry.graph = std::make_unique<Graph>();
+  Graph& g = *entry.graph;
+  const int x = g.AddInput("x", {tokens, up_.in_features()});
+  const int w_up = g.AddWeightRef("w_up", &up_.weight());
+  const int b_up = g.AddWeightRef("b_up", &up_.bias());
+  const int w_down = g.AddWeightRef("w_down", &down_.weight());
+  const int b_down = g.AddWeightRef("b_down", &down_.bias());
+  const int up = g.AddMatmulBias("up_proj", x, w_up, b_up);
+  entry.relu_node = g.AddRelu("relu", up);
+  g.AddMatmulBias("down_proj", entry.relu_node, w_down, b_down);
+  g.PropagateSparsity();
+  entry.decisions = g.PitPass();
+  entry.feeds = {{"x", nullptr}};
+  return plans_.emplace(tokens, std::move(entry)).first->second;
 }
 
+Tensor FeedForward::RunPlanned(const Tensor& x, PitCompiler* compiler) const {
+  PIT_CHECK_EQ(x.rank(), 2);
+  // Plans share one arena per shape; concurrent const forwards serialize
+  // here (they interleaved freely before only by each allocating everything).
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanEntry& entry = EntryFor(x.dim(0));
+  entry.feeds["x"] = &x;
+  ExecutionPlan& plan =
+      entry.graph->Plan(compiler != nullptr ? &entry.decisions : nullptr);
+  double sparsity = 0.0;
+  const int relu_node = entry.relu_node;
+  const StepObserver observe = [&](int node_id, ConstTensorView value) {
+    if (node_id == relu_node) {
+      sparsity = value.SparsityRatio();
+    }
+  };
+  ConstTensorView out = plan.Run(entry.feeds, compiler, &observe);
+  last_activation_sparsity_ = sparsity;
+  Tensor result({x.dim(0), down_.out_features()});
+  std::copy(out.data(), out.data() + out.size(), result.data());
+  return result;
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const { return RunPlanned(x, nullptr); }
+
 Tensor FeedForward::ForwardSparse(const Tensor& x, PitCompiler& compiler) const {
-  Tensor act = Relu(up_.Forward(x));
-  last_activation_sparsity_ = act.SparsityRatio();
-  return down_.ForwardSparse(act, compiler);
+  return RunPlanned(x, &compiler);
 }
 
 // ------------------------------------------------------- MultiHeadAttention

@@ -8,11 +8,14 @@
 #ifndef PIT_NN_MODULES_H_
 #define PIT_NN_MODULES_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pit/common/rng.h"
 #include "pit/core/compiler.h"
+#include "pit/graph/graph.h"
 #include "pit/tensor/ops.h"
 #include "pit/tensor/tensor.h"
 
@@ -28,6 +31,7 @@ class Linear {
   Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler) const;
 
   const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
   int64_t in_features() const { return weight_.dim(0); }
   int64_t out_features() const { return weight_.dim(1); }
 
@@ -38,9 +42,19 @@ class Linear {
 
 // Post-norm residual feed-forward block with ReLU (the OPT-style FFN whose
 // activation sparsity PIT exploits).
+//
+// The forward passes run through cached ExecutionPlans: the block's graph is
+// built once per distinct token count (plans are shape-specialized), and each
+// call replays the compiled kernel-dispatch steps over a reused arena instead
+// of re-walking ops and materializing intermediates. The graphs reference the
+// module's weights in place, which is why the module is pinned (non-copyable,
+// non-movable).
 class FeedForward {
  public:
   FeedForward(int64_t hidden, int64_t ffn_hidden, Rng& rng);
+  FeedForward(const FeedForward&) = delete;
+  FeedForward& operator=(const FeedForward&) = delete;
+
   Tensor Forward(const Tensor& x) const;
   // The second matmul consumes the (sparse) ReLU output through PIT.
   Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler) const;
@@ -48,9 +62,20 @@ class FeedForward {
   double last_activation_sparsity() const { return last_activation_sparsity_; }
 
  private:
+  struct PlanEntry {
+    std::unique_ptr<Graph> graph;
+    std::vector<MatmulDecision> decisions;  // PIT pass result for this graph
+    std::map<std::string, const Tensor*> feeds;
+    int relu_node = -1;
+  };
+  PlanEntry& EntryFor(int64_t tokens) const;
+  Tensor RunPlanned(const Tensor& x, PitCompiler* compiler) const;
+
   Linear up_;
   Linear down_;
   mutable double last_activation_sparsity_ = 0.0;
+  mutable std::map<int64_t, PlanEntry> plans_;  // keyed by token count, bounded
+  mutable std::mutex mu_;  // forwards share plan arenas; serialize them
 };
 
 // Single-head (per-head looped) attention with an optional 0/1 mask over

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "pit/common/check.h"
 #include "pit/core/sparsity_detector.h"
 #include "pit/sparse/coverage.h"
+#include "pit/tensor/ops.h"
 #include "pit/workloads/moe_routing.h"
 #include "pit/workloads/seq_len.h"
 
@@ -628,6 +630,118 @@ ModelRunCost SparseTrainingRun(const CostModel& model, Engine engine,
     run.memory_bytes = weight_state + acts;
   }
   return run;
+}
+
+// ---- PlannedFfnStack -------------------------------------------------------
+
+namespace {
+
+Tensor StackInit(int64_t in, int64_t out, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+  return Tensor::Random({in, out}, rng, -bound, bound);
+}
+
+}  // namespace
+
+PlannedFfnStack::PlannedFfnStack(int64_t layers, int64_t hidden, int64_t ffn_hidden, Rng& rng)
+    : hidden_(hidden) {
+  PIT_CHECK_GT(layers, 0);
+  weights_.reserve(static_cast<size_t>(layers));
+  for (int64_t l = 0; l < layers; ++l) {
+    LayerWeights w;
+    w.w_up = StackInit(hidden, ffn_hidden, rng);
+    w.b_up = Tensor::Random({ffn_hidden}, rng, -0.01f, 0.01f);
+    w.w_down = StackInit(ffn_hidden, hidden, rng);
+    w.b_down = Tensor::Random({hidden}, rng, -0.01f, 0.01f);
+    weights_.push_back(std::move(w));
+  }
+}
+
+PlannedFfnStack::~PlannedFfnStack() = default;
+
+PlannedFfnStack::TokenEntry& PlannedFfnStack::EntryFor(int64_t tokens) const {
+  auto it = entries_.find(tokens);
+  if (it != entries_.end()) {
+    return it->second;
+  }
+  // Bound the per-token-count cache (one graph + plan + staging tensor per
+  // layer per entry): variable-length serving must not pin arenas forever.
+  constexpr size_t kMaxEntries = 16;
+  if (entries_.size() >= kMaxEntries) {
+    entries_.clear();
+  }
+  TokenEntry entry;
+  entry.graphs.reserve(weights_.size());
+  entry.decisions.reserve(weights_.size());
+  entry.outs.reserve(weights_.size());
+  for (const LayerWeights& w : weights_) {
+    auto g = std::make_unique<Graph>();
+    const int x = g->AddInput("x", {tokens, hidden_});
+    const int w_up = g->AddWeightRef("w_up", &w.w_up);
+    const int b_up = g->AddWeightRef("b_up", &w.b_up);
+    const int w_down = g->AddWeightRef("w_down", &w.w_down);
+    const int b_down = g->AddWeightRef("b_down", &w.b_down);
+    const int up = g->AddMatmulBias("up_proj", x, w_up, b_up);
+    const int act = g->AddRelu("relu", up);
+    const int down = g->AddMatmulBias("down_proj", act, w_down, b_down);
+    g->AddAdd("residual", x, down);
+    g->PropagateSparsity();
+    entry.decisions.push_back(g->PitPass());
+    entry.graphs.push_back(std::move(g));
+    entry.outs.emplace_back(Shape{tokens, hidden_});
+  }
+  entry.feeds = {{"x", nullptr}};
+  return entries_.emplace(tokens, std::move(entry)).first->second;
+}
+
+Tensor PlannedFfnStack::RunPlanned(const Tensor& x, PitCompiler* compiler) const {
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK_EQ(x.dim(1), hidden_);
+  // Plans share one arena + staging buffer set per shape: serialize forwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  TokenEntry& entry = EntryFor(x.dim(0));
+  const Tensor* cur = &x;
+  for (size_t l = 0; l < entry.graphs.size(); ++l) {
+    entry.feeds["x"] = cur;
+    ExecutionPlan& plan =
+        entry.graphs[l]->Plan(compiler != nullptr ? &entry.decisions[l] : nullptr);
+    ConstTensorView out = plan.Run(entry.feeds, compiler);
+    // Stage the layer output: the next layer binds it as its feed while this
+    // layer's arena slot gets reused. The staging tensors are allocated once
+    // per token count, so steady-state forwards stay allocation-free.
+    std::copy(out.data(), out.data() + out.size(), entry.outs[l].data());
+    cur = &entry.outs[l];
+  }
+  return *cur;  // value copy for the caller; staging stays reusable
+}
+
+Tensor PlannedFfnStack::Forward(const Tensor& x) const { return RunPlanned(x, nullptr); }
+
+Tensor PlannedFfnStack::ForwardPit(const Tensor& x, PitCompiler& compiler) const {
+  return RunPlanned(x, &compiler);
+}
+
+Tensor PlannedFfnStack::ForwardEager(const Tensor& x) const {
+  Tensor cur = x;
+  for (const LayerWeights& w : weights_) {
+    cur = Add(cur, MatMulBias(Relu(MatMulBias(cur, w.w_up, w.b_up)), w.w_down, w.b_down));
+  }
+  return cur;
+}
+
+PlanStats PlannedFfnStack::StatsFor(int64_t tokens) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TokenEntry& entry = EntryFor(tokens);
+  PlanStats total;
+  for (const auto& g : entry.graphs) {
+    const PlanStats& s = g->Plan().stats();
+    total.arena_bytes += s.arena_bytes;
+    total.sum_temporary_bytes += s.sum_temporary_bytes;
+    total.num_steps += s.num_steps;
+    total.num_inplace += s.num_inplace;
+    total.num_pit_steps += s.num_pit_steps;
+  }
+  return total;
 }
 
 }  // namespace pit

@@ -8,11 +8,17 @@
 #define PIT_RUNTIME_MODELS_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pit/core/compiler.h"
 #include "pit/gpusim/cost_model.h"
+#include "pit/graph/execution_plan.h"
 #include "pit/runtime/engine.h"
+#include "pit/tensor/tensor.h"
 
 namespace pit {
 
@@ -102,6 +108,58 @@ struct SparseTrainingRunConfig {
 ModelRunCost SparseTrainingRun(const CostModel& model, Engine engine,
                                const TransformerDims& dims,
                                const SparseTrainingRunConfig& config);
+
+// ---- Planned real-tensor execution ----------------------------------------
+//
+// Unlike the cost functions above (which price simulated latency), this is a
+// functional model trunk — an OPT-style stack of residual FFN blocks
+// (x + Down(ReLU(Up(x)))) on real tensors — whose per-layer forwards replay
+// cached ExecutionPlans: graphs are compiled once per token count, weights
+// are referenced in place, intermediates live in reused arenas, and the PIT
+// variant dispatches each layer's sparse down-projection through the
+// compiler's per-site kernel handles. This is the serving-side execution
+// seam later batching/multi-stream work builds on.
+class PlannedFfnStack {
+ public:
+  PlannedFfnStack(int64_t layers, int64_t hidden, int64_t ffn_hidden, Rng& rng);
+  ~PlannedFfnStack();
+  // Plans reference the stack's weights in place: the object is pinned.
+  PlannedFfnStack(const PlannedFfnStack&) = delete;
+  PlannedFfnStack& operator=(const PlannedFfnStack&) = delete;
+
+  // Planned dense forward; x: [tokens, hidden].
+  Tensor Forward(const Tensor& x) const;
+  // Planned PIT forward: each layer's down-projection consumes its ReLU
+  // activation through `compiler`'s sparse path.
+  Tensor ForwardPit(const Tensor& x, PitCompiler& compiler) const;
+  // Eager reference: direct ops, one fresh tensor per intermediate — the
+  // differential oracle and the bench baseline for the planned path.
+  Tensor ForwardEager(const Tensor& x) const;
+
+  // Aggregate memory-planning stats over the dense plans for this token
+  // count (compiles them if needed).
+  PlanStats StatsFor(int64_t tokens) const;
+  int64_t layers() const { return static_cast<int64_t>(weights_.size()); }
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  struct LayerWeights {
+    Tensor w_up, b_up, w_down, b_down;
+  };
+  struct TokenEntry {
+    std::vector<std::unique_ptr<Graph>> graphs;             // one per layer
+    std::vector<std::vector<MatmulDecision>> decisions;     // PIT pass per layer
+    std::map<std::string, const Tensor*> feeds;
+    std::vector<Tensor> outs;  // per-layer output staging, allocated once
+  };
+  TokenEntry& EntryFor(int64_t tokens) const;
+  Tensor RunPlanned(const Tensor& x, PitCompiler* compiler) const;
+
+  int64_t hidden_ = 0;
+  std::vector<LayerWeights> weights_;
+  mutable std::map<int64_t, TokenEntry> entries_;  // keyed by token count, bounded
+  mutable std::mutex mu_;  // forwards share plan arenas; serialize them
+};
 
 }  // namespace pit
 

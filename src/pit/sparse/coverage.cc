@@ -29,18 +29,26 @@ double AnalyticPattern::NonZeroProb(const MicroTileShape& micro) const {
   return 1.0 - std::pow(sparsity_, blocks);
 }
 
-MaskPattern::MaskPattern(const Tensor* mask) : mask_(mask) {
+namespace {
+ConstTensorView DerefMask(const Tensor* mask) {
   PIT_CHECK(mask != nullptr);
-  PIT_CHECK_EQ(mask->rank(), 2);
+  return ConstTensorView(*mask);
+}
+}  // namespace
+
+MaskPattern::MaskPattern(const Tensor* mask) : MaskPattern(DerefMask(mask)) {}
+
+MaskPattern::MaskPattern(ConstTensorView mask) : mask_(mask) {
+  PIT_CHECK_EQ(mask_.rank(), 2);
 }
 
 double MaskPattern::NonZeroProb(const MicroTileShape& micro) const {
   SparsityDetector detector;
-  MicroTileIndex index = detector.Detect(*mask_, micro);
+  MicroTileIndex index = detector.Detect(mask_, micro);
   return index.CoveredFraction();
 }
 
-double MaskPattern::ElementSparsity() const { return mask_->SparsityRatio(); }
+double MaskPattern::ElementSparsity() const { return mask_.SparsityRatio(); }
 
 int64_t CountCoveringMicroTiles(const SparsityPattern& pattern, const MicroTileShape& micro) {
   const int64_t grid_rows = (pattern.rows() + micro.rows - 1) / micro.rows;

@@ -50,17 +50,20 @@ class AnalyticPattern : public SparsityPattern {
 };
 
 // Exact pattern backed by a mask/value tensor (nonzero = participates).
+// Holds a non-owning view, so it can wrap either a Tensor or an arena slice;
+// the underlying storage must outlive the pattern.
 class MaskPattern : public SparsityPattern {
  public:
   explicit MaskPattern(const Tensor* mask);
+  explicit MaskPattern(ConstTensorView mask);
 
-  int64_t rows() const override { return mask_->dim(0); }
-  int64_t cols() const override { return mask_->dim(1); }
+  int64_t rows() const override { return mask_.dim(0); }
+  int64_t cols() const override { return mask_.dim(1); }
   double NonZeroProb(const MicroTileShape& micro) const override;
   double ElementSparsity() const override;
 
  private:
-  const Tensor* mask_;  // not owned
+  ConstTensorView mask_;
 };
 
 // CoverAlgo: number of micro-tiles needed to cover every nonzero.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "pit/common/backend.h"
 #include "pit/common/gemm_microkernel.h"
@@ -38,17 +40,27 @@ void ReferenceMatMulInto(const float* a, const float* b, float* c, int64_t m, in
 
 }  // namespace
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+void MatMulInto(ConstTensorView a, ConstTensorView b, TensorView c) {
   PIT_CHECK_EQ(a.rank(), 2);
   PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(c.rank(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PIT_CHECK_EQ(k, b.dim(0));
-  Tensor c({m, n});
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);  // kernels accumulate into C
   if (UseBlockedBackend()) {
     GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n);
   } else {
     ReferenceMatMulInto(a.data(), b.data(), c.data(), m, k, n);
   }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  Tensor c({a.dim(0), b.dim(1)});
+  MatMulInto(a, b, c);
   return c;
 }
 
@@ -79,13 +91,16 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+void MatMulBiasInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias, TensorView c) {
   PIT_CHECK_EQ(a.rank(), 2);
   PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(c.rank(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PIT_CHECK_EQ(k, b.dim(0));
   PIT_CHECK_EQ(bias.size(), n);
-  Tensor c({m, n});
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);
   if (UseBlockedBackend()) {
     // Bias is fused into the GEMM epilogue: C is written exactly once.
     GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n, bias.data());
@@ -97,12 +112,19 @@ Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
       }
     }
   }
+}
+
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  Tensor c({a.dim(0), b.dim(1)});
+  MatMulBiasInto(a, b, bias, c);
   return c;
 }
 
-Tensor Add(const Tensor& a, const Tensor& b) {
-  PIT_CHECK(a.shape() == b.shape());
-  Tensor c(a.shape());
+void AddInto(ConstTensorView a, ConstTensorView b, TensorView c) {
+  PIT_CHECK(a.ShapeEquals(b));
+  PIT_CHECK_EQ(a.size(), c.size());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -111,6 +133,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       pc[i] = pa[i] + pb[i];
     }
   });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  PIT_CHECK(a.shape() == b.shape());
+  Tensor c(a.shape());
+  AddInto(a, b, c);
   return c;
 }
 
@@ -128,8 +156,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor Relu(const Tensor& a) {
-  Tensor c(a.shape());
+void ReluInto(ConstTensorView a, TensorView c) {
+  PIT_CHECK_EQ(a.size(), c.size());
   const float* pa = a.data();
   float* pc = c.data();
   ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
@@ -137,6 +165,11 @@ Tensor Relu(const Tensor& a) {
       pc[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
     }
   });
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor c(a.shape());
+  ReluInto(a, c);
   return c;
 }
 
@@ -182,13 +215,14 @@ Tensor Transpose2D(const Tensor& a) {
   return c;
 }
 
-Tensor Softmax(const Tensor& a, const Tensor* mask) {
+void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c) {
   PIT_CHECK_EQ(a.rank(), 2);
   if (mask != nullptr) {
-    PIT_CHECK(mask->shape() == a.shape());
+    PIT_CHECK(mask->ShapeEquals(a));
   }
   const int64_t m = a.dim(0), n = a.dim(1);
-  Tensor c({m, n});
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   // Rows are independent; per-row math is identical to the reference loop.
   ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
@@ -200,7 +234,12 @@ Tensor Softmax(const Tensor& a, const Tensor* mask) {
                     maxv = std::max(maxv, v);
                   }
                   if (maxv == kNegInf) {
-                    continue;  // fully-masked row stays all-zero
+                    // Fully-masked row is all-zero; the output may be a dirty
+                    // arena slice, so write the zeros explicitly.
+                    for (int64_t j = 0; j < n; ++j) {
+                      c.At(i, j) = 0.0f;
+                    }
+                    continue;
                   }
                   float sum = 0.0f;
                   for (int64_t j = 0; j < n; ++j) {
@@ -214,6 +253,17 @@ Tensor Softmax(const Tensor& a, const Tensor* mask) {
                   }
                 }
               });
+}
+
+Tensor Softmax(const Tensor& a, const Tensor* mask) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  Tensor c(a.shape());
+  if (mask != nullptr) {
+    const ConstTensorView mask_view(*mask);
+    SoftmaxInto(a, &mask_view, c);
+  } else {
+    SoftmaxInto(a, nullptr, c);
+  }
   return c;
 }
 
@@ -266,9 +316,9 @@ Tensor ReduceSumAxis1(const Tensor& a) {
   return c;
 }
 
-Tensor ApplyMask(const Tensor& a, const Tensor& mask) {
-  PIT_CHECK(a.shape() == mask.shape());
-  Tensor c(a.shape());
+void ApplyMaskInto(ConstTensorView a, ConstTensorView mask, TensorView c) {
+  PIT_CHECK(a.ShapeEquals(mask));
+  PIT_CHECK_EQ(a.size(), c.size());
   const float* pa = a.data();
   const float* pm = mask.data();
   float* pc = c.data();
@@ -277,6 +327,12 @@ Tensor ApplyMask(const Tensor& a, const Tensor& mask) {
       pc[i] = pm[i] != 0.0f ? pa[i] : 0.0f;
     }
   });
+}
+
+Tensor ApplyMask(const Tensor& a, const Tensor& mask) {
+  PIT_CHECK(a.shape() == mask.shape());
+  Tensor c(a.shape());
+  ApplyMaskInto(a, mask, c);
   return c;
 }
 
@@ -290,13 +346,48 @@ Tensor Conv2D(const Tensor& input, const Tensor& weight) {
   PIT_CHECK_GT(oh, 0);
   PIT_CHECK_GT(ow, 0);
   Tensor out({n, f, oh, ow});
+  if (UseBlockedBackend()) {
+    // im2col + GEMM: the weight [F, C*KH*KW] is already a contiguous row-major
+    // matrix; lowering each image to a column panel [C*KH*KW, OH*OW] turns the
+    // convolution into one GemmF32 per image whose output IS the [F, OH*OW]
+    // output plane block — no post-hoc permutation. The GEMM's ascending-k
+    // accumulation order equals the naive kernel's (ch, i, j) order, so the
+    // two backends agree to the last bit.
+    const int64_t ckk = c * kh * kw;
+    const int64_t plane = oh * ow;
+    // Per-call scratch (not thread_local): the panel is C*KH*KW x OH*OW and
+    // pinning the largest-ever size per thread would hoard memory on big
+    // activations; one allocation per conv call is noise next to the GEMM.
+    std::vector<float> col(static_cast<size_t>(ckk * plane));
+    float* pcol = col.data();
+    for (int64_t b = 0; b < n; ++b) {
+      // Each col row (ch, i, j) is OH shifted row-segments of the input — all
+      // contiguous memcpys. Rows are disjoint: parallel across them.
+      ParallelFor(ckk, GrainOrSerial(ckk, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, plane))),
+                  [&](int64_t r0, int64_t r1) {
+                    for (int64_t r = r0; r < r1; ++r) {
+                      const int64_t ch = r / (kh * kw);
+                      const int64_t i = (r / kw) % kh;
+                      const int64_t j = r % kw;
+                      const float* src = input.data() + ((b * c + ch) * h + i) * w + j;
+                      float* dst = pcol + r * plane;
+                      for (int64_t y = 0; y < oh; ++y) {
+                        std::memcpy(dst + y * ow, src + y * w,
+                                    static_cast<size_t>(ow) * sizeof(float));
+                      }
+                    }
+                  });
+      GemmF32(f, plane, ckk, weight.data(), ckk, pcol, plane, out.data() + b * f * plane, plane);
+    }
+    return out;
+  }
   auto in_at = [&](int64_t b, int64_t ch, int64_t y, int64_t x) {
     return input[((b * c + ch) * h + y) * w + x];
   };
   auto w_at = [&](int64_t ff, int64_t ch, int64_t y, int64_t x) {
     return weight[((ff * c + ch) * kh + y) * kw + x];
   };
-  // Parallel over (batch, filter) pairs — disjoint output planes.
+  // Reference oracle: the naive 6-loop kernel, serial per output plane.
   const int64_t work_per_plane = oh * ow * c * kh * kw;
   ParallelFor(n * f,
               GrainOrSerial(n * f, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, work_per_plane))),

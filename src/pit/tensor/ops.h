@@ -37,7 +37,27 @@ Tensor ApplyMask(const Tensor& a, const Tensor& mask);
 
 // 2-D convolution, NCHW activations x FCHW weights, stride 1, no padding.
 // Used by the expr tests to exercise the non-PIT axes of convolution.
+// Reference backend: the naive 6-loop kernel (the oracle). Blocked backend:
+// per-image im2col into a reused scratch panel + one GemmF32 per image, whose
+// k order (channel, kh, kw) matches the naive accumulation order exactly.
 Tensor Conv2D(const Tensor& input, const Tensor& weight);
+
+// ---- View-based kernels ----------------------------------------------------
+//
+// The planned graph executor dispatches these: identical math to the Tensor
+// wrappers above (the wrappers call them), but the caller owns the output
+// storage — typically a slice of the execution arena. Output views must not
+// alias inputs except where noted; every function fully defines the output
+// (MatMul*Into zero-fill before accumulating, SoftmaxInto writes zeros for
+// fully-masked rows).
+void MatMulInto(ConstTensorView a, ConstTensorView b, TensorView c);
+void MatMulBiasInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias, TensorView c);
+// Element-wise kernels; `c` may alias any input (read-then-write per element).
+void AddInto(ConstTensorView a, ConstTensorView b, TensorView c);
+void ReluInto(ConstTensorView a, TensorView c);
+void ApplyMaskInto(ConstTensorView a, ConstTensorView mask, TensorView c);
+// Row-wise softmax; `mask` may be null. `c` must not alias the mask.
+void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c);
 
 }  // namespace pit
 

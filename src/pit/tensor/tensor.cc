@@ -84,17 +84,38 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   return t;
 }
 
-int64_t Tensor::CountNonZero(float tol) const {
-  int64_t n = 0;
-  for (float v : data_) {
-    if (std::fabs(v) > tol) {
-      ++n;
+namespace {
+
+// Single definition of the nonzero count so Tensor and the views agree
+// bit-for-bit (the compiler cache keys sparsity buckets on this).
+int64_t CountNonZeroImpl(const float* data, int64_t n, float tol) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(data[i]) > tol) {
+      ++count;
     }
   }
-  return n;
+  return count;
+}
+
+}  // namespace
+
+int64_t Tensor::CountNonZero(float tol) const {
+  return CountNonZeroImpl(data_.data(), size(), tol);
 }
 
 double Tensor::SparsityRatio(float tol) const {
+  if (empty()) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(CountNonZero(tol)) / static_cast<double>(size());
+}
+
+int64_t ConstTensorView::CountNonZero(float tol) const {
+  return CountNonZeroImpl(data_, size_, tol);
+}
+
+double ConstTensorView::SparsityRatio(float tol) const {
   if (empty()) {
     return 0.0;
   }

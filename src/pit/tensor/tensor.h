@@ -84,6 +84,99 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// Non-owning views over dense row-major float32 data.
+//
+// A view is (data pointer, dims pointer, rank): both pointers borrow — the
+// owning Tensor (or arena slice plus a stable Shape) must outlive the view.
+// Views are how planned execution hands kernels an arena slice to write into
+// without materializing a value-semantics Tensor per intermediate; they are
+// four words, cheap to pass by value.
+class ConstTensorView {
+ public:
+  ConstTensorView() = default;
+  ConstTensorView(const float* data, const Shape& shape)
+      : data_(data), dims_(shape.data()), rank_(static_cast<int>(shape.size())),
+        size_(NumElements(shape)) {}
+  // Implicit: any Tensor is viewable.
+  ConstTensorView(const Tensor& t)  // NOLINT(google-explicit-constructor)
+      : data_(t.data()), dims_(t.shape().data()), rank_(t.rank()), size_(t.size()) {}
+
+  int rank() const { return rank_; }
+  int64_t dim(int i) const { return dims_[i]; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const float* data() const { return data_; }
+
+  float operator[](int64_t i) const { return data_[i]; }
+  float At(int64_t r, int64_t c) const { return data_[r * dims_[1] + c]; }
+  float At(int64_t b, int64_t r, int64_t c) const {
+    return data_[(b * dims_[1] + r) * dims_[2] + c];
+  }
+
+  // Shape copy (allocates; for checks and error paths, not hot loops).
+  Shape shape() const { return Shape(dims_, dims_ + rank_); }
+  bool ShapeEquals(const ConstTensorView& o) const {
+    if (rank_ != o.rank_) {
+      return false;
+    }
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != o.dims_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int64_t CountNonZero(float tol = 0.0f) const;
+  double SparsityRatio(float tol = 0.0f) const;  // fraction of zeros
+
+ private:
+  friend class TensorView;
+  ConstTensorView(const float* data, const int64_t* dims, int rank, int64_t size)
+      : data_(data), dims_(dims), rank_(rank), size_(size) {}
+
+  const float* data_ = nullptr;
+  const int64_t* dims_ = nullptr;
+  int rank_ = 0;
+  int64_t size_ = 0;
+};
+
+// Mutable variant; converts implicitly to ConstTensorView.
+class TensorView {
+ public:
+  TensorView() = default;
+  TensorView(float* data, const Shape& shape)
+      : data_(data), dims_(shape.data()), rank_(static_cast<int>(shape.size())),
+        size_(NumElements(shape)) {}
+  TensorView(Tensor& t)  // NOLINT(google-explicit-constructor)
+      : data_(t.data()), dims_(t.shape().data()), rank_(t.rank()), size_(t.size()) {}
+
+  operator ConstTensorView() const {  // NOLINT(google-explicit-constructor)
+    return ConstTensorView(data_, dims_, rank_, size_);
+  }
+
+  int rank() const { return rank_; }
+  int64_t dim(int i) const { return dims_[i]; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  float* data() const { return data_; }
+
+  float& operator[](int64_t i) const { return data_[i]; }
+  float& At(int64_t r, int64_t c) const { return data_[r * dims_[1] + c]; }
+  float& At(int64_t b, int64_t r, int64_t c) const {
+    return data_[(b * dims_[1] + r) * dims_[2] + c];
+  }
+
+  Shape shape() const { return Shape(dims_, dims_ + rank_); }
+
+ private:
+  friend class ConstTensorView;
+  float* data_ = nullptr;
+  const int64_t* dims_ = nullptr;
+  int rank_ = 0;
+  int64_t size_ = 0;
+};
+
 // True when |a - b| <= atol + rtol * |b| element-wise and shapes match.
 bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f, float atol = 1e-5f);
 // Largest absolute element-wise difference (shapes must match).

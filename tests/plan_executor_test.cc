@@ -1,0 +1,328 @@
+// Differential suite for the planned graph executor: plan execution must be
+// bitwise identical to eager (pre-refactor) execution for every OpKind, under
+// arena/in-place buffer reuse, across plan reuse with changing input values,
+// and for any thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
+#include "pit/graph/execution_plan.h"
+#include "pit/graph/graph.h"
+#include "pit/nn/modules.h"
+#include "pit/runtime/models.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), static_cast<size_t>(a.size()) * sizeof(float)), 0)
+      << "max abs diff " << MaxAbsDiff(a, b);
+}
+
+// The pre-refactor eager executor, kept verbatim here as the oracle: one
+// fresh Tensor per node, direct op calls.
+std::map<int, Tensor> EagerExecute(const Graph& g, const std::map<std::string, Tensor>& feeds,
+                                   const std::vector<MatmulDecision>* decisions = nullptr,
+                                   PitCompiler* compiler = nullptr) {
+  auto decision_for = [&](int id) -> const MatmulDecision* {
+    if (decisions == nullptr) {
+      return nullptr;
+    }
+    for (const auto& d : *decisions) {
+      if (d.node_id == id) {
+        return &d;
+      }
+    }
+    return nullptr;
+  };
+  std::map<int, Tensor> values;
+  for (int id = 0; id < g.size(); ++id) {
+    const GraphNode& n = g.node(id);
+    switch (n.kind) {
+      case OpKind::kInput:
+        values.emplace(id, feeds.at(n.name));
+        break;
+      case OpKind::kWeight:
+        values.emplace(id, g.weight(id));
+        break;
+      case OpKind::kMatmul: {
+        const MatmulDecision* d = decision_for(id);
+        if (d != nullptr && d->use_pit) {
+          values.emplace(id,
+                         compiler->SparseMatmul(values.at(n.inputs[0]), values.at(n.inputs[1]))
+                             .output);
+        } else {
+          values.emplace(id, MatMul(values.at(n.inputs[0]), values.at(n.inputs[1])));
+        }
+        break;
+      }
+      case OpKind::kMatmulBias: {
+        const MatmulDecision* d = decision_for(id);
+        if (d != nullptr && d->use_pit) {
+          Tensor y = compiler->SparseMatmul(values.at(n.inputs[0]), values.at(n.inputs[1]))
+                         .output;
+          const Tensor& bias = values.at(n.inputs[2]);
+          for (int64_t i = 0; i < y.dim(0); ++i) {
+            for (int64_t j = 0; j < y.dim(1); ++j) {
+              y.At(i, j) += bias[j];
+            }
+          }
+          values.emplace(id, std::move(y));
+        } else {
+          values.emplace(id, MatMulBias(values.at(n.inputs[0]), values.at(n.inputs[1]),
+                                        values.at(n.inputs[2])));
+        }
+        break;
+      }
+      case OpKind::kRelu:
+        values.emplace(id, Relu(values.at(n.inputs[0])));
+        break;
+      case OpKind::kAdd:
+        values.emplace(id, Add(values.at(n.inputs[0]), values.at(n.inputs[1])));
+        break;
+      case OpKind::kMask:
+        values.emplace(id, ApplyMask(values.at(n.inputs[0]), values.at(n.inputs[1])));
+        break;
+      case OpKind::kSoftmax:
+        values.emplace(id, Softmax(values.at(n.inputs[0])));
+        break;
+    }
+  }
+  return values;
+}
+
+// A graph touching every OpKind: two inputs, two weights, matmul,
+// matmul_bias, mask, softmax, add, relu.
+Graph BuildAllOpsGraph(int64_t tokens, int64_t hidden, Rng& rng) {
+  Graph g;
+  const int x = g.AddInput("x", {tokens, hidden});
+  const int m = g.AddInput("m", {tokens, tokens}, /*expected_sparsity=*/0.8);
+  const int w = g.AddWeight("w", Tensor::Random({hidden, tokens}, rng));
+  const int bias = g.AddWeight("bias", Tensor::Random({tokens}, rng));
+  const int mm = g.AddMatmul("mm", x, w);           // [tokens, tokens]
+  const int mb = g.AddMatmulBias("mb", x, w, bias);  // [tokens, tokens]
+  const int masked = g.AddMask("masked", mm, m);
+  const int soft = g.AddSoftmax("soft", masked);
+  const int sum = g.AddAdd("sum", mb, soft);
+  g.AddRelu("out", sum);
+  g.PropagateSparsity();
+  return g;
+}
+
+std::map<std::string, Tensor> AllOpsFeeds(int64_t tokens, int64_t hidden, uint64_t seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::Random({tokens, hidden}, rng);
+  Tensor m = Tensor::RandomSparse({tokens, tokens}, 0.8, rng);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m[i] = m[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  return {{"x", x}, {"m", m}};
+}
+
+TEST(PlanExecutorTest, EveryOpKindBitwiseMatchesEager) {
+  Rng rng(1);
+  Graph g = BuildAllOpsGraph(24, 16, rng);
+  auto feeds = AllOpsFeeds(24, 16, 2);
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  ASSERT_EQ(eager.size(), planned.size());
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
+}
+
+TEST(PlanExecutorTest, ReferenceBackendAlsoBitwiseMatches) {
+  ScopedBackend guard(ComputeBackend::kReference);
+  Rng rng(3);
+  Graph g = BuildAllOpsGraph(16, 8, rng);
+  auto feeds = AllOpsFeeds(16, 8, 4);
+  ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+}
+
+TEST(PlanExecutorTest, InPlaceAliasingIsExactAndActuallyHappens) {
+  // relu(relu(mask(matmul))) — three elementwise steps, each consuming a
+  // dying arena value: all should alias in place.
+  Rng rng(5);
+  Graph g;
+  const int x = g.AddInput("x", {32, 32});
+  const int m = g.AddInput("m", {32, 32}, 0.5);
+  const int w = g.AddWeight("w", Tensor::Random({32, 32}, rng));
+  const int mm = g.AddMatmul("mm", x, w);
+  const int masked = g.AddMask("masked", mm, m);
+  const int r1 = g.AddRelu("r1", masked);
+  g.AddAdd("r2", r1, r1);  // duplicate operand: Add(x, x) aliasing
+  g.PropagateSparsity();
+
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_GE(plan.stats().num_inplace, 2);
+  // In-place steps share the matmul's block: peak arena < sum of temporaries.
+  EXPECT_LT(plan.stats().arena_bytes, plan.stats().sum_temporary_bytes);
+
+  auto feeds = AllOpsFeeds(32, 32, 6);
+  feeds["x"] = Tensor::Random({32, 32}, rng);
+  ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+}
+
+TEST(PlanExecutorTest, PlanReuseAcrossChangingInputValues) {
+  Rng rng(7);
+  Graph g = BuildAllOpsGraph(20, 12, rng);
+  ExecutionPlan* first = &g.Plan();
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    auto feeds = AllOpsFeeds(20, 12, seed);
+    ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+    // Same compiled plan object every iteration (no recompilation).
+    EXPECT_EQ(&g.Plan(), first);
+  }
+}
+
+TEST(PlanExecutorTest, PitPathBitwiseMatchesEagerPit) {
+  // FFN down-projection fed by ReLU (k-axis gather) plus an externally
+  // row-sparse input (m-axis gather) — both PIT kernels under plan dispatch.
+  Rng rng(8);
+  Graph g;
+  const int x = g.AddInput("x", {48, 16}, /*expected_sparsity=*/0.5);
+  const int w1 = g.AddWeight("w1", Tensor::Random({16, 64}, rng));
+  const int w2 = g.AddWeight("w2", Tensor::Random({64, 16}, rng));
+  const int proj = g.AddMatmul("proj", x, w1);  // m-axis candidate
+  const int act = g.AddRelu("act", proj);
+  g.AddMatmul("down", act, w2);  // k-axis candidate
+  g.PropagateSparsity();
+  auto decisions = g.PitPass();
+  ASSERT_TRUE(decisions[0].use_pit);
+  ASSERT_TRUE(decisions[1].use_pit);
+
+  Rng xr(9);
+  Tensor xv = Tensor::RandomBlockSparse(48, 16, 1, 16, 0.5, xr);
+  std::map<std::string, Tensor> feeds{{"x", xv}};
+
+  PitCompiler eager_compiler(V100());
+  auto eager = EagerExecute(g, feeds, &decisions, &eager_compiler);
+  PitCompiler planned_compiler(V100());
+  auto planned = g.Execute(feeds, &decisions, &planned_compiler);
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
+  EXPECT_EQ(planned_compiler.kernels_compiled(), eager_compiler.kernels_compiled());
+}
+
+TEST(PlanExecutorTest, PitHandleHitsCacheOnRepeatExecutions) {
+  Rng rng(11);
+  Graph g = BuildFfnGraph(32, 16, 64, rng);
+  auto decisions = g.PitPass();
+  PitCompiler compiler(V100());
+  Rng xr(12);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({32, 16}, xr)}};
+  g.Run(feeds, &decisions, &compiler);
+  const int64_t compiled_once = compiler.kernels_compiled();
+  for (int i = 0; i < 3; ++i) {
+    g.Run(feeds, &decisions, &compiler);
+  }
+  EXPECT_EQ(compiler.kernels_compiled(), compiled_once);  // no re-selection
+  EXPECT_GE(compiler.cache_hits(), 3);
+}
+
+TEST(PlanExecutorTest, DeterministicAcrossThreadCounts) {
+  Rng rng(13);
+  Graph g = BuildAllOpsGraph(40, 24, rng);
+  auto feeds = AllOpsFeeds(40, 24, 14);
+  Tensor base;
+  {
+    ScopedNumThreads threads(1);
+    base = g.Run(feeds);
+  }
+  for (int t : {4, 7}) {
+    ScopedNumThreads threads(t);
+    ExpectBitwiseEqual(g.Run(feeds), base);
+  }
+}
+
+TEST(PlanExecutorTest, PitDeterministicAcrossThreadCounts) {
+  Rng rng(15);
+  Graph g = BuildFfnGraph(32, 16, 64, rng);
+  auto decisions = g.PitPass();
+  Rng xr(16);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({32, 16}, xr)}};
+  Tensor base;
+  {
+    ScopedNumThreads threads(1);
+    PitCompiler compiler(V100());
+    base = g.Run(feeds, &decisions, &compiler);
+  }
+  for (int t : {4, 7}) {
+    ScopedNumThreads threads(t);
+    PitCompiler compiler(V100());
+    ExpectBitwiseEqual(g.Run(feeds, &decisions, &compiler), base);
+  }
+}
+
+TEST(PlanExecutorTest, ArenaSmallerThanSumOfTemporaries) {
+  Rng rng(17);
+  Graph g = BuildFfnGraph(64, 32, 128, rng);
+  const PlanStats& stats = g.Plan().stats();
+  EXPECT_GT(stats.num_steps, 1);
+  EXPECT_LT(stats.arena_bytes, stats.sum_temporary_bytes);
+}
+
+TEST(PlanExecutorTest, FeedForwardPlannedMatchesManualEager) {
+  Rng rng(19);
+  FeedForward ffn(16, 64, rng);
+  // Twin Linears drawn from the identical Rng stream: bitwise-equal weights.
+  Rng twin(19);
+  Linear up(16, 64, twin);
+  Linear down(64, 16, twin);
+
+  Rng xr(20);
+  Tensor x = Tensor::Random({24, 16}, xr);
+  Tensor act = Relu(up.Forward(x));
+  ExpectBitwiseEqual(ffn.Forward(x), down.Forward(act));
+  EXPECT_DOUBLE_EQ(ffn.last_activation_sparsity(), act.SparsityRatio());
+
+  // Sparse path: planned PIT dispatch vs the eager sparse Linear.
+  PitCompiler planned_compiler(V100());
+  PitCompiler eager_compiler(V100());
+  ExpectBitwiseEqual(ffn.ForwardSparse(x, planned_compiler),
+                     down.ForwardSparse(act, eager_compiler));
+
+  // A different token count compiles a second plan over the same weights.
+  Tensor x2 = Tensor::Random({7, 16}, xr);
+  ExpectBitwiseEqual(ffn.Forward(x2), down.Forward(Relu(up.Forward(x2))));
+}
+
+TEST(PlanExecutorTest, PlannedFfnStackMatchesEagerReference) {
+  Rng rng(21);
+  PlannedFfnStack stack(3, 16, 48, rng);
+  Rng xr(22);
+  Tensor x = Tensor::Random({20, 16}, xr);
+  ExpectBitwiseEqual(stack.Forward(x), stack.ForwardEager(x));
+  // Re-run with different values through the same cached plans.
+  Tensor y = Tensor::Random({20, 16}, xr);
+  ExpectBitwiseEqual(stack.Forward(y), stack.ForwardEager(y));
+  // And at a second token count (fresh plans, same weights).
+  Tensor z = Tensor::Random({9, 16}, xr);
+  ExpectBitwiseEqual(stack.Forward(z), stack.ForwardEager(z));
+
+  const PlanStats stats = stack.StatsFor(20);
+  EXPECT_EQ(stats.num_steps, 3 * 4);  // 4 compute nodes per layer
+  EXPECT_GE(stats.num_inplace, 3);    // residual add aliases per layer
+  EXPECT_LT(stats.arena_bytes, stats.sum_temporary_bytes);
+}
+
+TEST(PlanExecutorTest, PlannedFfnStackPitMatchesEagerPit) {
+  Rng rng(23);
+  PlannedFfnStack stack(2, 16, 64, rng);
+  Rng xr(24);
+  Tensor x = Tensor::Random({24, 16}, xr);
+  PitCompiler compiler(V100());
+  Tensor pit = stack.ForwardPit(x, compiler);
+  // The PIT kernels are exact, so against the dense reference only float
+  // ordering differs: compare with a tolerance.
+  EXPECT_TRUE(AllClose(pit, stack.ForwardEager(x), 1e-3f, 1e-4f));
+  EXPECT_GT(compiler.kernels_compiled(), 0);
+}
+
+}  // namespace
+}  // namespace pit
