@@ -77,6 +77,10 @@ Tensor EagerRun(const Graph& g, const std::map<std::string, Tensor>& feeds) {
       case OpKind::kSoftmax:
         values.emplace(id, Softmax(values.at(n.inputs[0])));
         break;
+      default:
+        // The transformer-block ops (PR 3) never appear in this bench's
+        // graphs; bench_planned_transformer owns their eager baseline.
+        PIT_CHECK(false) << "unexpected op kind in bench graph";
     }
   }
   return values.at(g.size() - 1);

@@ -1,9 +1,10 @@
 #include "pit/common/backend.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "pit/common/check.h"
 
 namespace pit {
 namespace {
@@ -12,15 +13,7 @@ constexpr int kUnresolved = -1;
 
 ComputeBackend DefaultBackend() {
   if (const char* env = std::getenv("PIT_BACKEND")) {
-    if (std::strcmp(env, "reference") == 0) {
-      return ComputeBackend::kReference;
-    }
-    if (std::strcmp(env, "blocked") != 0) {
-      std::fprintf(stderr,
-                   "[PIT] unrecognized PIT_BACKEND=\"%s\" (expected \"blocked\" or "
-                   "\"reference\"); using blocked\n",
-                   env);
-    }
+    return ParseBackendEnv(env);
   }
   return ComputeBackend::kBlocked;
 }
@@ -28,6 +21,17 @@ ComputeBackend DefaultBackend() {
 std::atomic<int> g_backend{kUnresolved};
 
 }  // namespace
+
+ComputeBackend ParseBackendEnv(const char* value) {
+  PIT_CHECK(value != nullptr && *value != '\0')
+      << "PIT_BACKEND is set but empty; expected \"blocked\" or \"reference\"";
+  if (std::strcmp(value, "reference") == 0) {
+    return ComputeBackend::kReference;
+  }
+  PIT_CHECK(std::strcmp(value, "blocked") == 0)
+      << "unrecognized PIT_BACKEND=\"" << value << "\"; expected \"blocked\" or \"reference\"";
+  return ComputeBackend::kBlocked;
+}
 
 ComputeBackend ActiveBackend() {
   int v = g_backend.load(std::memory_order_relaxed);

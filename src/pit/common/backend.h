@@ -25,6 +25,12 @@ enum class ComputeBackend {
 // to kBlocked.
 ComputeBackend ActiveBackend();
 
+// Strict parser behind the PIT_BACKEND resolution: "blocked" or "reference"
+// only. A typo'd backend name must fail loudly (PIT_CHECK abort), not
+// silently run the default backend while the operator believes the oracle is
+// active.
+ComputeBackend ParseBackendEnv(const char* value);
+
 void SetBackend(ComputeBackend backend);
 
 // True when the blocked backend is active — the common dispatch predicate.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
@@ -9,15 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include "pit/common/check.h"
+
 namespace pit {
 namespace {
 
 int DefaultNumThreads() {
   if (const char* env = std::getenv("PIT_NUM_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) {
-      return v;
-    }
+    return ParseNumThreadsEnv(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -128,6 +128,23 @@ class Pool {
 };
 
 }  // namespace
+
+int ParseNumThreadsEnv(const char* value) {
+  PIT_CHECK(value != nullptr && *value != '\0')
+      << "PIT_NUM_THREADS is set but empty; expected a positive integer";
+  // Strict decimal: digits only (strtol would silently skip leading
+  // whitespace and accept a sign).
+  PIT_CHECK(*value >= '0' && *value <= '9')
+      << "PIT_NUM_THREADS=\"" << value << "\" is not a plain positive integer";
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  PIT_CHECK(end != value && *end == '\0')
+      << "PIT_NUM_THREADS=\"" << value << "\" is not an integer";
+  PIT_CHECK(errno != ERANGE && v >= 1 && v <= (1 << 16))
+      << "PIT_NUM_THREADS=\"" << value << "\" out of range; expected 1.." << (1 << 16);
+  return static_cast<int>(v);
+}
 
 int NumThreads() {
   int v = g_num_threads.load(std::memory_order_relaxed);

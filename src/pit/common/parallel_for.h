@@ -23,6 +23,12 @@ namespace pit {
 // override, then PIT_NUM_THREADS, then std::thread::hardware_concurrency().
 int NumThreads();
 
+// Strict parser behind the PIT_NUM_THREADS resolution: the value must be a
+// plain positive decimal integer (no trailing junk, no zero, no negatives —
+// a typo'd thread count must fail loudly, not silently fall back to the
+// hardware default). Aborts via PIT_CHECK on anything else.
+int ParseNumThreadsEnv(const char* value);
+
 // Overrides the worker count at runtime (clamped to >= 1). Intended for tests
 // and benchmarks; takes effect for subsequent ParallelFor calls.
 void SetNumThreads(int n);

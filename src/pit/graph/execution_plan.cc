@@ -97,12 +97,50 @@ Shape InferShape(const Graph& g, const GraphNode& n) {
       return {a[0], b[1]};
     }
     case OpKind::kRelu:
-    case OpKind::kSoftmax:
       return g.node(n.inputs[0]).shape;
+    case OpKind::kSoftmax: {
+      const Shape& x = g.node(n.inputs[0]).shape;
+      if (n.inputs.size() == 2) {
+        const Shape& mask = g.node(n.inputs[1]).shape;
+        PIT_CHECK_EQ(mask.size(), 2u);
+        PIT_CHECK_EQ(mask[0], x[x.size() - 2]);
+        PIT_CHECK_EQ(mask[1], x[x.size() - 1]);
+      }
+      return x;
+    }
     case OpKind::kAdd:
     case OpKind::kMask:
       PIT_CHECK(g.node(n.inputs[0]).shape == g.node(n.inputs[1]).shape);
       return g.node(n.inputs[0]).shape;
+    case OpKind::kLayerNorm: {
+      const Shape& x = g.node(n.inputs[0]).shape;
+      PIT_CHECK_EQ(x.size(), 2u);
+      PIT_CHECK(g.node(n.inputs[1]).shape == Shape{x[1]});
+      PIT_CHECK(g.node(n.inputs[2]).shape == Shape{x[1]});
+      return x;
+    }
+    case OpKind::kScale:
+      return g.node(n.inputs[0]).shape;
+    case OpKind::kTranspose: {
+      Shape s = g.node(n.inputs[0]).shape;
+      const int rank = static_cast<int>(s.size());
+      PIT_CHECK(n.iattr0 >= 0 && n.iattr0 < rank && n.iattr1 >= 0 && n.iattr1 < rank)
+          << "transpose axes (" << n.iattr0 << ", " << n.iattr1 << ") out of rank " << rank;
+      std::swap(s[static_cast<size_t>(n.iattr0)], s[static_cast<size_t>(n.iattr1)]);
+      return s;
+    }
+    case OpKind::kReshape:
+      PIT_CHECK_EQ(NumElements(n.shape), NumElements(g.node(n.inputs[0]).shape));
+      return n.shape;
+    case OpKind::kBatchMatmul: {
+      const Shape& a = g.node(n.inputs[0]).shape;
+      const Shape& b = g.node(n.inputs[1]).shape;
+      PIT_CHECK_EQ(a.size(), 3u);
+      PIT_CHECK_EQ(b.size(), 3u);
+      PIT_CHECK_EQ(a[0], b[0]);
+      PIT_CHECK_EQ(a[2], b[1]);
+      return {a[0], a[1], b[2]};
+    }
   }
   PIT_CHECK(false) << "unreachable op kind";
   return {};
@@ -121,27 +159,44 @@ const MatmulDecision* DecisionFor(const std::vector<MatmulDecision>* decisions, 
 }
 
 bool ElementwiseInPlaceOk(OpKind kind) {
-  // Relu/Add/Mask read each element before writing it, so the output may
-  // alias a dying input. Matmuls read operands while writing C (never safe);
-  // softmax is kept out-of-place conservatively (multi-pass rows).
-  return kind == OpKind::kRelu || kind == OpKind::kAdd || kind == OpKind::kMask;
+  // Relu/Add/Mask/Scale read each element before writing it, so the output
+  // may alias a dying input; LayerNorm reads a row's statistics before
+  // rewriting the row, which is equally safe under exact (same-offset)
+  // aliasing. Matmuls read operands while writing C (never safe); transpose
+  // permutes positions (never safe); softmax is kept out-of-place
+  // conservatively (multi-pass rows).
+  return kind == OpKind::kRelu || kind == OpKind::kAdd || kind == OpKind::kMask ||
+         kind == OpKind::kScale || kind == OpKind::kLayerNorm;
 }
 
 }  // namespace
 
-ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions)
-    : graph_(&graph) {
+ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions) {
   const int n = graph.size();
   PIT_CHECK_GT(n, 0) << "cannot plan an empty graph";
   bound_.assign(static_cast<size_t>(n), nullptr);
+  shapes_.reserve(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    shapes_.push_back(graph.node(id).shape);
+  }
 
-  // Liveness: last step consuming each node. The final node's block is never
-  // recycled simply because no allocation happens after the last step, so the
-  // result view stays valid until the next Run rewrites the arena.
+  // Storage roots: a kReshape aliases its input's storage, so lifetimes are
+  // tracked per root block, not per node — a block stays live until the last
+  // consumer of ANY node viewing it.
+  std::vector<int> root(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = graph.node(id);
+    root[static_cast<size_t>(id)] =
+        node.kind == OpKind::kReshape ? root[static_cast<size_t>(node.inputs[0])] : id;
+  }
+
+  // Liveness: last step consuming each root block. The final node's block is
+  // never recycled simply because no allocation happens after the last step,
+  // so the result view stays valid until the next Run rewrites the arena.
   std::vector<int> last_use(static_cast<size_t>(n), -1);
   for (int id = 0; id < n; ++id) {
     for (int in : graph.node(id).inputs) {
-      last_use[static_cast<size_t>(in)] = id;
+      last_use[static_cast<size_t>(root[static_cast<size_t>(in)])] = id;
     }
   }
   const int final_id = n - 1;
@@ -157,12 +212,12 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
         << "shape inference mismatch at node " << id << " (" << node.name << ")";
 
     if (node.kind == OpKind::kInput) {
-      loc[static_cast<size_t>(id)] = {ValueLoc::kFeed, id, 0};
+      loc[static_cast<size_t>(id)] = {ValueLoc::kFeed, id, id, 0};
       feed_bindings_.push_back({id, node.name});
       continue;
     }
     if (node.kind == OpKind::kWeight) {
-      loc[static_cast<size_t>(id)] = {ValueLoc::kWeight, id, 0};
+      loc[static_cast<size_t>(id)] = {ValueLoc::kWeight, id, id, 0};
       bound_[static_cast<size_t>(id)] = graph.weight(id).data();
       continue;
     }
@@ -170,11 +225,25 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
     OpCall call;
     call.kind = node.kind;
     call.node_id = id;
+    call.fattr = node.fattr;
+    call.iattr0 = node.iattr0;
+    call.iattr1 = node.iattr1;
     call.num_in = static_cast<int>(node.inputs.size());
     PIT_CHECK_LE(call.num_in, 3);
     for (int i = 0; i < call.num_in; ++i) {
       call.in[i] = loc[static_cast<size_t>(node.inputs[static_cast<size_t>(i)])];
     }
+
+    if (node.kind == OpKind::kReshape) {
+      // Pure alias: same storage, new shape. The step itself dispatches no
+      // kernel; it exists so observers (Graph::Execute) see the value.
+      call.out = call.in[0];
+      call.out.shape_id = id;
+      loc[static_cast<size_t>(id)] = call.out;
+      steps_.push_back(std::move(call));
+      continue;
+    }
+
     if (node.kind == OpKind::kMatmul || node.kind == OpKind::kMatmulBias) {
       const MatmulDecision* d = DecisionFor(decisions, id);
       call.use_pit = d != nullptr && d->use_pit;
@@ -188,36 +257,46 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
     // whose value is arena-resident, same element count) writes into that
     // input's block instead of claiming a new one. Safe for the final node
     // too — aliasing transfers the block to the result, it never recycles it.
-    int alias_input = -1;
+    int alias_root = -1;
     if (ElementwiseInPlaceOk(node.kind)) {
       for (int in : node.inputs) {
+        const int r_in = root[static_cast<size_t>(in)];
         const ValueRef& r = loc[static_cast<size_t>(in)];
-        if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(in)] == id &&
-            NumElements(graph.node(in).shape) == elems) {
-          alias_input = in;
+        if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(r_in)] == id &&
+            NumElements(shapes_[static_cast<size_t>(in)]) == elems) {
+          alias_root = r_in;
+          call.out = {ValueLoc::kArena, id, id, r.offset};
           break;
         }
       }
     }
-    if (alias_input >= 0) {
-      call.out = {ValueLoc::kArena, id, loc[static_cast<size_t>(alias_input)].offset};
+    if (alias_root >= 0) {
       call.inplace = true;
       ++stats_.num_inplace;
     } else {
-      call.out = {ValueLoc::kArena, id, planner.Allocate(elems)};
+      call.out = {ValueLoc::kArena, id, id, planner.Allocate(elems)};
     }
     loc[static_cast<size_t>(id)] = call.out;
 
-    // Release dying inputs (except the one whose block the output inherited).
+    // Release dying input blocks (except the one the output inherited).
+    // Dedup by root so two views of one block (e.g. x and reshape(x), or
+    // Add(x, x)) free it once.
     for (size_t i = 0; i < node.inputs.size(); ++i) {
       const int in = node.inputs[i];
-      if (std::find(node.inputs.begin(), node.inputs.begin() + static_cast<long>(i), in) !=
-          node.inputs.begin() + static_cast<long>(i)) {
-        continue;  // duplicate operand (e.g. Add(x, x)); free once
+      const int r_in = root[static_cast<size_t>(in)];
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (root[static_cast<size_t>(node.inputs[j])] == r_in) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) {
+        continue;  // duplicate block; free once
       }
       const ValueRef& r = loc[static_cast<size_t>(in)];
-      if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(in)] == id &&
-          in != alias_input) {
+      if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(r_in)] == id &&
+          r_in != alias_root) {
         planner.Free(r.offset);
       }
     }
@@ -249,16 +328,20 @@ float* ExecutionPlan::ResolveArena(const ValueRef& ref) {
 }
 
 void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
-  const Shape& out_shape = graph_->node(call.node_id).shape;
+  if (call.kind == OpKind::kReshape) {
+    return;  // alias-only: the value is its input's storage, reinterpreted
+  }
+  const Shape& out_shape = shapes_[static_cast<size_t>(call.out.shape_id)];
   TensorView out(ResolveArena(call.out), out_shape);
   auto in = [&](int i) {
     return ConstTensorView(ResolveConst(call.in[i]),
-                           graph_->node(call.in[i].node_id).shape);
+                           shapes_[static_cast<size_t>(call.in[i].shape_id)]);
   };
   switch (call.kind) {
     case OpKind::kInput:
     case OpKind::kWeight:
-      PIT_CHECK(false) << "inputs/weights are bindings, not steps";
+    case OpKind::kReshape:
+      PIT_CHECK(false) << "inputs/weights/reshapes are bindings, not kernels";
       break;
     case OpKind::kMatmul:
       if (call.use_pit) {
@@ -294,7 +377,24 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
       ApplyMaskInto(in(0), in(1), out);
       break;
     case OpKind::kSoftmax:
-      SoftmaxInto(in(0), nullptr, out);
+      if (call.num_in == 2) {
+        const ConstTensorView mask = in(1);
+        SoftmaxInto(in(0), &mask, out);
+      } else {
+        SoftmaxInto(in(0), nullptr, out);
+      }
+      break;
+    case OpKind::kLayerNorm:
+      LayerNormInto(in(0), in(1), in(2), out, call.fattr);
+      break;
+    case OpKind::kScale:
+      ScaleInto(in(0), call.fattr, out);
+      break;
+    case OpKind::kTranspose:
+      TransposeInto(in(0), call.iattr0, call.iattr1, out);
+      break;
+    case OpKind::kBatchMatmul:
+      BatchMatMulInto(in(0), in(1), out);
       break;
   }
 }
@@ -316,7 +416,7 @@ ConstTensorView ExecutionPlan::RunImpl(const FeedMap& feeds, PitCompiler* compil
     auto it = feeds.find(binding.name);
     PIT_CHECK(it != feeds.end()) << "missing feed: " << binding.name;
     const Tensor& feed = DerefFeed(it->second);
-    PIT_CHECK(feed.shape() == graph_->node(binding.node_id).shape)
+    PIT_CHECK(feed.shape() == shapes_[static_cast<size_t>(binding.node_id)])
         << "feed shape mismatch for " << binding.name;
     bound_[static_cast<size_t>(binding.node_id)] = feed.data();
   }
@@ -324,10 +424,11 @@ ConstTensorView ExecutionPlan::RunImpl(const FeedMap& feeds, PitCompiler* compil
     Dispatch(step, compiler);
     if (observer != nullptr && *observer) {
       (*observer)(step.node_id,
-                  ConstTensorView(ResolveConst(step.out), graph_->node(step.node_id).shape));
+                  ConstTensorView(ResolveConst(step.out),
+                                  shapes_[static_cast<size_t>(step.out.shape_id)]));
     }
   }
-  return ConstTensorView(ResolveConst(result_), graph_->node(result_.node_id).shape);
+  return ConstTensorView(ResolveConst(result_), shapes_[static_cast<size_t>(result_.shape_id)]);
 }
 
 ConstTensorView ExecutionPlan::Run(const std::map<std::string, Tensor>& feeds,

@@ -41,7 +41,8 @@ enum class ValueLoc : uint8_t {
 
 struct ValueRef {
   ValueLoc loc = ValueLoc::kArena;
-  int node_id = -1;
+  int node_id = -1;    // storage node (where the bytes live / are bound)
+  int shape_id = -1;   // shape node (differs from node_id across kReshape)
   int64_t offset = 0;  // element offset; meaningful for kArena only
 };
 
@@ -58,6 +59,9 @@ struct OpCall {
   ValueRef out;
   ValueRef in[3];
   int num_in = 0;
+  float fattr = 0.0f;       // kScale factor / kLayerNorm epsilon
+  int iattr0 = 0;           // kTranspose axes
+  int iattr1 = 1;
   PitKernelHandle pit;  // per-site kernel slot (PIT steps only)
 };
 
@@ -77,8 +81,11 @@ using StepObserver = std::function<void(int node_id, ConstTensorView value)>;
 class ExecutionPlan {
  public:
   // Compiles the plan. `decisions` (nullable) marks which matmul steps run
-  // through PIT. The graph must outlive the plan and not move; Graph drops
-  // its cached plans on move for exactly this reason.
+  // through PIT. The plan snapshots every node shape and attribute it needs
+  // at compile time, so Run never touches the graph's node storage again —
+  // an executor holding a Graph::PlanShared handle stays safe even while the
+  // graph is concurrently mutated (which invalidates the cache, not this
+  // plan). Only the graph's weight tensors must stay alive and in place.
   ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions);
 
   ExecutionPlan(const ExecutionPlan&) = delete;
@@ -107,7 +114,10 @@ class ExecutionPlan {
   float* ResolveArena(const ValueRef& ref);
   void Dispatch(OpCall& call, PitCompiler* compiler);
 
-  const Graph* graph_;
+  // Compile-time snapshot of every node's shape, indexed by node id. Views
+  // handed to kernels borrow these (stable — the plan owns them), never the
+  // live graph's nodes.
+  std::vector<Shape> shapes_;
   std::vector<OpCall> steps_;
   std::vector<float> arena_;
   // Per-node data pointer for kFeed/kWeight nodes (weights bound at compile,

@@ -28,6 +28,16 @@ const char* OpKindName(OpKind kind) {
       return "mask";
     case OpKind::kSoftmax:
       return "softmax";
+    case OpKind::kLayerNorm:
+      return "layernorm";
+    case OpKind::kScale:
+      return "scale";
+    case OpKind::kTranspose:
+      return "transpose";
+    case OpKind::kReshape:
+      return "reshape";
+    case OpKind::kBatchMatmul:
+      return "batch_matmul";
   }
   return "?";
 }
@@ -222,12 +232,91 @@ int Graph::AddMask(std::string name, int x, int mask) {
   return Add(std::move(n));
 }
 
-int Graph::AddSoftmax(std::string name, int x) {
+int Graph::AddSoftmax(std::string name, int x, int mask) {
+  const GraphNode& nx = node(x);
+  PIT_CHECK(nx.shape.size() == 2 || nx.shape.size() == 3);
   GraphNode n;
   n.kind = OpKind::kSoftmax;
   n.name = std::move(name);
   n.inputs = {x};
+  if (mask >= 0) {
+    const GraphNode& nm = node(mask);
+    // The mask matches the input's trailing two axes; a rank-3 input
+    // broadcasts a rank-2 mask over its leading (head) axis.
+    PIT_CHECK_EQ(nm.shape.size(), 2u);
+    PIT_CHECK_EQ(nm.shape[0], nx.shape[nx.shape.size() - 2]);
+    PIT_CHECK_EQ(nm.shape[1], nx.shape[nx.shape.size() - 1]);
+    n.inputs.push_back(mask);
+  }
+  n.shape = nx.shape;
+  return Add(std::move(n));
+}
+
+int Graph::AddLayerNorm(std::string name, int x, int gamma, int beta, float eps) {
+  const GraphNode& nx = node(x);
+  PIT_CHECK_EQ(nx.shape.size(), 2u);
+  PIT_CHECK_EQ(node(gamma).shape.size(), 1u);
+  PIT_CHECK_EQ(node(gamma).shape[0], nx.shape[1]);
+  PIT_CHECK_EQ(node(beta).shape.size(), 1u);
+  PIT_CHECK_EQ(node(beta).shape[0], nx.shape[1]);
+  GraphNode n;
+  n.kind = OpKind::kLayerNorm;
+  n.name = std::move(name);
+  n.inputs = {x, gamma, beta};
+  n.shape = nx.shape;
+  n.fattr = eps;
+  return Add(std::move(n));
+}
+
+int Graph::AddScale(std::string name, int x, float factor) {
+  GraphNode n;
+  n.kind = OpKind::kScale;
+  n.name = std::move(name);
+  n.inputs = {x};
   n.shape = node(x).shape;
+  n.fattr = factor;
+  return Add(std::move(n));
+}
+
+int Graph::AddTranspose(std::string name, int x, int axis0, int axis1) {
+  const GraphNode& nx = node(x);
+  const size_t rank = nx.shape.size();
+  PIT_CHECK((rank == 2 && axis0 == 0 && axis1 == 1) ||
+            (rank == 3 && ((axis0 == 0 && axis1 == 1) || (axis0 == 1 && axis1 == 2))))
+      << "unsupported transpose axes (" << axis0 << ", " << axis1 << ") at rank " << rank;
+  GraphNode n;
+  n.kind = OpKind::kTranspose;
+  n.name = std::move(name);
+  n.inputs = {x};
+  n.shape = nx.shape;
+  std::swap(n.shape[static_cast<size_t>(axis0)], n.shape[static_cast<size_t>(axis1)]);
+  n.iattr0 = axis0;
+  n.iattr1 = axis1;
+  return Add(std::move(n));
+}
+
+int Graph::AddReshape(std::string name, int x, Shape shape) {
+  PIT_CHECK_EQ(NumElements(shape), NumElements(node(x).shape));
+  GraphNode n;
+  n.kind = OpKind::kReshape;
+  n.name = std::move(name);
+  n.inputs = {x};
+  n.shape = std::move(shape);
+  return Add(std::move(n));
+}
+
+int Graph::AddBatchMatmul(std::string name, int a, int b) {
+  const GraphNode& na = node(a);
+  const GraphNode& nb = node(b);
+  PIT_CHECK_EQ(na.shape.size(), 3u);
+  PIT_CHECK_EQ(nb.shape.size(), 3u);
+  PIT_CHECK_EQ(na.shape[0], nb.shape[0]);
+  PIT_CHECK_EQ(na.shape[2], nb.shape[1]);
+  GraphNode n;
+  n.kind = OpKind::kBatchMatmul;
+  n.name = std::move(name);
+  n.inputs = {a, b};
+  n.shape = {na.shape[0], na.shape[1], nb.shape[2]};
   return Add(std::move(n));
 }
 
@@ -268,6 +357,13 @@ void Graph::PropagateSparsity() {
         break;
       }
       case OpKind::kSoftmax: {
+        if (n.inputs.size() == 2) {
+          // Masked softmax zeroes exactly the masked-out entries, like kMask.
+          const GraphNode& mask = nodes_[static_cast<size_t>(n.inputs[1])];
+          n.sparsity = SparsitySource::kMasked;
+          n.expected_sparsity = mask.expected_sparsity;
+          break;
+        }
         // Softmax preserves structural zeros only for fully-masked entries;
         // row-sparse inputs (padding) stay row-sparse.
         const GraphNode& src = nodes_[static_cast<size_t>(n.inputs[0])];
@@ -278,8 +374,24 @@ void Graph::PropagateSparsity() {
         }
         break;
       }
+      case OpKind::kScale:
+      case OpKind::kTranspose:
+      case OpKind::kReshape: {
+        // Zero-preserving data movement (scale by a nonzero constant, axis
+        // permutation, reinterpretation): the annotation rides along.
+        const GraphNode& src = nodes_[static_cast<size_t>(n.inputs[0])];
+        if (src.MaybeSparse()) {
+          n.sparsity = SparsitySource::kPropagated;
+          n.expected_sparsity = src.expected_sparsity;
+        }
+        break;
+      }
+      case OpKind::kLayerNorm:
+        // Mean subtraction + beta shift destroy structural zeros.
+        break;
       case OpKind::kMatmul:
       case OpKind::kMatmulBias:
+      case OpKind::kBatchMatmul:
         // Dense output: a contraction densifies (unless both operands are
         // extremely sparse, which the runtime detector would catch anyway).
         break;
@@ -352,6 +464,14 @@ std::shared_ptr<Graph::PlanCacheEntry> Graph::EntryFor(
 
 ExecutionPlan& Graph::Plan(const std::vector<MatmulDecision>* decisions) const {
   return *EntryFor(decisions)->plan;
+}
+
+std::shared_ptr<ExecutionPlan> Graph::PlanShared(
+    const std::vector<MatmulDecision>* decisions) const {
+  std::shared_ptr<PlanCacheEntry> entry = EntryFor(decisions);
+  // Aliasing constructor: the handle shares the entry's lifetime, so cache
+  // eviction or AddX invalidation cannot destroy a plan an executor holds.
+  return std::shared_ptr<ExecutionPlan>(entry, entry->plan.get());
 }
 
 std::map<int, Tensor> Graph::Execute(const std::map<std::string, Tensor>& feeds,

@@ -36,7 +36,14 @@ enum class OpKind {
   kRelu,
   kAdd,
   kMask,     // C = A where mask != 0 else 0 (mask is second input)
-  kSoftmax,  // row-wise
+  kSoftmax,  // row-wise over the last axis; optional 0/1 mask second input
+             // (rank-2 mask broadcasts over a rank-3 input's leading axis)
+  // Transformer-block ops (planned attention + layernorm):
+  kLayerNorm,    // last-axis layernorm; inputs: x, gamma, beta (fattr = eps)
+  kScale,        // C = A * fattr (element-wise constant scale)
+  kTranspose,    // axis-swap copy; swaps axes (iattr0, iattr1)
+  kReshape,      // zero-cost shape reinterpretation (aliases its input)
+  kBatchMatmul,  // C[b,m,n] = A[b,m,k] * B[b,k,n] (per-head batched GEMM)
 };
 const char* OpKindName(OpKind kind);
 
@@ -56,6 +63,12 @@ struct GraphNode {
   std::string name;
   std::vector<int> inputs;
   Shape shape;
+
+  // Small op attributes: fattr is kScale's factor / kLayerNorm's epsilon;
+  // iattr0/iattr1 are kTranspose's swapped axes.
+  float fattr = 0.0f;
+  int iattr0 = 0;
+  int iattr1 = 1;
 
   // Sparsity annotation (filled by PropagateSparsity).
   SparsitySource sparsity = SparsitySource::kNone;
@@ -98,7 +111,19 @@ class Graph {
   int AddRelu(std::string name, int x);
   int AddAdd(std::string name, int a, int b);
   int AddMask(std::string name, int x, int mask);
-  int AddSoftmax(std::string name, int x);
+  // Row-wise softmax; `mask` >= 0 adds a 0/1 mask input excluded from the
+  // softmax (a rank-2 [t, t] mask under a rank-3 [heads, t, t] input is
+  // broadcast over the head axis).
+  int AddSoftmax(std::string name, int x, int mask = -1);
+  // LayerNorm over the last axis; gamma/beta are rank-1 weights of that axis.
+  int AddLayerNorm(std::string name, int x, int gamma, int beta, float eps = 1e-5f);
+  int AddScale(std::string name, int x, float factor);
+  // Axis-swap copy: rank-2 swaps (0, 1); rank-3 swaps (0, 1) or (1, 2).
+  int AddTranspose(std::string name, int x, int axis0, int axis1);
+  // Zero-cost reinterpretation to `shape` (same element count). The planned
+  // executor aliases the input's storage — no copy, no arena block.
+  int AddReshape(std::string name, int x, Shape shape);
+  int AddBatchMatmul(std::string name, int a, int b);
 
   const GraphNode& node(int id) const { return nodes_.at(static_cast<size_t>(id)); }
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -119,6 +144,15 @@ class Graph {
   // invalidated by mutating the graph or by compiling many further decision
   // sets (the cache keeps the most recent 8); re-fetch it when in doubt.
   ExecutionPlan& Plan(const std::vector<MatmulDecision>* decisions = nullptr) const;
+
+  // As Plan(), but the returned handle co-owns the compiled plan: it stays
+  // valid — and its Run keeps producing the plan's compiled-time semantics —
+  // even if a concurrent AddX mutation or cache eviction drops the plan from
+  // this graph's cache. Long-lived executors (the nn/runtime layers) must use
+  // this form; the reference form above is only safe while the graph is known
+  // not to change.
+  std::shared_ptr<ExecutionPlan> PlanShared(
+      const std::vector<MatmulDecision>* decisions = nullptr) const;
 
   // Executes the graph on `feeds` (name -> tensor for every kInput) through
   // the cached plan. decisions == nullptr runs the dense reference; otherwise

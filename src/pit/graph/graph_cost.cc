@@ -54,10 +54,27 @@ GraphCostReport EstimateGraphCost(const Graph& graph, const CostModel& model,
         }
         break;
       }
+      case OpKind::kReshape:
+        break;  // zero-cost alias: no data moves, no kernel launches
+      case OpKind::kBatchMatmul: {
+        // One dense GEMM per batch slice, launched together.
+        const GraphNode& a = graph.node(n.inputs[0]);
+        const int64_t bs = a.shape[0], m = a.shape[1], k = a.shape[2], nn = n.shape[2];
+        const TileEntry& tile = db.BestDenseTile(model, m, k, nn);
+        CostBreakdown per = model.DenseMatmul(m, k, nn, tile.shape, tile.tensor_core);
+        per.compute_us *= static_cast<double>(bs);
+        per.memory_us *= static_cast<double>(bs);
+        report.total += per;
+        report.matmuls_dense += static_cast<int>(bs);
+        break;
+      }
       case OpKind::kRelu:
       case OpKind::kAdd:
       case OpKind::kMask:
-      case OpKind::kSoftmax: {
+      case OpKind::kSoftmax:
+      case OpKind::kLayerNorm:
+      case OpKind::kScale:
+      case OpKind::kTranspose: {
         // Memory-bound elementwise: read inputs + write output.
         int64_t elems = NumElements(n.shape);
         for (int in : n.inputs) {

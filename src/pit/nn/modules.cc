@@ -41,6 +41,18 @@ Tensor Linear::ForwardSparse(const Tensor& x, PitCompiler& compiler) const {
 FeedForward::FeedForward(int64_t hidden, int64_t ffn_hidden, Rng& rng)
     : up_(hidden, ffn_hidden, rng), down_(ffn_hidden, hidden, rng) {}
 
+FeedForward::GraphNodes FeedForward::AppendToGraph(Graph& g, int x) const {
+  const int w_up = g.AddWeightRef("w_up", &up_.weight());
+  const int b_up = g.AddWeightRef("b_up", &up_.bias());
+  const int w_down = g.AddWeightRef("w_down", &down_.weight());
+  const int b_down = g.AddWeightRef("b_down", &down_.bias());
+  GraphNodes nodes;
+  const int up = g.AddMatmulBias("up_proj", x, w_up, b_up);
+  nodes.relu = g.AddRelu("relu", up);
+  nodes.out = g.AddMatmulBias("down_proj", nodes.relu, w_down, b_down);
+  return nodes;
+}
+
 FeedForward::PlanEntry& FeedForward::EntryFor(int64_t tokens) const {
   auto it = plans_.find(tokens);
   if (it != plans_.end()) {
@@ -59,13 +71,8 @@ FeedForward::PlanEntry& FeedForward::EntryFor(int64_t tokens) const {
   entry.graph = std::make_unique<Graph>();
   Graph& g = *entry.graph;
   const int x = g.AddInput("x", {tokens, up_.in_features()});
-  const int w_up = g.AddWeightRef("w_up", &up_.weight());
-  const int b_up = g.AddWeightRef("b_up", &up_.bias());
-  const int w_down = g.AddWeightRef("w_down", &down_.weight());
-  const int b_down = g.AddWeightRef("b_down", &down_.bias());
-  const int up = g.AddMatmulBias("up_proj", x, w_up, b_up);
-  entry.relu_node = g.AddRelu("relu", up);
-  g.AddMatmulBias("down_proj", entry.relu_node, w_down, b_down);
+  const GraphNodes nodes = AppendToGraph(g, x);
+  entry.relu_node = nodes.relu;
   g.PropagateSparsity();
   entry.decisions = g.PitPass();
   entry.feeds = {{"x", nullptr}};
@@ -79,8 +86,10 @@ Tensor FeedForward::RunPlanned(const Tensor& x, PitCompiler* compiler) const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanEntry& entry = EntryFor(x.dim(0));
   entry.feeds["x"] = &x;
-  ExecutionPlan& plan =
-      entry.graph->Plan(compiler != nullptr ? &entry.decisions : nullptr);
+  // The shared handle keeps the plan alive even if the cache is invalidated
+  // or evicted while this Run is in flight.
+  std::shared_ptr<ExecutionPlan> plan =
+      entry.graph->PlanShared(compiler != nullptr ? &entry.decisions : nullptr);
   double sparsity = 0.0;
   const int relu_node = entry.relu_node;
   const StepObserver observe = [&](int node_id, ConstTensorView value) {
@@ -88,7 +97,7 @@ Tensor FeedForward::RunPlanned(const Tensor& x, PitCompiler* compiler) const {
       sparsity = value.SparsityRatio();
     }
   };
-  ConstTensorView out = plan.Run(entry.feeds, compiler, &observe);
+  ConstTensorView out = plan->Run(entry.feeds, compiler, &observe);
   last_activation_sparsity_ = sparsity;
   Tensor result({x.dim(0), down_.out_features()});
   std::copy(out.data(), out.data() + out.size(), result.data());
@@ -104,11 +113,117 @@ Tensor FeedForward::ForwardSparse(const Tensor& x, PitCompiler& compiler) const 
 // ------------------------------------------------------- MultiHeadAttention
 
 MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t heads, Rng& rng)
-    : heads_(heads), qkv_(hidden, 3 * hidden, rng), out_(hidden, hidden, rng) {
+    : heads_(heads),
+      qkv_(hidden, 3 * hidden, rng),
+      out_(hidden, hidden, rng),
+      wq_({hidden, hidden}),
+      wk_({hidden, hidden}),
+      wv_({hidden, hidden}),
+      bq_({hidden}),
+      bk_({hidden}),
+      bv_({hidden}) {
   PIT_CHECK_EQ(hidden % heads, 0);
+  // Split the fused qkv projection into its q/k/v column blocks once; the
+  // planned graphs reference these in place. The RNG stream (and therefore
+  // every weight value) is untouched relative to the fused-only module.
+  const Tensor& w = qkv_.weight();  // [hidden, 3*hidden]
+  const Tensor& b = qkv_.bias();    // [3*hidden]
+  for (int64_t i = 0; i < hidden; ++i) {
+    for (int64_t j = 0; j < hidden; ++j) {
+      wq_.At(i, j) = w.At(i, j);
+      wk_.At(i, j) = w.At(i, hidden + j);
+      wv_.At(i, j) = w.At(i, 2 * hidden + j);
+    }
+  }
+  for (int64_t j = 0; j < hidden; ++j) {
+    bq_[j] = b[j];
+    bk_[j] = b[hidden + j];
+    bv_[j] = b[2 * hidden + j];
+  }
+}
+
+int MultiHeadAttention::AppendToGraph(Graph& g, int x, int mask) const {
+  const int64_t tokens = g.node(x).shape[0];
+  const int64_t hidden = qkv_.in_features();
+  const int64_t dh = hidden / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  const int wq = g.AddWeightRef("wq", &wq_);
+  const int bq = g.AddWeightRef("bq", &bq_);
+  const int wk = g.AddWeightRef("wk", &wk_);
+  const int bk = g.AddWeightRef("bk", &bk_);
+  const int wv = g.AddWeightRef("wv", &wv_);
+  const int bv = g.AddWeightRef("bv", &bv_);
+
+  // Per-part projections, scaled q, then the head split: [tokens, hidden]
+  // reinterpreted as [tokens, heads, dk] and transposed to [heads, tokens, dk]
+  // (k additionally to [heads, dk, tokens] for the score GEMM).
+  const int q_proj = g.AddMatmulBias("q_proj", x, wq, bq);
+  const int q_scaled = g.AddScale("q_scale", q_proj, scale);
+  const int q_split = g.AddReshape("q_split", q_scaled, {tokens, heads_, dh});
+  const int q = g.AddTranspose("q_heads", q_split, 0, 1);
+  const int k_proj = g.AddMatmulBias("k_proj", x, wk, bk);
+  const int k_split = g.AddReshape("k_split", k_proj, {tokens, heads_, dh});
+  const int k_heads = g.AddTranspose("k_heads", k_split, 0, 1);
+  const int k_t = g.AddTranspose("k_t", k_heads, 1, 2);
+  const int v_proj = g.AddMatmulBias("v_proj", x, wv, bv);
+  const int v_split = g.AddReshape("v_split", v_proj, {tokens, heads_, dh});
+  const int v = g.AddTranspose("v_heads", v_split, 0, 1);
+
+  const int scores = g.AddBatchMatmul("scores", q, k_t);     // [heads, T, T]
+  const int probs = g.AddSoftmax("probs", scores, mask);     // masked rows excluded
+  const int ctx_heads = g.AddBatchMatmul("ctx_heads", probs, v);  // [heads, T, dk]
+  const int ctx_merge = g.AddTranspose("ctx_merge", ctx_heads, 0, 1);
+  const int ctx = g.AddReshape("ctx", ctx_merge, {tokens, hidden});
+
+  const int wo = g.AddWeightRef("wo", &out_.weight());
+  const int bo = g.AddWeightRef("bo", &out_.bias());
+  return g.AddMatmulBias("attn_out", ctx, wo, bo);
+}
+
+MultiHeadAttention::PlanEntry& MultiHeadAttention::EntryFor(int64_t tokens, bool masked) const {
+  const std::pair<int64_t, bool> key{tokens, masked};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    return it->second;
+  }
+  // Bound the per-shape cache, mirroring FeedForward.
+  constexpr size_t kMaxEntries = 16;
+  if (plans_.size() >= kMaxEntries) {
+    plans_.clear();
+  }
+  PlanEntry entry;
+  entry.graph = std::make_unique<Graph>();
+  Graph& g = *entry.graph;
+  const int x = g.AddInput("x", {tokens, qkv_.in_features()});
+  const int mask = masked ? g.AddInput("mask", {tokens, tokens}) : -1;
+  AppendToGraph(g, x, mask);
+  entry.feeds = {{"x", nullptr}};
+  if (masked) {
+    entry.feeds.emplace("mask", nullptr);
+  }
+  return plans_.emplace(key, std::move(entry)).first->second;
 }
 
 Tensor MultiHeadAttention::Forward(const Tensor& x, const Tensor* mask) const {
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK_EQ(x.dim(1), qkv_.in_features());
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanEntry& entry = EntryFor(x.dim(0), mask != nullptr);
+  entry.feeds["x"] = &x;
+  if (mask != nullptr) {
+    PIT_CHECK(mask->rank() == 2 && mask->dim(0) == x.dim(0) && mask->dim(1) == x.dim(0))
+        << "attention mask must be [tokens, tokens]";
+    entry.feeds["mask"] = mask;
+  }
+  std::shared_ptr<ExecutionPlan> plan = entry.graph->PlanShared();
+  ConstTensorView out = plan->Run(entry.feeds);
+  Tensor result({x.dim(0), x.dim(1)});
+  std::copy(out.data(), out.data() + out.size(), result.data());
+  return result;
+}
+
+Tensor MultiHeadAttention::ForwardEager(const Tensor& x, const Tensor* mask) const {
   const int64_t tokens = x.dim(0), hidden = x.dim(1);
   const int64_t dh = hidden / heads_;
   Tensor qkv = qkv_.Forward(x);  // [tokens, 3*hidden]
@@ -244,15 +359,90 @@ TransformerEncoderLayer::TransformerEncoderLayer(int64_t hidden, int64_t heads,
       ln2_gamma_(Tensor::Full({hidden}, 1.0f)),
       ln2_beta_(Tensor::Zeros({hidden})) {}
 
+TransformerEncoderLayer::PlanEntry& TransformerEncoderLayer::EntryFor(int64_t tokens,
+                                                                      bool masked) const {
+  const std::pair<int64_t, bool> key{tokens, masked};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    return it->second;
+  }
+  constexpr size_t kMaxEntries = 16;
+  if (plans_.size() >= kMaxEntries) {
+    plans_.clear();
+  }
+  // The whole pre-norm block as one graph over referenced weights:
+  // x + Attn(LN1(x)); h + FFN(LN2(h)).
+  PlanEntry entry;
+  entry.graph = std::make_unique<Graph>();
+  Graph& g = *entry.graph;
+  const int64_t hidden = ln1_gamma_.dim(0);
+  const int x = g.AddInput("x", {tokens, hidden});
+  const int mask = masked ? g.AddInput("mask", {tokens, tokens}) : -1;
+  const int g1 = g.AddWeightRef("ln1_gamma", &ln1_gamma_);
+  const int b1 = g.AddWeightRef("ln1_beta", &ln1_beta_);
+  const int g2 = g.AddWeightRef("ln2_gamma", &ln2_gamma_);
+  const int b2 = g.AddWeightRef("ln2_beta", &ln2_beta_);
+  const int ln1 = g.AddLayerNorm("ln1", x, g1, b1);
+  const int attn_out = attn_.AppendToGraph(g, ln1, mask);
+  const int h = g.AddAdd("h", x, attn_out);
+  const int ln2 = g.AddLayerNorm("ln2", h, g2, b2);
+  const FeedForward::GraphNodes ffn = ffn_.AppendToGraph(g, ln2);
+  g.AddAdd("out", h, ffn.out);
+  g.PropagateSparsity();
+  entry.decisions = g.PitPass();
+  entry.feeds = {{"x", nullptr}};
+  if (masked) {
+    entry.feeds.emplace("mask", nullptr);
+  }
+  return plans_.emplace(key, std::move(entry)).first->second;
+}
+
+void TransformerEncoderLayer::ForwardInto(const Tensor& x, const Tensor* attn_mask,
+                                          PitCompiler* compiler, Tensor* out) const {
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK_EQ(x.dim(1), ln1_gamma_.dim(0));
+  PIT_CHECK(out != nullptr);
+  PIT_CHECK(out->dim(0) == x.dim(0) && out->dim(1) == x.dim(1));
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanEntry& entry = EntryFor(x.dim(0), attn_mask != nullptr);
+  entry.feeds["x"] = &x;
+  if (attn_mask != nullptr) {
+    PIT_CHECK(attn_mask->rank() == 2 && attn_mask->dim(0) == x.dim(0) &&
+              attn_mask->dim(1) == x.dim(0))
+        << "attention mask must be [tokens, tokens]";
+    entry.feeds["mask"] = attn_mask;
+  }
+  std::shared_ptr<ExecutionPlan> plan =
+      entry.graph->PlanShared(compiler != nullptr ? &entry.decisions : nullptr);
+  ConstTensorView result = plan->Run(entry.feeds, compiler);
+  std::copy(result.data(), result.data() + result.size(), out->data());
+}
+
 Tensor TransformerEncoderLayer::Forward(const Tensor& x, const Tensor* attn_mask) const {
-  Tensor h = Add(x, attn_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_), attn_mask));
-  return Add(h, ffn_.Forward(LayerNorm(h, ln2_gamma_, ln2_beta_)));
+  Tensor out({x.dim(0), x.dim(1)});
+  ForwardInto(x, attn_mask, nullptr, &out);
+  return out;
 }
 
 Tensor TransformerEncoderLayer::ForwardSparse(const Tensor& x, PitCompiler& compiler,
                                               const Tensor* attn_mask) const {
-  Tensor h = Add(x, attn_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_), attn_mask));
-  return Add(h, ffn_.ForwardSparse(LayerNorm(h, ln2_gamma_, ln2_beta_), compiler));
+  Tensor out({x.dim(0), x.dim(1)});
+  ForwardInto(x, attn_mask, &compiler, &out);
+  return out;
+}
+
+Tensor TransformerEncoderLayer::ForwardEager(const Tensor& x, const Tensor* attn_mask) const {
+  Tensor h = Add(x, attn_.ForwardEager(LayerNorm(x, ln1_gamma_, ln1_beta_), attn_mask));
+  Tensor ln2 = LayerNorm(h, ln2_gamma_, ln2_beta_);
+  Tensor ffn = MatMulBias(Relu(MatMulBias(ln2, ffn_.up().weight(), ffn_.up().bias())),
+                          ffn_.down().weight(), ffn_.down().bias());
+  return Add(h, ffn);
+}
+
+PlanStats TransformerEncoderLayer::PlanStatsFor(int64_t tokens, bool masked) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanEntry& entry = EntryFor(tokens, masked);
+  return entry.graph->Plan().stats();
 }
 
 }  // namespace pit

@@ -11,10 +11,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "pit/common/rng.h"
 #include "pit/core/compiler.h"
+#include "pit/graph/execution_plan.h"
 #include "pit/graph/graph.h"
 #include "pit/tensor/ops.h"
 #include "pit/tensor/tensor.h"
@@ -61,6 +63,18 @@ class FeedForward {
   // Fraction of zeros in the ReLU activation of the last Forward call.
   double last_activation_sparsity() const { return last_activation_sparsity_; }
 
+  // Appends the block's ops (MatmulBias -> Relu -> MatmulBias over this
+  // module's referenced weights) to a caller-owned graph — the seam larger
+  // planned blocks (TransformerEncoderLayer) compose from.
+  struct GraphNodes {
+    int out = -1;
+    int relu = -1;
+  };
+  GraphNodes AppendToGraph(Graph& g, int x) const;
+
+  const Linear& up() const { return up_; }
+  const Linear& down() const { return down_; }
+
  private:
   struct PlanEntry {
     std::unique_ptr<Graph> graph;
@@ -78,18 +92,53 @@ class FeedForward {
   mutable std::mutex mu_;  // forwards share plan arenas; serialize them
 };
 
-// Single-head (per-head looped) attention with an optional 0/1 mask over
-// scores; mask == nullptr means full attention.
+// Multi-head attention with an optional 0/1 mask over scores; mask == nullptr
+// means full attention.
+//
+// Forward runs through cached ExecutionPlans (one graph per distinct
+// (token count, masked?) shape): per-part q/k/v projections, per-head
+// [heads, tokens, dk] batched score/context GEMMs, masked softmax, all over
+// referenced weights and a reused arena. The result is bitwise identical to
+// ForwardEager — the original per-head slicing loop, kept as the oracle.
+// Plans reference the module's weights in place: the module is pinned.
 class MultiHeadAttention {
  public:
   MultiHeadAttention(int64_t hidden, int64_t heads, Rng& rng);
+  MultiHeadAttention(const MultiHeadAttention&) = delete;
+  MultiHeadAttention& operator=(const MultiHeadAttention&) = delete;
+
   // x: [tokens, hidden]; mask: [tokens, tokens] or nullptr.
   Tensor Forward(const Tensor& x, const Tensor* mask = nullptr) const;
+  // The pre-planning implementation (fresh tensor per intermediate), kept
+  // verbatim as the differential oracle and the eager bench baseline.
+  Tensor ForwardEager(const Tensor& x, const Tensor* mask = nullptr) const;
+
+  // Appends the attention block (projections -> per-head batched attention
+  // -> output projection) to a caller-owned graph; `x` is a [tokens, hidden]
+  // node, `mask` a [tokens, tokens] node or -1. Returns the output node.
+  int AppendToGraph(Graph& g, int x, int mask = -1) const;
+
+  int64_t heads() const { return heads_; }
 
  private:
+  struct PlanEntry {
+    std::unique_ptr<Graph> graph;
+    std::map<std::string, const Tensor*> feeds;
+  };
+  PlanEntry& EntryFor(int64_t tokens, bool masked) const;
+
   int64_t heads_;
   Linear qkv_;
   Linear out_;
+  // Column-block splits of the fused qkv projection ([hidden, hidden] +
+  // [hidden] each). A matmul against a column block is bitwise identical to
+  // the same columns of the fused matmul (each output element accumulates
+  // over k independently of its neighbors), which is what lets the planned
+  // per-part projections reproduce the eager fused qkv exactly.
+  Tensor wq_, wk_, wv_;
+  Tensor bq_, bk_, bv_;
+  mutable std::map<std::pair<int64_t, bool>, PlanEntry> plans_;  // bounded
+  mutable std::mutex mu_;  // forwards share plan arenas; serialize them
 };
 
 // Top-1 routed mixture-of-experts FFN (Switch-Transformer style).
@@ -115,17 +164,50 @@ class MoELayer {
 };
 
 // Pre-norm transformer encoder layer: x + Attn(LN(x)); x + FFN(LN(x)).
+//
+// The whole block — both layernorms, the attention (per-head batched), both
+// residual adds, and the FFN — is one Graph compiled to one ExecutionPlan per
+// distinct (token count, masked?) shape: a steady-state dense forward replays
+// kernel dispatches over a single reused arena with ~zero heap allocations,
+// bitwise identical to ForwardEager. ForwardSparse runs the same plan with
+// the PIT pass decisions (the FFN down-projection consumes its ReLU
+// activation through the compiler's per-site kernel handle). Plans reference
+// the module's weights in place: the module is pinned.
 class TransformerEncoderLayer {
  public:
   TransformerEncoderLayer(int64_t hidden, int64_t heads, int64_t ffn_hidden, Rng& rng);
+  TransformerEncoderLayer(const TransformerEncoderLayer&) = delete;
+  TransformerEncoderLayer& operator=(const TransformerEncoderLayer&) = delete;
+
   Tensor Forward(const Tensor& x, const Tensor* attn_mask = nullptr) const;
   Tensor ForwardSparse(const Tensor& x, PitCompiler& compiler,
                        const Tensor* attn_mask = nullptr) const;
+  // Allocation-free seam for stacked serving (PlannedTransformerStack):
+  // writes the block's output into the preallocated `out` ([tokens, hidden]).
+  // `compiler` nullptr runs dense; otherwise the PIT decisions apply.
+  void ForwardInto(const Tensor& x, const Tensor* attn_mask, PitCompiler* compiler,
+                   Tensor* out) const;
+  // The pre-planning composition (eager attention + explicit FFN ops), kept
+  // as the differential oracle and the eager bench baseline.
+  Tensor ForwardEager(const Tensor& x, const Tensor* attn_mask = nullptr) const;
+
+  // Memory-planning stats of the block's dense plan at this shape (compiles
+  // it if needed).
+  PlanStats PlanStatsFor(int64_t tokens, bool masked = false) const;
 
  private:
+  struct PlanEntry {
+    std::unique_ptr<Graph> graph;
+    std::vector<MatmulDecision> decisions;  // PIT pass result for this graph
+    std::map<std::string, const Tensor*> feeds;
+  };
+  PlanEntry& EntryFor(int64_t tokens, bool masked) const;
+
   MultiHeadAttention attn_;
   FeedForward ffn_;
   Tensor ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+  mutable std::map<std::pair<int64_t, bool>, PlanEntry> plans_;  // bounded
+  mutable std::mutex mu_;  // forwards share plan arenas; serialize them
 };
 
 }  // namespace pit

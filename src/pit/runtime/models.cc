@@ -744,4 +744,80 @@ PlanStats PlannedFfnStack::StatsFor(int64_t tokens) const {
   return total;
 }
 
+// ---- PlannedTransformerStack -----------------------------------------------
+
+PlannedTransformerStack::PlannedTransformerStack(int64_t layers, int64_t hidden, int64_t heads,
+                                                 int64_t ffn_hidden, Rng& rng)
+    : hidden_(hidden) {
+  PIT_CHECK_GT(layers, 0);
+  layers_.reserve(static_cast<size_t>(layers));
+  for (int64_t l = 0; l < layers; ++l) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(hidden, heads, ffn_hidden, rng));
+  }
+}
+
+PlannedTransformerStack::~PlannedTransformerStack() = default;
+
+Tensor PlannedTransformerStack::RunPlanned(const Tensor& x, const Tensor* attn_mask,
+                                           PitCompiler* compiler) const {
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK_EQ(x.dim(1), hidden_);
+  // Staging buffers are shared per shape: serialize forwards. Each layer's
+  // own plan lock nests safely inside (no other path takes both).
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = staging_.find(x.dim(0));
+  if (it == staging_.end()) {
+    constexpr size_t kMaxEntries = 16;  // match the layer plan-cache bound
+    if (staging_.size() >= kMaxEntries) {
+      staging_.clear();
+    }
+    std::vector<Tensor> outs;
+    outs.reserve(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      outs.emplace_back(Shape{x.dim(0), hidden_});
+    }
+    it = staging_.emplace(x.dim(0), std::move(outs)).first;
+  }
+  std::vector<Tensor>& outs = it->second;
+  const Tensor* cur = &x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    // The layer writes straight into its staging slot: the next layer binds
+    // it as a feed while this layer's arena gets reused. Steady-state
+    // forwards therefore allocate nothing.
+    layers_[l]->ForwardInto(*cur, attn_mask, compiler, &outs[l]);
+    cur = &outs[l];
+  }
+  return *cur;  // value copy for the caller; staging stays reusable
+}
+
+Tensor PlannedTransformerStack::Forward(const Tensor& x, const Tensor* attn_mask) const {
+  return RunPlanned(x, attn_mask, nullptr);
+}
+
+Tensor PlannedTransformerStack::ForwardPit(const Tensor& x, PitCompiler& compiler,
+                                           const Tensor* attn_mask) const {
+  return RunPlanned(x, attn_mask, &compiler);
+}
+
+Tensor PlannedTransformerStack::ForwardEager(const Tensor& x, const Tensor* attn_mask) const {
+  Tensor cur = x;
+  for (const auto& layer : layers_) {
+    cur = layer->ForwardEager(cur, attn_mask);
+  }
+  return cur;
+}
+
+PlanStats PlannedTransformerStack::StatsFor(int64_t tokens, bool masked) const {
+  PlanStats total;
+  for (const auto& layer : layers_) {
+    const PlanStats s = layer->PlanStatsFor(tokens, masked);
+    total.arena_bytes += s.arena_bytes;
+    total.sum_temporary_bytes += s.sum_temporary_bytes;
+    total.num_steps += s.num_steps;
+    total.num_inplace += s.num_inplace;
+    total.num_pit_steps += s.num_pit_steps;
+  }
+  return total;
+}
+
 }  // namespace pit

@@ -17,6 +17,7 @@
 #include "pit/core/compiler.h"
 #include "pit/gpusim/cost_model.h"
 #include "pit/graph/execution_plan.h"
+#include "pit/nn/modules.h"
 #include "pit/runtime/engine.h"
 #include "pit/tensor/tensor.h"
 
@@ -159,6 +160,51 @@ class PlannedFfnStack {
   std::vector<LayerWeights> weights_;
   mutable std::map<int64_t, TokenEntry> entries_;  // keyed by token count, bounded
   mutable std::mutex mu_;  // forwards share plan arenas; serialize them
+};
+
+// ---- Planned full-transformer execution ------------------------------------
+//
+// The PlannedFfnStack's seam extended to whole encoder blocks: a stack of
+// TransformerEncoderLayers (pre-norm attention + FFN) whose per-layer
+// forwards replay cached whole-block ExecutionPlans — layernorms, per-head
+// batched attention, masked softmax, residuals, and the FFN all dispatch as
+// compiled arena steps. Steady-state dense forwards perform ~zero heap
+// allocations: layer outputs stage into per-token-count buffers allocated
+// once, and each layer's plan reuses its own arena.
+class PlannedTransformerStack {
+ public:
+  PlannedTransformerStack(int64_t layers, int64_t hidden, int64_t heads, int64_t ffn_hidden,
+                          Rng& rng);
+  ~PlannedTransformerStack();
+  // Plans reference the layers' weights in place: the object is pinned.
+  PlannedTransformerStack(const PlannedTransformerStack&) = delete;
+  PlannedTransformerStack& operator=(const PlannedTransformerStack&) = delete;
+
+  // Planned dense forward; x: [tokens, hidden], mask: [tokens, tokens] or
+  // nullptr (shared by every layer).
+  Tensor Forward(const Tensor& x, const Tensor* attn_mask = nullptr) const;
+  // Planned PIT forward: each layer's FFN down-projection consumes its ReLU
+  // activation through `compiler`'s per-site kernel handles.
+  Tensor ForwardPit(const Tensor& x, PitCompiler& compiler,
+                    const Tensor* attn_mask = nullptr) const;
+  // Eager reference: direct ops, one fresh tensor per intermediate — the
+  // differential oracle and the bench baseline for the planned path.
+  Tensor ForwardEager(const Tensor& x, const Tensor* attn_mask = nullptr) const;
+
+  // Aggregate memory-planning stats over the layers' dense plans for this
+  // shape (compiles them if needed).
+  PlanStats StatsFor(int64_t tokens, bool masked = false) const;
+  int64_t layers() const { return static_cast<int64_t>(layers_.size()); }
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  Tensor RunPlanned(const Tensor& x, const Tensor* attn_mask, PitCompiler* compiler) const;
+
+  int64_t hidden_ = 0;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  // Per-layer output staging, allocated once per token count (bounded).
+  mutable std::map<int64_t, std::vector<Tensor>> staging_;
+  mutable std::mutex mu_;  // staging buffers are shared; serialize forwards
 };
 
 }  // namespace pit

@@ -17,6 +17,15 @@ struct Request {
 
 }  // namespace
 
+double PercentileNearestRank(const std::vector<double>& sorted_values, double q) {
+  PIT_CHECK(!sorted_values.empty()) << "percentile of an empty sample";
+  PIT_CHECK(q > 0.0 && q <= 1.0) << "percentile fraction out of (0, 1]";
+  const auto n = static_cast<double>(sorted_values.size());
+  const auto rank = static_cast<size_t>(std::ceil(q * n));  // 1-based
+  const size_t index = std::min(sorted_values.size() - 1, std::max<size_t>(rank, 1) - 1);
+  return sorted_values[index];
+}
+
 ServingStats SimulateServing(const CostModel& model, Engine engine, const TransformerDims& dims,
                              const SeqLenDistribution& dist, const ServingConfig& config,
                              Rng& rng) {
@@ -83,9 +92,8 @@ ServingStats SimulateServing(const CostModel& model, Engine engine, const Transf
     sum += l;
   }
   stats.mean_latency_us = sum / static_cast<double>(latencies.size());
-  stats.p50_latency_us = latencies[latencies.size() / 2];
-  stats.p99_latency_us = latencies[std::min(latencies.size() - 1,
-                                            static_cast<size_t>(0.99 * latencies.size()))];
+  stats.p50_latency_us = PercentileNearestRank(latencies, 0.5);
+  stats.p99_latency_us = PercentileNearestRank(latencies, 0.99);
   stats.makespan_us = device_free_at - requests.front().arrival_us;
   return stats;
 }

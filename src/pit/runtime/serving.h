@@ -25,6 +25,13 @@ struct ServingConfig {
   double max_wait_us = 20000.0;    // ...or after the oldest request waits this long
 };
 
+// Nearest-rank percentile of an ascending-sorted sample: the smallest element
+// whose cumulative rank covers fraction `q` of the sample, i.e. index
+// ceil(q*n) - 1. The single definition behind every reported percentile —
+// the previous p50 used n/2, which over-reads by one element for even n
+// (e.g. the 3rd of 4 values instead of the 2nd).
+double PercentileNearestRank(const std::vector<double>& sorted_values, double q);
+
 struct ServingStats {
   int64_t requests = 0;
   int64_t batches = 0;

@@ -64,13 +64,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+void BatchMatMulInto(ConstTensorView a, ConstTensorView b, TensorView c) {
   PIT_CHECK_EQ(a.rank(), 3);
   PIT_CHECK_EQ(b.rank(), 3);
+  PIT_CHECK_EQ(c.rank(), 3);
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   PIT_CHECK_EQ(bs, b.dim(0));
   PIT_CHECK_EQ(k, b.dim(1));
-  Tensor c({bs, m, n});
+  PIT_CHECK_EQ(c.dim(0), bs);
+  PIT_CHECK_EQ(c.dim(1), m);
+  PIT_CHECK_EQ(c.dim(2), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);  // kernels accumulate into C
   if (UseBlockedBackend()) {
     // Parallel over batch slices when there are enough of them to fill the
     // pool; otherwise keep the batch loop serial so each slice's GEMM can use
@@ -88,6 +92,13 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
                           n);
     }
   }
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(b.rank(), 3);
+  Tensor c({a.dim(0), a.dim(1), b.dim(2)});
+  BatchMatMulInto(a, b, c);
   return c;
 }
 
@@ -173,6 +184,23 @@ Tensor Relu(const Tensor& a) {
   return c;
 }
 
+void ScaleInto(ConstTensorView a, float factor, TensorView c) {
+  PIT_CHECK_EQ(a.size(), c.size());
+  const float* pa = a.data();
+  float* pc = c.data();
+  ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pc[i] = pa[i] * factor;
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float factor) {
+  Tensor c(a.shape());
+  ScaleInto(a, factor, c);
+  return c;
+}
+
 Tensor Gelu(const Tensor& a) {
   Tensor c(a.shape());
   const float* pa = a.data();
@@ -187,14 +215,12 @@ Tensor Gelu(const Tensor& a) {
   return c;
 }
 
-Tensor Transpose2D(const Tensor& a) {
-  PIT_CHECK_EQ(a.rank(), 2);
-  const int64_t rows = a.dim(0), cols = a.dim(1);
-  Tensor c({cols, rows});
-  const float* pa = a.data();
-  float* pc = c.data();
-  // 32x32 blocks: both the read and write streams stay within a few cache
-  // lines per block. Parallel over row blocks (disjoint output columns).
+namespace {
+
+// Blocked 2-D transpose of one contiguous [rows, cols] plane into [cols, rows].
+// 32x32 blocks: both the read and write streams stay within a few cache
+// lines per block. Parallel over row blocks (disjoint output columns).
+void Transpose2DPlane(const float* pa, float* pc, int64_t rows, int64_t cols) {
   constexpr int64_t kBlk = 32;
   const int64_t row_blocks = (rows + kBlk - 1) / kBlk;
   ParallelFor(row_blocks,
@@ -212,44 +238,111 @@ Tensor Transpose2D(const Tensor& a) {
                   }
                 }
               });
+}
+
+}  // namespace
+
+Tensor Transpose2D(const Tensor& a) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.dim(1), a.dim(0)});
+  Transpose2DPlane(a.data(), c.data(), a.dim(0), a.dim(1));
   return c;
 }
 
-void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c) {
-  PIT_CHECK_EQ(a.rank(), 2);
-  if (mask != nullptr) {
-    PIT_CHECK(mask->ShapeEquals(a));
+void TransposeInto(ConstTensorView a, int axis0, int axis1, TensorView c) {
+  PIT_CHECK_EQ(a.size(), c.size());
+  if (a.rank() == 2) {
+    PIT_CHECK(axis0 == 0 && axis1 == 1) << "rank-2 transpose swaps axes (0, 1)";
+    PIT_CHECK_EQ(c.rank(), 2);
+    PIT_CHECK_EQ(c.dim(0), a.dim(1));
+    PIT_CHECK_EQ(c.dim(1), a.dim(0));
+    Transpose2DPlane(a.data(), c.data(), a.dim(0), a.dim(1));
+    return;
   }
-  const int64_t m = a.dim(0), n = a.dim(1);
-  PIT_CHECK_EQ(c.dim(0), m);
-  PIT_CHECK_EQ(c.dim(1), n);
+  PIT_CHECK_EQ(a.rank(), 3);
+  PIT_CHECK_EQ(c.rank(), 3);
+  const int64_t d0 = a.dim(0), d1 = a.dim(1), d2 = a.dim(2);
+  const float* pa = a.data();
+  float* pc = c.data();
+  if (axis0 == 0 && axis1 == 1) {
+    // [d0, d1, d2] -> [d1, d0, d2]: row-of-d2 moves are contiguous memcpys.
+    PIT_CHECK(c.dim(0) == d1 && c.dim(1) == d0 && c.dim(2) == d2);
+    ParallelFor(d0, GrainOrSerial(d0, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, d1 * d2))),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    for (int64_t j = 0; j < d1; ++j) {
+                      std::memcpy(pc + (j * d0 + i) * d2, pa + (i * d1 + j) * d2,
+                                  static_cast<size_t>(d2) * sizeof(float));
+                    }
+                  }
+                });
+    return;
+  }
+  PIT_CHECK(axis0 == 1 && axis1 == 2) << "rank-3 transpose swaps axes (0,1) or (1,2)";
+  // [d0, d1, d2] -> [d0, d2, d1]: one 2-D transpose per batch slice.
+  PIT_CHECK(c.dim(0) == d0 && c.dim(1) == d2 && c.dim(2) == d1);
+  ParallelFor(d0, GrainOrSerial(d0, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, d1 * d2))),
+              [&](int64_t s0, int64_t s1) {
+                for (int64_t s = s0; s < s1; ++s) {
+                  const float* src = pa + s * d1 * d2;
+                  float* dst = pc + s * d1 * d2;
+                  for (int64_t r = 0; r < d1; ++r) {
+                    for (int64_t cc = 0; cc < d2; ++cc) {
+                      dst[cc * d1 + r] = src[r * d2 + cc];
+                    }
+                  }
+                }
+              });
+}
+
+void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c) {
+  PIT_CHECK(a.rank() == 2 || a.rank() == 3);
+  const int64_t n = a.dim(a.rank() - 1);
+  const int64_t m = a.size() / std::max<int64_t>(1, n);  // independent rows
+  PIT_CHECK_EQ(a.size(), c.size());
+  PIT_CHECK_EQ(c.dim(c.rank() - 1), n);
+  // The mask matches the input row-for-row, or — under a rank-3 input — is a
+  // single trailing [dim(1), n] plane broadcast over axis 0 (one attention
+  // mask shared by every head). Anything else (a mask that merely divides the
+  // flattened row count) would be applied with the wrong period: reject it.
+  int64_t mask_rows = 0;
+  if (mask != nullptr) {
+    PIT_CHECK_EQ(mask->dim(mask->rank() - 1), n);
+    mask_rows = mask->size() / std::max<int64_t>(1, n);
+    PIT_CHECK(mask_rows == m || (a.rank() == 3 && mask_rows == a.dim(1)))
+        << "softmax mask must match the input rows or its trailing plane";
+  }
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   // Rows are independent; per-row math is identical to the reference loop.
   ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
               [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i) {
+                  const float* arow = a.data() + i * n;
+                  float* crow = c.data() + i * n;
+                  const float* mrow =
+                      mask != nullptr ? mask->data() + (i % mask_rows) * n : nullptr;
                   float maxv = kNegInf;
                   for (int64_t j = 0; j < n; ++j) {
-                    const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+                    const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
                     maxv = std::max(maxv, v);
                   }
                   if (maxv == kNegInf) {
                     // Fully-masked row is all-zero; the output may be a dirty
                     // arena slice, so write the zeros explicitly.
                     for (int64_t j = 0; j < n; ++j) {
-                      c.At(i, j) = 0.0f;
+                      crow[j] = 0.0f;
                     }
                     continue;
                   }
                   float sum = 0.0f;
                   for (int64_t j = 0; j < n; ++j) {
-                    const float v = (mask && mask->At(i, j) == 0.0f) ? kNegInf : a.At(i, j);
+                    const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
                     const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
-                    c.At(i, j) = e;
+                    crow[j] = e;
                     sum += e;
                   }
                   for (int64_t j = 0; j < n; ++j) {
-                    c.At(i, j) /= sum;
+                    crow[j] /= sum;
                   }
                 }
               });
@@ -267,12 +360,16 @@ Tensor Softmax(const Tensor& a, const Tensor* mask) {
   return c;
 }
 
-Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps) {
+void LayerNormInto(ConstTensorView a, ConstTensorView gamma, ConstTensorView beta, TensorView c,
+                   float eps) {
   PIT_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0), n = a.dim(1);
   PIT_CHECK_EQ(gamma.size(), n);
   PIT_CHECK_EQ(beta.size(), n);
-  Tensor c({m, n});
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
   ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
               [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i) {
@@ -291,10 +388,16 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
                   var /= static_cast<float>(n);
                   const float inv = 1.0f / std::sqrt(var + eps);
                   for (int64_t j = 0; j < n; ++j) {
-                    crow[j] = (arow[j] - mean) * inv * gamma[j] + beta[j];
+                    crow[j] = (arow[j] - mean) * inv * pg[j] + pb[j];
                   }
                 }
               });
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.dim(0), a.dim(1)});
+  LayerNormInto(a, gamma, beta, c, eps);
   return c;
 }
 

@@ -26,6 +26,9 @@ Tensor Transpose2D(const Tensor& a);
 // pass nullptr for an unmasked softmax.
 Tensor Softmax(const Tensor& a, const Tensor* mask = nullptr);
 
+// out = a * factor, element-wise.
+Tensor Scale(const Tensor& a, float factor);
+
 // LayerNorm over the last axis with per-feature gain/bias.
 Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps = 1e-5f);
 
@@ -52,12 +55,27 @@ Tensor Conv2D(const Tensor& input, const Tensor& weight);
 // fully-masked rows).
 void MatMulInto(ConstTensorView a, ConstTensorView b, TensorView c);
 void MatMulBiasInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias, TensorView c);
+// C[b,m,n] = A[b,m,k] * B[b,k,n], one independent GEMM per batch slice.
+// `c` must not alias the inputs.
+void BatchMatMulInto(ConstTensorView a, ConstTensorView b, TensorView c);
 // Element-wise kernels; `c` may alias any input (read-then-write per element).
 void AddInto(ConstTensorView a, ConstTensorView b, TensorView c);
 void ReluInto(ConstTensorView a, TensorView c);
 void ApplyMaskInto(ConstTensorView a, ConstTensorView mask, TensorView c);
-// Row-wise softmax; `mask` may be null. `c` must not alias the mask.
+void ScaleInto(ConstTensorView a, float factor, TensorView c);
+// Axis-swap copy. Supported: rank-2 with (axis0, axis1) == (0, 1); rank-3
+// with (0, 1) ([a,b,c] -> [b,a,c], the head split/merge move) or (1, 2)
+// (batched 2-D transpose). `c` must not alias `a`.
+void TransposeInto(ConstTensorView a, int axis0, int axis1, TensorView c);
+// Row-wise softmax over the last axis of a rank-2 or rank-3 tensor; `mask`
+// may be null. A rank-2 mask under a rank-3 input broadcasts over axis 0
+// (one [tokens, tokens] attention mask shared by every head). `c` may alias
+// `a` but must not alias the mask.
 void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c);
+// LayerNorm over the last axis of a 2-D tensor; gamma/beta are [n]. `c` may
+// alias `a` (each row's statistics are read before the row is rewritten).
+void LayerNormInto(ConstTensorView a, ConstTensorView gamma, ConstTensorView beta, TensorView c,
+                   float eps = 1e-5f);
 
 }  // namespace pit
 

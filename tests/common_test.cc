@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
 #include "pit/common/rng.h"
 
 namespace pit {
@@ -87,6 +89,43 @@ TEST(RngTest, FloatRangeRespected) {
     EXPECT_GE(v, 2.0f);
     EXPECT_LT(v, 5.0f);
   }
+}
+
+// ---- Environment-variable parsing: misconfiguration must fail loudly, never
+// silently fall back to a default the operator did not ask for. ----
+
+TEST(EnvParsingTest, NumThreadsAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseNumThreadsEnv("1"), 1);
+  EXPECT_EQ(ParseNumThreadsEnv("4"), 4);
+  EXPECT_EQ(ParseNumThreadsEnv("7"), 7);
+  EXPECT_EQ(ParseNumThreadsEnv("128"), 128);
+}
+
+TEST(EnvParsingTest, NumThreadsRejectsNonNumeric) {
+  EXPECT_DEATH(ParseNumThreadsEnv("abc"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv("4x"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv("3.5"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv(""), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv(" 4"), "PIT_NUM_THREADS");
+}
+
+TEST(EnvParsingTest, NumThreadsRejectsZeroAndNegative) {
+  EXPECT_DEATH(ParseNumThreadsEnv("0"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv("-1"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv("-128"), "PIT_NUM_THREADS");
+  EXPECT_DEATH(ParseNumThreadsEnv("99999999999999999999"), "PIT_NUM_THREADS");
+}
+
+TEST(EnvParsingTest, BackendAcceptsKnownNames) {
+  EXPECT_EQ(ParseBackendEnv("blocked"), ComputeBackend::kBlocked);
+  EXPECT_EQ(ParseBackendEnv("reference"), ComputeBackend::kReference);
+}
+
+TEST(EnvParsingTest, BackendRejectsUnknownNames) {
+  EXPECT_DEATH(ParseBackendEnv("Reference"), "PIT_BACKEND");
+  EXPECT_DEATH(ParseBackendEnv("naive"), "PIT_BACKEND");
+  EXPECT_DEATH(ParseBackendEnv(""), "PIT_BACKEND");
+  EXPECT_DEATH(ParseBackendEnv("blocked "), "PIT_BACKEND");
 }
 
 }  // namespace

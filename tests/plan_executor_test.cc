@@ -4,7 +4,10 @@
 // and for any thread count.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "pit/common/backend.h"
 #include "pit/common/parallel_for.h"
@@ -88,7 +91,33 @@ std::map<int, Tensor> EagerExecute(const Graph& g, const std::map<std::string, T
         values.emplace(id, ApplyMask(values.at(n.inputs[0]), values.at(n.inputs[1])));
         break;
       case OpKind::kSoftmax:
-        values.emplace(id, Softmax(values.at(n.inputs[0])));
+        if (n.inputs.size() == 2) {
+          Tensor out(n.shape);
+          const ConstTensorView mask(values.at(n.inputs[1]));
+          SoftmaxInto(values.at(n.inputs[0]), &mask, out);
+          values.emplace(id, std::move(out));
+        } else {
+          values.emplace(id, Softmax(values.at(n.inputs[0])));
+        }
+        break;
+      case OpKind::kLayerNorm:
+        values.emplace(id, LayerNorm(values.at(n.inputs[0]), values.at(n.inputs[1]),
+                                     values.at(n.inputs[2]), n.fattr));
+        break;
+      case OpKind::kScale:
+        values.emplace(id, Scale(values.at(n.inputs[0]), n.fattr));
+        break;
+      case OpKind::kTranspose: {
+        Tensor out(n.shape);
+        TransposeInto(values.at(n.inputs[0]), n.iattr0, n.iattr1, out);
+        values.emplace(id, std::move(out));
+        break;
+      }
+      case OpKind::kReshape:
+        values.emplace(id, values.at(n.inputs[0]).Reshape(n.shape));
+        break;
+      case OpKind::kBatchMatmul:
+        values.emplace(id, BatchMatMul(values.at(n.inputs[0]), values.at(n.inputs[1])));
         break;
     }
   }
@@ -322,6 +351,299 @@ TEST(PlanExecutorTest, PlannedFfnStackPitMatchesEagerPit) {
   // ordering differs: compare with a tolerance.
   EXPECT_TRUE(AllClose(pit, stack.ForwardEager(x), 1e-3f, 1e-4f));
   EXPECT_GT(compiler.kernels_compiled(), 0);
+}
+
+// ---- Transformer-block OpKinds (PR 3) --------------------------------------
+
+// Exercises every new OpKind in one graph: layernorm, scale, reshape (alias),
+// rank-3 transposes on both axis pairs, batched matmuls, and a broadcast
+// masked softmax.
+Graph BuildTransformerOpsGraph(int64_t tokens, int64_t heads, int64_t dk, Rng& rng) {
+  const int64_t hidden = heads * dk;
+  Graph g;
+  const int x = g.AddInput("x", {tokens, hidden});
+  const int mask = g.AddInput("mask", {tokens, tokens}, /*expected_sparsity=*/0.5);
+  const int gamma = g.AddWeight("gamma", Tensor::Random({hidden}, rng, 0.5f, 1.5f));
+  const int beta = g.AddWeight("beta", Tensor::Random({hidden}, rng, -0.1f, 0.1f));
+  const int ln = g.AddLayerNorm("ln", x, gamma, beta);
+  const int sc = g.AddScale("scale", ln, 0.125f);
+  const int rs = g.AddReshape("split", sc, {tokens, heads, dk});
+  const int q = g.AddTranspose("q", rs, 0, 1);    // [heads, T, dk]
+  const int kt = g.AddTranspose("kt", q, 1, 2);   // [heads, dk, T]
+  const int scores = g.AddBatchMatmul("scores", q, kt);  // [heads, T, T]
+  const int probs = g.AddSoftmax("probs", scores, mask);  // broadcast mask
+  const int ctx = g.AddBatchMatmul("ctx", probs, q);      // [heads, T, dk]
+  const int merged = g.AddTranspose("merge", ctx, 0, 1);  // [T, heads, dk]
+  const int flat = g.AddReshape("flat", merged, {tokens, hidden});
+  g.AddAdd("out", flat, x);
+  g.PropagateSparsity();
+  return g;
+}
+
+std::map<std::string, Tensor> TransformerOpsFeeds(int64_t tokens, int64_t hidden,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::Random({tokens, hidden}, rng);
+  Tensor m = Tensor::RandomSparse({tokens, tokens}, 0.4, rng);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m[i] = m[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  // One fully-masked row: the planned masked softmax must write its zeros
+  // even into a dirty arena slice.
+  for (int64_t j = 0; j < tokens; ++j) {
+    m.At(tokens / 2, j) = 0.0f;
+  }
+  return {{"x", x}, {"m", m}, {"mask", m}};
+}
+
+TEST(PlanExecutorTest, TransformerOpKindsBitwiseMatchEager) {
+  Rng rng(41);
+  Graph g = BuildTransformerOpsGraph(12, 4, 8, rng);
+  auto feeds = TransformerOpsFeeds(12, 32, 42);
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  ASSERT_EQ(eager.size(), planned.size());
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
+}
+
+TEST(PlanExecutorTest, TransformerOpKindsReferenceBackendBitwiseMatches) {
+  ScopedBackend guard(ComputeBackend::kReference);
+  Rng rng(43);
+  Graph g = BuildTransformerOpsGraph(10, 2, 8, rng);
+  auto feeds = TransformerOpsFeeds(10, 16, 44);
+  ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+}
+
+TEST(PlanExecutorTest, TransformerOpKindsDeterministicAcrossThreadCounts) {
+  Rng rng(45);
+  Graph g = BuildTransformerOpsGraph(16, 4, 8, rng);
+  auto feeds = TransformerOpsFeeds(16, 32, 46);
+  Tensor base;
+  {
+    ScopedNumThreads threads(1);
+    base = g.Run(feeds);
+    ExpectBitwiseEqual(base, EagerExecute(g, feeds).at(g.size() - 1));
+  }
+  for (int t : {4, 7}) {
+    ScopedNumThreads threads(t);
+    ExpectBitwiseEqual(g.Run(feeds), base);
+    ExpectBitwiseEqual(EagerExecute(g, feeds).at(g.size() - 1), base);
+  }
+}
+
+TEST(PlanExecutorTest, Rank2TransposeAndMaskedSoftmaxMatchEager) {
+  Rng rng(47);
+  Graph g;
+  const int x = g.AddInput("x", {9, 7});
+  const int mask = g.AddInput("mask", {9, 9}, 0.3);
+  const int w = g.AddWeight("w", Tensor::Random({7, 9}, rng));
+  const int mm = g.AddMatmul("mm", x, w);           // [9, 9]
+  const int sm = g.AddSoftmax("sm", mm, mask);      // rank-2 masked softmax
+  const int tr = g.AddTranspose("tr", sm, 0, 1);    // rank-2 transpose
+  g.AddAdd("out", tr, sm);
+  g.PropagateSparsity();
+
+  Rng fr(48);
+  Tensor xv = Tensor::Random({9, 7}, fr);
+  Tensor mv = Tensor::RandomSparse({9, 9}, 0.3, fr);
+  for (int64_t i = 0; i < mv.size(); ++i) {
+    mv[i] = mv[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  std::map<std::string, Tensor> feeds{{"x", xv}, {"mask", mv}};
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
+}
+
+TEST(PlanExecutorTest, ReshapeIsZeroCostAndScaleAliasesInPlace) {
+  Rng rng(49);
+  Graph g;
+  const int x = g.AddInput("x", {8, 6});
+  const int w = g.AddWeight("w", Tensor::Random({6, 8}, rng));
+  const int mm = g.AddMatmul("mm", x, w);          // arena block A
+  const int sc = g.AddScale("sc", mm, 2.0f);       // mm dies here: in-place
+  const int rs = g.AddReshape("rs", sc, {4, 2, 8});  // alias of A, no block
+  g.AddTranspose("tr", rs, 0, 1);
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_GE(plan.stats().num_inplace, 1);
+  // Arena holds only the matmul/scale block plus the transpose output: the
+  // reshape contributed nothing.
+  const int64_t block = ((8 * 8 + 15) / 16) * 16 * static_cast<int64_t>(sizeof(float));
+  EXPECT_EQ(plan.stats().arena_bytes, 2 * block);
+
+  Rng fr(50);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({8, 6}, fr)}};
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
+}
+
+// ---- Planned attention / encoder blocks ------------------------------------
+
+TEST(PlanExecutorTest, AttentionPlannedBitwiseMatchesEager) {
+  Rng rng(51);
+  MultiHeadAttention attn(32, 4, rng);
+  Rng xr(52);
+  Tensor x = Tensor::Random({24, 32}, xr);
+  Tensor mask = Tensor::RandomSparse({24, 24}, 0.4, xr);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  ExpectBitwiseEqual(attn.Forward(x), attn.ForwardEager(x));
+  ExpectBitwiseEqual(attn.Forward(x, &mask), attn.ForwardEager(x, &mask));
+  // Changed values through the same cached plans.
+  Tensor y = Tensor::Random({24, 32}, xr);
+  ExpectBitwiseEqual(attn.Forward(y, &mask), attn.ForwardEager(y, &mask));
+  // A different token count compiles a second plan over the same weights.
+  Tensor z = Tensor::Random({7, 32}, xr);
+  ExpectBitwiseEqual(attn.Forward(z), attn.ForwardEager(z));
+}
+
+TEST(PlanExecutorTest, AttentionPlannedDeterministicAcrossThreadCounts) {
+  Rng rng(53);
+  MultiHeadAttention attn(16, 2, rng);
+  Rng xr(54);
+  Tensor x = Tensor::Random({20, 16}, xr);
+  Tensor base;
+  {
+    ScopedNumThreads threads(1);
+    base = attn.Forward(x);
+    ExpectBitwiseEqual(base, attn.ForwardEager(x));
+  }
+  for (int t : {4, 7}) {
+    ScopedNumThreads threads(t);
+    ExpectBitwiseEqual(attn.Forward(x), base);
+    ExpectBitwiseEqual(attn.ForwardEager(x), base);
+  }
+}
+
+TEST(PlanExecutorTest, EncoderLayerPlannedBitwiseMatchesEager) {
+  Rng rng(55);
+  TransformerEncoderLayer layer(32, 4, 96, rng);
+  Rng xr(56);
+  Tensor x = Tensor::Random({18, 32}, xr);
+  Tensor mask = Tensor::RandomSparse({18, 18}, 0.4, xr);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  for (int t : {1, 4, 7}) {
+    ScopedNumThreads threads(t);
+    ExpectBitwiseEqual(layer.Forward(x), layer.ForwardEager(x));
+    ExpectBitwiseEqual(layer.Forward(x, &mask), layer.ForwardEager(x, &mask));
+  }
+  // Plan reuse across changing token counts, same weights.
+  for (int64_t tokens : {5, 18, 11}) {
+    Tensor v = Tensor::Random({tokens, 32}, xr);
+    ExpectBitwiseEqual(layer.Forward(v), layer.ForwardEager(v));
+  }
+
+  // The whole block is one plan: residual adds, relu, and the q-scale alias
+  // in place, and the arena undercuts eager temporaries.
+  const PlanStats stats = layer.PlanStatsFor(18);
+  EXPECT_GE(stats.num_inplace, 3);
+  EXPECT_LT(stats.arena_bytes, stats.sum_temporary_bytes);
+}
+
+TEST(PlanExecutorTest, EncoderLayerSparsePlannedMatchesEagerSparseComposition) {
+  // Twin modules drawn from the identical Rng stream reproduce the layer's
+  // weights exactly; the hand-composed pre-change sparse path (eager
+  // attention + FFN-planned sparse) is the bitwise oracle.
+  Rng rng(57);
+  TransformerEncoderLayer layer(16, 4, 48, rng);
+  Rng twin(57);
+  MultiHeadAttention attn(16, 4, twin);
+  FeedForward ffn(16, 48, twin);
+  Tensor ones = Tensor::Full({16}, 1.0f);
+  Tensor zeros = Tensor::Zeros({16});
+
+  Rng xr(58);
+  Tensor x = Tensor::Random({14, 16}, xr);
+  PitCompiler layer_compiler(V100());
+  Tensor planned = layer.ForwardSparse(x, layer_compiler);
+
+  PitCompiler eager_compiler(V100());
+  Tensor h = Add(x, attn.ForwardEager(LayerNorm(x, ones, zeros)));
+  Tensor eager = Add(h, ffn.ForwardSparse(LayerNorm(h, ones, zeros), eager_compiler));
+  ExpectBitwiseEqual(planned, eager);
+  EXPECT_GT(layer_compiler.kernels_compiled(), 0);
+}
+
+TEST(PlanExecutorTest, PlannedTransformerStackMatchesEager) {
+  Rng rng(59);
+  PlannedTransformerStack stack(2, 16, 2, 48, rng);
+  Rng xr(60);
+  Tensor x = Tensor::Random({12, 16}, xr);
+  Tensor mask = Tensor::RandomSparse({12, 12}, 0.3, xr);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  ExpectBitwiseEqual(stack.Forward(x), stack.ForwardEager(x));
+  ExpectBitwiseEqual(stack.Forward(x, &mask), stack.ForwardEager(x, &mask));
+  // Re-run with different values through the same cached plans, then at a
+  // second token count.
+  Tensor y = Tensor::Random({12, 16}, xr);
+  ExpectBitwiseEqual(stack.Forward(y), stack.ForwardEager(y));
+  Tensor z = Tensor::Random({5, 16}, xr);
+  ExpectBitwiseEqual(stack.Forward(z), stack.ForwardEager(z));
+
+  const PlanStats stats = stack.StatsFor(12);
+  EXPECT_LT(stats.arena_bytes, stats.sum_temporary_bytes);
+  EXPECT_GE(stats.num_inplace, 2 * 3);
+
+  // PIT forward: exact kernels, different float summation order than dense.
+  PitCompiler compiler(V100());
+  EXPECT_TRUE(AllClose(stack.ForwardPit(x, compiler), stack.ForwardEager(x), 1e-3f, 1e-4f));
+}
+
+// ---- Plan-cache invalidation race (PR 3 satellite) -------------------------
+
+TEST(PlanExecutorTest, PlanHandleSurvivesConcurrentGraphMutation) {
+  // An executor mid-Run must keep its plan (and the plan's compile-time
+  // semantics) after AddX invalidates the graph's cache from another thread.
+  Rng rng(61);
+  Graph g = BuildFfnGraph(16, 8, 32, rng);
+  Rng xr(62);
+  Tensor x = Tensor::Random({16, 8}, xr);
+  std::map<std::string, const Tensor*> feeds{{"x", &x}};
+
+  std::shared_ptr<ExecutionPlan> plan = g.PlanShared();
+  Tensor base(Shape{16, 8});
+  {
+    ConstTensorView out = plan->Run(feeds);
+    std::copy(out.data(), out.data() + out.size(), base.data());
+  }
+
+  std::atomic<bool> go{false};
+  std::thread mutator([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (int i = 0; i < 64; ++i) {
+      // Every Add clears the plan cache (liveness/offsets assume the old
+      // node list) and reallocates the node vector.
+      g.AddRelu("noise_" + std::to_string(i), g.size() - 1);
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (int i = 0; i < 64; ++i) {
+    ConstTensorView out = plan->Run(feeds);
+    ASSERT_EQ(std::memcmp(out.data(), base.data(),
+                          static_cast<size_t>(base.size()) * sizeof(float)),
+              0)
+        << "stale plan diverged mid-mutation at iteration " << i;
+  }
+  mutator.join();
+
+  // A fresh plan over the mutated graph compiles and runs the longer chain.
+  std::shared_ptr<ExecutionPlan> fresh = g.PlanShared();
+  ConstTensorView out = fresh->Run(feeds);
+  EXPECT_EQ(out.size(), 16 * 8);
 }
 
 }  // namespace

