@@ -43,31 +43,10 @@ Case Measure(const std::string& name, Fn&& fn, int reps) {
   return c;
 }
 
-// Measured parallel speedup of a trivially parallel compute loop. Containers
-// routinely report more hardware threads than the cgroup quota actually
-// provides; memory-parallel assertions are only meaningful when the pool
-// delivers real concurrency, so the detector check below is gated on this.
-double ParallelProbeSpeedup() {
-  if (NumThreads() <= 1) {
-    return 1.0;
-  }
-  std::vector<float> buf(1 << 21);
-  auto work = [&] {
-    float* p = buf.data();
-    ParallelFor(static_cast<int64_t>(buf.size()), 1 << 14, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        p[i] = std::sqrt(static_cast<float>(i) + p[i]);
-      }
-    });
-  };
-  const double multi = bench::TimeUs(work, 3);
-  double single;
-  {
-    ScopedNumThreads one(1);
-    single = bench::TimeUs(work, 3);
-  }
-  return multi > 0.0 ? single / multi : 1.0;
-}
+// Real pool concurrency (shared probe in bench_util.h): the detector check
+// below is gated on it, since containers routinely report more hardware
+// threads than the cgroup quota actually provides.
+double ParallelProbeSpeedup() { return bench::ParallelProbeSpeedup(NumThreads()); }
 
 }  // namespace
 

@@ -8,10 +8,13 @@
 #define PIT_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "pit/common/parallel_for.h"
 
 namespace pit::bench {
 
@@ -69,6 +72,51 @@ double TimeUs(Fn&& fn, int reps = 3) {
     }
   }
   return best;
+}
+
+// Real concurrency the pool delivers at `threads` workers, measured with a
+// memory-parallel sqrt sweep: CI containers routinely report more hardware
+// threads than the cgroup quota actually provides, so parallel-speedup
+// assertions must gate on this probe, not on the configured thread count.
+// The shared implementation behind bench_backend_speedup's detector assert
+// and bench_planned_transformer's wavefront assert.
+inline double ParallelProbeSpeedup(int threads) {
+  if (threads <= 1) {
+    return 1.0;
+  }
+  std::vector<float> buf(1 << 21);
+  auto work = [&] {
+    float* p = buf.data();
+    ParallelFor(static_cast<int64_t>(buf.size()), 1 << 14, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        p[i] = std::sqrt(static_cast<float>(i) + p[i]);
+      }
+    });
+  };
+  double multi;
+  {
+    ScopedNumThreads t(threads);
+    multi = TimeUs(work, 3);
+  }
+  double single;
+  {
+    ScopedNumThreads one(1);
+    single = TimeUs(work, 3);
+  }
+  return multi > 0.0 ? single / multi : 1.0;
+}
+
+// Times `planned` at each swept worker count (warming once per width) and
+// appends the planned_us_tN fields every BENCH_*.json case records — one
+// helper so every bench sweeps the same thread set with the same naming.
+template <typename Fn>
+inline void SweepPlannedThreads(std::vector<std::pair<std::string, double>>* fields,
+                                Fn&& planned) {
+  for (const int t : {1, 4, 8}) {
+    ScopedNumThreads threads(t);
+    planned();  // warm plans/scratch at this width
+    fields->emplace_back("planned_us_t" + std::to_string(t), TimeUs(planned, 5));
+  }
 }
 
 // Accumulates named records of numeric fields and writes them as a BENCH_*.json

@@ -114,6 +114,9 @@ struct GraphCase {
   std::string name;
   double eager_us = 0.0;
   double planned_us = 0.0;
+  // Planned latency swept over PIT_NUM_THREADS (the PR 3 numbers recorded
+  // threads: 1 only): ready-to-emit (planned_us_tN, best-of-N us) fields.
+  std::vector<std::pair<std::string, double>> planned_by_threads;
   int64_t arena_bytes = 0;
   int64_t sum_temporary_bytes = 0;
   int64_t allocs_per_forward = -1;
@@ -130,6 +133,7 @@ GraphCase MeasureGraph(const std::string& name, const Graph& g,
   plan.Run(ptr_feeds);  // warm arena + scratch
   c.eager_us = bench::TimeUs([&] { EagerRun(g, feeds); }, 5);
   c.planned_us = bench::TimeUs([&] { plan.Run(ptr_feeds); }, 5);
+  bench::SweepPlannedThreads(&c.planned_by_threads, [&] { plan.Run(ptr_feeds); });
   c.arena_bytes = plan.stats().arena_bytes;
   c.sum_temporary_bytes = plan.stats().sum_temporary_bytes;
   c.num_steps = plan.stats().num_steps;
@@ -197,16 +201,18 @@ int main(int argc, char** argv) {
                bench::Fmt(speedup, "%.2fx"), bench::Fmt(c.arena_bytes / 1024.0, "%.0f"),
                bench::Fmt(c.sum_temporary_bytes / 1024.0, "%.0f"),
                bench::Fmt(static_cast<double>(c.allocs_per_forward), "%.0f")});
-    report.Add(c.name,
-               {{"eager_us", c.eager_us},
-                {"planned_us", c.planned_us},
-                {"speedup", speedup},
-                {"arena_bytes", static_cast<double>(c.arena_bytes)},
-                {"sum_temporary_bytes", static_cast<double>(c.sum_temporary_bytes)},
-                {"allocs_per_forward", static_cast<double>(c.allocs_per_forward)},
-                {"num_steps", static_cast<double>(c.num_steps)},
-                {"num_inplace", static_cast<double>(c.num_inplace)},
-                {"threads", static_cast<double>(NumThreads())}});
+    std::vector<std::pair<std::string, double>> fields{
+        {"eager_us", c.eager_us},
+        {"planned_us", c.planned_us},
+        {"speedup", speedup},
+        {"arena_bytes", static_cast<double>(c.arena_bytes)},
+        {"sum_temporary_bytes", static_cast<double>(c.sum_temporary_bytes)},
+        {"allocs_per_forward", static_cast<double>(c.allocs_per_forward)},
+        {"num_steps", static_cast<double>(c.num_steps)},
+        {"num_inplace", static_cast<double>(c.num_inplace)},
+        {"threads", static_cast<double>(NumThreads())}};
+    fields.insert(fields.end(), c.planned_by_threads.begin(), c.planned_by_threads.end());
+    report.Add(c.name, fields);
     if (c.arena_bytes >= c.sum_temporary_bytes) {
       std::fprintf(stderr, "FAIL %s: arena %lld B >= sum of temporaries %lld B\n",
                    c.name.c_str(), static_cast<long long>(c.arena_bytes),
@@ -236,15 +242,18 @@ int main(int argc, char** argv) {
     table.Row({"ffn_stack_4x128x256", bench::FmtMs(eager_us), bench::FmtMs(planned_us),
                bench::Fmt(speedup, "%.2fx"), bench::Fmt(stats.arena_bytes / 1024.0, "%.0f"),
                bench::Fmt(stats.sum_temporary_bytes / 1024.0, "%.0f"), "-"});
-    report.Add("ffn_stack_4x128x256",
-               {{"eager_us", eager_us},
-                {"planned_us", planned_us},
-                {"speedup", speedup},
-                {"pit_planned_us", pit_us},
-                {"arena_bytes", static_cast<double>(stats.arena_bytes)},
-                {"sum_temporary_bytes", static_cast<double>(stats.sum_temporary_bytes)},
-                {"num_inplace", static_cast<double>(stats.num_inplace)},
-                {"threads", static_cast<double>(NumThreads())}});
+    std::vector<std::pair<std::string, double>> fields{
+        {"eager_us", eager_us},
+        {"planned_us", planned_us},
+        {"speedup", speedup},
+        {"pit_planned_us", pit_us},
+        {"arena_bytes", static_cast<double>(stats.arena_bytes)},
+        {"sum_temporary_bytes", static_cast<double>(stats.sum_temporary_bytes)},
+        {"num_inplace", static_cast<double>(stats.num_inplace)},
+        {"num_fused", static_cast<double>(stats.num_fused)},
+        {"threads", static_cast<double>(NumThreads())}};
+    bench::SweepPlannedThreads(&fields, [&] { stack.Forward(x); });
+    report.Add("ffn_stack_4x128x256", fields);
     if (stats.arena_bytes >= stats.sum_temporary_bytes) {
       std::fprintf(stderr, "FAIL ffn_stack: arena >= sum of temporaries\n");
       ok = false;

@@ -20,6 +20,15 @@ ComputeBackend DefaultBackend() {
 
 std::atomic<int> g_backend{kUnresolved};
 
+PlanSched DefaultPlanSched() {
+  if (const char* env = std::getenv("PIT_PLAN_SCHED")) {
+    return ParsePlanSchedEnv(env);
+  }
+  return PlanSched::kWavefront;
+}
+
+std::atomic<int> g_plan_sched{kUnresolved};
+
 }  // namespace
 
 ComputeBackend ParseBackendEnv(const char* value) {
@@ -44,6 +53,30 @@ ComputeBackend ActiveBackend() {
 
 void SetBackend(ComputeBackend backend) {
   g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+PlanSched ParsePlanSchedEnv(const char* value) {
+  PIT_CHECK(value != nullptr && *value != '\0')
+      << "PIT_PLAN_SCHED is set but empty; expected \"seq\" or \"wavefront\"";
+  if (std::strcmp(value, "seq") == 0) {
+    return PlanSched::kSequential;
+  }
+  PIT_CHECK(std::strcmp(value, "wavefront") == 0)
+      << "unrecognized PIT_PLAN_SCHED=\"" << value << "\"; expected \"seq\" or \"wavefront\"";
+  return PlanSched::kWavefront;
+}
+
+PlanSched ActivePlanSched() {
+  int v = g_plan_sched.load(std::memory_order_relaxed);
+  if (v == kUnresolved) {
+    v = static_cast<int>(DefaultPlanSched());
+    g_plan_sched.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<PlanSched>(v);
+}
+
+void SetPlanSched(PlanSched sched) {
+  g_plan_sched.store(static_cast<int>(sched), std::memory_order_relaxed);
 }
 
 }  // namespace pit

@@ -58,6 +58,44 @@ class ScopedBackend {
   ComputeBackend saved_;
 };
 
+// ---- ExecutionPlan replay scheduler ----------------------------------------
+//
+// How a compiled ExecutionPlan replays its steps:
+//  - kSequential: one step at a time in compile order — the scheduling oracle
+//    every concurrent schedule is differential-tested against.
+//  - kWavefront: independent steps (disjoint arena intervals, no data or
+//    reuse hazard) of the same dependency wavefront dispatch concurrently on
+//    the ParallelFor pool. Default. Bitwise identical to kSequential for any
+//    thread count: concurrent steps write disjoint 64-byte-aligned arena
+//    blocks and every kernel is order-deterministic internally.
+enum class PlanSched {
+  kSequential,  // in-order oracle replay
+  kWavefront,   // inter-op parallel replay (default)
+};
+
+// The scheduler plan replay dispatches on. First call resolves
+// PIT_PLAN_SCHED; defaults to kWavefront.
+PlanSched ActivePlanSched();
+
+// Strict parser behind the PIT_PLAN_SCHED resolution: "seq" or "wavefront"
+// only. A typo'd scheduler name must fail loudly (PIT_CHECK abort), not
+// silently run the default while the operator believes the oracle is active.
+PlanSched ParsePlanSchedEnv(const char* value);
+
+void SetPlanSched(PlanSched sched);
+
+// RAII scheduler override for differential tests and benches.
+class ScopedPlanSched {
+ public:
+  explicit ScopedPlanSched(PlanSched sched) : saved_(ActivePlanSched()) { SetPlanSched(sched); }
+  ~ScopedPlanSched() { SetPlanSched(saved_); }
+  ScopedPlanSched(const ScopedPlanSched&) = delete;
+  ScopedPlanSched& operator=(const ScopedPlanSched&) = delete;
+
+ private:
+  PlanSched saved_;
+};
+
 }  // namespace pit
 
 #endif  // PIT_COMMON_BACKEND_H_

@@ -15,6 +15,7 @@ constexpr int64_t kNr = 16;   // register-tile cols (2 cache lines)
 constexpr int64_t kKc = 256;  // k-panel depth: panel of B stays hot in L2
 
 std::atomic<bool> g_pack_b{true};
+std::atomic<bool> g_pack_a{true};
 
 // A chunk must reuse the packed panel across at least this many 4-row blocks
 // before the pack pass (one read + one write of the panel) pays for itself.
@@ -28,6 +29,34 @@ constexpr int64_t kMinBBytesToPack = 2ll << 20;
 // full width of B): extremely wide GEMMs fall back to strided access instead
 // of pinning tens of MiB per pool thread for the process lifetime.
 constexpr int64_t kMaxPackScratchBytes = 8ll << 20;
+
+// A-packing gates, from single-core sweeps over tall shapes: the pack pass
+// (an extra strided read + dense write of the A panel) only pays when each
+// packed element is reused across enough column tiles (n around 12..24 tiles
+// of 16) while A traffic still dominates (m >= 4n, deep k so the strided
+// source rows span many pages). Below the reuse band the pack never
+// amortises; above it (wide n) the B panel dominates traffic and the extra A
+// pass washes out.
+constexpr int64_t kMinMToPackA = 1024;
+constexpr int64_t kTallRatioToPackA = 4;
+constexpr int64_t kMinNToPackA = 12 * kNr;
+constexpr int64_t kMaxNToPackA = 24 * kNr;
+constexpr int64_t kMinKToPackA = 2048;
+// Rows per packed A group: 16 row blocks x kKc panel = 64 KiB of scratch,
+// resident in L1/L2 while its blocks stream through the column tiles.
+constexpr int64_t kPackARowBlocks = 16;
+
+// The packed microkernel walks its p loop in blocks of this many rows and
+// hints the next block's packed A/B lines between blocks. Hints must stay out
+// of the inner loop: a prefetch intrinsic inside it makes the compiler spill
+// the accumulator tile to the stack (measured ~8x slower).
+constexpr int64_t kPrefetchBlockRows = 64;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PIT_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define PIT_PREFETCH(addr) ((void)0)
+#endif
 
 // Packs B[p0:p1, 0:n] into `out` as consecutive 16-wide tiles, each tile laid
 // out p-major with dense kNr rows (ragged last tile zero-padded). Tile jt
@@ -51,12 +80,45 @@ void PackBPanel(const float* b, int64_t ldb, int64_t n, int64_t p0, int64_t p1, 
   }
 }
 
+// Packs the full 4-row blocks [blk0, blk1) of A's k-panel [p0, p1) into `out`
+// register-tile interleaved: block blk's element (r, p) lands at
+// out[(blk - blk0) * 4 * rows + (p - p0) * 4 + r]. The four broadcast loads
+// of one inner-loop iteration are then a single contiguous 16-byte run.
+// Ragged trailing blocks (mr < 4) are not packed; callers keep them on the
+// strided path.
+void PackAPanel(const float* a, int64_t lda, int64_t blk0, int64_t blk1, int64_t p0, int64_t p1,
+                float* out) {
+  const int64_t rows = p1 - p0;
+  for (int64_t blk = blk0; blk < blk1; ++blk) {
+    const float* src = a + blk * kMr * lda;
+    float* dst = out + (blk - blk0) * kMr * rows;
+    for (int64_t p = p0; p < p1; ++p) {
+      float* d = dst + (p - p0) * kMr;
+      d[0] = src[p];
+      d[1] = src[lda + p];
+      d[2] = src[2 * lda + p];
+      d[3] = src[3 * lda + p];
+    }
+  }
+}
+
+// Epilogue store shared by every kernel: bias add then optional ReLU clamp,
+// in the exact per-element order of the separate MatMulBiasInto + ReluInto
+// passes, so fusing never changes a bit.
+inline float Epilogue(float acc, const float* bias, int64_t j, bool relu) {
+  float v = bias ? acc + bias[j] : acc;
+  if (relu) {
+    v = v > 0.0f ? v : 0.0f;
+  }
+  return v;
+}
+
 // Full 4x16 register tile: C[0:4, 0:16] += A[0:4, p0:p1] * B[p0:p1, 0:16].
 // `a` is the tile's first A row, `b`/`c` are offset to the tile's first
 // column. The accumulator array is small enough that -O3 keeps it entirely in
 // vector registers; the inner loop is a broadcast-axpy that auto-vectorises.
 inline void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-                       int64_t ldc, int64_t p0, int64_t p1, const float* bias) {
+                       int64_t ldc, int64_t p0, int64_t p1, const float* bias, bool relu) {
   float acc[kMr][kNr];
   for (int64_t r = 0; r < kMr; ++r) {
     for (int64_t j = 0; j < kNr; ++j) {
@@ -79,7 +141,53 @@ inline void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb,
   }
   for (int64_t r = 0; r < kMr; ++r) {
     for (int64_t j = 0; j < kNr; ++j) {
-      c[r * ldc + j] = bias ? acc[r][j] + bias[j] : acc[r][j];
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
+    }
+  }
+}
+
+// As Kernel4x16 but reading a register-tile-interleaved packed A tile
+// (element (r, p) at apack[p*4 + r], p relative to the panel) — the packed
+// microkernel. Issues prefetch hints for the upcoming packed A run and the
+// upcoming B row (dense kNr-wide rows when B is packed too). Accumulation
+// order per element is identical to the strided kernel.
+inline void Kernel4x16PackedA(const float* apack, const float* b, int64_t ldb, float* c,
+                              int64_t ldc, int64_t rows, const float* bias, bool relu) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t pb = 0; pb < rows; pb += kPrefetchBlockRows) {
+    const int64_t pe = std::min(rows, pb + kPrefetchBlockRows);
+    if (pe < rows) {
+      // Hint the head of the next block's packed A run and B rows while this
+      // block streams — outside the hot loop so the accumulators stay in
+      // registers.
+      PIT_PREFETCH(apack + pe * kMr);
+      PIT_PREFETCH(apack + pe * kMr + 16);
+      PIT_PREFETCH(b + pe * ldb);
+    }
+    for (int64_t p = pb; p < pe; ++p) {
+      const float* ap = apack + p * kMr;
+      const float* brow = b + p * ldb;
+      const float a0 = ap[0];
+      const float a1 = ap[1];
+      const float a2 = ap[2];
+      const float a3 = ap[3];
+      for (int64_t j = 0; j < kNr; ++j) {
+        const float bv = brow[j];
+        acc[0][j] += a0 * bv;
+        acc[1][j] += a1 * bv;
+        acc[2][j] += a2 * bv;
+        acc[3][j] += a3 * bv;
+      }
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
     }
   }
 }
@@ -89,7 +197,7 @@ inline void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb,
 // the numeric result.
 inline void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
                        int64_t ldc, int64_t mr, int64_t nr, int64_t p0, int64_t p1,
-                       const float* bias) {
+                       const float* bias, bool relu) {
   float acc[kMr][kNr];
   for (int64_t r = 0; r < mr; ++r) {
     for (int64_t j = 0; j < nr; ++j) {
@@ -107,7 +215,7 @@ inline void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb,
   }
   for (int64_t r = 0; r < mr; ++r) {
     for (int64_t j = 0; j < nr; ++j) {
-      c[r * ldc + j] = bias ? acc[r][j] + bias[j] : acc[r][j];
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
     }
   }
 }
@@ -115,15 +223,16 @@ inline void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb,
 }  // namespace
 
 void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const float* b,
-             int64_t ldb, float* c, int64_t ldc, const float* bias) {
+             int64_t ldb, float* c, int64_t ldc, const float* bias, bool relu) {
   if (m <= 0 || n <= 0) {
     return;
   }
   if (k <= 0) {
-    if (bias != nullptr) {
+    if (bias != nullptr || relu) {
       for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < n; ++j) {
-          c[i * ldc + j] += bias[j];
+          float v = c[i * ldc + j] + (bias ? bias[j] : 0.0f);
+          c[i * ldc + j] = relu ? (v > 0.0f ? v : 0.0f) : v;
         }
       }
     }
@@ -149,35 +258,76 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
     if (pack && static_cast<int64_t>(bpack.size()) < scratch_elems) {
       bpack.resize(static_cast<size_t>(scratch_elems));
     }
+    // A-panel packing for tall problems: repack 64-row groups of the current
+    // k-panel register-tile interleaved so the kernels' four broadcast loads
+    // come from one dense run. Copy-only — bitwise identical either way.
+    const bool pack_a = g_pack_a.load(std::memory_order_relaxed) && m >= kMinMToPackA &&
+                        m >= kTallRatioToPackA * n && n >= kMinNToPackA && n <= kMaxNToPackA &&
+                        k >= kMinKToPackA;
+    thread_local std::vector<float> apack;
+    if (pack_a && static_cast<int64_t>(apack.size()) < kPackARowBlocks * kMr * kKc) {
+      apack.resize(static_cast<size_t>(kPackARowBlocks * kMr * kKc));
+    }
     for (int64_t pc = 0; pc < k; pc += kKc) {  // k-panels: B panel reused across row blocks
       const int64_t p1 = std::min(k, pc + kKc);
       const float* panel_bias = (p1 == k) ? bias : nullptr;  // epilogue on final panel only
+      const bool panel_relu = (p1 == k) && relu;
       if (pack) {
         PackBPanel(b, ldb, n, pc, p1, bpack.data());
       }
       const int64_t panel_rows = p1 - pc;
-      for (int64_t blk = blk0; blk < blk1; ++blk) {
-        const int64_t i0 = blk * kMr;
-        const int64_t mr = std::min(kMr, m - i0);
-        const float* atile = a + i0 * lda;
-        float* ctile = c + i0 * ldc;
-        for (int64_t j = 0, jt = 0; j < n; j += kNr, ++jt) {
-          const int64_t nr = std::min(kNr, n - j);
-          const float* bias_j = panel_bias ? panel_bias + j : nullptr;
-          if (pack) {
-            // Packed tile rows are [0, panel_rows); rebase the A pointer by pc
-            // so the kernels' shared p index walks both operands in lockstep.
-            const float* btile = bpack.data() + jt * panel_rows * kNr;
-            if (mr == kMr && nr == kNr) {
-              Kernel4x16(atile + pc, lda, btile, kNr, ctile + j, ldc, 0, panel_rows, bias_j);
+      for (int64_t grp0 = blk0; grp0 < blk1; grp0 += kPackARowBlocks) {
+        const int64_t grp1 = std::min(blk1, grp0 + kPackARowBlocks);
+        // Pack only this group's full 4-row blocks; a ragged trailing block
+        // stays on the strided path.
+        int64_t packed_end = grp0;  // first block NOT in the packed A group
+        if (pack_a) {
+          packed_end = grp1;
+          if (grp1 * kMr > m) {
+            packed_end = grp1 - 1;  // ragged final block
+          }
+          if (packed_end > grp0) {
+            PackAPanel(a, lda, grp0, packed_end, pc, p1, apack.data());
+          }
+        }
+        for (int64_t blk = grp0; blk < grp1; ++blk) {
+          const int64_t i0 = blk * kMr;
+          const int64_t mr = std::min(kMr, m - i0);
+          const float* atile = a + i0 * lda;
+          const float* apack_tile =
+              blk < packed_end ? apack.data() + (blk - grp0) * kMr * panel_rows : nullptr;
+          float* ctile = c + i0 * ldc;
+          for (int64_t j = 0, jt = 0; j < n; j += kNr, ++jt) {
+            const int64_t nr = std::min(kNr, n - j);
+            const float* bias_j = panel_bias ? panel_bias + j : nullptr;
+            if (pack) {
+              // Packed tile rows are [0, panel_rows); rebase the A pointer by
+              // pc so the kernels' shared p index walks both operands in
+              // lockstep.
+              const float* btile = bpack.data() + jt * panel_rows * kNr;
+              if (mr == kMr && nr == kNr) {
+                if (apack_tile != nullptr) {
+                  Kernel4x16PackedA(apack_tile, btile, kNr, ctile + j, ldc, panel_rows, bias_j,
+                                    panel_relu);
+                } else {
+                  Kernel4x16(atile + pc, lda, btile, kNr, ctile + j, ldc, 0, panel_rows, bias_j,
+                             panel_relu);
+                }
+              } else {
+                KernelEdge(atile + pc, lda, btile, kNr, ctile + j, ldc, mr, nr, 0, panel_rows,
+                           bias_j, panel_relu);
+              }
+            } else if (mr == kMr && nr == kNr) {
+              if (apack_tile != nullptr) {
+                Kernel4x16PackedA(apack_tile, b + pc * ldb + j, ldb, ctile + j, ldc, panel_rows,
+                                  bias_j, panel_relu);
+              } else {
+                Kernel4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j, panel_relu);
+              }
             } else {
-              KernelEdge(atile + pc, lda, btile, kNr, ctile + j, ldc, mr, nr, 0, panel_rows,
-                         bias_j);
+              KernelEdge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j,
+                         panel_relu);
             }
-          } else if (mr == kMr && nr == kNr) {
-            Kernel4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j);
-          } else {
-            KernelEdge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j);
           }
         }
       }
@@ -188,5 +338,9 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
 bool GemmPackBEnabled() { return g_pack_b.load(std::memory_order_relaxed); }
 
 void SetGemmPackB(bool enabled) { g_pack_b.store(enabled, std::memory_order_relaxed); }
+
+bool GemmPackAEnabled() { return g_pack_a.load(std::memory_order_relaxed); }
+
+void SetGemmPackA(bool enabled) { g_pack_a.store(enabled, std::memory_order_relaxed); }
 
 }  // namespace pit

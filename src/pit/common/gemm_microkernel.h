@@ -18,10 +18,15 @@ namespace pit {
 // (elements, not bytes). C must be initialised by the caller; the kernel
 // accumulates into it. If `bias` is non-null it points at n floats added to
 // every row of C in the epilogue of the final k-panel — fused so C is written
-// exactly once (no second pass). Runs on the ParallelFor pool; safe to call
-// from inside another ParallelFor (it then runs inline).
+// exactly once (no second pass). If `relu` is true the epilogue additionally
+// clamps each written element at zero (x > 0 ? x : 0, the exact ReluInto
+// formula) after the bias add, so a fused matmul(+bias)+relu is bitwise
+// identical to the two separate passes. Runs on the ParallelFor pool; safe to
+// call from inside another ParallelFor (it then runs inline or fans out to
+// the caller's width budget).
 void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const float* b,
-             int64_t ldb, float* c, int64_t ldc, const float* bias = nullptr);
+             int64_t ldb, float* c, int64_t ldc, const float* bias = nullptr,
+             bool relu = false);
 
 // B-panel packing switch. When enabled (default) and B is large enough that
 // its panels thrash L2 (>= 2 MiB), each worker packs the current k-panel of B
@@ -34,12 +39,37 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
 bool GemmPackBEnabled();
 void SetGemmPackB(bool enabled);
 
+// A-panel (m-panel) packing switch. When enabled (default) and the problem is
+// tall with enough column-tile reuse to amortise the pack pass (m >= 4n,
+// m >= 1024, n within 192..384, k >= 2048 — the measured single-core win
+// band), each worker repacks 64-row groups of the current A k-panel
+// into a register-tile-interleaved thread-local scratch (element (r, p) of a
+// 4-row block at [p*4 + r]) before the kernels stream it: the four broadcast
+// loads per inner-loop iteration then come from one contiguous 16-byte run
+// instead of four lda-strided streams. The packed kernels also issue software
+// prefetch hints for the upcoming packed A/B rows. Copy-only, so results are
+// bit-identical either way; the switch exists for the bench's tall-GEMM
+// packed-vs-unpacked single-core delta.
+bool GemmPackAEnabled();
+void SetGemmPackA(bool enabled);
+
 class ScopedGemmPackB {
  public:
   explicit ScopedGemmPackB(bool enabled) : saved_(GemmPackBEnabled()) { SetGemmPackB(enabled); }
   ~ScopedGemmPackB() { SetGemmPackB(saved_); }
   ScopedGemmPackB(const ScopedGemmPackB&) = delete;
   ScopedGemmPackB& operator=(const ScopedGemmPackB&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class ScopedGemmPackA {
+ public:
+  explicit ScopedGemmPackA(bool enabled) : saved_(GemmPackAEnabled()) { SetGemmPackA(enabled); }
+  ~ScopedGemmPackA() { SetGemmPackA(saved_); }
+  ScopedGemmPackA(const ScopedGemmPackA&) = delete;
+  ScopedGemmPackA& operator=(const ScopedGemmPackA&) = delete;
 
  private:
   bool saved_;

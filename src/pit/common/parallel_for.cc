@@ -26,21 +26,36 @@ int DefaultNumThreads() {
 std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
 
 // Set while a thread is executing chunks; nested ParallelFor calls from a
-// worker (or from the caller while it participates) run inline.
+// worker (or from the caller while it participates) run inline unless the
+// enclosing job granted a width budget.
 thread_local bool tls_in_parallel = false;
+// Nested-fanout budget installed while executing a ParallelTasks task: how
+// many chunks a nested ParallelFor from this thread may use. 0/1 = inline.
+thread_local int tls_width_budget = 0;
 
-// One loop's shared state. Heap-held via shared_ptr so a worker that wakes
-// late for an already-finished job reads only this job's (exhausted) chunk
-// counter and never touches a newer job's state.
+// One job's shared state. A job is either a data-parallel loop (ParallelFor)
+// or a task batch (ParallelTasks); both are chunk queues. Heap-held via
+// shared_ptr so a worker that picks up an already-finished job reads only
+// this job's (exhausted) chunk counter and never touches freed state.
 struct Job {
   const ChunkFn* fn = nullptr;
   int64_t n = 0;
   int64_t per_chunk = 0;
   int num_chunks = 0;
+  // Width budget installed on the claiming thread while it runs this job's
+  // chunks (ParallelTasks tasks); 0 for plain loops (nested calls inline).
+  int nested_width = 0;
   std::atomic<int> next_chunk{0};
   std::atomic<int> remaining{0};
 };
 
+// Multi-job work-sharing pool. Any thread — external callers and pool workers
+// alike — may submit a job; the submitter always participates and fully
+// drains its own chunk queue before waiting, so every job can complete even
+// if no worker ever helps (this is what makes nested submission from a
+// worker deadlock-free: the blocked submitter has already claimed every
+// outstanding chunk, and chunks claimed by other threads run to completion
+// without ever waiting on this job).
 class Pool {
  public:
   static Pool& Get() {
@@ -48,49 +63,67 @@ class Pool {
     return *pool;
   }
 
-  void Run(const ChunkFn& fn, int64_t n, int num_chunks, int helper_threads) {
-    std::lock_guard<std::mutex> job_lock(job_mu_);  // one loop at a time
-    EnsureWorkers(helper_threads);
+  void Run(const ChunkFn& fn, int64_t n, int num_chunks, int nested_width) {
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->n = n;
     job->num_chunks = num_chunks;
     job->per_chunk = (n + num_chunks - 1) / num_chunks;
+    job->nested_width = nested_width;
     job->remaining.store(num_chunks, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu_);
-      job_ = job;
+      // Size the pool to the job's full concurrency demand: its own chunks
+      // TIMES the width budget each chunk's nested loops may fan out to —
+      // a wavefront of 3 tasks with budget 3 needs up to 9 runnable chunks,
+      // not 3 (all capped by the configured thread count).
+      const int64_t demand =
+          static_cast<int64_t>(num_chunks) * std::max(1, nested_width) - 1;
+      EnsureWorkersLocked(static_cast<int>(std::min<int64_t>(demand, NumThreads() - 1)));
+      active_.push_back(job);
       ++job_version_;
     }
     work_cv_.notify_all();
-    Work(*job);  // the caller is a full participant
+    Work(*job);  // the caller is a full participant and drains the queue
     {
       std::unique_lock<std::mutex> lk(mu_);
+      // The queue is exhausted (Work returned), so no worker can still claim
+      // a chunk: drop the job from the active list and wait out the chunks
+      // other threads claimed.
+      active_.erase(std::find(active_.begin(), active_.end(), job));
       done_cv_.wait(lk, [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
-      job_.reset();
     }
   }
 
  private:
   Pool() = default;
 
-  void EnsureWorkers(int count) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void EnsureWorkersLocked(int count) {
     while (static_cast<int>(workers_.size()) < count) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
+  // First active job with unclaimed chunks, or nullptr. Caller holds mu_.
+  std::shared_ptr<Job> FindClaimableLocked() {
+    for (const auto& job : active_) {
+      if (job->next_chunk.load(std::memory_order_relaxed) < job->num_chunks) {
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
   void WorkerLoop() {
     uint64_t seen_version = 0;
-    tls_in_parallel = true;  // workers never spawn nested parallel loops
     for (;;) {
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lk(mu_);
-        work_cv_.wait(lk, [&] { return job_version_ != seen_version && job_ != nullptr; });
-        seen_version = job_version_;
-        job = job_;
+        while ((job = FindClaimableLocked()) == nullptr) {
+          work_cv_.wait(lk, [&] { return job_version_ != seen_version; });
+          seen_version = job_version_;
+        }
       }
       Work(*job);
     }
@@ -98,7 +131,9 @@ class Pool {
 
   static void Work(Job& job) {
     const bool was_in_parallel = tls_in_parallel;
+    const int saved_budget = tls_width_budget;
     tls_in_parallel = true;
+    tls_width_budget = job.nested_width;
     for (;;) {
       const int c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= job.num_chunks) {
@@ -115,15 +150,15 @@ class Pool {
         pool.done_cv_.notify_all();
       }
     }
+    tls_width_budget = saved_budget;
     tls_in_parallel = was_in_parallel;
   }
 
-  std::mutex job_mu_;  // serialises whole loops
-  std::mutex mu_;      // guards job_/job_version_/workers_
+  std::mutex mu_;  // guards active_/job_version_/workers_
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
-  std::shared_ptr<Job> job_;
+  std::vector<std::shared_ptr<Job>> active_;  // jobs that may have unclaimed chunks
   uint64_t job_version_ = 0;
 };
 
@@ -163,8 +198,8 @@ int ParallelChunkCount(int64_t n, int64_t grain) {
   }
   grain = std::max<int64_t>(1, grain);
   const int64_t by_grain = (n + grain - 1) / grain;
-  return static_cast<int>(std::clamp<int64_t>(std::min<int64_t>(by_grain, NumThreads()), 1,
-                                              1 << 10));
+  const int width = tls_in_parallel ? std::max(1, tls_width_budget) : NumThreads();
+  return static_cast<int>(std::clamp<int64_t>(std::min<int64_t>(by_grain, width), 1, 1 << 10));
 }
 
 void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn) {
@@ -172,18 +207,35 @@ void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn) {
     return;
   }
   num_chunks = static_cast<int>(std::clamp<int64_t>(num_chunks, 1, n));
-  if (num_chunks <= 1 || tls_in_parallel) {
+  if (num_chunks <= 1 || (tls_in_parallel && tls_width_budget <= 1)) {
     fn(0, 0, n);
     return;
   }
-  Pool::Get().Run(fn, n, num_chunks, num_chunks - 1);
+  Pool::Get().Run(fn, n, num_chunks, /*nested_width=*/0);
 }
 
 bool ParallelRegionActive() { return tls_in_parallel; }
 
+int ParallelWidthBudget() { return tls_width_budget; }
+
 void ParallelForRange(int64_t n, int num_chunks, const RangeFn& fn) {
   ParallelForChunks(n, num_chunks,
                     [&fn](int /*chunk*/, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+void ParallelTasksRange(int64_t n, int nested_width, const RangeFn& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (n == 1 || NumThreads() <= 1 || tls_in_parallel) {
+    fn(0, n);
+    return;
+  }
+  // One task per chunk: independent tasks have no ordering constraint, so
+  // maximal chunking gives the scheduler full claim granularity.
+  const int num_chunks = static_cast<int>(std::min<int64_t>(n, 1 << 10));
+  const ChunkFn chunk_fn = [&fn](int /*chunk*/, int64_t begin, int64_t end) { fn(begin, end); };
+  Pool::Get().Run(chunk_fn, n, num_chunks, std::max(1, nested_width));
 }
 
 std::vector<int64_t> ParallelOrderedGather(int64_t n, int num_chunks, const GatherFn& fn) {

@@ -4,8 +4,18 @@
 // static chunks. Determinism contract: chunks are contiguous, ordered ranges
 // of the iteration space, so any per-chunk partial results merged in chunk
 // order reproduce the sequential order exactly — results are independent of
-// the thread count. Nested ParallelFor calls from inside a worker run inline
-// (sequentially) instead of deadlocking, so kernels may freely compose.
+// the thread count AND of the chunk count.
+//
+// The pool is task-capable: several jobs may be in flight at once (the
+// wavefront plan scheduler submits independent plan steps as tasks), and a
+// worker running a task may itself submit a nested ParallelFor without
+// deadlock. Nested submission is governed by a per-thread *width budget*: a
+// task dispatched through ParallelTasks runs with an explicit budget of
+// nested chunks (the intra-op share of the thread pool granted to that task);
+// any other nested ParallelFor call runs inline (sequentially), exactly as
+// before. Deadlock-freedom is structural: the submitter of every job drains
+// that job's chunk queue itself before waiting, so a job can always complete
+// even if no other thread ever helps.
 //
 // The worker count defaults to the hardware concurrency and can be overridden
 // by the PIT_NUM_THREADS environment variable or SetNumThreads().
@@ -52,16 +62,24 @@ using RangeFn = std::function<void(int64_t begin, int64_t end)>;
 using ChunkFn = std::function<void(int chunk, int64_t begin, int64_t end)>;
 
 // True while the calling thread is already executing inside a ParallelFor
-// chunk (nested loops run inline). Exposed so the header-level ParallelFor
-// shim can take the serial path without constructing a std::function.
+// chunk or a ParallelTasks task (nested loops without a width budget run
+// inline). Exposed so the header-level ParallelFor shim can take the serial
+// path without constructing a std::function.
 bool ParallelRegionActive();
 
+// The calling thread's nested-parallelism width budget: how many chunks a
+// nested ParallelFor submitted from inside the current task may fan out to.
+// 0 (the default inside plain ParallelFor chunks) means nested calls run
+// inline; > 1 only inside tasks dispatched through ParallelTasks.
+int ParallelWidthBudget();
+
 // Chunk count for an n-iteration loop with the given grain:
-// min(NumThreads(), ceil(n / grain)), at least 1. Size per-chunk buffers with
-// this and pass the value to ParallelForChunks — passing it (rather than
-// having ParallelForChunks recompute it) guarantees the loop never uses more
-// chunks than the caller allocated, even if the thread count changes
-// concurrently.
+// min(width, ceil(n / grain)), at least 1, where `width` is the calling
+// thread's width budget when inside a task and NumThreads() otherwise. Size
+// per-chunk buffers with this and pass the value to ParallelForChunks —
+// passing it (rather than having ParallelForChunks recompute it) guarantees
+// the loop never uses more chunks than the caller allocated, even if the
+// thread count changes concurrently.
 int ParallelChunkCount(int64_t n, int64_t grain);
 
 // Out-of-line pool dispatch behind ParallelFor; call ParallelFor instead.
@@ -72,16 +90,17 @@ void ParallelForRange(int64_t n, int num_chunks, const RangeFn& fn);
 // dispatching to a thread; loops smaller than one grain run inline on the
 // caller. Blocks until every chunk finished.
 //
-// Template shim: the serial cases (single chunk, nested call, one worker) run
-// the callable directly, so small planned-executor steps dispatch with zero
-// heap allocations — only a genuine fan-out pays the std::function wrap.
+// Template shim: the serial cases (single chunk, nested call without a width
+// budget, one worker) run the callable directly, so small planned-executor
+// steps dispatch with zero heap allocations — only a genuine fan-out pays the
+// std::function wrap.
 template <typename Fn>
 void ParallelFor(int64_t n, int64_t grain, Fn&& fn) {
   if (n <= 0) {
     return;
   }
   const int num_chunks = ParallelChunkCount(n, grain);
-  if (num_chunks <= 1 || ParallelRegionActive()) {
+  if (num_chunks <= 1 || (ParallelRegionActive() && ParallelWidthBudget() <= 1)) {
     fn(static_cast<int64_t>(0), n);
     return;
   }
@@ -93,6 +112,37 @@ void ParallelFor(int64_t n, int64_t grain, Fn&& fn) {
 // hands the chunk index — always < num_chunks — to the callback. Get
 // `num_chunks` from ParallelChunkCount.
 void ParallelForChunks(int64_t n, int num_chunks, const ChunkFn& fn);
+
+// Out-of-line pool dispatch behind ParallelTasks; call ParallelTasks instead.
+// fn(begin, end) runs tasks [begin, end); each claimed range executes with
+// `nested_width` installed as the claiming thread's width budget.
+void ParallelTasksRange(int64_t n, int nested_width, const RangeFn& fn);
+
+// Task-parallel region: runs fn(task) for task in [0, n) concurrently on the
+// pool, one task per chunk (the calling thread participates). Each task runs
+// with a nested-parallelism width budget of `nested_width` chunks, so a task
+// may itself call ParallelFor and fan out to its share of the pool — this is
+// the inter-op seam the wavefront plan scheduler dispatches through. Blocks
+// until every task finished. Tasks must be mutually independent; the order in
+// which they execute is unspecified. Serial cases (one task, one worker,
+// nested call) run inline with zero heap allocations.
+template <typename Fn>
+void ParallelTasks(int64_t n, int nested_width, Fn&& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (n == 1 || NumThreads() <= 1 || ParallelRegionActive()) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  ParallelTasksRange(n, nested_width, RangeFn([&fn](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         fn(i);
+                       }
+                     }));
+}
 
 // fn(begin, end, out): append the hits found in [begin, end) to `out`, in
 // ascending order.

@@ -1,17 +1,22 @@
 #include "pit/graph/execution_plan.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
 #include "pit/tensor/ops.h"
 
 namespace pit {
 
 namespace {
 
-// Arena offsets are aligned to 16 floats (one cache line) so reused slots
-// never split a vector register's load across two lines.
+// Arena offsets are aligned to 16 floats (one 64-byte cache line) so reused
+// slots never split a vector register's load across two lines — and, since
+// the arena base is also 64-byte aligned, so concurrently executing wavefront
+// steps never false-share a line across blocks.
 constexpr int64_t kAlignElems = 16;
 
 int64_t AlignUp(int64_t elems) {
@@ -21,24 +26,37 @@ int64_t AlignUp(int64_t elems) {
 // Best-fit free-list planner with coalescing. Works entirely at compile
 // time: the plan's arena is sized to the high-water extent once, and
 // execution never allocates.
+//
+// Wave-aware reuse: every free block remembers the dependency level
+// (wavefront index) of the last step that touched it, and Allocate only
+// hands a block to a step of a strictly later level. Without this, eager
+// reuse puts (say) the k projection's output into the block the q chain
+// just vacated, and the resulting WAR hazard serializes branches the
+// dataflow says are independent — the arena planner must not destroy the
+// inter-op parallelism the wavefront scheduler exists to exploit. The cost
+// is a slightly larger arena (same-wave branches keep distinct blocks);
+// reuse along a sequential chain — where levels strictly increase and the
+// big savings live — is untouched.
 class ArenaPlanner {
  public:
-  int64_t Allocate(int64_t elems) {
+  int64_t Allocate(int64_t elems, int level) {
     const int64_t need = AlignUp(std::max<int64_t>(elems, 1));
-    // Best-fit: smallest free block that holds `need`.
+    // Best-fit among blocks whose last toucher runs strictly before `level`.
     auto best = free_.end();
     for (auto it = free_.begin(); it != free_.end(); ++it) {
-      if (it->second >= need && (best == free_.end() || it->second < best->second)) {
+      if (it->second.size >= need && it->second.release_level < level &&
+          (best == free_.end() || it->second.size < best->second.size)) {
         best = it;
       }
     }
     int64_t offset;
     if (best != free_.end()) {
       offset = best->first;
-      const int64_t leftover = best->second - need;
+      const int64_t leftover = best->second.size - need;
+      const int release_level = best->second.release_level;
       free_.erase(best);
       if (leftover > 0) {
-        free_.emplace(offset + need, leftover);
+        free_.emplace(offset + need, FreeBlock{leftover, release_level});
       }
     } else {
       offset = extent_;
@@ -48,32 +66,41 @@ class ArenaPlanner {
     return offset;
   }
 
-  void Free(int64_t offset) {
+  // `release_level`: max dependency level of any step that read or wrote the
+  // block over its whole lifetime (aliases included).
+  void Free(int64_t offset, int release_level) {
     auto it = live_.find(offset);
     PIT_CHECK(it != live_.end()) << "double free at arena offset " << offset;
     int64_t size = it->second;
     live_.erase(it);
-    // Coalesce with the next and previous free blocks.
+    // Coalesce with the next and previous free blocks; a merged block keeps
+    // the latest release level (conservative).
     auto next = free_.lower_bound(offset);
     if (next != free_.end() && offset + size == next->first) {
-      size += next->second;
+      size += next->second.size;
+      release_level = std::max(release_level, next->second.release_level);
       next = free_.erase(next);
     }
     if (next != free_.begin()) {
       auto prev = std::prev(next);
-      if (prev->first + prev->second == offset) {
-        prev->second += size;
+      if (prev->first + prev->second.size == offset) {
+        prev->second.size += size;
+        prev->second.release_level = std::max(prev->second.release_level, release_level);
         return;
       }
     }
-    free_.emplace(offset, size);
+    free_.emplace(offset, FreeBlock{size, release_level});
   }
 
   int64_t extent() const { return extent_; }
 
  private:
-  std::map<int64_t, int64_t> free_;  // offset -> size
-  std::map<int64_t, int64_t> live_;  // offset -> size
+  struct FreeBlock {
+    int64_t size = 0;
+    int release_level = 0;
+  };
+  std::map<int64_t, FreeBlock> free_;  // offset -> block
+  std::map<int64_t, int64_t> live_;    // offset -> size
   int64_t extent_ = 0;
 };
 
@@ -169,6 +196,13 @@ bool ElementwiseInPlaceOk(OpKind kind) {
          kind == OpKind::kScale || kind == OpKind::kLayerNorm;
 }
 
+// Half-open element interval in the arena.
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;  // lo == hi: empty
+  bool Overlaps(const Interval& o) const { return lo < o.hi && o.lo < hi; }
+};
+
 }  // namespace
 
 ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions) {
@@ -194,15 +228,118 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
   // never recycled simply because no allocation happens after the last step,
   // so the result view stays valid until the next Run rewrites the arena.
   std::vector<int> last_use(static_cast<size_t>(n), -1);
+  // Consumer counts (duplicates counted: Add(x, x) consumes x twice), for the
+  // sole-consumer test behind matmul+relu fusion.
+  std::vector<int> consumers(static_cast<size_t>(n), 0);
   for (int id = 0; id < n; ++id) {
     for (int in : graph.node(id).inputs) {
       last_use[static_cast<size_t>(root[static_cast<size_t>(in)])] = id;
+      ++consumers[static_cast<size_t>(in)];
     }
   }
   const int final_id = n - 1;
 
+  // Plan-compile fusion: a dense matmul(+bias) whose only consumer is a ReLU
+  // collapses into one fused-epilogue GEMM step at the ReLU's position. PIT
+  // matmuls are excluded — the sparse path keeps its separate ReLU, so the
+  // compiler's detect/select flow is untouched.
+  std::vector<int> fused_matmul_of(static_cast<size_t>(n), -1);  // relu id -> matmul id
+  std::vector<char> deferred(static_cast<size_t>(n), 0);         // matmul ids elided
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = graph.node(id);
+    if (node.kind != OpKind::kRelu) {
+      continue;
+    }
+    const int src = node.inputs[0];
+    const GraphNode& mm = graph.node(src);
+    if ((mm.kind == OpKind::kMatmul || mm.kind == OpKind::kMatmulBias) &&
+        consumers[static_cast<size_t>(src)] == 1) {
+      const MatmulDecision* d = DecisionFor(decisions, src);
+      if (d == nullptr || !d->use_pit) {
+        fused_matmul_of[static_cast<size_t>(id)] = src;
+        deferred[static_cast<size_t>(src)] = 1;
+        // The fused step reads the matmul's operands at the ReLU's position,
+        // not the matmul's: extend their lifetimes to here, or an
+        // intermediate consumer that was their nominal last use would alias
+        // (or free-and-reuse) a block the fused GEMM still has to read.
+        for (int in : mm.inputs) {
+          int& lu = last_use[static_cast<size_t>(root[static_cast<size_t>(in)])];
+          lu = std::max(lu, id);
+        }
+      }
+    }
+  }
+
+  // Pure data-dependency level of every node (fusion-aware): the wavefront
+  // each step lands in if only true producer->consumer edges existed. The
+  // arena planner consumes these so block reuse never adds a WAR/WAW edge
+  // that would deepen the schedule below the dataflow's parallelism; the
+  // interval analysis in BuildWavefronts stays the correctness ground truth.
+  std::vector<int> node_level(static_cast<size_t>(n), -1);  // -1: feed/weight/elided
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = graph.node(id);
+    if (node.kind == OpKind::kInput || node.kind == OpKind::kWeight ||
+        deferred[static_cast<size_t>(id)]) {
+      continue;
+    }
+    if (node.kind == OpKind::kReshape) {
+      node_level[static_cast<size_t>(id)] = node_level[static_cast<size_t>(node.inputs[0])];
+      continue;
+    }
+    const std::vector<int>& level_inputs =
+        fused_matmul_of[static_cast<size_t>(id)] >= 0
+            ? graph.node(fused_matmul_of[static_cast<size_t>(id)]).inputs
+            : node.inputs;
+    int lvl = 0;
+    for (int in : level_inputs) {
+      lvl = std::max(lvl, node_level[static_cast<size_t>(in)] + 1);
+    }
+    node_level[static_cast<size_t>(id)] = lvl;
+  }
+
   ArenaPlanner planner;
+  // Max data level of any step that touched each live arena offset —
+  // accumulated as steps are emitted, consumed when the block is freed (so
+  // reuse is only granted to strictly later waves).
+  std::map<int64_t, int> offset_release_level;
+  const auto touch_offset = [&offset_release_level](int64_t offset, int level) {
+    auto [it, inserted] = offset_release_level.emplace(offset, level);
+    if (!inserted) {
+      it->second = std::max(it->second, level);
+    }
+  };
   std::vector<ValueRef> loc(static_cast<size_t>(n));
+  // Releases the blocks of `inputs` whose lifetime ends at `consumer_id`
+  // (deduped by storage root so two views of one block — x and reshape(x),
+  // or Add(x, x) — free it once), passing the planner each block's
+  // accumulated release level. `alias_root` (or -1) is the block the
+  // consumer's output inherited in place; it is never freed.
+  const auto release_dying_inputs = [&](const std::vector<int>& inputs, int consumer_id,
+                                        int alias_root) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const int in = inputs[i];
+      const int r_in = root[static_cast<size_t>(in)];
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (root[static_cast<size_t>(inputs[j])] == r_in) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) {
+        continue;  // duplicate block; free once
+      }
+      const ValueRef& r = loc[static_cast<size_t>(in)];
+      if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(r_in)] == consumer_id &&
+          r_in != alias_root) {
+        const auto rl = offset_release_level.find(r.offset);
+        planner.Free(r.offset, rl != offset_release_level.end() ? rl->second : 0);
+        if (rl != offset_release_level.end()) {
+          offset_release_level.erase(rl);
+        }
+      }
+    }
+  };
   for (int id = 0; id < n; ++id) {
     const GraphNode& node = graph.node(id);
     // Shape inference over the IR; AddX checked at construction, the plan
@@ -219,6 +356,45 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
     if (node.kind == OpKind::kWeight) {
       loc[static_cast<size_t>(id)] = {ValueLoc::kWeight, id, id, 0};
       bound_[static_cast<size_t>(id)] = graph.weight(id).data();
+      continue;
+    }
+    if (deferred[static_cast<size_t>(id)]) {
+      // Emission (output block, input frees) happens at the fused ReLU; the
+      // matmul's operands stay live in the planner until then.
+      continue;
+    }
+
+    if (node.kind == OpKind::kRelu && fused_matmul_of[static_cast<size_t>(id)] >= 0) {
+      const int mm_id = fused_matmul_of[static_cast<size_t>(id)];
+      const GraphNode& mm = graph.node(mm_id);
+      OpCall call;
+      call.kind = mm.kind;
+      call.fuse_relu = true;
+      call.node_id = id;  // the surviving (ReLU) value
+      call.num_in = static_cast<int>(mm.inputs.size());
+      for (int i = 0; i < call.num_in; ++i) {
+        call.in[i] = loc[static_cast<size_t>(mm.inputs[static_cast<size_t>(i)])];
+      }
+      const int64_t elems = NumElements(node.shape);
+      const int level = node_level[static_cast<size_t>(id)];
+      // A GEMM reads its operands while writing C: never in-place.
+      call.out = {ValueLoc::kArena, id, id, planner.Allocate(elems, level)};
+      loc[static_cast<size_t>(id)] = call.out;
+      touch_offset(call.out.offset, level);
+      for (int i = 0; i < call.num_in; ++i) {
+        if (call.in[i].loc == ValueLoc::kArena) {
+          touch_offset(call.in[i].offset, level);
+        }
+      }
+      // Release the matmul's dying inputs. Their last_use was extended to
+      // this ReLU when the pair was fused, so blocks whose final read is the
+      // fused GEMM die here — and nothing earlier could alias or recycle
+      // them.
+      release_dying_inputs(mm.inputs, id, /*alias_root=*/-1);
+      // Eager execution materializes both the matmul and the ReLU.
+      stats_.sum_temporary_bytes += 2 * elems * static_cast<int64_t>(sizeof(float));
+      ++stats_.num_fused;
+      steps_.push_back(std::move(call));
       continue;
     }
 
@@ -270,51 +446,143 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
         }
       }
     }
+    const int level = node_level[static_cast<size_t>(id)];
     if (alias_root >= 0) {
       call.inplace = true;
       ++stats_.num_inplace;
     } else {
-      call.out = {ValueLoc::kArena, id, id, planner.Allocate(elems)};
+      call.out = {ValueLoc::kArena, id, id, planner.Allocate(elems, level)};
     }
     loc[static_cast<size_t>(id)] = call.out;
-
-    // Release dying input blocks (except the one the output inherited).
-    // Dedup by root so two views of one block (e.g. x and reshape(x), or
-    // Add(x, x)) free it once.
-    for (size_t i = 0; i < node.inputs.size(); ++i) {
-      const int in = node.inputs[i];
-      const int r_in = root[static_cast<size_t>(in)];
-      bool seen = false;
-      for (size_t j = 0; j < i; ++j) {
-        if (root[static_cast<size_t>(node.inputs[j])] == r_in) {
-          seen = true;
-          break;
-        }
-      }
-      if (seen) {
-        continue;  // duplicate block; free once
-      }
-      const ValueRef& r = loc[static_cast<size_t>(in)];
-      if (r.loc == ValueLoc::kArena && last_use[static_cast<size_t>(r_in)] == id &&
-          r_in != alias_root) {
-        planner.Free(r.offset);
+    touch_offset(call.out.offset, level);
+    for (int i = 0; i < call.num_in; ++i) {
+      if (call.in[i].loc == ValueLoc::kArena) {
+        touch_offset(call.in[i].offset, level);
       }
     }
+
+    // Release dying input blocks (except the one the output inherited).
+    release_dying_inputs(node.inputs, id, alias_root);
 
     stats_.sum_temporary_bytes += elems * static_cast<int64_t>(sizeof(float));
     steps_.push_back(std::move(call));
   }
 
   result_ = loc[static_cast<size_t>(final_id)];
-  arena_.resize(static_cast<size_t>(planner.extent()), 0.0f);
+  // Arena storage with headroom so the working base can be rounded up to a
+  // 64-byte boundary (block offsets are already 64-byte multiples).
+  arena_storage_.assign(static_cast<size_t>(planner.extent() + kAlignElems), 0.0f);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(arena_storage_.data());
+  arena_ = reinterpret_cast<float*>((raw + 63) & ~static_cast<uintptr_t>(63));
   stats_.arena_bytes = planner.extent() * static_cast<int64_t>(sizeof(float));
   stats_.num_steps = static_cast<int>(steps_.size());
+
+  BuildWavefronts();
+}
+
+// Derives the step-level dependency DAG from the steps' arena read/write
+// intervals and partitions it into topological wavefronts. Two steps conflict
+// when one's write interval overlaps the other's read or write interval
+// (RAW, WAR, and WAW hazards — WAR/WAW arise from the planner's block reuse);
+// feeds and weights are read-only for the whole replay and never conflict.
+// kReshape steps dispatch nothing and are left out of the wave lists
+// entirely — including them would dilute the real steps' intra-op width
+// budget and inflate the width stat with no-op tasks. PIT steps are
+// additionally chained in step order: the PitCompiler mutates shared
+// cache/counter state, so two PIT steps must never run concurrently (and
+// their detect/select order — which the resample schedule depends on —
+// stays the sequential one).
+void ExecutionPlan::BuildWavefronts() {
+  const size_t num_steps = steps_.size();
+  struct StepFootprint {
+    Interval write;
+    Interval reads[3];
+    int num_reads = 0;
+  };
+  std::vector<StepFootprint> fp(num_steps);
+  for (size_t s = 0; s < num_steps; ++s) {
+    const OpCall& call = steps_[s];
+    if (call.kind == OpKind::kReshape) {
+      continue;  // no kernel: nothing read, nothing written at dispatch
+    }
+    StepFootprint& f = fp[s];
+    const int64_t out_elems = NumElements(shapes_[static_cast<size_t>(call.out.shape_id)]);
+    f.write = {call.out.offset, call.out.offset + out_elems};
+    for (int i = 0; i < call.num_in; ++i) {
+      const ValueRef& r = call.in[i];
+      if (r.loc != ValueLoc::kArena) {
+        continue;
+      }
+      const int64_t elems = NumElements(shapes_[static_cast<size_t>(r.shape_id)]);
+      f.reads[f.num_reads++] = {r.offset, r.offset + elems};
+    }
+  }
+
+  std::vector<int> level(num_steps, 0);
+  int prev_pit = -1;
+  for (size_t s = 0; s < num_steps; ++s) {
+    const StepFootprint& fs = fp[s];
+    for (size_t t = 0; t < s; ++t) {
+      const StepFootprint& ft = fp[t];
+      bool conflict = ft.write.Overlaps(fs.write);
+      for (int i = 0; !conflict && i < fs.num_reads; ++i) {
+        conflict = ft.write.Overlaps(fs.reads[i]);
+      }
+      for (int i = 0; !conflict && i < ft.num_reads; ++i) {
+        conflict = fs.write.Overlaps(ft.reads[i]);
+      }
+      if (conflict) {
+        level[s] = std::max(level[s], level[t] + 1);
+      }
+    }
+    if (steps_[s].use_pit) {
+      if (prev_pit >= 0) {
+        level[s] = std::max(level[s], level[prev_pit] + 1);
+      }
+      prev_pit = static_cast<int>(s);
+    }
+  }
+
+  int num_levels = 0;
+  size_t num_dispatched = 0;  // reshape no-ops stay out of the wave lists
+  for (size_t s = 0; s < num_steps; ++s) {
+    if (steps_[s].kind == OpKind::kReshape) {
+      continue;
+    }
+    num_levels = std::max(num_levels, level[s] + 1);
+    ++num_dispatched;
+  }
+  // Counting sort by level, stable in step order within a wave.
+  wave_offsets_.assign(static_cast<size_t>(num_levels) + 1, 0);
+  for (size_t s = 0; s < num_steps; ++s) {
+    if (steps_[s].kind != OpKind::kReshape) {
+      ++wave_offsets_[static_cast<size_t>(level[s]) + 1];
+    }
+  }
+  for (size_t w = 1; w < wave_offsets_.size(); ++w) {
+    wave_offsets_[w] += wave_offsets_[w - 1];
+  }
+  wave_steps_.resize(num_dispatched);
+  std::vector<int> cursor(wave_offsets_.begin(), wave_offsets_.end() - 1);
+  for (size_t s = 0; s < num_steps; ++s) {
+    if (steps_[s].kind != OpKind::kReshape) {
+      wave_steps_[static_cast<size_t>(cursor[static_cast<size_t>(level[s])]++)] =
+          static_cast<int>(s);
+    }
+  }
+
+  stats_.num_wavefronts = num_levels;
+  for (int w = 0; w < num_levels; ++w) {
+    stats_.max_wavefront_width =
+        std::max(stats_.max_wavefront_width,
+                 wave_offsets_[static_cast<size_t>(w) + 1] - wave_offsets_[static_cast<size_t>(w)]);
+  }
 }
 
 const float* ExecutionPlan::ResolveConst(const ValueRef& ref) const {
   switch (ref.loc) {
     case ValueLoc::kArena:
-      return arena_.data() + ref.offset;
+      return arena_ + ref.offset;
     case ValueLoc::kFeed:
     case ValueLoc::kWeight:
       return bound_[static_cast<size_t>(ref.node_id)];
@@ -324,7 +592,7 @@ const float* ExecutionPlan::ResolveConst(const ValueRef& ref) const {
 
 float* ExecutionPlan::ResolveArena(const ValueRef& ref) {
   PIT_CHECK(ref.loc == ValueLoc::kArena);
-  return arena_.data() + ref.offset;
+  return arena_ + ref.offset;
 }
 
 void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
@@ -347,6 +615,8 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
       if (call.use_pit) {
         PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
         compiler->SparseMatmulInto(in(0), in(1), out, &call.pit);
+      } else if (call.fuse_relu) {
+        MatMulReluInto(in(0), in(1), out);
       } else {
         MatMulInto(in(0), in(1), out);
       }
@@ -363,6 +633,8 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
             out.At(i, j) += bias[j];
           }
         }
+      } else if (call.fuse_relu) {
+        MatMulBiasReluInto(in(0), in(1), in(2), out);
       } else {
         MatMulBiasInto(in(0), in(1), in(2), out);
       }
@@ -399,6 +671,42 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
   }
 }
 
+void ExecutionPlan::RunSequential(PitCompiler* compiler, const StepObserver* observer) {
+  for (OpCall& step : steps_) {
+    Dispatch(step, compiler);
+    if (observer != nullptr && *observer) {
+      (*observer)(step.node_id,
+                  ConstTensorView(ResolveConst(step.out),
+                                  shapes_[static_cast<size_t>(step.out.shape_id)]));
+    }
+  }
+}
+
+// Wavefront replay: every wave's steps are mutually independent (disjoint
+// arena footprints) so they dispatch as concurrent tasks, each granted
+// ~threads/width nested chunks so intra-op kernel parallelism splits the
+// pool across the wave instead of serializing behind one step. Bitwise
+// identical to RunSequential: kernels are order-deterministic for any chunk
+// count and concurrent steps touch disjoint 64-byte-aligned blocks.
+void ExecutionPlan::RunWavefronts(PitCompiler* compiler) {
+  const int threads = NumThreads();
+  for (size_t w = 0; w + 1 < wave_offsets_.size(); ++w) {
+    const int begin = wave_offsets_[w];
+    const int width = wave_offsets_[w + 1] - begin;
+    if (width == 1) {
+      // A singleton wave runs inline with the full pool as its width budget.
+      Dispatch(steps_[static_cast<size_t>(wave_steps_[static_cast<size_t>(begin)])], compiler);
+      continue;
+    }
+    const int budget = (threads + width - 1) / width;
+    ParallelTasks(width, budget, [&](int64_t i) {
+      Dispatch(steps_[static_cast<size_t>(
+                   wave_steps_[static_cast<size_t>(begin + static_cast<int>(i))])],
+               compiler);
+    });
+  }
+}
+
 namespace {
 
 const Tensor& DerefFeed(const Tensor& t) { return t; }
@@ -420,13 +728,16 @@ ConstTensorView ExecutionPlan::RunImpl(const FeedMap& feeds, PitCompiler* compil
         << "feed shape mismatch for " << binding.name;
     bound_[static_cast<size_t>(binding.node_id)] = feed.data();
   }
-  for (OpCall& step : steps_) {
-    Dispatch(step, compiler);
-    if (observer != nullptr && *observer) {
-      (*observer)(step.node_id,
-                  ConstTensorView(ResolveConst(step.out),
-                                  shapes_[static_cast<size_t>(step.out.shape_id)]));
-    }
+  const bool observed = observer != nullptr && *observer;
+  // Scheduler choice is orthogonal to the backend: reference-kernel steps run
+  // concurrently just as safely (disjoint 64-byte-aligned blocks, serial
+  // kernels), so PIT_BACKEND=reference PIT_PLAN_SCHED=wavefront genuinely
+  // cross-checks the wavefront schedule against the oracle kernels.
+  if (!observed && ActivePlanSched() == PlanSched::kWavefront && NumThreads() > 1 &&
+      stats_.max_wavefront_width > 1 && !ParallelRegionActive()) {
+    RunWavefronts(compiler);
+  } else {
+    RunSequential(compiler, observed ? observer : nullptr);
   }
   return ConstTensorView(ResolveConst(result_), shapes_[static_cast<size_t>(result_.shape_id)]);
 }

@@ -9,14 +9,31 @@
 //   * liveness analysis finds each intermediate's last consumer,
 //   * an arena planner assigns every intermediate an offset in one reusable
 //     buffer (best-fit free-list reuse for non-overlapping lifetimes, plus
-//     in-place aliasing for elementwise ops consuming a dying input),
+//     in-place aliasing for elementwise ops consuming a dying input); the
+//     arena base and every block offset are 64-byte aligned so concurrently
+//     executing steps never share a cache line,
+//   * a matmul(+bias) whose only consumer is a ReLU fuses into one
+//     fused-epilogue GEMM step (dense steps only — PIT steps keep their
+//     separate ReLU so the sparse path is untouched),
+//   * a step-level dependency DAG is derived from the steps' arena read/write
+//     intervals (storage-root aware, so kReshape aliases are handled) and
+//     partitioned into topological wavefronts,
 //   * the result is a flat list of OpCall dispatch steps over which the
 //     dense-reference kernels and the PIT sparse path are interchangeable.
 //
-// Executing a compiled plan performs ~zero heap allocations on the dense path
-// (the arena and bindings are sized at compile time) and is bitwise identical
-// to the old eager executor for any thread count: the steps call the exact
-// kernels the eager ops wrap.
+// Replay runs the steps either strictly in order (PIT_PLAN_SCHED=seq, the
+// scheduling oracle) or wavefront-parallel (default): steps of the same
+// wavefront have no data or buffer-reuse hazard between them, so they
+// dispatch concurrently on the ParallelFor pool as tasks, each granted an
+// intra-op width budget of ~threads/width so nested kernel ParallelFors
+// split the pool instead of fighting over it. Both schedules are bitwise
+// identical to each other and to the old eager executor for any thread
+// count: the steps call the exact kernels the eager ops wrap, every kernel
+// is internally order-deterministic, and concurrent steps write disjoint
+// 64-byte-aligned arena blocks. Executing a compiled plan performs ~zero
+// heap allocations on the dense path (the arena and bindings are sized at
+// compile time; only a genuine multi-thread fan-out pays a few
+// std::function wraps).
 #ifndef PIT_GRAPH_EXECUTION_PLAN_H_
 #define PIT_GRAPH_EXECUTION_PLAN_H_
 
@@ -55,7 +72,9 @@ struct OpCall {
   OpKind kind = OpKind::kInput;
   int node_id = -1;
   bool use_pit = false;
-  bool inplace = false;  // output aliases a dying input's arena block
+  bool inplace = false;    // output aliases a dying input's arena block
+  bool fuse_relu = false;  // matmul(+bias) step with a fused ReLU epilogue;
+                           // node_id is the elided ReLU's node
   ValueRef out;
   ValueRef in[3];
   int num_in = 0;
@@ -72,10 +91,15 @@ struct PlanStats {
   int num_steps = 0;
   int num_inplace = 0;
   int num_pit_steps = 0;
+  int num_fused = 0;            // matmul+relu pairs collapsed at compile
+  int num_wavefronts = 0;       // dependency-DAG depth of the step list
+  int max_wavefront_width = 0;  // widest set of concurrently runnable steps
 };
 
 // Called after each compute step with the node id and a view of its value
-// (valid until the arena slot is reused by a later Run or step).
+// (valid until the arena slot is reused by a later Run or step). Observed
+// runs always replay sequentially in step order, whatever PIT_PLAN_SCHED
+// says — observers are ordering-sensitive probes.
 using StepObserver = std::function<void(int node_id, ConstTensorView value)>;
 
 class ExecutionPlan {
@@ -94,8 +118,9 @@ class ExecutionPlan {
   // Executes every step over `feeds` and returns a view of the final node's
   // value (valid until the next Run or plan destruction). `compiler` is
   // required iff the plan contains PIT steps. `observer`, when set, sees each
-  // compute step's output right after the step runs. Not thread-safe: a plan
-  // owns one arena, so concurrent Runs must use distinct plans.
+  // compute step's output right after the step runs (and forces the
+  // sequential schedule). Not thread-safe: a plan owns one arena, so
+  // concurrent Runs must use distinct plans.
   ConstTensorView Run(const std::map<std::string, Tensor>& feeds,
                       PitCompiler* compiler = nullptr, const StepObserver* observer = nullptr);
   // Pointer-feed form for callers that rebind the same feeds every call (the
@@ -105,11 +130,18 @@ class ExecutionPlan {
 
   const PlanStats& stats() const { return stats_; }
   const std::vector<OpCall>& steps() const { return steps_; }
+  // 64-byte-aligned base of the execution arena (alignment is asserted by
+  // plan_executor_test; concurrent wavefront steps rely on it to never
+  // false-share a cache line across blocks).
+  const float* arena_base() const { return arena_; }
 
  private:
   template <typename FeedMap>
   ConstTensorView RunImpl(const FeedMap& feeds, PitCompiler* compiler,
                           const StepObserver* observer);
+  void RunSequential(PitCompiler* compiler, const StepObserver* observer);
+  void RunWavefronts(PitCompiler* compiler);
+  void BuildWavefronts();
   const float* ResolveConst(const ValueRef& ref) const;
   float* ResolveArena(const ValueRef& ref);
   void Dispatch(OpCall& call, PitCompiler* compiler);
@@ -119,7 +151,17 @@ class ExecutionPlan {
   // live graph's nodes.
   std::vector<Shape> shapes_;
   std::vector<OpCall> steps_;
-  std::vector<float> arena_;
+  // Arena storage plus its 64-byte-aligned base pointer (the vector's own
+  // allocation is only 16-byte aligned; the base is rounded up inside it).
+  std::vector<float> arena_storage_;
+  float* arena_ = nullptr;
+  // Wavefront partition of steps_: wave w is steps_
+  // [wave_steps_[wave_offsets_[w]] .. wave_steps_[wave_offsets_[w+1]]),
+  // mutually independent and ordered by step index within the wave.
+  // kReshape no-op steps are excluded (they dispatch nothing; including them
+  // would dilute the real steps' width budget with instant tasks).
+  std::vector<int> wave_steps_;
+  std::vector<int> wave_offsets_;
   // Per-node data pointer for kFeed/kWeight nodes (weights bound at compile,
   // feeds re-bound each Run); indexed by node id.
   std::vector<const float*> bound_;

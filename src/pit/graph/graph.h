@@ -159,6 +159,10 @@ class Graph {
   // matmuls flagged use_pit run through `compiler`'s sparse path. Returns
   // every node's value (inputs and weights included), like the old eager
   // executor — intermediates are copied out of the arena as the plan runs.
+  // Exception: a dense matmul whose only consumer is a ReLU is collapsed into
+  // one fused-epilogue step at plan compile, so the elided matmul node has no
+  // materialized value and is absent from the returned map (the ReLU's value
+  // is present and bitwise equal to the unfused composition).
   std::map<int, Tensor> Execute(const std::map<std::string, Tensor>& feeds,
                                 const std::vector<MatmulDecision>* decisions = nullptr,
                                 PitCompiler* compiler = nullptr) const;

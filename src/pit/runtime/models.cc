@@ -740,6 +740,9 @@ PlanStats PlannedFfnStack::StatsFor(int64_t tokens) const {
     total.num_steps += s.num_steps;
     total.num_inplace += s.num_inplace;
     total.num_pit_steps += s.num_pit_steps;
+    total.num_fused += s.num_fused;
+    total.num_wavefronts += s.num_wavefronts;
+    total.max_wavefront_width = std::max(total.max_wavefront_width, s.max_wavefront_width);
   }
   return total;
 }
@@ -760,8 +763,17 @@ PlannedTransformerStack::~PlannedTransformerStack() = default;
 
 Tensor PlannedTransformerStack::RunPlanned(const Tensor& x, const Tensor* attn_mask,
                                            PitCompiler* compiler) const {
+  Tensor out(Shape{x.dim(0), x.dim(1)});
+  ForwardInto(x, attn_mask, compiler, &out);
+  return out;
+}
+
+void PlannedTransformerStack::ForwardInto(const Tensor& x, const Tensor* attn_mask,
+                                          PitCompiler* compiler, Tensor* out) const {
   PIT_CHECK_EQ(x.rank(), 2);
   PIT_CHECK_EQ(x.dim(1), hidden_);
+  PIT_CHECK(out != nullptr);
+  PIT_CHECK(out->dim(0) == x.dim(0) && out->dim(1) == x.dim(1));
   // Staging buffers are shared per shape: serialize forwards. Each layer's
   // own plan lock nests safely inside (no other path takes both).
   std::lock_guard<std::mutex> lock(mu_);
@@ -771,9 +783,11 @@ Tensor PlannedTransformerStack::RunPlanned(const Tensor& x, const Tensor* attn_m
     if (staging_.size() >= kMaxEntries) {
       staging_.clear();
     }
+    // One staging slot per layer but the last, which writes straight into
+    // the caller's output.
     std::vector<Tensor> outs;
     outs.reserve(layers_.size());
-    for (size_t l = 0; l < layers_.size(); ++l) {
+    for (size_t l = 0; l + 1 < layers_.size(); ++l) {
       outs.emplace_back(Shape{x.dim(0), hidden_});
     }
     it = staging_.emplace(x.dim(0), std::move(outs)).first;
@@ -784,10 +798,10 @@ Tensor PlannedTransformerStack::RunPlanned(const Tensor& x, const Tensor* attn_m
     // The layer writes straight into its staging slot: the next layer binds
     // it as a feed while this layer's arena gets reused. Steady-state
     // forwards therefore allocate nothing.
-    layers_[l]->ForwardInto(*cur, attn_mask, compiler, &outs[l]);
-    cur = &outs[l];
+    Tensor* dst = l + 1 < layers_.size() ? &outs[l] : out;
+    layers_[l]->ForwardInto(*cur, attn_mask, compiler, dst);
+    cur = dst;
   }
-  return *cur;  // value copy for the caller; staging stays reusable
 }
 
 Tensor PlannedTransformerStack::Forward(const Tensor& x, const Tensor* attn_mask) const {
@@ -816,6 +830,9 @@ PlanStats PlannedTransformerStack::StatsFor(int64_t tokens, bool masked) const {
     total.num_steps += s.num_steps;
     total.num_inplace += s.num_inplace;
     total.num_pit_steps += s.num_pit_steps;
+    total.num_fused += s.num_fused;
+    total.num_wavefronts += s.num_wavefronts;
+    total.max_wavefront_width = std::max(total.max_wavefront_width, s.max_wavefront_width);
   }
   return total;
 }

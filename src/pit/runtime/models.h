@@ -187,6 +187,13 @@ class PlannedTransformerStack {
   // activation through `compiler`'s per-site kernel handles.
   Tensor ForwardPit(const Tensor& x, PitCompiler& compiler,
                     const Tensor* attn_mask = nullptr) const;
+  // Allocation-free seam for steady-state serving loops (and the bench's
+  // thread-sweep measurements): writes the stack's output into the
+  // preallocated `out` ([tokens, hidden]); the final layer targets it
+  // directly, so no per-call result tensor is materialized. `compiler`
+  // nullptr runs dense.
+  void ForwardInto(const Tensor& x, const Tensor* attn_mask, PitCompiler* compiler,
+                   Tensor* out) const;
   // Eager reference: direct ops, one fresh tensor per intermediate — the
   // differential oracle and the bench baseline for the planned path.
   Tensor ForwardEager(const Tensor& x, const Tensor* attn_mask = nullptr) const;

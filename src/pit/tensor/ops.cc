@@ -133,6 +133,52 @@ Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
   return c;
 }
 
+void MatMulReluInto(ConstTensorView a, ConstTensorView b, TensorView c) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(c.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PIT_CHECK_EQ(k, b.dim(0));
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);
+  if (UseBlockedBackend()) {
+    GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n, /*bias=*/nullptr, /*relu=*/true);
+  } else {
+    ReferenceMatMulInto(a.data(), b.data(), c.data(), m, k, n);
+    for (int64_t i = 0; i < c.size(); ++i) {
+      c[i] = c[i] > 0.0f ? c[i] : 0.0f;
+    }
+  }
+}
+
+void MatMulBiasReluInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias,
+                        TensorView c) {
+  PIT_CHECK_EQ(a.rank(), 2);
+  PIT_CHECK_EQ(b.rank(), 2);
+  PIT_CHECK_EQ(c.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PIT_CHECK_EQ(k, b.dim(0));
+  PIT_CHECK_EQ(bias.size(), n);
+  PIT_CHECK_EQ(c.dim(0), m);
+  PIT_CHECK_EQ(c.dim(1), n);
+  std::fill(c.data(), c.data() + c.size(), 0.0f);
+  if (UseBlockedBackend()) {
+    // Bias and ReLU both fuse into the GEMM epilogue: C is written once.
+    GemmF32(m, n, k, a.data(), k, b.data(), n, c.data(), n, bias.data(), /*relu=*/true);
+  } else {
+    ReferenceMatMulInto(a.data(), b.data(), c.data(), m, k, n);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        c.At(i, j) += bias[j];
+      }
+    }
+    for (int64_t i = 0; i < c.size(); ++i) {
+      c[i] = c[i] > 0.0f ? c[i] : 0.0f;
+    }
+  }
+}
+
 void AddInto(ConstTensorView a, ConstTensorView b, TensorView c) {
   PIT_CHECK(a.ShapeEquals(b));
   PIT_CHECK_EQ(a.size(), c.size());

@@ -55,6 +55,14 @@ Tensor Conv2D(const Tensor& input, const Tensor& weight);
 // fully-masked rows).
 void MatMulInto(ConstTensorView a, ConstTensorView b, TensorView c);
 void MatMulBiasInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias, TensorView c);
+// Fused matmul(+bias)+relu — the planned executor's fused-epilogue step for a
+// matmul whose only consumer is a ReLU. Bitwise identical to the separate
+// MatMul(Bias)Into followed by ReluInto for either backend: the blocked GEMM
+// clamps in its (final-panel) epilogue with the exact ReluInto formula, the
+// reference path runs the two scalar passes verbatim.
+void MatMulReluInto(ConstTensorView a, ConstTensorView b, TensorView c);
+void MatMulBiasReluInto(ConstTensorView a, ConstTensorView b, ConstTensorView bias,
+                        TensorView c);
 // C[b,m,n] = A[b,m,k] * B[b,k,n], one independent GEMM per batch slice.
 // `c` must not alias the inputs.
 void BatchMatMulInto(ConstTensorView a, ConstTensorView b, TensorView c);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "pit/common/backend.h"
+#include "pit/common/gemm_microkernel.h"
 #include "pit/common/parallel_for.h"
 #include "pit/core/batched_kernel.h"
 #include "pit/core/sparse_kernel.h"
@@ -55,6 +56,58 @@ TEST(BackendTest, MatMulMatchesReferenceOnOddShapes) {
     EXPECT_TRUE(AllClose(blocked, reference))
         << "shape " << s.m << "x" << s.k << "x" << s.n
         << " maxdiff " << MaxAbsDiff(blocked, reference);
+  }
+}
+
+TEST(BackendTest, GemmPackAIsBitwiseIdenticalOnTallGatedShape) {
+  // 1024x192x2048 is the smallest shape the A-packing gates admit (tall,
+  // reuse band, deep k); the packed path must be bit-for-bit the unpacked
+  // one, including the ragged trailing row block when m is not a multiple
+  // of 4 — so also probe 1027 rows.
+  for (const int64_t m : {int64_t{1024}, int64_t{1027}}) {
+    Rng rng(300 + m);
+    Tensor a = Tensor::Random({m, 2048}, rng);
+    Tensor b = Tensor::Random({2048, 192}, rng);
+    Tensor packed, unpacked;
+    {
+      ScopedGemmPackA pack(true);
+      packed = MatMul(a, b);
+    }
+    {
+      ScopedGemmPackA pack(false);
+      unpacked = MatMul(a, b);
+    }
+    ASSERT_EQ(std::memcmp(packed.data(), unpacked.data(),
+                          static_cast<size_t>(packed.size()) * sizeof(float)),
+              0)
+        << "packed-A GEMM diverged at m=" << m;
+  }
+}
+
+TEST(BackendTest, GemmFusedReluEpilogueIsBitwiseExact) {
+  // The fused relu epilogue must equal the separate matmul(+bias) -> relu
+  // composition bit for bit, under both backends and across thread counts.
+  Rng rng(400);
+  Tensor a = Tensor::Random({37, 29}, rng);
+  Tensor b = Tensor::Random({29, 41}, rng);
+  Tensor bias = Tensor::Random({41}, rng);
+  for (const ComputeBackend backend : {ComputeBackend::kBlocked, ComputeBackend::kReference}) {
+    ScopedBackend guard(backend);
+    for (int threads : {1, 4}) {
+      ScopedNumThreads t(threads);
+      Tensor fused({37, 41});
+      MatMulBiasReluInto(a, b, bias, fused);
+      Tensor expect = Relu(MatMulBias(a, b, bias));
+      ASSERT_EQ(std::memcmp(fused.data(), expect.data(),
+                            static_cast<size_t>(fused.size()) * sizeof(float)),
+                0);
+      Tensor fused_nobias({37, 41});
+      MatMulReluInto(a, b, fused_nobias);
+      Tensor expect_nobias = Relu(MatMul(a, b));
+      ASSERT_EQ(std::memcmp(fused_nobias.data(), expect_nobias.data(),
+                            static_cast<size_t>(fused_nobias.size()) * sizeof(float)),
+                0);
+    }
   }
 }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "pit/common/backend.h"
 #include "pit/common/parallel_for.h"
@@ -126,6 +129,86 @@ TEST(EnvParsingTest, BackendRejectsUnknownNames) {
   EXPECT_DEATH(ParseBackendEnv("naive"), "PIT_BACKEND");
   EXPECT_DEATH(ParseBackendEnv(""), "PIT_BACKEND");
   EXPECT_DEATH(ParseBackendEnv("blocked "), "PIT_BACKEND");
+}
+
+TEST(EnvParsingTest, PlanSchedAcceptsKnownNames) {
+  EXPECT_EQ(ParsePlanSchedEnv("seq"), PlanSched::kSequential);
+  EXPECT_EQ(ParsePlanSchedEnv("wavefront"), PlanSched::kWavefront);
+}
+
+TEST(EnvParsingTest, PlanSchedRejectsUnknownNames) {
+  EXPECT_DEATH(ParsePlanSchedEnv("Wavefront"), "PIT_PLAN_SCHED");
+  EXPECT_DEATH(ParsePlanSchedEnv("sequential"), "PIT_PLAN_SCHED");
+  EXPECT_DEATH(ParsePlanSchedEnv("parallel"), "PIT_PLAN_SCHED");
+  EXPECT_DEATH(ParsePlanSchedEnv(""), "PIT_PLAN_SCHED");
+  EXPECT_DEATH(ParsePlanSchedEnv("seq "), "PIT_PLAN_SCHED");
+}
+
+// ---- Task-capable thread pool (the wavefront scheduler's substrate) --------
+
+// The deadlock regression this PR's pool rework is guarded by: tasks
+// dispatched on the pool call ParallelFor themselves (nested submission from
+// worker threads). The ctest-level 120 s timeout turns a deadlock into a
+// loud failure rather than a hung job; correctness of the partial sums
+// checks that every nested chunk actually ran.
+TEST(ParallelTasksTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ScopedNumThreads threads(4);
+  constexpr int64_t kTasks = 16;
+  constexpr int64_t kInner = 10000;
+  std::vector<int64_t> sums(kTasks, 0);
+  for (int round = 0; round < 8; ++round) {
+    std::fill(sums.begin(), sums.end(), 0);
+    ParallelTasks(kTasks, /*nested_width=*/2, [&](int64_t task) {
+      // Nested data-parallel loop from inside a pool task: per-chunk partial
+      // sums merged in chunk order (the determinism contract).
+      const int chunks = ParallelChunkCount(kInner, 1);
+      std::vector<int64_t> partial(static_cast<size_t>(chunks), 0);
+      ParallelForChunks(kInner, chunks, [&](int chunk, int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          partial[static_cast<size_t>(chunk)] += i;
+        }
+      });
+      int64_t total = 0;
+      for (int64_t p : partial) {
+        total += p;
+      }
+      sums[task] = total;
+    });
+    for (int64_t task = 0; task < kTasks; ++task) {
+      ASSERT_EQ(sums[task], kInner * (kInner - 1) / 2) << "task " << task;
+    }
+  }
+}
+
+TEST(ParallelTasksTest, WidthBudgetBoundsNestedChunkCount) {
+  ScopedNumThreads threads(8);
+  // Outside any parallel region the chunk count is bounded by NumThreads.
+  EXPECT_EQ(ParallelChunkCount(1000, 1), 8);
+  std::atomic<int> max_chunks{0};
+  ParallelTasks(4, /*nested_width=*/3, [&](int64_t) {
+    int observed = ParallelChunkCount(1000, 1);
+    int prev = max_chunks.load();
+    while (observed > prev && !max_chunks.compare_exchange_weak(prev, observed)) {
+    }
+    EXPECT_LE(observed, 3);  // the task's intra-op share, not the whole pool
+    EXPECT_TRUE(ParallelRegionActive());
+  });
+  EXPECT_GE(max_chunks.load(), 1);
+  // Plain nested ParallelFor (no budget) still runs inline: a chunk's nested
+  // loop sees a single-chunk (serial) plan.
+  ParallelFor(8, 1, [&](int64_t, int64_t) {
+    EXPECT_EQ(ParallelChunkCount(1000, 1), 1);
+  });
+}
+
+TEST(ParallelTasksTest, SingleThreadRunsTasksInline) {
+  ScopedNumThreads threads(1);
+  std::vector<int> order;
+  ParallelTasks(5, 4, [&](int64_t task) { order.push_back(static_cast<int>(task)); });
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);  // inline fallback is in order
+  }
 }
 
 }  // namespace

@@ -335,8 +335,11 @@ TEST(PlanExecutorTest, PlannedFfnStackMatchesEagerReference) {
   ExpectBitwiseEqual(stack.Forward(z), stack.ForwardEager(z));
 
   const PlanStats stats = stack.StatsFor(20);
-  EXPECT_EQ(stats.num_steps, 3 * 4);  // 4 compute nodes per layer
-  EXPECT_GE(stats.num_inplace, 3);    // residual add aliases per layer
+  // 4 compute nodes per layer, minus the up-projection+ReLU pair fused into
+  // one GEMM step at plan compile.
+  EXPECT_EQ(stats.num_steps, 3 * 3);
+  EXPECT_EQ(stats.num_fused, 3);
+  EXPECT_GE(stats.num_inplace, 3);  // residual add aliases per layer
   EXPECT_LT(stats.arena_bytes, stats.sum_temporary_bytes);
 }
 
@@ -599,6 +602,303 @@ TEST(PlanExecutorTest, PlannedTransformerStackMatchesEager) {
   // PIT forward: exact kernels, different float summation order than dense.
   PitCompiler compiler(V100());
   EXPECT_TRUE(AllClose(stack.ForwardPit(x, compiler), stack.ForwardEager(x), 1e-3f, 1e-4f));
+}
+
+// ---- Wavefront scheduler (PR 4) --------------------------------------------
+
+// Bitwise-determinism sweep across PIT_PLAN_SCHED x PIT_NUM_THREADS for every
+// OpKind: the wavefront schedule must reproduce the sequential oracle (and
+// eager execution) exactly at any thread count.
+void ExpectSchedulerSweepMatchesEager(Graph& g, const std::map<std::string, Tensor>& feeds) {
+  Tensor base;
+  {
+    ScopedPlanSched sched(PlanSched::kSequential);
+    ScopedNumThreads threads(1);
+    base = g.Run(feeds);
+  }
+  ExpectBitwiseEqual(EagerExecute(g, feeds).at(g.size() - 1), base);
+  for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+    for (int t : {1, 4, 7}) {
+      ScopedPlanSched sched_guard(sched);
+      ScopedNumThreads threads(t);
+      ExpectBitwiseEqual(g.Run(feeds), base);
+    }
+  }
+}
+
+TEST(PlanExecutorTest, WavefrontEveryOpKindBitwiseMatchesSequential) {
+  Rng rng(63);
+  Graph all_ops = BuildAllOpsGraph(40, 24, rng);
+  auto all_feeds = AllOpsFeeds(40, 24, 64);
+  ExpectSchedulerSweepMatchesEager(all_ops, all_feeds);
+
+  Graph transformer = BuildTransformerOpsGraph(16, 4, 8, rng);
+  auto transformer_feeds = TransformerOpsFeeds(16, 32, 65);
+  ExpectSchedulerSweepMatchesEager(transformer, transformer_feeds);
+}
+
+TEST(PlanExecutorTest, WavefrontInPlaceAliasedStepsMatchSequential) {
+  // In-place chains (scale/relu/add aliasing dying blocks) plus independent
+  // branches reusing freed arena offsets — the WAR/WAW hazard cases the
+  // interval-based dependency derivation must order correctly.
+  Rng rng(67);
+  Graph g;
+  const int x = g.AddInput("x", {24, 24});
+  const int m = g.AddInput("m", {24, 24}, 0.5);
+  const int w1 = g.AddWeight("w1", Tensor::Random({24, 24}, rng));
+  const int w2 = g.AddWeight("w2", Tensor::Random({24, 24}, rng));
+  const int mm1 = g.AddMatmul("mm1", x, w1);     // branch 1
+  const int mm2 = g.AddMatmul("mm2", x, w2);     // branch 2 (independent)
+  const int sc = g.AddScale("sc", mm1, 0.5f);    // aliases mm1 in place
+  const int masked = g.AddMask("masked", mm2, m);  // aliases mm2 in place
+  const int soft = g.AddSoftmax("soft", sc);
+  const int sum = g.AddAdd("sum", soft, masked);
+  const int rs = g.AddReshape("rs", sum, {12, 2, 24});
+  const int tr = g.AddTranspose("tr", rs, 0, 1);
+  const int back = g.AddReshape("back", tr, {24, 24});
+  g.AddRelu("out", back);
+  g.PropagateSparsity();
+
+  auto feeds = AllOpsFeeds(24, 24, 68);
+  ExpectSchedulerSweepMatchesEager(g, feeds);
+}
+
+TEST(PlanExecutorTest, WavefrontEncoderLayerHasInterOpParallelism) {
+  // The encoder block's q/k/v column-split projections and independent
+  // branches must actually land in shared wavefronts: depth strictly below
+  // the step count, width above 1.
+  Rng rng(69);
+  TransformerEncoderLayer layer(32, 4, 96, rng);
+  const PlanStats stats = layer.PlanStatsFor(16);
+  EXPECT_GT(stats.num_wavefronts, 0);
+  EXPECT_LT(stats.num_wavefronts, stats.num_steps);
+  EXPECT_GE(stats.max_wavefront_width, 3);  // q/k/v projections at least
+  EXPECT_GE(stats.num_fused, 1);            // FFN up-projection + ReLU
+
+  Rng xr(70);
+  Tensor x = Tensor::Random({16, 32}, xr);
+  Tensor base;
+  {
+    ScopedPlanSched sched(PlanSched::kSequential);
+    ScopedNumThreads threads(1);
+    base = layer.Forward(x);
+    ExpectBitwiseEqual(base, layer.ForwardEager(x));
+  }
+  for (int t : {4, 7}) {
+    ScopedPlanSched sched(PlanSched::kWavefront);
+    ScopedNumThreads threads(t);
+    ExpectBitwiseEqual(layer.Forward(x), base);
+  }
+}
+
+TEST(PlanExecutorTest, WavefrontPitPathBitwiseMatchesSequentialPit) {
+  // PIT steps are chained (the compiler mutates shared state), but the dense
+  // steps around them still parallelize — outputs must stay bitwise equal.
+  Rng rng(71);
+  PlannedFfnStack stack(2, 16, 64, rng);
+  Rng xr(72);
+  Tensor x = Tensor::Random({24, 16}, xr);
+  Tensor base;
+  {
+    ScopedPlanSched sched(PlanSched::kSequential);
+    ScopedNumThreads threads(1);
+    PitCompiler compiler(V100());
+    base = stack.ForwardPit(x, compiler);
+  }
+  for (int t : {4, 7}) {
+    ScopedPlanSched sched(PlanSched::kWavefront);
+    ScopedNumThreads threads(t);
+    PitCompiler compiler(V100());
+    ExpectBitwiseEqual(stack.ForwardPit(x, compiler), base);
+  }
+}
+
+TEST(PlanExecutorTest, RandomizedGraphFuzzWavefrontMatchesSequential) {
+  // Randomized-graph differential fuzz: arbitrary legal op chains (with
+  // shared subexpressions, aliasing reshapes, and block-reuse pressure) must
+  // replay identically under both schedulers at every thread count.
+  Rng rng(73);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int64_t rows = 8 + static_cast<int64_t>(rng.NextBelow(3)) * 4;   // 8/12/16
+    const int64_t cols = 8 + static_cast<int64_t>(rng.NextBelow(2)) * 8;   // 8/16
+    Graph g;
+    g.AddInput("x", {rows, cols});
+    std::vector<int> pool{0};  // rank-2 value nodes usable as op inputs
+    const int ops = 8 + static_cast<int>(rng.NextBelow(8));
+    for (int i = 0; i < ops; ++i) {
+      const int src = pool[rng.NextBelow(pool.size())];
+      const Shape s = g.node(src).shape;
+      const std::string name = "n" + std::to_string(i);
+      switch (rng.NextBelow(8)) {
+        case 0: {  // matmul by a fresh weight (keeps values bounded)
+          Tensor w = Tensor::Random({s[1], cols}, rng, -0.3f, 0.3f);
+          const int wid = g.AddWeight(name + "_w", std::move(w));
+          pool.push_back(g.AddMatmul(name, src, wid));
+          break;
+        }
+        case 1:
+          pool.push_back(g.AddRelu(name, src));
+          break;
+        case 2: {  // add of two same-shape nodes (shared-subexpression fan-in)
+          int other = src;
+          for (int probe = 0; probe < 4; ++probe) {
+            const int cand = pool[rng.NextBelow(pool.size())];
+            if (g.node(cand).shape == s) {
+              other = cand;
+              break;
+            }
+          }
+          pool.push_back(g.AddAdd(name, src, other));
+          break;
+        }
+        case 3:
+          pool.push_back(g.AddScale(name, src, 0.75f));
+          break;
+        case 4:
+          pool.push_back(g.AddSoftmax(name, src));
+          break;
+        case 5:
+          pool.push_back(g.AddTranspose(name, src, 0, 1));
+          break;
+        case 6: {  // reshape round-trip: pure aliases feeding later ops
+          const int rs = g.AddReshape(name + "_a", src, {s[0] * s[1]});
+          pool.push_back(g.AddReshape(name, rs, s));
+          break;
+        }
+        case 7: {
+          int other = src;
+          for (int probe = 0; probe < 4; ++probe) {
+            const int cand = pool[rng.NextBelow(pool.size())];
+            if (g.node(cand).shape == s) {
+              other = cand;
+              break;
+            }
+          }
+          pool.push_back(g.AddMask(name, src, other));
+          break;
+        }
+      }
+    }
+    g.PropagateSparsity();
+    Rng fr(100 + static_cast<uint64_t>(trial));
+    std::map<std::string, Tensor> feeds{{"x", Tensor::Random({rows, cols}, fr)}};
+    Tensor base;
+    {
+      ScopedPlanSched sched(PlanSched::kSequential);
+      ScopedNumThreads threads(1);
+      base = g.Run(feeds);
+      ExpectBitwiseEqual(base, EagerExecute(g, feeds).at(g.size() - 1));
+    }
+    for (int t : {1, 4, 7}) {
+      ScopedPlanSched sched(PlanSched::kWavefront);
+      ScopedNumThreads threads(t);
+      ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(g.Run(feeds), base))
+          << "fuzz trial " << trial << " at " << t << " threads";
+    }
+  }
+}
+
+// ---- 64-byte arena alignment (PR 4 satellite) ------------------------------
+
+TEST(PlanExecutorTest, ArenaBaseAndBlockOffsetsAre64ByteAligned) {
+  Rng rng(75);
+  TransformerEncoderLayer layer(32, 4, 96, rng);
+  Rng xr(76);
+  Tensor x = Tensor::Random({18, 32}, xr);
+  layer.Forward(x);  // compile the plan
+
+  Graph g = BuildTransformerOpsGraph(12, 4, 8, rng);
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(plan.arena_base()) % 64, 0u)
+      << "arena base must start on a cache line";
+  for (const OpCall& step : plan.steps()) {
+    ASSERT_EQ(step.out.loc, ValueLoc::kArena);
+    EXPECT_EQ((step.out.offset * static_cast<int64_t>(sizeof(float))) % 64, 0)
+        << "block offset of step node " << step.node_id << " not 64-byte aligned";
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(plan.arena_base() + step.out.offset) % 64, 0u);
+  }
+}
+
+// ---- Fused matmul+relu epilogue (PR 4) -------------------------------------
+
+TEST(PlanExecutorTest, FusedMatmulReluBitwiseMatchesUnfusedComposition) {
+  Rng rng(77);
+  Graph g = BuildFfnGraph(32, 16, 64, rng);  // matmul -> relu -> matmul
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_EQ(plan.stats().num_fused, 1);
+  EXPECT_EQ(plan.stats().num_steps, 2);  // fused up+relu, down
+
+  Rng xr(78);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({32, 16}, xr)}};
+  for (const ComputeBackend backend : {ComputeBackend::kBlocked, ComputeBackend::kReference}) {
+    ScopedBackend guard(backend);
+    ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+  }
+
+  // Execute elides the fused matmul's value but keeps the ReLU's (bitwise).
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  const int up_id = 3, relu_id = 4;
+  ASSERT_EQ(g.node(up_id).kind, OpKind::kMatmul);
+  ASSERT_EQ(g.node(relu_id).kind, OpKind::kRelu);
+  EXPECT_EQ(planned.count(up_id), 0u);
+  ExpectBitwiseEqual(planned.at(relu_id), eager.at(relu_id));
+  ExpectBitwiseEqual(planned.at(g.size() - 1), eager.at(g.size() - 1));
+}
+
+TEST(PlanExecutorTest, FusionKeepsOperandsLiveUntilTheRelusPosition) {
+  // The fused GEMM reads its operands at the ReLU's position. Here z is the
+  // nominal last consumer of t and sits BETWEEN the matmul and its ReLU:
+  // without lifetime extension z would alias t's block in place (or free it
+  // for reuse) and the fused step would read clobbered data — a silent
+  // miscompilation even under the sequential oracle.
+  Rng rng(81);
+  Graph g;
+  const int x = g.AddInput("x", {8, 8});
+  const int w = g.AddWeight("w", Tensor::Random({8, 8}, rng));
+  const int t = g.AddRelu("t", x);
+  const int mm = g.AddMatmul("mm", t, w);
+  const int z = g.AddScale("z", t, 2.0f);  // last consumer of t by node order
+  const int soft = g.AddSoftmax("soft", z);
+  const int r = g.AddRelu("r", mm);  // fuses with mm
+  g.AddAdd("out", r, soft);
+  g.PropagateSparsity();
+  ASSERT_EQ(g.Plan().stats().num_fused, 1);  // fusion still engages — safely
+
+  Rng xr(82);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({8, 8}, xr)}};
+  for (const ComputeBackend backend : {ComputeBackend::kBlocked, ComputeBackend::kReference}) {
+    ScopedBackend guard(backend);
+    for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+      ScopedPlanSched sched_guard(sched);
+      for (int threads : {1, 4}) {
+        ScopedNumThreads tguard(threads);
+        ExpectBitwiseEqual(g.Run(feeds), EagerExecute(g, feeds).at(g.size() - 1));
+      }
+    }
+  }
+}
+
+TEST(PlanExecutorTest, MatmulWithSecondConsumerIsNotFused) {
+  Rng rng(79);
+  Graph g;
+  const int x = g.AddInput("x", {8, 8});
+  const int w = g.AddWeight("w", Tensor::Random({8, 8}, rng));
+  const int mm = g.AddMatmul("mm", x, w);
+  const int r = g.AddRelu("r", mm);
+  g.AddAdd("out", r, mm);  // second consumer: fusing would lose mm's value
+  g.PropagateSparsity();
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_EQ(plan.stats().num_fused, 0);
+
+  Rng xr(80);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({8, 8}, xr)}};
+  auto eager = EagerExecute(g, feeds);
+  auto planned = g.Execute(feeds);
+  ASSERT_EQ(eager.size(), planned.size());
+  for (const auto& [id, value] : eager) {
+    ExpectBitwiseEqual(planned.at(id), value);
+  }
 }
 
 // ---- Plan-cache invalidation race (PR 3 satellite) -------------------------
