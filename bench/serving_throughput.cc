@@ -1,0 +1,193 @@
+// Multi-stream serving throughput: requests/sec and latency percentiles of
+// the ServingEngine driving a PlannedTransformerStack over a mixed request
+// stream, swept over stream counts {1, 2, 4, 8} at a fixed worker-pool width.
+//
+// This is the PR 5 acceptance bench: per-request outputs must be bitwise
+// identical to the single-stream engine at every stream count, and — wherever
+// the machine actually provides >= 4-way concurrency (parallel probe, like
+// the BENCH_pr1/pr4 asserts) — 4 streams must deliver >= 2.5x the
+// requests/sec of 1 stream. The workload is deliberately serving-shaped:
+// small per-request token counts, whose plans the wavefront gate replays
+// sequentially and whose kernels parallelize poorly intra-op, so the
+// headroom the engine must find is inter-request parallelism.
+//
+// Emits BENCH_pr5.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
+#include "pit/runtime/models.h"
+#include "pit/runtime/serving_engine.h"
+#include "pit/tensor/ops.h"
+
+using namespace pit;
+
+namespace {
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+Tensor MakeMask(int64_t tokens, Rng& rng) {
+  Tensor mask = Tensor::RandomSparse({tokens, tokens}, 0.4, rng);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr5.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  const int threads = NumThreads();
+  bench::PrintHeader("Multi-stream serving throughput — shared plans, per-stream contexts",
+                     "wall-clock; " + std::to_string(threads) + " pool workers, streams swept");
+
+  bool ok = true;
+  bench::JsonReport report("serving_throughput");
+
+  // Serving trunk: 2 encoder blocks at a modest width; requests mix three
+  // token counts, a third of them masked — six (tokens, masked?) plan keys.
+  constexpr int64_t kLayers = 2;
+  constexpr int64_t kHidden = 128;
+  constexpr int64_t kHeads = 4;
+  constexpr int64_t kFfn = 512;
+  Rng wr(1);
+  PlannedTransformerStack stack(kLayers, kHidden, kHeads, kFfn, wr);
+
+  Rng rr(2);
+  const std::vector<int64_t> token_counts{32, 48, 64};
+  std::vector<Tensor> masks;
+  masks.reserve(token_counts.size());
+  for (int64_t tokens : token_counts) {
+    masks.push_back(MakeMask(tokens, rr));
+  }
+  std::vector<ServeRequest> requests;
+  constexpr int kRequests = 48;
+  for (int i = 0; i < kRequests; ++i) {
+    const size_t pick = static_cast<size_t>(i) % token_counts.size();
+    ServeRequest req;
+    req.x = Tensor::Random({token_counts[pick], kHidden}, rr);
+    if (i % 3 == 2) {
+      req.attn_mask = &masks[pick];
+    }
+    requests.push_back(std::move(req));
+  }
+
+  bench::Table table({"streams", "wall(ms)", "req/s", "p50(ms)", "p99(ms)", "vs 1 stream",
+                      "pool ctx", "pool KiB"});
+  std::vector<Tensor> baseline_outputs;
+  double baseline_rps = 0.0;
+  double rps_at_4 = 0.0;
+  for (const int streams : {1, 2, 4, 8}) {
+    ServingEngineOptions options;
+    options.num_streams = streams;
+    ServingEngine engine(stack, options);
+    engine.Serve(requests);  // warm: compiles plans, builds context pools
+    std::vector<Tensor> outputs;
+    double best_wall_us = 0.0;
+    ServingEngineStats best{};
+    for (int rep = 0; rep < 3; ++rep) {
+      std::vector<Tensor> got = engine.Serve(requests);
+      const ServingEngineStats s = engine.stats();
+      if (rep == 0 || s.wall_us < best_wall_us) {
+        best_wall_us = s.wall_us;
+        best = s;
+        outputs = std::move(got);
+      }
+    }
+    bool bitwise_vs_1stream = true;
+    if (streams == 1) {
+      baseline_outputs = outputs;
+      baseline_rps = best.requests_per_sec;
+    } else {
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        if (!BitwiseEqual(outputs[i], baseline_outputs[i])) {
+          std::fprintf(stderr,
+                       "FAIL serving@%d streams: request %zu not bitwise equal to the "
+                       "single-stream engine\n",
+                       streams, i);
+          bitwise_vs_1stream = false;
+          ok = false;
+        }
+      }
+    }
+    if (streams == 4) {
+      rps_at_4 = best.requests_per_sec;
+    }
+    const double vs1 = baseline_rps > 0.0 ? best.requests_per_sec / baseline_rps : 0.0;
+    table.Row({std::to_string(streams), bench::FmtMs(best.wall_us),
+               bench::Fmt(best.requests_per_sec, "%.1f"), bench::FmtMs(best.p50_latency_us),
+               bench::FmtMs(best.p99_latency_us), bench::Fmt(vs1, "%.2fx"),
+               std::to_string(best.pool_contexts_highwater),
+               bench::Fmt(static_cast<double>(best.pool_arena_bytes_highwater) / 1024.0, "%.0f")});
+    report.Add("serving_streams_" + std::to_string(streams),
+               {{"requests", static_cast<double>(kRequests)},
+                {"wall_us", best.wall_us},
+                {"requests_per_sec", best.requests_per_sec},
+                {"p50_latency_us", best.p50_latency_us},
+                {"p99_latency_us", best.p99_latency_us},
+                {"mean_latency_us", best.mean_latency_us},
+                {"speedup_vs_1stream", vs1},
+                {"pool_contexts_highwater", static_cast<double>(best.pool_contexts_highwater)},
+                {"pool_arena_bytes_highwater",
+                 static_cast<double>(best.pool_arena_bytes_highwater)},
+                {"bitwise_equal_1stream", bitwise_vs_1stream ? 1.0 : 0.0},
+                {"threads", static_cast<double>(threads)}});
+  }
+
+  // Scaling acceptance, probe-gated on the concurrency the machine really
+  // provides (CI containers routinely advertise more hardware threads than
+  // the cgroup quota delivers).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double probe4 = bench::ParallelProbeSpeedup(4);
+  const double scaling = baseline_rps > 0.0 ? rps_at_4 / baseline_rps : 0.0;
+  report.Add("serving_scaling",
+             {{"rps_1stream", baseline_rps},
+              {"rps_4streams", rps_at_4},
+              {"speedup_4v1", scaling},
+              {"probe4", probe4},
+              {"hardware_threads", static_cast<double>(hw)},
+              {"assert_armed", (hw >= 4 && probe4 > 2.0) ? 1.0 : 0.0}});
+  if (hw >= 4 && probe4 > 2.0) {
+    if (scaling < 2.5) {
+      std::fprintf(stderr,
+                   "FAIL serving scaling: 4 streams at %.2fx vs 1 stream < 2.5x with %u "
+                   "hardware threads (probe %.2fx)\n",
+                   scaling, hw, probe4);
+      ok = false;
+    } else {
+      std::printf("serving scaling 4 streams %.2fx >= 2.5x (probe %.2fx) — OK\n", scaling,
+                  probe4);
+    }
+  } else {
+    std::printf("serving scaling assertion skipped (hw=%u, probe %.2fx — no effective 4-way "
+                "concurrency on this machine); measured %.2fx\n",
+                hw, probe4, scaling);
+  }
+
+  if (!report.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "\nserving-throughput acceptance checks FAILED\n");
+    return 1;
+  }
+  std::printf("serving-throughput acceptance checks passed\n");
+  return 0;
+}

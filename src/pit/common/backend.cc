@@ -79,4 +79,14 @@ void SetPlanSched(PlanSched sched) {
   g_plan_sched.store(static_cast<int>(sched), std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<bool> g_wavefront_gate{true};
+}  // namespace
+
+bool WavefrontGateEnabled() { return g_wavefront_gate.load(std::memory_order_relaxed); }
+
+void SetWavefrontGateEnabled(bool enabled) {
+  g_wavefront_gate.store(enabled, std::memory_order_relaxed);
+}
+
 }  // namespace pit

@@ -84,6 +84,30 @@ PlanSched ParsePlanSchedEnv(const char* value);
 
 void SetPlanSched(PlanSched sched);
 
+// Compile-time wavefront profitability gate (PlanStats.wavefront_profitable):
+// when enabled (default), plans whose parallel waves average too little work
+// per step replay sequentially even under PIT_PLAN_SCHED=wavefront —
+// BENCH_pr4 measured inter-op overlap losing to intra-op kernel parallelism
+// on small-step plans. Tests disable the gate to force the wavefront path on
+// arbitrary (small) plans; the schedule stays bitwise identical either way.
+bool WavefrontGateEnabled();
+void SetWavefrontGateEnabled(bool enabled);
+
+// RAII gate override for tests and benches that must exercise (or pin down)
+// the wavefront dispatch path regardless of plan size.
+class ScopedWavefrontGate {
+ public:
+  explicit ScopedWavefrontGate(bool enabled) : saved_(WavefrontGateEnabled()) {
+    SetWavefrontGateEnabled(enabled);
+  }
+  ~ScopedWavefrontGate() { SetWavefrontGateEnabled(saved_); }
+  ScopedWavefrontGate(const ScopedWavefrontGate&) = delete;
+  ScopedWavefrontGate& operator=(const ScopedWavefrontGate&) = delete;
+
+ private:
+  bool saved_;
+};
+
 // RAII scheduler override for differential tests and benches.
 class ScopedPlanSched {
  public:

@@ -164,21 +164,35 @@ class Pool {
 
 }  // namespace
 
-int ParseNumThreadsEnv(const char* value) {
+namespace {
+
+// Shared strict parser behind the positive-integer knobs (PIT_NUM_THREADS,
+// PIT_NUM_STREAMS): a typo'd value must fail loudly, never silently fall
+// back to a default the operator did not ask for.
+int ParsePositiveIntEnv(const char* name, const char* value) {
   PIT_CHECK(value != nullptr && *value != '\0')
-      << "PIT_NUM_THREADS is set but empty; expected a positive integer";
+      << name << " is set but empty; expected a positive integer";
   // Strict decimal: digits only (strtol would silently skip leading
   // whitespace and accept a sign).
   PIT_CHECK(*value >= '0' && *value <= '9')
-      << "PIT_NUM_THREADS=\"" << value << "\" is not a plain positive integer";
+      << name << "=\"" << value << "\" is not a plain positive integer";
   errno = 0;
   char* end = nullptr;
   const long v = std::strtol(value, &end, 10);
-  PIT_CHECK(end != value && *end == '\0')
-      << "PIT_NUM_THREADS=\"" << value << "\" is not an integer";
+  PIT_CHECK(end != value && *end == '\0') << name << "=\"" << value << "\" is not an integer";
   PIT_CHECK(errno != ERANGE && v >= 1 && v <= (1 << 16))
-      << "PIT_NUM_THREADS=\"" << value << "\" out of range; expected 1.." << (1 << 16);
+      << name << "=\"" << value << "\" out of range; expected 1.." << (1 << 16);
   return static_cast<int>(v);
+}
+
+}  // namespace
+
+int ParseNumThreadsEnv(const char* value) {
+  return ParsePositiveIntEnv("PIT_NUM_THREADS", value);
+}
+
+int ParseNumStreamsEnv(const char* value) {
+  return ParsePositiveIntEnv("PIT_NUM_STREAMS", value);
 }
 
 int NumThreads() {

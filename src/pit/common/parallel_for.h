@@ -39,6 +39,12 @@ int NumThreads();
 // hardware default). Aborts via PIT_CHECK on anything else.
 int ParseNumThreadsEnv(const char* value);
 
+// Strict parser behind the ServingEngine's PIT_NUM_STREAMS resolution; same
+// contract as ParseNumThreadsEnv (plain positive decimal integer or a loud
+// PIT_CHECK abort — a typo'd stream count must never silently serve
+// single-stream).
+int ParseNumStreamsEnv(const char* value);
+
 // Overrides the worker count at runtime (clamped to >= 1). Intended for tests
 // and benchmarks; takes effect for subsequent ParallelFor calls.
 void SetNumThreads(int n);

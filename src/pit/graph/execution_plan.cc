@@ -203,12 +203,63 @@ struct Interval {
   bool Overlaps(const Interval& o) const { return lo < o.hi && o.lo < hi; }
 };
 
+// Estimated arithmetic work of one dispatched step, in scalar flops — the
+// profitability currency of the wavefront gate. Matmuls count multiply-adds;
+// row-wise ops count a few passes per element; pure data movement counts one.
+// The absolute scale only matters relative to kMinParallelStepWork below.
+int64_t StepWorkEstimate(const OpCall& call, const std::vector<Shape>& shapes) {
+  const Shape& out = shapes[static_cast<size_t>(call.out.shape_id)];
+  const int64_t out_elems = NumElements(out);
+  switch (call.kind) {
+    case OpKind::kMatmul:
+    case OpKind::kMatmulBias: {
+      const Shape& a = shapes[static_cast<size_t>(call.in[0].shape_id)];
+      return 2 * out_elems * a[1];  // 2*m*n*k
+    }
+    case OpKind::kBatchMatmul: {
+      const Shape& a = shapes[static_cast<size_t>(call.in[0].shape_id)];
+      return 2 * out_elems * a[2];  // 2*b*m*n*k
+    }
+    case OpKind::kSoftmax:
+      return 6 * out_elems;  // max + exp + sum + normalize passes
+    case OpKind::kLayerNorm:
+      return 8 * out_elems;  // mean + variance + normalize + affine
+    default:
+      return out_elems;  // elementwise / transpose: ~one op per element
+  }
+}
+
+// Threshold of the compile-time wavefront profitability gate: mean estimated
+// step work across waves of width >= 2 must clear this for wavefront replay
+// to engage. Calibrated against BENCH_pr4: encoder_layer_128x256's widest
+// wave holds ~17 MFLOP projection GEMMs and wavefront@8 measured 0.92x vs
+// seq@1 — at that size, splitting the pool across steps loses to letting
+// each kernel parallelize intra-op, so the gate needs small-step plans to
+// fall back to sequential replay. Plans whose parallel waves carry hundreds
+// of MFLOPs per step (the launch/barrier overhead amortized away) stay
+// wavefront.
+constexpr double kMinParallelStepWork = 64.0 * 1024 * 1024;
+
 }  // namespace
+
+// ---- ExecutionContext -------------------------------------------------------
+
+ExecutionContext::ExecutionContext(const ExecutionPlan& plan) : plan_(&plan) {
+  // Arena storage with headroom so the working base can be rounded up to a
+  // 64-byte boundary (block offsets are already 64-byte multiples).
+  arena_storage_.assign(static_cast<size_t>(plan.arena_elems_ + kAlignElems), 0.0f);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(arena_storage_.data());
+  arena_ = reinterpret_cast<float*>((raw + 63) & ~static_cast<uintptr_t>(63));
+  arena_bytes_ = plan.stats_.arena_bytes;
+  bound_ = plan.compile_bound_;
+  // One kernel slot per step; only PIT steps ever read or warm theirs.
+  pit_.assign(plan.steps_.size(), PitKernelHandle{});
+}
 
 ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecision>* decisions) {
   const int n = graph.size();
   PIT_CHECK_GT(n, 0) << "cannot plan an empty graph";
-  bound_.assign(static_cast<size_t>(n), nullptr);
+  compile_bound_.assign(static_cast<size_t>(n), nullptr);
   shapes_.reserve(static_cast<size_t>(n));
   for (int id = 0; id < n; ++id) {
     shapes_.push_back(graph.node(id).shape);
@@ -355,7 +406,7 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
     }
     if (node.kind == OpKind::kWeight) {
       loc[static_cast<size_t>(id)] = {ValueLoc::kWeight, id, id, 0};
-      bound_[static_cast<size_t>(id)] = graph.weight(id).data();
+      compile_bound_[static_cast<size_t>(id)] = graph.weight(id).data();
       continue;
     }
     if (deferred[static_cast<size_t>(id)]) {
@@ -469,16 +520,22 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
   }
 
   result_ = loc[static_cast<size_t>(final_id)];
-  // Arena storage with headroom so the working base can be rounded up to a
-  // 64-byte boundary (block offsets are already 64-byte multiples).
-  arena_storage_.assign(static_cast<size_t>(planner.extent() + kAlignElems), 0.0f);
-  const uintptr_t raw = reinterpret_cast<uintptr_t>(arena_storage_.data());
-  arena_ = reinterpret_cast<float*>((raw + 63) & ~static_cast<uintptr_t>(63));
+  arena_elems_ = planner.extent();
   stats_.arena_bytes = planner.extent() * static_cast<int64_t>(sizeof(float));
   stats_.num_steps = static_cast<int>(steps_.size());
 
   BuildWavefronts();
+  // From here on the plan is immutable; all replay state lives in execution
+  // contexts (the default one materializes lazily on first classic Run).
 }
+
+ExecutionContext& ExecutionPlan::DefaultCtx() const {
+  std::call_once(default_ctx_once_,
+                 [this] { default_ctx_ = std::make_unique<ExecutionContext>(*this); });
+  return *default_ctx_;
+}
+
+const float* ExecutionPlan::arena_base() const { return DefaultCtx().arena_base(); }
 
 // Derives the step-level dependency DAG from the steps' arena read/write
 // intervals and partitions it into topological wavefronts. Two steps conflict
@@ -577,34 +634,62 @@ void ExecutionPlan::BuildWavefronts() {
         std::max(stats_.max_wavefront_width,
                  wave_offsets_[static_cast<size_t>(w) + 1] - wave_offsets_[static_cast<size_t>(w)]);
   }
+
+  // Compile-time profitability: mean estimated work per step over the waves
+  // that would actually dispatch concurrently (width >= 2). Plans below the
+  // threshold replay sequentially — their steps are too small for inter-op
+  // overlap to beat intra-op kernel parallelism plus the wave barriers.
+  int64_t parallel_work = 0;
+  int64_t parallel_steps = 0;
+  for (int w = 0; w < num_levels; ++w) {
+    const int begin = wave_offsets_[static_cast<size_t>(w)];
+    const int end = wave_offsets_[static_cast<size_t>(w) + 1];
+    if (end - begin < 2) {
+      continue;
+    }
+    for (int i = begin; i < end; ++i) {
+      parallel_work += StepWorkEstimate(steps_[static_cast<size_t>(wave_steps_[static_cast<size_t>(i)])],
+                                        shapes_);
+      ++parallel_steps;
+    }
+  }
+  stats_.parallel_step_work =
+      parallel_steps > 0 ? static_cast<double>(parallel_work) / static_cast<double>(parallel_steps)
+                         : 0.0;
+  stats_.wavefront_profitable =
+      stats_.max_wavefront_width > 1 && stats_.parallel_step_work >= kMinParallelStepWork;
 }
 
-const float* ExecutionPlan::ResolveConst(const ValueRef& ref) const {
+const float* ExecutionPlan::ResolveConst(const ValueRef& ref, const ExecutionContext& ctx) const {
   switch (ref.loc) {
     case ValueLoc::kArena:
-      return arena_ + ref.offset;
+      return ctx.arena_ + ref.offset;
     case ValueLoc::kFeed:
     case ValueLoc::kWeight:
-      return bound_[static_cast<size_t>(ref.node_id)];
+      return ctx.bound_[static_cast<size_t>(ref.node_id)];
   }
   return nullptr;
 }
 
-float* ExecutionPlan::ResolveArena(const ValueRef& ref) {
+float* ExecutionPlan::ResolveArena(const ValueRef& ref, ExecutionContext& ctx) const {
   PIT_CHECK(ref.loc == ValueLoc::kArena);
-  return arena_ + ref.offset;
+  return ctx.arena_ + ref.offset;
 }
 
-void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
+void ExecutionPlan::Dispatch(int step_index, ExecutionContext& ctx, PitCompiler* compiler) const {
+  const OpCall& call = steps_[static_cast<size_t>(step_index)];
   if (call.kind == OpKind::kReshape) {
     return;  // alias-only: the value is its input's storage, reinterpreted
   }
   const Shape& out_shape = shapes_[static_cast<size_t>(call.out.shape_id)];
-  TensorView out(ResolveArena(call.out), out_shape);
+  TensorView out(ResolveArena(call.out, ctx), out_shape);
   auto in = [&](int i) {
-    return ConstTensorView(ResolveConst(call.in[i]),
+    return ConstTensorView(ResolveConst(call.in[i], ctx),
                            shapes_[static_cast<size_t>(call.in[i].shape_id)]);
   };
+  // The context's per-site kernel slot: concurrent streams each warm their
+  // own, so the JIT cache hook never races across streams.
+  PitKernelHandle* pit_slot = &ctx.pit_[static_cast<size_t>(step_index)];
   switch (call.kind) {
     case OpKind::kInput:
     case OpKind::kWeight:
@@ -614,7 +699,7 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
     case OpKind::kMatmul:
       if (call.use_pit) {
         PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
-        compiler->SparseMatmulInto(in(0), in(1), out, &call.pit);
+        compiler->SparseMatmulInto(in(0), in(1), out, pit_slot);
       } else if (call.fuse_relu) {
         MatMulReluInto(in(0), in(1), out);
       } else {
@@ -624,7 +709,7 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
     case OpKind::kMatmulBias:
       if (call.use_pit) {
         PIT_CHECK(compiler != nullptr) << "PIT decision requires a compiler";
-        compiler->SparseMatmulInto(in(0), in(1), out, &call.pit);
+        compiler->SparseMatmulInto(in(0), in(1), out, pit_slot);
         // Bias applied after the sparse kernel, in the same element order as
         // the eager sparse Linear path.
         const ConstTensorView bias = in(2);
@@ -671,12 +756,14 @@ void ExecutionPlan::Dispatch(OpCall& call, PitCompiler* compiler) {
   }
 }
 
-void ExecutionPlan::RunSequential(PitCompiler* compiler, const StepObserver* observer) {
-  for (OpCall& step : steps_) {
-    Dispatch(step, compiler);
+void ExecutionPlan::RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
+                                  const StepObserver* observer) const {
+  for (int s = 0; s < static_cast<int>(steps_.size()); ++s) {
+    Dispatch(s, ctx, compiler);
     if (observer != nullptr && *observer) {
+      const OpCall& step = steps_[static_cast<size_t>(s)];
       (*observer)(step.node_id,
-                  ConstTensorView(ResolveConst(step.out),
+                  ConstTensorView(ResolveConst(step.out, ctx),
                                   shapes_[static_cast<size_t>(step.out.shape_id)]));
     }
   }
@@ -688,21 +775,19 @@ void ExecutionPlan::RunSequential(PitCompiler* compiler, const StepObserver* obs
 // pool across the wave instead of serializing behind one step. Bitwise
 // identical to RunSequential: kernels are order-deterministic for any chunk
 // count and concurrent steps touch disjoint 64-byte-aligned blocks.
-void ExecutionPlan::RunWavefronts(PitCompiler* compiler) {
+void ExecutionPlan::RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) const {
   const int threads = NumThreads();
   for (size_t w = 0; w + 1 < wave_offsets_.size(); ++w) {
     const int begin = wave_offsets_[w];
     const int width = wave_offsets_[w + 1] - begin;
     if (width == 1) {
       // A singleton wave runs inline with the full pool as its width budget.
-      Dispatch(steps_[static_cast<size_t>(wave_steps_[static_cast<size_t>(begin)])], compiler);
+      Dispatch(wave_steps_[static_cast<size_t>(begin)], ctx, compiler);
       continue;
     }
     const int budget = (threads + width - 1) / width;
     ParallelTasks(width, budget, [&](int64_t i) {
-      Dispatch(steps_[static_cast<size_t>(
-                   wave_steps_[static_cast<size_t>(begin + static_cast<int>(i))])],
-               compiler);
+      Dispatch(wave_steps_[static_cast<size_t>(begin + static_cast<int>(i))], ctx, compiler);
     });
   }
 }
@@ -718,38 +803,61 @@ const Tensor& DerefFeed(const Tensor* t) {
 }  // namespace
 
 template <typename FeedMap>
-ConstTensorView ExecutionPlan::RunImpl(const FeedMap& feeds, PitCompiler* compiler,
-                                       const StepObserver* observer) {
+ConstTensorView ExecutionPlan::RunImpl(ExecutionContext& ctx, const FeedMap& feeds,
+                                       PitCompiler* compiler,
+                                       const StepObserver* observer) const {
+  PIT_CHECK(ctx.plan_ == this) << "execution context belongs to a different plan";
   for (const FeedBinding& binding : feed_bindings_) {
     auto it = feeds.find(binding.name);
     PIT_CHECK(it != feeds.end()) << "missing feed: " << binding.name;
     const Tensor& feed = DerefFeed(it->second);
     PIT_CHECK(feed.shape() == shapes_[static_cast<size_t>(binding.node_id)])
         << "feed shape mismatch for " << binding.name;
-    bound_[static_cast<size_t>(binding.node_id)] = feed.data();
+    ctx.bound_[static_cast<size_t>(binding.node_id)] = feed.data();
   }
   const bool observed = observer != nullptr && *observer;
   // Scheduler choice is orthogonal to the backend: reference-kernel steps run
   // concurrently just as safely (disjoint 64-byte-aligned blocks, serial
   // kernels), so PIT_BACKEND=reference PIT_PLAN_SCHED=wavefront genuinely
-  // cross-checks the wavefront schedule against the oracle kernels.
+  // cross-checks the wavefront schedule against the oracle kernels. The
+  // compile-time profitability gate keeps small-step plans sequential (each
+  // kernel then owns the whole pool); tests force it off to exercise the
+  // wavefront path on arbitrary plans.
+  const bool wavefront_ok =
+      stats_.max_wavefront_width > 1 &&
+      (stats_.wavefront_profitable || !WavefrontGateEnabled());
   if (!observed && ActivePlanSched() == PlanSched::kWavefront && NumThreads() > 1 &&
-      stats_.max_wavefront_width > 1 && !ParallelRegionActive()) {
-    RunWavefronts(compiler);
+      wavefront_ok && !ParallelRegionActive()) {
+    RunWavefronts(ctx, compiler);
   } else {
-    RunSequential(compiler, observed ? observer : nullptr);
+    RunSequential(ctx, compiler, observed ? observer : nullptr);
   }
-  return ConstTensorView(ResolveConst(result_), shapes_[static_cast<size_t>(result_.shape_id)]);
+  return ConstTensorView(ResolveConst(result_, ctx),
+                         shapes_[static_cast<size_t>(result_.shape_id)]);
 }
 
 ConstTensorView ExecutionPlan::Run(const std::map<std::string, Tensor>& feeds,
                                    PitCompiler* compiler, const StepObserver* observer) {
-  return RunImpl(feeds, compiler, observer);
+  return RunImpl(DefaultCtx(), feeds, compiler, observer);
 }
 
 ConstTensorView ExecutionPlan::Run(const std::map<std::string, const Tensor*>& feeds,
                                    PitCompiler* compiler, const StepObserver* observer) {
-  return RunImpl(feeds, compiler, observer);
+  return RunImpl(DefaultCtx(), feeds, compiler, observer);
+}
+
+ConstTensorView ExecutionPlan::RunWith(ExecutionContext& ctx,
+                                       const std::map<std::string, Tensor>& feeds,
+                                       PitCompiler* compiler,
+                                       const StepObserver* observer) const {
+  return RunImpl(ctx, feeds, compiler, observer);
+}
+
+ConstTensorView ExecutionPlan::RunWith(ExecutionContext& ctx,
+                                       const std::map<std::string, const Tensor*>& feeds,
+                                       PitCompiler* compiler,
+                                       const StepObserver* observer) const {
+  return RunImpl(ctx, feeds, compiler, observer);
 }
 
 }  // namespace pit

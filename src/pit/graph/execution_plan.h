@@ -21,25 +21,40 @@
 //   * the result is a flat list of OpCall dispatch steps over which the
 //     dense-reference kernels and the PIT sparse path are interchangeable.
 //
+// Plan vs. execution state. A compiled plan is immutable: steps, shapes,
+// wavefronts, and stats never change after the constructor returns. All
+// mutable replay state — the arena, the per-Run feed bindings, and the
+// per-call-site PIT kernel slots — lives in an ExecutionContext. One plan
+// therefore replays concurrently from N request streams, each stream holding
+// its own context (RunWith); the classic Run(feeds) entry keeps its exact
+// semantics by delegating to an internal default context, and stays
+// not-thread-safe for the same reason it always was (one arena).
+//
 // Replay runs the steps either strictly in order (PIT_PLAN_SCHED=seq, the
-// scheduling oracle) or wavefront-parallel (default): steps of the same
-// wavefront have no data or buffer-reuse hazard between them, so they
-// dispatch concurrently on the ParallelFor pool as tasks, each granted an
-// intra-op width budget of ~threads/width so nested kernel ParallelFors
-// split the pool instead of fighting over it. Both schedules are bitwise
-// identical to each other and to the old eager executor for any thread
-// count: the steps call the exact kernels the eager ops wrap, every kernel
-// is internally order-deterministic, and concurrent steps write disjoint
-// 64-byte-aligned arena blocks. Executing a compiled plan performs ~zero
-// heap allocations on the dense path (the arena and bindings are sized at
-// compile time; only a genuine multi-thread fan-out pays a few
-// std::function wraps).
+// scheduling oracle) or wavefront-parallel: steps of the same wavefront have
+// no data or buffer-reuse hazard between them, so they dispatch concurrently
+// on the ParallelFor pool as tasks, each granted an intra-op width budget of
+// ~threads/width so nested kernel ParallelFors split the pool. Wavefront
+// dispatch only engages when the compile-time profitability check passed
+// (stats().wavefront_profitable): BENCH_pr4 measured inter-op overlap losing
+// to plain intra-op kernel parallelism when the concurrent steps are small
+// (encoder_layer_128x256, ~17 MFLOP steps, 0.92x vs seq@1), so plans whose
+// parallel waves average below kMinParallelStepWork replay sequentially and
+// let each kernel use the whole pool. Both schedules are bitwise identical to
+// each other and to the old eager executor for any thread count: the steps
+// call the exact kernels the eager ops wrap, every kernel is internally
+// order-deterministic, and concurrent steps write disjoint 64-byte-aligned
+// arena blocks. Executing a compiled plan performs ~zero heap allocations on
+// the dense path (the arena and bindings are sized at compile time; only a
+// genuine multi-thread fan-out pays a few std::function wraps).
 #ifndef PIT_GRAPH_EXECUTION_PLAN_H_
 #define PIT_GRAPH_EXECUTION_PLAN_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,11 +64,13 @@
 
 namespace pit {
 
+class ExecutionPlan;
+
 // Where a node's value lives during plan execution.
 enum class ValueLoc : uint8_t {
   kFeed,    // caller-provided input tensor, bound per Run
   kWeight,  // graph-owned (or referenced) constant, bound at compile
-  kArena,   // slice of the plan's arena at `offset`
+  kArena,   // slice of the execution context's arena at `offset`
 };
 
 struct ValueRef {
@@ -65,9 +82,9 @@ struct ValueRef {
 
 // One kernel-dispatch step. This is the unified seam between the two
 // execution paths: `use_pit` false runs the dense reference kernel for
-// `kind`; true routes the matmul through the PitCompiler using this call
-// site's cached kernel handle (the JIT cache is hooked into the step instead
-// of being consulted from scratch every call).
+// `kind`; true routes the matmul through the PitCompiler using the execution
+// context's cached kernel handle for this call site (the JIT cache is hooked
+// into the step instead of being consulted from scratch every call).
 struct OpCall {
   OpKind kind = OpKind::kInput;
   int node_id = -1;
@@ -81,12 +98,11 @@ struct OpCall {
   float fattr = 0.0f;       // kScale factor / kLayerNorm epsilon
   int iattr0 = 0;           // kTranspose axes
   int iattr1 = 1;
-  PitKernelHandle pit;  // per-site kernel slot (PIT steps only)
 };
 
 // Memory-planning summary, the data behind BENCH_pr2's arena metrics.
 struct PlanStats {
-  int64_t arena_bytes = 0;           // peak bytes of the shared arena
+  int64_t arena_bytes = 0;           // peak bytes of one execution context's arena
   int64_t sum_temporary_bytes = 0;   // what eager execution would allocate
   int num_steps = 0;
   int num_inplace = 0;
@@ -94,6 +110,52 @@ struct PlanStats {
   int num_fused = 0;            // matmul+relu pairs collapsed at compile
   int num_wavefronts = 0;       // dependency-DAG depth of the step list
   int max_wavefront_width = 0;  // widest set of concurrently runnable steps
+  // Compile-time wavefront profitability gate: mean estimated arithmetic work
+  // per step across waves of width >= 2, and whether that clears the
+  // dispatch-overhead threshold (kMinParallelStepWork). When false, replay
+  // stays sequential even under PIT_PLAN_SCHED=wavefront — each kernel then
+  // uses the whole pool intra-op, which BENCH_pr4 measured faster for
+  // small-step plans (see SetWavefrontGateEnabled for the test override).
+  double parallel_step_work = 0.0;
+  bool wavefront_profitable = false;
+};
+
+// Per-stream execution state over one shared, immutable ExecutionPlan: the
+// 64-byte-aligned arena, the per-Run feed binding table, and the per-step PIT
+// kernel slots. Contexts are independent — two streams replaying the same
+// plan through distinct contexts share zero mutable state — and reusable: a
+// context pooled across requests keeps its arena and its warmed PIT handles.
+// A context is bound to the plan it was created from; using it with another
+// plan is a checked error.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const ExecutionPlan& plan);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // 64-byte-aligned base of this context's arena (same alignment contract as
+  // the plan's block offsets: concurrent steps never false-share a line).
+  const float* arena_base() const { return arena_; }
+  // Bytes this context's arena pins (the plan's arena_bytes stat) — the unit
+  // the serving engine's pool high-water accounting sums.
+  int64_t arena_bytes() const { return arena_bytes_; }
+
+ private:
+  friend class ExecutionPlan;
+
+  const ExecutionPlan* plan_ = nullptr;  // identity check only, never deref'd for state
+  // Arena storage plus its 64-byte-aligned base pointer (the vector's own
+  // allocation is only 16-byte aligned; the base is rounded up inside it).
+  std::vector<float> arena_storage_;
+  float* arena_ = nullptr;
+  int64_t arena_bytes_ = 0;
+  // Per-node data pointer for kFeed/kWeight nodes (weights copied from the
+  // plan's compile-time bindings, feeds re-bound each Run); indexed by node id.
+  std::vector<const float*> bound_;
+  // Per-step PIT kernel slot (PIT steps only; empty-handle default). Owned by
+  // the context so concurrent streams never race on a shared JIT handle.
+  std::vector<PitKernelHandle> pit_;
 };
 
 // Called after each compute step with the node id and a view of its value
@@ -106,7 +168,7 @@ class ExecutionPlan {
  public:
   // Compiles the plan. `decisions` (nullable) marks which matmul steps run
   // through PIT. The plan snapshots every node shape and attribute it needs
-  // at compile time, so Run never touches the graph's node storage again —
+  // at compile time, so replay never touches the graph's node storage again —
   // an executor holding a Graph::PlanShared handle stays safe even while the
   // graph is concurrently mutated (which invalidates the cache, not this
   // plan). Only the graph's weight tensors must stay alive and in place.
@@ -119,8 +181,9 @@ class ExecutionPlan {
   // value (valid until the next Run or plan destruction). `compiler` is
   // required iff the plan contains PIT steps. `observer`, when set, sees each
   // compute step's output right after the step runs (and forces the
-  // sequential schedule). Not thread-safe: a plan owns one arena, so
-  // concurrent Runs must use distinct plans.
+  // sequential schedule). Not thread-safe: this entry replays through the
+  // plan's built-in default context, so concurrent Runs on one plan race;
+  // concurrent callers must use RunWith over distinct contexts.
   ConstTensorView Run(const std::map<std::string, Tensor>& feeds,
                       PitCompiler* compiler = nullptr, const StepObserver* observer = nullptr);
   // Pointer-feed form for callers that rebind the same feeds every call (the
@@ -128,33 +191,50 @@ class ExecutionPlan {
   ConstTensorView Run(const std::map<std::string, const Tensor*>& feeds,
                       PitCompiler* compiler = nullptr, const StepObserver* observer = nullptr);
 
+  // Replays the plan over a caller-owned execution context. The plan itself
+  // is immutable during replay, so concurrent RunWith calls over *distinct*
+  // contexts are safe from any number of threads and bitwise identical to
+  // single-stream replay — this is the multi-stream serving seam. Two
+  // caveats: a single context must not be run concurrently with itself, and
+  // PIT steps drive the passed PitCompiler, which is not thread-safe —
+  // concurrent PIT streams need one compiler per stream. The returned view
+  // borrows the context's arena (valid until its next RunWith).
+  ConstTensorView RunWith(ExecutionContext& ctx, const std::map<std::string, Tensor>& feeds,
+                          PitCompiler* compiler = nullptr,
+                          const StepObserver* observer = nullptr) const;
+  ConstTensorView RunWith(ExecutionContext& ctx,
+                          const std::map<std::string, const Tensor*>& feeds,
+                          PitCompiler* compiler = nullptr,
+                          const StepObserver* observer = nullptr) const;
+
   const PlanStats& stats() const { return stats_; }
   const std::vector<OpCall>& steps() const { return steps_; }
-  // 64-byte-aligned base of the execution arena (alignment is asserted by
-  // plan_executor_test; concurrent wavefront steps rely on it to never
-  // false-share a cache line across blocks).
-  const float* arena_base() const { return arena_; }
+  // 64-byte-aligned base of the default context's arena (alignment is
+  // asserted by plan_executor_test; every ExecutionContext satisfies the same
+  // contract via ExecutionContext::arena_base).
+  const float* arena_base() const;
 
  private:
-  template <typename FeedMap>
-  ConstTensorView RunImpl(const FeedMap& feeds, PitCompiler* compiler,
-                          const StepObserver* observer);
-  void RunSequential(PitCompiler* compiler, const StepObserver* observer);
-  void RunWavefronts(PitCompiler* compiler);
-  void BuildWavefronts();
-  const float* ResolveConst(const ValueRef& ref) const;
-  float* ResolveArena(const ValueRef& ref);
-  void Dispatch(OpCall& call, PitCompiler* compiler);
+  friend class ExecutionContext;
 
+  template <typename FeedMap>
+  ConstTensorView RunImpl(ExecutionContext& ctx, const FeedMap& feeds, PitCompiler* compiler,
+                          const StepObserver* observer) const;
+  void RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
+                     const StepObserver* observer) const;
+  void RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) const;
+  void BuildWavefronts();
+  const float* ResolveConst(const ValueRef& ref, const ExecutionContext& ctx) const;
+  float* ResolveArena(const ValueRef& ref, ExecutionContext& ctx) const;
+  void Dispatch(int step_index, ExecutionContext& ctx, PitCompiler* compiler) const;
+
+  // ---- Immutable compile products (shared, read-only during replay) --------
   // Compile-time snapshot of every node's shape, indexed by node id. Views
   // handed to kernels borrow these (stable — the plan owns them), never the
   // live graph's nodes.
   std::vector<Shape> shapes_;
   std::vector<OpCall> steps_;
-  // Arena storage plus its 64-byte-aligned base pointer (the vector's own
-  // allocation is only 16-byte aligned; the base is rounded up inside it).
-  std::vector<float> arena_storage_;
-  float* arena_ = nullptr;
+  int64_t arena_elems_ = 0;  // context arena extent, elements (pre-alignment pad)
   // Wavefront partition of steps_: wave w is steps_
   // [wave_steps_[wave_offsets_[w]] .. wave_steps_[wave_offsets_[w+1]]),
   // mutually independent and ordered by step index within the wave.
@@ -162,9 +242,9 @@ class ExecutionPlan {
   // would dilute the real steps' width budget with instant tasks).
   std::vector<int> wave_steps_;
   std::vector<int> wave_offsets_;
-  // Per-node data pointer for kFeed/kWeight nodes (weights bound at compile,
-  // feeds re-bound each Run); indexed by node id.
-  std::vector<const float*> bound_;
+  // Compile-time kFeed/kWeight binding template: weights resolved at compile,
+  // feed slots null. Every ExecutionContext starts as a copy of this.
+  std::vector<const float*> compile_bound_;
   struct FeedBinding {
     int node_id;
     std::string name;
@@ -172,6 +252,14 @@ class ExecutionPlan {
   std::vector<FeedBinding> feed_bindings_;
   ValueRef result_;
   PlanStats stats_;
+
+  // ---- Default execution state (the classic single-stream Run path) -------
+  // Created lazily on first Run()/arena_base(): plans that are only ever
+  // replayed through caller-owned contexts (multi-stream serving) never pin
+  // a dead default arena.
+  ExecutionContext& DefaultCtx() const;
+  mutable std::unique_ptr<ExecutionContext> default_ctx_;
+  mutable std::once_flag default_ctx_once_;
 };
 
 }  // namespace pit

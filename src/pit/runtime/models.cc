@@ -715,6 +715,62 @@ Tensor PlannedFfnStack::RunPlanned(const Tensor& x, PitCompiler* compiler) const
   return *cur;  // value copy for the caller; staging stays reusable
 }
 
+int64_t PlannedFfnStack::Stream::ArenaBytes() const {
+  int64_t total = 0;
+  for (const auto& ctx : contexts) {
+    total += ctx->arena_bytes();
+  }
+  return total;
+}
+
+PlannedFfnStack::Stream PlannedFfnStack::MakeStream(int64_t tokens, bool pit) const {
+  Stream stream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TokenEntry& entry = EntryFor(tokens);
+    stream.plans.reserve(entry.graphs.size());
+    for (size_t l = 0; l < entry.graphs.size(); ++l) {
+      stream.plans.push_back(
+          entry.graphs[l]->PlanShared(pit ? &entry.decisions[l] : nullptr));
+    }
+  }
+  // Contexts, feeds, and staging are private to the stream; the co-owning
+  // plan handles keep the compiled plans alive across cache eviction.
+  stream.contexts.reserve(stream.plans.size());
+  for (const auto& plan : stream.plans) {
+    stream.contexts.push_back(std::make_unique<ExecutionContext>(*plan));
+  }
+  // One staging slot per layer but the last, which writes straight into the
+  // caller's output.
+  for (size_t l = 0; l + 1 < stream.plans.size(); ++l) {
+    stream.staging.emplace_back(Shape{tokens, hidden_});
+  }
+  stream.feeds = {{"x", nullptr}};
+  stream.tokens = tokens;
+  return stream;
+}
+
+void PlannedFfnStack::ForwardWith(Stream& stream, const Tensor& x, PitCompiler* compiler,
+                                  Tensor* out) const {
+  PIT_CHECK(!stream.plans.empty()) << "stream not initialized";
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK(x.dim(0) == stream.tokens && x.dim(1) == hidden_)
+      << "input shape does not match the stream's plans";
+  PIT_CHECK(out != nullptr);
+  PIT_CHECK(out->dim(0) == x.dim(0) && out->dim(1) == x.dim(1));
+  const Tensor* cur = &x;
+  for (size_t l = 0; l < stream.plans.size(); ++l) {
+    stream.feeds["x"] = cur;
+    ConstTensorView res = stream.plans[l]->RunWith(*stream.contexts[l], stream.feeds, compiler);
+    // Stage into the stream-private buffer (the caller's `out` for the last
+    // layer): the next layer binds it as its feed while this layer's arena
+    // is reused. Steady-state forwards allocate nothing.
+    Tensor* dst = l + 1 < stream.plans.size() ? &stream.staging[l] : out;
+    std::copy(res.data(), res.data() + res.size(), dst->data());
+    cur = dst;
+  }
+}
+
 Tensor PlannedFfnStack::Forward(const Tensor& x) const { return RunPlanned(x, nullptr); }
 
 Tensor PlannedFfnStack::ForwardPit(const Tensor& x, PitCompiler& compiler) const {
@@ -743,6 +799,8 @@ PlanStats PlannedFfnStack::StatsFor(int64_t tokens) const {
     total.num_fused += s.num_fused;
     total.num_wavefronts += s.num_wavefronts;
     total.max_wavefront_width = std::max(total.max_wavefront_width, s.max_wavefront_width);
+    total.parallel_step_work = std::max(total.parallel_step_work, s.parallel_step_work);
+    total.wavefront_profitable = total.wavefront_profitable || s.wavefront_profitable;
   }
   return total;
 }
@@ -804,6 +862,51 @@ void PlannedTransformerStack::ForwardInto(const Tensor& x, const Tensor* attn_ma
   }
 }
 
+int64_t PlannedTransformerStack::Stream::ArenaBytes() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) {
+    total += layer.ctx->arena_bytes();
+  }
+  return total;
+}
+
+PlannedTransformerStack::Stream PlannedTransformerStack::MakeStream(int64_t tokens, bool masked,
+                                                                    bool pit) const {
+  Stream stream;
+  stream.layers.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    stream.layers.push_back(layer->MakeStream(tokens, masked, pit));
+  }
+  // One staging slot per layer but the last, which writes straight into the
+  // caller's output. Private to the stream — no stack lock anywhere on this
+  // path (each layer's MakeStream took its own plan-cache lock above).
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    stream.staging.emplace_back(Shape{tokens, hidden_});
+  }
+  stream.tokens = tokens;
+  stream.masked = masked;
+  return stream;
+}
+
+void PlannedTransformerStack::ForwardWith(Stream& stream, const Tensor& x,
+                                          const Tensor* attn_mask, PitCompiler* compiler,
+                                          Tensor* out) const {
+  PIT_CHECK_EQ(stream.layers.size(), layers_.size()) << "stream not initialized for this stack";
+  PIT_CHECK_EQ(x.rank(), 2);
+  PIT_CHECK(x.dim(0) == stream.tokens && x.dim(1) == hidden_)
+      << "input shape does not match the stream's plans";
+  PIT_CHECK((attn_mask != nullptr) == stream.masked)
+      << "mask presence does not match the stream's plans";
+  PIT_CHECK(out != nullptr);
+  PIT_CHECK(out->dim(0) == x.dim(0) && out->dim(1) == x.dim(1));
+  const Tensor* cur = &x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Tensor* dst = l + 1 < layers_.size() ? &stream.staging[l] : out;
+    layers_[l]->ForwardWith(stream.layers[l], *cur, attn_mask, compiler, dst);
+    cur = dst;
+  }
+}
+
 Tensor PlannedTransformerStack::Forward(const Tensor& x, const Tensor* attn_mask) const {
   return RunPlanned(x, attn_mask, nullptr);
 }
@@ -833,6 +936,8 @@ PlanStats PlannedTransformerStack::StatsFor(int64_t tokens, bool masked) const {
     total.num_fused += s.num_fused;
     total.num_wavefronts += s.num_wavefronts;
     total.max_wavefront_width = std::max(total.max_wavefront_width, s.max_wavefront_width);
+    total.parallel_step_work = std::max(total.parallel_step_work, s.parallel_step_work);
+    total.wavefront_profitable = total.wavefront_profitable || s.wavefront_profitable;
   }
   return total;
 }

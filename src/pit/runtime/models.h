@@ -137,6 +137,29 @@ class PlannedFfnStack {
   // differential oracle and the bench baseline for the planned path.
   Tensor ForwardEager(const Tensor& x) const;
 
+  // Per-stream replay state over the stack's shared compiled plans for one
+  // token count: a co-owning plan handle + private ExecutionContext + feed
+  // map per layer, plus private staging buffers. Distinct streams forward
+  // concurrently over the same plans with zero shared mutable state.
+  struct Stream {
+    std::vector<std::shared_ptr<ExecutionPlan>> plans;          // one per layer
+    std::vector<std::unique_ptr<ExecutionContext>> contexts;    // one per layer
+    std::map<std::string, const Tensor*> feeds;
+    std::vector<Tensor> staging;  // per-layer output staging, allocated once
+    int64_t tokens = 0;
+    // Arena bytes the stream's contexts pin (for serving-pool accounting).
+    int64_t ArenaBytes() const;
+    int64_t NumContexts() const { return static_cast<int64_t>(contexts.size()); }
+  };
+  // Builds a stream for `tokens`, compiling/caching the shared plans if
+  // needed (the only part that takes the stack lock). `pit` plans the layers
+  // with their PIT-pass decisions; replay then needs one compiler per
+  // concurrent stream.
+  Stream MakeStream(int64_t tokens, bool pit = false) const;
+  // Lock-free forward over a stream's private contexts: safe concurrently
+  // with other streams' ForwardWith, bitwise identical to Forward.
+  void ForwardWith(Stream& stream, const Tensor& x, PitCompiler* compiler, Tensor* out) const;
+
   // Aggregate memory-planning stats over the dense plans for this token
   // count (compiles them if needed).
   PlanStats StatsFor(int64_t tokens) const;
@@ -197,6 +220,30 @@ class PlannedTransformerStack {
   // Eager reference: direct ops, one fresh tensor per intermediate — the
   // differential oracle and the bench baseline for the planned path.
   Tensor ForwardEager(const Tensor& x, const Tensor* attn_mask = nullptr) const;
+
+  // Per-stream replay state over the stack's shared compiled plans for one
+  // (tokens, masked?) shape: a layer stream per encoder block plus private
+  // staging buffers. ForwardWith over distinct streams is concurrency-safe
+  // and bitwise identical to single-stream Forward — the ServingEngine's
+  // execution seam.
+  struct Stream {
+    std::vector<TransformerEncoderLayer::Stream> layers;
+    std::vector<Tensor> staging;  // layers-1 buffers; last layer writes `out`
+    int64_t tokens = 0;
+    bool masked = false;
+    // Arena bytes the stream's contexts pin (for serving-pool accounting).
+    int64_t ArenaBytes() const;
+    int64_t NumContexts() const { return static_cast<int64_t>(layers.size()); }
+  };
+  // Builds a stream for (tokens, masked?), compiling/caching the layers'
+  // shared plans if needed (locks each layer's plan cache once). `pit` plans
+  // the blocks with their PIT decisions; replay then needs one compiler per
+  // concurrent stream.
+  Stream MakeStream(int64_t tokens, bool masked, bool pit = false) const;
+  // Lock-free forward over a stream's private contexts: safe concurrently
+  // with other streams' ForwardWith, bitwise identical to Forward/ForwardInto.
+  void ForwardWith(Stream& stream, const Tensor& x, const Tensor* attn_mask,
+                   PitCompiler* compiler, Tensor* out) const;
 
   // Aggregate memory-planning stats over the layers' dense plans for this
   // shape (compiles them if needed).

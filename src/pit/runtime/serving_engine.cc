@@ -1,0 +1,193 @@
+#include "pit/runtime/serving_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "pit/common/check.h"
+#include "pit/common/parallel_for.h"
+#include "pit/gpusim/device.h"
+#include "pit/runtime/serving.h"
+
+namespace pit {
+
+namespace {
+
+// Per-stream shape-pool bound, matching the nn-layer plan-cache bound: a
+// long-lived engine under variable-length traffic must not pin arenas for
+// every token count it ever saw.
+constexpr size_t kMaxPooledShapes = 16;
+
+int ResolveNumStreams(const ServingEngineOptions& options) {
+  if (options.num_streams > 0) {
+    return options.num_streams;
+  }
+  if (const char* env = std::getenv("PIT_NUM_STREAMS")) {
+    return ParseNumStreamsEnv(env);
+  }
+  return NumThreads();
+}
+
+}  // namespace
+
+// One request stream: a private pool of per-shape stack streams (shared plan
+// + private contexts), reused across requests and Serve calls, plus the
+// stream's private PitCompiler. Nothing in here is ever touched by another
+// stream.
+struct ServingEngine::StreamState {
+  std::map<std::pair<int64_t, bool>, PlannedTransformerStack::Stream> transformer_pool;
+  std::map<int64_t, PlannedFfnStack::Stream> ffn_pool;
+  std::unique_ptr<PitCompiler> compiler;
+  int64_t requests = 0;
+  // This stream's share of the engine-wide pool accounting.
+  int64_t pooled_contexts = 0;
+  int64_t pooled_arena_bytes = 0;
+};
+
+ServingEngine::ServingEngine(const PlannedTransformerStack& stack,
+                             const ServingEngineOptions& options)
+    : transformer_(&stack) {
+  Init(options);
+}
+
+ServingEngine::ServingEngine(const PlannedFfnStack& stack, const ServingEngineOptions& options)
+    : ffn_(&stack) {
+  Init(options);
+}
+
+void ServingEngine::Init(const ServingEngineOptions& options) {
+  num_streams_ = ResolveNumStreams(options);
+  use_pit_ = options.use_pit;
+  streams_.reserve(static_cast<size_t>(num_streams_));
+  for (int s = 0; s < num_streams_; ++s) {
+    auto state = std::make_unique<StreamState>();
+    if (use_pit_) {
+      state->compiler = std::make_unique<PitCompiler>(V100());
+    }
+    streams_.push_back(std::move(state));
+  }
+  stats_.num_streams = num_streams_;
+  stats_.per_stream_requests.assign(static_cast<size_t>(num_streams_), 0);
+}
+
+ServingEngine::~ServingEngine() = default;
+
+void ServingEngine::AccountPoolDelta(int64_t contexts_delta, int64_t bytes_delta) {
+  const int64_t contexts =
+      pool_contexts_.fetch_add(contexts_delta, std::memory_order_relaxed) + contexts_delta;
+  const int64_t bytes =
+      pool_arena_bytes_.fetch_add(bytes_delta, std::memory_order_relaxed) + bytes_delta;
+  // Fold into the lifetime peaks at growth time: a pool evicted later in the
+  // same Serve must not erase the peak it reached.
+  int64_t hw = pool_contexts_highwater_.load(std::memory_order_relaxed);
+  while (contexts > hw &&
+         !pool_contexts_highwater_.compare_exchange_weak(hw, contexts,
+                                                         std::memory_order_relaxed)) {
+  }
+  hw = pool_arena_bytes_highwater_.load(std::memory_order_relaxed);
+  while (bytes > hw && !pool_arena_bytes_highwater_.compare_exchange_weak(
+                           hw, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Pool, typename Key, typename MakeStreamFn>
+typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Pool& pool,
+                                                        const Key& key, MakeStreamFn&& make) {
+  auto it = pool.find(key);
+  if (it == pool.end()) {
+    if (pool.size() >= kMaxPooledShapes) {
+      AccountPoolDelta(-stream.pooled_contexts, -stream.pooled_arena_bytes);
+      stream.pooled_contexts = 0;
+      stream.pooled_arena_bytes = 0;
+      pool.clear();
+    }
+    it = pool.emplace(key, make()).first;
+    stream.pooled_contexts += it->second.NumContexts();
+    stream.pooled_arena_bytes += it->second.ArenaBytes();
+    AccountPoolDelta(it->second.NumContexts(), it->second.ArenaBytes());
+  }
+  return it->second;
+}
+
+void ServingEngine::ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out) {
+  PIT_CHECK_EQ(request.x.rank(), 2);
+  PitCompiler* compiler = stream.compiler.get();
+  if (transformer_ != nullptr) {
+    const std::pair<int64_t, bool> key{request.x.dim(0), request.attn_mask != nullptr};
+    PlannedTransformerStack::Stream& pooled =
+        PooledStream(stream, stream.transformer_pool, key, [&] {
+          return transformer_->MakeStream(key.first, key.second, use_pit_);
+        });
+    transformer_->ForwardWith(pooled, request.x, request.attn_mask, compiler, out);
+    return;
+  }
+  PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
+  const int64_t key = request.x.dim(0);
+  PlannedFfnStack::Stream& pooled = PooledStream(
+      stream, stream.ffn_pool, key, [&] { return ffn_->MakeStream(key, use_pit_); });
+  ffn_->ForwardWith(pooled, request.x, compiler, out);
+}
+
+std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& requests) {
+  const int64_t n = static_cast<int64_t>(requests.size());
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(n));
+  const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
+  for (const ServeRequest& request : requests) {
+    PIT_CHECK(request.x.rank() == 2 && request.x.dim(1) == hidden)
+        << "request activation must be [tokens, hidden]";
+    outputs.emplace_back(Shape{request.x.dim(0), request.x.dim(1)});
+  }
+  std::vector<double> latencies(static_cast<size_t>(n), 0.0);
+
+  // Work-conserving M:N dispatch: each stream worker greedily claims the
+  // next unserved request, so a long request never leaves streams idle while
+  // work remains. Requests never split across streams — per-request replay
+  // order (and therefore bits) is independent of the claim interleaving.
+  std::atomic<int64_t> next{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_us = [&t0] {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const int budget = std::max(1, NumThreads() / std::max(1, num_streams_));
+  ParallelTasks(num_streams_, budget, [&](int64_t s) {
+    StreamState& stream = *streams_[static_cast<size_t>(s)];
+    for (int64_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      ServeOn(stream, requests[static_cast<size_t>(i)], &outputs[static_cast<size_t>(i)]);
+      latencies[static_cast<size_t>(i)] = elapsed_us();
+      ++stream.requests;
+    }
+  });
+  const double wall_us = elapsed_us();
+
+  // Lifetime + last-call statistics (single-caller engine: no worker is
+  // running here anymore, so plain reads of the stream states are safe).
+  stats_.requests += n;
+  stats_.wall_us = wall_us;
+  stats_.requests_per_sec = wall_us > 0.0 ? static_cast<double>(n) / (wall_us / 1e6) : 0.0;
+  for (int s = 0; s < num_streams_; ++s) {
+    stats_.per_stream_requests[static_cast<size_t>(s)] = streams_[static_cast<size_t>(s)]->requests;
+  }
+  stats_.pool_contexts = pool_contexts_.load(std::memory_order_relaxed);
+  stats_.pool_contexts_highwater = pool_contexts_highwater_.load(std::memory_order_relaxed);
+  stats_.pool_arena_bytes = pool_arena_bytes_.load(std::memory_order_relaxed);
+  stats_.pool_arena_bytes_highwater = pool_arena_bytes_highwater_.load(std::memory_order_relaxed);
+  if (n > 0) {
+    double sum = 0.0;
+    for (double l : latencies) {
+      sum += l;
+    }
+    stats_.mean_latency_us = sum / static_cast<double>(n);
+    std::sort(latencies.begin(), latencies.end());
+    stats_.p50_latency_us = PercentileNearestRank(latencies, 0.50);
+    stats_.p99_latency_us = PercentileNearestRank(latencies, 0.99);
+  }
+  return outputs;
+}
+
+}  // namespace pit

@@ -1,0 +1,137 @@
+// Throughput-oriented multi-stream serving engine over the planned stacks.
+//
+// The compile-once/execute-many seam (shared immutable ExecutionPlans, PR 2-4)
+// served one request stream: a plan's arena was its execution state, so a
+// second in-flight forward had to wait. This engine exploits the plan/context
+// split: every stream holds private ExecutionContexts over the stack's shared
+// plans (one per layer per served shape, pooled and reused across requests),
+// so N streams replay the same compiled plans concurrently with zero
+// cross-stream shared mutable state — inter-request parallelism, which
+// BENCH_pr4 showed is where the hardware headroom is once intra-plan
+// wavefronts stop paying (small per-step work at serving-size shapes).
+//
+// Scheduling: one worker per stream on the task-capable ParallelFor pool
+// (ParallelTasks), each greedily pulling the next request off a shared atomic
+// cursor — a work-conserving M:N scheduler, not a static partition, so a
+// stream stuck on a long request never idles the others. Each worker runs
+// with an intra-op width budget of ~threads/streams; inside a worker the
+// plan replays sequentially (ParallelRegionActive) and its kernels fan out
+// to the worker's budget, which keeps every result bitwise identical to
+// single-stream replay at any (streams x threads x scheduler) combination:
+// requests never split across streams, contexts never cross streams, and
+// every kernel is chunk-count deterministic.
+//
+// The stream count resolves from ServingEngineOptions::num_streams, else the
+// strict-parsed PIT_NUM_STREAMS environment knob, else NumThreads().
+#ifndef PIT_RUNTIME_SERVING_ENGINE_H_
+#define PIT_RUNTIME_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pit/runtime/models.h"
+#include "pit/tensor/tensor.h"
+
+namespace pit {
+
+// One inference request: an activation batch and an optional attention mask
+// (transformer stacks only; FFN stacks require mask == nullptr). The mask
+// must outlive the Serve call.
+struct ServeRequest {
+  Tensor x;                           // [tokens, hidden]
+  const Tensor* attn_mask = nullptr;  // [tokens, tokens] or nullptr
+};
+
+struct ServingEngineOptions {
+  // > 0: explicit stream count. 0: resolve PIT_NUM_STREAMS (strict-parsed,
+  // like PIT_NUM_THREADS), falling back to NumThreads().
+  int num_streams = 0;
+  // Route the stacks' sparse matmuls through PIT. Each stream owns a private
+  // PitCompiler (the compiler's JIT cache is not thread-safe) with periodic
+  // resampling left disabled, so kernel selection is a pure function of the
+  // input and results stay independent of request-to-stream assignment.
+  bool use_pit = false;
+};
+
+// Aggregate statistics of the engine's lifetime (latencies of the most
+// recent Serve call; pool high-water marks across all calls).
+struct ServingEngineStats {
+  int num_streams = 0;
+  int64_t requests = 0;       // total requests served over the engine lifetime
+  double wall_us = 0.0;       // wall-clock of the last Serve call
+  double requests_per_sec = 0.0;
+  double mean_latency_us = 0.0;  // arrival (= Serve start) -> completion
+  double p50_latency_us = 0.0;   // nearest-rank percentiles (PercentileNearestRank)
+  double p99_latency_us = 0.0;
+  // Context/arena pool accounting: streams cache one context set per served
+  // (token count, masked?) shape and reuse it across requests; high-water
+  // marks track the peak pinned footprint over the engine's lifetime.
+  int64_t pool_contexts = 0;             // currently pooled ExecutionContexts
+  int64_t pool_contexts_highwater = 0;
+  int64_t pool_arena_bytes = 0;          // bytes pinned by pooled arenas
+  int64_t pool_arena_bytes_highwater = 0;
+  std::vector<int64_t> per_stream_requests;  // lifetime request count per stream
+};
+
+// Drives a pinned PlannedTransformerStack (or PlannedFfnStack) over request
+// streams. The engine is itself single-caller (one Serve at a time); all
+// parallelism is internal. Streams and their context pools persist across
+// Serve calls, so steady-state serving recompiles and reallocates nothing
+// for already-seen shapes.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const PlannedTransformerStack& stack,
+                         const ServingEngineOptions& options = {});
+  explicit ServingEngine(const PlannedFfnStack& stack, const ServingEngineOptions& options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  // Serves every request to completion across the engine's streams and
+  // returns the outputs in request order. Per-request results are bitwise
+  // identical to single-stream replay (and to the stack's Forward) for any
+  // (streams x threads x scheduler) combination.
+  std::vector<Tensor> Serve(const std::vector<ServeRequest>& requests);
+
+  int num_streams() const { return num_streams_; }
+  const ServingEngineStats& stats() const { return stats_; }
+
+ private:
+  struct StreamState;
+
+  // Shared constructor body: stream-state allocation, per-stream compilers,
+  // stats init (the two public constructors differ only in which stack
+  // pointer they set).
+  void Init(const ServingEngineOptions& options);
+  void ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out);
+  // Finds (or builds, evicting at the shape bound) the stream's pooled state
+  // for `key` — the one implementation of the lookup/evict/account protocol
+  // both stack types go through.
+  template <typename Pool, typename Key, typename MakeStreamFn>
+  typename Pool::mapped_type& PooledStream(StreamState& stream, Pool& pool, const Key& key,
+                                           MakeStreamFn&& make);
+  // Adjusts the live pool totals by the given deltas and folds the result
+  // into the high-water marks. Called from concurrent stream workers at the
+  // moment a pool grows (or is evicted), so the marks capture mid-Serve
+  // peaks, not just the Serve-end snapshot.
+  void AccountPoolDelta(int64_t contexts_delta, int64_t bytes_delta);
+
+  const PlannedTransformerStack* transformer_ = nullptr;  // exactly one of the
+  const PlannedFfnStack* ffn_ = nullptr;                  // two stacks is set
+  int num_streams_ = 1;
+  bool use_pit_ = false;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  // Live pool totals + lifetime peaks, updated by workers as pools change.
+  std::atomic<int64_t> pool_contexts_{0};
+  std::atomic<int64_t> pool_arena_bytes_{0};
+  std::atomic<int64_t> pool_contexts_highwater_{0};
+  std::atomic<int64_t> pool_arena_bytes_highwater_{0};
+  ServingEngineStats stats_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_RUNTIME_SERVING_ENGINE_H_

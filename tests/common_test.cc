@@ -119,6 +119,28 @@ TEST(EnvParsingTest, NumThreadsRejectsZeroAndNegative) {
   EXPECT_DEATH(ParseNumThreadsEnv("99999999999999999999"), "PIT_NUM_THREADS");
 }
 
+TEST(EnvParsingTest, NumStreamsAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseNumStreamsEnv("1"), 1);
+  EXPECT_EQ(ParseNumStreamsEnv("4"), 4);
+  EXPECT_EQ(ParseNumStreamsEnv("8"), 8);
+  EXPECT_EQ(ParseNumStreamsEnv("128"), 128);
+}
+
+TEST(EnvParsingTest, NumStreamsRejectsNonNumeric) {
+  EXPECT_DEATH(ParseNumStreamsEnv("abc"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv("4x"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv("2.5"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv(""), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv(" 4"), "PIT_NUM_STREAMS");
+}
+
+TEST(EnvParsingTest, NumStreamsRejectsZeroAndNegative) {
+  EXPECT_DEATH(ParseNumStreamsEnv("0"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv("-1"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv("-8"), "PIT_NUM_STREAMS");
+  EXPECT_DEATH(ParseNumStreamsEnv("99999999999999999999"), "PIT_NUM_STREAMS");
+}
+
 TEST(EnvParsingTest, BackendAcceptsKnownNames) {
   EXPECT_EQ(ParseBackendEnv("blocked"), ComputeBackend::kBlocked);
   EXPECT_EQ(ParseBackendEnv("reference"), ComputeBackend::kReference);

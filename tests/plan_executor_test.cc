@@ -610,6 +610,10 @@ TEST(PlanExecutorTest, PlannedTransformerStackMatchesEager) {
 // OpKind: the wavefront schedule must reproduce the sequential oracle (and
 // eager execution) exactly at any thread count.
 void ExpectSchedulerSweepMatchesEager(Graph& g, const std::map<std::string, Tensor>& feeds) {
+  // Gate off: these graphs are deliberately small, and the differential value
+  // is in actually dispatching the wavefront path, not in the gate's seq
+  // fallback (which would make the sweep vacuously compare seq to seq).
+  ScopedWavefrontGate gate_off(false);
   Tensor base;
   {
     ScopedPlanSched sched(PlanSched::kSequential);
@@ -677,6 +681,7 @@ TEST(PlanExecutorTest, WavefrontEncoderLayerHasInterOpParallelism) {
 
   Rng xr(70);
   Tensor x = Tensor::Random({16, 32}, xr);
+  ScopedWavefrontGate gate_off(false);  // force real wavefront dispatch
   Tensor base;
   {
     ScopedPlanSched sched(PlanSched::kSequential);
@@ -698,6 +703,7 @@ TEST(PlanExecutorTest, WavefrontPitPathBitwiseMatchesSequentialPit) {
   PlannedFfnStack stack(2, 16, 64, rng);
   Rng xr(72);
   Tensor x = Tensor::Random({24, 16}, xr);
+  ScopedWavefrontGate gate_off(false);  // force real wavefront dispatch
   Tensor base;
   {
     ScopedPlanSched sched(PlanSched::kSequential);
@@ -717,6 +723,7 @@ TEST(PlanExecutorTest, RandomizedGraphFuzzWavefrontMatchesSequential) {
   // Randomized-graph differential fuzz: arbitrary legal op chains (with
   // shared subexpressions, aliasing reshapes, and block-reuse pressure) must
   // replay identically under both schedulers at every thread count.
+  ScopedWavefrontGate gate_off(false);  // force real wavefront dispatch
   Rng rng(73);
   for (int trial = 0; trial < 12; ++trial) {
     const int64_t rows = 8 + static_cast<int64_t>(rng.NextBelow(3)) * 4;   // 8/12/16
@@ -867,6 +874,7 @@ TEST(PlanExecutorTest, FusionKeepsOperandsLiveUntilTheRelusPosition) {
 
   Rng xr(82);
   std::map<std::string, Tensor> feeds{{"x", Tensor::Random({8, 8}, xr)}};
+  ScopedWavefrontGate gate_off(false);  // force real wavefront dispatch
   for (const ComputeBackend backend : {ComputeBackend::kBlocked, ComputeBackend::kReference}) {
     ScopedBackend guard(backend);
     for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
@@ -944,6 +952,206 @@ TEST(PlanExecutorTest, PlanHandleSurvivesConcurrentGraphMutation) {
   std::shared_ptr<ExecutionPlan> fresh = g.PlanShared();
   ConstTensorView out = fresh->Run(feeds);
   EXPECT_EQ(out.size(), 16 * 8);
+}
+
+// ---- Shared-plan / per-context multi-stream replay (PR 5) ------------------
+
+TEST(PlanExecutorTest, ExecutionContextArenaAlignedAndSized) {
+  Rng rng(83);
+  Graph g = BuildTransformerOpsGraph(12, 4, 8, rng);
+  std::shared_ptr<ExecutionPlan> plan = g.PlanShared();
+  ExecutionContext ctx(*plan);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(ctx.arena_base()) % 64, 0u)
+      << "every context arena must start on a cache line, like the default one";
+  EXPECT_EQ(ctx.arena_bytes(), plan->stats().arena_bytes);
+  EXPECT_NE(ctx.arena_base(), plan->arena_base()) << "contexts must not share the default arena";
+}
+
+TEST(PlanExecutorTest, RunWithContextMatchesDefaultRun) {
+  Rng rng(84);
+  Graph g = BuildAllOpsGraph(24, 16, rng);
+  auto feeds = AllOpsFeeds(24, 16, 85);
+  std::shared_ptr<ExecutionPlan> plan = g.PlanShared();
+
+  Tensor base(g.node(g.size() - 1).shape);
+  {
+    ConstTensorView out = plan->Run(feeds);
+    std::copy(out.data(), out.data() + out.size(), base.data());
+  }
+  ExecutionContext ctx(*plan);
+  ConstTensorView out = plan->RunWith(ctx, feeds);
+  ExpectBitwiseEqual(Tensor(base.shape(), std::vector<float>(out.data(), out.data() + out.size())),
+                     base);
+  // Context reuse across changing feed values replays over the same arena.
+  auto feeds2 = AllOpsFeeds(24, 16, 86);
+  ConstTensorView out2 = plan->RunWith(ctx, feeds2);
+  ConstTensorView base2 = plan->Run(feeds2);
+  ASSERT_EQ(std::memcmp(out2.data(), base2.data(),
+                        static_cast<size_t>(base2.size()) * sizeof(float)),
+            0);
+}
+
+TEST(PlanExecutorTest, ConcurrentStreamsOverOneSharedPlanAreBitwiseIdentical) {
+  // The tentpole contract: one immutable plan, N private contexts, N OS
+  // threads replaying concurrently with distinct inputs — every stream's
+  // result must be bitwise identical to the single-stream default replay of
+  // its own input. Run under both schedulers and several pool widths (the
+  // pool is shared infrastructure the streams' nested kernels contend on).
+  Rng rng(87);
+  Graph g = BuildAllOpsGraph(20, 12, rng);
+  std::shared_ptr<ExecutionPlan> plan = g.PlanShared();
+  // Gate off so the wavefront iterations genuinely dispatch concurrent plan
+  // steps from several OS threads at once — the strongest TSan surface this
+  // suite has (concurrent ParallelTasks jobs over one shared pool).
+  ScopedWavefrontGate gate_off(false);
+
+  constexpr int kStreams = 4;
+  constexpr int kRepeats = 8;
+  std::vector<std::map<std::string, Tensor>> feeds;
+  std::vector<Tensor> expected;
+  for (int s = 0; s < kStreams; ++s) {
+    feeds.push_back(AllOpsFeeds(20, 12, 90 + static_cast<uint64_t>(s)));
+    ConstTensorView out = plan->Run(feeds.back());
+    expected.emplace_back(g.node(g.size() - 1).shape,
+                          std::vector<float>(out.data(), out.data() + out.size()));
+  }
+
+  for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+    for (int t : {1, 4}) {
+      ScopedPlanSched sched_guard(sched);
+      ScopedNumThreads threads(t);
+      std::vector<std::unique_ptr<ExecutionContext>> contexts;
+      for (int s = 0; s < kStreams; ++s) {
+        contexts.push_back(std::make_unique<ExecutionContext>(*plan));
+      }
+      std::atomic<int> failures{0};
+      std::vector<std::thread> workers;
+      for (int s = 0; s < kStreams; ++s) {
+        workers.emplace_back([&, s] {
+          for (int r = 0; r < kRepeats; ++r) {
+            ConstTensorView out =
+                plan->RunWith(*contexts[static_cast<size_t>(s)], feeds[static_cast<size_t>(s)]);
+            if (std::memcmp(out.data(), expected[static_cast<size_t>(s)].data(),
+                            static_cast<size_t>(out.size()) * sizeof(float)) != 0) {
+              failures.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (auto& w : workers) {
+        w.join();
+      }
+      EXPECT_EQ(failures.load(), 0)
+          << "stream diverged from single-stream replay (sched="
+          << (sched == PlanSched::kWavefront ? "wavefront" : "seq") << ", threads=" << t << ")";
+    }
+  }
+}
+
+TEST(PlanExecutorTest, ContextFromAnotherPlanIsRejected) {
+  Rng rng(88);
+  Graph g1 = BuildFfnGraph(8, 8, 16, rng);
+  Graph g2 = BuildFfnGraph(8, 8, 16, rng);
+  std::shared_ptr<ExecutionPlan> p1 = g1.PlanShared();
+  std::shared_ptr<ExecutionPlan> p2 = g2.PlanShared();
+  ExecutionContext ctx(*p2);
+  Rng xr(89);
+  Tensor x = Tensor::Random({8, 8}, xr);
+  std::map<std::string, const Tensor*> feeds{{"x", &x}};
+  EXPECT_DEATH(p1->RunWith(ctx, feeds), "different plan");
+}
+
+TEST(PlanExecutorTest, EncoderLayerStreamsForwardConcurrently) {
+  // The nn seam: MakeStream hands out per-stream state over the layer's
+  // cached plan; concurrent ForwardWith calls (distinct streams, shared
+  // immutable plan) must match ForwardInto bitwise.
+  Rng rng(91);
+  TransformerEncoderLayer layer(32, 4, 96, rng);
+  constexpr int kStreams = 3;
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  Rng xr(92);
+  for (int s = 0; s < kStreams; ++s) {
+    inputs.push_back(Tensor::Random({16, 32}, xr));
+    expected.push_back(layer.Forward(inputs.back()));
+  }
+  ScopedNumThreads threads(4);
+  std::vector<TransformerEncoderLayer::Stream> streams;
+  for (int s = 0; s < kStreams; ++s) {
+    streams.push_back(layer.MakeStream(16, /*masked=*/false));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int s = 0; s < kStreams; ++s) {
+    workers.emplace_back([&, s] {
+      Tensor out(Shape{16, 32});
+      for (int r = 0; r < 6; ++r) {
+        layer.ForwardWith(streams[static_cast<size_t>(s)], inputs[static_cast<size_t>(s)],
+                          nullptr, nullptr, &out);
+        if (std::memcmp(out.data(), expected[static_cast<size_t>(s)].data(),
+                        static_cast<size_t>(out.size()) * sizeof(float)) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Wavefront profitability gate (PR 5 satellite) -------------------------
+
+TEST(PlanExecutorTest, WavefrontGateKeepsSmallStepPlansSequential) {
+  // Serving-size encoder blocks carry ~17 MFLOP projection GEMMs in their
+  // widest wave — BENCH_pr4 measured wavefront replay losing there, so the
+  // compile-time gate must mark them unprofitable (replay falls back to seq
+  // and each kernel keeps the whole pool).
+  Rng rng(93);
+  TransformerEncoderLayer layer(256, 8, 1024, rng);
+  const PlanStats stats = layer.PlanStatsFor(128);
+  EXPECT_GT(stats.max_wavefront_width, 1);
+  EXPECT_GT(stats.parallel_step_work, 0.0);
+  EXPECT_FALSE(stats.wavefront_profitable)
+      << "mean parallel-step work " << stats.parallel_step_work
+      << " should fall below the gate threshold";
+}
+
+TEST(PlanExecutorTest, WavefrontGateEngagesForLargeIndependentSteps) {
+  // Four independent 384^3 GEMMs (~113 MFLOP each) in one wave: big enough
+  // that inter-op overlap amortizes the task dispatch — the gate must keep
+  // wavefront replay on, and the schedule must stay bitwise equal to seq.
+  Rng rng(94);
+  Graph g;
+  const int x = g.AddInput("x", {384, 384});
+  std::vector<int> branches;
+  for (int b = 0; b < 4; ++b) {
+    const int w = g.AddWeight("w" + std::to_string(b),
+                              Tensor::Random({384, 384}, rng, -0.1f, 0.1f));
+    branches.push_back(g.AddMatmul("mm" + std::to_string(b), x, w));
+  }
+  const int s1 = g.AddAdd("s1", branches[0], branches[1]);
+  const int s2 = g.AddAdd("s2", branches[2], branches[3]);
+  g.AddAdd("out", s1, s2);
+  g.PropagateSparsity();
+
+  const ExecutionPlan& plan = g.Plan();
+  EXPECT_GE(plan.stats().max_wavefront_width, 4);
+  EXPECT_TRUE(plan.stats().wavefront_profitable)
+      << "mean parallel-step work " << plan.stats().parallel_step_work;
+
+  Rng xr(95);
+  std::map<std::string, Tensor> feeds{{"x", Tensor::Random({384, 384}, xr)}};
+  Tensor base;
+  {
+    ScopedPlanSched sched(PlanSched::kSequential);
+    ScopedNumThreads threads(1);
+    base = g.Run(feeds);
+  }
+  ScopedPlanSched sched(PlanSched::kWavefront);
+  ScopedNumThreads threads(4);
+  ExpectBitwiseEqual(g.Run(feeds), base);  // gate-on wavefront dispatch, bitwise
 }
 
 }  // namespace

@@ -1,0 +1,284 @@
+// Differential suite for the multi-stream serving engine: per-request outputs
+// must be bitwise identical to single-stream replay (and to the stacks' eager
+// oracles) for any (streams x scheduler x thread count) combination, across
+// mixed request shapes, masked and unmasked, with reused context pools. The
+// suite runs under TSan in CI: concurrent streams over shared immutable plans
+// must be provably race-free, not just stable on one machine.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pit/common/backend.h"
+#include "pit/common/parallel_for.h"
+#include "pit/common/rng.h"
+#include "pit/runtime/models.h"
+#include "pit/runtime/serving_engine.h"
+#include "pit/tensor/ops.h"
+
+namespace pit {
+namespace {
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), static_cast<size_t>(a.size()) * sizeof(float)), 0)
+      << "max abs diff " << MaxAbsDiff(a, b);
+}
+
+Tensor MakeMask(int64_t tokens, Rng& rng) {
+  Tensor mask = Tensor::RandomSparse({tokens, tokens}, 0.4, rng);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+// A request mix over several token counts, some masked. Masks are keyed by
+// token count and owned here (requests reference them).
+struct RequestMix {
+  std::vector<ServeRequest> requests;
+  std::vector<Tensor> masks;  // one per distinct token count, index parallel to token_counts
+  std::vector<int64_t> token_counts;
+};
+
+RequestMix BuildMix(int64_t hidden, const std::vector<int64_t>& token_counts, int per_shape,
+                    uint64_t seed) {
+  RequestMix mix;
+  mix.token_counts = token_counts;
+  Rng rng(seed);
+  for (int64_t tokens : token_counts) {
+    mix.masks.push_back(MakeMask(tokens, rng));
+  }
+  // Interleave shapes and mask usage so consecutive requests rarely share a
+  // pooled context (the pool-reuse path still gets hit via repeats).
+  for (int r = 0; r < per_shape; ++r) {
+    for (size_t t = 0; t < token_counts.size(); ++t) {
+      ServeRequest req;
+      req.x = Tensor::Random({token_counts[t], hidden}, rng);
+      if ((r + static_cast<int>(t)) % 2 == 1) {
+        req.attn_mask = &mix.masks[t];
+      }
+      mix.requests.push_back(std::move(req));
+    }
+  }
+  return mix;
+}
+
+TEST(ServingEngineTest, MatchesEagerAcrossStreamsSchedulersAndThreads) {
+  Rng wr(1);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {8, 12, 16}, 4, 2);
+
+  // Oracle: the eager per-op composition, one request at a time.
+  std::vector<Tensor> expected;
+  for (const ServeRequest& req : mix.requests) {
+    expected.push_back(stack.ForwardEager(req.x, req.attn_mask));
+  }
+
+  for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+    for (int threads : {1, 4}) {
+      for (int streams : {1, 2, 4}) {
+        ScopedPlanSched sched_guard(sched);
+        ScopedNumThreads thread_guard(threads);
+        ServingEngineOptions options;
+        options.num_streams = streams;
+        ServingEngine engine(stack, options);
+        std::vector<Tensor> outputs = engine.Serve(mix.requests);
+        ASSERT_EQ(outputs.size(), expected.size());
+        for (size_t i = 0; i < outputs.size(); ++i) {
+          ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i]))
+              << "request " << i << " (streams=" << streams << ", threads=" << threads
+              << ", sched=" << (sched == PlanSched::kWavefront ? "wavefront" : "seq") << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ServingEngineTest, RandomizedRequestMixFuzzMatchesSingleStream) {
+  // Fuzzed request streams (random token counts, random mask usage, random
+  // order) served at several stream counts must reproduce the 1-stream
+  // engine's outputs bitwise — the request-to-stream assignment must be
+  // invisible in the results.
+  Rng wr(3);
+  PlannedTransformerStack stack(2, 16, 2, 48, wr);
+  Rng fuzz(4);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<int64_t> counts;
+    std::vector<Tensor> masks;
+    for (int c = 0; c < 3; ++c) {
+      counts.push_back(4 + static_cast<int64_t>(fuzz.NextBelow(12)));
+      masks.push_back(MakeMask(counts.back(), fuzz));
+    }
+    std::vector<ServeRequest> requests;
+    const int n = 6 + static_cast<int>(fuzz.NextBelow(10));
+    for (int i = 0; i < n; ++i) {
+      const size_t pick = fuzz.NextBelow(counts.size());
+      ServeRequest req;
+      req.x = Tensor::Random({counts[pick], 16}, fuzz);
+      if (fuzz.NextBool(0.5)) {
+        req.attn_mask = &masks[pick];
+      }
+      requests.push_back(std::move(req));
+    }
+
+    ScopedNumThreads threads(4);
+    ServingEngineOptions single;
+    single.num_streams = 1;
+    ServingEngine baseline(stack, single);
+    std::vector<Tensor> expected = baseline.Serve(requests);
+
+    for (int streams : {2, 3}) {
+      ServingEngineOptions options;
+      options.num_streams = streams;
+      ServingEngine engine(stack, options);
+      std::vector<Tensor> outputs = engine.Serve(requests);
+      ASSERT_EQ(outputs.size(), expected.size());
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i]))
+            << "fuzz trial " << trial << " request " << i << " streams " << streams;
+      }
+    }
+  }
+}
+
+TEST(ServingEngineTest, ContextPoolsReuseAndReportHighWater) {
+  Rng wr(5);
+  PlannedTransformerStack stack(2, 16, 2, 48, wr);
+  RequestMix mix = BuildMix(16, {8, 12}, 3, 6);
+
+  ScopedNumThreads threads(2);
+  ServingEngineOptions options;
+  options.num_streams = 2;
+  ServingEngine engine(stack, options);
+  engine.Serve(mix.requests);
+  const ServingEngineStats first = engine.stats();
+  EXPECT_EQ(first.requests, static_cast<int64_t>(mix.requests.size()));
+  EXPECT_EQ(first.num_streams, 2);
+  EXPECT_GT(first.requests_per_sec, 0.0);
+  EXPECT_GE(first.p99_latency_us, first.p50_latency_us);
+  EXPECT_LE(first.p99_latency_us, first.wall_us);
+  // Pools exist and the high-water covers the current footprint. Each stream
+  // pools at most one context set per (tokens, masked?) it actually served.
+  EXPECT_GT(first.pool_contexts, 0);
+  EXPECT_GT(first.pool_arena_bytes, 0);
+  EXPECT_GE(first.pool_contexts_highwater, first.pool_contexts);
+  EXPECT_GE(first.pool_arena_bytes_highwater, first.pool_arena_bytes);
+  const int64_t max_sets = 2 * 4;  // streams x (2 token counts x masked?)
+  EXPECT_LE(first.pool_contexts, max_sets * stack.layers());
+  int64_t assigned = 0;
+  for (int64_t r : first.per_stream_requests) {
+    assigned += r;
+  }
+  EXPECT_EQ(assigned, first.requests);
+
+  // A second Serve over the same shapes at most fills pool gaps (the greedy
+  // request claiming is timing-dependent, so a stream may meet a shape for
+  // the first time here): the pool never exceeds the per-shape bound and the
+  // high-water only moves up.
+  engine.Serve(mix.requests);
+  const ServingEngineStats second = engine.stats();
+  EXPECT_EQ(second.requests, 2 * first.requests);
+  EXPECT_GE(second.pool_contexts, first.pool_contexts);
+  EXPECT_LE(second.pool_contexts, max_sets * stack.layers());
+  EXPECT_GE(second.pool_arena_bytes_highwater, first.pool_arena_bytes_highwater);
+
+  // A single-stream engine claims deterministically: its pool is complete
+  // after one Serve and strictly reused afterwards — zero growth.
+  ServingEngineOptions one;
+  one.num_streams = 1;
+  ServingEngine single(stack, one);
+  single.Serve(mix.requests);
+  const ServingEngineStats s1 = single.stats();
+  single.Serve(mix.requests);
+  const ServingEngineStats s2 = single.stats();
+  EXPECT_EQ(s2.pool_contexts, s1.pool_contexts);
+  EXPECT_EQ(s2.pool_arena_bytes, s1.pool_arena_bytes);
+  EXPECT_EQ(s2.pool_arena_bytes_highwater, s1.pool_arena_bytes_highwater);
+}
+
+TEST(ServingEngineTest, FfnStackServingMatchesEager) {
+  Rng wr(7);
+  PlannedFfnStack stack(3, 16, 64, wr);
+  Rng rr(8);
+  std::vector<ServeRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    ServeRequest req;
+    req.x = Tensor::Random({8 + 4 * (i % 3), 16}, rr);
+    requests.push_back(std::move(req));
+  }
+  ScopedNumThreads threads(4);
+  ServingEngineOptions options;
+  options.num_streams = 3;
+  ServingEngine engine(stack, options);
+  std::vector<Tensor> outputs = engine.Serve(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], stack.ForwardEager(requests[i].x)))
+        << "request " << i;
+  }
+}
+
+TEST(ServingEngineTest, PitServingMatchesSingleStreamPit) {
+  // PIT streams each own a compiler with resampling off, so kernel selection
+  // is a pure function of the input — outputs must be independent of the
+  // request-to-stream assignment.
+  Rng wr(9);
+  PlannedFfnStack stack(2, 16, 64, wr);
+  Rng rr(10);
+  std::vector<ServeRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    ServeRequest req;
+    req.x = Tensor::Random({12, 16}, rr);
+    requests.push_back(std::move(req));
+  }
+  ScopedNumThreads threads(4);
+  ServingEngineOptions pit;
+  pit.use_pit = true;
+  pit.num_streams = 1;
+  ServingEngine baseline(stack, pit);
+  std::vector<Tensor> expected = baseline.Serve(requests);
+
+  pit.num_streams = 3;
+  ServingEngine engine(stack, pit);
+  std::vector<Tensor> outputs = engine.Serve(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i])) << "request " << i;
+  }
+}
+
+TEST(ServingEngineTest, NumStreamsResolvesFromOptionsThenEnvThenThreads) {
+  Rng wr(11);
+  PlannedFfnStack stack(1, 8, 16, wr);
+  // Pin the environment so the test exercises all three resolution tiers
+  // deterministically, whatever the invoking shell exported.
+  const char* saved = std::getenv("PIT_NUM_STREAMS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  setenv("PIT_NUM_STREAMS", "7", /*overwrite=*/1);
+  {
+    // Explicit option wins over the environment.
+    ServingEngineOptions options;
+    options.num_streams = 5;
+    ServingEngine engine(stack, options);
+    EXPECT_EQ(engine.num_streams(), 5);
+  }
+  {
+    // No option: the strict-parsed environment knob decides.
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.num_streams(), 7);
+  }
+  unsetenv("PIT_NUM_STREAMS");
+  {
+    // Neither: the engine defaults to the worker count.
+    ScopedNumThreads threads(3);
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.num_streams(), 3);
+  }
+  if (saved != nullptr) {
+    setenv("PIT_NUM_STREAMS", saved_value.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace pit
