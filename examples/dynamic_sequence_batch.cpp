@@ -1,61 +1,86 @@
 // Varying sequence lengths in a batch (§2.1 Fig. 2c; BERT/OPT scenarios).
 //
-// A padded batch is a dynamically row-sparse tensor: padding rows are zero.
-// The example embeds a ragged batch, shows the padding waste, runs a whole
-// transformer encoder layer with PIT executing the FFN on the sparse rows,
-// and prices BERT end-to-end across engines.
+// A padded batch is a dynamically row-sparse tensor — and the serving engine's
+// continuous ragged batching is the micro-tile permutation applied to the
+// batch axis: mixed-length requests SRead-gather into one bucket-padded dense
+// tile, replay a shared plan behind a block-diagonal attention mask, and
+// SWrite-scatter back out. The example serves a mixed-length request stream
+// end-to-end twice — 1:1 and batched — verifies the outputs are bitwise
+// identical, and contrasts pad-to-max waste with packed-bucket utilization
+// and plan-pool cardinality.
 #include <cstdio>
+#include <cstring>
 
-#include "pit/nn/modules.h"
-#include "pit/runtime/models.h"
+#include "pit/runtime/serving_engine.h"
 #include "pit/workloads/seq_len.h"
 
 int main() {
   using namespace pit;
-  std::printf("PIT example: dynamic sequence lengths (padding as sparsity)\n\n");
+  std::printf("PIT example: continuous ragged batching (padding as sparsity)\n\n");
 
   Rng rng(21);
-  auto lens = SampleBatchLens(DatasetSeqLens("mnli"), 8, rng);
-  const int64_t max_len = MaxLen(lens);
-  std::printf("batch lengths:");
+  const auto lens = SampleBatchLens(DatasetSeqLens("mnli"), 24, rng);
+  std::printf("request lengths:");
   for (int64_t l : lens) {
     std::printf(" %lld", static_cast<long long>(l));
   }
-  std::printf("\npadded to %lld -> padding waste %.1f%%\n\n", static_cast<long long>(max_len),
-              PaddingWaste(lens) * 100.0);
+  std::printf("\npad-to-max would compute %lld rows per request -> %.1f%% padding waste\n\n",
+              static_cast<long long>(MaxLen(lens)), PaddingWaste(lens) * 100.0);
 
-  // Embed the ragged batch into [batch*max_len, hidden] with zero padding.
   const int64_t hidden = 32;
-  Tensor x = Tensor::Zeros({static_cast<int64_t>(lens.size()) * max_len, hidden});
-  for (size_t s = 0; s < lens.size(); ++s) {
-    for (int64_t t = 0; t < lens[s]; ++t) {
-      for (int64_t j = 0; j < hidden; ++j) {
-        x.At(static_cast<int64_t>(s) * max_len + t, j) = rng.NextFloat(-1.0f, 1.0f);
-      }
-    }
+  Rng wr(22);
+  PlannedTransformerStack stack(2, hidden, 4, 96, wr);
+  std::vector<ServeRequest> requests;
+  for (int64_t len : lens) {
+    ServeRequest req;
+    req.x = Tensor::Random({len, hidden}, rng);
+    requests.push_back(std::move(req));
   }
-  std::printf("embedded batch row sparsity: %.1f%%\n", x.SparsityRatio() * 100.0);
 
-  // A full encoder layer; PIT executes the FFN over the sparse token rows.
-  TransformerEncoderLayer layer(hidden, 4, 64, rng);
-  PitCompiler compiler(V100());
-  Tensor dense_out = layer.Forward(x);
-  Tensor sparse_out = layer.ForwardSparse(x, compiler);
-  std::printf("encoder layer sparse == dense: %s\n\n",
-              AllClose(sparse_out, dense_out, 1e-3f, 1e-4f) ? "yes" : "NO");
+  // 1:1 serving: one plan key (and one pinned arena) per distinct length.
+  ServingEngineOptions unbatched_opts;
+  unbatched_opts.num_streams = 2;
+  unbatched_opts.batch_window = 1;
+  ServingEngine unbatched(stack, unbatched_opts);
+  const std::vector<Tensor> expected = unbatched.Serve(requests);
 
-  // BERT end-to-end across datasets and engines.
-  CostModel model(V100());
-  std::printf("BERT-base, batch 32, simulated latency by engine:\n");
-  for (const char* dataset : {"cola", "mnli", "imdb"}) {
-    Rng drng(31);
-    auto dlens = SampleBatchLens(DatasetSeqLens(dataset), 32, drng);
-    std::printf("  %-6s (max %3lld):", dataset, static_cast<long long>(MaxLen(dlens)));
-    for (Engine e : {Engine::kPyTorch, Engine::kTurboTransformer, Engine::kPit}) {
-      ModelRunCost run = TransformerRun(model, e, BertBase(), dlens);
-      std::printf("  %s %.1fms", EngineName(e), run.LatencyMs());
-    }
-    std::printf("\n");
+  // Ragged batching: up to 8 requests / 256 token rows per packed forward,
+  // padded to power-of-two sum-token buckets.
+  ServingEngineOptions batched_opts;
+  batched_opts.num_streams = 2;
+  batched_opts.batch_window = 8;
+  batched_opts.max_batch_tokens = 256;
+  ServingEngine batched(stack, batched_opts);
+  const std::vector<Tensor> outputs = batched.Serve(requests);
+
+  bool bitwise = outputs.size() == expected.size();
+  for (size_t i = 0; bitwise && i < outputs.size(); ++i) {
+    bitwise = outputs[i].shape() == expected[i].shape() &&
+              std::memcmp(outputs[i].data(), expected[i].data(),
+                          static_cast<size_t>(outputs[i].size()) * sizeof(float)) == 0;
   }
-  return 0;
+  std::printf("batched outputs bitwise == 1:1 outputs: %s\n\n", bitwise ? "yes" : "NO");
+
+  const ServingEngineStats& u = unbatched.stats();
+  const ServingEngineStats& b = batched.stats();
+  std::printf("                  1:1        batched\n");
+  std::printf("forwards          %-10lld %lld\n", static_cast<long long>(u.batches),
+              static_cast<long long>(b.batches));
+  std::printf("plan-pool keys    %-10zu %zu\n", u.buckets.size(), b.buckets.size());
+  std::printf("packed util       %-10.3f %.3f\n", u.packed_utilization, b.packed_utilization);
+  std::printf("p50 latency (us)  %-10.0f %.0f\n", u.p50_latency_us, b.p50_latency_us);
+  std::printf("p99 latency (us)  %-10.0f %.0f\n", u.p99_latency_us, b.p99_latency_us);
+
+  std::printf("\nbatched per-bucket stats:\n");
+  std::printf("  bucket  batches  requests  packed  computed  hits  misses\n");
+  for (const ServingBucketStats& s : b.buckets) {
+    std::printf("  %-7lld %-8lld %-9lld %-7lld %-9lld %-5lld %lld\n",
+                static_cast<long long>(s.bucket), static_cast<long long>(s.batches),
+                static_cast<long long>(s.requests), static_cast<long long>(s.packed_tokens),
+                static_cast<long long>(s.computed_tokens), static_cast<long long>(s.plan_hits),
+                static_cast<long long>(s.plan_misses));
+  }
+  std::printf("\nbucket padding costs %.1f%% of computed rows; pad-to-max would cost %.1f%%\n",
+              (1.0 - b.packed_utilization) * 100.0, PaddingWaste(lens) * 100.0);
+  return bitwise ? 0 : 1;
 }

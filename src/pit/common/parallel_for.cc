@@ -164,11 +164,10 @@ class Pool {
 
 }  // namespace
 
-namespace {
-
 // Shared strict parser behind the positive-integer knobs (PIT_NUM_THREADS,
-// PIT_NUM_STREAMS): a typo'd value must fail loudly, never silently fall
-// back to a default the operator did not ask for.
+// PIT_NUM_STREAMS, PIT_BATCH_TOKENS, PIT_BATCH_WINDOW): a typo'd value must
+// fail loudly, never silently fall back to a default the operator did not ask
+// for.
 int ParsePositiveIntEnv(const char* name, const char* value) {
   PIT_CHECK(value != nullptr && *value != '\0')
       << name << " is set but empty; expected a positive integer";
@@ -185,14 +184,20 @@ int ParsePositiveIntEnv(const char* name, const char* value) {
   return static_cast<int>(v);
 }
 
-}  // namespace
-
 int ParseNumThreadsEnv(const char* value) {
   return ParsePositiveIntEnv("PIT_NUM_THREADS", value);
 }
 
 int ParseNumStreamsEnv(const char* value) {
   return ParsePositiveIntEnv("PIT_NUM_STREAMS", value);
+}
+
+int ParseBatchTokensEnv(const char* value) {
+  return ParsePositiveIntEnv("PIT_BATCH_TOKENS", value);
+}
+
+int ParseBatchWindowEnv(const char* value) {
+  return ParsePositiveIntEnv("PIT_BATCH_WINDOW", value);
 }
 
 int NumThreads() {

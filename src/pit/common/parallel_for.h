@@ -45,6 +45,21 @@ int ParseNumThreadsEnv(const char* value);
 // single-stream).
 int ParseNumStreamsEnv(const char* value);
 
+// The shared strict positive-integer parser behind every PIT_* count knob
+// (PIT_NUM_THREADS, PIT_NUM_STREAMS, PIT_BATCH_TOKENS, PIT_BATCH_WINDOW):
+// plain positive decimal in 1..65536 or a loud PIT_CHECK abort naming `name`.
+// Exposed so new knobs inherit the exact same contract instead of growing
+// lenient private parsers.
+int ParsePositiveIntEnv(const char* name, const char* value);
+
+// Strict parsers behind the ServingEngine's ragged-batching admission knobs:
+// PIT_BATCH_TOKENS (token-row budget a packed batch never exceeds) and
+// PIT_BATCH_WINDOW (max requests coalesced into one packed forward). Same
+// contract as ParseNumThreadsEnv — a typo'd knob must never silently serve
+// unbatched.
+int ParseBatchTokensEnv(const char* value);
+int ParseBatchWindowEnv(const char* value);
+
 // Overrides the worker count at runtime (clamped to >= 1). Intended for tests
 // and benchmarks; takes effect for subsequent ParallelFor calls.
 void SetNumThreads(int n);

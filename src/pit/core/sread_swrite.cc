@@ -92,6 +92,64 @@ void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* 
   SWriteRows(ConstTensorView(packed), row_ids, TensorView(*dst));
 }
 
+void SReadRowsInto(ConstTensorView src, std::span<const int64_t> row_ids, TensorView dst,
+                   int64_t dst_row0) {
+  PIT_CHECK_EQ(src.rank(), 2);
+  PIT_CHECK_EQ(dst.rank(), 2);
+  PIT_CHECK_EQ(src.dim(1), dst.dim(1));
+  const int64_t n = static_cast<int64_t>(row_ids.size());
+  PIT_CHECK_GE(dst_row0, 0);
+  PIT_CHECK_LE(dst_row0 + n, dst.dim(0));
+  const int64_t cols = src.dim(1);
+  // Chunk over the packed rows; inside a chunk, maximal runs of consecutive
+  // source ids collapse into one memcpy (a request's token rows are one run).
+  // Chunk boundaries only split runs, never reorder rows, so the result is
+  // chunk-count independent.
+  ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1;) {
+      const int64_t r = row_ids[static_cast<size_t>(i)];
+      PIT_CHECK_GE(r, 0);
+      PIT_CHECK_LT(r, src.dim(0));
+      int64_t run = 1;
+      while (i + run < i1 && row_ids[static_cast<size_t>(i + run)] == r + run &&
+             r + run < src.dim(0)) {
+        ++run;
+      }
+      std::memcpy(dst.data() + (dst_row0 + i) * cols, src.data() + r * cols,
+                  static_cast<size_t>(run * cols) * sizeof(float));
+      i += run;
+    }
+  });
+}
+
+void SWriteRowsFrom(ConstTensorView packed, int64_t src_row0, std::span<const int64_t> row_ids,
+                    TensorView dst) {
+  PIT_CHECK_EQ(packed.rank(), 2);
+  PIT_CHECK_EQ(dst.rank(), 2);
+  PIT_CHECK_EQ(packed.dim(1), dst.dim(1));
+  const int64_t n = static_cast<int64_t>(row_ids.size());
+  PIT_CHECK_GE(src_row0, 0);
+  PIT_CHECK_LE(src_row0 + n, packed.dim(0));
+  const int64_t cols = dst.dim(1);
+  // Distinct ids make the parallel scatter race-free; consecutive-id runs
+  // coalesce exactly as in SReadRowsInto.
+  ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1;) {
+      const int64_t r = row_ids[static_cast<size_t>(i)];
+      PIT_CHECK_GE(r, 0);
+      PIT_CHECK_LT(r, dst.dim(0));
+      int64_t run = 1;
+      while (i + run < i1 && row_ids[static_cast<size_t>(i + run)] == r + run &&
+             r + run < dst.dim(0)) {
+        ++run;
+      }
+      std::memcpy(dst.data() + r * cols, packed.data() + (src_row0 + i) * cols,
+                  static_cast<size_t>(run * cols) * sizeof(float));
+      i += run;
+    }
+  });
+}
+
 void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst) {
   PIT_CHECK(dst != nullptr);
   PIT_CHECK_EQ(packed.rank(), 2);

@@ -38,6 +38,22 @@ Tensor SReadCols(const Tensor& src, std::span<const int64_t> col_ids);
 void SWriteRows(ConstTensorView packed, std::span<const int64_t> row_ids, TensorView dst);
 void SWriteRows(const Tensor& packed, std::span<const int64_t> row_ids, Tensor* dst);
 
+// Batch-axis packing fast paths (the paper's micro-tile permutation applied
+// to the batch dimension): a ragged request batch is a dynamically row-sparse
+// tensor, and these gather/scatter its live token rows into (out of) a packed
+// dense tile in place — no intermediate Tensor, so the serving engine can
+// stage straight into a reused [sum_tokens, hidden] buffer. Runs of
+// consecutive row ids (the common case: each request's rows are contiguous)
+// coalesce into single memcpys.
+//
+// Gathers rows `row_ids` of `src` into rows [dst_row0, dst_row0 + n) of `dst`.
+void SReadRowsInto(ConstTensorView src, std::span<const int64_t> row_ids, TensorView dst,
+                   int64_t dst_row0);
+// Inverse: scatters rows [src_row0, src_row0 + n) of `packed` to rows
+// `row_ids` of `dst`. Ids must be distinct (disjoint scatter targets).
+void SWriteRowsFrom(ConstTensorView packed, int64_t src_row0, std::span<const int64_t> row_ids,
+                    TensorView dst);
+
 // Accumulating scatter of columns (dst[:, col_ids[i]] += packed[:, i]).
 void SWriteColsAdd(const Tensor& packed, std::span<const int64_t> col_ids, Tensor* dst);
 

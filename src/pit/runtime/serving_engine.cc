@@ -5,12 +5,16 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <span>
 #include <utility>
 
 #include "pit/common/check.h"
 #include "pit/common/parallel_for.h"
+#include "pit/core/sread_swrite.h"
 #include "pit/gpusim/device.h"
 #include "pit/runtime/serving.h"
+#include "pit/workloads/attention_masks.h"
+#include "pit/workloads/seq_len.h"
 
 namespace pit {
 
@@ -18,8 +22,15 @@ namespace {
 
 // Per-stream shape-pool bound, matching the nn-layer plan-cache bound: a
 // long-lived engine under variable-length traffic must not pin arenas for
-// every token count it ever saw.
+// every token count it ever saw. Ragged batching keeps the working set far
+// under this bound by construction (power-of-two buckets).
 constexpr size_t kMaxPooledShapes = 16;
+// Floor of the power-of-two sum-token bucket grid: batches smaller than this
+// still replay the 16-token plan rather than minting tiny plan keys.
+constexpr int64_t kMinBatchBucket = 16;
+// Token budget per packed batch when neither the option nor PIT_BATCH_TOKENS
+// sets one.
+constexpr int kDefaultMaxBatchTokens = 512;
 
 int ResolveNumStreams(const ServingEngineOptions& options) {
   if (options.num_streams > 0) {
@@ -31,16 +42,67 @@ int ResolveNumStreams(const ServingEngineOptions& options) {
   return NumThreads();
 }
 
+int ResolveBatchWindow(const ServingEngineOptions& options) {
+  if (options.batch_window > 0) {
+    return options.batch_window;
+  }
+  if (const char* env = std::getenv("PIT_BATCH_WINDOW")) {
+    return ParseBatchWindowEnv(env);
+  }
+  return 1;  // batching off: every request replays at its exact token count
+}
+
+int ResolveMaxBatchTokens(const ServingEngineOptions& options) {
+  if (options.max_batch_tokens > 0) {
+    return options.max_batch_tokens;
+  }
+  if (const char* env = std::getenv("PIT_BATCH_TOKENS")) {
+    return ParseBatchTokensEnv(env);
+  }
+  return kDefaultMaxBatchTokens;
+}
+
+// The padded token count a pool entry is keyed by, for the per-bucket pool
+// accounting (the transformer pool's key carries a masked flag on top).
+int64_t BucketOfPoolKey(const std::pair<int64_t, bool>& key) { return key.first; }
+int64_t BucketOfPoolKey(int64_t key) { return key; }
+
 }  // namespace
 
 // One request stream: a private pool of per-shape stack streams (shared plan
 // + private contexts), reused across requests and Serve calls, plus the
-// stream's private PitCompiler. Nothing in here is ever touched by another
-// stream.
+// stream's private PitCompiler and packed-batch staging. Nothing in here is
+// ever touched by another stream.
 struct ServingEngine::StreamState {
+  // Reused packed tiles for one bucket: requests gather into x, the plan
+  // replays into out, and (transformer only) the block-diagonal mask is
+  // rebuilt in place per batch. Keyed by bucket so steady-state batching
+  // allocates nothing.
+  struct BatchStaging {
+    Tensor x;     // [bucket, hidden]
+    Tensor out;   // [bucket, hidden]
+    Tensor mask;  // [bucket, bucket], transformer stacks only
+  };
+  struct BucketCounters {
+    int64_t batches = 0;
+    int64_t requests = 0;
+    int64_t packed_tokens = 0;
+    int64_t computed_tokens = 0;
+    int64_t plan_hits = 0;
+    int64_t plan_misses = 0;
+  };
+
   std::map<std::pair<int64_t, bool>, PlannedTransformerStack::Stream> transformer_pool;
   std::map<int64_t, PlannedFfnStack::Stream> ffn_pool;
   std::unique_ptr<PitCompiler> compiler;
+  std::map<int64_t, BatchStaging> staging;
+  std::map<int64_t, BucketCounters> bucket_counters;
+  // Identity row ids 0..max_len-1: every request's token rows are a prefix
+  // span of this one reusable vector for SRead/SWrite purposes.
+  std::vector<int64_t> iota;
+  // Per-batch scratch (lengths and embedded per-request masks).
+  std::vector<int64_t> lens;
+  std::vector<const Tensor*> request_masks;
   int64_t requests = 0;
   // This stream's share of the engine-wide pool accounting.
   int64_t pooled_contexts = 0;
@@ -61,6 +123,8 @@ ServingEngine::ServingEngine(const PlannedFfnStack& stack, const ServingEngineOp
 void ServingEngine::Init(const ServingEngineOptions& options) {
   num_streams_ = ResolveNumStreams(options);
   use_pit_ = options.use_pit;
+  batch_window_ = ResolveBatchWindow(options);
+  max_batch_tokens_ = ResolveMaxBatchTokens(options);
   streams_.reserve(static_cast<size_t>(num_streams_));
   for (int s = 0; s < num_streams_; ++s) {
     auto state = std::make_unique<StreamState>();
@@ -70,6 +134,8 @@ void ServingEngine::Init(const ServingEngineOptions& options) {
     streams_.push_back(std::move(state));
   }
   stats_.num_streams = num_streams_;
+  stats_.batch_window = batch_window_;
+  stats_.max_batch_tokens = max_batch_tokens_;
   stats_.per_stream_requests.assign(static_cast<size_t>(num_streams_), 0);
 }
 
@@ -93,42 +159,193 @@ void ServingEngine::AccountPoolDelta(int64_t contexts_delta, int64_t bytes_delta
   }
 }
 
+void ServingEngine::AccountBucketPool(int64_t bucket, int64_t contexts_delta) {
+  std::lock_guard<std::mutex> lock(bucket_pool_mu_);
+  std::pair<int64_t, int64_t>& entry = bucket_pool_[bucket];
+  entry.first += contexts_delta;
+  entry.second = std::max(entry.second, entry.first);
+}
+
 template <typename Pool, typename Key, typename MakeStreamFn>
 typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Pool& pool,
                                                         const Key& key, MakeStreamFn&& make) {
+  const int64_t bucket = BucketOfPoolKey(key);
   auto it = pool.find(key);
-  if (it == pool.end()) {
-    if (pool.size() >= kMaxPooledShapes) {
-      AccountPoolDelta(-stream.pooled_contexts, -stream.pooled_arena_bytes);
-      stream.pooled_contexts = 0;
-      stream.pooled_arena_bytes = 0;
-      pool.clear();
-    }
-    it = pool.emplace(key, make()).first;
-    stream.pooled_contexts += it->second.NumContexts();
-    stream.pooled_arena_bytes += it->second.ArenaBytes();
-    AccountPoolDelta(it->second.NumContexts(), it->second.ArenaBytes());
+  if (it != pool.end()) {
+    ++stream.bucket_counters[bucket].plan_hits;
+    return it->second;
   }
+  ++stream.bucket_counters[bucket].plan_misses;
+  if (pool.size() >= kMaxPooledShapes) {
+    for (const auto& entry : pool) {
+      AccountBucketPool(BucketOfPoolKey(entry.first), -entry.second.NumContexts());
+    }
+    AccountPoolDelta(-stream.pooled_contexts, -stream.pooled_arena_bytes);
+    stream.pooled_contexts = 0;
+    stream.pooled_arena_bytes = 0;
+    pool.clear();
+  }
+  it = pool.emplace(key, make()).first;
+  stream.pooled_contexts += it->second.NumContexts();
+  stream.pooled_arena_bytes += it->second.ArenaBytes();
+  AccountPoolDelta(it->second.NumContexts(), it->second.ArenaBytes());
+  AccountBucketPool(bucket, it->second.NumContexts());
   return it->second;
 }
 
-void ServingEngine::ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out) {
+void ServingEngine::ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out,
+                            int64_t* bucket_out) {
   PIT_CHECK_EQ(request.x.rank(), 2);
+  const int64_t tokens = request.x.dim(0);
   PitCompiler* compiler = stream.compiler.get();
   if (transformer_ != nullptr) {
-    const std::pair<int64_t, bool> key{request.x.dim(0), request.attn_mask != nullptr};
+    const std::pair<int64_t, bool> key{tokens, request.attn_mask != nullptr};
     PlannedTransformerStack::Stream& pooled =
         PooledStream(stream, stream.transformer_pool, key, [&] {
           return transformer_->MakeStream(key.first, key.second, use_pit_);
         });
     transformer_->ForwardWith(pooled, request.x, request.attn_mask, compiler, out);
-    return;
+  } else {
+    PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
+    PlannedFfnStack::Stream& pooled = PooledStream(
+        stream, stream.ffn_pool, tokens, [&] { return ffn_->MakeStream(tokens, use_pit_); });
+    ffn_->ForwardWith(pooled, request.x, compiler, out);
   }
-  PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
-  const int64_t key = request.x.dim(0);
-  PlannedFfnStack::Stream& pooled = PooledStream(
-      stream, stream.ffn_pool, key, [&] { return ffn_->MakeStream(key, use_pit_); });
-  ffn_->ForwardWith(pooled, request.x, compiler, out);
+  // 1:1 serving degenerates to one "bucket" per distinct request length —
+  // exactly the plan-pool cardinality contrast batching exists to collapse.
+  StreamState::BucketCounters& c = stream.bucket_counters[tokens];
+  ++c.batches;
+  ++c.requests;
+  c.packed_tokens += tokens;
+  c.computed_tokens += tokens;
+  *bucket_out = tokens;
+}
+
+void ServingEngine::ServeBatchOn(StreamState& stream, const std::vector<ServeRequest>& requests,
+                                 int64_t begin, int64_t end, std::vector<Tensor>& outputs,
+                                 std::vector<int64_t>& bucket_of) {
+  const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
+  stream.lens.clear();
+  stream.request_masks.clear();
+  int64_t sum = 0;
+  int64_t max_len = 0;
+  for (int64_t i = begin; i < end; ++i) {
+    const ServeRequest& request = requests[static_cast<size_t>(i)];
+    PIT_CHECK_EQ(request.x.rank(), 2);
+    if (ffn_ != nullptr) {
+      PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
+    }
+    const int64_t len = request.x.dim(0);
+    stream.lens.push_back(len);
+    stream.request_masks.push_back(request.attn_mask);
+    sum += len;
+    max_len = std::max(max_len, len);
+  }
+  const int64_t bucket = BucketTokensPow2(sum, kMinBatchBucket);
+  if (static_cast<int64_t>(stream.iota.size()) < max_len) {
+    const int64_t old = static_cast<int64_t>(stream.iota.size());
+    stream.iota.resize(static_cast<size_t>(max_len));
+    for (int64_t i = old; i < max_len; ++i) {
+      stream.iota[static_cast<size_t>(i)] = i;
+    }
+  }
+  StreamState::BatchStaging& st = stream.staging[bucket];
+  if (st.x.empty()) {
+    st.x = Tensor({bucket, hidden});
+    st.out = Tensor({bucket, hidden});
+    if (transformer_ != nullptr) {
+      st.mask = Tensor({bucket, bucket});
+    }
+  }
+  // Padding rows must be re-zeroed every batch: stale activations from a
+  // previous fuller batch would replay through the padding rows, and a
+  // non-finite value there would poison the real rows through 0 * NaN in the
+  // masked context matmul. Zeroed padding rows keep every padded computation
+  // finite, so the real rows' bits depend only on the real rows.
+  std::fill(st.x.data() + sum * hidden, st.x.data() + bucket * hidden, 0.0f);
+  int64_t off = 0;
+  for (int64_t i = begin; i < end; ++i) {
+    const int64_t len = stream.lens[static_cast<size_t>(i - begin)];
+    SReadRowsInto(requests[static_cast<size_t>(i)].x,
+                  std::span<const int64_t>(stream.iota.data(), static_cast<size_t>(len)), st.x,
+                  off);
+    off += len;
+  }
+  PitCompiler* compiler = stream.compiler.get();
+  if (transformer_ != nullptr) {
+    BlockDiagonalMaskInto(stream.lens, stream.request_masks, st.mask);
+    PlannedTransformerStack::Stream& pooled =
+        PooledStream(stream, stream.transformer_pool, std::pair<int64_t, bool>{bucket, true},
+                     [&] { return transformer_->MakeStream(bucket, true, use_pit_); });
+    transformer_->ForwardWith(pooled, st.x, &st.mask, compiler, &st.out);
+  } else {
+    PlannedFfnStack::Stream& pooled = PooledStream(
+        stream, stream.ffn_pool, bucket, [&] { return ffn_->MakeStream(bucket, use_pit_); });
+    ffn_->ForwardWith(pooled, st.x, compiler, &st.out);
+  }
+  off = 0;
+  for (int64_t i = begin; i < end; ++i) {
+    const int64_t len = stream.lens[static_cast<size_t>(i - begin)];
+    SWriteRowsFrom(st.out, off,
+                   std::span<const int64_t>(stream.iota.data(), static_cast<size_t>(len)),
+                   outputs[static_cast<size_t>(i)]);
+    off += len;
+    bucket_of[static_cast<size_t>(i)] = bucket;
+  }
+  StreamState::BucketCounters& c = stream.bucket_counters[bucket];
+  ++c.batches;
+  c.requests += end - begin;
+  c.packed_tokens += sum;
+  c.computed_tokens += bucket;
+}
+
+void ServingEngine::MergeBucketStats(const std::vector<int64_t>& bucket_of,
+                                     const std::vector<double>& latencies) {
+  std::map<int64_t, ServingBucketStats> merged;
+  for (const std::unique_ptr<StreamState>& stream : streams_) {
+    for (const auto& [bucket, c] : stream->bucket_counters) {
+      ServingBucketStats& b = merged[bucket];
+      b.bucket = bucket;
+      b.batches += c.batches;
+      b.requests += c.requests;
+      b.packed_tokens += c.packed_tokens;
+      b.computed_tokens += c.computed_tokens;
+      b.plan_hits += c.plan_hits;
+      b.plan_misses += c.plan_misses;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(bucket_pool_mu_);
+    for (const auto& [bucket, live_and_peak] : bucket_pool_) {
+      ServingBucketStats& b = merged[bucket];
+      b.bucket = bucket;
+      b.pool_contexts = live_and_peak.first;
+      b.pool_contexts_highwater = live_and_peak.second;
+    }
+  }
+  std::map<int64_t, std::vector<double>> latencies_by_bucket;
+  for (size_t i = 0; i < bucket_of.size(); ++i) {
+    latencies_by_bucket[bucket_of[i]].push_back(latencies[i]);
+  }
+  int64_t batches = 0;
+  int64_t packed = 0;
+  int64_t computed = 0;
+  stats_.buckets.clear();
+  for (auto& [bucket, b] : merged) {
+    auto it = latencies_by_bucket.find(bucket);
+    if (it != latencies_by_bucket.end()) {
+      std::sort(it->second.begin(), it->second.end());
+      b.p50_latency_us = PercentileNearestRank(it->second, 0.50);
+      b.p99_latency_us = PercentileNearestRank(it->second, 0.99);
+    }
+    batches += b.batches;
+    packed += b.packed_tokens;
+    computed += b.computed_tokens;
+    stats_.buckets.push_back(b);
+  }
+  stats_.batches = batches;
+  stats_.packed_utilization =
+      computed > 0 ? static_cast<double>(packed) / static_cast<double>(computed) : 1.0;
 }
 
 std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& requests) {
@@ -142,11 +359,14 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
     outputs.emplace_back(Shape{request.x.dim(0), request.x.dim(1)});
   }
   std::vector<double> latencies(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> bucket_of(static_cast<size_t>(n), 0);
 
-  // Work-conserving M:N dispatch: each stream worker greedily claims the
-  // next unserved request, so a long request never leaves streams idle while
-  // work remains. Requests never split across streams — per-request replay
-  // order (and therefore bits) is independent of the claim interleaving.
+  // Work-conserving M:N dispatch: each stream worker greedily claims the next
+  // unserved request span, so a long request never leaves streams idle while
+  // work remains. Requests never split across streams, and claims advance the
+  // cursor in fixed batch-window strides, so span (and therefore batch)
+  // composition is independent of which stream claims what — per-request
+  // replay bits are independent of the claim interleaving.
   std::atomic<int64_t> next{0};
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_us = [&t0] {
@@ -154,13 +374,39 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
         .count();
   };
   const int budget = std::max(1, NumThreads() / std::max(1, num_streams_));
+  const int64_t window = batch_window_;
+  const int64_t max_tokens = max_batch_tokens_;
   ParallelTasks(num_streams_, budget, [&](int64_t s) {
     StreamState& stream = *streams_[static_cast<size_t>(s)];
-    for (int64_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      ServeOn(stream, requests[static_cast<size_t>(i)], &outputs[static_cast<size_t>(i)]);
-      latencies[static_cast<size_t>(i)] = elapsed_us();
-      ++stream.requests;
+    for (int64_t i0 = next.fetch_add(window, std::memory_order_relaxed); i0 < n;
+         i0 = next.fetch_add(window, std::memory_order_relaxed)) {
+      const int64_t i_end = std::min(i0 + window, n);
+      int64_t b0 = i0;
+      while (b0 < i_end) {
+        int64_t b1 = b0 + 1;
+        if (window > 1) {
+          // Greedy admission under the token budget: extend while the next
+          // request still fits; a single oversized request forms its own
+          // batch. Composition depends only on (window, budget, request
+          // order), never on the stream count or claim timing.
+          int64_t sum = requests[static_cast<size_t>(b0)].x.dim(0);
+          while (b1 < i_end &&
+                 sum + requests[static_cast<size_t>(b1)].x.dim(0) <= max_tokens) {
+            sum += requests[static_cast<size_t>(b1)].x.dim(0);
+            ++b1;
+          }
+          ServeBatchOn(stream, requests, b0, b1, outputs, bucket_of);
+        } else {
+          ServeOn(stream, requests[static_cast<size_t>(b0)], &outputs[static_cast<size_t>(b0)],
+                  &bucket_of[static_cast<size_t>(b0)]);
+        }
+        const double done = elapsed_us();
+        for (int64_t i = b0; i < b1; ++i) {
+          latencies[static_cast<size_t>(i)] = done;
+        }
+        stream.requests += b1 - b0;
+        b0 = b1;
+      }
     }
   });
   const double wall_us = elapsed_us();
@@ -177,6 +423,7 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
   stats_.pool_contexts_highwater = pool_contexts_highwater_.load(std::memory_order_relaxed);
   stats_.pool_arena_bytes = pool_arena_bytes_.load(std::memory_order_relaxed);
   stats_.pool_arena_bytes_highwater = pool_arena_bytes_highwater_.load(std::memory_order_relaxed);
+  MergeBucketStats(bucket_of, latencies);
   if (n > 0) {
     double sum = 0.0;
     for (double l : latencies) {

@@ -10,10 +10,28 @@
 // BENCH_pr4 showed is where the hardware headroom is once intra-plan
 // wavefronts stop paying (small per-step work at serving-size shapes).
 //
+// Continuous ragged batching (PR 6) applies the paper's micro-tile
+// permutation to the batch axis: a padded mixed-length batch is a dynamically
+// row-sparse tensor (§2.1 Fig. 2c), so a stream coalesces several in-flight
+// requests of *different* token counts into one dense forward by
+// SRead-gathering each request's token rows into a packed
+// [sum_tokens, hidden] tile, replaying the stack's shared plan over it with a
+// block-diagonal attention mask (requests never attend across batch
+// boundaries; padding rows self-attend), and SWrite-scattering per-request
+// outputs back. Packed batches are padded to power-of-two sum-token buckets,
+// so the plan pool holds O(log max_tokens) keys instead of one per distinct
+// request length. The batched result is bitwise identical per request to 1:1
+// single-stream replay for dense serving: every kernel in the stack is
+// row-independent (GEMM rows, layernorm, residuals) and the masked softmax
+// contributes exact 0.0f for foreign columns, so a request's rows cannot
+// observe its batch neighbours.
+//
 // Scheduling: one worker per stream on the task-capable ParallelFor pool
-// (ParallelTasks), each greedily pulling the next request off a shared atomic
-// cursor — a work-conserving M:N scheduler, not a static partition, so a
-// stream stuck on a long request never idles the others. Each worker runs
+// (ParallelTasks), each greedily pulling the next request span off a shared
+// atomic cursor — a work-conserving M:N scheduler, not a static partition, so
+// a stream stuck on a long request never idles the others. Claims advance the
+// cursor by the batch window, so span composition (and therefore batch
+// composition) is independent of which stream claims it. Each worker runs
 // with an intra-op width budget of ~threads/streams; inside a worker the
 // plan replays sequentially (ParallelRegionActive) and its kernels fan out
 // to the worker's budget, which keeps every result bitwise identical to
@@ -22,13 +40,19 @@
 // every kernel is chunk-count deterministic.
 //
 // The stream count resolves from ServingEngineOptions::num_streams, else the
-// strict-parsed PIT_NUM_STREAMS environment knob, else NumThreads().
+// strict-parsed PIT_NUM_STREAMS environment knob, else NumThreads(). The
+// batching admission knobs resolve the same way from
+// ServingEngineOptions::batch_window / max_batch_tokens, else the
+// strict-parsed PIT_BATCH_WINDOW / PIT_BATCH_TOKENS knobs, else defaults
+// (window 1 — batching off — and 512 token rows).
 #ifndef PIT_RUNTIME_SERVING_ENGINE_H_
 #define PIT_RUNTIME_SERVING_ENGINE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pit/runtime/models.h"
@@ -53,26 +77,71 @@ struct ServingEngineOptions {
   // resampling left disabled, so kernel selection is a pure function of the
   // input and results stay independent of request-to-stream assignment.
   bool use_pit = false;
+  // Continuous ragged-batching admission policy. batch_window is the maximum
+  // number of consecutive requests a stream coalesces into packed forwards
+  // per claim (the latency bound: a request waits for at most window - 1
+  // batchmates); max_batch_tokens closes a batch early when admitting the
+  // next request would push the packed row count past it (the compute bound;
+  // a single longer request forms its own batch). > 0: explicit. 0: resolve
+  // the strict-parsed PIT_BATCH_WINDOW / PIT_BATCH_TOKENS knobs, falling back
+  // to 1 (batching off — every request replays at its exact token count, the
+  // pre-PR 6 behavior) and 512.
+  int batch_window = 0;
+  int max_batch_tokens = 0;
+};
+
+// Per-bucket plan-pool and service accounting. A "bucket" is the padded
+// token count a plan is keyed by: the power-of-two sum-token capacity of a
+// packed batch under ragged batching, or a request's exact token count when
+// serving 1:1 — so the bucket list is exactly the engine's plan-pool key
+// cardinality, and the 1:1 vs batched contrast (distinct lengths vs
+// O(log max) buckets) is directly observable.
+struct ServingBucketStats {
+  int64_t bucket = 0;           // padded token count (plan-pool key)
+  int64_t batches = 0;          // lifetime packed forwards at this bucket
+  int64_t requests = 0;         // lifetime requests served through them
+  int64_t packed_tokens = 0;    // lifetime real token rows packed
+  int64_t computed_tokens = 0;  // lifetime rows computed (batches x bucket)
+  // Pooled-stream lookups: hits reused a pooled plan+context set, misses
+  // built (and possibly compiled) one.
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  // ExecutionContexts currently pooled for this bucket across all streams,
+  // and the lifetime peak.
+  int64_t pool_contexts = 0;
+  int64_t pool_contexts_highwater = 0;
+  // Nearest-rank latency percentiles of the last Serve call's requests that
+  // landed in this bucket (0 when none did).
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
 };
 
 // Aggregate statistics of the engine's lifetime (latencies of the most
 // recent Serve call; pool high-water marks across all calls).
 struct ServingEngineStats {
   int num_streams = 0;
+  int batch_window = 1;
+  int max_batch_tokens = 0;
   int64_t requests = 0;       // total requests served over the engine lifetime
+  int64_t batches = 0;        // total forwards dispatched (== requests unbatched)
   double wall_us = 0.0;       // wall-clock of the last Serve call
   double requests_per_sec = 0.0;
   double mean_latency_us = 0.0;  // arrival (= Serve start) -> completion
   double p50_latency_us = 0.0;   // nearest-rank percentiles (PercentileNearestRank)
   double p99_latency_us = 0.0;
+  // Lifetime fraction of computed token rows that were real request rows
+  // (1.0 unbatched; batching trades bucket-padding waste for plan reuse and
+  // dense-batch efficiency).
+  double packed_utilization = 1.0;
   // Context/arena pool accounting: streams cache one context set per served
-  // (token count, masked?) shape and reuse it across requests; high-water
-  // marks track the peak pinned footprint over the engine's lifetime.
+  // bucket and reuse it across requests; high-water marks track the peak
+  // pinned footprint over the engine's lifetime.
   int64_t pool_contexts = 0;             // currently pooled ExecutionContexts
   int64_t pool_contexts_highwater = 0;
   int64_t pool_arena_bytes = 0;          // bytes pinned by pooled arenas
   int64_t pool_arena_bytes_highwater = 0;
   std::vector<int64_t> per_stream_requests;  // lifetime request count per stream
+  std::vector<ServingBucketStats> buckets;   // ascending by bucket
 };
 
 // Drives a pinned PlannedTransformerStack (or PlannedFfnStack) over request
@@ -92,11 +161,17 @@ class ServingEngine {
 
   // Serves every request to completion across the engine's streams and
   // returns the outputs in request order. Per-request results are bitwise
-  // identical to single-stream replay (and to the stack's Forward) for any
-  // (streams x threads x scheduler) combination.
+  // identical to single-stream replay (and, for dense serving, to the 1:1
+  // unbatched engine and the stack's eager oracle) for any
+  // (streams x threads x scheduler x batching) combination. PIT serving is
+  // deterministic and stream-assignment independent, but its kernel
+  // selection sees the packed tile's sparsity, so batched PIT results match
+  // batched single-stream PIT replay rather than the 1:1 PIT engine.
   std::vector<Tensor> Serve(const std::vector<ServeRequest>& requests);
 
   int num_streams() const { return num_streams_; }
+  int batch_window() const { return batch_window_; }
+  int max_batch_tokens() const { return max_batch_tokens_; }
   const ServingEngineStats& stats() const { return stats_; }
 
  private:
@@ -106,10 +181,16 @@ class ServingEngine {
   // stats init (the two public constructors differ only in which stack
   // pointer they set).
   void Init(const ServingEngineOptions& options);
-  void ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out);
+  void ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out, int64_t* bucket);
+  // Packs requests [begin, end) into one bucket-padded dense forward on
+  // `stream` and scatters per-request outputs; records each request's bucket.
+  void ServeBatchOn(StreamState& stream, const std::vector<ServeRequest>& requests,
+                    int64_t begin, int64_t end, std::vector<Tensor>& outputs,
+                    std::vector<int64_t>& bucket_of);
   // Finds (or builds, evicting at the shape bound) the stream's pooled state
   // for `key` — the one implementation of the lookup/evict/account protocol
-  // both stack types go through.
+  // both stack types go through. Tallies the hit/miss and per-bucket context
+  // accounting.
   template <typename Pool, typename Key, typename MakeStreamFn>
   typename Pool::mapped_type& PooledStream(StreamState& stream, Pool& pool, const Key& key,
                                            MakeStreamFn&& make);
@@ -118,17 +199,28 @@ class ServingEngine {
   // moment a pool grows (or is evicted), so the marks capture mid-Serve
   // peaks, not just the Serve-end snapshot.
   void AccountPoolDelta(int64_t contexts_delta, int64_t bytes_delta);
+  // Per-bucket share of the context-pool accounting (mutex-protected: only
+  // touched when a pool entry is built or evicted, never per request).
+  void AccountBucketPool(int64_t bucket, int64_t contexts_delta);
+  // Folds the streams' per-bucket counters and the last Serve's per-request
+  // (bucket, latency) pairs into stats_.buckets.
+  void MergeBucketStats(const std::vector<int64_t>& bucket_of,
+                        const std::vector<double>& latencies);
 
   const PlannedTransformerStack* transformer_ = nullptr;  // exactly one of the
   const PlannedFfnStack* ffn_ = nullptr;                  // two stacks is set
   int num_streams_ = 1;
   bool use_pit_ = false;
+  int batch_window_ = 1;
+  int max_batch_tokens_ = 0;
   std::vector<std::unique_ptr<StreamState>> streams_;
   // Live pool totals + lifetime peaks, updated by workers as pools change.
   std::atomic<int64_t> pool_contexts_{0};
   std::atomic<int64_t> pool_arena_bytes_{0};
   std::atomic<int64_t> pool_contexts_highwater_{0};
   std::atomic<int64_t> pool_arena_bytes_highwater_{0};
+  std::mutex bucket_pool_mu_;
+  std::map<int64_t, std::pair<int64_t, int64_t>> bucket_pool_;  // live, highwater
   ServingEngineStats stats_;
 };
 

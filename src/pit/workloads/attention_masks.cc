@@ -96,4 +96,55 @@ Tensor ActivationSparseTensor(int64_t rows, int64_t cols, double sparsity, Rng& 
   return Tensor::RandomSparse({rows, cols}, sparsity, rng);
 }
 
+void BlockDiagonalMaskInto(const std::vector<int64_t>& lens,
+                           const std::vector<const Tensor*>& request_masks, TensorView mask) {
+  PIT_CHECK_EQ(mask.rank(), 2);
+  PIT_CHECK_EQ(mask.dim(0), mask.dim(1));
+  const int64_t padded = mask.dim(0);
+  PIT_CHECK(request_masks.empty() || request_masks.size() == lens.size())
+      << "request_masks must be empty or one entry per request";
+  int64_t sum = 0;
+  for (int64_t l : lens) {
+    PIT_CHECK_GE(l, 1);
+    sum += l;
+  }
+  PIT_CHECK_LE(sum, padded) << "packed rows exceed the padded mask size";
+  std::fill(mask.data(), mask.data() + mask.size(), 0.0f);
+  int64_t off = 0;
+  for (size_t r = 0; r < lens.size(); ++r) {
+    const int64_t len = lens[r];
+    const Tensor* own = request_masks.empty() ? nullptr : request_masks[r];
+    if (own != nullptr) {
+      PIT_CHECK(own->rank() == 2 && own->dim(0) == len && own->dim(1) == len)
+          << "request mask must be [len, len]";
+      for (int64_t i = 0; i < len; ++i) {
+        const float* srow = own->data() + i * len;
+        float* drow = mask.data() + (off + i) * padded + off;
+        for (int64_t j = 0; j < len; ++j) {
+          drow[j] = srow[j] != 0.0f ? 1.0f : 0.0f;
+        }
+      }
+    } else {
+      for (int64_t i = 0; i < len; ++i) {
+        std::fill_n(mask.data() + (off + i) * padded + off, len, 1.0f);
+      }
+    }
+    off += len;
+  }
+  // Padding rows self-attend so every softmax row has a live column: the
+  // padding outputs stay finite by construction instead of leaning on the
+  // softmax kernel's fully-masked-row special case.
+  for (int64_t i = sum; i < padded; ++i) {
+    mask.data()[i * padded + i] = 1.0f;
+  }
+}
+
+Tensor BlockDiagonalMask(const std::vector<int64_t>& lens, int64_t padded_tokens,
+                         const std::vector<const Tensor*>& request_masks) {
+  PIT_CHECK_GE(padded_tokens, 0);
+  Tensor mask({padded_tokens, padded_tokens});
+  BlockDiagonalMaskInto(lens, request_masks, mask);
+  return mask;
+}
+
 }  // namespace pit

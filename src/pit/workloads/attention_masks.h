@@ -45,6 +45,26 @@ double MuseformerMaskDensity(const MuseformerMaskConfig& config);
 // OPT/Switch/T5 activations (§2.1).
 Tensor ActivationSparseTensor(int64_t rows, int64_t cols, double sparsity, Rng& rng);
 
+// ---- Ragged-batch block-diagonal mask (batched serving, Fig. 2c) ----------
+//
+// Requests of lengths `lens` packed row-concatenated into a
+// [padded_tokens, hidden] tile attend through a [padded_tokens, padded_tokens]
+// 0/1 mask that confines attention to each request's own diagonal block, so
+// requests never attend across batch boundaries. `request_masks` (empty, or
+// one entry per request: a [len, len] mask or nullptr for full attention)
+// embeds each request's own attention mask inside its block, reproducing the
+// exact mask the request would carry served 1:1. Padding rows
+// [sum(lens), padded_tokens) attend only to themselves: their softmax rows
+// stay finite, so the (discarded) padding outputs can never poison the real
+// rows through NaN propagation in later layers.
+//
+// The Into form fills a caller-owned [padded_tokens, padded_tokens] view in
+// place — the serving engine rebuilds the mask into reused staging per batch.
+void BlockDiagonalMaskInto(const std::vector<int64_t>& lens,
+                           const std::vector<const Tensor*>& request_masks, TensorView mask);
+Tensor BlockDiagonalMask(const std::vector<int64_t>& lens, int64_t padded_tokens,
+                         const std::vector<const Tensor*>& request_masks = {});
+
 }  // namespace pit
 
 #endif  // PIT_WORKLOADS_ATTENTION_MASKS_H_

@@ -72,6 +72,22 @@ double PaddingWaste(const std::vector<int64_t>& lens) {
   return padded == 0 ? 0.0 : 1.0 - static_cast<double>(SumLens(lens)) / static_cast<double>(padded);
 }
 
+int64_t BucketTokensPow2(int64_t tokens, int64_t min_bucket) {
+  PIT_CHECK_GE(tokens, 1);
+  PIT_CHECK_GE(min_bucket, 1);
+  int64_t bucket = 1;
+  while (bucket < min_bucket || bucket < tokens) {
+    bucket <<= 1;
+  }
+  return bucket;
+}
+
+int64_t BucketTokensStride(int64_t tokens, int64_t stride) {
+  PIT_CHECK_GE(tokens, 1);
+  PIT_CHECK_GE(stride, 1);
+  return (tokens + stride - 1) / stride * stride;
+}
+
 std::vector<std::vector<bool>> TokenMask(const std::vector<int64_t>& lens, int64_t max_len) {
   std::vector<std::vector<bool>> mask;
   mask.reserve(lens.size());

@@ -38,6 +38,21 @@ int64_t MaxLen(const std::vector<int64_t>& lens);
 // Fraction of the padded batch that is padding: 1 - sum / (batch * max).
 double PaddingWaste(const std::vector<int64_t>& lens);
 
+// ---- Sum-token bucket policies for batched serving plans -------------------
+//
+// Plans are shape-specialized, so serving mixed-length traffic 1:1 keys a
+// plan (and pins an arena) per distinct token count. Batched serving instead
+// pads each packed batch's sum-token count up to a coarse bucket grid: plan
+// pool cardinality drops from O(distinct lengths) to O(log max) (power-of-two
+// policy) or O(max / stride) (fixed-stride policy), at the cost of computing
+// the padding rows.
+//
+// Next power of two >= tokens, floored at min_bucket (itself rounded up to a
+// power of two). tokens must be >= 1.
+int64_t BucketTokensPow2(int64_t tokens, int64_t min_bucket = 16);
+// tokens rounded up to the next multiple of stride. tokens, stride >= 1.
+int64_t BucketTokensStride(int64_t tokens, int64_t stride);
+
 // A 0/1 token mask [batch, max_len] for functional tests.
 std::vector<std::vector<bool>> TokenMask(const std::vector<int64_t>& lens, int64_t max_len);
 

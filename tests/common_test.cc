@@ -141,6 +141,49 @@ TEST(EnvParsingTest, NumStreamsRejectsZeroAndNegative) {
   EXPECT_DEATH(ParseNumStreamsEnv("99999999999999999999"), "PIT_NUM_STREAMS");
 }
 
+TEST(EnvParsingTest, BatchTokensAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseBatchTokensEnv("1"), 1);
+  EXPECT_EQ(ParseBatchTokensEnv("256"), 256);
+  EXPECT_EQ(ParseBatchTokensEnv("512"), 512);
+  EXPECT_EQ(ParseBatchTokensEnv("65536"), 65536);
+}
+
+TEST(EnvParsingTest, BatchTokensRejectsNonNumeric) {
+  EXPECT_DEATH(ParseBatchTokensEnv("abc"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv("256x"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv("1.5"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv(""), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv(" 256"), "PIT_BATCH_TOKENS");
+}
+
+TEST(EnvParsingTest, BatchTokensRejectsZeroNegativeAndOverflow) {
+  EXPECT_DEATH(ParseBatchTokensEnv("0"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv("-4"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv("65537"), "PIT_BATCH_TOKENS");
+  EXPECT_DEATH(ParseBatchTokensEnv("99999999999999999999"), "PIT_BATCH_TOKENS");
+}
+
+TEST(EnvParsingTest, BatchWindowAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseBatchWindowEnv("1"), 1);
+  EXPECT_EQ(ParseBatchWindowEnv("8"), 8);
+  EXPECT_EQ(ParseBatchWindowEnv("64"), 64);
+}
+
+TEST(EnvParsingTest, BatchWindowRejectsNonNumeric) {
+  EXPECT_DEATH(ParseBatchWindowEnv("abc"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv("8x"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv("2.5"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv(""), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv(" 8"), "PIT_BATCH_WINDOW");
+}
+
+TEST(EnvParsingTest, BatchWindowRejectsZeroNegativeAndOverflow) {
+  EXPECT_DEATH(ParseBatchWindowEnv("0"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv("-1"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv("65537"), "PIT_BATCH_WINDOW");
+  EXPECT_DEATH(ParseBatchWindowEnv("99999999999999999999"), "PIT_BATCH_WINDOW");
+}
+
 TEST(EnvParsingTest, BackendAcceptsKnownNames) {
   EXPECT_EQ(ParseBackendEnv("blocked"), ComputeBackend::kBlocked);
   EXPECT_EQ(ParseBackendEnv("reference"), ComputeBackend::kReference);

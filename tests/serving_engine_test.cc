@@ -280,5 +280,259 @@ TEST(ServingEngineTest, NumStreamsResolvesFromOptionsThenEnvThenThreads) {
   }
 }
 
+// ---- Continuous ragged batching --------------------------------------------
+//
+// Batched serving packs mixed-length requests into bucket-padded dense tiles
+// behind a block-diagonal mask. The contract under test: per-request outputs
+// are bitwise identical to the unbatched engine and the eager oracle at any
+// (streams x threads x scheduler x window x token budget) combination.
+
+TEST(RaggedBatchingTest, MatchesEagerAndUnbatchedAcrossCombinations) {
+  Rng wr(21);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {5, 9, 16}, 4, 22);
+
+  std::vector<Tensor> expected;
+  for (const ServeRequest& req : mix.requests) {
+    expected.push_back(stack.ForwardEager(req.x, req.attn_mask));
+  }
+
+  for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+    for (int threads : {1, 4}) {
+      for (int streams : {1, 2, 4}) {
+        ScopedPlanSched sched_guard(sched);
+        ScopedNumThreads thread_guard(threads);
+        ServingEngineOptions options;
+        options.num_streams = streams;
+        options.batch_window = 4;
+        options.max_batch_tokens = 48;
+        ServingEngine engine(stack, options);
+        std::vector<Tensor> outputs = engine.Serve(mix.requests);
+        ASSERT_EQ(outputs.size(), expected.size());
+        for (size_t i = 0; i < outputs.size(); ++i) {
+          ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i]))
+              << "request " << i << " (streams=" << streams << ", threads=" << threads
+              << ", sched=" << (sched == PlanSched::kWavefront ? "wavefront" : "seq") << ")";
+        }
+        // Requests were actually coalesced, not served 1:1.
+        EXPECT_LT(engine.stats().batches, engine.stats().requests);
+      }
+    }
+  }
+}
+
+TEST(RaggedBatchingTest, RandomizedMixedLengthFuzzMatchesOneToOne) {
+  // Fuzzed lengths, masks, and admission knobs: the batched engine must
+  // reproduce the unbatched single-stream engine bitwise for every request —
+  // batch composition, bucket padding, and the block-diagonal mask are
+  // invisible in the results.
+  Rng wr(23);
+  PlannedTransformerStack stack(2, 16, 2, 48, wr);
+  Rng fuzz(24);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Tensor> masks;
+    std::vector<ServeRequest> requests;
+    const int n = 8 + static_cast<int>(fuzz.NextBelow(10));
+    for (int i = 0; i < n; ++i) {
+      const int64_t tokens = 3 + static_cast<int64_t>(fuzz.NextBelow(14));
+      ServeRequest req;
+      req.x = Tensor::Random({tokens, 16}, fuzz);
+      if (fuzz.NextBool(0.5)) {
+        masks.push_back(MakeMask(tokens, fuzz));
+      }
+      requests.push_back(std::move(req));
+    }
+    // Wire masks after the vectors stop reallocating.
+    size_t mask_idx = 0;
+    for (ServeRequest& req : requests) {
+      if (mask_idx < masks.size() && masks[mask_idx].dim(0) == req.x.dim(0)) {
+        req.attn_mask = &masks[mask_idx];
+        ++mask_idx;
+      }
+    }
+
+    ScopedNumThreads threads(4);
+    ServingEngineOptions unbatched;
+    unbatched.num_streams = 1;
+    unbatched.batch_window = 1;
+    ServingEngine baseline(stack, unbatched);
+    std::vector<Tensor> expected = baseline.Serve(requests);
+
+    for (int window : {2, 5}) {
+      for (int max_tokens : {24, 64}) {
+        for (int streams : {1, 3}) {
+          ServingEngineOptions options;
+          options.num_streams = streams;
+          options.batch_window = window;
+          options.max_batch_tokens = max_tokens;
+          ServingEngine engine(stack, options);
+          std::vector<Tensor> outputs = engine.Serve(requests);
+          ASSERT_EQ(outputs.size(), expected.size());
+          for (size_t i = 0; i < outputs.size(); ++i) {
+            ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i]))
+                << "fuzz trial " << trial << " request " << i << " window " << window
+                << " max_tokens " << max_tokens << " streams " << streams;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RaggedBatchingTest, FfnStackBatchingMatchesEager) {
+  Rng wr(25);
+  PlannedFfnStack stack(3, 16, 64, wr);
+  Rng rr(26);
+  std::vector<ServeRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    ServeRequest req;
+    req.x = Tensor::Random({3 + 5 * (i % 4), 16}, rr);
+    requests.push_back(std::move(req));
+  }
+  ScopedNumThreads threads(4);
+  ServingEngineOptions options;
+  options.num_streams = 2;
+  options.batch_window = 4;
+  options.max_batch_tokens = 40;
+  ServingEngine engine(stack, options);
+  std::vector<Tensor> outputs = engine.Serve(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], stack.ForwardEager(requests[i].x)))
+        << "request " << i;
+  }
+  EXPECT_LT(engine.stats().batches, engine.stats().requests);
+}
+
+TEST(RaggedBatchingTest, PitBatchedServingMatchesSingleStreamBatched) {
+  // PIT kernel selection sees the packed tile's sparsity, so batched PIT is
+  // not bitwise against 1:1 PIT — the contract is stream-assignment
+  // invariance at fixed batching knobs.
+  Rng wr(27);
+  PlannedFfnStack stack(2, 16, 64, wr);
+  Rng rr(28);
+  std::vector<ServeRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    ServeRequest req;
+    req.x = Tensor::Random({4 + 3 * (i % 3), 16}, rr);
+    requests.push_back(std::move(req));
+  }
+  ScopedNumThreads threads(4);
+  ServingEngineOptions pit;
+  pit.use_pit = true;
+  pit.batch_window = 3;
+  pit.max_batch_tokens = 32;
+  pit.num_streams = 1;
+  ServingEngine baseline(stack, pit);
+  std::vector<Tensor> expected = baseline.Serve(requests);
+
+  pit.num_streams = 3;
+  ServingEngine engine(stack, pit);
+  std::vector<Tensor> outputs = engine.Serve(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outputs[i], expected[i])) << "request " << i;
+  }
+}
+
+TEST(RaggedBatchingTest, StatsReportBucketsUtilizationAndPlanReuse) {
+  Rng wr(29);
+  PlannedTransformerStack stack(2, 16, 2, 48, wr);
+  RequestMix mix = BuildMix(16, {5, 9, 13}, 4, 30);
+
+  // Single stream: claims (and therefore the batch -> stream mapping) are
+  // deterministic, so the second-pass pure-hit assertions below cannot be
+  // perturbed by which stream first meets a bucket.
+  ScopedNumThreads threads(2);
+  ServingEngineOptions options;
+  options.num_streams = 1;
+  options.batch_window = 4;
+  options.max_batch_tokens = 40;
+  ServingEngine engine(stack, options);
+  engine.Serve(mix.requests);
+  const ServingEngineStats& stats = engine.stats();
+
+  EXPECT_EQ(stats.batch_window, 4);
+  EXPECT_EQ(stats.max_batch_tokens, 40);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_LT(stats.batches, stats.requests);
+  EXPECT_GT(stats.packed_utilization, 0.0);
+  EXPECT_LE(stats.packed_utilization, 1.0);
+  ASSERT_FALSE(stats.buckets.empty());
+  int64_t bucket_requests = 0;
+  int64_t prev_bucket = 0;
+  for (const ServingBucketStats& b : stats.buckets) {
+    EXPECT_GT(b.bucket, prev_bucket);  // ascending, distinct
+    prev_bucket = b.bucket;
+    // Power-of-two bucket grid, floored at 16.
+    EXPECT_GE(b.bucket, 16);
+    EXPECT_EQ(b.bucket & (b.bucket - 1), 0) << "bucket " << b.bucket;
+    EXPECT_GE(b.requests, b.batches);
+    EXPECT_GE(b.packed_tokens, b.batches);  // at least one real row per batch
+    EXPECT_EQ(b.computed_tokens, b.batches * b.bucket);
+    EXPECT_GE(b.plan_misses, 1);  // someone compiled the bucket's plan
+    EXPECT_GE(b.pool_contexts_highwater, b.pool_contexts);
+    EXPECT_GE(b.p99_latency_us, b.p50_latency_us);
+    bucket_requests += b.requests;
+  }
+  EXPECT_EQ(bucket_requests, stats.requests);
+
+  // A second pass over the same mix composes the same batches: pure plan-pool
+  // hits, no new misses, unchanged pooled contexts.
+  std::vector<int64_t> misses_before;
+  for (const ServingBucketStats& b : stats.buckets) {
+    misses_before.push_back(b.plan_misses);
+  }
+  const int64_t contexts_before = stats.pool_contexts;
+  engine.Serve(mix.requests);
+  const ServingEngineStats& again = engine.stats();
+  EXPECT_EQ(again.pool_contexts, contexts_before);
+  ASSERT_EQ(again.buckets.size(), misses_before.size());
+  int64_t hits = 0;
+  for (size_t i = 0; i < again.buckets.size(); ++i) {
+    EXPECT_EQ(again.buckets[i].plan_misses, misses_before[i]) << "bucket " << i;
+    hits += again.buckets[i].plan_hits;
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(RaggedBatchingTest, KnobsResolveFromOptionsThenEnvThenDefault) {
+  Rng wr(31);
+  PlannedFfnStack stack(1, 8, 16, wr);
+  const char* saved_window = std::getenv("PIT_BATCH_WINDOW");
+  const std::string saved_window_value = saved_window != nullptr ? saved_window : "";
+  const char* saved_tokens = std::getenv("PIT_BATCH_TOKENS");
+  const std::string saved_tokens_value = saved_tokens != nullptr ? saved_tokens : "";
+  setenv("PIT_BATCH_WINDOW", "6", /*overwrite=*/1);
+  setenv("PIT_BATCH_TOKENS", "96", /*overwrite=*/1);
+  {
+    // Explicit options win over the environment.
+    ServingEngineOptions options;
+    options.batch_window = 3;
+    options.max_batch_tokens = 128;
+    ServingEngine engine(stack, options);
+    EXPECT_EQ(engine.batch_window(), 3);
+    EXPECT_EQ(engine.max_batch_tokens(), 128);
+  }
+  {
+    // No options: the strict-parsed environment knobs decide.
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.batch_window(), 6);
+    EXPECT_EQ(engine.max_batch_tokens(), 96);
+  }
+  unsetenv("PIT_BATCH_WINDOW");
+  unsetenv("PIT_BATCH_TOKENS");
+  {
+    // Neither: batching off (window 1) with the default token budget.
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.batch_window(), 1);
+    EXPECT_EQ(engine.max_batch_tokens(), 512);
+  }
+  if (saved_window != nullptr) {
+    setenv("PIT_BATCH_WINDOW", saved_window_value.c_str(), 1);
+  }
+  if (saved_tokens != nullptr) {
+    setenv("PIT_BATCH_TOKENS", saved_tokens_value.c_str(), 1);
+  }
+}
+
 }  // namespace
 }  // namespace pit

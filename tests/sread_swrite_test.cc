@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
+#include <span>
+#include <vector>
 
+#include "pit/common/parallel_for.h"
 #include "pit/core/sread_swrite.h"
 
 namespace pit {
@@ -93,6 +97,155 @@ TEST(MicroTileRoundTripTest, PackedShapeMatchesIndex) {
   Tensor packed = SReadMicroTiles(t, index);
   EXPECT_EQ(packed.dim(0), index.NumNonZero() * 2);
   EXPECT_EQ(packed.dim(1), 8);
+}
+
+// ---- Batch-axis packing fast paths (ragged batched serving) ----------------
+//
+// The serving engine packs mixed-length requests into arena-style staging
+// tiles through SReadRowsInto / SWriteRowsFrom, so these run against raw
+// caller-owned buffers wrapped in TensorViews, not owning Tensors.
+
+// Scalar oracle for the gather: dst row (dst_row0 + i) = src row row_ids[i].
+void ReferenceGather(const Tensor& src, const std::vector<int64_t>& rows,
+                     std::vector<float>& dst, int64_t dst_row0, int64_t cols) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[static_cast<size_t>((dst_row0 + static_cast<int64_t>(i)) * cols + c)] =
+          src.At(rows[i], c);
+    }
+  }
+}
+
+TEST(BatchPackTest, GatherIntoViewAtOffsetMatchesReference) {
+  Rng rng(21);
+  Tensor src = Tensor::Random({5, 3}, rng);
+  std::vector<float> arena(8 * 3, -7.0f);
+  const Shape dst_shape{8, 3};  // views borrow the Shape's dims: keep it alive
+  TensorView dst(arena.data(), dst_shape);
+  const std::vector<int64_t> rows = {4, 0, 2};
+  SReadRowsInto(src, rows, dst, /*dst_row0=*/2);
+  std::vector<float> want(8 * 3, -7.0f);
+  ReferenceGather(src, rows, want, 2, 3);
+  EXPECT_EQ(std::memcmp(arena.data(), want.data(), arena.size() * sizeof(float)), 0);
+  // Rows outside [2, 5) keep the arena's prior contents.
+  EXPECT_EQ(arena[0], -7.0f);
+  EXPECT_EQ(arena[5 * 3], -7.0f);
+}
+
+TEST(BatchPackTest, EmptyRowSetIsANoOp) {
+  Rng rng(22);
+  Tensor src = Tensor::Random({4, 6}, rng);
+  std::vector<float> arena(4 * 6, 3.0f);
+  const Shape view_shape{4, 6};
+  TensorView view(arena.data(), view_shape);
+  SReadRowsInto(src, std::span<const int64_t>{}, view, 0);
+  SWriteRowsFrom(src, 0, std::span<const int64_t>{}, view);
+  for (float v : arena) {
+    EXPECT_EQ(v, 3.0f);
+  }
+}
+
+TEST(BatchPackTest, SingleRowGatherScatter) {
+  Rng rng(23);
+  Tensor src = Tensor::Random({3, 4}, rng);
+  std::vector<float> packed(1 * 4, 0.0f);
+  const std::vector<int64_t> rows = {1};
+  SReadRowsInto(src, rows, TensorView(packed.data(), Shape{1, 4}), 0);
+  std::vector<float> out(3 * 4, 0.0f);
+  SWriteRowsFrom(ConstTensorView(packed.data(), Shape{1, 4}), 0, rows,
+                 TensorView(out.data(), Shape{3, 4}));
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(out[static_cast<size_t>(1 * 4 + c)], src.At(1, c));
+    EXPECT_EQ(out[static_cast<size_t>(0 * 4 + c)], 0.0f);
+  }
+}
+
+TEST(BatchPackTest, FullPermutationRoundTripsBitwise) {
+  Rng rng(24);
+  Tensor src = Tensor::Random({16, 7}, rng);
+  const std::vector<int64_t> perm = {9, 3, 15, 0, 7, 12, 1, 14, 4, 11, 6, 2, 13, 8, 10, 5};
+  std::vector<float> packed(16 * 7, 0.0f);
+  SReadRowsInto(src, perm, TensorView(packed.data(), Shape{16, 7}), 0);
+  std::vector<float> out(16 * 7, 0.0f);
+  SWriteRowsFrom(ConstTensorView(packed.data(), Shape{16, 7}), 0, perm,
+                 TensorView(out.data(), Shape{16, 7}));
+  EXPECT_EQ(std::memcmp(out.data(), src.data(), out.size() * sizeof(float)), 0);
+}
+
+// Mixed-length requests concatenated at ragged offsets into one padded tile,
+// then scattered back — exactly the serving engine's packing protocol,
+// including the identity-prefix row ids that exercise the consecutive-run
+// memcpy coalescing.
+TEST(BatchPackTest, RaggedTailsConcatenateAndScatterBack) {
+  Rng rng(25);
+  const std::vector<int64_t> lens = {5, 1, 9, 3};
+  constexpr int64_t kCols = 6;
+  constexpr int64_t kPadded = 32;  // 18 real rows + padding tail
+  std::vector<Tensor> requests;
+  std::vector<int64_t> iota;
+  for (int64_t len : lens) {
+    requests.push_back(Tensor::Random({len, kCols}, rng));
+  }
+  for (int64_t i = 0; i < 16; ++i) {
+    iota.push_back(i);
+  }
+  std::vector<float> arena(kPadded * kCols, 0.0f);
+  const Shape packed_shape{kPadded, kCols};
+  TensorView packed(arena.data(), packed_shape);
+  int64_t off = 0;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    SReadRowsInto(requests[r], std::span<const int64_t>(iota.data(), lens[r]), packed, off);
+    off += lens[r];
+  }
+  // Differential check against the scalar oracle over the packed area.
+  std::vector<float> want(kPadded * kCols, 0.0f);
+  off = 0;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    ReferenceGather(requests[r], std::vector<int64_t>(iota.begin(), iota.begin() + lens[r]),
+                    want, off, kCols);
+    off += lens[r];
+  }
+  EXPECT_EQ(std::memcmp(arena.data(), want.data(), arena.size() * sizeof(float)), 0);
+  // Scatter each request's span back out and compare bitwise.
+  off = 0;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    std::vector<float> out(static_cast<size_t>(lens[r] * kCols), 0.0f);
+    SWriteRowsFrom(packed, off, std::span<const int64_t>(iota.data(), lens[r]),
+                   TensorView(out.data(), Shape{lens[r], kCols}));
+    EXPECT_EQ(std::memcmp(out.data(), requests[r].data(), out.size() * sizeof(float)), 0)
+        << "request " << r;
+    off += lens[r];
+  }
+}
+
+TEST(BatchPackTest, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(26);
+  Tensor src = Tensor::Random({257, 33}, rng);  // odd sizes: ragged chunking
+  std::vector<int64_t> rows;
+  for (int64_t i = 0; i < src.dim(0); i += 2) {
+    rows.push_back(i);  // strided ids: no consecutive runs to coalesce
+  }
+  std::vector<std::vector<float>> gathered;
+  std::vector<std::vector<float>> scattered;
+  for (int threads : {1, 4, 7}) {
+    ScopedNumThreads scoped(threads);
+    std::vector<float> packed(rows.size() * 33, 0.0f);
+    SReadRowsInto(src, rows, TensorView(packed.data(), Shape{static_cast<int64_t>(rows.size()), 33}),
+                  0);
+    std::vector<float> out(static_cast<size_t>(src.size()), 0.0f);
+    SWriteRowsFrom(ConstTensorView(packed.data(), Shape{static_cast<int64_t>(rows.size()), 33}), 0,
+                   rows, TensorView(out.data(), Shape{257, 33}));
+    gathered.push_back(std::move(packed));
+    scattered.push_back(std::move(out));
+  }
+  for (size_t i = 1; i < gathered.size(); ++i) {
+    EXPECT_EQ(std::memcmp(gathered[0].data(), gathered[i].data(),
+                          gathered[0].size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(scattered[0].data(), scattered[i].data(),
+                          scattered[0].size() * sizeof(float)),
+              0);
+  }
 }
 
 // Permutation invariance at the primitive level: any order of the index
