@@ -1,12 +1,16 @@
 // Wall-clock speedup of the blocked + multi-threaded backend over the scalar
 // ReferenceBackend on the PIT hot paths, with results emitted as a
 // BENCH_*.json trajectory file (default BENCH_pr1.json, override with
-// --out <path>).
+// --out <path>), plus the PR 7 per-kernel scalar-vs-SIMD ISA-tier section
+// (default BENCH_pr7.json, override with --out7 <path>).
 //
 // Acceptance targets (4-core runner): >= 4x on dense 512x512x512 MatMul and
-// >= 2x on PitRowGatherMatmul at 25% row density.
+// >= 2x on PitRowGatherMatmul at 25% row density. PR 7 target: >= 2x on the
+// 1024^3 GEMM from the AVX2/FMA tier over the scalar blocked kernels at the
+// same thread count, armed whenever CPUID detects AVX2+FMA.
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +19,8 @@
 #include "pit/common/parallel_for.h"
 #include "pit/core/sparse_kernel.h"
 #include "pit/core/sread_swrite.h"
+#include "pit/runtime/models.h"
+#include "pit/runtime/serving_engine.h"
 #include "pit/tensor/ops.h"
 
 using namespace pit;
@@ -24,8 +30,10 @@ namespace {
 struct Case {
   std::string name;
   double reference_us = 0.0;
-  double blocked_us = 0.0;
+  double blocked_scalar_us = 0.0;  // blocked backend pinned to the scalar tier
+  double blocked_us = 0.0;         // blocked backend at the active (auto) tier
   double Speedup() const { return blocked_us > 0.0 ? reference_us / blocked_us : 0.0; }
+  double IsaSpeedup() const { return blocked_us > 0.0 ? blocked_scalar_us / blocked_us : 0.0; }
 };
 
 template <typename Fn>
@@ -38,29 +46,78 @@ Case Measure(const std::string& name, Fn&& fn, int reps) {
   }
   {
     ScopedBackend guard(ComputeBackend::kBlocked);
+    {
+      ScopedIsa tier(IsaTier::kScalar);
+      c.blocked_scalar_us = bench::TimeUs(fn, reps);
+    }
     c.blocked_us = bench::TimeUs(fn, reps);
   }
   return c;
 }
 
-// Real pool concurrency (shared probe in bench_util.h): the detector check
-// below is gated on it, since containers routinely report more hardware
-// threads than the cgroup quota actually provides.
-double ParallelProbeSpeedup() { return bench::ParallelProbeSpeedup(NumThreads()); }
+// PR 7: same kernel, scalar tier vs the detected SIMD tier, same thread
+// count — a pure ISA ratio (thread scaling cancels out, so it arms on ISA
+// detection rather than the parallel probe).
+struct IsaCase {
+  std::string name;
+  double scalar_us = 0.0;
+  double simd_us = 0.0;
+  double Speedup() const { return simd_us > 0.0 ? scalar_us / simd_us : 0.0; }
+};
+
+template <typename Fn>
+IsaCase MeasureIsa(const std::string& name, Fn&& fn, int reps) {
+  IsaCase c;
+  c.name = name;
+  ScopedBackend guard(ComputeBackend::kBlocked);
+  {
+    ScopedIsa tier(IsaTier::kScalar);
+    c.scalar_us = bench::TimeUs(fn, reps);
+  }
+  if (DetectedIsa() != IsaTier::kScalar) {
+    ScopedIsa tier(DetectedIsa());
+    c.simd_us = bench::TimeUs(fn, reps);
+  } else {
+    c.simd_us = c.scalar_us;  // no SIMD tier on this machine: ratio reads 1.0
+  }
+  return c;
+}
+
+// A block-diagonal [tokens, tokens] mask of `blocks` equal spans — the shape
+// ragged batched serving produces, where span skipping pays.
+Tensor BlockDiagonalMask(int64_t tokens, int64_t blocks) {
+  Tensor mask = Tensor::Zeros({tokens, tokens});
+  const int64_t span = tokens / blocks;
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * span;
+    const int64_t hi = b + 1 == blocks ? tokens : lo + span;
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = lo; j < hi; ++j) {
+        mask.At(i, j) = 1.0f;
+      }
+    }
+  }
+  return mask;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_pr1.json";
+  std::string out7_path = "BENCH_pr7.json";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) {
       out_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--out7") == 0) {
+      out7_path = argv[i + 1];
     }
   }
 
   bench::PrintHeader("Backend speedup — blocked+parallel vs. scalar reference",
                      "wall-clock microseconds, best of N reps; threads = " +
                          std::to_string(NumThreads()));
+  const bench::MachineProbe& mp = bench::GetMachineProbe();
 
   Rng rng(1);
   std::vector<Case> cases;
@@ -103,15 +160,20 @@ int main(int argc, char** argv) {
                             [&] { SWriteMicroTiles(SReadMicroTiles(t, index), index, &dst); }, 3));
   }
 
-  bench::Table table({"case", "reference(ms)", "blocked(ms)", "speedup"});
+  bench::Table table({"case", "reference(ms)", "blocked scalar(ms)", "blocked(ms)", "speedup",
+                      "isa speedup"});
   bench::JsonReport report("backend_speedup");
   for (const Case& c : cases) {
-    table.Row({c.name, bench::FmtMs(c.reference_us), bench::FmtMs(c.blocked_us),
-               bench::Fmt(c.Speedup(), "%.2fx")});
+    table.Row({c.name, bench::FmtMs(c.reference_us), bench::FmtMs(c.blocked_scalar_us),
+               bench::FmtMs(c.blocked_us), bench::Fmt(c.Speedup(), "%.2fx"),
+               bench::Fmt(c.IsaSpeedup(), "%.2fx")});
     report.Add(c.name, {{"reference_us", c.reference_us},
+                        {"blocked_scalar_us", c.blocked_scalar_us},
                         {"blocked_us", c.blocked_us},
                         {"speedup", c.Speedup()},
-                        {"threads", static_cast<double>(NumThreads())}});
+                        {"isa_speedup", c.IsaSpeedup()},
+                        {"isa", mp.isa_selected},
+                        {"threads", NumThreads()}});
   }
   if (!report.WriteFile(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
@@ -122,7 +184,7 @@ int main(int argc, char** argv) {
   // The detector scan must genuinely win under the blocked backend wherever
   // the pool has real cores to run on (the PR 1 result was flat because the
   // scan was a branchy scalar loop and the grain starved the workers).
-  const double probe = ParallelProbeSpeedup();
+  const double probe = bench::ParallelProbeSpeedup(NumThreads());
   for (const Case& c : cases) {
     if (c.name.rfind("detector_scan", 0) != 0) {
       continue;
@@ -141,6 +203,152 @@ int main(int argc, char** argv) {
       std::printf("%s: parallel assertion skipped (threads=%d, probe %.2fx — no effective "
                   "concurrency in this environment)\n",
                   c.name.c_str(), NumThreads(), probe);
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // PR 7: per-kernel ISA-tier speedups — the scalar blocked kernels vs the
+  // detected SIMD tier, same backend, same thread count. Same-thread ratios
+  // cancel the pool out entirely, so the GEMM acceptance assert arms on ISA
+  // detection alone (not on probe4).
+  // -------------------------------------------------------------------------
+  bench::PrintHeader("ISA-tier speedup — scalar kernels vs " + mp.isa_detected,
+                     "wall-clock microseconds, best of N reps; threads = " +
+                         std::to_string(NumThreads()) + ", both tiers");
+
+  std::vector<IsaCase> isa_cases;
+  {  // The acceptance anchor: 1024^3 GEMM.
+    Tensor a = Tensor::Random({1024, 1024}, rng);
+    Tensor b = Tensor::Random({1024, 1024}, rng);
+    isa_cases.push_back(MeasureIsa("gemm_1024x1024x1024", [&] { MatMul(a, b); }, 3));
+  }
+  {  // Fused bias+relu epilogue.
+    Tensor a = Tensor::Random({512, 512}, rng);
+    Tensor b = Tensor::Random({512, 512}, rng);
+    Tensor bias = Tensor::Random({512}, rng);
+    Tensor out = Tensor::Zeros({512, 512});
+    isa_cases.push_back(MeasureIsa("gemm_bias_relu_512x512x512",
+                                   [&] { MatMulBiasReluInto(a, b, bias, out); }, 3));
+  }
+  {  // Unmasked softmax over attention-logit-shaped rows.
+    Tensor t = Tensor::Random({2048, 2048}, rng);
+    Tensor out = Tensor::Zeros({2048, 2048});
+    isa_cases.push_back(
+        MeasureIsa("softmax_2048x2048", [&] { SoftmaxInto(t, nullptr, out); }, 3));
+  }
+  {  // Layernorm over FFN-shaped rows.
+    Tensor t = Tensor::Random({2048, 1024}, rng);
+    Tensor gamma = Tensor::Random({1024}, rng);
+    Tensor beta = Tensor::Random({1024}, rng);
+    Tensor out = Tensor::Zeros({2048, 1024});
+    isa_cases.push_back(
+        MeasureIsa("layernorm_2048x1024", [&] { LayerNormInto(t, gamma, beta, out); }, 3));
+  }
+  {  // Detector integer-OR span scan, at a span width the SIMD path engages
+     // on (spans below 16 elements stay on the inline scalar scan) and a
+     // sparsity where most spans scan to the end instead of early-exiting.
+    Tensor t = Tensor::RandomSparse({2048, 2048}, 0.999, rng);
+    SparsityDetector detector;
+    isa_cases.push_back(MeasureIsa("detector_scan_2048_mt1x128_999",
+                                   [&] { detector.Detect(t, MicroTileShape{1, 128}); }, 3));
+  }
+  {  // Elementwise chain (relu/add/scale row kernels).
+    Tensor t = Tensor::Random({2048, 1024}, rng);
+    Tensor u = Tensor::Random({2048, 1024}, rng);
+    Tensor out = Tensor::Zeros({2048, 1024});
+    isa_cases.push_back(MeasureIsa("elementwise_relu_add_scale_2048x1024", [&] {
+      ReluInto(t, out);
+      AddInto(out, u, out);
+      ScaleInto(out, 0.5f, out);
+    }, 3));
+  }
+  {  // SRead/SWrite row gather round trip.
+    Tensor t = Tensor::RandomBlockSparse(4096, 256, 1, 256, 0.5, rng);
+    SparsityDetector detector;
+    MicroTileIndex index = detector.DetectOrdered(t, MicroTileShape{1, 256});
+    std::vector<int64_t> row_ids;
+    row_ids.reserve(index.offsets.size());
+    for (int64_t off : index.offsets) {
+      row_ids.push_back(index.BlockRowOf(off));
+    }
+    Tensor dst = Tensor::Zeros({4096, 256});
+    isa_cases.push_back(MeasureIsa("row_gather_scatter_4096x256_50pct", [&] {
+      Tensor packed = SReadRows(t, row_ids);
+      SWriteRows(packed, row_ids, &dst);
+    }, 3));
+  }
+  {  // End-to-end: planned transformer stack forward (GEMM+softmax+layernorm
+     // + elementwise under one plan).
+    Rng model_rng(7);
+    PlannedTransformerStack stack(/*layers=*/2, /*hidden=*/128, /*heads=*/4, /*ffn_hidden=*/512,
+                                  model_rng);
+    Tensor x = Tensor::Random({128, 128}, rng);
+    isa_cases.push_back(
+        MeasureIsa("planned_transformer_2L_128t_d128", [&] { stack.Forward(x); }, 3));
+  }
+
+  bench::Table table7({"case", "scalar(ms)", mp.isa_detected + "(ms)", "isa speedup"});
+  bench::JsonReport report7("isa_speedup");
+  for (const IsaCase& c : isa_cases) {
+    table7.Row({c.name, bench::FmtMs(c.scalar_us), bench::FmtMs(c.simd_us),
+                bench::Fmt(c.Speedup(), "%.2fx")});
+    report7.Add(c.name, {{"scalar_us", c.scalar_us},
+                         {"simd_us", c.simd_us},
+                         {"isa_speedup", c.Speedup()},
+                         {"isa", mp.isa_detected},
+                         {"threads", NumThreads()}});
+  }
+
+  {  // Satellite: masked-softmax span skipping, on vs off, at the active tier
+     // (block-diagonal mask of 16 ragged-serving-style spans — 1/16 of each
+     // row unmasked, so the skip should approach the density ratio).
+    Tensor t = Tensor::Random({2048, 2048}, rng);
+    Tensor mask = BlockDiagonalMask(2048, 16);
+    const ConstTensorView maskv(mask);
+    Tensor out = Tensor::Zeros({2048, 2048});
+    ScopedBackend guard(ComputeBackend::kBlocked);
+    double skip_on, skip_off;
+    {
+      ScopedSoftmaxMaskSkip skip(true);
+      skip_on = bench::TimeUs([&] { SoftmaxInto(t, &maskv, out); }, 3);
+    }
+    {
+      ScopedSoftmaxMaskSkip skip(false);
+      skip_off = bench::TimeUs([&] { SoftmaxInto(t, &maskv, out); }, 3);
+    }
+    const double skip_speedup = skip_on > 0.0 ? skip_off / skip_on : 0.0;
+    table7.Row({"softmax_mask_skip_2048_16spans", bench::FmtMs(skip_off), bench::FmtMs(skip_on),
+                bench::Fmt(skip_speedup, "%.2fx")});
+    report7.Add("softmax_mask_skip_2048_16spans", {{"skip_off_us", skip_off},
+                                                   {"skip_on_us", skip_on},
+                                                   {"skip_speedup", skip_speedup},
+                                                   {"isa", mp.isa_selected},
+                                                   {"threads", NumThreads()}});
+  }
+
+  if (!report7.WriteFile(out7_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out7_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out7_path.c_str());
+
+  // Acceptance: the SIMD tier must carry the 1024^3 GEMM to >= 2x over the
+  // scalar blocked kernels whenever CPUID actually detected AVX2+FMA.
+  for (const IsaCase& c : isa_cases) {
+    if (c.name.rfind("gemm_1024", 0) != 0) {
+      continue;
+    }
+    if (mp.isa_detected != "scalar") {
+      if (c.Speedup() < 2.0) {
+        std::fprintf(stderr, "FAIL %s: %s speedup %.2fx < 2.0x over scalar tier\n",
+                     c.name.c_str(), mp.isa_detected.c_str(), c.Speedup());
+        return 1;
+      }
+      std::printf("%s %s speedup %.2fx >= 2.0x — OK\n", c.name.c_str(), mp.isa_detected.c_str(),
+                  c.Speedup());
+    } else {
+      std::printf("%s: SIMD assertion skipped (CPUID detected no AVX2+FMA on this machine)\n",
+                  c.name.c_str());
     }
   }
   return 0;

@@ -10,10 +10,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "pit/common/backend.h"
 #include "pit/common/parallel_for.h"
 
 namespace pit::bench {
@@ -106,12 +109,86 @@ inline double ParallelProbeSpeedup(int threads) {
   return multi > 0.0 ? single / multi : 1.0;
 }
 
+// A typed JSON field value: doubles print with %.6g, integers print as exact
+// integers (byte counters like pool_arena_bytes_highwater were previously
+// serialized in scientific notation, e.g. 9.66452e+07 — unreadable and lossy
+// past 2^24), strings print quoted.
+class JsonValue {
+ public:
+  JsonValue(double v) : kind_(Kind::kDouble), num_(v) {}          // NOLINT(runtime/explicit)
+  JsonValue(float v) : kind_(Kind::kDouble), num_(v) {}           // NOLINT(runtime/explicit)
+  JsonValue(int64_t v) : kind_(Kind::kInt), int_(v) {}            // NOLINT(runtime/explicit)
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}                // NOLINT(runtime/explicit)
+  JsonValue(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+  JsonValue(const char* v) : kind_(Kind::kString), str_(v) {}     // NOLINT(runtime/explicit)
+
+  std::string Serialized() const {
+    char buf[64];
+    switch (kind_) {
+      case Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+        return buf;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+        return buf;
+      case Kind::kString:
+        return "\"" + str_ + "\"";
+    }
+    return "null";
+  }
+
+ private:
+  enum class Kind { kDouble, kInt, kString };
+  Kind kind_;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+// One-shot machine probe shared by every bench: the ISA tier (detected by
+// CPUID and selected through PIT_ISA), the *reported* hardware thread count,
+// and the concurrency the pool *measurably* delivers at 4 workers. CI boxes
+// have reported hardware_threads=1 (disarming every speedup assert) and,
+// conversely, report far more threads than the cgroup quota provides — so
+// scaling asserts gate on probe4, and SIMD asserts gate on the detected
+// tier. Probed once, logged prominently on first use, embedded as "meta" in
+// every BENCH_*.json so the perf trajectory is interpretable across machines.
+struct MachineProbe {
+  std::string isa_detected;
+  std::string isa_selected;
+  int64_t hardware_threads = 0;  // as reported; may misstate the real quota
+  int64_t pool_workers = 0;
+  double probe4 = 1.0;  // measured pool speedup at 4 workers
+  bool SimdSelected() const { return isa_selected != "scalar"; }
+};
+
+inline const MachineProbe& GetMachineProbe() {
+  static const MachineProbe probe = [] {
+    MachineProbe p;
+    p.isa_detected = IsaName(DetectedIsa());
+    p.isa_selected = IsaName(ActiveIsa());
+    p.hardware_threads = static_cast<int64_t>(std::thread::hardware_concurrency());
+    p.pool_workers = NumThreads();
+    p.probe4 = ParallelProbeSpeedup(4);
+    std::printf(
+        "[machine] isa detected=%s selected=%s | hardware_threads=%lld (reported) | "
+        "pool_workers=%lld | measured pool speedup@4 = %.2fx%s\n",
+        p.isa_detected.c_str(), p.isa_selected.c_str(),
+        static_cast<long long>(p.hardware_threads), static_cast<long long>(p.pool_workers),
+        p.probe4,
+        p.probe4 > 2.0 ? "" : " — parallel-scaling asserts DISARMED (no effective concurrency)");
+    return p;
+  }();
+  return probe;
+}
+
 // Times `planned` at each swept worker count (warming once per width) and
 // appends the planned_us_tN fields every BENCH_*.json case records — one
 // helper so every bench sweeps the same thread set with the same naming.
 template <typename Fn>
-inline void SweepPlannedThreads(std::vector<std::pair<std::string, double>>* fields,
-                                Fn&& planned) {
+inline void SweepPlannedThreads(JsonFields* fields, Fn&& planned) {
   for (const int t : {1, 4, 8}) {
     ScopedNumThreads threads(t);
     planned();  // warm plans/scratch at this width
@@ -119,15 +196,16 @@ inline void SweepPlannedThreads(std::vector<std::pair<std::string, double>>* fie
   }
 }
 
-// Accumulates named records of numeric fields and writes them as a BENCH_*.json
+// Accumulates named records of typed fields and writes them as a BENCH_*.json
 // trajectory file:
-//   {"bench": "...", "results": [{"name": "...", "f1": v1, ...}, ...]}
-// Values are emitted with %.6g — wall-clock numbers, not simulated time.
+//   {"bench": "...", "meta": {...}, "results": [{"name": "...", ...}, ...]}
+// The meta block carries the MachineProbe (ISA tiers, hardware threads, pool
+// width, measured 4-way speedup) so every report is self-describing.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
 
-  void Add(const std::string& name, std::vector<std::pair<std::string, double>> fields) {
+  void Add(const std::string& name, JsonFields fields) {
     records_.emplace_back(name, std::move(fields));
   }
 
@@ -136,11 +214,20 @@ class JsonReport {
     if (f == nullptr) {
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_name_.c_str());
+    const MachineProbe& mp = GetMachineProbe();
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f,
+                 "  \"meta\": {\"isa_detected\": \"%s\", \"isa_selected\": \"%s\", "
+                 "\"hardware_threads\": %lld, \"pool_workers\": %lld, "
+                 "\"pool_speedup_at_4\": %.3f},\n",
+                 mp.isa_detected.c_str(), mp.isa_selected.c_str(),
+                 static_cast<long long>(mp.hardware_threads),
+                 static_cast<long long>(mp.pool_workers), mp.probe4);
+    std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "    {\"name\": \"%s\"", records_[i].first.c_str());
       for (const auto& [key, value] : records_[i].second) {
-        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+        std::fprintf(f, ", \"%s\": %s", key.c_str(), value.Serialized().c_str());
       }
       std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
@@ -151,7 +238,7 @@ class JsonReport {
 
  private:
   std::string bench_name_;
-  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> records_;
+  std::vector<std::pair<std::string, JsonFields>> records_;
 };
 
 }  // namespace pit::bench

@@ -116,7 +116,7 @@ struct GraphCase {
   double planned_us = 0.0;
   // Planned latency swept over PIT_NUM_THREADS (the PR 3 numbers recorded
   // threads: 1 only): ready-to-emit (planned_us_tN, best-of-N us) fields.
-  std::vector<std::pair<std::string, double>> planned_by_threads;
+  bench::JsonFields planned_by_threads;
   int64_t arena_bytes = 0;
   int64_t sum_temporary_bytes = 0;
   int64_t allocs_per_forward = -1;
@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
                bench::Fmt(speedup, "%.2fx"), bench::Fmt(c.arena_bytes / 1024.0, "%.0f"),
                bench::Fmt(c.sum_temporary_bytes / 1024.0, "%.0f"),
                bench::Fmt(static_cast<double>(c.allocs_per_forward), "%.0f")});
-    std::vector<std::pair<std::string, double>> fields{
+    bench::JsonFields fields{
         {"eager_us", c.eager_us},
         {"planned_us", c.planned_us},
         {"speedup", speedup},
@@ -242,7 +242,7 @@ int main(int argc, char** argv) {
     table.Row({"ffn_stack_4x128x256", bench::FmtMs(eager_us), bench::FmtMs(planned_us),
                bench::Fmt(speedup, "%.2fx"), bench::Fmt(stats.arena_bytes / 1024.0, "%.0f"),
                bench::Fmt(stats.sum_temporary_bytes / 1024.0, "%.0f"), "-"});
-    std::vector<std::pair<std::string, double>> fields{
+    bench::JsonFields fields{
         {"eager_us", eager_us},
         {"planned_us", planned_us},
         {"speedup", speedup},

@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
                  bench::Fmt(speedup, "%.2fx"), bench::Fmt(stats.arena_bytes / 1024.0, "%.0f"),
                  bench::Fmt(stats.sum_temporary_bytes / 1024.0, "%.0f"),
                  bench::Fmt(static_cast<double>(allocs), "%.0f")});
-      std::vector<std::pair<std::string, double>> fields{
+      bench::JsonFields fields{
           {"eager_us", eager_us},
           {"planned_us", planned_us},
           {"speedup", speedup},
@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
     table.Row({"transformer_stack_2x128x256", bench::FmtMs(eager_us), bench::FmtMs(planned_us),
                bench::Fmt(speedup, "%.2fx"), bench::Fmt(stats.arena_bytes / 1024.0, "%.0f"),
                bench::Fmt(stats.sum_temporary_bytes / 1024.0, "%.0f"), "-"});
-    std::vector<std::pair<std::string, double>> fields{
+    bench::JsonFields fields{
         {"eager_us", eager_us},
         {"planned_us", planned_us},
         {"speedup", speedup},

@@ -5,13 +5,22 @@
 #include <cstring>
 #include <vector>
 
+#include "pit/common/backend.h"
+#include "pit/common/gemm_scalar_kernels.h"
 #include "pit/common/parallel_for.h"
+#include "pit/common/simd_kernels.h"
 
 namespace pit {
 namespace {
 
-constexpr int64_t kMr = 4;    // register-tile rows
-constexpr int64_t kNr = 16;   // register-tile cols (2 cache lines)
+// Scalar register-tile kernels (the kScalar tier / differential oracle) live
+// in gemm_scalar_kernels.cc, compiled with auto-vectorization off.
+using scalar_kernels::Kernel4x16;
+using scalar_kernels::Kernel4x16PackedA;
+using scalar_kernels::KernelEdge;
+using scalar_kernels::kMr;
+using scalar_kernels::kNr;
+
 constexpr int64_t kKc = 256;  // k-panel depth: panel of B stays hot in L2
 
 std::atomic<bool> g_pack_b{true};
@@ -45,18 +54,6 @@ constexpr int64_t kMinKToPackA = 2048;
 // Rows per packed A group: 16 row blocks x kKc panel = 64 KiB of scratch,
 // resident in L1/L2 while its blocks stream through the column tiles.
 constexpr int64_t kPackARowBlocks = 16;
-
-// The packed microkernel walks its p loop in blocks of this many rows and
-// hints the next block's packed A/B lines between blocks. Hints must stay out
-// of the inner loop: a prefetch intrinsic inside it makes the compiler spill
-// the accumulator tile to the stack (measured ~8x slower).
-constexpr int64_t kPrefetchBlockRows = 64;
-
-#if defined(__GNUC__) || defined(__clang__)
-#define PIT_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
-#else
-#define PIT_PREFETCH(addr) ((void)0)
-#endif
 
 // Packs B[p0:p1, 0:n] into `out` as consecutive 16-wide tiles, each tile laid
 // out p-major with dense kNr rows (ragged last tile zero-padded). Tile jt
@@ -102,124 +99,6 @@ void PackAPanel(const float* a, int64_t lda, int64_t blk0, int64_t blk1, int64_t
   }
 }
 
-// Epilogue store shared by every kernel: bias add then optional ReLU clamp,
-// in the exact per-element order of the separate MatMulBiasInto + ReluInto
-// passes, so fusing never changes a bit.
-inline float Epilogue(float acc, const float* bias, int64_t j, bool relu) {
-  float v = bias ? acc + bias[j] : acc;
-  if (relu) {
-    v = v > 0.0f ? v : 0.0f;
-  }
-  return v;
-}
-
-// Full 4x16 register tile: C[0:4, 0:16] += A[0:4, p0:p1] * B[p0:p1, 0:16].
-// `a` is the tile's first A row, `b`/`c` are offset to the tile's first
-// column. The accumulator array is small enough that -O3 keeps it entirely in
-// vector registers; the inner loop is a broadcast-axpy that auto-vectorises.
-inline void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-                       int64_t ldc, int64_t p0, int64_t p1, const float* bias, bool relu) {
-  float acc[kMr][kNr];
-  for (int64_t r = 0; r < kMr; ++r) {
-    for (int64_t j = 0; j < kNr; ++j) {
-      acc[r][j] = c[r * ldc + j];
-    }
-  }
-  for (int64_t p = p0; p < p1; ++p) {
-    const float* brow = b + p * ldb;
-    const float a0 = a[p];
-    const float a1 = a[lda + p];
-    const float a2 = a[2 * lda + p];
-    const float a3 = a[3 * lda + p];
-    for (int64_t j = 0; j < kNr; ++j) {
-      const float bv = brow[j];
-      acc[0][j] += a0 * bv;
-      acc[1][j] += a1 * bv;
-      acc[2][j] += a2 * bv;
-      acc[3][j] += a3 * bv;
-    }
-  }
-  for (int64_t r = 0; r < kMr; ++r) {
-    for (int64_t j = 0; j < kNr; ++j) {
-      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
-    }
-  }
-}
-
-// As Kernel4x16 but reading a register-tile-interleaved packed A tile
-// (element (r, p) at apack[p*4 + r], p relative to the panel) — the packed
-// microkernel. Issues prefetch hints for the upcoming packed A run and the
-// upcoming B row (dense kNr-wide rows when B is packed too). Accumulation
-// order per element is identical to the strided kernel.
-inline void Kernel4x16PackedA(const float* apack, const float* b, int64_t ldb, float* c,
-                              int64_t ldc, int64_t rows, const float* bias, bool relu) {
-  float acc[kMr][kNr];
-  for (int64_t r = 0; r < kMr; ++r) {
-    for (int64_t j = 0; j < kNr; ++j) {
-      acc[r][j] = c[r * ldc + j];
-    }
-  }
-  for (int64_t pb = 0; pb < rows; pb += kPrefetchBlockRows) {
-    const int64_t pe = std::min(rows, pb + kPrefetchBlockRows);
-    if (pe < rows) {
-      // Hint the head of the next block's packed A run and B rows while this
-      // block streams — outside the hot loop so the accumulators stay in
-      // registers.
-      PIT_PREFETCH(apack + pe * kMr);
-      PIT_PREFETCH(apack + pe * kMr + 16);
-      PIT_PREFETCH(b + pe * ldb);
-    }
-    for (int64_t p = pb; p < pe; ++p) {
-      const float* ap = apack + p * kMr;
-      const float* brow = b + p * ldb;
-      const float a0 = ap[0];
-      const float a1 = ap[1];
-      const float a2 = ap[2];
-      const float a3 = ap[3];
-      for (int64_t j = 0; j < kNr; ++j) {
-        const float bv = brow[j];
-        acc[0][j] += a0 * bv;
-        acc[1][j] += a1 * bv;
-        acc[2][j] += a2 * bv;
-        acc[3][j] += a3 * bv;
-      }
-    }
-  }
-  for (int64_t r = 0; r < kMr; ++r) {
-    for (int64_t j = 0; j < kNr; ++j) {
-      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
-    }
-  }
-}
-
-// Ragged-edge tile (mr < 4 and/or nr < 16). Accumulates in the same p-ascending
-// per-element order as Kernel4x16, so which kernel covers a row never changes
-// the numeric result.
-inline void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
-                       int64_t ldc, int64_t mr, int64_t nr, int64_t p0, int64_t p1,
-                       const float* bias, bool relu) {
-  float acc[kMr][kNr];
-  for (int64_t r = 0; r < mr; ++r) {
-    for (int64_t j = 0; j < nr; ++j) {
-      acc[r][j] = c[r * ldc + j];
-    }
-  }
-  for (int64_t p = p0; p < p1; ++p) {
-    const float* brow = b + p * ldb;
-    for (int64_t r = 0; r < mr; ++r) {
-      const float av = a[r * lda + p];
-      for (int64_t j = 0; j < nr; ++j) {
-        acc[r][j] += av * brow[j];
-      }
-    }
-  }
-  for (int64_t r = 0; r < mr; ++r) {
-    for (int64_t j = 0; j < nr; ++j) {
-      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
-    }
-  }
-}
-
 }  // namespace
 
 void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const float* b,
@@ -238,6 +117,12 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
     }
     return;
   }
+  // Resolve the ISA tier's kernel table once per call: every chunk of this
+  // GEMM — and the scalar edge kernel inside it — then contracts with the
+  // same fma chain, so results are independent of tiling, packing, and
+  // thread count within the tier. Null table = scalar blocked kernels (the
+  // differential oracle).
+  const simd::GemmKernels* sk = UseSimd() ? simd::GemmKernelsFor(ActiveIsa()) : nullptr;
   // Parallel over 4-row blocks of C (disjoint outputs, tile-aligned chunk
   // boundaries => bitwise-identical results for any thread count). Grain keeps
   // at least ~1 MFLOP per dispatched chunk.
@@ -307,23 +192,43 @@ void GemmF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda, const
               const float* btile = bpack.data() + jt * panel_rows * kNr;
               if (mr == kMr && nr == kNr) {
                 if (apack_tile != nullptr) {
-                  Kernel4x16PackedA(apack_tile, btile, kNr, ctile + j, ldc, panel_rows, bias_j,
-                                    panel_relu);
+                  if (sk) {
+                    sk->tile4x16_packed_a(apack_tile, btile, kNr, ctile + j, ldc, panel_rows,
+                                          bias_j, panel_relu);
+                  } else {
+                    Kernel4x16PackedA(apack_tile, btile, kNr, ctile + j, ldc, panel_rows, bias_j,
+                                      panel_relu);
+                  }
+                } else if (sk) {
+                  sk->tile4x16(atile + pc, lda, btile, kNr, ctile + j, ldc, 0, panel_rows, bias_j,
+                               panel_relu);
                 } else {
                   Kernel4x16(atile + pc, lda, btile, kNr, ctile + j, ldc, 0, panel_rows, bias_j,
                              panel_relu);
                 }
+              } else if (sk) {
+                sk->edge(atile + pc, lda, btile, kNr, ctile + j, ldc, mr, nr, 0, panel_rows,
+                         bias_j, panel_relu);
               } else {
                 KernelEdge(atile + pc, lda, btile, kNr, ctile + j, ldc, mr, nr, 0, panel_rows,
                            bias_j, panel_relu);
               }
             } else if (mr == kMr && nr == kNr) {
               if (apack_tile != nullptr) {
-                Kernel4x16PackedA(apack_tile, b + pc * ldb + j, ldb, ctile + j, ldc, panel_rows,
-                                  bias_j, panel_relu);
+                if (sk) {
+                  sk->tile4x16_packed_a(apack_tile, b + pc * ldb + j, ldb, ctile + j, ldc,
+                                        panel_rows, bias_j, panel_relu);
+                } else {
+                  Kernel4x16PackedA(apack_tile, b + pc * ldb + j, ldb, ctile + j, ldc, panel_rows,
+                                    bias_j, panel_relu);
+                }
+              } else if (sk) {
+                sk->tile4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j, panel_relu);
               } else {
                 Kernel4x16(atile, lda, b + j, ldb, ctile + j, ldc, pc, p1, bias_j, panel_relu);
               }
+            } else if (sk) {
+              sk->edge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j, panel_relu);
             } else {
               KernelEdge(atile, lda, b + j, ldb, ctile + j, ldc, mr, nr, pc, p1, bias_j,
                          panel_relu);

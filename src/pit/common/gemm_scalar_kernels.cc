@@ -1,0 +1,132 @@
+// Scalar GEMM register-tile kernels. This TU is compiled with the
+// auto-vectorizer off (CMakeLists.txt) so the kScalar ISA tier is genuinely
+// scalar regardless of -march; see the header for why that matters and why it
+// cannot change results.
+#include "pit/common/gemm_scalar_kernels.h"
+
+#include <algorithm>
+
+namespace pit::scalar_kernels {
+namespace {
+
+// The packed kernel walks its p loop in blocks of this many rows and hints
+// the next block's packed A/B lines between blocks. Hints must stay out of
+// the inner loop: a prefetch intrinsic inside it makes the compiler spill the
+// accumulator tile to the stack (measured ~8x slower). Keep in lockstep with
+// the SIMD kernels' constant (simd_kernels.cc).
+constexpr int64_t kPrefetchBlockRows = 64;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PIT_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define PIT_PREFETCH(addr) ((void)0)
+#endif
+
+// Epilogue store shared by every kernel: bias add then optional ReLU clamp,
+// in the exact per-element order of the separate MatMulBiasInto + ReluInto
+// passes, so fusing never changes a bit.
+inline float Epilogue(float acc, const float* bias, int64_t j, bool relu) {
+  float v = bias ? acc + bias[j] : acc;
+  if (relu) {
+    v = v > 0.0f ? v : 0.0f;
+  }
+  return v;
+}
+
+}  // namespace
+
+void Kernel4x16(const float* a, int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+                int64_t p0, int64_t p1, const float* bias, bool relu) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    const float a0 = a[p];
+    const float a1 = a[lda + p];
+    const float a2 = a[2 * lda + p];
+    const float a3 = a[3 * lda + p];
+    for (int64_t j = 0; j < kNr; ++j) {
+      const float bv = brow[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
+    }
+  }
+}
+
+void Kernel4x16PackedA(const float* apack, const float* b, int64_t ldb, float* c, int64_t ldc,
+                       int64_t rows, const float* bias, bool relu) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t pb = 0; pb < rows; pb += kPrefetchBlockRows) {
+    const int64_t pe = std::min(rows, pb + kPrefetchBlockRows);
+    if (pe < rows) {
+      // Hint the head of the next block's packed A run and B rows while this
+      // block streams — outside the hot loop so the accumulators stay in
+      // registers.
+      PIT_PREFETCH(apack + pe * kMr);
+      PIT_PREFETCH(apack + pe * kMr + 16);
+      PIT_PREFETCH(b + pe * ldb);
+    }
+    for (int64_t p = pb; p < pe; ++p) {
+      const float* ap = apack + p * kMr;
+      const float* brow = b + p * ldb;
+      const float a0 = ap[0];
+      const float a1 = ap[1];
+      const float a2 = ap[2];
+      const float a3 = ap[3];
+      for (int64_t j = 0; j < kNr; ++j) {
+        const float bv = brow[j];
+        acc[0][j] += a0 * bv;
+        acc[1][j] += a1 * bv;
+        acc[2][j] += a2 * bv;
+        acc[3][j] += a3 * bv;
+      }
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
+    }
+  }
+}
+
+void KernelEdge(const float* a, int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+                int64_t mr, int64_t nr, int64_t p0, int64_t p1, const float* bias, bool relu) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * lda + p];
+      for (int64_t j = 0; j < nr; ++j) {
+        acc[r][j] += av * brow[j];
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      c[r * ldc + j] = Epilogue(acc[r][j], bias, j, relu);
+    }
+  }
+}
+
+}  // namespace pit::scalar_kernels

@@ -1,0 +1,530 @@
+#include "pit/common/simd_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "pit/common/check.h"
+
+#if PIT_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace pit {
+namespace simd {
+
+#if PIT_SIMD_X86
+
+// Everything below carries a function-level target attribute so this TU
+// compiles under baseline -march (e.g. the TSan job's -DPIT_NATIVE_ARCH=OFF
+// build); the tables at the bottom are only handed out after a runtime
+// DetectedIsa() gate, so no vector instruction executes on unsupported CPUs.
+#define PIT_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#define PIT_TARGET_AVX512 __attribute__((target("avx512f")))
+
+namespace {
+
+// The packed microkernels hint the next block's packed A/B lines at these
+// row-block boundaries, matching the scalar packed kernel: hints inside the
+// hot loop make the compiler spill the accumulator tile (measured ~8x
+// slower in the scalar kernel; the same hazard applies here).
+constexpr int64_t kPrefetchBlockRows = 64;
+
+// ---- GEMM 4x16 --------------------------------------------------------------
+
+// Fused epilogue on one 8-lane accumulator: bias add then relu clamp, the
+// exact per-lane order of the scalar Epilogue (add, then v > 0 ? v : 0 —
+// _mm256_max_ps(v, 0) matches that ternary bit-for-bit including NaN -> 0
+// and -0 -> +0).
+PIT_TARGET_AVX2 inline __m256 Epilogue8(__m256 acc, const float* bias, bool relu) {
+  if (bias != nullptr) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(bias));
+  }
+  if (relu) {
+    acc = _mm256_max_ps(acc, _mm256_setzero_ps());
+  }
+  return acc;
+}
+
+PIT_TARGET_AVX2 void GemmTile4x16Avx2(const float* a, int64_t lda, const float* b, int64_t ldb,
+                                      float* c, int64_t ldc, int64_t p0, int64_t p1,
+                                      const float* bias, bool relu) {
+  __m256 acc00 = _mm256_loadu_ps(c);
+  __m256 acc01 = _mm256_loadu_ps(c + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + ldc);
+  __m256 acc11 = _mm256_loadu_ps(c + ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    const __m256 a0 = _mm256_broadcast_ss(a + p);
+    acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+    acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+    const __m256 a1 = _mm256_broadcast_ss(a + lda + p);
+    acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+    acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+    const __m256 a2 = _mm256_broadcast_ss(a + 2 * lda + p);
+    acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+    acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+    const __m256 a3 = _mm256_broadcast_ss(a + 3 * lda + p);
+    acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+    acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+  }
+  _mm256_storeu_ps(c, Epilogue8(acc00, bias, relu));
+  _mm256_storeu_ps(c + 8, Epilogue8(acc01, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + ldc, Epilogue8(acc10, bias, relu));
+  _mm256_storeu_ps(c + ldc + 8, Epilogue8(acc11, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + 2 * ldc, Epilogue8(acc20, bias, relu));
+  _mm256_storeu_ps(c + 2 * ldc + 8, Epilogue8(acc21, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + 3 * ldc, Epilogue8(acc30, bias, relu));
+  _mm256_storeu_ps(c + 3 * ldc + 8, Epilogue8(acc31, bias ? bias + 8 : nullptr, relu));
+}
+
+PIT_TARGET_AVX2 void GemmTile4x16PackedAAvx2(const float* apack, const float* b, int64_t ldb,
+                                             float* c, int64_t ldc, int64_t rows,
+                                             const float* bias, bool relu) {
+  __m256 acc00 = _mm256_loadu_ps(c);
+  __m256 acc01 = _mm256_loadu_ps(c + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + ldc);
+  __m256 acc11 = _mm256_loadu_ps(c + ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  for (int64_t pb = 0; pb < rows; pb += kPrefetchBlockRows) {
+    const int64_t pe = std::min(rows, pb + kPrefetchBlockRows);
+    if (pe < rows) {
+      _mm_prefetch(reinterpret_cast<const char*>(apack + pe * 4), _MM_HINT_T2);
+      _mm_prefetch(reinterpret_cast<const char*>(apack + pe * 4 + 16), _MM_HINT_T2);
+      _mm_prefetch(reinterpret_cast<const char*>(b + pe * ldb), _MM_HINT_T2);
+    }
+    for (int64_t p = pb; p < pe; ++p) {
+      const float* ap = apack + p * 4;
+      const float* brow = b + p * ldb;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      const __m256 a0 = _mm256_broadcast_ss(ap);
+      acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+      acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+      const __m256 a1 = _mm256_broadcast_ss(ap + 1);
+      acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+      acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+      const __m256 a2 = _mm256_broadcast_ss(ap + 2);
+      acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+      acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+      const __m256 a3 = _mm256_broadcast_ss(ap + 3);
+      acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+      acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+    }
+  }
+  _mm256_storeu_ps(c, Epilogue8(acc00, bias, relu));
+  _mm256_storeu_ps(c + 8, Epilogue8(acc01, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + ldc, Epilogue8(acc10, bias, relu));
+  _mm256_storeu_ps(c + ldc + 8, Epilogue8(acc11, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + 2 * ldc, Epilogue8(acc20, bias, relu));
+  _mm256_storeu_ps(c + 2 * ldc + 8, Epilogue8(acc21, bias ? bias + 8 : nullptr, relu));
+  _mm256_storeu_ps(c + 3 * ldc, Epilogue8(acc30, bias, relu));
+  _mm256_storeu_ps(c + 3 * ldc + 8, Epilogue8(acc31, bias ? bias + 8 : nullptr, relu));
+}
+
+// Ragged-edge tile under the SIMD tiers: scalar loops contracted with fmaf
+// (lowered to vfmadd under the target attribute) in the same ascending-p
+// order as the vector lanes, so the per-element chain — and therefore the
+// result — is identical regardless of which kernel covers an element. That
+// uniformity is what keeps the tier's results independent of row position,
+// column splits, packing, and tiling.
+PIT_TARGET_AVX2 void GemmEdgeFma(const float* a, int64_t lda, const float* b, int64_t ldb,
+                                 float* c, int64_t ldc, int64_t mr, int64_t nr, int64_t p0,
+                                 int64_t p1, const float* bias, bool relu) {
+  float acc[4][16];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      acc[r][j] = c[r * ldc + j];
+    }
+  }
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * ldb;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * lda + p];
+      for (int64_t j = 0; j < nr; ++j) {
+        acc[r][j] = __builtin_fmaf(av, brow[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) {
+      float v = bias ? acc[r][j] + bias[j] : acc[r][j];
+      if (relu) {
+        v = v > 0.0f ? v : 0.0f;
+      }
+      c[r * ldc + j] = v;
+    }
+  }
+}
+
+PIT_TARGET_AVX512 inline __m512 Epilogue16(__m512 acc, const float* bias, bool relu) {
+  if (bias != nullptr) {
+    acc = _mm512_add_ps(acc, _mm512_loadu_ps(bias));
+  }
+  if (relu) {
+    acc = _mm512_max_ps(acc, _mm512_setzero_ps());
+  }
+  return acc;
+}
+
+// AVX-512 full tile: one 16-lane accumulator per row. Each lane runs the
+// same per-element fma chain as the AVX2 lanes, so the two SIMD tiers are
+// bitwise identical.
+PIT_TARGET_AVX512 void GemmTile4x16Avx512(const float* a, int64_t lda, const float* b,
+                                          int64_t ldb, float* c, int64_t ldc, int64_t p0,
+                                          int64_t p1, const float* bias, bool relu) {
+  __m512 acc0 = _mm512_loadu_ps(c);
+  __m512 acc1 = _mm512_loadu_ps(c + ldc);
+  __m512 acc2 = _mm512_loadu_ps(c + 2 * ldc);
+  __m512 acc3 = _mm512_loadu_ps(c + 3 * ldc);
+  for (int64_t p = p0; p < p1; ++p) {
+    const __m512 bv = _mm512_loadu_ps(b + p * ldb);
+    acc0 = _mm512_fmadd_ps(_mm512_set1_ps(a[p]), bv, acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_set1_ps(a[lda + p]), bv, acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_set1_ps(a[2 * lda + p]), bv, acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_set1_ps(a[3 * lda + p]), bv, acc3);
+  }
+  _mm512_storeu_ps(c, Epilogue16(acc0, bias, relu));
+  _mm512_storeu_ps(c + ldc, Epilogue16(acc1, bias, relu));
+  _mm512_storeu_ps(c + 2 * ldc, Epilogue16(acc2, bias, relu));
+  _mm512_storeu_ps(c + 3 * ldc, Epilogue16(acc3, bias, relu));
+}
+
+PIT_TARGET_AVX512 void GemmTile4x16PackedAAvx512(const float* apack, const float* b, int64_t ldb,
+                                                 float* c, int64_t ldc, int64_t rows,
+                                                 const float* bias, bool relu) {
+  __m512 acc0 = _mm512_loadu_ps(c);
+  __m512 acc1 = _mm512_loadu_ps(c + ldc);
+  __m512 acc2 = _mm512_loadu_ps(c + 2 * ldc);
+  __m512 acc3 = _mm512_loadu_ps(c + 3 * ldc);
+  for (int64_t pb = 0; pb < rows; pb += kPrefetchBlockRows) {
+    const int64_t pe = std::min(rows, pb + kPrefetchBlockRows);
+    if (pe < rows) {
+      _mm_prefetch(reinterpret_cast<const char*>(apack + pe * 4), _MM_HINT_T2);
+      _mm_prefetch(reinterpret_cast<const char*>(apack + pe * 4 + 16), _MM_HINT_T2);
+      _mm_prefetch(reinterpret_cast<const char*>(b + pe * ldb), _MM_HINT_T2);
+    }
+    for (int64_t p = pb; p < pe; ++p) {
+      const float* ap = apack + p * 4;
+      const __m512 bv = _mm512_loadu_ps(b + p * ldb);
+      acc0 = _mm512_fmadd_ps(_mm512_set1_ps(ap[0]), bv, acc0);
+      acc1 = _mm512_fmadd_ps(_mm512_set1_ps(ap[1]), bv, acc1);
+      acc2 = _mm512_fmadd_ps(_mm512_set1_ps(ap[2]), bv, acc2);
+      acc3 = _mm512_fmadd_ps(_mm512_set1_ps(ap[3]), bv, acc3);
+    }
+  }
+  _mm512_storeu_ps(c, Epilogue16(acc0, bias, relu));
+  _mm512_storeu_ps(c + ldc, Epilogue16(acc1, bias, relu));
+  _mm512_storeu_ps(c + 2 * ldc, Epilogue16(acc2, bias, relu));
+  _mm512_storeu_ps(c + 3 * ldc, Epilogue16(acc3, bias, relu));
+}
+
+// ---- Vector exp -------------------------------------------------------------
+
+// Cephes-style expf: range-reduce by log2(e), 5th-order polynomial on the
+// remainder, scale by 2^n through the exponent bits. ~2 ulp over the clamped
+// range. The scalar mirror below runs the exact same fma chain (fmaf lowers
+// to vfmadd under the target attribute), so tail elements equal what a
+// vector lane would have produced — per-element values are position
+// independent.
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2E = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+PIT_TARGET_AVX2 inline __m256 ExpPoly8(__m256 x) {
+  x = _mm256_min_ps(x, _mm256_set1_ps(kExpHi));
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(kLog2E), _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kLn2Hi)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kLn2Lo)));
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(kExpP0);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP1));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP2));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP3));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP4));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP5));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvttps_epi32(fx);
+  const __m256i pow2 = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(0x7f)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+// Scalar mirror of ExpPoly8: same clamps (min/max lane semantics), same fma
+// chain, same exponent-bit 2^n.
+PIT_TARGET_AVX2 inline float ExpPoly1(float x) {
+  x = x < kExpHi ? x : kExpHi;
+  x = x > kExpLo ? x : kExpLo;
+  float fx = __builtin_fmaf(x, kLog2E, 0.5f);
+  fx = std::floor(fx);
+  x -= fx * kLn2Hi;
+  x -= fx * kLn2Lo;
+  const float z = x * x;
+  float y = kExpP0;
+  y = __builtin_fmaf(y, x, kExpP1);
+  y = __builtin_fmaf(y, x, kExpP2);
+  y = __builtin_fmaf(y, x, kExpP3);
+  y = __builtin_fmaf(y, x, kExpP4);
+  y = __builtin_fmaf(y, x, kExpP5);
+  y = __builtin_fmaf(y, z, x);
+  y += 1.0f;
+  const int32_t n = static_cast<int32_t>(fx);
+  const uint32_t bits = static_cast<uint32_t>(n + 127) << 23;
+  float pow2;
+  std::memcpy(&pow2, &bits, sizeof(pow2));
+  return y * pow2;
+}
+
+// ---- Row kernels (AVX2, shared by both SIMD tiers) --------------------------
+
+PIT_TARGET_AVX2 inline float HorizontalSum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+PIT_TARGET_AVX2 inline float HorizontalMax8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+PIT_TARGET_AVX2 float RowMaxAvx2(const float* x, int64_t n) {
+  constexpr float kNegInf = -__builtin_inff();
+  float maxv = kNegInf;
+  int64_t i = 0;
+  if (n >= 8) {
+    __m256 acc = _mm256_set1_ps(kNegInf);
+    for (; i + 8 <= n; i += 8) {
+      acc = _mm256_max_ps(acc, _mm256_loadu_ps(x + i));
+    }
+    maxv = HorizontalMax8(acc);
+  }
+  for (; i < n; ++i) {
+    maxv = std::max(maxv, x[i]);
+  }
+  return maxv;
+}
+
+PIT_TARGET_AVX2 float ExpSumAvx2(const float* x, int64_t n, float maxv, float* out) {
+  constexpr float kNegInf = -__builtin_inff();
+  const __m256 vneg_inf = _mm256_set1_ps(kNegInf);
+  const __m256 vmax = _mm256_set1_ps(maxv);
+  __m256 vsum = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    // A raw -inf score must contribute exactly 0, the scalar oracle's
+    // convention (clamped poly exp would give ~1e-38 instead).
+    const __m256 is_ninf = _mm256_cmp_ps(v, vneg_inf, _CMP_EQ_OQ);
+    const __m256 e = _mm256_andnot_ps(is_ninf, ExpPoly8(_mm256_sub_ps(v, vmax)));
+    _mm256_storeu_ps(out + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float sum = n >= 8 ? HorizontalSum8(vsum) : 0.0f;
+  for (; i < n; ++i) {
+    const float e = x[i] == kNegInf ? 0.0f : ExpPoly1(x[i] - maxv);
+    out[i] = e;
+    sum += e;
+  }
+  return sum;
+}
+
+PIT_TARGET_AVX2 void DivInplaceAvx2(float* x, int64_t n, float denom) {
+  const __m256 vd = _mm256_set1_ps(denom);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_div_ps(_mm256_loadu_ps(x + i), vd));
+  }
+  for (; i < n; ++i) {
+    x[i] /= denom;
+  }
+}
+
+PIT_TARGET_AVX2 void AddAvx2(const float* a, const float* b, float* c, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+PIT_TARGET_AVX2 void ReluAvx2(const float* a, float* c, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) {
+    c[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+}
+
+PIT_TARGET_AVX2 void ScaleAvx2(const float* a, float factor, float* c, int64_t n) {
+  const __m256 vf = _mm256_set1_ps(factor);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vf));
+  }
+  for (; i < n; ++i) {
+    c[i] = a[i] * factor;
+  }
+}
+
+PIT_TARGET_AVX2 float SumAvx2(const float* x, int64_t n) {
+  __m256 vsum = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(x + i));
+  }
+  float sum = n >= 8 ? HorizontalSum8(vsum) : 0.0f;
+  for (; i < n; ++i) {
+    sum += x[i];
+  }
+  return sum;
+}
+
+PIT_TARGET_AVX2 float SqDiffSumAvx2(const float* x, int64_t n, float mean) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  __m256 vsum = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean);
+    vsum = _mm256_fmadd_ps(d, d, vsum);
+  }
+  float sum = n >= 8 ? HorizontalSum8(vsum) : 0.0f;
+  for (; i < n; ++i) {
+    const float d = x[i] - mean;
+    sum = __builtin_fmaf(d, d, sum);
+  }
+  return sum;
+}
+
+PIT_TARGET_AVX2 void NormalizeAvx2(const float* x, int64_t n, float mean, float inv,
+                                   const float* gamma, const float* beta, float* c) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+    _mm256_storeu_ps(c + i, _mm256_fmadd_ps(t, _mm256_loadu_ps(gamma + i),
+                                            _mm256_loadu_ps(beta + i)));
+  }
+  for (; i < n; ++i) {
+    const float t = (x[i] - mean) * inv;
+    c[i] = __builtin_fmaf(t, gamma[i], beta[i]);
+  }
+}
+
+PIT_TARGET_AVX2 bool SpanNonZeroAvx2(const float* p, int64_t count) {
+  // Same predicate as the scalar integer-OR scan: nonzero magnitude bits
+  // anywhere in the span, early exit every 64-byte stride.
+  const __m256i mag = _mm256_set1_epi32(0x7fffffff);
+  int64_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m256i w0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i w1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 8));
+    const __m256i v = _mm256_and_si256(_mm256_or_si256(w0, w1), mag);
+    if (!_mm256_testz_si256(v, v)) {
+      return true;
+    }
+  }
+  if (i + 8 <= count) {
+    const __m256i w =
+        _mm256_and_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), mag);
+    if (!_mm256_testz_si256(w, w)) {
+      return true;
+    }
+    i += 8;
+  }
+  for (; i < count; ++i) {
+    if (p[i] != 0.0f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PIT_TARGET_AVX2 void CopyAvx2(const float* src, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+    _mm256_storeu_ps(dst + i + 8, _mm256_loadu_ps(src + i + 8));
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+  }
+  for (; i < n; ++i) {
+    dst[i] = src[i];
+  }
+}
+
+const GemmKernels kGemmAvx2{GemmTile4x16Avx2, GemmTile4x16PackedAAvx2, GemmEdgeFma};
+const GemmKernels kGemmAvx512{GemmTile4x16Avx512, GemmTile4x16PackedAAvx512, GemmEdgeFma};
+const RowKernels kRowAvx2{RowMaxAvx2, ExpSumAvx2, DivInplaceAvx2, AddAvx2,      ReluAvx2,
+                          ScaleAvx2,  SumAvx2,    SqDiffSumAvx2,  NormalizeAvx2, SpanNonZeroAvx2,
+                          CopyAvx2};
+
+}  // namespace
+
+#endif  // PIT_SIMD_X86
+
+const GemmKernels* GemmKernelsFor(IsaTier tier) {
+#if PIT_SIMD_X86
+  if (tier == IsaTier::kScalar) {
+    return nullptr;
+  }
+  PIT_CHECK(static_cast<int>(tier) <= static_cast<int>(DetectedIsa()))
+      << "IsaTier " << IsaName(tier) << " forced above DetectedIsa()="
+      << IsaName(DetectedIsa()) << "; executing its kernels would SIGILL";
+  return tier == IsaTier::kAvx512 ? &kGemmAvx512 : &kGemmAvx2;
+#else
+  (void)tier;
+  return nullptr;
+#endif
+}
+
+const RowKernels* RowKernelsFor(IsaTier tier) {
+#if PIT_SIMD_X86
+  if (tier == IsaTier::kScalar) {
+    return nullptr;
+  }
+  PIT_CHECK(static_cast<int>(tier) <= static_cast<int>(DetectedIsa()))
+      << "IsaTier " << IsaName(tier) << " forced above DetectedIsa()="
+      << IsaName(DetectedIsa()) << "; executing its kernels would SIGILL";
+  return &kRowAvx2;
+#else
+  (void)tier;
+  return nullptr;
+#endif
+}
+
+}  // namespace simd
+}  // namespace pit

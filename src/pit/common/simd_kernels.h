@@ -1,0 +1,95 @@
+// Explicit vector microkernels behind the IsaTier dispatch (common/backend.h).
+//
+// Kernels are grouped into two dispatch tables resolved once per op call:
+//  - GemmKernels: the 4x16 register-tile GEMM kernels (strided, packed-A, and
+//    ragged-edge variants) with the fused bias / bias+relu epilogue. The AVX2
+//    and AVX-512 variants contract with fma — one rounding per multiply-add
+//    instead of two — so they differ from the scalar blocked oracle within
+//    tolerance; but every variant (vector lanes AND the scalar fma edge
+//    kernel) applies the exact same ascending-p fma chain per element, so a
+//    result never depends on which kernel covered it, on tiling, packing, row
+//    position, or thread count. AVX-512 lanes run the same per-element chain
+//    as AVX2 lanes: the two SIMD tiers are bitwise identical to each other.
+//  - RowKernels: row/segment primitives for softmax (max / exp-sum / divide),
+//    layernorm (sum / squared-diff sum / normalize), the elementwise kernels
+//    (add/relu/scale), the detector's span-nonzero scan, and the row-gather
+//    copy. All lane across the column dimension. add/relu/scale/copy and
+//    span_nonzero perform per-lane IEEE ops with no reduction, so they are
+//    bitwise equal to the scalar tier. row_max is an exact reduction (max is
+//    associative). exp_sum uses a polynomial exp and a lane-grouped sum,
+//    sum/sqdiff_sum are lane-grouped: tolerance vs scalar, deterministic for
+//    a fixed span length. Both SIMD tiers share the AVX2 row kernels.
+//
+// All intrinsics live in simd_kernels.cc behind function-level
+// __attribute__((target(...))), so this TU builds even when the global flags
+// lack -mavx2 (e.g. -DPIT_NATIVE_ARCH=OFF); dispatch is gated at runtime on
+// DetectedIsa().
+#ifndef PIT_COMMON_SIMD_KERNELS_H_
+#define PIT_COMMON_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "pit/common/backend.h"
+
+namespace pit {
+namespace simd {
+
+struct GemmKernels {
+  // C[0:4, 0:16] += A[0:4, p0:p1] * B[p0:p1, 0:16]; same contract as the
+  // scalar Kernel4x16 (a = tile's first A row, b/c offset to the tile's
+  // first column).
+  void (*tile4x16)(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+                   int64_t ldc, int64_t p0, int64_t p1, const float* bias, bool relu);
+  // Register-tile-interleaved packed-A variant (element (r, p) at
+  // apack[p*4 + r], p relative to the panel); same contract as the scalar
+  // Kernel4x16PackedA, including the block-boundary prefetch hints.
+  void (*tile4x16_packed_a)(const float* apack, const float* b, int64_t ldb, float* c,
+                            int64_t ldc, int64_t rows, const float* bias, bool relu);
+  // Ragged-edge tile (mr < 4 and/or nr < 16): scalar loops contracted with
+  // fmaf so the per-element chain matches the vector lanes exactly.
+  void (*edge)(const float* a, int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+               int64_t mr, int64_t nr, int64_t p0, int64_t p1, const float* bias, bool relu);
+};
+
+struct RowKernels {
+  // max over x[0:n) (exact; -inf identity seed like the scalar loop).
+  float (*row_max)(const float* x, int64_t n);
+  // out[i] = poly_exp(x[i] - maxv), with x[i] == -inf blended to exactly 0
+  // (the scalar oracle's masked-lane convention); returns sum(out). Every
+  // element — vector lane or tail — runs the identical fma polynomial, so
+  // per-element values are position-independent; only the returned sum is
+  // lane-grouped.
+  float (*exp_sum)(const float* x, int64_t n, float maxv, float* out);
+  // x[i] /= denom in place (per-lane IEEE division, bitwise equal to the
+  // scalar divide given the same inputs).
+  void (*div_inplace)(float* x, int64_t n, float denom);
+  // Elementwise c = a + b / c = max(a, 0) / c = a * factor: bitwise equal to
+  // the scalar loops.
+  void (*add)(const float* a, const float* b, float* c, int64_t n);
+  void (*relu)(const float* a, float* c, int64_t n);
+  void (*scale)(const float* a, float factor, float* c, int64_t n);
+  // sum over x[0:n) (lane-grouped; layernorm mean).
+  float (*sum)(const float* x, int64_t n);
+  // sum of (x[i] - mean)^2 (lane-grouped fma; layernorm variance).
+  float (*sqdiff_sum)(const float* x, int64_t n, float mean);
+  // c[i] = fmaf((x[i] - mean) * inv, gamma[i], beta[i]) — the layernorm
+  // normalize pass; identical chain for lanes and tail.
+  void (*normalize)(const float* x, int64_t n, float mean, float inv, const float* gamma,
+                    const float* beta, float* c);
+  // Any element of p[0:count) != 0.0f — the detector's magnitude-masked
+  // integer-OR scan; exact predicate, bitwise-identical tile sets.
+  bool (*span_nonzero)(const float* p, int64_t count);
+  // dst[0:n) = src[0:n): the row-gather copy (exact).
+  void (*copy)(const float* src, float* dst, int64_t n);
+};
+
+// Kernel tables for a SIMD tier; nullptr when `tier` is kScalar or the build
+// lacks x86 intrinsics. Forcing a tier above DetectedIsa() aborts — executing
+// those kernels would SIGILL.
+const GemmKernels* GemmKernelsFor(IsaTier tier);
+const RowKernels* RowKernelsFor(IsaTier tier);
+
+}  // namespace simd
+}  // namespace pit
+
+#endif  // PIT_COMMON_SIMD_KERNELS_H_

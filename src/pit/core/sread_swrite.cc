@@ -6,6 +6,7 @@
 #include "pit/common/backend.h"
 #include "pit/common/check.h"
 #include "pit/common/parallel_for.h"
+#include "pit/common/simd_kernels.h"
 
 namespace pit {
 
@@ -18,6 +19,23 @@ int64_t RowGrain(int64_t cols) {
   return std::max<int64_t>(1, kCopyGrainBytes / std::max<int64_t>(1, cols * 4));
 }
 
+// Copies beyond this take memcpy's bulk (ERMS) path; below it the vector
+// copy avoids the call and size-dispatch overhead that dominates short
+// gather rows. Both paths move bits unchanged.
+constexpr int64_t kSimdCopyMaxElems = 1024;
+
+inline const simd::RowKernels* GatherRowKernels() {
+  return UseSimd() ? simd::RowKernelsFor(ActiveIsa()) : nullptr;
+}
+
+inline void CopyRowSpan(const simd::RowKernels* rk, const float* src, float* dst, int64_t n) {
+  if (rk != nullptr && n <= kSimdCopyMaxElems) {
+    rk->copy(src, dst, n);
+  } else {
+    std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+  }
+}
+
 }  // namespace
 
 Tensor SReadRows(ConstTensorView src, std::span<const int64_t> row_ids) {
@@ -25,14 +43,14 @@ Tensor SReadRows(ConstTensorView src, std::span<const int64_t> row_ids) {
   const int64_t cols = src.dim(1);
   const int64_t n = static_cast<int64_t>(row_ids.size());
   Tensor out({n, cols});
-  // Row-chunk memcpy gather; each output row is owned by exactly one chunk.
+  // Row-chunk gather; each output row is owned by exactly one chunk.
+  const simd::RowKernels* rk = GatherRowKernels();
   ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const int64_t r = row_ids[static_cast<size_t>(i)];
       PIT_CHECK_GE(r, 0);
       PIT_CHECK_LT(r, src.dim(0));
-      std::memcpy(out.data() + i * cols, src.data() + r * cols,
-                  static_cast<size_t>(cols) * sizeof(float));
+      CopyRowSpan(rk, src.data() + r * cols, out.data() + i * cols, cols);
     }
   });
   return out;
@@ -76,13 +94,13 @@ void SWriteRows(ConstTensorView packed, std::span<const int64_t> row_ids, Tensor
   // row_ids are distinct (they come from a micro-tile index), so the scatter
   // targets are disjoint and the chunks race-free.
   const int64_t n_ids = static_cast<int64_t>(row_ids.size());
+  const simd::RowKernels* rk = GatherRowKernels();
   ParallelFor(n_ids, GrainOrSerial(n_ids, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const int64_t r = row_ids[static_cast<size_t>(i)];
       PIT_CHECK_GE(r, 0);
       PIT_CHECK_LT(r, dst.dim(0));
-      std::memcpy(dst.data() + r * cols, packed.data() + i * cols,
-                  static_cast<size_t>(cols) * sizeof(float));
+      CopyRowSpan(rk, packed.data() + i * cols, dst.data() + r * cols, cols);
     }
   });
 }
@@ -102,9 +120,10 @@ void SReadRowsInto(ConstTensorView src, std::span<const int64_t> row_ids, Tensor
   PIT_CHECK_LE(dst_row0 + n, dst.dim(0));
   const int64_t cols = src.dim(1);
   // Chunk over the packed rows; inside a chunk, maximal runs of consecutive
-  // source ids collapse into one memcpy (a request's token rows are one run).
+  // source ids collapse into one copy (a request's token rows are one run).
   // Chunk boundaries only split runs, never reorder rows, so the result is
   // chunk-count independent.
+  const simd::RowKernels* rk = GatherRowKernels();
   ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1;) {
       const int64_t r = row_ids[static_cast<size_t>(i)];
@@ -115,8 +134,7 @@ void SReadRowsInto(ConstTensorView src, std::span<const int64_t> row_ids, Tensor
              r + run < src.dim(0)) {
         ++run;
       }
-      std::memcpy(dst.data() + (dst_row0 + i) * cols, src.data() + r * cols,
-                  static_cast<size_t>(run * cols) * sizeof(float));
+      CopyRowSpan(rk, src.data() + r * cols, dst.data() + (dst_row0 + i) * cols, run * cols);
       i += run;
     }
   });
@@ -133,6 +151,7 @@ void SWriteRowsFrom(ConstTensorView packed, int64_t src_row0, std::span<const in
   const int64_t cols = dst.dim(1);
   // Distinct ids make the parallel scatter race-free; consecutive-id runs
   // coalesce exactly as in SReadRowsInto.
+  const simd::RowKernels* rk = GatherRowKernels();
   ParallelFor(n, GrainOrSerial(n, RowGrain(cols)), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1;) {
       const int64_t r = row_ids[static_cast<size_t>(i)];
@@ -143,8 +162,7 @@ void SWriteRowsFrom(ConstTensorView packed, int64_t src_row0, std::span<const in
              r + run < dst.dim(0)) {
         ++run;
       }
-      std::memcpy(dst.data() + r * cols, packed.data() + (src_row0 + i) * cols,
-                  static_cast<size_t>(run * cols) * sizeof(float));
+      CopyRowSpan(rk, packed.data() + (src_row0 + i) * cols, dst.data() + r * cols, run * cols);
       i += run;
     }
   });

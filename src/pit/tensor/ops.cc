@@ -1,18 +1,30 @@
 #include "pit/tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "pit/common/backend.h"
 #include "pit/common/gemm_microkernel.h"
 #include "pit/common/parallel_for.h"
+#include "pit/common/simd_kernels.h"
 
 namespace pit {
 
 namespace {
+
+std::atomic<bool> g_softmax_mask_skip{true};
+
+// Row kernels for the active ISA tier, or null for the scalar loops. The
+// reference backend always gets null: it is the oracle and must not share
+// code with the kernels under test.
+inline const simd::RowKernels* ActiveRowKernels() {
+  return UseSimd() ? simd::RowKernelsFor(ActiveIsa()) : nullptr;
+}
 
 // Iterations per dispatched chunk for cheap element-wise loops; keeps the pool
 // out of the picture for small tensors.
@@ -185,7 +197,13 @@ void AddInto(ConstTensorView a, ConstTensorView b, TensorView c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  // Lane-wise IEEE add: the vector path is bitwise equal to the scalar loop.
+  const simd::RowKernels* rk = ActiveRowKernels();
   ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    if (rk != nullptr) {
+      rk->add(pa + lo, pb + lo, pc + lo, hi - lo);
+      return;
+    }
     for (int64_t i = lo; i < hi; ++i) {
       pc[i] = pa[i] + pb[i];
     }
@@ -217,7 +235,15 @@ void ReluInto(ConstTensorView a, TensorView c) {
   PIT_CHECK_EQ(a.size(), c.size());
   const float* pa = a.data();
   float* pc = c.data();
+  // max(x, 0) lanes match the scalar ternary bit-for-bit (incl. NaN and -0),
+  // so the vector path is bitwise equal — and stays interchangeable with the
+  // GEMM kernels' fused relu epilogue.
+  const simd::RowKernels* rk = ActiveRowKernels();
   ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    if (rk != nullptr) {
+      rk->relu(pa + lo, pc + lo, hi - lo);
+      return;
+    }
     for (int64_t i = lo; i < hi; ++i) {
       pc[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
     }
@@ -234,7 +260,14 @@ void ScaleInto(ConstTensorView a, float factor, TensorView c) {
   PIT_CHECK_EQ(a.size(), c.size());
   const float* pa = a.data();
   float* pc = c.data();
+  // Lane-wise IEEE multiply: the vector path is bitwise equal to the scalar
+  // loop.
+  const simd::RowKernels* rk = ActiveRowKernels();
   ParallelFor(a.size(), GrainOrSerial(a.size(), kElemGrain), [&](int64_t lo, int64_t hi) {
+    if (rk != nullptr) {
+      rk->scale(pa + lo, factor, pc + lo, hi - lo);
+      return;
+    }
     for (int64_t i = lo; i < hi; ++i) {
       pc[i] = pa[i] * factor;
     }
@@ -359,39 +392,129 @@ void SoftmaxInto(ConstTensorView a, const ConstTensorView* mask, TensorView c) {
         << "softmax mask must match the input rows or its trailing plane";
   }
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  // Resolved once per call: vector row kernels under a SIMD tier, and span
+  // skipping for masked rows under the blocked backend. Skipping is exact —
+  // a masked column contributes -inf to the max and +0.0f to the sum, both
+  // identities, and its 0-write equals the oracle's 0/sum — so the scalar
+  // skip path is bitwise equal to the unskipped loop. The vector kernels run
+  // span-relative (lanes grouped from each span's start), so a packed
+  // request row (one block-diagonal span at offset o) is bitwise identical
+  // to the same request served 1:1 at offset 0.
+  const simd::RowKernels* rk = ActiveRowKernels();
+  const bool skip = mask != nullptr && UseBlockedBackend() && SoftmaxMaskSkipEnabled();
   // Rows are independent; per-row math is identical to the reference loop.
   ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
               [&](int64_t i0, int64_t i1) {
+                thread_local std::vector<std::pair<int64_t, int64_t>> spans;
                 for (int64_t i = i0; i < i1; ++i) {
                   const float* arow = a.data() + i * n;
                   float* crow = c.data() + i * n;
                   const float* mrow =
                       mask != nullptr ? mask->data() + (i % mask_rows) * n : nullptr;
+                  if ((mrow != nullptr && !skip) || (mrow == nullptr && rk == nullptr)) {
+                    // Scalar full-row loop: the reference/blocked oracle, and
+                    // the unskipped differential oracle for the span path.
+                    float maxv = kNegInf;
+                    for (int64_t j = 0; j < n; ++j) {
+                      const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
+                      maxv = std::max(maxv, v);
+                    }
+                    if (maxv == kNegInf) {
+                      // Fully-masked row is all-zero; the output may be a
+                      // dirty arena slice, so write the zeros explicitly.
+                      for (int64_t j = 0; j < n; ++j) {
+                        crow[j] = 0.0f;
+                      }
+                      continue;
+                    }
+                    float sum = 0.0f;
+                    for (int64_t j = 0; j < n; ++j) {
+                      const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
+                      const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
+                      crow[j] = e;
+                      sum += e;
+                    }
+                    for (int64_t j = 0; j < n; ++j) {
+                      crow[j] /= sum;
+                    }
+                    continue;
+                  }
+                  // Span path: process the row as its maximal runs of
+                  // unmasked columns (one [0, n) span when unmasked); the
+                  // fully-masked gaps write zeros without touching exp.
+                  spans.clear();
+                  if (mrow == nullptr) {
+                    spans.emplace_back(0, n);
+                  } else {
+                    for (int64_t j = 0; j < n;) {
+                      while (j < n && mrow[j] == 0.0f) {
+                        ++j;
+                      }
+                      const int64_t s = j;
+                      while (j < n && mrow[j] != 0.0f) {
+                        ++j;
+                      }
+                      if (j > s) {
+                        spans.emplace_back(s, j);
+                      }
+                    }
+                  }
                   float maxv = kNegInf;
-                  for (int64_t j = 0; j < n; ++j) {
-                    const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
-                    maxv = std::max(maxv, v);
+                  for (const auto& [s, e] : spans) {
+                    if (rk != nullptr) {
+                      maxv = std::max(maxv, rk->row_max(arow + s, e - s));
+                    } else {
+                      for (int64_t j = s; j < e; ++j) {
+                        maxv = std::max(maxv, arow[j]);
+                      }
+                    }
                   }
                   if (maxv == kNegInf) {
-                    // Fully-masked row is all-zero; the output may be a dirty
-                    // arena slice, so write the zeros explicitly.
+                    // Fully masked (or all unmasked scores -inf): all-zero
+                    // row, written explicitly for dirty arena slices.
                     for (int64_t j = 0; j < n; ++j) {
                       crow[j] = 0.0f;
                     }
                     continue;
                   }
                   float sum = 0.0f;
-                  for (int64_t j = 0; j < n; ++j) {
-                    const float v = (mrow && mrow[j] == 0.0f) ? kNegInf : arow[j];
-                    const float e = v == kNegInf ? 0.0f : std::exp(v - maxv);
-                    crow[j] = e;
-                    sum += e;
+                  int64_t prev = 0;
+                  for (const auto& [s, e] : spans) {
+                    for (int64_t j = prev; j < s; ++j) {
+                      crow[j] = 0.0f;
+                    }
+                    if (rk != nullptr) {
+                      sum += rk->exp_sum(arow + s, e - s, maxv, crow + s);
+                    } else {
+                      for (int64_t j = s; j < e; ++j) {
+                        const float ev =
+                            arow[j] == kNegInf ? 0.0f : std::exp(arow[j] - maxv);
+                        crow[j] = ev;
+                        sum += ev;
+                      }
+                    }
+                    prev = e;
                   }
-                  for (int64_t j = 0; j < n; ++j) {
-                    crow[j] /= sum;
+                  for (int64_t j = prev; j < n; ++j) {
+                    crow[j] = 0.0f;
+                  }
+                  for (const auto& [s, e] : spans) {
+                    if (rk != nullptr) {
+                      rk->div_inplace(crow + s, e - s, sum);
+                    } else {
+                      for (int64_t j = s; j < e; ++j) {
+                        crow[j] /= sum;
+                      }
+                    }
                   }
                 }
               });
+}
+
+bool SoftmaxMaskSkipEnabled() { return g_softmax_mask_skip.load(std::memory_order_relaxed); }
+
+void SetSoftmaxMaskSkip(bool enabled) {
+  g_softmax_mask_skip.store(enabled, std::memory_order_relaxed);
 }
 
 Tensor Softmax(const Tensor& a, const Tensor* mask) {
@@ -416,11 +539,22 @@ void LayerNormInto(ConstTensorView a, ConstTensorView gamma, ConstTensorView bet
   PIT_CHECK_EQ(c.dim(1), n);
   const float* pg = gamma.data();
   const float* pb = beta.data();
+  // Vector path per row: lane-grouped sum / squared-diff-sum reductions and
+  // an fma normalize — tolerance vs the scalar loops (reassociated mean and
+  // variance), deterministic for a fixed row length.
+  const simd::RowKernels* rk = ActiveRowKernels();
   ParallelFor(m, GrainOrSerial(m, std::max<int64_t>(1, kElemGrain / (4 * std::max<int64_t>(1, n)))),
               [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i) {
                   const float* arow = a.data() + i * n;
                   float* crow = c.data() + i * n;
+                  if (rk != nullptr) {
+                    const float mean = rk->sum(arow, n) / static_cast<float>(n);
+                    const float var = rk->sqdiff_sum(arow, n, mean) / static_cast<float>(n);
+                    const float inv = 1.0f / std::sqrt(var + eps);
+                    rk->normalize(arow, n, mean, inv, pg, pb, crow);
+                    continue;
+                  }
                   float mean = 0.0f;
                   for (int64_t j = 0; j < n; ++j) {
                     mean += arow[j];

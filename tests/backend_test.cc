@@ -5,6 +5,7 @@
 // counts.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -14,7 +15,9 @@
 #include "pit/core/batched_kernel.h"
 #include "pit/core/sparse_kernel.h"
 #include "pit/core/sread_swrite.h"
+#include "pit/runtime/models.h"
 #include "pit/runtime/serving.h"
+#include "pit/runtime/serving_engine.h"
 #include "pit/tensor/ops.h"
 
 namespace pit {
@@ -292,6 +295,414 @@ TEST(BackendTest, ElementwiseOpsBitwiseStableAcrossThreadCounts) {
     EXPECT_TRUE(BitwiseEqual(Add(a, b), add1));
     EXPECT_TRUE(BitwiseEqual(Mul(a, b), mul1));
     EXPECT_TRUE(BitwiseEqual(Gelu(a), gelu1));
+  }
+}
+
+// ---- ISA tier differentials -------------------------------------------------
+//
+// Every vectorized kernel against the scalar blocked tier (the oracle), split
+// by contract: kernels that contract with FMA or re-associate a reduction
+// (GEMM epilogue paths, softmax's polynomial exp, layernorm's vector sums)
+// are tolerance- and ULP-bounded; order-preserving kernels (relu/add/scale,
+// the detector's exact predicate scan, row gathers) must match bit for bit.
+// Each comparison sweeps worker counts — within a fixed tier results must
+// also be bitwise thread-invariant.
+
+// Monotonic-integer ULP distance; large sentinel when signs differ and the
+// values are not both (near-)zero.
+int64_t UlpDiff(float a, float b) {
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float bits onto a monotonic integer line (+0 and
+  // -0 coincide), then the ULP distance is a plain difference.
+  const int64_t ma = ia >= 0 ? ia : (int64_t{-1} << 31) - ia;
+  const int64_t mb = ib >= 0 ? ib : (int64_t{-1} << 31) - ib;
+  return ma > mb ? ma - mb : mb - ma;
+}
+
+int64_t MaxUlpDiff(const Tensor& a, const Tensor& b) {
+  int64_t max_ulp = 0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_ulp = std::max(max_ulp, UlpDiff(a[i], b[i]));
+  }
+  return max_ulp;
+}
+
+// Max ULP distance over elements where both magnitudes clear `floor`: near
+// zero a tiny absolute difference spans enormous ULP counts (the exponent
+// ladder compresses), so reduction-reassociating kernels bound ULPs away
+// from zero and absolute error near it.
+int64_t MaxUlpDiffAbove(const Tensor& a, const Tensor& b, float floor) {
+  int64_t max_ulp = 0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i]) >= floor && std::abs(b[i]) >= floor) {
+      max_ulp = std::max(max_ulp, UlpDiff(a[i], b[i]));
+    }
+  }
+  return max_ulp;
+}
+
+bool SimdTierAvailable() { return DetectedIsa() != IsaTier::kScalar; }
+
+// Cross-tier ULP distance is NOT bounded for GEMM: the SIMD tier always
+// contracts a*b+c into fma, while the scalar tier only does when the compiler
+// emits it (-march=native builds; portable -DPIT_NATIVE_ARCH=OFF builds
+// round the product first), and cancellation can stretch that half-ULP gap
+// across the whole exponent ladder. The build-invariant contract is the
+// classic forward-error envelope instead: every tier's output must sit
+// within ~k*eps * sum_p |a_ip * b_pj| of a float64-accumulated oracle
+// (relu is 1-Lipschitz, so the same tolerance survives the epilogue).
+struct GemmOracle {
+  std::vector<double> value;  // row-major [m, n], float64 accumulation
+  std::vector<double> tol;    // per-element error envelope
+  int64_t m = 0, n = 0;
+};
+
+GemmOracle MakeGemmOracle(const Tensor& a, const Tensor& b, const Tensor* bias, bool relu) {
+  GemmOracle o;
+  o.m = a.shape()[0];
+  o.n = b.shape()[1];
+  const int64_t k = a.shape()[1];
+  constexpr double kEps = 1.19209290e-07;  // float32 machine epsilon
+  o.value.resize(o.m * o.n);
+  o.tol.resize(o.m * o.n);
+  for (int64_t i = 0; i < o.m; ++i) {
+    for (int64_t j = 0; j < o.n; ++j) {
+      double acc = 0.0;
+      double abs_acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double prod = static_cast<double>(a.At(i, p)) * static_cast<double>(b.At(p, j));
+        acc += prod;
+        abs_acc += std::abs(prod);
+      }
+      if (bias != nullptr) {
+        acc += static_cast<double>((*bias)[j]);
+        abs_acc += std::abs(static_cast<double>((*bias)[j]));
+      }
+      if (relu && acc < 0.0) {
+        acc = 0.0;
+      }
+      o.value[i * o.n + j] = acc;
+      o.tol[i * o.n + j] = 2.0 * static_cast<double>(k + 2) * kEps * abs_acc + 1e-12;
+    }
+  }
+  return o;
+}
+
+void ExpectWithinGemmEnvelope(const Tensor& got, const GemmOracle& o, const char* what) {
+  int64_t worst = -1;
+  double worst_ratio = 0.0;
+  for (int64_t i = 0; i < o.m * o.n; ++i) {
+    const double err = std::abs(static_cast<double>(got[i]) - o.value[i]);
+    const double ratio = err / o.tol[i];
+    if (ratio > worst_ratio) {
+      worst_ratio = ratio;
+      worst = i;
+    }
+  }
+  EXPECT_LE(worst_ratio, 1.0) << what << ": element " << worst << " error "
+                              << std::abs(static_cast<double>(got[worst]) - o.value[worst])
+                              << " exceeds envelope " << o.tol[worst];
+}
+
+// Runs `fn` under the scalar tier and under the detected SIMD tier (blocked
+// backend both times) and hands both results to `check`. Also asserts the
+// SIMD result is bitwise identical across worker counts: within a fixed tier
+// the kernels must be deterministic, only *across* tiers may values move.
+template <typename Fn, typename Check>
+void CompareTiers(Fn&& fn, Check&& check) {
+  ScopedBackend guard(ComputeBackend::kBlocked);
+  Tensor scalar_result;
+  {
+    ScopedIsa tier(IsaTier::kScalar);
+    ScopedNumThreads one(1);
+    scalar_result = fn();
+  }
+  Tensor simd_result;
+  {
+    ScopedIsa tier(DetectedIsa());
+    {
+      ScopedNumThreads one(1);
+      simd_result = fn();
+    }
+    for (int threads : {4, 7}) {
+      ScopedNumThreads t(threads);
+      Tensor repeat = fn();
+      ASSERT_TRUE(BitwiseEqual(repeat, simd_result))
+          << "SIMD tier result not thread-invariant at threads=" << threads;
+    }
+  }
+  check(scalar_result, simd_result);
+}
+
+TEST(IsaTierTest, GemmMatchesScalarTierWithinEnvelope) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  // Odd shapes stress the ragged n tail (the scalar edge kernel) and ragged
+  // m; both tiers run the same ascending-p fma chain per element, so the
+  // only differences are scalar-vs-vector contraction artifacts.
+  for (const auto& s : OddShapes()) {
+    Rng rng(500 + s.m + s.k + s.n);
+    Tensor a = Tensor::Random({s.m, s.k}, rng);
+    Tensor b = Tensor::Random({s.k, s.n}, rng);
+    const GemmOracle oracle = MakeGemmOracle(a, b, nullptr, false);
+    CompareTiers([&] { return MatMul(a, b); }, [&](const Tensor& sc, const Tensor& sd) {
+      EXPECT_TRUE(AllClose(sc, sd)) << "shape " << s.m << "x" << s.k << "x" << s.n;
+      ExpectWithinGemmEnvelope(sc, oracle, "scalar tier");
+      ExpectWithinGemmEnvelope(sd, oracle, "simd tier");
+    });
+  }
+}
+
+TEST(IsaTierTest, GemmFusedEpiloguesMatchScalarTierWithinEnvelope) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  Rng rng(510);
+  Tensor a = Tensor::Random({65, 100}, rng);
+  Tensor b = Tensor::Random({100, 47}, rng);
+  Tensor bias = Tensor::Random({47}, rng);
+  const GemmOracle bias_oracle = MakeGemmOracle(a, b, &bias, false);
+  CompareTiers([&] { return MatMulBias(a, b, bias); },
+               [&](const Tensor& sc, const Tensor& sd) {
+                 EXPECT_TRUE(AllClose(sc, sd));
+                 ExpectWithinGemmEnvelope(sc, bias_oracle, "scalar tier bias");
+                 ExpectWithinGemmEnvelope(sd, bias_oracle, "simd tier bias");
+               });
+  const GemmOracle relu_oracle = MakeGemmOracle(a, b, &bias, true);
+  CompareTiers(
+      [&] {
+        Tensor fused({65, 47});
+        MatMulBiasReluInto(a, b, bias, fused);
+        return fused;
+      },
+      [&](const Tensor& sc, const Tensor& sd) {
+        EXPECT_TRUE(AllClose(sc, sd));
+        ExpectWithinGemmEnvelope(sc, relu_oracle, "scalar tier bias-relu");
+        ExpectWithinGemmEnvelope(sd, relu_oracle, "simd tier bias-relu");
+      });
+  // Deep-k tall shape that trips the packed-A path under both tiers.
+  Rng rng2(511);
+  Tensor ta = Tensor::Random({1027, 2048}, rng2);
+  Tensor tb = Tensor::Random({2048, 192}, rng2);
+  const GemmOracle tall_oracle = MakeGemmOracle(ta, tb, nullptr, false);
+  CompareTiers([&] { return MatMul(ta, tb); }, [&](const Tensor& sc, const Tensor& sd) {
+    // k=2048 accumulates enough contraction drift in portable builds that
+    // the default AllClose tolerance is too tight; the oracle envelope
+    // below is the rigorous per-element bound.
+    EXPECT_TRUE(AllClose(sc, sd, 1e-3f, 1e-4f));
+    ExpectWithinGemmEnvelope(sc, tall_oracle, "scalar tier packed-A");
+    ExpectWithinGemmEnvelope(sd, tall_oracle, "simd tier packed-A");
+  });
+}
+
+TEST(IsaTierTest, SoftmaxMatchesScalarTierWithinUlps) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  // Ragged row lengths (not multiples of 8/16) plus a masked case whose rows
+  // mix unmasked spans, fully-masked rows, and span tails.
+  for (const int64_t n : {int64_t{7}, int64_t{37}, int64_t{129}, int64_t{256}}) {
+    Rng rng(520 + n);
+    Tensor t = Tensor::Random({33, n}, rng, -8.0f, 8.0f);
+    CompareTiers([&] { return Softmax(t); }, [&](const Tensor& sc, const Tensor& sd) {
+      EXPECT_TRUE(AllClose(sc, sd, 1e-5f, 1e-7f)) << "n=" << n;
+      EXPECT_LE(MaxUlpDiff(sc, sd), 64) << "n=" << n;
+    });
+    Tensor mask = Tensor::RandomSparse({33, n}, 0.5, rng);
+    for (int64_t i = 0; i < mask.size(); ++i) {
+      mask[i] = mask[i] != 0.0f ? 1.0f : 0.0f;
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      mask.At(4, j) = 0.0f;  // one fully-masked row: zeros under every tier
+    }
+    CompareTiers([&] { return Softmax(t, &mask); }, [&](const Tensor& sc, const Tensor& sd) {
+      EXPECT_TRUE(AllClose(sc, sd, 1e-5f, 1e-7f)) << "masked n=" << n;
+      EXPECT_LE(MaxUlpDiff(sc, sd), 64) << "masked n=" << n;
+      for (int64_t j = 0; j < n; ++j) {
+        EXPECT_EQ(sd.At(4, j), 0.0f);
+      }
+    });
+  }
+}
+
+TEST(IsaTierTest, LayerNormMatchesScalarTierWithinTolerance) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  // The SIMD tier re-associates the mean/variance reductions (8-lane partial
+  // sums), so this is the one kernel family where the scalar chain genuinely
+  // differs — tolerance-checked, with a loose ULP ceiling to catch gross
+  // divergence.
+  for (const int64_t n : {int64_t{13}, int64_t{100}, int64_t{768}}) {
+    Rng rng(530 + n);
+    Tensor t = Tensor::Random({21, n}, rng);
+    Tensor gamma = Tensor::Random({n}, rng);
+    Tensor beta = Tensor::Random({n}, rng);
+    CompareTiers([&] { return LayerNorm(t, gamma, beta); },
+                 [&](const Tensor& sc, const Tensor& sd) {
+                   EXPECT_TRUE(AllClose(sc, sd, 1e-4f, 1e-5f)) << "n=" << n;
+                   EXPECT_LE(MaxUlpDiffAbove(sc, sd, 1e-3f), 4096) << "n=" << n;
+                 });
+  }
+}
+
+TEST(IsaTierTest, OrderPreservingKernelsBitwiseEqualScalarTier) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  // relu/add/scale vectorize element-for-element with no contraction or
+  // reordering: the SIMD tier must be bit-exact against scalar, including the
+  // ragged vector tails.
+  Rng rng(540);
+  Tensor a = Tensor::Random({37, 101}, rng, -2.0f, 2.0f);
+  Tensor b = Tensor::Random({37, 101}, rng);
+  CompareTiers([&] { return Relu(a); }, [&](const Tensor& sc, const Tensor& sd) {
+    EXPECT_TRUE(BitwiseEqual(sc, sd));
+  });
+  CompareTiers([&] { return Add(a, b); }, [&](const Tensor& sc, const Tensor& sd) {
+    EXPECT_TRUE(BitwiseEqual(sc, sd));
+  });
+  CompareTiers([&] { return Scale(a, 0.37f); }, [&](const Tensor& sc, const Tensor& sd) {
+    EXPECT_TRUE(BitwiseEqual(sc, sd));
+  });
+}
+
+TEST(IsaTierTest, DetectorAndRowGathersBitwiseEqualScalarTier) {
+  if (!SimdTierAvailable()) {
+    GTEST_SKIP() << "no SIMD tier on this machine";
+  }
+  ScopedBackend guard(ComputeBackend::kBlocked);
+  Rng rng(550);
+  // Span widths >= 16 engage the SIMD scan; the predicate is exact either
+  // way, so the detected offsets (including the deterministic shuffle) must
+  // be identical. 201 columns leaves a ragged 9-wide final span.
+  Tensor t = Tensor::RandomSparse({64, 201}, 0.9, rng);
+  SparsityDetector detector(/*shuffle_seed=*/11);
+  std::vector<int64_t> scalar_offsets, simd_offsets;
+  {
+    ScopedIsa tier(IsaTier::kScalar);
+    scalar_offsets = detector.Detect(t, MicroTileShape{1, 32}).offsets;
+  }
+  {
+    ScopedIsa tier(DetectedIsa());
+    simd_offsets = detector.Detect(t, MicroTileShape{1, 32}).offsets;
+  }
+  EXPECT_EQ(simd_offsets, scalar_offsets);
+
+  // Row gather/scatter round trip: pure copies, bitwise across tiers.
+  std::vector<int64_t> row_ids{0, 3, 17, 18, 40, 63};
+  CompareTiers([&] { return SReadRows(t, row_ids); },
+               [&](const Tensor& sc, const Tensor& sd) {
+                 EXPECT_TRUE(BitwiseEqual(sc, sd));
+               });
+  Tensor packed = SReadRows(t, row_ids);
+  CompareTiers(
+      [&] {
+        Tensor dst = Tensor::Zeros({64, 201});
+        SWriteRows(packed, row_ids, &dst);
+        return dst;
+      },
+      [&](const Tensor& sc, const Tensor& sd) { EXPECT_TRUE(BitwiseEqual(sc, sd)); });
+}
+
+TEST(IsaTierTest, SoftmaxMaskSkipDifferential) {
+  // Span skipping must be invisible in the results at any tier: exactly so at
+  // the scalar tier (a masked column contributes the identity to both the max
+  // and the sum), tolerance/ULP at a SIMD tier (the skip path runs the
+  // span-relative vector kernels, the unskipped path runs the scalar row
+  // oracle).
+  ScopedBackend guard(ComputeBackend::kBlocked);
+  Rng rng(560);
+  const int64_t tokens = 96;
+  Tensor t = Tensor::Random({tokens, tokens}, rng, -6.0f, 6.0f);
+  // Block-diagonal ragged-serving mask: spans of 31 + 33 + 32 tokens.
+  Tensor mask = Tensor::Zeros({tokens, tokens});
+  const int64_t lens[] = {31, 33, 32};
+  int64_t base = 0;
+  for (const int64_t len : lens) {
+    for (int64_t i = base; i < base + len; ++i) {
+      for (int64_t j = base; j < base + len; ++j) {
+        mask.At(i, j) = 1.0f;
+      }
+    }
+    base += len;
+  }
+  for (const IsaTier tier : {IsaTier::kScalar, DetectedIsa()}) {
+    ScopedIsa isa(tier);
+    Tensor skip_on, skip_off;
+    {
+      ScopedSoftmaxMaskSkip skip(true);
+      skip_on = Softmax(t, &mask);
+    }
+    {
+      ScopedSoftmaxMaskSkip skip(false);
+      skip_off = Softmax(t, &mask);
+    }
+    if (tier == IsaTier::kScalar) {
+      EXPECT_TRUE(BitwiseEqual(skip_on, skip_off));
+    } else {
+      EXPECT_TRUE(AllClose(skip_on, skip_off, 1e-5f, 1e-7f));
+      EXPECT_LE(MaxUlpDiff(skip_on, skip_off), 64);
+    }
+    // Off-diagonal (masked) entries are exact zeros under every path.
+    EXPECT_EQ(skip_on.At(0, 40), 0.0f);
+    EXPECT_EQ(skip_on.At(80, 0), 0.0f);
+  }
+}
+
+TEST(IsaTierTest, PlannedStackBitwiseInvariantAcrossSchedulersWithinTier) {
+  // Within a fixed ISA tier, a planned transformer forward must be bitwise
+  // identical across plan schedulers x worker counts x serving streams — the
+  // PR 5/6 determinism contracts may not depend on which tier computed the
+  // kernels.
+  Rng wr(570);
+  PlannedTransformerStack stack(/*layers=*/2, /*hidden=*/64, /*heads=*/4, /*ffn_hidden=*/128,
+                                wr);
+  Rng rr(571);
+  Tensor x = Tensor::Random({48, 64}, rr);
+  for (const IsaTier tier : {IsaTier::kScalar, DetectedIsa()}) {
+    ScopedIsa isa(tier);
+    Tensor baseline;
+    {
+      ScopedPlanSched sched(PlanSched::kSequential);
+      ScopedNumThreads one(1);
+      baseline = stack.Forward(x);
+    }
+    for (const PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+      ScopedPlanSched s(sched);
+      for (int threads : {1, 4, 7}) {
+        ScopedNumThreads tc(threads);
+        EXPECT_TRUE(BitwiseEqual(stack.Forward(x), baseline))
+            << "tier=" << IsaName(tier) << " sched=" << (sched == PlanSched::kWavefront)
+            << " threads=" << threads;
+      }
+    }
+    // Multi-stream serving of identical requests reproduces the same bits.
+    std::vector<ServeRequest> requests(6);
+    for (auto& req : requests) {
+      req.x = x;
+    }
+    std::vector<Tensor> single_stream;
+    {
+      ServingEngineOptions options;
+      options.num_streams = 1;
+      ServingEngine engine(stack, options);
+      single_stream = engine.Serve(requests);
+      EXPECT_TRUE(BitwiseEqual(single_stream[0], baseline)) << "tier=" << IsaName(tier);
+    }
+    {
+      ServingEngineOptions options;
+      options.num_streams = 3;
+      ServingEngine engine(stack, options);
+      std::vector<Tensor> multi = engine.Serve(requests);
+      for (size_t i = 0; i < multi.size(); ++i) {
+        EXPECT_TRUE(BitwiseEqual(multi[i], single_stream[i]))
+            << "tier=" << IsaName(tier) << " request " << i;
+      }
+    }
   }
 }
 

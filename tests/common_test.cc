@@ -209,6 +209,39 @@ TEST(EnvParsingTest, PlanSchedRejectsUnknownNames) {
   EXPECT_DEATH(ParsePlanSchedEnv("seq "), "PIT_PLAN_SCHED");
 }
 
+TEST(EnvParsingTest, IsaAcceptsKnownNames) {
+  EXPECT_EQ(ParseIsaEnv("scalar"), IsaTier::kScalar);
+  EXPECT_EQ(ParseIsaEnv("auto"), DetectedIsa());
+  if (DetectedIsa() != IsaTier::kScalar) {
+    // "avx2" pins the AVX2 tier wherever CPUID grants it (an avx512 machine
+    // can still pin down to avx2; see the rejection test for the converse).
+    EXPECT_EQ(ParseIsaEnv("avx2"), IsaTier::kAvx2);
+  }
+}
+
+TEST(EnvParsingTest, IsaRejectsUnknownAndUnsupportedNames) {
+  EXPECT_DEATH(ParseIsaEnv("AVX2"), "PIT_ISA");
+  EXPECT_DEATH(ParseIsaEnv("avx512"), "PIT_ISA");  // not a requestable tier
+  EXPECT_DEATH(ParseIsaEnv("sse"), "PIT_ISA");
+  EXPECT_DEATH(ParseIsaEnv(""), "PIT_ISA");
+  EXPECT_DEATH(ParseIsaEnv("avx2 "), "PIT_ISA");
+  if (DetectedIsa() == IsaTier::kScalar) {
+    // Requesting a SIMD tier the CPU lacks must abort, not silently fall back.
+    EXPECT_DEATH(ParseIsaEnv("avx2"), "PIT_ISA");
+  }
+}
+
+TEST(IsaTierTest, ScopedIsaRestoresAndNeverExceedsDetection) {
+  const IsaTier before = ActiveIsa();
+  {
+    ScopedIsa tier(IsaTier::kScalar);
+    EXPECT_EQ(ActiveIsa(), IsaTier::kScalar);
+    EXPECT_FALSE(UseSimd());
+  }
+  EXPECT_EQ(ActiveIsa(), before);
+  EXPECT_LE(static_cast<int>(ActiveIsa()), static_cast<int>(DetectedIsa()));
+}
+
 // ---- Task-capable thread pool (the wavefront scheduler's substrate) --------
 
 // The deadlock regression this PR's pool rework is guarded by: tasks

@@ -6,10 +6,12 @@
 //   pitctl rules "<einsum>" [operand]  generic PIT rules for an expression
 //   pitctl plan <m> <k> <n> <gm> <gn> <sparsity>
 //                                      run Algorithm 1 and print the plan
+//   pitctl isa                         detected/selected CPU ISA tier
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "pit/common/backend.h"
 #include "pit/core/kernel_selection.h"
 #include "pit/core/kernel_space.h"
 #include "pit/expr/op_registry.h"
@@ -96,6 +98,13 @@ void PrintPlan(int64_t m, int64_t k, int64_t n, int64_t gm, int64_t gn, double s
               sel.dense_cost_us, sel.candidates_evaluated, sel.search_wall_us);
 }
 
+// Machine-grep-able tier report for CI gating: jobs that sweep PIT_ISA skip
+// the SIMD legs (with a notice) when `pitctl isa` reports detected=scalar.
+void PrintIsa() {
+  std::printf("detected=%s\nselected=%s\nsimd=%d\n", IsaName(DetectedIsa()), IsaName(ActiveIsa()),
+              UseSimd() ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,10 +121,12 @@ int main(int argc, char** argv) {
   } else if (cmd == "plan" && argc == 8) {
     PrintPlan(std::atoll(argv[2]), std::atoll(argv[3]), std::atoll(argv[4]),
               std::atoll(argv[5]), std::atoll(argv[6]), std::atof(argv[7]));
+  } else if (cmd == "isa") {
+    PrintIsa();
   } else {
     std::printf("usage:\n  pitctl devices\n  pitctl tiledb [fp16]\n  pitctl kernels [fp16]\n"
                 "  pitctl rules \"C[m,n] += A[m,k] * B[k,n]\" [operand]\n"
-                "  pitctl plan <m> <k> <n> <gm> <gn> <sparsity>\n");
+                "  pitctl plan <m> <k> <n> <gm> <gn> <sparsity>\n  pitctl isa\n");
     return cmd.empty() ? 1 : (cmd == "help" ? 0 : 1);
   }
   return 0;
