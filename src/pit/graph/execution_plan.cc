@@ -7,6 +7,7 @@
 #include "pit/common/backend.h"
 #include "pit/common/check.h"
 #include "pit/common/parallel_for.h"
+#include "pit/graph/plan_verifier.h"
 #include "pit/tensor/ops.h"
 
 namespace pit {
@@ -527,6 +528,17 @@ ExecutionPlan::ExecutionPlan(const Graph& graph, const std::vector<MatmulDecisio
   BuildWavefronts();
   // From here on the plan is immutable; all replay state lives in execution
   // contexts (the default one materializes lazily on first classic Run).
+
+  // Independent static verification of the freshly compiled plan (debug/test
+  // builds by default; always under PIT_VERIFY_PLAN=on): the verifier
+  // re-derives every invariant replay rides on — hazard-complete wavefronts,
+  // in-bounds aligned blocks, live-interval integrity, binding coverage —
+  // from the compile products alone, and aborts with a structured report on
+  // any violation. A planner bug dies here, at compile, not as a
+  // probabilistic race under concurrent replay.
+  if (PlanVerifyEngaged()) {
+    VerifyPlanOrDie(*this, "ExecutionPlan compile");
+  }
 }
 
 ExecutionContext& ExecutionPlan::DefaultCtx() const {

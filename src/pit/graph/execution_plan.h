@@ -214,8 +214,33 @@ class ExecutionPlan {
   // contract via ExecutionContext::arena_base).
   const float* arena_base() const;
 
+  // ---- Verifier-facing views of the compile products ----------------------
+  // Read-only windows onto the immutable plan for the independent static
+  // verifier (plan_verifier.{h,cc}), which re-derives every replay invariant
+  // from these raw artifacts. Replay itself never goes through them.
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  const std::vector<int>& wave_steps() const { return wave_steps_; }
+  const std::vector<int>& wave_offsets() const { return wave_offsets_; }
+  int64_t arena_elems() const { return arena_elems_; }
+  const ValueRef& result() const { return result_; }
+  struct FeedBinding {
+    int node_id;
+    std::string name;
+  };
+  const std::vector<FeedBinding>& feed_bindings() const { return feed_bindings_; }
+  // Compile-time pointer bound for a kWeight node; null for any other id.
+  const float* compile_binding(int node_id) const {
+    return node_id >= 0 && node_id < static_cast<int>(compile_bound_.size())
+               ? compile_bound_[static_cast<size_t>(node_id)]
+               : nullptr;
+  }
+
  private:
   friend class ExecutionContext;
+  // Test-only mutation seam (plan_verifier.h): lets the corrupted-plan
+  // negative suite violate one invariant at a time and prove the verifier
+  // reports exactly that class.
+  friend struct PlanCorruptor;
 
   template <typename FeedMap>
   ConstTensorView RunImpl(ExecutionContext& ctx, const FeedMap& feeds, PitCompiler* compiler,
@@ -245,10 +270,6 @@ class ExecutionPlan {
   // Compile-time kFeed/kWeight binding template: weights resolved at compile,
   // feed slots null. Every ExecutionContext starts as a copy of this.
   std::vector<const float*> compile_bound_;
-  struct FeedBinding {
-    int node_id;
-    std::string name;
-  };
   std::vector<FeedBinding> feed_bindings_;
   ValueRef result_;
   PlanStats stats_;

@@ -1,0 +1,127 @@
+// Static verifier for compiled ExecutionPlans: an independent analysis pass
+// that re-derives, from first principles, every invariant plan replay rides
+// on — and reports where a compiled plan breaks them.
+//
+// The wavefront scheduler and multi-stream replay (PRs 4-6) silently assume
+// properties the planner is *supposed* to guarantee: concurrently dispatched
+// steps touch disjoint arena byte ranges, every RAW/WAR/WAW hazard is ordered
+// by the wave partition, arena blocks are in-bounds and 64-byte aligned, a
+// block is never recycled while a later step still has to read it, reshape
+// aliases resolve to storage some step actually produced, PIT steps replay in
+// a total order, and fused matmul+relu steps leave no dangling references to
+// the elided node. A planner bug in any of these ships straight into a data
+// race or a silent miscompilation that TSan may or may not catch
+// probabilistically. This pass proves them deterministically, per plan.
+//
+// Independence contract: the verifier deliberately does NOT reuse the
+// planner's analyses. Dependencies are re-derived by an O(steps^2)
+// brute-force oracle over each step's arena read/write element intervals
+// (aliases are already root-resolved in compiled ValueRefs, so interval
+// arithmetic is exact); liveness is re-derived from producer/consumer byte
+// overlaps, not from the arena planner's free list. The only shared inputs
+// are the compiled artifacts themselves (steps, shapes, waves, bindings) —
+// the things being verified.
+//
+// The verifier runs in three ways:
+//   * automatically on every plan compile when PIT_VERIFY_PLAN engages
+//     (strict-parsed auto|on|off; "auto" engages in debug builds — see
+//     backend.h), aborting loudly on any violation,
+//   * on pooled-plan creation in the ServingEngine under the same knob,
+//   * on demand through VerifyPlan() (tests, `pitctl verify`).
+#ifndef PIT_GRAPH_PLAN_VERIFIER_H_
+#define PIT_GRAPH_PLAN_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pit/graph/execution_plan.h"
+
+namespace pit {
+
+// One invariant class per enumerator: the negative suite corrupts a plan per
+// class and asserts the verifier reports exactly that class.
+enum class PlanViolationKind {
+  kMalformedStep,     // out-of-range ids, bad flag combinations, bad num_in
+  kArenaOutOfBounds,  // block extends past the arena extent (or offset < 0)
+  kMisalignedOffset,  // arena offset not on a 64-byte boundary
+  kWavePartition,     // wave lists malformed: step missing, duplicated,
+                      // reshape no-op included, or offsets inconsistent
+  kConcurrentHazard,  // two steps of one wave with intersecting write/any
+                      // intervals — a data race under wavefront dispatch
+  kMissingHazardEdge,  // a dependency-oracle edge the wave ordering inverts
+  kClobberedRead,      // a step's input bytes overwritten between producer
+                       // and reader — the planner's claimed liveness is wrong
+  kDanglingStorage,  // arena ref whose storage node no step produces (e.g. a
+                     // reshape alias without a live storage root)
+  kFeedBinding,      // feed ref without a binding, duplicate bindings, or an
+                     // unbound weight ref
+  kPitOrder,         // PIT steps not totally ordered by the wave partition
+  kFusedStep,        // fused-step inconsistency: duplicate node producer or
+                     // fuse_relu on a non-matmul / PIT step
+  kStatsMismatch,    // PlanStats disagree with re-derived counts
+};
+const char* PlanViolationKindName(PlanViolationKind kind);
+
+struct PlanViolation {
+  PlanViolationKind kind = PlanViolationKind::kMalformedStep;
+  int step_a = -1;  // offending step indices (-1: not step-specific)
+  int step_b = -1;
+  int wave_a = -1;  // wave ids of the offending steps (-1: none / reshape)
+  int wave_b = -1;
+  int64_t byte_lo = 0;  // offending arena byte range, half-open (0,0: none)
+  int64_t byte_hi = 0;
+  std::string message;
+};
+
+struct PlanVerifyReport {
+  // Stored violations, capped at kMaxRecorded (the total keeps counting so
+  // ok() stays exact on pathologically corrupted plans).
+  std::vector<PlanViolation> violations;
+  int64_t violations_total = 0;
+  // Coverage counters: what the pass actually examined.
+  int steps_checked = 0;
+  int waves_checked = 0;
+  int blocks_checked = 0;      // distinct produced arena blocks
+  int64_t oracle_pairs = 0;    // step pairs the O(steps^2) oracle compared
+  int64_t oracle_edges = 0;    // dependency edges the oracle derived
+  static constexpr int64_t kMaxRecorded = 64;
+
+  bool ok() const { return violations_total == 0; }
+  bool Has(PlanViolationKind kind) const;
+  // Multi-line human-readable report (summary line + one line per stored
+  // violation), the payload of `pitctl verify` and of verification aborts.
+  std::string ToString() const;
+};
+
+// Runs every check over the compiled plan. Pure: no plan state is touched,
+// no context is created; safe on any thread.
+PlanVerifyReport VerifyPlan(const ExecutionPlan& plan);
+
+// VerifyPlan + loud PIT_CHECK abort on any violation, with the full report in
+// the failure message. `what` names the plan for the abort message (e.g. the
+// compile site). This is the hook ExecutionPlan's constructor and the
+// ServingEngine's pooled-plan creation call when PlanVerifyEngaged().
+void VerifyPlanOrDie(const ExecutionPlan& plan, const char* what);
+
+// Test-only mutation seam: hands the negative suite mutable references into a
+// compiled plan's (otherwise immutable) internals so each invariant class can
+// be violated in isolation and the verifier proven to catch it. Never use
+// outside tests — a mutated plan is exactly the corruption the verifier
+// exists to reject.
+struct PlanCorruptor {
+  static std::vector<OpCall>& steps(ExecutionPlan& plan) { return plan.steps_; }
+  static std::vector<Shape>& shapes(ExecutionPlan& plan) { return plan.shapes_; }
+  static std::vector<int>& wave_steps(ExecutionPlan& plan) { return plan.wave_steps_; }
+  static std::vector<int>& wave_offsets(ExecutionPlan& plan) { return plan.wave_offsets_; }
+  static std::vector<ExecutionPlan::FeedBinding>& feed_bindings(ExecutionPlan& plan) {
+    return plan.feed_bindings_;
+  }
+  static ValueRef& result(ExecutionPlan& plan) { return plan.result_; }
+  static int64_t& arena_elems(ExecutionPlan& plan) { return plan.arena_elems_; }
+  static PlanStats& stats(ExecutionPlan& plan) { return plan.stats_; }
+};
+
+}  // namespace pit
+
+#endif  // PIT_GRAPH_PLAN_VERIFIER_H_

@@ -8,9 +8,11 @@
 #include <span>
 #include <utility>
 
+#include "pit/common/backend.h"
 #include "pit/common/check.h"
 #include "pit/common/parallel_for.h"
 #include "pit/core/sread_swrite.h"
+#include "pit/graph/plan_verifier.h"
 #include "pit/gpusim/device.h"
 #include "pit/runtime/serving.h"
 #include "pit/workloads/attention_masks.h"
@@ -66,6 +68,27 @@ int ResolveMaxBatchTokens(const ServingEngineOptions& options) {
 // accounting (the transformer pool's key carries a masked flag on top).
 int64_t BucketOfPoolKey(const std::pair<int64_t, bool>& key) { return key.first; }
 int64_t BucketOfPoolKey(int64_t key) { return key; }
+
+// Pooled-plan verification (PIT_VERIFY_PLAN): a stream entering the pool
+// replays its plans for the rest of the engine's lifetime, so the invariants
+// concurrent replay rides on are proven once at pool entry. The compile hook
+// already verified freshly compiled plans; this catches pool entries built
+// from plans cached before the knob engaged.
+void VerifyPooledPlans(const PlannedTransformerStack::Stream& pooled) {
+  for (const TransformerEncoderLayer::Stream& layer : pooled.layers) {
+    if (layer.plan != nullptr) {
+      VerifyPlanOrDie(*layer.plan, "ServingEngine pooled transformer plan");
+    }
+  }
+}
+
+void VerifyPooledPlans(const PlannedFfnStack::Stream& pooled) {
+  for (const std::shared_ptr<ExecutionPlan>& plan : pooled.plans) {
+    if (plan != nullptr) {
+      VerifyPlanOrDie(*plan, "ServingEngine pooled FFN plan");
+    }
+  }
+}
 
 }  // namespace
 
@@ -186,6 +209,9 @@ typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Poo
     pool.clear();
   }
   it = pool.emplace(key, make()).first;
+  if (PlanVerifyEngaged()) {
+    VerifyPooledPlans(it->second);
+  }
   stream.pooled_contexts += it->second.NumContexts();
   stream.pooled_arena_bytes += it->second.ArenaBytes();
   AccountPoolDelta(it->second.NumContexts(), it->second.ArenaBytes());

@@ -209,6 +209,24 @@ TEST(EnvParsingTest, PlanSchedRejectsUnknownNames) {
   EXPECT_DEATH(ParsePlanSchedEnv("seq "), "PIT_PLAN_SCHED");
 }
 
+TEST(EnvParsingTest, PlanVerifyAcceptsKnownNames) {
+  EXPECT_EQ(ParsePlanVerifyEnv("auto"), PlanVerifyMode::kAuto);
+  EXPECT_EQ(ParsePlanVerifyEnv("on"), PlanVerifyMode::kOn);
+  EXPECT_EQ(ParsePlanVerifyEnv("off"), PlanVerifyMode::kOff);
+}
+
+TEST(EnvParsingTest, PlanVerifyRejectsUnknownNames) {
+  // A typo'd mode must abort, not silently skip the verification the
+  // operator believes is running.
+  EXPECT_DEATH(ParsePlanVerifyEnv("On"), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv("ON"), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv("1"), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv("true"), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv("always"), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv(""), "PIT_VERIFY_PLAN");
+  EXPECT_DEATH(ParsePlanVerifyEnv("on "), "PIT_VERIFY_PLAN");
+}
+
 TEST(EnvParsingTest, IsaAcceptsKnownNames) {
   EXPECT_EQ(ParseIsaEnv("scalar"), IsaTier::kScalar);
   EXPECT_EQ(ParseIsaEnv("auto"), DetectedIsa());

@@ -7,15 +7,22 @@
 //   pitctl plan <m> <k> <n> <gm> <gn> <sparsity>
 //                                      run Algorithm 1 and print the plan
 //   pitctl isa                         detected/selected CPU ISA tier
+//   pitctl verify                      compile representative plans and run
+//                                      the static plan verifier over each
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "pit/common/backend.h"
+#include "pit/common/rng.h"
 #include "pit/core/kernel_selection.h"
 #include "pit/core/kernel_space.h"
 #include "pit/expr/op_registry.h"
+#include "pit/graph/execution_plan.h"
+#include "pit/graph/graph.h"
+#include "pit/graph/plan_verifier.h"
 #include "pit/sparse/coverage.h"
+#include "pit/tensor/tensor.h"
 
 using namespace pit;
 
@@ -98,6 +105,121 @@ void PrintPlan(int64_t m, int64_t k, int64_t n, int64_t gm, int64_t gn, double s
               sel.dense_cost_us, sel.candidates_evaluated, sel.search_wall_us);
 }
 
+// ---- pitctl verify ---------------------------------------------------------
+//
+// Compiles one representative plan per planner regime — dense all-ops (every
+// OpKind through one graph, fusion and in-place reuse engaged), masked +
+// batched multi-head attention (parallel q/k/v waves, reshape/transpose
+// aliasing, broadcast mask softmax), the fused FFN, and the PIT-decision FFN
+// (sparse steps, total PIT ordering) — and runs the independent static
+// verifier over each. The wave partition a plan compiles is identical under
+// both replay schedulers (PIT_PLAN_SCHED picks how waves dispatch, not what
+// the plan contains), so one compile proves both. Machine-grep-able output
+// (`verify=ok`) plus a non-zero exit on any violation, for CI gating.
+
+// Every OpKind in one graph: fused MatmulBias+ReLU, elementwise in-place
+// chain, masked softmax, layernorm, scale, transpose, reshape aliasing into a
+// batched matmul head split.
+Graph BuildAllOpsVerifyGraph(Rng& rng) {
+  Graph g;
+  const int x = g.AddInput("x", {32, 64});
+  const int m = g.AddInput("m", {32, 64});
+  const int w = g.AddWeight("w", Tensor::Random({64, 64}, rng));
+  const int bias = g.AddWeight("bias", Tensor::Random({64}, rng));
+  const int gamma = g.AddWeight("gamma", Tensor::Random({64}, rng));
+  const int beta = g.AddWeight("beta", Tensor::Random({64}, rng));
+  const int mm = g.AddMatmulBias("proj", x, w, bias);
+  const int act = g.AddRelu("act", mm);  // fuses into the MatmulBias step
+  const int sum = g.AddAdd("sum", act, x);
+  const int masked = g.AddMask("masked", sum, m);
+  const int sm = g.AddSoftmax("sm", masked);
+  const int ln = g.AddLayerNorm("ln", sm, gamma, beta);
+  const int sc = g.AddScale("sc", ln, 0.5f);
+  const int tr = g.AddTranspose("tr", sc, 0, 1);
+  const int back = g.AddTranspose("back", tr, 0, 1);
+  const int heads = g.AddReshape("heads", back, {2, 16, 64});
+  const int keys = g.AddInput("keys", {2, 64, 16});
+  g.AddBatchMatmul("scores", heads, keys);
+  return g;
+}
+
+// Masked + batched multi-head attention block: three parallel projection
+// GEMMs (a wave of width 3), head split/merge via reshape+transpose aliases,
+// broadcast-masked softmax, residual add, layernorm.
+Graph BuildAttentionVerifyGraph(Rng& rng) {
+  constexpr int64_t kTokens = 64;
+  constexpr int64_t kHidden = 64;
+  constexpr int64_t kHeads = 4;
+  constexpr int64_t kDk = kHidden / kHeads;
+  Graph g;
+  const int x = g.AddInput("x", {kTokens, kHidden});
+  const int mask = g.AddInput("mask", {kTokens, kTokens});
+  const int gamma = g.AddWeight("gamma", Tensor::Random({kHidden}, rng));
+  const int beta = g.AddWeight("beta", Tensor::Random({kHidden}, rng));
+  auto head_split = [&](const char* name, int from) {
+    const int proj =
+        g.AddMatmul(name, from, g.AddWeight(std::string("w_") + name,
+                                            Tensor::Random({kHidden, kHidden}, rng)));
+    const int split = g.AddReshape(std::string(name) + "_h", proj, {kTokens, kHeads, kDk});
+    return g.AddTranspose(std::string(name) + "_t", split, 0, 1);  // [heads, tokens, dk]
+  };
+  const int q = head_split("q", x);
+  const int k = head_split("k", x);
+  const int v = head_split("v", x);
+  const int kt = g.AddTranspose("kt", k, 1, 2);  // [heads, dk, tokens]
+  const int scores = g.AddBatchMatmul("scores", q, kt);
+  const int scaled = g.AddScale("scaled", scores, 0.25f);
+  const int sm = g.AddSoftmax("sm", scaled, mask);
+  const int ctx = g.AddBatchMatmul("ctx", sm, v);
+  const int merged = g.AddTranspose("merged", ctx, 0, 1);
+  const int flat = g.AddReshape("flat", merged, {kTokens, kHidden});
+  const int res = g.AddAdd("res", flat, x);
+  g.AddLayerNorm("out", res, gamma, beta);
+  return g;
+}
+
+int PrintVerify() {
+  // Compile with the auto-hook off: a violation must reach this report (and
+  // the exit code), not abort the compile mid-sweep.
+  ScopedPlanVerify off(PlanVerifyMode::kOff);
+  Rng rng(7);
+  struct Case {
+    const char* name;
+    Graph graph;
+    std::vector<MatmulDecision> decisions;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"dense_all_ops", BuildAllOpsVerifyGraph(rng), {}});
+  cases.push_back({"masked_batched_attention", BuildAttentionVerifyGraph(rng), {}});
+  {
+    Graph ffn = BuildFfnGraph(/*tokens=*/128, /*hidden=*/64, /*ffn_hidden=*/256, rng);
+    cases.push_back({"ffn_fused_dense", std::move(ffn), {}});
+  }
+  {
+    Graph ffn = BuildFfnGraph(/*tokens=*/128, /*hidden=*/64, /*ffn_hidden=*/256, rng);
+    std::vector<MatmulDecision> decisions = ffn.PitPass();
+    cases.push_back({"ffn_pit", std::move(ffn), std::move(decisions)});
+  }
+
+  int64_t total = 0;
+  for (Case& c : cases) {
+    const ExecutionPlan plan(c.graph, c.decisions.empty() ? nullptr : &c.decisions);
+    const PlanVerifyReport report = VerifyPlan(plan);
+    std::printf("plan=%s steps=%d waves=%d blocks=%d oracle_pairs=%lld oracle_edges=%lld "
+                "pit_steps=%d fused=%d violations=%lld\n",
+                c.name, report.steps_checked, report.waves_checked, report.blocks_checked,
+                static_cast<long long>(report.oracle_pairs),
+                static_cast<long long>(report.oracle_edges), plan.stats().num_pit_steps,
+                plan.stats().num_fused, static_cast<long long>(report.violations_total));
+    if (!report.ok()) {
+      std::printf("%s\n", report.ToString().c_str());
+    }
+    total += report.violations_total;
+  }
+  std::printf("verify=%s\n", total == 0 ? "ok" : "fail");
+  return total == 0 ? 0 : 1;
+}
+
 // Machine-grep-able tier report for CI gating: jobs that sweep PIT_ISA skip
 // the SIMD legs (with a notice) when `pitctl isa` reports detected=scalar.
 void PrintIsa() {
@@ -123,10 +245,13 @@ int main(int argc, char** argv) {
               std::atoll(argv[5]), std::atoll(argv[6]), std::atof(argv[7]));
   } else if (cmd == "isa") {
     PrintIsa();
+  } else if (cmd == "verify") {
+    return PrintVerify();
   } else {
     std::printf("usage:\n  pitctl devices\n  pitctl tiledb [fp16]\n  pitctl kernels [fp16]\n"
                 "  pitctl rules \"C[m,n] += A[m,k] * B[k,n]\" [operand]\n"
-                "  pitctl plan <m> <k> <n> <gm> <gn> <sparsity>\n  pitctl isa\n");
+                "  pitctl plan <m> <k> <n> <gm> <gn> <sparsity>\n  pitctl isa\n"
+                "  pitctl verify\n");
     return cmd.empty() ? 1 : (cmd == "help" ? 0 : 1);
   }
   return 0;
