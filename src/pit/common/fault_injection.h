@@ -1,0 +1,162 @@
+// Deterministic fault injection for the serving stack's containment ladder.
+//
+// The library's baseline contract is fail-fast on misuse (check.h), but the
+// serving engine additionally promises *graceful degradation* for transient
+// data-dependent failures: a plan compile that must be retried, a context
+// pool that is exhausted, a batch pack that cannot proceed, a kernel dispatch
+// that dies mid-replay. Those paths are unreachable from well-formed inputs
+// by construction, so this module makes them reachable on demand: seeded,
+// site-keyed probes that "fail" deterministically at a configured rate, so
+// tests and the `pitctl chaos` gate can prove the degradation ladder ends in
+// a definite per-request ServeStatus — never an abort, never a lost request,
+// never divergent bits for requests that still succeed.
+//
+// Determinism contract: the k-th probe of a site fires iff
+// mix(seed, site, k) < rate (a pure function). Probe indices are claimed from
+// a per-site atomic sequence, so the *multiset* of fire/no-fire outcomes over
+// any N probes is a pure function of (seed, rate, N) — which request observes
+// the k-th outcome may vary with thread timing, but every containment
+// invariant the chaos harness checks (definite statuses, bitwise-identical
+// kOk outputs, counter reconciliation) is independent of that assignment.
+//
+// Probes only fire inside an *armed* scope (ScopedFaultArming, installed by
+// the ServingEngine around its stream workers): a PIT_FAULT sweep over the
+// full test suite perturbs serving-engine traffic only, not every plan replay
+// in the process. Probes inside a *retry-immune* scope (the engine's
+// degradation rungs) are skipped unless the config's test-only fail_retries
+// flag is set: env-configured chaos models transient faults, so every rung
+// terminates; tests opt into persistent faults to exercise kInternal.
+//
+// Configure with the strict-parsed PIT_FAULT=site:rate:seed environment knob
+// (site: plan_compile | context_acquire | batch_pack | kernel_dispatch | all;
+// rate: decimal in (0, 1]; seed: unsigned decimal) or the ScopedFaultInjection
+// RAII guard for tests.
+#ifndef PIT_COMMON_FAULT_INJECTION_H_
+#define PIT_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace pit {
+
+// The seams a fault can be injected into. Sites are keyed independently: a
+// config enables one site (or all), and each site draws from its own
+// deterministic probe sequence.
+enum class FaultSite : int {
+  kPlanCompile = 0,     // building a pooled plan+context set (ServingEngine)
+  kContextAcquire = 1,  // acquiring a pooled execution context (ServingEngine)
+  kBatchPack = 2,       // packing a ragged batch (ServingEngine)
+  kKernelDispatch = 3,  // dispatching a plan step (ExecutionPlan replay)
+};
+inline constexpr int kNumFaultSites = 4;
+
+// Human-readable site name ("plan_compile", ...), for logs and the chaos
+// harness.
+const char* FaultSiteName(FaultSite site);
+
+struct FaultInjectionConfig {
+  bool enabled = false;
+  bool site_enabled[kNumFaultSites] = {false, false, false, false};
+  double rate = 0.0;  // fire probability per probe, in (0, 1] when enabled
+  uint64_t seed = 0;
+  // Test-only (not spellable via PIT_FAULT): evaluate probes inside
+  // retry-immune scopes too, so a retried operation can fail again and the
+  // terminal kInternal rung becomes reachable. Environment-configured chaos
+  // keeps retries immune — injected faults model *transient* failures, so
+  // every degradation ladder provably terminates in success.
+  bool fail_retries = false;
+};
+
+// Strict parser behind the PIT_FAULT resolution: exactly "site:rate:seed".
+// A typo'd site, a rate outside (0, 1], or trailing junk must fail loudly
+// (PIT_CHECK abort), never silently run without the faults the operator
+// believes are being injected.
+FaultInjectionConfig ParseFaultEnv(const char* value);
+
+// The active config. First call resolves PIT_FAULT; defaults to disabled.
+const FaultInjectionConfig& ActiveFaultConfig();
+
+// Installs `config` and resets the probe sequences and fired counters, so a
+// test (or chaos cell) observes the deterministic sequence from k = 0.
+void SetFaultConfig(const FaultInjectionConfig& config);
+
+// True when any site is enabled — the cheap predicate the engine arms on.
+bool FaultInjectionEnabled();
+
+// Draws the next probe for `site`: true = the injected fault fires. False
+// when disarmed, disabled, the site is off, or the scope is retry-immune
+// (unless fail_retries). Fired probes are counted per site.
+bool FaultProbe(FaultSite site);
+
+// Lifetime fired-probe counters since the last SetFaultConfig/reset.
+int64_t FaultProbesFired(FaultSite site);
+int64_t FaultProbesFiredTotal();
+void ResetFaultCounters();
+
+namespace fault_internal {
+// Thread-local fast-path flag behind the replay-loop step probe: reading one
+// thread-local bool is the entire per-step cost when injection is disarmed.
+extern thread_local bool tls_armed;
+bool StepProbeSlow();
+}  // namespace fault_internal
+
+// Per-step probe for the ExecutionPlan replay loop: when a kernel-dispatch
+// fault fires (or one already fired earlier in this forward), the replay must
+// stop dispatching steps and return — the engine consumes the pending fault
+// and owns the retry/fallback ladder. Near-free when disarmed.
+inline bool FaultStepProbe() {
+  return fault_internal::tls_armed && fault_internal::StepProbeSlow();
+}
+
+// The pending-fault channel between the replay loop and the engine (same
+// thread: probes run on the thread that submits plan steps). FaultPending()
+// lets later plan replays of the same forward no-op fast; the engine calls
+// ConsumeFaultPending() after each dispatch to learn whether the forward was
+// aborted (and to clear the flag for the next attempt).
+bool FaultPending();
+bool ConsumeFaultPending();
+
+// Arms fault probes on the calling thread for the guard's lifetime. The
+// ServingEngine installs this inside each stream worker; code outside an
+// armed scope (eager oracles, nn-layer forwards, benches) never observes an
+// injected fault. Arms only when injection is enabled, so the common case
+// stays a no-op.
+class ScopedFaultArming {
+ public:
+  ScopedFaultArming();
+  ~ScopedFaultArming();
+  ScopedFaultArming(const ScopedFaultArming&) = delete;
+  ScopedFaultArming& operator=(const ScopedFaultArming&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// Marks the calling thread's current operation as a degradation rung (a
+// retry or fallback attempt): probes are skipped inside, unless the config's
+// fail_retries flag asks for persistent faults. Nestable.
+class ScopedFaultRetryImmunity {
+ public:
+  ScopedFaultRetryImmunity();
+  ~ScopedFaultRetryImmunity();
+  ScopedFaultRetryImmunity(const ScopedFaultRetryImmunity&) = delete;
+  ScopedFaultRetryImmunity& operator=(const ScopedFaultRetryImmunity&) = delete;
+};
+
+// RAII config override for tests and the chaos harness: installs a
+// single-site (or all-site) config, resets counters, and restores the
+// previous config (resetting counters again) on destruction.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(FaultSite site, double rate, uint64_t seed, bool fail_retries = false);
+  explicit ScopedFaultInjection(const FaultInjectionConfig& config);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjectionConfig saved_;
+};
+
+}  // namespace pit
+
+#endif  // PIT_COMMON_FAULT_INJECTION_H_

@@ -164,24 +164,29 @@ class Pool {
 
 }  // namespace
 
-// Shared strict parser behind the positive-integer knobs (PIT_NUM_THREADS,
-// PIT_NUM_STREAMS, PIT_BATCH_TOKENS, PIT_BATCH_WINDOW): a typo'd value must
-// fail loudly, never silently fall back to a default the operator did not ask
-// for.
-int ParsePositiveIntEnv(const char* name, const char* value) {
+// Shared strict parser behind every positive-integer knob: a typo'd value
+// must fail loudly, never silently fall back to a default the operator did
+// not ask for. The int64 variant exists for knobs whose natural range exceeds
+// the count-knob ceiling (microsecond deadlines); the plain-int wrapper keeps
+// the historical 1..65536 envelope for counts.
+int64_t ParsePositiveInt64Env(const char* name, const char* value, int64_t max_value) {
   PIT_CHECK(value != nullptr && *value != '\0')
       << name << " is set but empty; expected a positive integer";
-  // Strict decimal: digits only (strtol would silently skip leading
+  // Strict decimal: digits only (strtoll would silently skip leading
   // whitespace and accept a sign).
   PIT_CHECK(*value >= '0' && *value <= '9')
       << name << "=\"" << value << "\" is not a plain positive integer";
   errno = 0;
   char* end = nullptr;
-  const long v = std::strtol(value, &end, 10);
+  const long long v = std::strtoll(value, &end, 10);
   PIT_CHECK(end != value && *end == '\0') << name << "=\"" << value << "\" is not an integer";
-  PIT_CHECK(errno != ERANGE && v >= 1 && v <= (1 << 16))
-      << name << "=\"" << value << "\" out of range; expected 1.." << (1 << 16);
-  return static_cast<int>(v);
+  PIT_CHECK(errno != ERANGE && v >= 1 && v <= max_value)
+      << name << "=\"" << value << "\" out of range; expected 1.." << max_value;
+  return static_cast<int64_t>(v);
+}
+
+int ParsePositiveIntEnv(const char* name, const char* value) {
+  return static_cast<int>(ParsePositiveInt64Env(name, value, 1 << 16));
 }
 
 int ParseNumThreadsEnv(const char* value) {
@@ -198,6 +203,16 @@ int ParseBatchTokensEnv(const char* value) {
 
 int ParseBatchWindowEnv(const char* value) {
   return ParsePositiveIntEnv("PIT_BATCH_WINDOW", value);
+}
+
+int64_t ParseServeDeadlineEnv(const char* value) {
+  // Microsecond deadlines need headroom far past the count-knob ceiling; one
+  // day bounds any sane serving deadline while still rejecting overflow junk.
+  return ParsePositiveInt64Env("PIT_SERVE_DEADLINE_US", value, 86400000000LL);
+}
+
+int ParseServeQueueEnv(const char* value) {
+  return ParsePositiveIntEnv("PIT_SERVE_QUEUE", value);
 }
 
 int NumThreads() {

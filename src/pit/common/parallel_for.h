@@ -60,6 +60,20 @@ int ParsePositiveIntEnv(const char* name, const char* value);
 int ParseBatchTokensEnv(const char* value);
 int ParseBatchWindowEnv(const char* value);
 
+// Wide-range variant of ParsePositiveIntEnv for knobs whose natural range
+// exceeds the 65536 count ceiling (e.g. microsecond deadlines): plain
+// positive decimal in 1..max_value or a loud PIT_CHECK abort naming `name`.
+int64_t ParsePositiveInt64Env(const char* name, const char* value, int64_t max_value);
+
+// Strict parsers behind the ServingEngine's fault-containment knobs:
+// PIT_SERVE_DEADLINE_US (default per-request latency budget in microseconds,
+// 1..86400000000 — one day) and PIT_SERVE_QUEUE (bounded admission-queue
+// capacity in requests). Same contract as ParseNumThreadsEnv — a typo'd knob
+// must never silently serve without the deadline/shedding the operator asked
+// for.
+int64_t ParseServeDeadlineEnv(const char* value);
+int ParseServeQueueEnv(const char* value);
+
 // Overrides the worker count at runtime (clamped to >= 1). Intended for tests
 // and benchmarks; takes effect for subsequent ParallelFor calls.
 void SetNumThreads(int n);

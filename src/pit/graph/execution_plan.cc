@@ -6,6 +6,7 @@
 
 #include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/fault_injection.h"
 #include "pit/common/parallel_for.h"
 #include "pit/graph/plan_verifier.h"
 #include "pit/tensor/ops.h"
@@ -771,6 +772,12 @@ void ExecutionPlan::Dispatch(int step_index, ExecutionContext& ctx, PitCompiler*
 void ExecutionPlan::RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
                                   const StepObserver* observer) const {
   for (int s = 0; s < static_cast<int>(steps_.size()); ++s) {
+    // Injected kernel-dispatch faults abandon the replay here, on the
+    // submitting thread; the serving engine consumes the pending fault and
+    // owns the retry/fallback ladder. Near-free when injection is disarmed.
+    if (FaultStepProbe()) {
+      return;
+    }
     Dispatch(s, ctx, compiler);
     if (observer != nullptr && *observer) {
       const OpCall& step = steps_[static_cast<size_t>(s)];
@@ -792,6 +799,15 @@ void ExecutionPlan::RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) 
   for (size_t w = 0; w + 1 < wave_offsets_.size(); ++w) {
     const int begin = wave_offsets_[w];
     const int width = wave_offsets_[w + 1] - begin;
+    // Probe every step of the wave on the submitting thread before any of
+    // them dispatches: pool workers never raise injected faults, so a fired
+    // probe cleanly abandons the whole remaining replay (no half-submitted
+    // wave), and the engine's ladder decides what happens next.
+    for (int i = 0; i < width; ++i) {
+      if (FaultStepProbe()) {
+        return;
+      }
+    }
     if (width == 1) {
       // A singleton wave runs inline with the full pool as its width budget.
       Dispatch(wave_steps_[static_cast<size_t>(begin)], ctx, compiler);
@@ -819,6 +835,14 @@ ConstTensorView ExecutionPlan::RunImpl(ExecutionContext& ctx, const FeedMap& fee
                                        PitCompiler* compiler,
                                        const StepObserver* observer) const {
   PIT_CHECK(ctx.plan_ == this) << "execution context belongs to a different plan";
+  if (FaultPending()) {
+    // An injected dispatch fault already aborted this forward (multi-plan
+    // forwards replay one plan per layer): skip the remaining replays fast.
+    // The returned view is dead data; the engine discards the whole attempt
+    // when it consumes the pending fault.
+    return ConstTensorView(ResolveConst(result_, ctx),
+                           shapes_[static_cast<size_t>(result_.shape_id)]);
+  }
   for (const FeedBinding& binding : feed_bindings_) {
     auto it = feeds.find(binding.name);
     PIT_CHECK(it != feeds.end()) << "missing feed: " << binding.name;

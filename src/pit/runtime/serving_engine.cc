@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <span>
 #include <utility>
 
 #include "pit/common/backend.h"
 #include "pit/common/check.h"
+#include "pit/common/fault_injection.h"
 #include "pit/common/parallel_for.h"
 #include "pit/core/sread_swrite.h"
 #include "pit/graph/plan_verifier.h"
@@ -64,6 +67,40 @@ int ResolveMaxBatchTokens(const ServingEngineOptions& options) {
   return kDefaultMaxBatchTokens;
 }
 
+int64_t ResolveDeadlineUs(const ServingEngineOptions& options) {
+  if (options.deadline_us > 0) {
+    return options.deadline_us;
+  }
+  if (const char* env = std::getenv("PIT_SERVE_DEADLINE_US")) {
+    return ParseServeDeadlineEnv(env);
+  }
+  return 0;  // no default deadline
+}
+
+int ResolveQueueCapacity(const ServingEngineOptions& options) {
+  if (options.queue_capacity > 0) {
+    return options.queue_capacity;
+  }
+  if (const char* env = std::getenv("PIT_SERVE_QUEUE")) {
+    return ParseServeQueueEnv(env);
+  }
+  return 0;  // unbounded admission queue
+}
+
+// Finiteness scan: one NaN or inf in an activation (or mask) poisons every
+// dot product its rows feed, so non-finite inputs are rejected at admission
+// rather than silently corrupting a packed batch's shared forward.
+bool AllFinite(const Tensor& t) {
+  const float* data = t.data();
+  const int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // The padded token count a pool entry is keyed by, for the per-bucket pool
 // accounting (the transformer pool's key carries a masked flag on top).
 int64_t BucketOfPoolKey(const std::pair<int64_t, bool>& key) { return key.first; }
@@ -91,6 +128,23 @@ void VerifyPooledPlans(const PlannedFfnStack::Stream& pooled) {
 }
 
 }  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kInvalidArgument:
+      return "invalid_argument";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatus::kRejectedOverload:
+      return "rejected_overload";
+    case ServeStatus::kInternal:
+      return "internal";
+  }
+  PIT_CHECK(false) << "unknown ServeStatus " << static_cast<int>(status);
+  return "";
+}
 
 // One request stream: a private pool of per-shape stack streams (shared plan
 // + private contexts), reused across requests and Serve calls, plus the
@@ -126,6 +180,9 @@ struct ServingEngine::StreamState {
   // Per-batch scratch (lengths and embedded per-request masks).
   std::vector<int64_t> lens;
   std::vector<const Tensor*> request_masks;
+  // Per-claim scratch: the original request indices that survived the
+  // deadline sweep and enter the packed forward.
+  std::vector<int64_t> span;
   int64_t requests = 0;
   // This stream's share of the engine-wide pool accounting.
   int64_t pooled_contexts = 0;
@@ -144,10 +201,24 @@ ServingEngine::ServingEngine(const PlannedFfnStack& stack, const ServingEngineOp
 }
 
 void ServingEngine::Init(const ServingEngineOptions& options) {
+  // Option misuse is API misuse, not request data: fail fast at construction
+  // (0 always means "resolve env / default", never "negative").
+  PIT_CHECK(options.num_streams >= 0)
+      << "ServingEngineOptions::num_streams must be >= 0, got " << options.num_streams;
+  PIT_CHECK(options.batch_window >= 0)
+      << "ServingEngineOptions::batch_window must be >= 0, got " << options.batch_window;
+  PIT_CHECK(options.max_batch_tokens >= 0)
+      << "ServingEngineOptions::max_batch_tokens must be >= 0, got " << options.max_batch_tokens;
+  PIT_CHECK(options.deadline_us >= 0)
+      << "ServingEngineOptions::deadline_us must be >= 0, got " << options.deadline_us;
+  PIT_CHECK(options.queue_capacity >= 0)
+      << "ServingEngineOptions::queue_capacity must be >= 0, got " << options.queue_capacity;
   num_streams_ = ResolveNumStreams(options);
   use_pit_ = options.use_pit;
   batch_window_ = ResolveBatchWindow(options);
   max_batch_tokens_ = ResolveMaxBatchTokens(options);
+  deadline_us_ = ResolveDeadlineUs(options);
+  queue_capacity_ = ResolveQueueCapacity(options);
   streams_.reserve(static_cast<size_t>(num_streams_));
   for (int s = 0; s < num_streams_; ++s) {
     auto state = std::make_unique<StreamState>();
@@ -190,13 +261,13 @@ void ServingEngine::AccountBucketPool(int64_t bucket, int64_t contexts_delta) {
 }
 
 template <typename Pool, typename Key, typename MakeStreamFn>
-typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Pool& pool,
+typename Pool::mapped_type* ServingEngine::PooledStream(StreamState& stream, Pool& pool,
                                                         const Key& key, MakeStreamFn&& make) {
   const int64_t bucket = BucketOfPoolKey(key);
   auto it = pool.find(key);
   if (it != pool.end()) {
     ++stream.bucket_counters[bucket].plan_hits;
-    return it->second;
+    return &it->second;
   }
   ++stream.bucket_counters[bucket].plan_misses;
   if (pool.size() >= kMaxPooledShapes) {
@@ -208,7 +279,13 @@ typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Poo
     stream.pooled_arena_bytes = 0;
     pool.clear();
   }
-  it = pool.emplace(key, make()).first;
+  auto built = make();
+  if (!built.has_value()) {
+    // Injected persistent compile failure: nothing enters the pool; the
+    // caller's degradation ladder owns what happens to the requests.
+    return nullptr;
+  }
+  it = pool.emplace(key, std::move(*built)).first;
   if (PlanVerifyEngaged()) {
     VerifyPooledPlans(it->second);
   }
@@ -216,26 +293,123 @@ typename Pool::mapped_type& ServingEngine::PooledStream(StreamState& stream, Poo
   stream.pooled_arena_bytes += it->second.ArenaBytes();
   AccountPoolDelta(it->second.NumContexts(), it->second.ArenaBytes());
   AccountBucketPool(bucket, it->second.NumContexts());
-  return it->second;
+  return &it->second;
 }
 
-void ServingEngine::ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out,
-                            int64_t* bucket_out) {
-  PIT_CHECK_EQ(request.x.rank(), 2);
+template <typename Pool, typename Key, typename MakeStreamFn>
+typename Pool::mapped_type* ServingEngine::AcquireStream(
+    StreamState& stream, Pool& pool, const Key& key, MakeStreamFn&& make,
+    std::optional<typename Pool::mapped_type>& transient) {
+  using Mapped = typename Pool::mapped_type;
+  if (FaultProbe(FaultSite::kContextAcquire)) {
+    // Pool-exhaustion rung: degrade to a transient stream over the same
+    // shared plans — identical bits (the plans are immutable and shared;
+    // only the private contexts are fresh), nothing pinned once the span
+    // completes, and the pool itself is left untouched.
+    ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+    ctr_degraded_.fetch_add(1, std::memory_order_relaxed);
+    ScopedFaultRetryImmunity immune;
+    transient.emplace(make());
+    return &*transient;
+  }
+  return PooledStream(stream, pool, key, [&]() -> std::optional<Mapped> {
+    if (FaultProbe(FaultSite::kPlanCompile)) {
+      // Transient compile failure: retry the build once.
+      ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+      ctr_retries_.fetch_add(1, std::memory_order_relaxed);
+      ScopedFaultRetryImmunity immune;
+      if (FaultProbe(FaultSite::kPlanCompile)) {
+        // Persistent (fail_retries configs only): surface to the caller.
+        ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      return make();
+    }
+    return make();
+  });
+}
+
+ServeStatus ServingEngine::AdmissionStatus(const ServeRequest& request) const {
+  const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
+  if (request.x.rank() != 2 || request.x.dim(0) <= 0 || request.x.dim(1) != hidden) {
+    return ServeStatus::kInvalidArgument;
+  }
+  if (request.deadline_us < 0) {
+    return ServeStatus::kInvalidArgument;
+  }
+  if (request.attn_mask != nullptr) {
+    if (ffn_ != nullptr) {
+      // FFN stacks have no attention: a masked request is malformed data,
+      // not grounds to abort the batch it arrived in.
+      return ServeStatus::kInvalidArgument;
+    }
+    const Tensor& mask = *request.attn_mask;
+    const int64_t tokens = request.x.dim(0);
+    // A mismatched mask used to abort deep inside the packed masked-softmax
+    // with a kernel-level diagnostic; reject it at the request boundary.
+    if (mask.rank() != 2 || mask.dim(0) != tokens || mask.dim(1) != tokens) {
+      return ServeStatus::kInvalidArgument;
+    }
+    if (!AllFinite(mask)) {
+      return ServeStatus::kInvalidArgument;
+    }
+  }
+  if (!AllFinite(request.x)) {
+    return ServeStatus::kInvalidArgument;
+  }
+  return ServeStatus::kOk;
+}
+
+ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& request,
+                                    Tensor* out, int64_t* bucket_out) {
   const int64_t tokens = request.x.dim(0);
   PitCompiler* compiler = stream.compiler.get();
   if (transformer_ != nullptr) {
     const std::pair<int64_t, bool> key{tokens, request.attn_mask != nullptr};
-    PlannedTransformerStack::Stream& pooled =
-        PooledStream(stream, stream.transformer_pool, key, [&] {
-          return transformer_->MakeStream(key.first, key.second, use_pit_);
-        });
-    transformer_->ForwardWith(pooled, request.x, request.attn_mask, compiler, out);
+    std::optional<PlannedTransformerStack::Stream> transient;
+    PlannedTransformerStack::Stream* pooled = AcquireStream(
+        stream, stream.transformer_pool, key,
+        [&] { return transformer_->MakeStream(key.first, key.second, use_pit_); }, transient);
+    if (pooled == nullptr) {
+      ctr_internal_.fetch_add(1, std::memory_order_relaxed);
+      return ServeStatus::kInternal;
+    }
+    transformer_->ForwardWith(*pooled, request.x, request.attn_mask, compiler, out);
+    if (ConsumeFaultPending()) {
+      // Kernel-dispatch fault: retry the identical forward once — the plan
+      // and context are intact (an abandoned replay only leaves stale arena
+      // data, fully overwritten by the retry).
+      ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+      ctr_retries_.fetch_add(1, std::memory_order_relaxed);
+      ScopedFaultRetryImmunity immune;
+      transformer_->ForwardWith(*pooled, request.x, request.attn_mask, compiler, out);
+      if (ConsumeFaultPending()) {
+        ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+        ctr_internal_.fetch_add(1, std::memory_order_relaxed);
+        return ServeStatus::kInternal;
+      }
+    }
   } else {
-    PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
-    PlannedFfnStack::Stream& pooled = PooledStream(
-        stream, stream.ffn_pool, tokens, [&] { return ffn_->MakeStream(tokens, use_pit_); });
-    ffn_->ForwardWith(pooled, request.x, compiler, out);
+    std::optional<PlannedFfnStack::Stream> transient;
+    PlannedFfnStack::Stream* pooled =
+        AcquireStream(stream, stream.ffn_pool, tokens,
+                      [&] { return ffn_->MakeStream(tokens, use_pit_); }, transient);
+    if (pooled == nullptr) {
+      ctr_internal_.fetch_add(1, std::memory_order_relaxed);
+      return ServeStatus::kInternal;
+    }
+    ffn_->ForwardWith(*pooled, request.x, compiler, out);
+    if (ConsumeFaultPending()) {
+      ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+      ctr_retries_.fetch_add(1, std::memory_order_relaxed);
+      ScopedFaultRetryImmunity immune;
+      ffn_->ForwardWith(*pooled, request.x, compiler, out);
+      if (ConsumeFaultPending()) {
+        ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+        ctr_internal_.fetch_add(1, std::memory_order_relaxed);
+        return ServeStatus::kInternal;
+      }
+    }
   }
   // 1:1 serving degenerates to one "bucket" per distinct request length —
   // exactly the plan-pool cardinality contrast batching exists to collapse.
@@ -245,22 +419,21 @@ void ServingEngine::ServeOn(StreamState& stream, const ServeRequest& request, Te
   c.packed_tokens += tokens;
   c.computed_tokens += tokens;
   *bucket_out = tokens;
+  return ServeStatus::kOk;
 }
 
-void ServingEngine::ServeBatchOn(StreamState& stream, const std::vector<ServeRequest>& requests,
-                                 int64_t begin, int64_t end, std::vector<Tensor>& outputs,
-                                 std::vector<int64_t>& bucket_of) {
+bool ServingEngine::TryPackedForward(StreamState& stream,
+                                     const std::vector<ServeRequest>& requests,
+                                     const std::vector<int64_t>& span,
+                                     std::vector<ServeOutcome>& outcomes,
+                                     std::vector<int64_t>& bucket_of) {
   const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
   stream.lens.clear();
   stream.request_masks.clear();
   int64_t sum = 0;
   int64_t max_len = 0;
-  for (int64_t i = begin; i < end; ++i) {
-    const ServeRequest& request = requests[static_cast<size_t>(i)];
-    PIT_CHECK_EQ(request.x.rank(), 2);
-    if (ffn_ != nullptr) {
-      PIT_CHECK(request.attn_mask == nullptr) << "FFN-stack serving takes no attention mask";
-    }
+  for (const int64_t idx : span) {
+    const ServeRequest& request = requests[static_cast<size_t>(idx)];
     const int64_t len = request.x.dim(0);
     stream.lens.push_back(len);
     stream.request_masks.push_back(request.attn_mask);
@@ -290,9 +463,9 @@ void ServingEngine::ServeBatchOn(StreamState& stream, const std::vector<ServeReq
   // finite, so the real rows' bits depend only on the real rows.
   std::fill(st.x.data() + sum * hidden, st.x.data() + bucket * hidden, 0.0f);
   int64_t off = 0;
-  for (int64_t i = begin; i < end; ++i) {
-    const int64_t len = stream.lens[static_cast<size_t>(i - begin)];
-    SReadRowsInto(requests[static_cast<size_t>(i)].x,
+  for (size_t i = 0; i < span.size(); ++i) {
+    const int64_t len = stream.lens[i];
+    SReadRowsInto(requests[static_cast<size_t>(span[i])].x,
                   std::span<const int64_t>(stream.iota.data(), static_cast<size_t>(len)), st.x,
                   off);
     off += len;
@@ -300,29 +473,107 @@ void ServingEngine::ServeBatchOn(StreamState& stream, const std::vector<ServeReq
   PitCompiler* compiler = stream.compiler.get();
   if (transformer_ != nullptr) {
     BlockDiagonalMaskInto(stream.lens, stream.request_masks, st.mask);
-    PlannedTransformerStack::Stream& pooled =
-        PooledStream(stream, stream.transformer_pool, std::pair<int64_t, bool>{bucket, true},
-                     [&] { return transformer_->MakeStream(bucket, true, use_pit_); });
-    transformer_->ForwardWith(pooled, st.x, &st.mask, compiler, &st.out);
+    std::optional<PlannedTransformerStack::Stream> transient;
+    PlannedTransformerStack::Stream* pooled =
+        AcquireStream(stream, stream.transformer_pool, std::pair<int64_t, bool>{bucket, true},
+                      [&] { return transformer_->MakeStream(bucket, true, use_pit_); }, transient);
+    if (pooled == nullptr) {
+      return false;  // injected compile double-fault; caller's ladder decides
+    }
+    transformer_->ForwardWith(*pooled, st.x, &st.mask, compiler, &st.out);
   } else {
-    PlannedFfnStack::Stream& pooled = PooledStream(
-        stream, stream.ffn_pool, bucket, [&] { return ffn_->MakeStream(bucket, use_pit_); });
-    ffn_->ForwardWith(pooled, st.x, compiler, &st.out);
+    std::optional<PlannedFfnStack::Stream> transient;
+    PlannedFfnStack::Stream* pooled =
+        AcquireStream(stream, stream.ffn_pool, bucket,
+                      [&] { return ffn_->MakeStream(bucket, use_pit_); }, transient);
+    if (pooled == nullptr) {
+      return false;
+    }
+    ffn_->ForwardWith(*pooled, st.x, compiler, &st.out);
+  }
+  if (ConsumeFaultPending()) {
+    // Kernel-dispatch fault mid-replay: staging holds garbage; scatter
+    // nothing. The fired probe is compensated by whichever rung the caller
+    // takes next (1:1 fallback, packed retry, or terminal failure).
+    ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
   off = 0;
-  for (int64_t i = begin; i < end; ++i) {
-    const int64_t len = stream.lens[static_cast<size_t>(i - begin)];
+  for (size_t i = 0; i < span.size(); ++i) {
+    const int64_t idx = span[i];
+    const int64_t len = stream.lens[i];
     SWriteRowsFrom(st.out, off,
                    std::span<const int64_t>(stream.iota.data(), static_cast<size_t>(len)),
-                   outputs[static_cast<size_t>(i)]);
+                   outcomes[static_cast<size_t>(idx)].output);
     off += len;
-    bucket_of[static_cast<size_t>(i)] = bucket;
+    bucket_of[static_cast<size_t>(idx)] = bucket;
+    outcomes[static_cast<size_t>(idx)].status = ServeStatus::kOk;
   }
   StreamState::BucketCounters& c = stream.bucket_counters[bucket];
   ++c.batches;
-  c.requests += end - begin;
+  c.requests += static_cast<int64_t>(span.size());
   c.packed_tokens += sum;
   c.computed_tokens += bucket;
+  return true;
+}
+
+void ServingEngine::ServeSpanOneByOne(StreamState& stream,
+                                      const std::vector<ServeRequest>& requests,
+                                      const std::vector<int64_t>& span,
+                                      std::vector<ServeOutcome>& outcomes,
+                                      std::vector<int64_t>& bucket_of) {
+  for (const int64_t idx : span) {
+    ServeOutcome& outcome = outcomes[static_cast<size_t>(idx)];
+    outcome.status = ServeOne(stream, requests[static_cast<size_t>(idx)], &outcome.output,
+                              &bucket_of[static_cast<size_t>(idx)]);
+  }
+}
+
+void ServingEngine::ServeSpan(StreamState& stream, const std::vector<ServeRequest>& requests,
+                              const std::vector<int64_t>& span,
+                              std::vector<ServeOutcome>& outcomes,
+                              std::vector<int64_t>& bucket_of) {
+  const auto mark_internal = [&] {
+    ctr_internal_.fetch_add(1, std::memory_order_relaxed);
+    for (const int64_t idx : span) {
+      outcomes[static_cast<size_t>(idx)].status = ServeStatus::kInternal;
+    }
+  };
+  if (FaultProbe(FaultSite::kBatchPack)) {
+    ctr_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (!use_pit_) {
+      // Pack failure, dense stack: unbatch. The PR 6 contract makes each
+      // request's output independent of batch composition, so the 1:1
+      // fallback is bitwise invisible to the requests.
+      ctr_degraded_.fetch_add(1, std::memory_order_relaxed);
+      ServeSpanOneByOne(stream, requests, span, outcomes, bucket_of);
+      return;
+    }
+    // PIT: kernel selection sees the packed tile's sparsity, so unbatching
+    // would change bits — retry the pack at identical composition instead.
+    ctr_retries_.fetch_add(1, std::memory_order_relaxed);
+    ScopedFaultRetryImmunity immune;
+    if (!TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+      mark_internal();
+    }
+    return;
+  }
+  if (TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+    return;
+  }
+  // A rung inside the packed attempt failed terminally for this composition
+  // (compile double-fault or kernel dispatch fault): same split as above —
+  // dense unbatches, PIT retries the identical packed composition once.
+  if (!use_pit_) {
+    ctr_degraded_.fetch_add(1, std::memory_order_relaxed);
+    ServeSpanOneByOne(stream, requests, span, outcomes, bucket_of);
+    return;
+  }
+  ctr_retries_.fetch_add(1, std::memory_order_relaxed);
+  ScopedFaultRetryImmunity immune;
+  if (!TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+    mark_internal();
+  }
 }
 
 void ServingEngine::MergeBucketStats(const std::vector<int64_t>& bucket_of,
@@ -359,7 +610,10 @@ void ServingEngine::MergeBucketStats(const std::vector<int64_t>& bucket_of,
   stats_.buckets.clear();
   for (auto& [bucket, b] : merged) {
     auto it = latencies_by_bucket.find(bucket);
-    if (it != latencies_by_bucket.end()) {
+    // Guarded by presence *and* non-emptiness: a bucket served in an earlier
+    // call but untouched by this one keeps percentiles of 0 rather than
+    // feeding an empty sample into PercentileNearestRank.
+    if (it != latencies_by_bucket.end() && !it->second.empty()) {
       std::sort(it->second.begin(), it->second.end());
       b.p50_latency_us = PercentileNearestRank(it->second, 0.50);
       b.p99_latency_us = PercentileNearestRank(it->second, 0.99);
@@ -374,16 +628,51 @@ void ServingEngine::MergeBucketStats(const std::vector<int64_t>& bucket_of,
       computed > 0 ? static_cast<double>(packed) / static_cast<double>(computed) : 1.0;
 }
 
-std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& requests) {
+std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
+    const std::vector<ServeRequest>& requests) {
   const int64_t n = static_cast<int64_t>(requests.size());
-  std::vector<Tensor> outputs;
-  outputs.reserve(static_cast<size_t>(n));
+  std::vector<ServeOutcome> outcomes(static_cast<size_t>(n));
   const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
-  for (const ServeRequest& request : requests) {
-    PIT_CHECK(request.x.rank() == 2 && request.x.dim(1) == hidden)
-        << "request activation must be [tokens, hidden]";
-    outputs.emplace_back(Shape{request.x.dim(0), request.x.dim(1)});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_us = [&t0] {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Admission: validate every request up front (pure per-request work, so it
+  // fans out), then admit in arrival order against the bounded queue —
+  // shedding is deterministic, independent of streams/threads/timing. A
+  // rejected request never reaches a stream, so it cannot perturb the batch
+  // composition of admitted neighbours beyond its absence (which the PR 6
+  // contract makes bitwise invisible).
+  std::vector<ServeStatus> admit(static_cast<size_t>(n), ServeStatus::kOk);
+  ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      admit[static_cast<size_t>(i)] = AdmissionStatus(requests[static_cast<size_t>(i)]);
+    }
+  });
+  std::vector<int64_t> queue;
+  queue.reserve(static_cast<size_t>(n));
+  int64_t rejected_invalid = 0;
+  int64_t rejected_overload = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (admit[static_cast<size_t>(i)] != ServeStatus::kOk) {
+      outcomes[static_cast<size_t>(i)].status = admit[static_cast<size_t>(i)];
+      ++rejected_invalid;
+      continue;
+    }
+    if (queue_capacity_ > 0 && static_cast<int64_t>(queue.size()) >= queue_capacity_) {
+      outcomes[static_cast<size_t>(i)].status = ServeStatus::kRejectedOverload;
+      ++rejected_overload;
+      continue;
+    }
+    queue.push_back(i);
   }
+  for (const int64_t idx : queue) {
+    outcomes[static_cast<size_t>(idx)].output =
+        Tensor({requests[static_cast<size_t>(idx)].x.dim(0), hidden});
+  }
+  const int64_t qn = static_cast<int64_t>(queue.size());
   std::vector<double> latencies(static_cast<size_t>(n), 0.0);
   std::vector<int64_t> bucket_of(static_cast<size_t>(n), 0);
 
@@ -394,19 +683,18 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
   // composition is independent of which stream claims what — per-request
   // replay bits are independent of the claim interleaving.
   std::atomic<int64_t> next{0};
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto elapsed_us = [&t0] {
-    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-        .count();
-  };
+  std::atomic<int64_t> timed_out{0};
   const int budget = std::max(1, NumThreads() / std::max(1, num_streams_));
   const int64_t window = batch_window_;
   const int64_t max_tokens = max_batch_tokens_;
   ParallelTasks(num_streams_, budget, [&](int64_t s) {
+    // Fault probes are live only inside engine workers: plan replays
+    // anywhere else in the process never observe injected faults.
+    ScopedFaultArming arming;
     StreamState& stream = *streams_[static_cast<size_t>(s)];
-    for (int64_t i0 = next.fetch_add(window, std::memory_order_relaxed); i0 < n;
+    for (int64_t i0 = next.fetch_add(window, std::memory_order_relaxed); i0 < qn;
          i0 = next.fetch_add(window, std::memory_order_relaxed)) {
-      const int64_t i_end = std::min(i0 + window, n);
+      const int64_t i_end = std::min(i0 + window, qn);
       int64_t b0 = i0;
       while (b0 < i_end) {
         int64_t b1 = b0 + 1;
@@ -415,33 +703,92 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
           // request still fits; a single oversized request forms its own
           // batch. Composition depends only on (window, budget, request
           // order), never on the stream count or claim timing.
-          int64_t sum = requests[static_cast<size_t>(b0)].x.dim(0);
-          while (b1 < i_end &&
-                 sum + requests[static_cast<size_t>(b1)].x.dim(0) <= max_tokens) {
-            sum += requests[static_cast<size_t>(b1)].x.dim(0);
+          int64_t sum = requests[static_cast<size_t>(queue[static_cast<size_t>(b0)])].x.dim(0);
+          while (b1 < i_end) {
+            const int64_t len =
+                requests[static_cast<size_t>(queue[static_cast<size_t>(b1)])].x.dim(0);
+            if (sum + len > max_tokens) {
+              break;
+            }
+            sum += len;
             ++b1;
           }
-          ServeBatchOn(stream, requests, b0, b1, outputs, bucket_of);
-        } else {
-          ServeOn(stream, requests[static_cast<size_t>(b0)], &outputs[static_cast<size_t>(b0)],
-                  &bucket_of[static_cast<size_t>(b0)]);
         }
-        const double done = elapsed_us();
-        for (int64_t i = b0; i < b1; ++i) {
-          latencies[static_cast<size_t>(i)] = done;
+        // Deadline-expiry sweep at claim time: a request whose latency
+        // budget lapsed while it waited for a stream is shed before packing,
+        // so an overloaded engine stops spending compute on requests nobody
+        // is waiting for anymore.
+        stream.span.clear();
+        const double now_us = elapsed_us();
+        for (int64_t j = b0; j < b1; ++j) {
+          const int64_t idx = queue[static_cast<size_t>(j)];
+          const int64_t budget_us = requests[static_cast<size_t>(idx)].deadline_us > 0
+                                        ? requests[static_cast<size_t>(idx)].deadline_us
+                                        : deadline_us_;
+          if (budget_us > 0 && now_us > static_cast<double>(budget_us)) {
+            outcomes[static_cast<size_t>(idx)].status = ServeStatus::kDeadlineExceeded;
+            timed_out.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            stream.span.push_back(idx);
+          }
         }
-        stream.requests += b1 - b0;
+        if (!stream.span.empty()) {
+          if (window > 1) {
+            ServeSpan(stream, requests, stream.span, outcomes, bucket_of);
+          } else {
+            const int64_t idx = stream.span[0];
+            ServeOutcome& outcome = outcomes[static_cast<size_t>(idx)];
+            outcome.status = ServeOne(stream, requests[static_cast<size_t>(idx)],
+                                      &outcome.output, &bucket_of[static_cast<size_t>(idx)]);
+          }
+          const double done = elapsed_us();
+          int64_t completed = 0;
+          for (const int64_t idx : stream.span) {
+            if (outcomes[static_cast<size_t>(idx)].status == ServeStatus::kOk) {
+              latencies[static_cast<size_t>(idx)] = done;
+              ++completed;
+            }
+          }
+          stream.requests += completed;
+        }
         b0 = b1;
       }
     }
   });
   const double wall_us = elapsed_us();
 
+  // Every queued request was claimed exactly once and every claim ends in a
+  // definite status, so nothing can still carry the kInternal default unless
+  // a ladder genuinely exhausted. Non-kOk outcomes surrender their output
+  // buffer (the structured contract: output iff kOk).
+  std::vector<int64_t> ok_buckets;
+  std::vector<double> ok_latencies;
+  ok_buckets.reserve(static_cast<size_t>(qn));
+  ok_latencies.reserve(static_cast<size_t>(qn));
+  for (int64_t i = 0; i < n; ++i) {
+    ServeOutcome& outcome = outcomes[static_cast<size_t>(i)];
+    if (outcome.status == ServeStatus::kOk) {
+      ok_buckets.push_back(bucket_of[static_cast<size_t>(i)]);
+      ok_latencies.push_back(latencies[static_cast<size_t>(i)]);
+    } else {
+      outcome.output = Tensor();
+    }
+  }
+  const int64_t served_ok = static_cast<int64_t>(ok_latencies.size());
+
   // Lifetime + last-call statistics (single-caller engine: no worker is
   // running here anymore, so plain reads of the stream states are safe).
   stats_.requests += n;
   stats_.wall_us = wall_us;
-  stats_.requests_per_sec = wall_us > 0.0 ? static_cast<double>(n) / (wall_us / 1e6) : 0.0;
+  stats_.requests_per_sec =
+      wall_us > 0.0 ? static_cast<double>(served_ok) / (wall_us / 1e6) : 0.0;
+  stats_.rejected_invalid += rejected_invalid;
+  stats_.rejected_overload += rejected_overload;
+  stats_.timed_out += timed_out.load(std::memory_order_relaxed);
+  stats_.faults_injected = ctr_faults_.load(std::memory_order_relaxed);
+  stats_.retries = ctr_retries_.load(std::memory_order_relaxed);
+  stats_.degraded_forwards = ctr_degraded_.load(std::memory_order_relaxed);
+  stats_.internal_failures = ctr_internal_.load(std::memory_order_relaxed);
   for (int s = 0; s < num_streams_; ++s) {
     stats_.per_stream_requests[static_cast<size_t>(s)] = streams_[static_cast<size_t>(s)]->requests;
   }
@@ -449,16 +796,39 @@ std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& reques
   stats_.pool_contexts_highwater = pool_contexts_highwater_.load(std::memory_order_relaxed);
   stats_.pool_arena_bytes = pool_arena_bytes_.load(std::memory_order_relaxed);
   stats_.pool_arena_bytes_highwater = pool_arena_bytes_highwater_.load(std::memory_order_relaxed);
-  MergeBucketStats(bucket_of, latencies);
-  if (n > 0) {
+  MergeBucketStats(ok_buckets, ok_latencies);
+  if (served_ok > 0) {
     double sum = 0.0;
-    for (double l : latencies) {
+    for (const double l : ok_latencies) {
       sum += l;
     }
-    stats_.mean_latency_us = sum / static_cast<double>(n);
-    std::sort(latencies.begin(), latencies.end());
-    stats_.p50_latency_us = PercentileNearestRank(latencies, 0.50);
-    stats_.p99_latency_us = PercentileNearestRank(latencies, 0.99);
+    stats_.mean_latency_us = sum / static_cast<double>(served_ok);
+    std::sort(ok_latencies.begin(), ok_latencies.end());
+    stats_.p50_latency_us = PercentileNearestRank(ok_latencies, 0.50);
+    stats_.p99_latency_us = PercentileNearestRank(ok_latencies, 0.99);
+  } else {
+    // Zero completions (empty call, or everything rejected/shed/timed out):
+    // the latency report is explicitly zero, never 0/0 or a percentile of an
+    // empty sample.
+    stats_.mean_latency_us = 0.0;
+    stats_.p50_latency_us = 0.0;
+    stats_.p99_latency_us = 0.0;
+  }
+  return outcomes;
+}
+
+std::vector<Tensor> ServingEngine::Serve(const std::vector<ServeRequest>& requests) {
+  std::vector<ServeOutcome> outcomes = ServeWithStatus(requests);
+  std::vector<Tensor> outputs;
+  outputs.reserve(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    // The legacy API promises outputs for every request, so any contained
+    // failure escalates back into the fail-fast domain here — at the API
+    // boundary, with the request named, not deep inside a kernel.
+    PIT_CHECK(outcomes[i].status == ServeStatus::kOk)
+        << "Serve(): request " << i << " failed with status "
+        << ServeStatusName(outcomes[i].status) << "; use ServeWithStatus for structured handling";
+    outputs.push_back(std::move(outcomes[i].output));
   }
   return outputs;
 }

@@ -39,12 +39,35 @@
 // requests never split across streams, contexts never cross streams, and
 // every kernel is chunk-count deterministic.
 //
+// Fault containment (PR 9): the error domain is split in two. *API misuse* —
+// a null stack, negative option values, legacy Serve() on a failed request —
+// stays fail-fast (PIT_CHECK abort, check.h). *Data-dependent request
+// failures* are contained at the request boundary and reported as a
+// per-request ServeStatus: admission validates shape, mask dimensions and
+// finiteness up front (kInvalidArgument), a bounded admission queue sheds
+// overflow (kRejectedOverload), a deadline sweep sheds requests whose latency
+// budget lapsed while queued (kDeadlineExceeded), and injected or transient
+// infrastructure faults ride a degradation ladder — retry a failed plan
+// compile once, fall back to a transient unpooled context on pool
+// exhaustion, fall back to 1:1 unbatched serving on pack failure (dense;
+// PIT retries at identical batch composition since its kernel selection sees
+// the packed tile) — that ends in kOk or, only under persistent injected
+// faults, kInternal. A rejected request is excluded from its packed batch
+// without perturbing batchmates: the PR 6 contract makes per-request outputs
+// independent of batch composition, so every degradation rung is bitwise
+// invisible to the surviving requests. The fault taps themselves live in
+// common/fault_injection.h (PIT_FAULT=site:rate:seed) and fire only inside
+// the engine's stream workers.
+//
 // The stream count resolves from ServingEngineOptions::num_streams, else the
 // strict-parsed PIT_NUM_STREAMS environment knob, else NumThreads(). The
 // batching admission knobs resolve the same way from
 // ServingEngineOptions::batch_window / max_batch_tokens, else the
 // strict-parsed PIT_BATCH_WINDOW / PIT_BATCH_TOKENS knobs, else defaults
-// (window 1 — batching off — and 512 token rows).
+// (window 1 — batching off — and 512 token rows). The containment knobs
+// resolve from ServingEngineOptions::deadline_us / queue_capacity, else the
+// strict-parsed PIT_SERVE_DEADLINE_US / PIT_SERVE_QUEUE knobs, else 0 (no
+// default deadline, unbounded queue).
 #ifndef PIT_RUNTIME_SERVING_ENGINE_H_
 #define PIT_RUNTIME_SERVING_ENGINE_H_
 
@@ -53,6 +76,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "pit/runtime/models.h"
@@ -60,12 +84,41 @@
 
 namespace pit {
 
+// Terminal state of one served request. Every submitted request ends in
+// exactly one of these; the engine never aborts on malformed request *data*
+// (aborting remains reserved for API misuse).
+enum class ServeStatus {
+  kOk = 0,                // output holds the [tokens, hidden] result
+  kInvalidArgument = 1,   // rejected at admission: shape/mask/finiteness
+  kDeadlineExceeded = 2,  // latency budget lapsed while queued
+  kRejectedOverload = 3,  // shed by the bounded admission queue
+  kInternal = 4,          // degradation ladder exhausted (persistent faults)
+};
+
+// Human-readable status name ("ok", "invalid_argument", ...).
+const char* ServeStatusName(ServeStatus status);
+
 // One inference request: an activation batch and an optional attention mask
-// (transformer stacks only; FFN stacks require mask == nullptr). The mask
-// must outlive the Serve call.
+// (transformer stacks only; FFN stacks reject masked requests at admission).
+// The mask must outlive the Serve call.
 struct ServeRequest {
   Tensor x;                           // [tokens, hidden]
   const Tensor* attn_mask = nullptr;  // [tokens, tokens] or nullptr
+  // Latency budget in microseconds, measured from submission (Serve entry):
+  // a request still waiting for a stream when its budget lapses is shed with
+  // kDeadlineExceeded before packing, so an overloaded engine stops spending
+  // compute on requests nobody is waiting for anymore. 0 inherits the
+  // engine's default deadline (ServingEngineOptions::deadline_us /
+  // PIT_SERVE_DEADLINE_US; 0 there too means no deadline). Negative budgets
+  // are rejected at admission with kInvalidArgument.
+  int64_t deadline_us = 0;
+};
+
+// Terminal outcome of one request: its status and, iff status == kOk, the
+// [tokens, hidden] output (empty otherwise).
+struct ServeOutcome {
+  ServeStatus status = ServeStatus::kInternal;
+  Tensor output;
 };
 
 struct ServingEngineOptions {
@@ -88,6 +141,17 @@ struct ServingEngineOptions {
   // pre-PR 6 behavior) and 512.
   int batch_window = 0;
   int max_batch_tokens = 0;
+  // Default per-request latency budget in microseconds (requests may carry a
+  // tighter or looser one in ServeRequest::deadline_us). > 0: explicit.
+  // 0: resolve the strict-parsed PIT_SERVE_DEADLINE_US knob, falling back to
+  // no deadline. Negative values are API misuse (PIT_CHECK).
+  int64_t deadline_us = 0;
+  // Bounded admission queue: at most this many requests per Serve call are
+  // admitted; the rest are shed with kRejectedOverload (admission order, so
+  // shedding is deterministic). > 0: explicit. 0: resolve the strict-parsed
+  // PIT_SERVE_QUEUE knob, falling back to unbounded. Negative values are API
+  // misuse (PIT_CHECK).
+  int queue_capacity = 0;
 };
 
 // Per-bucket plan-pool and service accounting. A "bucket" is the padded
@@ -110,8 +174,8 @@ struct ServingBucketStats {
   // and the lifetime peak.
   int64_t pool_contexts = 0;
   int64_t pool_contexts_highwater = 0;
-  // Nearest-rank latency percentiles of the last Serve call's requests that
-  // landed in this bucket (0 when none did).
+  // Nearest-rank latency percentiles of the last Serve call's kOk requests
+  // that landed in this bucket (0 when none did).
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
 };
@@ -122,17 +186,33 @@ struct ServingEngineStats {
   int num_streams = 0;
   int batch_window = 1;
   int max_batch_tokens = 0;
-  int64_t requests = 0;       // total requests served over the engine lifetime
+  int64_t requests = 0;       // total requests submitted over the engine lifetime
   int64_t batches = 0;        // total forwards dispatched (== requests unbatched)
   double wall_us = 0.0;       // wall-clock of the last Serve call
-  double requests_per_sec = 0.0;
+  double requests_per_sec = 0.0;  // kOk completions per second, last call
+  // Latency statistics over the last Serve call's kOk requests; all 0 when
+  // none completed (an empty or fully-shed call must not divide by zero or
+  // take a percentile of nothing).
   double mean_latency_us = 0.0;  // arrival (= Serve start) -> completion
   double p50_latency_us = 0.0;   // nearest-rank percentiles (PercentileNearestRank)
   double p99_latency_us = 0.0;
   // Lifetime fraction of computed token rows that were real request rows
-  // (1.0 unbatched; batching trades bucket-padding waste for plan reuse and
-  // dense-batch efficiency).
+  // (1.0 unbatched or before any forward; batching trades bucket-padding
+  // waste for plan reuse and dense-batch efficiency).
   double packed_utilization = 1.0;
+  // Fault-containment accounting (lifetime). The injected-fault ledger
+  // reconciles exactly: faults_injected == retries + degraded_forwards +
+  // internal_failures — every injected fault is compensated by exactly one
+  // retry, one degraded (but successful) forward, or one terminal internal
+  // failure. internal_failures counts terminal *forwards*; a packed forward
+  // that dies maps to one internal failure but fails every request in it.
+  int64_t rejected_invalid = 0;   // admission rejections (kInvalidArgument)
+  int64_t rejected_overload = 0;  // queue shed (kRejectedOverload)
+  int64_t timed_out = 0;          // deadline sweep (kDeadlineExceeded)
+  int64_t faults_injected = 0;    // fault-injection probes that fired in this engine
+  int64_t retries = 0;            // same-composition retry rungs taken
+  int64_t degraded_forwards = 0;  // transient-context / 1:1-fallback rungs taken
+  int64_t internal_failures = 0;  // forwards whose ladder exhausted (kInternal)
   // Context/arena pool accounting: streams cache one context set per served
   // bucket and reuse it across requests; high-water marks track the peak
   // pinned footprint over the engine's lifetime.
@@ -140,7 +220,7 @@ struct ServingEngineStats {
   int64_t pool_contexts_highwater = 0;
   int64_t pool_arena_bytes = 0;          // bytes pinned by pooled arenas
   int64_t pool_arena_bytes_highwater = 0;
-  std::vector<int64_t> per_stream_requests;  // lifetime request count per stream
+  std::vector<int64_t> per_stream_requests;  // lifetime kOk completions per stream
   std::vector<ServingBucketStats> buckets;   // ascending by bucket
 };
 
@@ -159,40 +239,81 @@ class ServingEngine {
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  // Serves every request to completion across the engine's streams and
-  // returns the outputs in request order. Per-request results are bitwise
-  // identical to single-stream replay (and, for dense serving, to the 1:1
-  // unbatched engine and the stack's eager oracle) for any
-  // (streams x threads x scheduler x batching) combination. PIT serving is
-  // deterministic and stream-assignment independent, but its kernel
-  // selection sees the packed tile's sparsity, so batched PIT results match
-  // batched single-stream PIT replay rather than the 1:1 PIT engine.
+  // Serves every request to a definite terminal status across the engine's
+  // streams and returns the outcomes in request order; never aborts on
+  // malformed request data. kOk outputs are bitwise identical to
+  // single-stream replay (and, for dense serving, to the 1:1 unbatched
+  // engine and the stack's eager oracle) for any (streams x threads x
+  // scheduler x batching) combination, and independent of which batchmates
+  // were rejected, shed or timed out around them (PR 6 contract). PIT
+  // serving is deterministic and stream-assignment independent, but its
+  // kernel selection sees the packed tile's sparsity, so batched PIT results
+  // match batched single-stream PIT replay rather than the 1:1 PIT engine.
+  std::vector<ServeOutcome> ServeWithStatus(const std::vector<ServeRequest>& requests);
+
+  // Legacy strict wrapper: serves via ServeWithStatus and requires every
+  // request to end kOk — any contained failure is escalated to the fail-fast
+  // domain (PIT_CHECK abort naming the request and its status). For callers
+  // whose traffic is correct by construction (benches, examples, tests).
   std::vector<Tensor> Serve(const std::vector<ServeRequest>& requests);
 
   int num_streams() const { return num_streams_; }
   int batch_window() const { return batch_window_; }
   int max_batch_tokens() const { return max_batch_tokens_; }
+  int64_t deadline_us() const { return deadline_us_; }
+  int queue_capacity() const { return queue_capacity_; }
   const ServingEngineStats& stats() const { return stats_; }
 
  private:
   struct StreamState;
 
-  // Shared constructor body: stream-state allocation, per-stream compilers,
-  // stats init (the two public constructors differ only in which stack
-  // pointer they set).
+  // Shared constructor body: option validation (misuse is fail-fast),
+  // stream-state allocation, per-stream compilers, stats init (the two
+  // public constructors differ only in which stack pointer they set).
   void Init(const ServingEngineOptions& options);
-  void ServeOn(StreamState& stream, const ServeRequest& request, Tensor* out, int64_t* bucket);
-  // Packs requests [begin, end) into one bucket-padded dense forward on
-  // `stream` and scatters per-request outputs; records each request's bucket.
-  void ServeBatchOn(StreamState& stream, const std::vector<ServeRequest>& requests,
-                    int64_t begin, int64_t end, std::vector<Tensor>& outputs,
-                    std::vector<int64_t>& bucket_of);
+  // Admission validation — the data-dependent half of the error domain:
+  // activation shape, deadline sign, mask shape (and absence for FFN
+  // stacks), finiteness of activations and mask. Pure per-request.
+  ServeStatus AdmissionStatus(const ServeRequest& request) const;
+  // Serves one request 1:1 with the kernel-fault retry rung; returns its
+  // terminal status and records its bucket.
+  ServeStatus ServeOne(StreamState& stream, const ServeRequest& request, Tensor* out,
+                       int64_t* bucket_out);
+  // Serves the span's requests (original indices) through one packed
+  // bucket-padded forward, running the batch-level degradation ladder:
+  // dense falls back to 1:1 unbatched serving (bitwise-free by the PR 6
+  // contract), PIT retries at identical composition.
+  void ServeSpan(StreamState& stream, const std::vector<ServeRequest>& requests,
+                 const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
+                 std::vector<int64_t>& bucket_of);
+  // The 1:1 fallback rung: serves every span request individually.
+  void ServeSpanOneByOne(StreamState& stream, const std::vector<ServeRequest>& requests,
+                         const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
+                         std::vector<int64_t>& bucket_of);
+  // One packed forward attempt: gather, mask, replay, scatter. Returns false
+  // when a rung inside failed (injected compile double-fault or kernel
+  // dispatch fault) — staging contents are then undefined and nothing was
+  // scattered; the caller's ladder decides the next rung.
+  bool TryPackedForward(StreamState& stream, const std::vector<ServeRequest>& requests,
+                        const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
+                        std::vector<int64_t>& bucket_of);
+  // Pooled-stream acquisition with the infrastructure fault taps: a
+  // context-acquire fault degrades to a transient unpooled stream (same
+  // shared plans, same bits, nothing pinned afterwards — built into
+  // `transient`, which must outlive the forward); a plan-compile fault
+  // retries the build once. Returns nullptr only when the retried build
+  // failed again (persistent faults), for the caller's ladder.
+  template <typename Pool, typename Key, typename MakeStreamFn>
+  typename Pool::mapped_type* AcquireStream(StreamState& stream, Pool& pool, const Key& key,
+                                            MakeStreamFn&& make,
+                                            std::optional<typename Pool::mapped_type>& transient);
   // Finds (or builds, evicting at the shape bound) the stream's pooled state
   // for `key` — the one implementation of the lookup/evict/account protocol
   // both stack types go through. Tallies the hit/miss and per-bucket context
-  // accounting.
+  // accounting. `make` returns an optional: nullopt (a failed injected
+  // build) enters nothing into the pool and returns nullptr.
   template <typename Pool, typename Key, typename MakeStreamFn>
-  typename Pool::mapped_type& PooledStream(StreamState& stream, Pool& pool, const Key& key,
+  typename Pool::mapped_type* PooledStream(StreamState& stream, Pool& pool, const Key& key,
                                            MakeStreamFn&& make);
   // Adjusts the live pool totals by the given deltas and folds the result
   // into the high-water marks. Called from concurrent stream workers at the
@@ -203,7 +324,7 @@ class ServingEngine {
   // touched when a pool entry is built or evicted, never per request).
   void AccountBucketPool(int64_t bucket, int64_t contexts_delta);
   // Folds the streams' per-bucket counters and the last Serve's per-request
-  // (bucket, latency) pairs into stats_.buckets.
+  // (bucket, latency) pairs — kOk requests only — into stats_.buckets.
   void MergeBucketStats(const std::vector<int64_t>& bucket_of,
                         const std::vector<double>& latencies);
 
@@ -213,12 +334,19 @@ class ServingEngine {
   bool use_pit_ = false;
   int batch_window_ = 1;
   int max_batch_tokens_ = 0;
+  int64_t deadline_us_ = 0;  // default per-request budget; 0 = none
+  int queue_capacity_ = 0;   // admission bound; 0 = unbounded
   std::vector<std::unique_ptr<StreamState>> streams_;
   // Live pool totals + lifetime peaks, updated by workers as pools change.
   std::atomic<int64_t> pool_contexts_{0};
   std::atomic<int64_t> pool_arena_bytes_{0};
   std::atomic<int64_t> pool_contexts_highwater_{0};
   std::atomic<int64_t> pool_arena_bytes_highwater_{0};
+  // Fault-containment ledger (lifetime, updated by concurrent workers).
+  std::atomic<int64_t> ctr_faults_{0};
+  std::atomic<int64_t> ctr_retries_{0};
+  std::atomic<int64_t> ctr_degraded_{0};
+  std::atomic<int64_t> ctr_internal_{0};
   std::mutex bucket_pool_mu_;
   std::map<int64_t, std::pair<int64_t, int64_t>> bucket_pool_;  // live, highwater
   ServingEngineStats stats_;

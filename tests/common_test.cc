@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "pit/common/backend.h"
+#include "pit/common/fault_injection.h"
 #include "pit/common/parallel_for.h"
 #include "pit/common/rng.h"
 
@@ -182,6 +183,93 @@ TEST(EnvParsingTest, BatchWindowRejectsZeroNegativeAndOverflow) {
   EXPECT_DEATH(ParseBatchWindowEnv("-1"), "PIT_BATCH_WINDOW");
   EXPECT_DEATH(ParseBatchWindowEnv("65537"), "PIT_BATCH_WINDOW");
   EXPECT_DEATH(ParseBatchWindowEnv("99999999999999999999"), "PIT_BATCH_WINDOW");
+}
+
+TEST(EnvParsingTest, ServeDeadlineAcceptsWideMicrosecondRange) {
+  EXPECT_EQ(ParseServeDeadlineEnv("1"), 1);
+  EXPECT_EQ(ParseServeDeadlineEnv("250000"), 250000);
+  EXPECT_EQ(ParseServeDeadlineEnv("100000000"), 100000000);    // beyond the count ceiling
+  EXPECT_EQ(ParseServeDeadlineEnv("86400000000"), 86400000000LL);  // one day
+}
+
+TEST(EnvParsingTest, ServeDeadlineRejectsNonNumeric) {
+  EXPECT_DEATH(ParseServeDeadlineEnv("abc"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv("250ms"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv("2.5"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv(""), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv(" 250"), "PIT_SERVE_DEADLINE_US");
+}
+
+TEST(EnvParsingTest, ServeDeadlineRejectsZeroNegativeAndOverflow) {
+  EXPECT_DEATH(ParseServeDeadlineEnv("0"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv("-1"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv("86400000001"), "PIT_SERVE_DEADLINE_US");
+  EXPECT_DEATH(ParseServeDeadlineEnv("99999999999999999999"), "PIT_SERVE_DEADLINE_US");
+}
+
+TEST(EnvParsingTest, ServeQueueAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseServeQueueEnv("1"), 1);
+  EXPECT_EQ(ParseServeQueueEnv("64"), 64);
+  EXPECT_EQ(ParseServeQueueEnv("65536"), 65536);
+}
+
+TEST(EnvParsingTest, ServeQueueRejectsNonNumericZeroNegativeAndOverflow) {
+  EXPECT_DEATH(ParseServeQueueEnv("abc"), "PIT_SERVE_QUEUE");
+  EXPECT_DEATH(ParseServeQueueEnv("64x"), "PIT_SERVE_QUEUE");
+  EXPECT_DEATH(ParseServeQueueEnv(""), "PIT_SERVE_QUEUE");
+  EXPECT_DEATH(ParseServeQueueEnv("0"), "PIT_SERVE_QUEUE");
+  EXPECT_DEATH(ParseServeQueueEnv("-4"), "PIT_SERVE_QUEUE");
+  EXPECT_DEATH(ParseServeQueueEnv("65537"), "PIT_SERVE_QUEUE");
+}
+
+TEST(EnvParsingTest, FaultEnvAcceptsSiteRateSeedTriples) {
+  {
+    const FaultInjectionConfig config = ParseFaultEnv("batch_pack:0.5:7");
+    EXPECT_TRUE(config.enabled);
+    EXPECT_TRUE(config.site_enabled[static_cast<int>(FaultSite::kBatchPack)]);
+    EXPECT_FALSE(config.site_enabled[static_cast<int>(FaultSite::kPlanCompile)]);
+    EXPECT_DOUBLE_EQ(config.rate, 0.5);
+    EXPECT_EQ(config.seed, 7u);
+    EXPECT_FALSE(config.fail_retries);  // not spellable from the environment
+  }
+  {
+    const FaultInjectionConfig config = ParseFaultEnv("all:1.0:0");
+    for (int site = 0; site < kNumFaultSites; ++site) {
+      EXPECT_TRUE(config.site_enabled[site]);
+    }
+    EXPECT_DOUBLE_EQ(config.rate, 1.0);
+  }
+  {
+    // A bare integer rate of 1 is the only integer in (0, 1].
+    const FaultInjectionConfig config = ParseFaultEnv("kernel_dispatch:1:42");
+    EXPECT_TRUE(config.site_enabled[static_cast<int>(FaultSite::kKernelDispatch)]);
+    EXPECT_DOUBLE_EQ(config.rate, 1.0);
+    EXPECT_EQ(config.seed, 42u);
+  }
+}
+
+TEST(EnvParsingTest, FaultEnvRejectsBadSites) {
+  EXPECT_DEATH(ParseFaultEnv("warp_scheduler:0.5:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv(":0.5:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("ALL:0.5:7"), "PIT_FAULT");
+}
+
+TEST(EnvParsingTest, FaultEnvRejectsRatesOutsideZeroOneRange) {
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.0:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:1.5:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:-0.5:7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:rate:7"), "PIT_FAULT");
+}
+
+TEST(EnvParsingTest, FaultEnvRejectsMalformedTriples) {
+  EXPECT_DEATH(ParseFaultEnv(""), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.5"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.5:7:9"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.5:seed"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.5:-7"), "PIT_FAULT");
+  EXPECT_DEATH(ParseFaultEnv("batch_pack:0.5:99999999999999999999999"), "PIT_FAULT");
 }
 
 TEST(EnvParsingTest, BackendAcceptsKnownNames) {

@@ -3,10 +3,13 @@
 // garbage) when handed inconsistent arguments.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "pit/core/compiler.h"
 #include "pit/core/sread_swrite.h"
 #include "pit/expr/einsum.h"
 #include "pit/runtime/models.h"
+#include "pit/runtime/serving_engine.h"
 #include "pit/sparse/coverage.h"
 #include "pit/tensor/ops.h"
 
@@ -73,6 +76,74 @@ TEST(FailureInjectionTest, LayerNormGammaSizeMismatchAborts) {
 TEST(FailureInjectionTest, BlockSparseIndivisibleShapeAborts) {
   Rng rng(1);
   EXPECT_DEATH(Tensor::RandomBlockSparse(10, 10, 3, 1, 0.5, rng), "check failed");
+}
+
+// ---- ServingEngine: the error domain is split (PR 9). Construction misuse
+// stays fail-fast; malformed request *data* is contained per request and
+// reported as a ServeStatus — except through the legacy strict Serve()
+// wrapper, which escalates any non-kOk outcome back to an abort naming the
+// request. ----
+
+TEST(FailureInjectionTest, ServingEngineNegativeOptionsAbort) {
+  Rng rng(5);
+  PlannedFfnStack stack(1, 8, 16, rng);
+  {
+    ServingEngineOptions options;
+    options.num_streams = -1;
+    EXPECT_DEATH(ServingEngine(stack, options), "num_streams");
+  }
+  {
+    ServingEngineOptions options;
+    options.batch_window = -2;
+    EXPECT_DEATH(ServingEngine(stack, options), "batch_window");
+  }
+  {
+    ServingEngineOptions options;
+    options.max_batch_tokens = -8;
+    EXPECT_DEATH(ServingEngine(stack, options), "max_batch_tokens");
+  }
+  {
+    ServingEngineOptions options;
+    options.deadline_us = -100;
+    EXPECT_DEATH(ServingEngine(stack, options), "deadline_us");
+  }
+  {
+    ServingEngineOptions options;
+    options.queue_capacity = -1;
+    EXPECT_DEATH(ServingEngine(stack, options), "queue_capacity");
+  }
+}
+
+TEST(FailureInjectionTest, ServingEngineContainsMalformedRequestData) {
+  Rng rng(6);
+  PlannedTransformerStack stack(1, 16, 2, 32, rng);
+  ServingEngine engine(stack, {});
+  const Tensor bad_mask = Tensor::Zeros({5, 4});  // vs 4 tokens
+  std::vector<ServeRequest> requests(5);
+  requests[0].x = Tensor::Random({4, 16}, rng);  // the one valid request
+  requests[1].x = Tensor::Random({4, 8}, rng);   // wrong hidden
+  requests[2].x = Tensor::Random({4, 16}, rng);
+  requests[2].attn_mask = &bad_mask;
+  requests[3].x = Tensor::Random({4, 16}, rng);
+  requests[3].x[7] = std::nanf("");
+  requests[4].x = Tensor::Random({4, 16}, rng);
+  requests[4].deadline_us = -1;
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::kOk);
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].status, ServeStatus::kInvalidArgument) << "request " << i;
+    EXPECT_TRUE(outcomes[i].output.empty());
+  }
+}
+
+TEST(FailureInjectionTest, LegacyServeEscalatesContainedFailureToAbort) {
+  Rng rng(7);
+  PlannedFfnStack stack(1, 8, 16, rng);
+  ServingEngine engine(stack, {});
+  std::vector<ServeRequest> requests(1);
+  requests[0].x = Tensor::Random({3, 8}, rng);
+  requests[0].x[0] = std::nanf("");
+  EXPECT_DEATH(engine.Serve(requests), "Serve\\(\\): request .*invalid_argument");
 }
 
 }  // namespace

@@ -6,12 +6,14 @@
 // must be provably race-free, not just stable on one machine.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "pit/common/backend.h"
+#include "pit/common/fault_injection.h"
 #include "pit/common/parallel_for.h"
 #include "pit/common/rng.h"
 #include "pit/runtime/models.h"
@@ -531,6 +533,347 @@ TEST(RaggedBatchingTest, KnobsResolveFromOptionsThenEnvThenDefault) {
   }
   if (saved_tokens != nullptr) {
     setenv("PIT_BATCH_TOKENS", saved_tokens_value.c_str(), 1);
+  }
+}
+
+// ---- fault containment (PR 9) ----------------------------------------------
+
+// Rejecting a request must not perturb its batchmates: the queue excludes
+// rejected requests before spans form, and the PR 6 contract makes the
+// composition difference bitwise invisible — so a batched multi-stream run
+// over valid + invalid traffic must reproduce the valid-only run's bits
+// exactly, with every invalid request mapped to kInvalidArgument and an
+// empty output.
+TEST(FaultContainmentTest, InvalidRequestsRejectedWithoutPerturbingBatchmates) {
+  Rng wr(401);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {5, 9, 16}, /*per_shape=*/4, /*seed=*/402);
+  ServingEngineOptions options;
+  options.num_streams = 3;
+  options.batch_window = 3;
+  options.max_batch_tokens = 64;
+
+  ServingEngine clean_engine(stack, options);
+  const std::vector<ServeOutcome> clean = clean_engine.ServeWithStatus(mix.requests);
+  for (const ServeOutcome& outcome : clean) {
+    ASSERT_EQ(outcome.status, ServeStatus::kOk);
+  }
+
+  // Interleave adversarial requests: NaN activations, a [tokens+1, tokens]
+  // mask, a rank-3 mask, a non-finite mask, a wrong hidden dimension, a
+  // negative deadline. Every one must reject at admission (satellite: mask
+  // dimensions are validated up front, not deep inside a kernel).
+  Rng bad_rng(403);
+  std::vector<ServeRequest> traffic;
+  std::vector<Tensor> bad_masks;
+  bad_masks.reserve(3);
+  bad_masks.push_back(MakeMask(7, bad_rng));  // vs 6 tokens: wrong dims
+  bad_masks.push_back(Tensor::Random({6, 6, 1}, bad_rng));
+  bad_masks.push_back(MakeMask(6, bad_rng));
+  bad_masks.back()[0] = std::nanf("");
+  std::vector<size_t> valid_at;
+  auto push_invalid = [&](ServeRequest req) { traffic.push_back(std::move(req)); };
+  for (size_t i = 0; i < mix.requests.size(); ++i) {
+    if (i % 3 == 1) {
+      ServeRequest bad;
+      bad.x = Tensor::Random({6, 32}, bad_rng);
+      switch (i % 4) {
+        case 0:
+        case 1:
+          bad.attn_mask = &bad_masks[(i / 3) % 3];
+          break;
+        case 2:
+          bad.x[5] = std::nanf("");
+          break;
+        default:
+          bad.deadline_us = -1;
+          break;
+      }
+      push_invalid(std::move(bad));
+    }
+    valid_at.push_back(traffic.size());
+    traffic.push_back(mix.requests[i]);
+  }
+  {
+    ServeRequest wrong_hidden;
+    wrong_hidden.x = Tensor::Random({4, 16}, bad_rng);
+    push_invalid(std::move(wrong_hidden));
+  }
+  {
+    ServeRequest nan_mask;
+    nan_mask.x = Tensor::Random({6, 32}, bad_rng);
+    nan_mask.attn_mask = &bad_masks[2];  // well-shaped mask with a NaN entry
+    push_invalid(std::move(nan_mask));
+  }
+
+  ServingEngine engine(stack, options);
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(traffic);
+  ASSERT_EQ(outcomes.size(), traffic.size());
+  size_t next_valid = 0;
+  int64_t invalid = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (next_valid < valid_at.size() && valid_at[next_valid] == i) {
+      ASSERT_EQ(outcomes[i].status, ServeStatus::kOk);
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectBitwiseEqual(outcomes[i].output, clean[next_valid].output))
+          << "rejected batchmates perturbed valid request " << next_valid;
+      ++next_valid;
+    } else {
+      EXPECT_EQ(outcomes[i].status, ServeStatus::kInvalidArgument);
+      EXPECT_TRUE(outcomes[i].output.empty());
+      ++invalid;
+    }
+  }
+  EXPECT_EQ(next_valid, clean.size());
+  EXPECT_EQ(engine.stats().rejected_invalid, invalid);
+}
+
+// FFN stacks have no attention, so any mask is an admission error — the
+// mask-rejection half of the admission-validation satellite.
+TEST(FaultContainmentTest, FfnStackRejectsMaskedRequestsAtAdmission) {
+  Rng wr(411);
+  PlannedFfnStack stack(2, 16, 48, wr);
+  Rng rng(412);
+  const Tensor mask = MakeMask(6, rng);
+  std::vector<ServeRequest> requests(2);
+  requests[0].x = Tensor::Random({6, 16}, rng);
+  requests[1].x = Tensor::Random({6, 16}, rng);
+  requests[1].attn_mask = &mask;  // well-formed, but FFN stacks take none
+  ServingEngine engine(stack, {});
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::kOk);
+  EXPECT_EQ(outcomes[1].status, ServeStatus::kInvalidArgument);
+  EXPECT_EQ(engine.stats().rejected_invalid, 1);
+}
+
+// The bounded admission queue sheds in arrival order — deterministically, so
+// callers can reason about which requests an overloaded engine drops — and
+// shedding must not perturb the admitted requests' bits.
+TEST(FaultContainmentTest, OverloadShedsBeyondQueueCapacityDeterministically) {
+  Rng wr(421);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {5, 9}, /*per_shape=*/4, /*seed=*/422);
+  const int64_t n = static_cast<int64_t>(mix.requests.size());
+  constexpr int kQueue = 3;
+
+  ServingEngineOptions clean_options;
+  clean_options.num_streams = 2;
+  clean_options.batch_window = 2;
+  ServingEngine clean_engine(stack, clean_options);
+  const std::vector<ServeOutcome> clean = clean_engine.ServeWithStatus(mix.requests);
+
+  ServingEngineOptions options = clean_options;
+  options.queue_capacity = kQueue;
+  ServingEngine engine(stack, options);
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(mix.requests);
+    for (int64_t i = 0; i < n; ++i) {
+      if (i < kQueue) {
+        ASSERT_EQ(outcomes[static_cast<size_t>(i)].status, ServeStatus::kOk);
+        ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[static_cast<size_t>(i)].output,
+                                                   clean[static_cast<size_t>(i)].output));
+      } else {
+        EXPECT_EQ(outcomes[static_cast<size_t>(i)].status, ServeStatus::kRejectedOverload);
+        EXPECT_TRUE(outcomes[static_cast<size_t>(i)].output.empty());
+      }
+    }
+    EXPECT_EQ(engine.stats().rejected_overload, (pass + 1) * (n - kQueue));
+  }
+}
+
+// A 1 us default deadline sweeps queued requests into kDeadlineExceeded at
+// claim time; a per-request budget overrides the engine default, so a caller
+// who asked for a generous deadline still completes. Which queued requests
+// lapse is timing-dependent, but every status must be definite and every
+// surviving output bitwise identical to the clean run.
+TEST(FaultContainmentTest, DeadlineSweepShedsQueuedRequests) {
+  Rng wr(431);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {9, 16}, /*per_shape=*/4, /*seed=*/432);
+  ServingEngine clean_engine(stack, {});
+  const std::vector<ServeOutcome> clean = clean_engine.ServeWithStatus(mix.requests);
+
+  // The last request carries its own day-long budget: it must survive the
+  // engine's 1 us default no matter how slow the sweep is.
+  mix.requests.back().deadline_us = 86400000000LL;
+  ScopedNumThreads threads(1);
+  ServingEngineOptions options;
+  options.num_streams = 1;
+  options.deadline_us = 1;
+  ServingEngine engine(stack, options);
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(mix.requests);
+  int64_t timed_out = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].status == ServeStatus::kDeadlineExceeded) {
+      EXPECT_TRUE(outcomes[i].output.empty());
+      ++timed_out;
+    } else {
+      ASSERT_EQ(outcomes[i].status, ServeStatus::kOk);
+      ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[i].output, clean[i].output));
+    }
+  }
+  EXPECT_EQ(outcomes.back().status, ServeStatus::kOk);
+  EXPECT_GE(timed_out, 1);
+  EXPECT_EQ(engine.stats().timed_out, timed_out);
+}
+
+// Satellite regression: an empty Serve call and a fully-rejected Serve call
+// must keep every stat finite — no 0/0 packed utilization, no percentile of
+// an empty latency set, no NaN requests_per_sec.
+TEST(FaultContainmentTest, ZeroRequestAndFullyRejectedServesKeepStatsFinite) {
+  Rng wr(441);
+  PlannedFfnStack stack(2, 16, 48, wr);
+  ServingEngineOptions options;
+  options.batch_window = 4;
+  ServingEngine engine(stack, options);
+
+  const std::vector<ServeOutcome> none = engine.ServeWithStatus({});
+  EXPECT_TRUE(none.empty());
+  const ServingEngineStats& s0 = engine.stats();
+  EXPECT_EQ(s0.requests, 0);
+  EXPECT_EQ(s0.batches, 0);
+  EXPECT_EQ(s0.mean_latency_us, 0.0);
+  EXPECT_EQ(s0.p50_latency_us, 0.0);
+  EXPECT_EQ(s0.p99_latency_us, 0.0);
+  EXPECT_TRUE(std::isfinite(s0.requests_per_sec));
+  EXPECT_TRUE(std::isfinite(s0.packed_utilization));
+  EXPECT_EQ(s0.packed_utilization, 1.0);
+
+  Rng rng(442);
+  std::vector<ServeRequest> invalid(3);
+  for (ServeRequest& req : invalid) {
+    req.x = Tensor::Random({4, 16}, rng);
+    req.x[1] = std::nanf("");
+  }
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(invalid);
+  const ServingEngineStats& s1 = engine.stats();
+  for (const ServeOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, ServeStatus::kInvalidArgument);
+  }
+  EXPECT_EQ(s1.rejected_invalid, 3);
+  EXPECT_EQ(s1.requests_per_sec, 0.0);
+  EXPECT_EQ(s1.mean_latency_us, 0.0);
+  EXPECT_EQ(s1.p50_latency_us, 0.0);
+  EXPECT_EQ(s1.p99_latency_us, 0.0);
+  EXPECT_TRUE(std::isfinite(s1.packed_utilization));
+  for (const ServingBucketStats& bucket : s1.buckets) {
+    EXPECT_EQ(bucket.p50_latency_us, 0.0);
+    EXPECT_EQ(bucket.p99_latency_us, 0.0);
+  }
+}
+
+// Rate-1.0 injection at every site: transient faults (retries immune, the
+// PIT_FAULT model) must leave every request kOk with bits identical to the
+// fault-free run, and the ledger must reconcile exactly — every injected
+// fault compensated by one retry or one degraded forward.
+TEST(FaultContainmentTest, EverySiteTransientFaultSweepStaysBitwise) {
+  Rng wr(451);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {5, 9, 16}, /*per_shape=*/2, /*seed=*/452);
+  ServingEngineOptions options;
+  options.num_streams = 4;
+  options.batch_window = 3;
+  options.max_batch_tokens = 64;
+  std::vector<ServeOutcome> clean;
+  {
+    ServingEngine engine(stack, options);
+    clean = engine.ServeWithStatus(mix.requests);
+  }
+  ScopedNumThreads threads(4);
+  for (int site = 0; site < kNumFaultSites; ++site) {
+    SCOPED_TRACE(FaultSiteName(static_cast<FaultSite>(site)));
+    ScopedFaultInjection fault(static_cast<FaultSite>(site), 1.0, /*seed=*/1000 + site);
+    ServingEngine engine(stack, options);
+    const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(mix.requests);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      ASSERT_EQ(outcomes[i].status, ServeStatus::kOk);
+      ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[i].output, clean[i].output));
+    }
+    const ServingEngineStats& stats = engine.stats();
+    EXPECT_GT(stats.faults_injected, 0);
+    EXPECT_EQ(stats.internal_failures, 0);
+    EXPECT_EQ(stats.faults_injected, stats.retries + stats.degraded_forwards);
+  }
+}
+
+// Persistent faults (fail_retries: the retry rung fails too) must exhaust the
+// ladder into per-request kInternal — never an abort, never a hung request —
+// and the engine must serve clean bitwise traffic again once injection stops.
+TEST(FaultContainmentTest, PersistentFaultsEndInInternalThenRecover) {
+  Rng wr(461);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  RequestMix mix = BuildMix(32, {5, 9}, /*per_shape=*/2, /*seed=*/462);
+  ServingEngineOptions options;
+  options.num_streams = 2;
+  options.batch_window = 2;
+  std::vector<ServeOutcome> clean;
+  {
+    ServingEngine engine(stack, options);
+    clean = engine.ServeWithStatus(mix.requests);
+  }
+  for (FaultSite site : {FaultSite::kPlanCompile, FaultSite::kKernelDispatch}) {
+    SCOPED_TRACE(FaultSiteName(site));
+    ServingEngine engine(stack, options);
+    {
+      ScopedFaultInjection fault(site, 1.0, /*seed=*/77, /*fail_retries=*/true);
+      const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(mix.requests);
+      for (const ServeOutcome& outcome : outcomes) {
+        EXPECT_EQ(outcome.status, ServeStatus::kInternal);
+        EXPECT_TRUE(outcome.output.empty());
+      }
+      const ServingEngineStats& stats = engine.stats();
+      EXPECT_GT(stats.internal_failures, 0);
+      EXPECT_EQ(stats.faults_injected,
+                stats.retries + stats.degraded_forwards + stats.internal_failures);
+    }
+    // Injection scope gone: the same engine must recover to clean bits.
+    const std::vector<ServeOutcome> recovered = engine.ServeWithStatus(mix.requests);
+    for (size_t i = 0; i < recovered.size(); ++i) {
+      ASSERT_EQ(recovered[i].status, ServeStatus::kOk);
+      ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(recovered[i].output, clean[i].output));
+    }
+    const ServingEngineStats& stats = engine.stats();
+    EXPECT_EQ(stats.faults_injected,
+              stats.retries + stats.degraded_forwards + stats.internal_failures);
+  }
+}
+
+// The containment knobs resolve option > env > default, mirroring
+// KnobsResolveFromOptionsThenEnvThenDefault for the batching knobs.
+TEST(FaultContainmentTest, DeadlineAndQueueKnobsResolveFromOptionsThenEnvThenDefault) {
+  Rng wr(471);
+  PlannedFfnStack stack(1, 8, 16, wr);
+  const char* saved_deadline = std::getenv("PIT_SERVE_DEADLINE_US");
+  const std::string saved_deadline_value = saved_deadline != nullptr ? saved_deadline : "";
+  const char* saved_queue = std::getenv("PIT_SERVE_QUEUE");
+  const std::string saved_queue_value = saved_queue != nullptr ? saved_queue : "";
+  setenv("PIT_SERVE_DEADLINE_US", "12345", /*overwrite=*/1);
+  setenv("PIT_SERVE_QUEUE", "9", /*overwrite=*/1);
+  {
+    ServingEngineOptions options;
+    options.deadline_us = 777;
+    options.queue_capacity = 3;
+    ServingEngine engine(stack, options);
+    EXPECT_EQ(engine.deadline_us(), 777);
+    EXPECT_EQ(engine.queue_capacity(), 3);
+  }
+  {
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.deadline_us(), 12345);
+    EXPECT_EQ(engine.queue_capacity(), 9);
+  }
+  unsetenv("PIT_SERVE_DEADLINE_US");
+  unsetenv("PIT_SERVE_QUEUE");
+  {
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.deadline_us(), 0);
+    EXPECT_EQ(engine.queue_capacity(), 0);
+  }
+  if (saved_deadline != nullptr) {
+    setenv("PIT_SERVE_DEADLINE_US", saved_deadline_value.c_str(), 1);
+  }
+  if (saved_queue != nullptr) {
+    setenv("PIT_SERVE_QUEUE", saved_queue_value.c_str(), 1);
   }
 }
 
