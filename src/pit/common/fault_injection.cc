@@ -86,8 +86,12 @@ bool ParseSeed(const std::string& text, uint64_t* out) {
 
 bool ParseSite(const std::string& text, FaultInjectionConfig* config) {
   if (text == "all") {
+    // "all" spells the failure sites only: stall is a delay fault (liveness
+    // chaos) and must never ride along with a failure sweep unasked — a
+    // high-rate all-site sweep sleeping 50 ms per claim would turn every
+    // containment test into a wall-clock test.
     for (int i = 0; i < kNumFaultSites; ++i) {
-      config->site_enabled[i] = true;
+      config->site_enabled[i] = static_cast<FaultSite>(i) != FaultSite::kStall;
     }
     return true;
   }
@@ -127,6 +131,8 @@ const char* FaultSiteName(FaultSite site) {
       return "batch_pack";
     case FaultSite::kKernelDispatch:
       return "kernel_dispatch";
+    case FaultSite::kStall:
+      return "stall";
   }
   PIT_CHECK(false) << "unknown FaultSite " << static_cast<int>(site);
   return "";
@@ -135,7 +141,7 @@ const char* FaultSiteName(FaultSite site) {
 FaultInjectionConfig ParseFaultEnv(const char* value) {
   PIT_CHECK(value != nullptr && value[0] != '\0')
       << "PIT_FAULT must be site:rate:seed (site: plan_compile|context_acquire|"
-         "batch_pack|kernel_dispatch|all, rate in (0,1], seed unsigned decimal)";
+         "batch_pack|kernel_dispatch|stall|all, rate in (0,1], seed unsigned decimal)";
   const std::string text(value);
   const size_t first = text.find(':');
   const size_t second = first == std::string::npos ? std::string::npos : text.find(':', first + 1);
@@ -150,7 +156,7 @@ FaultInjectionConfig ParseFaultEnv(const char* value) {
   const std::string seed = text.substr(second + 1);
   PIT_CHECK(ParseSite(site, &config))
       << "PIT_FAULT site must be plan_compile|context_acquire|batch_pack|"
-         "kernel_dispatch|all, got \""
+         "kernel_dispatch|stall|all, got \""
       << site << "\"";
   PIT_CHECK(ParseRate(rate, &config.rate))
       << "PIT_FAULT rate must be a plain decimal in (0, 1], got \"" << rate << "\"";

@@ -28,9 +28,17 @@
 // terminates; tests opt into persistent faults to exercise kInternal.
 //
 // Configure with the strict-parsed PIT_FAULT=site:rate:seed environment knob
-// (site: plan_compile | context_acquire | batch_pack | kernel_dispatch | all;
-// rate: decimal in (0, 1]; seed: unsigned decimal) or the ScopedFaultInjection
-// RAII guard for tests.
+// (site: plan_compile | context_acquire | batch_pack | kernel_dispatch |
+// stall | all; rate: decimal in (0, 1]; seed: unsigned decimal) or the
+// ScopedFaultInjection RAII guard for tests.
+//
+// The stall site is the liveness counterpart of the failure sites: a fired
+// probe makes a stream worker sleep for `stall_us` (a seeded wedge, not an
+// error), so watchdog detection and in-flight deadline enforcement become
+// provable. Because a stall is a delay rather than a failure, it never enters
+// the engine's fault ledger, and "all" spells the four *failure* sites only —
+// stall is opt-in by name so latency-oriented chaos never silently rides
+// along with failure sweeps.
 #ifndef PIT_COMMON_FAULT_INJECTION_H_
 #define PIT_COMMON_FAULT_INJECTION_H_
 
@@ -46,8 +54,9 @@ enum class FaultSite : int {
   kContextAcquire = 1,  // acquiring a pooled execution context (ServingEngine)
   kBatchPack = 2,       // packing a ragged batch (ServingEngine)
   kKernelDispatch = 3,  // dispatching a plan step (ExecutionPlan replay)
+  kStall = 4,           // seeded sleep inside a stream worker (liveness chaos)
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 5;
 
 // Human-readable site name ("plan_compile", ...), for logs and the chaos
 // harness.
@@ -55,9 +64,13 @@ const char* FaultSiteName(FaultSite site);
 
 struct FaultInjectionConfig {
   bool enabled = false;
-  bool site_enabled[kNumFaultSites] = {false, false, false, false};
+  bool site_enabled[kNumFaultSites] = {false, false, false, false, false};
   double rate = 0.0;  // fire probability per probe, in (0, 1] when enabled
   uint64_t seed = 0;
+  // Sleep duration of a fired stall probe, microseconds. Long enough by
+  // default that the default-tick watchdog provably detects the wedge;
+  // tests and chaos cells dial it down to keep wall time bounded.
+  int64_t stall_us = 50000;
   // Test-only (not spellable via PIT_FAULT): evaluate probes inside
   // retry-immune scopes too, so a retried operation can fail again and the
   // terminal kInternal rung becomes reachable. Environment-configured chaos

@@ -164,12 +164,11 @@ class Pool {
 
 }  // namespace
 
-// Shared strict parser behind every positive-integer knob: a typo'd value
-// must fail loudly, never silently fall back to a default the operator did
-// not ask for. The int64 variant exists for knobs whose natural range exceeds
-// the count-knob ceiling (microsecond deadlines); the plain-int wrapper keeps
-// the historical 1..65536 envelope for counts.
-int64_t ParsePositiveInt64Env(const char* name, const char* value, int64_t max_value) {
+// The single strict-parse core behind every positive-integer knob (reached
+// through the ParsePositiveEnv<T> template): a typo'd value must fail loudly,
+// never silently fall back to a default the operator did not ask for.
+namespace env_internal {
+int64_t ParsePositiveCore(const char* name, const char* value, int64_t max_value) {
   PIT_CHECK(value != nullptr && *value != '\0')
       << name << " is set but empty; expected a positive integer";
   // Strict decimal: digits only (strtoll would silently skip leading
@@ -184,9 +183,14 @@ int64_t ParsePositiveInt64Env(const char* name, const char* value, int64_t max_v
       << name << "=\"" << value << "\" out of range; expected 1.." << max_value;
   return static_cast<int64_t>(v);
 }
+}  // namespace env_internal
 
 int ParsePositiveIntEnv(const char* name, const char* value) {
-  return static_cast<int>(ParsePositiveInt64Env(name, value, 1 << 16));
+  return ParsePositiveEnv<int>(name, value, 1 << 16);
+}
+
+int64_t ParsePositiveInt64Env(const char* name, const char* value, int64_t max_value) {
+  return ParsePositiveEnv<int64_t>(name, value, max_value);
 }
 
 int ParseNumThreadsEnv(const char* value) {
@@ -213,6 +217,11 @@ int64_t ParseServeDeadlineEnv(const char* value) {
 
 int ParseServeQueueEnv(const char* value) {
   return ParsePositiveIntEnv("PIT_SERVE_QUEUE", value);
+}
+
+int64_t ParseWatchdogUsEnv(const char* value) {
+  // Stall-detection thresholds share the deadline knobs' one-day envelope.
+  return ParsePositiveEnv<int64_t>("PIT_WATCHDOG_US", value, 86400000000LL);
 }
 
 int NumThreads() {

@@ -771,6 +771,7 @@ void ExecutionPlan::Dispatch(int step_index, ExecutionContext& ctx, PitCompiler*
 
 void ExecutionPlan::RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
                                   const StepObserver* observer) const {
+  const CancelToken* cancel = ctx.cancel_;
   for (int s = 0; s < static_cast<int>(steps_.size()); ++s) {
     // Injected kernel-dispatch faults abandon the replay here, on the
     // submitting thread; the serving engine consumes the pending fault and
@@ -778,6 +779,15 @@ void ExecutionPlan::RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
     if (FaultStepProbe()) {
       return;
     }
+    // Cooperative cancellation at step granularity: kernels never stop
+    // mid-flight, but a fired token (drain or lapsed batch deadline) stops
+    // the replay before the next step. Checked after the fault probe so an
+    // injected fault keeps its established precedence.
+    if (cancel != nullptr && cancel->cancelled()) {
+      ctx.replay_status_ = ReplayStatus::kCancelled;
+      return;
+    }
+    HeartbeatTick();
     Dispatch(s, ctx, compiler);
     if (observer != nullptr && *observer) {
       const OpCall& step = steps_[static_cast<size_t>(s)];
@@ -796,6 +806,7 @@ void ExecutionPlan::RunSequential(ExecutionContext& ctx, PitCompiler* compiler,
 // count and concurrent steps touch disjoint 64-byte-aligned blocks.
 void ExecutionPlan::RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) const {
   const int threads = NumThreads();
+  const CancelToken* cancel = ctx.cancel_;
   for (size_t w = 0; w + 1 < wave_offsets_.size(); ++w) {
     const int begin = wave_offsets_[w];
     const int width = wave_offsets_[w + 1] - begin;
@@ -808,6 +819,15 @@ void ExecutionPlan::RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) 
         return;
       }
     }
+    // Cancellation at wavefront granularity, checked on the submitting
+    // thread so no wave is half-submitted. The early return happens before
+    // ParallelTasks, so nested submitters never wait on a barrier that will
+    // not fill — the pool's deadlock-freedom argument is untouched.
+    if (cancel != nullptr && cancel->cancelled()) {
+      ctx.replay_status_ = ReplayStatus::kCancelled;
+      return;
+    }
+    HeartbeatTick();
     if (width == 1) {
       // A singleton wave runs inline with the full pool as its width budget.
       Dispatch(wave_steps_[static_cast<size_t>(begin)], ctx, compiler);
@@ -815,8 +835,19 @@ void ExecutionPlan::RunWavefronts(ExecutionContext& ctx, PitCompiler* compiler) 
     }
     const int budget = (threads + width - 1) / width;
     ParallelTasks(width, budget, [&](int64_t i) {
+      // Wide waves re-poll inside each task: a task that observes the token
+      // skips its dispatch but still reaches the barrier, so the wave
+      // completes structurally (no deadlock) while the remaining work is
+      // dropped. The post-wave check below then latches kCancelled.
+      if (cancel != nullptr && cancel->cancelled_manual()) {
+        return;
+      }
       Dispatch(wave_steps_[static_cast<size_t>(begin + static_cast<int>(i))], ctx, compiler);
     });
+    if (cancel != nullptr && cancel->cancelled()) {
+      ctx.replay_status_ = ReplayStatus::kCancelled;
+      return;
+    }
   }
 }
 
@@ -835,11 +866,20 @@ ConstTensorView ExecutionPlan::RunImpl(ExecutionContext& ctx, const FeedMap& fee
                                        PitCompiler* compiler,
                                        const StepObserver* observer) const {
   PIT_CHECK(ctx.plan_ == this) << "execution context belongs to a different plan";
+  ctx.replay_status_ = ReplayStatus::kOk;
   if (FaultPending()) {
     // An injected dispatch fault already aborted this forward (multi-plan
     // forwards replay one plan per layer): skip the remaining replays fast.
     // The returned view is dead data; the engine discards the whole attempt
     // when it consumes the pending fault.
+    return ConstTensorView(ResolveConst(result_, ctx),
+                           shapes_[static_cast<size_t>(result_.shape_id)]);
+  }
+  if (ctx.cancel_ != nullptr && ctx.cancel_->cancelled()) {
+    // Already-cancelled token (drain cut in, or the batch deadline lapsed
+    // during an earlier layer of a multi-plan forward): skip the whole
+    // replay. The returned view is dead data, flagged by replay_status().
+    ctx.replay_status_ = ReplayStatus::kCancelled;
     return ConstTensorView(ResolveConst(result_, ctx),
                            shapes_[static_cast<size_t>(result_.shape_id)]);
   }

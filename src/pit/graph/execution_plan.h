@@ -58,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "pit/common/cancellation.h"
 #include "pit/core/compiler.h"
 #include "pit/graph/graph.h"
 #include "pit/tensor/tensor.h"
@@ -120,6 +121,16 @@ struct PlanStats {
   bool wavefront_profitable = false;
 };
 
+// How the last replay through a context ended. Kernels are uninterruptible,
+// so kCancelled means the replay stopped at a step/wavefront boundary (or
+// never started) after its cancel token fired: the context's arena holds a
+// partial, meaningless intermediate state and the returned view must be
+// discarded. The next RunWith resets the status.
+enum class ReplayStatus : uint8_t {
+  kOk = 0,
+  kCancelled = 1,
+};
+
 // Per-stream execution state over one shared, immutable ExecutionPlan: the
 // 64-byte-aligned arena, the per-Run feed binding table, and the per-step PIT
 // kernel slots. Contexts are independent — two streams replaying the same
@@ -141,6 +152,19 @@ class ExecutionContext {
   // the serving engine's pool high-water accounting sums.
   int64_t arena_bytes() const { return arena_bytes_; }
 
+  // Installs (or clears, with nullptr) the cancel token both plan schedulers
+  // poll at step/wavefront boundaries during replay through this context.
+  // The token is borrowed, not owned: the caller keeps it alive across every
+  // RunWith. Installing the same pointer again is a no-op, so pooled contexts
+  // can re-install their stream's token on every acquisition for free.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
+  // Outcome of the most recent RunWith/Run through this context. kCancelled
+  // replays return a dead view; callers that installed a token check this
+  // (or the token itself) before trusting the result.
+  ReplayStatus replay_status() const { return replay_status_; }
+
  private:
   friend class ExecutionPlan;
 
@@ -156,6 +180,11 @@ class ExecutionContext {
   // Per-step PIT kernel slot (PIT steps only; empty-handle default). Owned by
   // the context so concurrent streams never race on a shared JIT handle.
   std::vector<PitKernelHandle> pit_;
+  // Borrowed cancellation token (null = never cancelled) and the last
+  // replay's outcome. Written by RunImpl/the schedulers, read by the owner
+  // after each replay.
+  const CancelToken* cancel_ = nullptr;
+  ReplayStatus replay_status_ = ReplayStatus::kOk;
 };
 
 // Called after each compute step with the node id and a view of its value

@@ -150,6 +150,15 @@ class PlannedFfnStack {
     // Arena bytes the stream's contexts pin (for serving-pool accounting).
     int64_t ArenaBytes() const;
     int64_t NumContexts() const { return static_cast<int64_t>(contexts.size()); }
+    // Installs one shared cancel token on every layer context, so a token
+    // fired mid-forward stops the remaining layers' replays at their next
+    // step boundary (cancellation.h). Borrowed: the token must outlive every
+    // ForwardWith. Re-installing the same pointer is free (pooled streams).
+    void SetCancelToken(const CancelToken* token) {
+      for (std::unique_ptr<ExecutionContext>& ctx : contexts) {
+        ctx->set_cancel_token(token);
+      }
+    }
   };
   // Builds a stream for `tokens`, compiling/caching the shared plans if
   // needed (the only part that takes the stack lock). `pit` plans the layers
@@ -234,6 +243,13 @@ class PlannedTransformerStack {
     // Arena bytes the stream's contexts pin (for serving-pool accounting).
     int64_t ArenaBytes() const;
     int64_t NumContexts() const { return static_cast<int64_t>(layers.size()); }
+    // Installs one shared cancel token on every layer's context (see the
+    // PlannedFfnStack::Stream overload for the lifetime contract).
+    void SetCancelToken(const CancelToken* token) {
+      for (TransformerEncoderLayer::Stream& layer : layers) {
+        layer.ctx->set_cancel_token(token);
+      }
+    }
   };
   // Builds a stream for (tokens, masked?), compiling/caching the layers'
   // shared plans if needed (locks each layer's plan cache once). `pit` plans

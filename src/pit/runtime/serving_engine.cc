@@ -4,10 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
 #include <span>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "pit/common/backend.h"
@@ -87,6 +91,26 @@ int ResolveQueueCapacity(const ServingEngineOptions& options) {
   return 0;  // unbounded admission queue
 }
 
+int64_t ResolveWatchdogUs(const ServingEngineOptions& options) {
+  if (options.watchdog_us > 0) {
+    return options.watchdog_us;
+  }
+  if (const char* env = std::getenv("PIT_WATCHDOG_US")) {
+    return ParseWatchdogUsEnv(env);
+  }
+  return 0;  // supervision off
+}
+
+WatchdogMode ResolveWatchdogMode(const ServingEngineOptions& options) {
+  if (options.watchdog_mode != WatchdogMode::kDefault) {
+    return options.watchdog_mode;
+  }
+  if (const char* env = std::getenv("PIT_WATCHDOG")) {
+    return ParseWatchdogModeEnv(env);
+  }
+  return WatchdogMode::kReport;
+}
+
 // Finiteness scan: one NaN or inf in an activation (or mask) poisons every
 // dot product its rows feed, so non-finite inputs are rejected at admission
 // rather than silently corrupting a packed batch's shared forward.
@@ -141,9 +165,45 @@ const char* ServeStatusName(ServeStatus status) {
       return "rejected_overload";
     case ServeStatus::kInternal:
       return "internal";
+    case ServeStatus::kCancelled:
+      return "cancelled";
   }
   PIT_CHECK(false) << "unknown ServeStatus " << static_cast<int>(status);
   return "";
+}
+
+WatchdogMode ParseWatchdogModeEnv(const char* value) {
+  PIT_CHECK(value != nullptr && value[0] != '\0')
+      << "PIT_WATCHDOG is set but empty; expected report|abort";
+  const std::string text(value);
+  if (text == "report") {
+    return WatchdogMode::kReport;
+  }
+  if (text == "abort") {
+    return WatchdogMode::kAbort;
+  }
+  // A typo'd mode must never silently supervise in a different mode than the
+  // operator asked for (abort vs report is a production-impact decision).
+  PIT_CHECK(false) << "PIT_WATCHDOG must be report|abort, got \"" << text << "\"";
+  return WatchdogMode::kReport;
+}
+
+std::string ServingEngineStats::ToString() const {
+  std::ostringstream os;
+  os << "ServingEngineStats{requests=" << requests << " streams=" << num_streams
+     << " window=" << batch_window << " max_tokens=" << max_batch_tokens
+     << " batches=" << batches << " util=" << packed_utilization << "; "
+     << ServeStatusName(ServeStatus::kInvalidArgument) << "=" << rejected_invalid << " "
+     << ServeStatusName(ServeStatus::kRejectedOverload) << "=" << rejected_overload << " "
+     << ServeStatusName(ServeStatus::kDeadlineExceeded) << "=" << timed_out
+     << " (in_flight=" << timed_out_inflight << ") "
+     << ServeStatusName(ServeStatus::kCancelled) << "=" << cancelled
+     << "; faults=" << faults_injected << " retries=" << retries
+     << " degraded=" << degraded_forwards << " internal=" << internal_failures
+     << " cancelled_forwards=" << cancelled_forwards
+     << "; stalls_injected=" << stalls_injected << " stalls_detected=" << stalls_detected
+     << " stall_silence_us=[" << stall_min_silence_us << ", " << stall_max_silence_us << "]}";
+  return os.str();
 }
 
 // One request stream: a private pool of per-shape stack streams (shared plan
@@ -187,6 +247,16 @@ struct ServingEngine::StreamState {
   // This stream's share of the engine-wide pool accounting.
   int64_t pooled_contexts = 0;
   int64_t pooled_arena_bytes = 0;
+  // Liveness state. `cancel` is installed on every acquired stack stream's
+  // contexts before a forward, so replays stop at the next step/wavefront
+  // boundary once it fires. `heartbeat` is the step-progress counter those
+  // replays bump (via the thread-local sink); `hb_active` marks the worker
+  // mid-claim so the watchdog only measures silence while work is actually
+  // in flight, and `hb_bucket` is the claim's token bucket for diagnostics.
+  CancelToken cancel;
+  std::atomic<uint64_t> heartbeat{0};
+  std::atomic<bool> hb_active{false};
+  std::atomic<int64_t> hb_bucket{0};
 };
 
 ServingEngine::ServingEngine(const PlannedTransformerStack& stack,
@@ -213,12 +283,16 @@ void ServingEngine::Init(const ServingEngineOptions& options) {
       << "ServingEngineOptions::deadline_us must be >= 0, got " << options.deadline_us;
   PIT_CHECK(options.queue_capacity >= 0)
       << "ServingEngineOptions::queue_capacity must be >= 0, got " << options.queue_capacity;
+  PIT_CHECK(options.watchdog_us >= 0)
+      << "ServingEngineOptions::watchdog_us must be >= 0, got " << options.watchdog_us;
   num_streams_ = ResolveNumStreams(options);
   use_pit_ = options.use_pit;
   batch_window_ = ResolveBatchWindow(options);
   max_batch_tokens_ = ResolveMaxBatchTokens(options);
   deadline_us_ = ResolveDeadlineUs(options);
   queue_capacity_ = ResolveQueueCapacity(options);
+  watchdog_us_ = ResolveWatchdogUs(options);
+  watchdog_mode_ = ResolveWatchdogMode(options);
   streams_.reserve(static_cast<size_t>(num_streams_));
   for (int s = 0; s < num_streams_; ++s) {
     auto state = std::make_unique<StreamState>();
@@ -231,9 +305,116 @@ void ServingEngine::Init(const ServingEngineOptions& options) {
   stats_.batch_window = batch_window_;
   stats_.max_batch_tokens = max_batch_tokens_;
   stats_.per_stream_requests.assign(static_cast<size_t>(num_streams_), 0);
+  // Supervision starts last: the watchdog reads streams_, which is immutable
+  // from here on.
+  if (watchdog_us_ > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
-ServingEngine::~ServingEngine() = default;
+ServingEngine::~ServingEngine() {
+  // A dying engine never strands a caller: cut in-flight work at the next
+  // step boundary, wait out any concurrent Serve, then stop supervision.
+  Drain(DrainPolicy::kCancelInFlight);
+  StopWatchdog();
+}
+
+void ServingEngine::Drain(DrainPolicy policy) {
+  std::unique_lock<std::mutex> lock(serve_mu_);
+  draining_.store(true, std::memory_order_release);
+  if (policy == DrainPolicy::kCancelInFlight) {
+    // Sticky manual cancel on every stream token: in-flight replays stop at
+    // the next step/wavefront boundary and their requests resolve
+    // kCancelled. Tokens stay cancelled forever — a drained engine is
+    // permanently quiesced.
+    for (const std::unique_ptr<StreamState>& stream : streams_) {
+      stream->cancel.Cancel();
+    }
+  }
+  // Workers stop claiming at the next span boundary (they poll draining_),
+  // so serve_active_ reaches zero without outside help; idempotent because a
+  // re-entered Drain just re-publishes the flag and the wait is immediate.
+  serve_cv_.wait(lock, [this] { return serve_active_ == 0; });
+}
+
+void ServingEngine::StopWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
+}
+
+void ServingEngine::WatchdogLoop() {
+  // Per-stream observation the watchdog keeps for itself: the heartbeat
+  // count it last saw, when it saw it change (on the watchdog's own clock,
+  // so no cross-thread timestamp races), and whether the current silence
+  // episode was already reported (one detection per episode).
+  struct Observed {
+    uint64_t count = 0;
+    int64_t since_us = 0;
+    bool reported = false;
+  };
+  std::vector<Observed> seen(static_cast<size_t>(num_streams_));
+  const int64_t start_us = SteadyNowUs();
+  for (Observed& o : seen) {
+    o.since_us = start_us;
+  }
+  // Tick at a quarter of the threshold so detection lands well inside the
+  // acceptance bound of 2x the threshold even with scheduling slop.
+  const int64_t tick_us = std::max<int64_t>(watchdog_us_ / 4, 100);
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, std::chrono::microseconds(tick_us),
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) {
+      break;
+    }
+    const int64_t now_us = SteadyNowUs();
+    for (int s = 0; s < num_streams_; ++s) {
+      StreamState& stream = *streams_[static_cast<size_t>(s)];
+      Observed& o = seen[static_cast<size_t>(s)];
+      const uint64_t count = stream.heartbeat.load(std::memory_order_relaxed);
+      if (!stream.hb_active.load(std::memory_order_acquire) || count != o.count) {
+        // Idle, or progressing: reset the episode baseline.
+        o.count = count;
+        o.since_us = now_us;
+        o.reported = false;
+        continue;
+      }
+      const int64_t silence_us = now_us - o.since_us;
+      if (silence_us <= watchdog_us_ || o.reported) {
+        continue;
+      }
+      o.reported = true;
+      ctr_stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      int64_t cur = ctr_stall_min_silence_us_.load(std::memory_order_relaxed);
+      while ((cur == 0 || silence_us < cur) &&
+             !ctr_stall_min_silence_us_.compare_exchange_weak(cur, silence_us,
+                                                              std::memory_order_relaxed)) {
+      }
+      cur = ctr_stall_max_silence_us_.load(std::memory_order_relaxed);
+      while (silence_us > cur && !ctr_stall_max_silence_us_.compare_exchange_weak(
+                                     cur, silence_us, std::memory_order_relaxed)) {
+      }
+      const int64_t bucket = stream.hb_bucket.load(std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "[PIT WATCHDOG] stream %d stalled: token bucket %lld, step %llu, "
+                   "silent %lld us (threshold %lld us, mode %s)\n",
+                   s, static_cast<long long>(bucket), static_cast<unsigned long long>(count),
+                   static_cast<long long>(silence_us), static_cast<long long>(watchdog_us_),
+                   watchdog_mode_ == WatchdogMode::kAbort ? "abort" : "report");
+      if (watchdog_mode_ == WatchdogMode::kAbort) {
+        PIT_CHECK(false) << "PIT_WATCHDOG=abort: stream " << s << " stalled (token bucket "
+                         << bucket << ", step " << count << ", silent " << silence_us
+                         << " us > threshold " << watchdog_us_ << " us)";
+      }
+    }
+  }
+}
 
 void ServingEngine::AccountPoolDelta(int64_t contexts_delta, int64_t bytes_delta) {
   const int64_t contexts =
@@ -361,9 +542,14 @@ ServeStatus ServingEngine::AdmissionStatus(const ServeRequest& request) const {
 }
 
 ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& request,
-                                    Tensor* out, int64_t* bucket_out) {
+                                    int64_t deadline_abs_us, Tensor* out, int64_t* bucket_out) {
   const int64_t tokens = request.x.dim(0);
   PitCompiler* compiler = stream.compiler.get();
+  // The stream token guards exactly this forward: armed with the request's
+  // absolute deadline (kNoDeadline leaves only manual cancellation live) and
+  // cleared on every exit path. A 1:1 forward has a single member, so the
+  // "every member lapsed" in-flight rule degenerates to its own deadline.
+  stream.cancel.ArmDeadline(deadline_abs_us);
   if (transformer_ != nullptr) {
     const std::pair<int64_t, bool> key{tokens, request.attn_mask != nullptr};
     std::optional<PlannedTransformerStack::Stream> transient;
@@ -371,19 +557,23 @@ ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& req
         stream, stream.transformer_pool, key,
         [&] { return transformer_->MakeStream(key.first, key.second, use_pit_); }, transient);
     if (pooled == nullptr) {
+      stream.cancel.ClearDeadline();
       ctr_internal_.fetch_add(1, std::memory_order_relaxed);
       return ServeStatus::kInternal;
     }
+    pooled->SetCancelToken(&stream.cancel);
     transformer_->ForwardWith(*pooled, request.x, request.attn_mask, compiler, out);
     if (ConsumeFaultPending()) {
       // Kernel-dispatch fault: retry the identical forward once — the plan
       // and context are intact (an abandoned replay only leaves stale arena
-      // data, fully overwritten by the retry).
+      // data, fully overwritten by the retry). A cancelled token makes the
+      // retry exit at replay entry, so the ladder stays hang-free.
       ctr_faults_.fetch_add(1, std::memory_order_relaxed);
       ctr_retries_.fetch_add(1, std::memory_order_relaxed);
       ScopedFaultRetryImmunity immune;
       transformer_->ForwardWith(*pooled, request.x, request.attn_mask, compiler, out);
       if (ConsumeFaultPending()) {
+        stream.cancel.ClearDeadline();
         ctr_faults_.fetch_add(1, std::memory_order_relaxed);
         ctr_internal_.fetch_add(1, std::memory_order_relaxed);
         return ServeStatus::kInternal;
@@ -395,9 +585,11 @@ ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& req
         AcquireStream(stream, stream.ffn_pool, tokens,
                       [&] { return ffn_->MakeStream(tokens, use_pit_); }, transient);
     if (pooled == nullptr) {
+      stream.cancel.ClearDeadline();
       ctr_internal_.fetch_add(1, std::memory_order_relaxed);
       return ServeStatus::kInternal;
     }
+    pooled->SetCancelToken(&stream.cancel);
     ffn_->ForwardWith(*pooled, request.x, compiler, out);
     if (ConsumeFaultPending()) {
       ctr_faults_.fetch_add(1, std::memory_order_relaxed);
@@ -405,11 +597,26 @@ ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& req
       ScopedFaultRetryImmunity immune;
       ffn_->ForwardWith(*pooled, request.x, compiler, out);
       if (ConsumeFaultPending()) {
+        stream.cancel.ClearDeadline();
         ctr_faults_.fetch_add(1, std::memory_order_relaxed);
         ctr_internal_.fetch_add(1, std::memory_order_relaxed);
         return ServeStatus::kInternal;
       }
     }
+  }
+  const bool manual_cancel = stream.cancel.cancelled_manual();
+  const bool lapsed = stream.cancel.deadline_lapsed();
+  stream.cancel.ClearDeadline();
+  if (manual_cancel) {
+    // Drain cut the forward (or it finished right at the cut): either way
+    // the request resolves kCancelled and surrenders its output.
+    ctr_cancelled_forwards_.fetch_add(1, std::memory_order_relaxed);
+    return ServeStatus::kCancelled;
+  }
+  if (lapsed) {
+    ctr_timed_out_inflight_.fetch_add(1, std::memory_order_relaxed);
+    ctr_cancelled_forwards_.fetch_add(1, std::memory_order_relaxed);
+    return ServeStatus::kDeadlineExceeded;
   }
   // 1:1 serving degenerates to one "bucket" per distinct request length —
   // exactly the plan-pool cardinality contrast batching exists to collapse.
@@ -425,9 +632,31 @@ ServeStatus ServingEngine::ServeOne(StreamState& stream, const ServeRequest& req
 bool ServingEngine::TryPackedForward(StreamState& stream,
                                      const std::vector<ServeRequest>& requests,
                                      const std::vector<int64_t>& span,
+                                     const std::vector<int64_t>& deadline_abs,
                                      std::vector<ServeOutcome>& outcomes,
                                      std::vector<int64_t>& bucket_of) {
   const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
+  // In-flight deadline arming: the batch is cancellable mid-replay only when
+  // EVERY member carries a deadline — the token then arms with the latest
+  // member deadline, so a mid-replay lapse proves every member has already
+  // lapsed. A mixed batch never arms: its forward always completes, and the
+  // lapsed members are marked at egress without output, leaving the
+  // survivors' bits identical to fault-free 1:1 replay.
+  bool all_deadlined = true;
+  int64_t latest_deadline_us = 0;
+  for (const int64_t idx : span) {
+    const int64_t d = deadline_abs[static_cast<size_t>(idx)];
+    if (d == CancelToken::kNoDeadline) {
+      all_deadlined = false;
+      break;
+    }
+    latest_deadline_us = std::max(latest_deadline_us, d);
+  }
+  if (all_deadlined) {
+    stream.cancel.ArmDeadline(latest_deadline_us);
+  } else {
+    stream.cancel.ClearDeadline();
+  }
   stream.lens.clear();
   stream.request_masks.clear();
   int64_t sum = 0;
@@ -478,8 +707,10 @@ bool ServingEngine::TryPackedForward(StreamState& stream,
         AcquireStream(stream, stream.transformer_pool, std::pair<int64_t, bool>{bucket, true},
                       [&] { return transformer_->MakeStream(bucket, true, use_pit_); }, transient);
     if (pooled == nullptr) {
+      stream.cancel.ClearDeadline();
       return false;  // injected compile double-fault; caller's ladder decides
     }
+    pooled->SetCancelToken(&stream.cancel);
     transformer_->ForwardWith(*pooled, st.x, &st.mask, compiler, &st.out);
   } else {
     std::optional<PlannedFfnStack::Stream> transient;
@@ -487,21 +718,60 @@ bool ServingEngine::TryPackedForward(StreamState& stream,
         AcquireStream(stream, stream.ffn_pool, bucket,
                       [&] { return ffn_->MakeStream(bucket, use_pit_); }, transient);
     if (pooled == nullptr) {
+      stream.cancel.ClearDeadline();
       return false;
     }
+    pooled->SetCancelToken(&stream.cancel);
     ffn_->ForwardWith(*pooled, st.x, compiler, &st.out);
   }
+  const bool manual_cancel = stream.cancel.cancelled_manual();
+  const bool batch_lapsed = all_deadlined && stream.cancel.deadline_lapsed();
+  stream.cancel.ClearDeadline();
   if (ConsumeFaultPending()) {
     // Kernel-dispatch fault mid-replay: staging holds garbage; scatter
     // nothing. The fired probe is compensated by whichever rung the caller
-    // takes next (1:1 fallback, packed retry, or terminal failure).
+    // takes next (1:1 fallback, packed retry, or terminal failure). A fired
+    // cancel token makes every later rung exit at replay entry, so the
+    // ladder re-lands here immediately with no fault pending.
     ctr_faults_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  if (manual_cancel) {
+    // Drain cut the batch mid-replay: every member resolves kCancelled —
+    // a definitive outcome, not a degradation rung.
+    for (const int64_t idx : span) {
+      outcomes[static_cast<size_t>(idx)].status = ServeStatus::kCancelled;
+    }
+    ctr_cancelled_forwards_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (batch_lapsed) {
+    // The batch deadline (max over members) lapsed mid-replay, so every
+    // member has lapsed: the forward was cancelled at a step boundary and
+    // the whole batch resolves kDeadlineExceeded without output.
+    for (const int64_t idx : span) {
+      outcomes[static_cast<size_t>(idx)].status = ServeStatus::kDeadlineExceeded;
+    }
+    ctr_timed_out_inflight_.fetch_add(static_cast<int64_t>(span.size()),
+                                      std::memory_order_relaxed);
+    ctr_cancelled_forwards_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Egress: one clock read decides which members still have a live deadline;
+  // lapsed members are marked kDeadlineExceeded without output (their rows
+  // were computed, but nobody is waiting), survivors scatter bitwise
+  // identical to fault-free 1:1 replay.
+  const int64_t egress_now_us = SteadyNowUs();
   off = 0;
   for (size_t i = 0; i < span.size(); ++i) {
     const int64_t idx = span[i];
     const int64_t len = stream.lens[i];
+    if (deadline_abs[static_cast<size_t>(idx)] <= egress_now_us) {
+      outcomes[static_cast<size_t>(idx)].status = ServeStatus::kDeadlineExceeded;
+      ctr_timed_out_inflight_.fetch_add(1, std::memory_order_relaxed);
+      off += len;
+      continue;
+    }
     SWriteRowsFrom(st.out, off,
                    std::span<const int64_t>(stream.iota.data(), static_cast<size_t>(len)),
                    outcomes[static_cast<size_t>(idx)].output);
@@ -520,17 +790,20 @@ bool ServingEngine::TryPackedForward(StreamState& stream,
 void ServingEngine::ServeSpanOneByOne(StreamState& stream,
                                       const std::vector<ServeRequest>& requests,
                                       const std::vector<int64_t>& span,
+                                      const std::vector<int64_t>& deadline_abs,
                                       std::vector<ServeOutcome>& outcomes,
                                       std::vector<int64_t>& bucket_of) {
   for (const int64_t idx : span) {
     ServeOutcome& outcome = outcomes[static_cast<size_t>(idx)];
-    outcome.status = ServeOne(stream, requests[static_cast<size_t>(idx)], &outcome.output,
+    outcome.status = ServeOne(stream, requests[static_cast<size_t>(idx)],
+                              deadline_abs[static_cast<size_t>(idx)], &outcome.output,
                               &bucket_of[static_cast<size_t>(idx)]);
   }
 }
 
 void ServingEngine::ServeSpan(StreamState& stream, const std::vector<ServeRequest>& requests,
                               const std::vector<int64_t>& span,
+                              const std::vector<int64_t>& deadline_abs,
                               std::vector<ServeOutcome>& outcomes,
                               std::vector<int64_t>& bucket_of) {
   const auto mark_internal = [&] {
@@ -546,19 +819,19 @@ void ServingEngine::ServeSpan(StreamState& stream, const std::vector<ServeReques
       // request's output independent of batch composition, so the 1:1
       // fallback is bitwise invisible to the requests.
       ctr_degraded_.fetch_add(1, std::memory_order_relaxed);
-      ServeSpanOneByOne(stream, requests, span, outcomes, bucket_of);
+      ServeSpanOneByOne(stream, requests, span, deadline_abs, outcomes, bucket_of);
       return;
     }
     // PIT: kernel selection sees the packed tile's sparsity, so unbatching
     // would change bits — retry the pack at identical composition instead.
     ctr_retries_.fetch_add(1, std::memory_order_relaxed);
     ScopedFaultRetryImmunity immune;
-    if (!TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+    if (!TryPackedForward(stream, requests, span, deadline_abs, outcomes, bucket_of)) {
       mark_internal();
     }
     return;
   }
-  if (TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+  if (TryPackedForward(stream, requests, span, deadline_abs, outcomes, bucket_of)) {
     return;
   }
   // A rung inside the packed attempt failed terminally for this composition
@@ -566,12 +839,12 @@ void ServingEngine::ServeSpan(StreamState& stream, const std::vector<ServeReques
   // dense unbatches, PIT retries the identical packed composition once.
   if (!use_pit_) {
     ctr_degraded_.fetch_add(1, std::memory_order_relaxed);
-    ServeSpanOneByOne(stream, requests, span, outcomes, bucket_of);
+    ServeSpanOneByOne(stream, requests, span, deadline_abs, outcomes, bucket_of);
     return;
   }
   ctr_retries_.fetch_add(1, std::memory_order_relaxed);
   ScopedFaultRetryImmunity immune;
-  if (!TryPackedForward(stream, requests, span, outcomes, bucket_of)) {
+  if (!TryPackedForward(stream, requests, span, deadline_abs, outcomes, bucket_of)) {
     mark_internal();
   }
 }
@@ -632,7 +905,23 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
     const std::vector<ServeRequest>& requests) {
   const int64_t n = static_cast<int64_t>(requests.size());
   std::vector<ServeOutcome> outcomes(static_cast<size_t>(n));
+  // Serve/Drain handshake: a drained engine rejects the whole call with a
+  // definite status (never an abort, never a hang); otherwise the call
+  // registers as active so Drain() can wait it out.
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      for (ServeOutcome& outcome : outcomes) {
+        outcome.status = ServeStatus::kCancelled;
+      }
+      stats_.requests += n;
+      stats_.cancelled += n;
+      return outcomes;
+    }
+    ++serve_active_;
+  }
   const int64_t hidden = transformer_ != nullptr ? transformer_->hidden() : ffn_->hidden();
+  const int64_t t0_abs_us = SteadyNowUs();
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_us = [&t0] {
     return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
@@ -668,9 +957,20 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
     }
     queue.push_back(i);
   }
+  // Absolute per-request deadlines on the steady clock (kNoDeadline when
+  // neither the request nor the engine sets a budget). Queued requests start
+  // in kCancelled, not the kInternal default: if Drain() stops the claim loop
+  // before a worker reaches them, they already carry the definite status the
+  // drain contract promises.
+  std::vector<int64_t> deadline_abs(static_cast<size_t>(n), CancelToken::kNoDeadline);
   for (const int64_t idx : queue) {
-    outcomes[static_cast<size_t>(idx)].output =
-        Tensor({requests[static_cast<size_t>(idx)].x.dim(0), hidden});
+    const ServeRequest& request = requests[static_cast<size_t>(idx)];
+    const int64_t budget_us = request.deadline_us > 0 ? request.deadline_us : deadline_us_;
+    if (budget_us > 0) {
+      deadline_abs[static_cast<size_t>(idx)] = t0_abs_us + budget_us;
+    }
+    outcomes[static_cast<size_t>(idx)].status = ServeStatus::kCancelled;
+    outcomes[static_cast<size_t>(idx)].output = Tensor({request.x.dim(0), hidden});
   }
   const int64_t qn = static_cast<int64_t>(queue.size());
   std::vector<double> latencies(static_cast<size_t>(n), 0.0);
@@ -684,6 +984,7 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
   // replay bits are independent of the claim interleaving.
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> timed_out{0};
+  const int64_t inflight_lapses_before = ctr_timed_out_inflight_.load(std::memory_order_relaxed);
   const int budget = std::max(1, NumThreads() / std::max(1, num_streams_));
   const int64_t window = batch_window_;
   const int64_t max_tokens = max_batch_tokens_;
@@ -692,8 +993,17 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
     // anywhere else in the process never observe injected faults.
     ScopedFaultArming arming;
     StreamState& stream = *streams_[static_cast<size_t>(s)];
+    // Route this worker's replay step checkpoints into the stream's
+    // heartbeat counter for the watchdog.
+    ScopedThreadHeartbeat heartbeat_scope(&stream.heartbeat);
     for (int64_t i0 = next.fetch_add(window, std::memory_order_relaxed); i0 < qn;
          i0 = next.fetch_add(window, std::memory_order_relaxed)) {
+      // Drain stops claiming at span boundaries: already-claimed spans run
+      // to their definite outcome (finished or cancelled mid-replay by the
+      // stream token), unclaimed requests keep their kCancelled status.
+      if (draining_.load(std::memory_order_acquire)) {
+        break;
+      }
       const int64_t i_end = std::min(i0 + window, qn);
       int64_t b0 = i0;
       while (b0 < i_end) {
@@ -719,13 +1029,10 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
         // so an overloaded engine stops spending compute on requests nobody
         // is waiting for anymore.
         stream.span.clear();
-        const double now_us = elapsed_us();
+        const int64_t sweep_now_us = SteadyNowUs();
         for (int64_t j = b0; j < b1; ++j) {
           const int64_t idx = queue[static_cast<size_t>(j)];
-          const int64_t budget_us = requests[static_cast<size_t>(idx)].deadline_us > 0
-                                        ? requests[static_cast<size_t>(idx)].deadline_us
-                                        : deadline_us_;
-          if (budget_us > 0 && now_us > static_cast<double>(budget_us)) {
+          if (deadline_abs[static_cast<size_t>(idx)] <= sweep_now_us) {
             outcomes[static_cast<size_t>(idx)].status = ServeStatus::kDeadlineExceeded;
             timed_out.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -733,14 +1040,32 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
           }
         }
         if (!stream.span.empty()) {
+          // Mark the stream mid-claim for the watchdog, then draw the seeded
+          // stall probe: a fired stall wedges the worker *before* the
+          // forward, so watchdog detection and in-flight deadline lapse
+          // both become reachable deterministically.
+          int64_t span_tokens = 0;
+          for (const int64_t idx : stream.span) {
+            span_tokens += requests[static_cast<size_t>(idx)].x.dim(0);
+          }
+          stream.hb_bucket.store(
+              window > 1 ? BucketTokensPow2(span_tokens, kMinBatchBucket) : span_tokens,
+              std::memory_order_relaxed);
+          stream.hb_active.store(true, std::memory_order_release);
+          if (FaultProbe(FaultSite::kStall)) {
+            ctr_stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(ActiveFaultConfig().stall_us));
+          }
           if (window > 1) {
-            ServeSpan(stream, requests, stream.span, outcomes, bucket_of);
+            ServeSpan(stream, requests, stream.span, deadline_abs, outcomes, bucket_of);
           } else {
             const int64_t idx = stream.span[0];
             ServeOutcome& outcome = outcomes[static_cast<size_t>(idx)];
             outcome.status = ServeOne(stream, requests[static_cast<size_t>(idx)],
-                                      &outcome.output, &bucket_of[static_cast<size_t>(idx)]);
+                                      deadline_abs[static_cast<size_t>(idx)], &outcome.output,
+                                      &bucket_of[static_cast<size_t>(idx)]);
           }
+          stream.hb_active.store(false, std::memory_order_release);
           const double done = elapsed_us();
           int64_t completed = 0;
           for (const int64_t idx : stream.span) {
@@ -757,20 +1082,25 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
   });
   const double wall_us = elapsed_us();
 
-  // Every queued request was claimed exactly once and every claim ends in a
-  // definite status, so nothing can still carry the kInternal default unless
-  // a ladder genuinely exhausted. Non-kOk outcomes surrender their output
-  // buffer (the structured contract: output iff kOk).
+  // Every claim ends in a definite status, and queued-but-unclaimed requests
+  // (possible only under Drain) already hold kCancelled, so nothing leaves
+  // here with the kInternal default unless a ladder genuinely exhausted.
+  // Non-kOk outcomes surrender their output buffer (the structured contract:
+  // output iff kOk).
   std::vector<int64_t> ok_buckets;
   std::vector<double> ok_latencies;
   ok_buckets.reserve(static_cast<size_t>(qn));
   ok_latencies.reserve(static_cast<size_t>(qn));
+  int64_t cancelled_now = 0;
   for (int64_t i = 0; i < n; ++i) {
     ServeOutcome& outcome = outcomes[static_cast<size_t>(i)];
     if (outcome.status == ServeStatus::kOk) {
       ok_buckets.push_back(bucket_of[static_cast<size_t>(i)]);
       ok_latencies.push_back(latencies[static_cast<size_t>(i)]);
     } else {
+      if (outcome.status == ServeStatus::kCancelled) {
+        ++cancelled_now;
+      }
       outcome.output = Tensor();
     }
   }
@@ -784,7 +1114,16 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
       wall_us > 0.0 ? static_cast<double>(served_ok) / (wall_us / 1e6) : 0.0;
   stats_.rejected_invalid += rejected_invalid;
   stats_.rejected_overload += rejected_overload;
-  stats_.timed_out += timed_out.load(std::memory_order_relaxed);
+  stats_.timed_out += timed_out.load(std::memory_order_relaxed) +
+                      (ctr_timed_out_inflight_.load(std::memory_order_relaxed) -
+                       inflight_lapses_before);
+  stats_.timed_out_inflight = ctr_timed_out_inflight_.load(std::memory_order_relaxed);
+  stats_.cancelled += cancelled_now;
+  stats_.cancelled_forwards = ctr_cancelled_forwards_.load(std::memory_order_relaxed);
+  stats_.stalls_injected = ctr_stalls_injected_.load(std::memory_order_relaxed);
+  stats_.stalls_detected = ctr_stalls_detected_.load(std::memory_order_relaxed);
+  stats_.stall_min_silence_us = ctr_stall_min_silence_us_.load(std::memory_order_relaxed);
+  stats_.stall_max_silence_us = ctr_stall_max_silence_us_.load(std::memory_order_relaxed);
   stats_.faults_injected = ctr_faults_.load(std::memory_order_relaxed);
   stats_.retries = ctr_retries_.load(std::memory_order_relaxed);
   stats_.degraded_forwards = ctr_degraded_.load(std::memory_order_relaxed);
@@ -813,6 +1152,14 @@ std::vector<ServeOutcome> ServingEngine::ServeWithStatus(
     stats_.mean_latency_us = 0.0;
     stats_.p50_latency_us = 0.0;
     stats_.p99_latency_us = 0.0;
+  }
+  {
+    // Notify under the lock: once a drainer observes serve_active_ == 0 the
+    // engine may be destroyed, so the notify must happen-before that
+    // observation, not after.
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    --serve_active_;
+    serve_cv_.notify_all();
   }
   return outcomes;
 }

@@ -59,6 +59,25 @@
 // common/fault_injection.h (PIT_FAULT=site:rate:seed) and fire only inside
 // the engine's stream workers.
 //
+// Liveness (PR 10): fault containment alone still hangs when work *stops*
+// instead of failing, so the engine carries the liveness half of isolation.
+// Every stream owns a CancelToken installed on its pooled contexts; both plan
+// schedulers poll it at step/wavefront boundaries (kernels stay
+// uninterruptible), giving bounded time-to-release: deadlines are enforced
+// *in flight*, not just at claim time — a packed batch whose every member
+// lapsed mid-replay is released kDeadlineExceeded without completing the
+// forward, while a batch with surviving members completes and marks only the
+// lapsed members at egress (without output), so surviving outputs stay
+// bitwise identical to fault-free 1:1 replay. An engine-owned watchdog thread
+// reads per-stream heartbeat counters (bumped at replay checkpoints) for
+// bounded time-to-*detection*: a mid-request stream silent past
+// PIT_WATCHDOG_US is logged and counted (stalls_detected), and PIT_WATCHDOG=
+// abort escalates to fail-fast. The deterministic `stall` fault site
+// (PIT_FAULT=stall:rate:seed, a seeded worker sleep) makes both provable in
+// chaos. Drain()/the destructor stop claiming, cancel or finish in-flight
+// work per policy, release queued requests kCancelled, and reject later
+// Serves with a definite status.
+//
 // The stream count resolves from ServingEngineOptions::num_streams, else the
 // strict-parsed PIT_NUM_STREAMS environment knob, else NumThreads(). The
 // batching admission knobs resolve the same way from
@@ -67,18 +86,24 @@
 // (window 1 — batching off — and 512 token rows). The containment knobs
 // resolve from ServingEngineOptions::deadline_us / queue_capacity, else the
 // strict-parsed PIT_SERVE_DEADLINE_US / PIT_SERVE_QUEUE knobs, else 0 (no
-// default deadline, unbounded queue).
+// default deadline, unbounded queue). The liveness knobs resolve from
+// ServingEngineOptions::watchdog_us / watchdog_mode, else the strict-parsed
+// PIT_WATCHDOG_US / PIT_WATCHDOG knobs, else off / report.
 #ifndef PIT_RUNTIME_SERVING_ENGINE_H_
 #define PIT_RUNTIME_SERVING_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "pit/common/cancellation.h"
 #include "pit/runtime/models.h"
 #include "pit/tensor/tensor.h"
 
@@ -90,13 +115,40 @@ namespace pit {
 enum class ServeStatus {
   kOk = 0,                // output holds the [tokens, hidden] result
   kInvalidArgument = 1,   // rejected at admission: shape/mask/finiteness
-  kDeadlineExceeded = 2,  // latency budget lapsed while queued
+  kDeadlineExceeded = 2,  // latency budget lapsed (queued, mid-replay, or at egress)
   kRejectedOverload = 3,  // shed by the bounded admission queue
   kInternal = 4,          // degradation ladder exhausted (persistent faults)
+  kCancelled = 5,         // engine drained: in-flight work cut, queued work
+                          // released unserved, or Serve called after Drain
 };
 
 // Human-readable status name ("ok", "invalid_argument", ...).
 const char* ServeStatusName(ServeStatus status);
+
+// What the watchdog does when a stream stays silent past the threshold.
+// kDefault resolves the strict-parsed PIT_WATCHDOG knob (report | abort),
+// falling back to report. Report increments stalls_detected and logs the
+// diagnostic; abort additionally fail-fasts the process with the dump — for
+// deployments where a wedged stream is worse dead than slow.
+enum class WatchdogMode {
+  kDefault = 0,
+  kReport = 1,
+  kAbort = 2,
+};
+
+// Strict parser behind the PIT_WATCHDOG resolution: exactly "report" or
+// "abort", anything else is a loud PIT_CHECK abort (a typo'd mode must never
+// silently supervise with the wrong escalation).
+WatchdogMode ParseWatchdogModeEnv(const char* value);
+
+// What Drain() does with spans already claimed by a stream worker. Unclaimed
+// queued requests are always released unserved with kCancelled — draining
+// stops claiming first in either policy.
+enum class DrainPolicy {
+  kFinishInFlight = 0,  // let claimed spans complete normally (kOk etc.)
+  kCancelInFlight = 1,  // fire the streams' cancel tokens: claimed spans stop
+                        // at the next step boundary and end kCancelled
+};
 
 // One inference request: an activation batch and an optional attention mask
 // (transformer stacks only; FFN stacks reject masked requests at admission).
@@ -152,6 +204,16 @@ struct ServingEngineOptions {
   // PIT_SERVE_QUEUE knob, falling back to unbounded. Negative values are API
   // misuse (PIT_CHECK).
   int queue_capacity = 0;
+  // Per-stream stall-detection threshold in microseconds: an engine-owned
+  // watchdog thread reads the streams' heartbeat counters (bumped at replay
+  // step/wavefront checkpoints) and flags any stream that is mid-request but
+  // silent for longer than this. > 0: explicit. 0: resolve the strict-parsed
+  // PIT_WATCHDOG_US knob, falling back to no watchdog. Negative values are
+  // API misuse (PIT_CHECK).
+  int64_t watchdog_us = 0;
+  // Escalation on detection; kDefault resolves PIT_WATCHDOG (report|abort),
+  // falling back to report.
+  WatchdogMode watchdog_mode = WatchdogMode::kDefault;
 };
 
 // Per-bucket plan-pool and service accounting. A "bucket" is the padded
@@ -208,7 +270,25 @@ struct ServingEngineStats {
   // that dies maps to one internal failure but fails every request in it.
   int64_t rejected_invalid = 0;   // admission rejections (kInvalidArgument)
   int64_t rejected_overload = 0;  // queue shed (kRejectedOverload)
-  int64_t timed_out = 0;          // deadline sweep (kDeadlineExceeded)
+  int64_t timed_out = 0;          // all kDeadlineExceeded requests (sweep + in-flight)
+  // The in-flight subset of timed_out: requests whose budget lapsed after
+  // their batch was claimed — released mid-replay (the whole batch lapsed) or
+  // marked at egress without output (some batchmates survived).
+  int64_t timed_out_inflight = 0;
+  // Requests ended kCancelled (drain cut them, released them unclaimed, or
+  // rejected a post-Drain Serve).
+  int64_t cancelled = 0;
+  // Packed forwards released early by a fired cancel token (every member's
+  // deadline lapsed mid-replay, or drain) instead of completing.
+  int64_t cancelled_forwards = 0;
+  // Liveness chaos + supervision: stall-site probes that fired in this
+  // engine's workers (seeded sleeps), watchdog detections, and the
+  // min/max silence the watchdog observed at detection time (microseconds;
+  // the detection-latency bound the chaos gate asserts against).
+  int64_t stalls_injected = 0;
+  int64_t stalls_detected = 0;
+  int64_t stall_min_silence_us = 0;
+  int64_t stall_max_silence_us = 0;
   int64_t faults_injected = 0;    // fault-injection probes that fired in this engine
   int64_t retries = 0;            // same-composition retry rungs taken
   int64_t degraded_forwards = 0;  // transient-context / 1:1-fallback rungs taken
@@ -222,6 +302,10 @@ struct ServingEngineStats {
   int64_t pool_arena_bytes_highwater = 0;
   std::vector<int64_t> per_stream_requests;  // lifetime kOk completions per stream
   std::vector<ServingBucketStats> buckets;   // ascending by bucket
+
+  // Multi-line human-readable summary with symbolic status names, for chaos
+  // diagnostics and test-failure messages (never parsed programmatically).
+  std::string ToString() const;
 };
 
 // Drives a pinned PlannedTransformerStack (or PlannedFfnStack) over request
@@ -257,11 +341,24 @@ class ServingEngine {
   // whose traffic is correct by construction (benches, examples, tests).
   std::vector<Tensor> Serve(const std::vector<ServeRequest>& requests);
 
+  // Graceful shutdown: stops span claiming, then per policy cancels claimed
+  // spans at their next step boundary (kCancelInFlight, their requests end
+  // kCancelled) or lets them complete (kFinishInFlight), and blocks until no
+  // Serve call is inside the engine. Unclaimed queued requests are released
+  // unserved with kCancelled either way. Idempotent — a second Drain (any
+  // policy) returns immediately — and permanent: every later Serve call is
+  // rejected with all-kCancelled outcomes (never an abort via
+  // ServeWithStatus). The destructor drains with kCancelInFlight.
+  void Drain(DrainPolicy policy = DrainPolicy::kFinishInFlight);
+  bool drained() const { return draining_.load(std::memory_order_acquire); }
+
   int num_streams() const { return num_streams_; }
   int batch_window() const { return batch_window_; }
   int max_batch_tokens() const { return max_batch_tokens_; }
   int64_t deadline_us() const { return deadline_us_; }
   int queue_capacity() const { return queue_capacity_; }
+  int64_t watchdog_us() const { return watchdog_us_; }
+  WatchdogMode watchdog_mode() const { return watchdog_mode_; }
   const ServingEngineStats& stats() const { return stats_; }
 
  private:
@@ -276,27 +373,41 @@ class ServingEngine {
   // stacks), finiteness of activations and mask. Pure per-request.
   ServeStatus AdmissionStatus(const ServeRequest& request) const;
   // Serves one request 1:1 with the kernel-fault retry rung; returns its
-  // terminal status and records its bucket.
-  ServeStatus ServeOne(StreamState& stream, const ServeRequest& request, Tensor* out,
-                       int64_t* bucket_out);
+  // terminal status and records its bucket. `deadline_abs_us` is the
+  // request's absolute steady-clock lapse time (CancelToken::kNoDeadline for
+  // none): the stream's token is armed with it so a mid-replay lapse stops
+  // the forward at the next step boundary (kDeadlineExceeded).
+  ServeStatus ServeOne(StreamState& stream, const ServeRequest& request, int64_t deadline_abs_us,
+                       Tensor* out, int64_t* bucket_out);
   // Serves the span's requests (original indices) through one packed
   // bucket-padded forward, running the batch-level degradation ladder:
   // dense falls back to 1:1 unbatched serving (bitwise-free by the PR 6
-  // contract), PIT retries at identical composition.
+  // contract), PIT retries at identical composition. `deadline_abs` maps
+  // every original request index to its absolute lapse time.
   void ServeSpan(StreamState& stream, const std::vector<ServeRequest>& requests,
-                 const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
-                 std::vector<int64_t>& bucket_of);
+                 const std::vector<int64_t>& span, const std::vector<int64_t>& deadline_abs,
+                 std::vector<ServeOutcome>& outcomes, std::vector<int64_t>& bucket_of);
   // The 1:1 fallback rung: serves every span request individually.
   void ServeSpanOneByOne(StreamState& stream, const std::vector<ServeRequest>& requests,
-                         const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
-                         std::vector<int64_t>& bucket_of);
-  // One packed forward attempt: gather, mask, replay, scatter. Returns false
-  // when a rung inside failed (injected compile double-fault or kernel
-  // dispatch fault) — staging contents are then undefined and nothing was
-  // scattered; the caller's ladder decides the next rung.
+                         const std::vector<int64_t>& span,
+                         const std::vector<int64_t>& deadline_abs,
+                         std::vector<ServeOutcome>& outcomes, std::vector<int64_t>& bucket_of);
+  // One packed forward attempt: gather, mask, replay, scatter. In-flight
+  // deadline enforcement happens here: the stream's token is armed with the
+  // latest member deadline iff *every* member carries one (the batch is
+  // cancelled mid-replay only when every member has lapsed — all end
+  // kDeadlineExceeded without the forward completing); otherwise the forward
+  // completes and members whose own budget lapsed are marked at egress
+  // without scattering, so surviving outputs stay bitwise identical to
+  // fault-free 1:1 replay. Returns false when a rung inside failed (injected
+  // compile double-fault or kernel dispatch fault) — staging contents are
+  // then undefined and nothing was scattered; the caller's ladder decides
+  // the next rung. Cancellation and lapse are definitive outcomes (true),
+  // never ladder rungs.
   bool TryPackedForward(StreamState& stream, const std::vector<ServeRequest>& requests,
-                        const std::vector<int64_t>& span, std::vector<ServeOutcome>& outcomes,
-                        std::vector<int64_t>& bucket_of);
+                        const std::vector<int64_t>& span,
+                        const std::vector<int64_t>& deadline_abs,
+                        std::vector<ServeOutcome>& outcomes, std::vector<int64_t>& bucket_of);
   // Pooled-stream acquisition with the infrastructure fault taps: a
   // context-acquire fault degrades to a transient unpooled stream (same
   // shared plans, same bits, nothing pinned afterwards — built into
@@ -327,6 +438,13 @@ class ServingEngine {
   // (bucket, latency) pairs — kOk requests only — into stats_.buckets.
   void MergeBucketStats(const std::vector<int64_t>& bucket_of,
                         const std::vector<double>& latencies);
+  // The supervision thread's body: every ~watchdog_us_/4 it compares each
+  // mid-request stream's heartbeat counter against the last observation;
+  // a stream silent past watchdog_us_ is flagged once per stall episode
+  // (diagnostic to stderr, stalls_detected, silence bounds; PIT_CHECK abort
+  // under WatchdogMode::kAbort).
+  void WatchdogLoop();
+  void StopWatchdog();
 
   const PlannedTransformerStack* transformer_ = nullptr;  // exactly one of the
   const PlannedFfnStack* ffn_ = nullptr;                  // two stacks is set
@@ -336,7 +454,24 @@ class ServingEngine {
   int max_batch_tokens_ = 0;
   int64_t deadline_us_ = 0;  // default per-request budget; 0 = none
   int queue_capacity_ = 0;   // admission bound; 0 = unbounded
+  int64_t watchdog_us_ = 0;  // stall threshold; 0 = no watchdog thread
+  WatchdogMode watchdog_mode_ = WatchdogMode::kReport;
   std::vector<std::unique_ptr<StreamState>> streams_;
+  // Supervision thread + its shutdown channel (condvar so StopWatchdog never
+  // waits out a full tick).
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  // Drain/lifecycle synchronization: draining_ stops span claiming (workers
+  // poll it at claim boundaries) and permanently rejects later Serves;
+  // serve_active_/serve_cv_ let Drain wait for in-flight Serve calls to exit
+  // (notified under serve_mu_, so the condvar is never touched after the
+  // waiter proceeds).
+  std::atomic<bool> draining_{false};
+  std::mutex serve_mu_;
+  std::condition_variable serve_cv_;
+  int serve_active_ = 0;  // guarded by serve_mu_
   // Live pool totals + lifetime peaks, updated by workers as pools change.
   std::atomic<int64_t> pool_contexts_{0};
   std::atomic<int64_t> pool_arena_bytes_{0};
@@ -347,6 +482,16 @@ class ServingEngine {
   std::atomic<int64_t> ctr_retries_{0};
   std::atomic<int64_t> ctr_degraded_{0};
   std::atomic<int64_t> ctr_internal_{0};
+  // Liveness accounting (lifetime): in-flight deadline lapses, cancelled
+  // forwards, injected stalls, and watchdog detections with the min/max
+  // silence observed at detection. (Cancelled *requests* are tallied from
+  // the outcome statuses at Serve aggregation, not a worker counter.)
+  std::atomic<int64_t> ctr_timed_out_inflight_{0};
+  std::atomic<int64_t> ctr_cancelled_forwards_{0};
+  std::atomic<int64_t> ctr_stalls_injected_{0};
+  std::atomic<int64_t> ctr_stalls_detected_{0};
+  std::atomic<int64_t> ctr_stall_min_silence_us_{0};
+  std::atomic<int64_t> ctr_stall_max_silence_us_{0};
   std::mutex bucket_pool_mu_;
   std::map<int64_t, std::pair<int64_t, int64_t>> bucket_pool_;  // live, highwater
   ServingEngineStats stats_;

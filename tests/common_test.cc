@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "pit/common/backend.h"
+#include "pit/common/cancellation.h"
 #include "pit/common/fault_injection.h"
 #include "pit/common/parallel_for.h"
 #include "pit/common/rng.h"
+#include "pit/runtime/serving_engine.h"
 
 namespace pit {
 namespace {
@@ -222,6 +224,46 @@ TEST(EnvParsingTest, ServeQueueRejectsNonNumericZeroNegativeAndOverflow) {
   EXPECT_DEATH(ParseServeQueueEnv("65537"), "PIT_SERVE_QUEUE");
 }
 
+TEST(EnvParsingTest, WatchdogUsAcceptsWideMicrosecondRange) {
+  EXPECT_EQ(ParseWatchdogUsEnv("1"), 1);
+  EXPECT_EQ(ParseWatchdogUsEnv("50000"), 50000);
+  EXPECT_EQ(ParseWatchdogUsEnv("86400000000"), 86400000000LL);  // one day
+}
+
+TEST(EnvParsingTest, WatchdogUsRejectsNonNumericZeroNegativeAndOverflow) {
+  EXPECT_DEATH(ParseWatchdogUsEnv("abc"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("50ms"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("2.5"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv(""), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv(" 50000"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("0"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("-1"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("86400000001"), "PIT_WATCHDOG_US");
+  EXPECT_DEATH(ParseWatchdogUsEnv("99999999999999999999"), "PIT_WATCHDOG_US");
+}
+
+// All five positive-integer knobs funnel through env_internal::ParsePositiveCore,
+// so the strict-parse error path is exercised once per knob name above and the
+// shared bound check directly here.
+TEST(EnvParsingTest, SharedPositiveCoreEnforcesCallerBound) {
+  EXPECT_EQ(env_internal::ParsePositiveCore("PIT_TEST_KNOB", "7", 7), 7);
+  EXPECT_DEATH(env_internal::ParsePositiveCore("PIT_TEST_KNOB", "8", 7), "PIT_TEST_KNOB");
+  EXPECT_DEATH(env_internal::ParsePositiveCore("PIT_TEST_KNOB", "0", 7), "PIT_TEST_KNOB");
+}
+
+TEST(EnvParsingTest, WatchdogModeAcceptsReportAndAbort) {
+  EXPECT_EQ(ParseWatchdogModeEnv("report"), WatchdogMode::kReport);
+  EXPECT_EQ(ParseWatchdogModeEnv("abort"), WatchdogMode::kAbort);
+}
+
+TEST(EnvParsingTest, WatchdogModeRejectsUnknownSpellings) {
+  EXPECT_DEATH(ParseWatchdogModeEnv("Report"), "PIT_WATCHDOG");
+  EXPECT_DEATH(ParseWatchdogModeEnv("ABORT"), "PIT_WATCHDOG");
+  EXPECT_DEATH(ParseWatchdogModeEnv("panic"), "PIT_WATCHDOG");
+  EXPECT_DEATH(ParseWatchdogModeEnv(""), "PIT_WATCHDOG");
+  EXPECT_DEATH(ParseWatchdogModeEnv("report "), "PIT_WATCHDOG");
+}
+
 TEST(EnvParsingTest, FaultEnvAcceptsSiteRateSeedTriples) {
   {
     const FaultInjectionConfig config = ParseFaultEnv("batch_pack:0.5:7");
@@ -233,11 +275,21 @@ TEST(EnvParsingTest, FaultEnvAcceptsSiteRateSeedTriples) {
     EXPECT_FALSE(config.fail_retries);  // not spellable from the environment
   }
   {
+    // "all" spells the failure sites only: stall is a delay fault and must
+    // be opted into by name, never ride along with a failure sweep.
     const FaultInjectionConfig config = ParseFaultEnv("all:1.0:0");
     for (int site = 0; site < kNumFaultSites; ++site) {
-      EXPECT_TRUE(config.site_enabled[site]);
+      EXPECT_EQ(config.site_enabled[site], static_cast<FaultSite>(site) != FaultSite::kStall);
     }
     EXPECT_DOUBLE_EQ(config.rate, 1.0);
+  }
+  {
+    const FaultInjectionConfig config = ParseFaultEnv("stall:0.5:9");
+    EXPECT_TRUE(config.enabled);
+    EXPECT_TRUE(config.site_enabled[static_cast<int>(FaultSite::kStall)]);
+    EXPECT_FALSE(config.site_enabled[static_cast<int>(FaultSite::kKernelDispatch)]);
+    EXPECT_DOUBLE_EQ(config.rate, 0.5);
+    EXPECT_EQ(config.seed, 9u);
   }
   {
     // A bare integer rate of 1 is the only integer in (0, 1].

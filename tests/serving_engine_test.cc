@@ -6,10 +6,13 @@
 // must be provably race-free, not just stable on one machine.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pit/common/backend.h"
@@ -782,7 +785,13 @@ TEST(FaultContainmentTest, EverySiteTransientFaultSweepStaysBitwise) {
   ScopedNumThreads threads(4);
   for (int site = 0; site < kNumFaultSites; ++site) {
     SCOPED_TRACE(FaultSiteName(static_cast<FaultSite>(site)));
-    ScopedFaultInjection fault(static_cast<FaultSite>(site), 1.0, /*seed=*/1000 + site);
+    FaultInjectionConfig config;
+    config.enabled = true;
+    config.site_enabled[site] = true;
+    config.rate = 1.0;
+    config.seed = 1000 + static_cast<uint64_t>(site);
+    config.stall_us = 2000;  // keep the stall leg wall-clock bounded
+    ScopedFaultInjection fault(config);
     ServingEngine engine(stack, options);
     const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(mix.requests);
     for (size_t i = 0; i < outcomes.size(); ++i) {
@@ -790,9 +799,16 @@ TEST(FaultContainmentTest, EverySiteTransientFaultSweepStaysBitwise) {
       ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[i].output, clean[i].output));
     }
     const ServingEngineStats& stats = engine.stats();
-    EXPECT_GT(stats.faults_injected, 0);
-    EXPECT_EQ(stats.internal_failures, 0);
-    EXPECT_EQ(stats.faults_injected, stats.retries + stats.degraded_forwards);
+    if (static_cast<FaultSite>(site) == FaultSite::kStall) {
+      // A stall is a delay, not a failure: outputs stay bitwise, the fault
+      // ledger stays empty, and the sleeps are tallied on their own counter.
+      EXPECT_EQ(stats.faults_injected, 0);
+      EXPECT_GT(stats.stalls_injected, 0);
+    } else {
+      EXPECT_GT(stats.faults_injected, 0);
+      EXPECT_EQ(stats.internal_failures, 0);
+      EXPECT_EQ(stats.faults_injected, stats.retries + stats.degraded_forwards);
+    }
   }
 }
 
@@ -874,6 +890,264 @@ TEST(FaultContainmentTest, DeadlineAndQueueKnobsResolveFromOptionsThenEnvThenDef
   }
   if (saved_queue != nullptr) {
     setenv("PIT_SERVE_QUEUE", saved_queue_value.c_str(), 1);
+  }
+}
+
+// ---- Liveness: in-flight deadlines, watchdog, drain (PR 10) ----------------
+
+// Unmasked fixed-shape requests that pack into a single span (one claim, one
+// forward) so batch-level cancellation counters are deterministic.
+std::vector<ServeRequest> PackableRequests(int n, int64_t tokens, int64_t hidden, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServeRequest> requests(n);
+  for (ServeRequest& req : requests) {
+    req.x = Tensor::Random({tokens, hidden}, rng);
+  }
+  return requests;
+}
+
+FaultInjectionConfig StallConfig(int64_t stall_us, uint64_t seed) {
+  FaultInjectionConfig config;
+  config.enabled = true;
+  config.site_enabled[static_cast<int>(FaultSite::kStall)] = true;
+  config.rate = 1.0;
+  config.seed = seed;
+  config.stall_us = stall_us;
+  return config;
+}
+
+// Every member of the packed batch carries a deadline and every one lapses
+// while the stall holds the batch in flight: the armed token must cancel the
+// forward at a step boundary (one cancelled forward, not one per member) and
+// release the whole batch as kDeadlineExceeded without completing.
+TEST(LivenessTest, AllLapsedInFlightBatchIsCancelledAndReleased) {
+  Rng wr(471);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  std::vector<ServeRequest> requests = PackableRequests(4, 8, 32, 472);
+  for (ServeRequest& req : requests) {
+    req.deadline_us = 100000;  // 100 ms, lapses under the 400 ms stall
+  }
+  ScopedFaultInjection fault(StallConfig(/*stall_us=*/400000, /*seed=*/473));
+  ScopedNumThreads threads(1);
+  ServingEngineOptions options;
+  options.num_streams = 1;
+  options.batch_window = 4;
+  options.max_batch_tokens = 256;
+  ServingEngine engine(stack, options);
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (const ServeOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, ServeStatus::kDeadlineExceeded);
+    EXPECT_TRUE(outcome.output.empty());
+  }
+  const ServingEngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.timed_out_inflight, 4);
+  EXPECT_EQ(stats.timed_out, 4);
+  EXPECT_EQ(stats.cancelled_forwards, 1);  // one batch cancel, not four
+  EXPECT_EQ(stats.stalls_injected, 1);
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_EQ(stats.faults_injected, 0);  // stalls never enter the fault ledger
+}
+
+// A mixed batch (some members deadlined, some not) must NEVER be cancelled in
+// flight: the forward completes for the survivors' sake, lapsed members are
+// marked at egress without output, and surviving outputs stay bitwise
+// identical to the fault-free run.
+TEST(LivenessTest, PartialLapseMarksLapsedAtEgressAndKeepsSurvivorsBitwise) {
+  Rng wr(481);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  std::vector<ServeRequest> requests = PackableRequests(4, 8, 32, 482);
+
+  ServingEngine clean_engine(stack, {});
+  const std::vector<ServeOutcome> clean = clean_engine.ServeWithStatus(requests);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (i % 2 == 0) {
+      requests[i].deadline_us = 100000;  // lapses under the 400 ms stall
+    }
+  }
+  ScopedFaultInjection fault(StallConfig(/*stall_us=*/400000, /*seed=*/483));
+  ScopedNumThreads threads(1);
+  ServingEngineOptions options;
+  options.num_streams = 1;
+  options.batch_window = 4;
+  options.max_batch_tokens = 256;
+  ServingEngine engine(stack, options);
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(outcomes[i].status, ServeStatus::kDeadlineExceeded) << "request " << i;
+      EXPECT_TRUE(outcomes[i].output.empty());
+    } else {
+      ASSERT_EQ(outcomes[i].status, ServeStatus::kOk) << "request " << i;
+      ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[i].output, clean[i].output));
+    }
+  }
+  const ServingEngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.cancelled_forwards, 0);  // the mixed batch must complete
+  EXPECT_EQ(stats.timed_out_inflight, 2);
+  EXPECT_EQ(stats.timed_out, 2);
+}
+
+// Watchdog in report mode: a stalled stream (silent past the threshold) must
+// be detected and tallied without perturbing results — every request still
+// completes kOk and bitwise identical to the clean run.
+TEST(LivenessTest, WatchdogDetectsStallInReportModeWithoutPerturbingResults) {
+  Rng wr(491);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  std::vector<ServeRequest> requests = PackableRequests(4, 8, 32, 492);
+
+  ServingEngine clean_engine(stack, {});
+  const std::vector<ServeOutcome> clean = clean_engine.ServeWithStatus(requests);
+
+  ScopedFaultInjection fault(StallConfig(/*stall_us=*/150000, /*seed=*/493));
+  ServingEngineOptions options;
+  options.num_streams = 2;
+  options.watchdog_us = 20000;  // 20 ms threshold, well under the 150 ms stall
+  options.watchdog_mode = WatchdogMode::kReport;
+  ServingEngine engine(stack, options);
+  EXPECT_EQ(engine.watchdog_us(), 20000);
+  EXPECT_EQ(engine.watchdog_mode(), WatchdogMode::kReport);
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_EQ(outcomes[i].status, ServeStatus::kOk);
+    ASSERT_NO_FATAL_FAILURE(ExpectBitwiseEqual(outcomes[i].output, clean[i].output));
+  }
+  const ServingEngineStats& stats = engine.stats();
+  EXPECT_GE(stats.stalls_detected, 1);
+  EXPECT_GT(stats.stalls_injected, 0);
+  EXPECT_GT(stats.stall_min_silence_us, engine.watchdog_us());
+  EXPECT_GE(stats.stall_max_silence_us, stats.stall_min_silence_us);
+
+  // Stats rendering carries the liveness counters.
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("stalls"), std::string::npos);
+  EXPECT_NE(rendered.find("requests"), std::string::npos);
+}
+
+// Watchdog in abort mode is a fail-fast: a detected stall must bring the
+// process down with the diagnostic on stderr.
+TEST(LivenessTest, WatchdogAbortModeDiesOnStall) {
+  Rng wr(501);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  std::vector<ServeRequest> requests = PackableRequests(2, 8, 32, 502);
+  EXPECT_DEATH(
+      {
+        ScopedFaultInjection fault(StallConfig(/*stall_us=*/400000, /*seed=*/503));
+        ServingEngineOptions options;
+        options.num_streams = 1;
+        options.watchdog_us = 10000;
+        options.watchdog_mode = WatchdogMode::kAbort;
+        ServingEngine engine(stack, options);
+        (void)engine.ServeWithStatus(requests);
+      },
+      "WATCHDOG");
+}
+
+// Destroying the engine while a Serve is in flight must cancel cooperatively
+// and join cleanly: no hang, no abort, and every request left with a definite
+// status (completed kOk stays bitwise-valid, the rest are kCancelled).
+TEST(LivenessTest, DestructorWithInFlightWorkCancelsAndJoins) {
+  Rng wr(511);
+  PlannedTransformerStack stack(2, 32, 4, 96, wr);
+  std::vector<ServeRequest> requests = PackableRequests(8, 8, 32, 512);
+  // Serve one request per claim so the drain has claim boundaries to land on,
+  // and hold each claim under a stall so the destructor races real work.
+  ScopedFaultInjection fault(StallConfig(/*stall_us=*/100000, /*seed=*/513));
+  ServingEngineOptions options;
+  options.num_streams = 1;
+  options.batch_window = 1;
+  auto engine = std::make_unique<ServingEngine>(stack, options);
+  // The worker holds a raw pointer so the unique_ptr object itself is not
+  // read concurrently with reset(); the engine's own Drain-before-destroy
+  // keeps the pointee alive until ServeWithStatus returns.
+  ServingEngine* raw = engine.get();
+  std::vector<ServeOutcome> outcomes;
+  std::thread server([&] { outcomes = raw->ServeWithStatus(requests); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.reset();  // destructor: Drain(kCancelInFlight) + watchdog shutdown
+  server.join();
+  ASSERT_EQ(outcomes.size(), requests.size());
+  int cancelled = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.status == ServeStatus::kOk ||
+                outcome.status == ServeStatus::kCancelled)
+        << "status " << ServeStatusName(outcome.status);
+    if (outcome.status == ServeStatus::kCancelled) {
+      EXPECT_TRUE(outcome.output.empty());
+      ++cancelled;
+    } else {
+      EXPECT_FALSE(outcome.output.empty());
+    }
+  }
+  // The 100 ms-per-claim stall guarantees the 30 ms-delayed destructor lands
+  // before the tail of the queue was claimed.
+  EXPECT_GE(cancelled, 1);
+}
+
+// Drain is idempotent and terminal: a second Drain is a no-op, and Serve after
+// Drain rejects every request with a definite kCancelled status — no abort, no
+// hang, stats still reconciled.
+TEST(LivenessTest, DoubleDrainIsIdempotentAndServeAfterDrainIsRejected) {
+  Rng wr(521);
+  PlannedFfnStack stack(2, 16, 48, wr);
+  ServingEngine engine(stack, {});
+  EXPECT_FALSE(engine.drained());
+  engine.Drain();
+  EXPECT_TRUE(engine.drained());
+  engine.Drain(DrainPolicy::kCancelInFlight);  // second drain: no-op
+  EXPECT_TRUE(engine.drained());
+
+  Rng rng(522);
+  std::vector<ServeRequest> requests(3);
+  for (ServeRequest& req : requests) {
+    req.x = Tensor::Random({4, 16}, rng);
+  }
+  const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (const ServeOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, ServeStatus::kCancelled);
+    EXPECT_TRUE(outcome.output.empty());
+  }
+  EXPECT_EQ(engine.stats().cancelled, 3);
+  EXPECT_EQ(engine.stats().requests, 3);
+}
+
+TEST(LivenessTest, WatchdogKnobsResolveFromOptionsThenEnvThenDefault) {
+  Rng wr(531);
+  PlannedFfnStack stack(2, 16, 48, wr);
+  const char* saved_us = std::getenv("PIT_WATCHDOG_US");
+  const std::string saved_us_value = saved_us != nullptr ? saved_us : "";
+  const char* saved_mode = std::getenv("PIT_WATCHDOG");
+  const std::string saved_mode_value = saved_mode != nullptr ? saved_mode : "";
+  setenv("PIT_WATCHDOG_US", "54321", 1);
+  setenv("PIT_WATCHDOG", "abort", 1);
+  {
+    ServingEngineOptions options;
+    options.watchdog_us = 777;
+    options.watchdog_mode = WatchdogMode::kReport;
+    ServingEngine engine(stack, options);
+    EXPECT_EQ(engine.watchdog_us(), 777);
+    EXPECT_EQ(engine.watchdog_mode(), WatchdogMode::kReport);
+  }
+  {
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.watchdog_us(), 54321);
+    EXPECT_EQ(engine.watchdog_mode(), WatchdogMode::kAbort);
+  }
+  unsetenv("PIT_WATCHDOG_US");
+  unsetenv("PIT_WATCHDOG");
+  {
+    ServingEngine engine(stack, {});
+    EXPECT_EQ(engine.watchdog_us(), 0);  // watchdog off by default
+    EXPECT_EQ(engine.watchdog_mode(), WatchdogMode::kReport);
+  }
+  if (saved_us != nullptr) {
+    setenv("PIT_WATCHDOG_US", saved_us_value.c_str(), 1);
+  }
+  if (saved_mode != nullptr) {
+    setenv("PIT_WATCHDOG", saved_mode_value.c_str(), 1);
   }
 }
 

@@ -250,6 +250,12 @@ void PrintIsa() {
 // slice (batched faulted vs batched fault-free replay at identical
 // composition) and an overload + deadline cell ride along. Machine-grep-able
 // (`chaos=ok`) plus a non-zero exit on any violation, for CI gating.
+//
+// PR 10 adds liveness cells: a watchdog-supervised stall matrix (seeded delay
+// faults at every streams x threads x scheduler cell; detection within 2x the
+// threshold, no aborts in report mode, outputs still bitwise) and mid-flight
+// deadline cells (all-lapsed batches cancelled and released kDeadlineExceeded
+// as one forward; mixed batches complete and mark lapsed members at egress).
 
 bool BitwiseEqual(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape() &&
@@ -341,6 +347,9 @@ int ChaosMatrix(const char* label, const Stack& stack, const ChaosTraffic& traff
   const std::vector<ServeOutcome> baseline = ChaosBaseline(stack, traffic, use_pit);
   int failures = 0;
   for (int site_i = 0; site_i < kNumFaultSites; ++site_i) {
+    if (static_cast<FaultSite>(site_i) == FaultSite::kStall) {
+      continue;  // delay fault, not an error fault: exercised by ChaosStallMatrix
+    }
     for (int streams : {1, 4}) {
       for (int threads : thread_counts) {
         for (PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
@@ -478,6 +487,190 @@ int ChaosOverloadCell(const PlannedTransformerStack& stack, const ChaosTraffic& 
   return failures + (err != nullptr ? 1 : 0);
 }
 
+// Stall matrix (PR 10): rate-1.0 seeded stalls at every streams x threads x
+// scheduler cell under watchdog supervision in report mode. A stall is a
+// delay, never an error: every status must equal the fault-free baseline's,
+// every kOk output must stay bitwise, the error-fault ledger must stay empty,
+// and the watchdog must detect each stalled stream within 2x the threshold
+// without aborting the process.
+int ChaosStallMatrix(const PlannedTransformerStack& stack, const ChaosTraffic& traffic, Rng& rng,
+                     int64_t fired_by_site[kNumFaultSites]) {
+  constexpr int64_t kWatchdogUs = 50000;
+  constexpr int64_t kStallUs = 150000;
+  const std::vector<ServeOutcome> baseline = ChaosBaseline(stack, traffic, /*use_pit=*/false);
+  int failures = 0;
+  for (int streams : {1, 4}) {
+    for (int threads : {1, 4, 7}) {
+      for (PlanSched sched : {PlanSched::kSequential, PlanSched::kWavefront}) {
+        FaultInjectionConfig config;
+        config.enabled = true;
+        config.site_enabled[static_cast<int>(FaultSite::kStall)] = true;
+        config.rate = 1.0;
+        config.seed = rng.NextU64();
+        config.stall_us = kStallUs;
+        ScopedFaultInjection fault(config);
+        ScopedNumThreads thread_guard(threads);
+        ScopedPlanSched sched_guard(sched);
+        ServingEngineOptions opt;
+        opt.num_streams = streams;
+        opt.batch_window = 4;
+        opt.max_batch_tokens = 48;
+        opt.watchdog_us = kWatchdogUs;
+        opt.watchdog_mode = WatchdogMode::kReport;
+        ServingEngine engine(stack, opt);
+        const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(traffic.requests);
+        const ServingEngineStats& stats = engine.stats();
+        fired_by_site[static_cast<int>(FaultSite::kStall)] += stats.stalls_injected;
+        const char* err = nullptr;
+        if (outcomes.size() != traffic.requests.size()) {
+          err = "lost requests";
+        }
+        for (size_t i = 0; err == nullptr && i < outcomes.size(); ++i) {
+          if (outcomes[i].status != baseline[i].status) {
+            err = "status diverged from fault-free baseline";
+          } else if (outcomes[i].status == ServeStatus::kOk &&
+                     !BitwiseEqual(outcomes[i].output, baseline[i].output)) {
+            err = "kOk output diverged bitwise under stalls";
+          }
+        }
+        if (err == nullptr && stats.stalls_injected == 0) {
+          err = "stall site never fired";
+        }
+        if (err == nullptr && stats.stalls_detected == 0) {
+          err = "watchdog missed a stalled stream";
+        }
+        if (err == nullptr && (stats.stall_min_silence_us <= kWatchdogUs ||
+                               stats.stall_min_silence_us > 2 * kWatchdogUs)) {
+          err = "detection latency outside (threshold, 2x threshold]";
+        }
+        if (err == nullptr &&
+            stats.faults_injected !=
+                stats.retries + stats.degraded_forwards + stats.internal_failures) {
+          err = "fault ledger does not reconcile";
+        }
+        if (err == nullptr && stats.faults_injected != 0) {
+          err = "stall leaked into the error-fault ledger";
+        }
+        std::printf("chaos cell stack=transformer mode=stall streams=%d threads=%d sched=%s "
+                    "stalls=%lld detected=%lld min_silence_us=%lld %s\n",
+                    streams, threads, sched == PlanSched::kSequential ? "seq" : "wavefront",
+                    static_cast<long long>(stats.stalls_injected),
+                    static_cast<long long>(stats.stalls_detected),
+                    static_cast<long long>(stats.stall_min_silence_us),
+                    err != nullptr ? err : "ok");
+        if (err != nullptr) {
+          ++failures;
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+// Mid-flight deadline cells (PR 10), against a packable (unmasked, uniform
+// shape) batch held in flight by a stall. All-lapsed: every member deadlined
+// and lapsed -> the batch is cancelled at a step boundary (one cancelled
+// forward) and released kDeadlineExceeded without completing. Partial-lapse:
+// a mixed batch must complete for the survivors' sake — lapsed members are
+// marked at egress, survivors stay bitwise identical to the fault-free run.
+int ChaosInflightDeadlineCells(const PlannedTransformerStack& stack, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServeRequest> requests(4);
+  for (ServeRequest& req : requests) {
+    req.x = Tensor::Random({8, 32}, rng);
+  }
+  std::vector<ServeOutcome> baseline;
+  {
+    FaultInjectionConfig off;
+    ScopedFaultInjection guard(off);
+    ScopedNumThreads one_thread(1);
+    ScopedPlanSched seq(PlanSched::kSequential);
+    ServingEngineOptions opt;
+    opt.num_streams = 1;
+    opt.batch_window = 1;
+    ServingEngine engine(stack, opt);
+    baseline = engine.ServeWithStatus(requests);
+  }
+
+  FaultInjectionConfig stall;
+  stall.enabled = true;
+  stall.site_enabled[static_cast<int>(FaultSite::kStall)] = true;
+  stall.rate = 1.0;
+  stall.seed = seed ^ 0xD1Fu;
+  stall.stall_us = 400000;  // holds the batch well past the 100 ms deadlines
+
+  int failures = 0;
+  {
+    for (ServeRequest& req : requests) {
+      req.deadline_us = 100000;
+    }
+    ScopedFaultInjection fault(stall);
+    ScopedNumThreads threads(1);
+    ServingEngineOptions opt;
+    opt.num_streams = 1;
+    opt.batch_window = 4;
+    opt.max_batch_tokens = 48;
+    ServingEngine engine(stack, opt);
+    const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+    const ServingEngineStats& stats = engine.stats();
+    const char* err = nullptr;
+    for (const ServeOutcome& outcome : outcomes) {
+      if (outcome.status != ServeStatus::kDeadlineExceeded || !outcome.output.empty()) {
+        err = "all-lapsed batch member not released kDeadlineExceeded without output";
+      }
+    }
+    if (err == nullptr && stats.cancelled_forwards != 1) {
+      err = "all-lapsed batch was not cancelled as one forward";
+    }
+    if (err == nullptr && stats.timed_out_inflight != static_cast<int64_t>(requests.size())) {
+      err = "timed_out_inflight does not cover the whole batch";
+    }
+    std::printf("chaos cell stack=transformer mode=deadline_inflight_all timed_out=%lld "
+                "cancelled_forwards=%lld %s\n",
+                static_cast<long long>(stats.timed_out_inflight),
+                static_cast<long long>(stats.cancelled_forwards), err != nullptr ? err : "ok");
+    if (err != nullptr) {
+      ++failures;
+    }
+  }
+  {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      requests[i].deadline_us = i % 2 == 0 ? 100000 : 0;
+    }
+    ScopedFaultInjection fault(stall);
+    ScopedNumThreads threads(1);
+    ServingEngineOptions opt;
+    opt.num_streams = 1;
+    opt.batch_window = 4;
+    opt.max_batch_tokens = 48;
+    ServingEngine engine(stack, opt);
+    const std::vector<ServeOutcome> outcomes = engine.ServeWithStatus(requests);
+    const ServingEngineStats& stats = engine.stats();
+    const char* err = nullptr;
+    for (size_t i = 0; err == nullptr && i < outcomes.size(); ++i) {
+      if (i % 2 == 0) {
+        if (outcomes[i].status != ServeStatus::kDeadlineExceeded || !outcomes[i].output.empty()) {
+          err = "lapsed member not marked kDeadlineExceeded at egress";
+        }
+      } else if (outcomes[i].status != ServeStatus::kOk ||
+                 !BitwiseEqual(outcomes[i].output, baseline[i].output)) {
+        err = "surviving member diverged from fault-free baseline";
+      }
+    }
+    if (err == nullptr && stats.cancelled_forwards != 0) {
+      err = "mixed batch was cancelled in flight";
+    }
+    std::printf("chaos cell stack=transformer mode=deadline_inflight_partial timed_out=%lld "
+                "cancelled_forwards=%lld %s\n",
+                static_cast<long long>(stats.timed_out_inflight),
+                static_cast<long long>(stats.cancelled_forwards), err != nullptr ? err : "ok");
+    if (err != nullptr) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 int RunChaos(uint64_t seed) {
   Rng rng(seed);
   Rng build_rng(seed ^ 0x5DEECE66DULL);
@@ -487,7 +680,7 @@ int RunChaos(uint64_t seed) {
   const ChaosTraffic transformer_traffic = BuildChaosTraffic(32, /*transformer=*/true, seed + 1);
   const ChaosTraffic ffn_traffic = BuildChaosTraffic(16, /*transformer=*/false, seed + 2);
 
-  int64_t fired_by_site[kNumFaultSites] = {0, 0, 0, 0};
+  int64_t fired_by_site[kNumFaultSites] = {};
   int failures = 0;
   // The required matrix, dense: every site x streams {1,4} x threads {1,4,7}
   // x both schedulers, on both stack families.
@@ -499,6 +692,10 @@ int RunChaos(uint64_t seed) {
   // batched single-stream replay at identical composition (ChaosBaseline).
   failures += ChaosMatrix("ffn_pit", ffn, ffn_traffic, /*use_pit=*/true, {4}, rng, fired_by_site);
   failures += ChaosOverloadCell(transformer, transformer_traffic, rng);
+  // PR 10 liveness cells: watchdog-supervised stalls at every cell, and
+  // mid-flight deadline enforcement on all-lapsed vs mixed batches.
+  failures += ChaosStallMatrix(transformer, transformer_traffic, rng, fired_by_site);
+  failures += ChaosInflightDeadlineCells(transformer, seed + 3);
   for (int site = 0; site < kNumFaultSites; ++site) {
     if (fired_by_site[site] == 0) {
       std::printf("chaos site=%s never fired across its cells (tap unwired?)\n",
